@@ -1,0 +1,60 @@
+//! Ablation — the Section 3.2 tradeoff knob `F`.
+//!
+//! "Given the storage limit UB of V_PM, for a query Q, this F makes a
+//! tradeoff between (a) the probability that V_PM can provide some
+//! partial results to Q, and (b) … the number of partial result tuples
+//! that V_PM can provide."
+//!
+//! We fix a byte budget and sweep F: entries L = UB / (F · At) shrink as
+//! F grows, so hit probability falls while tuples-served-per-hit rises.
+
+use pmv_bench::tpcr_harness::arg_flag;
+use pmv_bench::ExperimentReport;
+use pmv_cache::PolicyKind;
+use pmv_workload::{run_sim, SimConfig};
+
+fn main() {
+    let quick = arg_flag("--quick");
+    let (total, budget_entries, warm, measure) = if quick {
+        (50_000usize, 2_000usize, 50_000usize, 50_000usize)
+    } else {
+        (1_000_000, 40_000, 500_000, 500_000)
+    };
+
+    let mut report = ExperimentReport::new(
+        "f_tradeoff",
+        "F tradeoff under a fixed byte budget (alpha=1.07, h=2)",
+        "F",
+    );
+    for f in 1..=8usize {
+        // Budget is expressed in tuple-slots: L·F = budget_entries.
+        let n = (budget_entries / f).max(1);
+        let cfg = SimConfig {
+            total_bcps: total,
+            n,
+            policy: PolicyKind::Clock,
+            alpha: 1.07,
+            h: 2,
+            warmup: warm,
+            measure,
+            ..Default::default()
+        };
+        let r = run_sim(&cfg);
+        // Expected tuples served per hit = F (entries are always full in
+        // the 4.1 setting).
+        report.push(
+            f.to_string(),
+            vec![
+                ("L".into(), n as f64),
+                ("hit_probability".into(), r.hit_probability),
+                ("tuples_per_hit".into(), f as f64),
+                (
+                    "expected_tuples_per_query".into(),
+                    r.hit_probability * f as f64,
+                ),
+            ],
+        );
+        eprintln!("F={f} L={n}: hit={:.4}", r.hit_probability);
+    }
+    report.print();
+}

@@ -1,0 +1,33 @@
+//! Figure 11 — total workload TW for transaction T (maintenance cost),
+//! from the Section 4.3 analytical model.
+//!
+//! Transaction T inserts p·|ΔR| tuples into R and deletes (1-p)·|ΔR|,
+//! |ΔR| = 1000. TW in I/Os, log-scale in the paper.
+//!
+//! Paper's reading: maintaining V_PM is at least two orders of magnitude
+//! cheaper than maintaining V_M at every p; both fall as p rises; PMV
+//! cost is exactly 0 at p = 100% (invisible on the log axis).
+
+use pmv_bench::ExperimentReport;
+use pmv_costmodel::CostParams;
+
+fn main() {
+    let model = CostParams::default();
+    let mut report = ExperimentReport::new(
+        "figure11",
+        "TW for transaction T in I/Os (|ΔR| = 1000)",
+        "p",
+    );
+    for pt in model.sweep(10) {
+        report.push(
+            format!("{:.0}%", pt.p * 100.0),
+            vec![("MV".into(), pt.mv_tw), ("PMV".into(), pt.pmv_tw)],
+        );
+    }
+    report.print();
+    println!();
+    println!(
+        "note: at p = 100% the PMV needs no maintenance at all (TW = 0), which the paper's \
+         log-scale plot cannot show either"
+    );
+}

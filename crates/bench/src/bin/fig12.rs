@@ -1,0 +1,30 @@
+//! Figure 12 — speedup ratio of PMV over MV maintenance, from the
+//! Section 4.3 analytical model.
+//!
+//! Paper's reading: the speedup grows with the insert fraction p (PMVs
+//! are free on inserts), reaching the hundreds as p approaches 100% and
+//! becoming unbounded at exactly p = 100%.
+
+use pmv_bench::ExperimentReport;
+use pmv_costmodel::CostParams;
+
+fn main() {
+    let model = CostParams::default();
+    let mut report = ExperimentReport::new(
+        "figure12",
+        "Speedup ratio of PMV over MV maintenance (|ΔR| = 1000)",
+        "p",
+    );
+    for pt in model.sweep(10) {
+        let Some(speedup) = pt.speedup else {
+            continue; // p = 100%: unbounded
+        };
+        report.push(
+            format!("{:.0}%", pt.p * 100.0),
+            vec![("speedup".into(), speedup)],
+        );
+    }
+    report.print();
+    println!();
+    println!("note: at p = 100% the ratio is unbounded (PMV maintenance cost is 0)");
+}

@@ -1,0 +1,62 @@
+//! Figure 6 — hit probability, "number of bcps" experiment.
+//!
+//! N = 20K fixed; h swept 1..=5; CLOCK vs simplified 2Q; α ∈ {1.07
+//! (high skew: ~10% of bcps draw 90% of accesses), 1.01 (moderate skew:
+//! ~21% draw 90%)}. 1M bcps, 1M warm-up queries, 1M measured queries.
+//!
+//! Paper's reading: hit probability approaches 100% quickly as h grows;
+//! larger α ⇒ higher hit probability; 2Q > CLOCK throughout.
+//!
+//! `--quick` scales everything down ~20× for a smoke run.
+
+use pmv_bench::tpcr_harness::arg_flag;
+use pmv_bench::ExperimentReport;
+use pmv_cache::PolicyKind;
+use pmv_workload::{run_sim, SimConfig};
+
+fn main() {
+    let quick = arg_flag("--quick");
+    let (total, n, warm, measure) = if quick {
+        (50_000, 1_000, 50_000, 50_000)
+    } else {
+        (1_000_000, 20_000, 1_000_000, 1_000_000)
+    };
+
+    let mut report = ExperimentReport::new(
+        "figure6",
+        "Hit probability vs h (number of bcps experiment)",
+        "h",
+    );
+    for h in 1..=5usize {
+        let mut values = Vec::new();
+        for (policy, alpha) in [
+            (PolicyKind::TwoQ, 1.07),
+            (PolicyKind::Clock, 1.07),
+            (PolicyKind::TwoQ, 1.01),
+            (PolicyKind::Clock, 1.01),
+        ] {
+            let cfg = SimConfig {
+                total_bcps: total,
+                n,
+                policy,
+                alpha,
+                h,
+                warmup: warm,
+                measure,
+                ..Default::default()
+            };
+            let r = run_sim(&cfg);
+            values.push((
+                format!("{} alpha={alpha}", policy.name()),
+                r.hit_probability,
+            ));
+            eprintln!(
+                "h={h} {} alpha={alpha}: hit={:.4}",
+                policy.name(),
+                r.hit_probability
+            );
+        }
+        report.push(h.to_string(), values);
+    }
+    report.print();
+}

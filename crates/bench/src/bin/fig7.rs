@@ -1,0 +1,52 @@
+//! Figure 7 — hit probability, "PMV size" experiment.
+//!
+//! α = 1.07 and h = 2 fixed; N swept over {10K, 20K, 30K}; CLOCK vs 2Q.
+//! Paper's reading: hit probability approaches 100% as N grows, and 2Q
+//! beats CLOCK at every size.
+//!
+//! `--quick` scales everything down for a smoke run.
+
+use pmv_bench::tpcr_harness::arg_flag;
+use pmv_bench::ExperimentReport;
+use pmv_cache::PolicyKind;
+use pmv_workload::{run_sim, SimConfig};
+
+fn main() {
+    let quick = arg_flag("--quick");
+    let (total, ns, warm, measure): (usize, Vec<usize>, usize, usize) = if quick {
+        (50_000, vec![500, 1_000, 1_500], 50_000, 50_000)
+    } else {
+        (
+            1_000_000,
+            vec![10_000, 20_000, 30_000],
+            1_000_000,
+            1_000_000,
+        )
+    };
+
+    let mut report = ExperimentReport::new(
+        "figure7",
+        "Hit probability vs N (PMV size experiment), alpha=1.07, h=2",
+        "N",
+    );
+    for n in ns {
+        let mut values = Vec::new();
+        for policy in [PolicyKind::TwoQ, PolicyKind::Clock] {
+            let cfg = SimConfig {
+                total_bcps: total,
+                n,
+                policy,
+                alpha: 1.07,
+                h: 2,
+                warmup: warm,
+                measure,
+                ..Default::default()
+            };
+            let r = run_sim(&cfg);
+            values.push((policy.name().to_string(), r.hit_probability));
+            eprintln!("N={n} {}: hit={:.4}", policy.name(), r.hit_probability);
+        }
+        report.push(n.to_string(), values);
+    }
+    report.print();
+}

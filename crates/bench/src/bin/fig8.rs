@@ -1,0 +1,61 @@
+//! Figure 8 — overhead of our techniques, "number of tuples" experiment.
+//!
+//! h = 4 and s fixed; F (tuples stored per PMV entry) swept 1..=5;
+//! templates T1 and T2. The PMV has 20K entries and, per the paper's
+//! setup, exactly one of the query's h bcps is resident.
+//!
+//! Paper's reading: overhead grows with F (more cached tuples are
+//! checked per hit), and T2's overhead exceeds T1's (three-way join ⇒
+//! longer tuples and wider bcps).
+//!
+//! Scale defaults to 0.05 (`--scale X` to change, `--paper` = 1.0).
+
+use pmv_bench::tpcr_harness::{arg_flag, arg_value, build_db, measure_cell, CellConfig, Template};
+use pmv_bench::ExperimentReport;
+
+fn main() {
+    let scale: f64 = if arg_flag("--paper") {
+        1.0
+    } else {
+        arg_value("--scale")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.05)
+    };
+    let runs: usize = arg_value("--runs")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if arg_flag("--quick") { 5 } else { 30 });
+
+    eprintln!("building TPC-R database at s={scale}…");
+    let db = build_db(scale, 0xc0ffee);
+
+    let mut report = ExperimentReport::new(
+        "figure8",
+        format!("PMV overhead (s) vs F; h=4, s={scale}"),
+        "F",
+    );
+    for f_cap in 1..=5usize {
+        let mut values = Vec::new();
+        for (template, name) in [(Template::T1, "T1"), (Template::T2, "T2")] {
+            // h = 4: T1 uses e=2, f=2; T2 uses e=2, f=2, g=1.
+            let cell = CellConfig {
+                template,
+                e: 2,
+                f_disjuncts: 2,
+                g: 1,
+                f_cap,
+                entries: 20_000,
+                runs,
+                seed: 7 + f_cap as u64,
+            };
+            let s = measure_cell(&db, &cell);
+            values.push((name.to_string(), s.overhead.as_secs_f64()));
+            values.push((format!("{name} probe"), s.probe.as_secs_f64()));
+            eprintln!(
+                "F={f_cap} {name}: overhead={:?} exec={:?} partial={:.1}",
+                s.overhead, s.exec, s.partial_tuples
+            );
+        }
+        report.push(f_cap.to_string(), values);
+    }
+    report.print();
+}

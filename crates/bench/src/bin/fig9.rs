@@ -1,0 +1,56 @@
+//! Figure 9 — overhead of our techniques, "combination factor"
+//! experiment.
+//!
+//! F = 3 and s fixed; the combination factor h swept 1..=10 (h basic
+//! condition parts per query, exactly one PMV-resident).
+//!
+//! Paper's reading: overhead grows with h (more condition parts to
+//! generate and probe), and T2 > T1 at every h.
+
+use pmv_bench::tpcr_harness::{arg_flag, arg_value, build_db, measure_cell, CellConfig, Template};
+use pmv_bench::ExperimentReport;
+
+fn main() {
+    let scale: f64 = if arg_flag("--paper") {
+        1.0
+    } else {
+        arg_value("--scale")
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(0.05)
+    };
+    let runs: usize = arg_value("--runs")
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(if arg_flag("--quick") { 5 } else { 30 });
+
+    eprintln!("building TPC-R database at s={scale}…");
+    let db = build_db(scale, 0xc0ffee);
+
+    let mut report = ExperimentReport::new(
+        "figure9",
+        format!("PMV overhead (s) vs combination factor h; F=3, s={scale}"),
+        "h",
+    );
+    for h in 1..=10usize {
+        let mut values = Vec::new();
+        for (template, name) in [(Template::T1, "T1"), (Template::T2, "T2")] {
+            // h = e × f(× g): sweep via e = h with single-value other
+            // dimensions, so h matches exactly for every value.
+            let cell = CellConfig {
+                template,
+                e: h,
+                f_disjuncts: 1,
+                g: 1,
+                f_cap: 3,
+                entries: 20_000,
+                runs,
+                seed: 11 + h as u64,
+            };
+            let s = measure_cell(&db, &cell);
+            values.push((name.to_string(), s.overhead.as_secs_f64()));
+            values.push((format!("{name} probe"), s.probe.as_secs_f64()));
+            eprintln!("h={h} {name}: overhead={:?} exec={:?}", s.overhead, s.exec);
+        }
+        report.push(h.to_string(), values);
+    }
+    report.print();
+}

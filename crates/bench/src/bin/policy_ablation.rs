@@ -1,0 +1,52 @@
+//! Ablation — the paper's stated future work: "identify other algorithms
+//! that perform better than both CLOCK and 2Q" (Section 4.1).
+//!
+//! Runs the Figure 6 workload across CLOCK, 2Q, LRU, and LRU-2 at the
+//! same storage budget.
+
+use pmv_bench::tpcr_harness::arg_flag;
+use pmv_bench::ExperimentReport;
+use pmv_cache::PolicyKind;
+use pmv_workload::{run_sim, SimConfig};
+
+fn main() {
+    let quick = arg_flag("--quick");
+    let (total, n, warm, measure) = if quick {
+        (50_000, 1_000, 50_000, 50_000)
+    } else {
+        (1_000_000, 20_000, 500_000, 500_000)
+    };
+
+    let policies = [
+        PolicyKind::Clock,
+        PolicyKind::TwoQ,
+        PolicyKind::TwoQFull,
+        PolicyKind::Lru,
+        PolicyKind::LruK,
+    ];
+    let mut report = ExperimentReport::new(
+        "policy_ablation",
+        "Hit probability vs h for four replacement policies (alpha=1.07)",
+        "h",
+    );
+    for h in 1..=5usize {
+        let mut values = Vec::new();
+        for policy in policies {
+            let cfg = SimConfig {
+                total_bcps: total,
+                n,
+                policy,
+                alpha: 1.07,
+                h,
+                warmup: warm,
+                measure,
+                ..Default::default()
+            };
+            let r = run_sim(&cfg);
+            values.push((policy.name().to_string(), r.hit_probability));
+            eprintln!("h={h} {}: {:.4}", policy.name(), r.hit_probability);
+        }
+        report.push(h.to_string(), values);
+    }
+    report.print();
+}

@@ -1,0 +1,70 @@
+//! Table 1 — the TPC-R test data set.
+//!
+//! Paper's Table 1 (per scale factor s):
+//!
+//! | relation | number of tuples | total size |
+//! |----------|------------------|------------|
+//! | customer | 0.15·s M | 23·s MB |
+//! | orders   | 1.5·s M  | 114·s MB |
+//! | lineitem | 6·s M    | 755·s MB |
+//!
+//! We regenerate the data and report measured tuple counts (exact match)
+//! and in-memory MB. Our boxed-value representation is ≈ 2× a packed
+//! on-disk row, so the MB column lands at about twice the paper's with
+//! the same per-relation ratio.
+//!
+//! Default sweep uses reduced scales so it finishes in seconds; pass
+//! `--paper` for the paper's s ∈ {0.5, 1, 1.5, 2} (needs several GB of
+//! RAM and minutes of generation time).
+
+use pmv_bench::tpcr_harness::arg_flag;
+use pmv_bench::ExperimentReport;
+use pmv_query::Database;
+use pmv_workload::tpcr::{expected_counts, generate, TpcrConfig};
+
+fn main() {
+    let scales: Vec<f64> = if arg_flag("--paper") {
+        vec![0.5, 1.0, 1.5, 2.0]
+    } else if arg_flag("--quick") {
+        vec![0.01]
+    } else {
+        vec![0.05, 0.1, 0.2]
+    };
+
+    let mut report = ExperimentReport::new("table1", "TPC-R test data set", "s");
+    for s in scales {
+        let mut db = Database::new();
+        let stats = generate(
+            &mut db,
+            &TpcrConfig {
+                scale: s,
+                seed: 0xc0ffee,
+                pad: true,
+                date_supplier_pool: None,
+            },
+        )
+        .expect("generate");
+        let (ec, eo, el) = expected_counts(s);
+        assert_eq!(stats.customers, ec, "customer count must match Table 1");
+        assert_eq!(stats.orders, eo, "orders count must match Table 1");
+        assert_eq!(stats.lineitems, el, "lineitem count must match Table 1");
+        const MB: f64 = 1024.0 * 1024.0;
+        report.push(
+            format!("{s}"),
+            vec![
+                ("customer_tuples".into(), stats.customers as f64),
+                ("customer_mb".into(), stats.customer_bytes as f64 / MB),
+                ("orders_tuples".into(), stats.orders as f64),
+                ("orders_mb".into(), stats.orders_bytes as f64 / MB),
+                ("lineitem_tuples".into(), stats.lineitems as f64),
+                ("lineitem_mb".into(), stats.lineitem_bytes as f64 / MB),
+            ],
+        );
+        eprintln!("s={s}: generated {} tuples", ec + eo + el);
+    }
+    report.print();
+    println!();
+    println!(
+        "paper reference (per unit s): customer 0.15M/23MB, orders 1.5M/114MB, lineitem 6M/755MB"
+    );
+}

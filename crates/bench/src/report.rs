@@ -1,0 +1,181 @@
+//! Tabular experiment reports.
+//!
+//! Every experiment binary prints the same rows/series the paper reports,
+//! as an aligned text table plus a JSON line per row (for downstream
+//! plotting).
+
+use serde::Serialize;
+
+/// One row of an experiment: an x-value plus named series values.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    /// X-axis label (e.g. `h=3`, `N=20000`, `p=40%`).
+    pub x: String,
+    /// (series name, value) pairs.
+    pub values: Vec<(String, f64)>,
+}
+
+/// A whole experiment's output.
+#[derive(Clone, Debug, Serialize)]
+pub struct ExperimentReport {
+    /// Experiment id, e.g. `figure6`.
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Column header for the x-axis.
+    pub x_label: String,
+    /// Rows in x order.
+    pub rows: Vec<Row>,
+}
+
+impl ExperimentReport {
+    /// New empty report.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+    ) -> Self {
+        ExperimentReport {
+            id: id.into(),
+            title: title.into(),
+            x_label: x_label.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    pub fn push(&mut self, x: impl Into<String>, values: Vec<(String, f64)>) {
+        self.rows.push(Row {
+            x: x.into(),
+            values,
+        });
+    }
+
+    /// Render as an aligned text table.
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        if self.rows.is_empty() {
+            out.push_str("(no rows)\n");
+            return out;
+        }
+        let series: Vec<&str> = self.rows[0]
+            .values
+            .iter()
+            .map(|(n, _)| n.as_str())
+            .collect();
+        let mut widths: Vec<usize> = Vec::new();
+        widths.push(
+            self.rows
+                .iter()
+                .map(|r| r.x.len())
+                .chain([self.x_label.len()])
+                .max()
+                .unwrap_or(4),
+        );
+        for (i, s) in series.iter().enumerate() {
+            let w = self
+                .rows
+                .iter()
+                .map(|r| format_value(r.values[i].1).len())
+                .chain([s.len()])
+                .max()
+                .unwrap_or(8);
+            widths.push(w);
+        }
+        // Header.
+        out.push_str(&format!("{:<w$}", self.x_label, w = widths[0]));
+        for (i, s) in series.iter().enumerate() {
+            out.push_str(&format!("  {:>w$}", s, w = widths[i + 1]));
+        }
+        out.push('\n');
+        for r in &self.rows {
+            out.push_str(&format!("{:<w$}", r.x, w = widths[0]));
+            for (i, (_, v)) in r.values.iter().enumerate() {
+                out.push_str(&format!("  {:>w$}", format_value(*v), w = widths[i + 1]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Render as one JSON object per row (JSON Lines).
+    pub fn to_jsonl(&self) -> String {
+        self.rows
+            .iter()
+            .map(|r| {
+                let mut obj = serde_json::Map::new();
+                obj.insert("experiment".into(), self.id.clone().into());
+                obj.insert(self.x_label.clone(), r.x.clone().into());
+                for (name, v) in &r.values {
+                    obj.insert(
+                        name.clone(),
+                        serde_json::Number::from_f64(*v)
+                            .map(serde_json::Value::Number)
+                            .unwrap_or(serde_json::Value::Null),
+                    );
+                }
+                serde_json::Value::Object(obj).to_string()
+            })
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    /// Print table to stdout and JSONL to stdout (marked), the standard
+    /// finish of every experiment binary.
+    pub fn print(&self) {
+        println!("{}", self.to_table());
+        println!("--- jsonl ---");
+        println!("{}", self.to_jsonl());
+    }
+}
+
+/// Compact numeric formatting: integers plainly, small values in
+/// scientific notation, others with up to 4 significant decimals.
+fn format_value(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 1e6 || v.abs() < 1e-3 {
+        format!("{v:.3e}")
+    } else if (v - v.round()).abs() < 1e-9 {
+        format!("{}", v.round() as i64)
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut r = ExperimentReport::new("fig6", "Hit probability", "h");
+        r.push("1", vec![("CLOCK".into(), 0.8312), ("2Q".into(), 0.8761)]);
+        r.push("2", vec![("CLOCK".into(), 0.9514), ("2Q".into(), 0.97)]);
+        let t = r.to_table();
+        assert!(t.contains("fig6"));
+        assert!(t.contains("CLOCK"));
+        assert!(t.contains("0.8312"));
+    }
+
+    #[test]
+    fn jsonl_has_one_object_per_row() {
+        let mut r = ExperimentReport::new("fig7", "t", "N");
+        r.push("10000", vec![("hit".into(), 0.9)]);
+        r.push("20000", vec![("hit".into(), 0.95)]);
+        let j = r.to_jsonl();
+        assert_eq!(j.lines().count(), 2);
+        let v: serde_json::Value = serde_json::from_str(j.lines().next().unwrap()).unwrap();
+        assert_eq!(v["experiment"], "fig7");
+        assert_eq!(v["hit"], 0.9);
+    }
+
+    #[test]
+    fn value_formatting() {
+        assert_eq!(format_value(0.0), "0");
+        assert_eq!(format_value(5.0), "5");
+        assert_eq!(format_value(0.00001), "1.000e-5");
+        assert_eq!(format_value(0.25), "0.2500");
+    }
+}

@@ -1,0 +1,145 @@
+//! Plain LRU, included for the paper's stated future work ("identify other
+//! algorithms that perform better than both CLOCK and 2Q", Section 4.1).
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use crate::{AdmitOutcome, ReplacementPolicy};
+
+/// Least-recently-used over a logical access clock.
+pub struct LruPolicy<K> {
+    /// key → last-access stamp.
+    stamps: HashMap<K, u64>,
+    /// stamp → key (stamps are unique).
+    order: BTreeMap<u64, K>,
+    clock: u64,
+    capacity: usize,
+}
+
+impl<K: Clone + Eq + Hash + Debug> LruPolicy<K> {
+    /// LRU with `capacity` resident entries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LRU capacity must be positive");
+        LruPolicy {
+            stamps: HashMap::with_capacity(capacity),
+            order: BTreeMap::new(),
+            clock: 0,
+            capacity,
+        }
+    }
+
+    fn bump(&mut self, key: &K) {
+        if let Some(stamp) = self.stamps.get_mut(key) {
+            self.order.remove(stamp);
+            self.clock += 1;
+            *stamp = self.clock;
+            self.order.insert(self.clock, key.clone());
+        }
+    }
+}
+
+impl<K: Clone + Eq + Hash + Debug> ReplacementPolicy<K> for LruPolicy<K> {
+    fn contains(&self, key: &K) -> bool {
+        self.stamps.contains_key(key)
+    }
+
+    fn touch(&mut self, key: &K) {
+        self.bump(key);
+    }
+
+    fn admit(&mut self, key: K) -> AdmitOutcome<K> {
+        if self.stamps.contains_key(&key) {
+            self.bump(&key);
+            return AdmitOutcome::Resident { evicted: vec![] };
+        }
+        let mut evicted = Vec::new();
+        if self.stamps.len() == self.capacity {
+            let (&oldest, _) = self.order.iter().next().expect("non-empty at capacity");
+            let victim = self.order.remove(&oldest).expect("stamp present");
+            self.stamps.remove(&victim);
+            evicted.push(victim);
+        }
+        self.clock += 1;
+        self.stamps.insert(key.clone(), self.clock);
+        self.order.insert(self.clock, key);
+        AdmitOutcome::Resident { evicted }
+    }
+
+    fn remove(&mut self, key: &K) {
+        if let Some(stamp) = self.stamps.remove(key) {
+            self.order.remove(&stamp);
+        }
+    }
+
+    fn resident_count(&self) -> usize {
+        self.stamps.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn resident_keys(&self) -> Vec<K> {
+        self.order.values().cloned().collect()
+    }
+
+    fn name(&self) -> &'static str {
+        "LRU"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recent() {
+        let mut l = LruPolicy::new(2);
+        l.admit(1u32);
+        l.admit(2);
+        let out = l.admit(3);
+        assert_eq!(out.evicted(), &[1]);
+        assert!(l.contains(&2) && l.contains(&3));
+    }
+
+    #[test]
+    fn touch_refreshes_recency() {
+        let mut l = LruPolicy::new(2);
+        l.admit(1u32);
+        l.admit(2);
+        l.touch(&1);
+        let out = l.admit(3);
+        assert_eq!(out.evicted(), &[2]);
+    }
+
+    #[test]
+    fn readmit_refreshes_without_eviction() {
+        let mut l = LruPolicy::new(2);
+        l.admit(1u32);
+        l.admit(2);
+        assert_eq!(l.admit(1), AdmitOutcome::Resident { evicted: vec![] });
+        let out = l.admit(3);
+        assert_eq!(out.evicted(), &[2]);
+    }
+
+    #[test]
+    fn remove_then_refill() {
+        let mut l = LruPolicy::new(2);
+        l.admit(1u32);
+        l.admit(2);
+        l.remove(&1);
+        assert_eq!(l.resident_count(), 1);
+        assert_eq!(l.admit(3).evicted(), &[] as &[u32]);
+    }
+
+    #[test]
+    fn resident_keys_in_lru_order() {
+        let mut l = LruPolicy::new(3);
+        l.admit(1u32);
+        l.admit(2);
+        l.admit(3);
+        l.touch(&1);
+        assert_eq!(l.resident_keys(), vec![2, 3, 1]);
+    }
+}

@@ -1,0 +1,227 @@
+//! Full 2Q (Johnson & Shasha, VLDB '94), as opposed to the paper's
+//! *simplified* 2Q: three queues —
+//!
+//! * `A1in`: a FIFO of recently admitted keys, **resident**;
+//! * `A1out`: a FIFO of ghost keys recently expelled from `A1in`
+//!   (metadata only, not resident);
+//! * `Am`: the main LRU, holding keys re-referenced while in `A1out`.
+//!
+//! A first-time key enters `A1in` (so one-shot scans never pollute `Am`);
+//! only a reference *after* it has aged out into `A1out` proves recurring
+//! interest and promotes it to `Am`. Included as an ablation point next
+//! to the paper's simplified 2Q.
+
+use std::collections::{HashSet, VecDeque};
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use crate::lru::LruPolicy;
+use crate::{AdmitOutcome, ReplacementPolicy};
+
+/// Full 2Q: resident set = `Am ∪ A1in`.
+pub struct TwoQFullPolicy<K> {
+    am: LruPolicy<K>,
+    a1in: VecDeque<K>,
+    a1in_set: HashSet<K>,
+    a1in_capacity: usize,
+    a1out: VecDeque<K>,
+    a1out_set: HashSet<K>,
+    a1out_capacity: usize,
+    capacity: usize,
+}
+
+impl<K: Clone + Eq + Hash + Debug> TwoQFullPolicy<K> {
+    /// Full 2Q with `capacity` resident entries, using the classic
+    /// tuning: `Kin = capacity/4` (min 1), `Kout = capacity/2` (min 1).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 2, "full 2Q needs capacity >= 2");
+        let a1in_capacity = (capacity / 4).max(1);
+        TwoQFullPolicy {
+            am: LruPolicy::new(capacity - a1in_capacity),
+            a1in: VecDeque::with_capacity(a1in_capacity),
+            a1in_set: HashSet::with_capacity(a1in_capacity),
+            a1in_capacity,
+            a1out: VecDeque::new(),
+            a1out_set: HashSet::new(),
+            a1out_capacity: (capacity / 2).max(1),
+            capacity,
+        }
+    }
+
+    /// Is `key` in the ghost queue?
+    pub fn in_ghost(&self, key: &K) -> bool {
+        self.a1out_set.contains(key)
+    }
+
+    fn drop_from_a1in(&mut self, key: &K) {
+        if self.a1in_set.remove(key) {
+            if let Some(pos) = self.a1in.iter().position(|k| k == key) {
+                self.a1in.remove(pos);
+            }
+        }
+    }
+
+    fn drop_from_a1out(&mut self, key: &K) {
+        if self.a1out_set.remove(key) {
+            if let Some(pos) = self.a1out.iter().position(|k| k == key) {
+                self.a1out.remove(pos);
+            }
+        }
+    }
+
+    /// Expel the A1in head into A1out; returns the evicted (resident)
+    /// key.
+    fn age_out_a1in(&mut self) -> Option<K> {
+        let victim = self.a1in.pop_front()?;
+        self.a1in_set.remove(&victim);
+        if self.a1out.len() == self.a1out_capacity {
+            if let Some(old) = self.a1out.pop_front() {
+                self.a1out_set.remove(&old);
+            }
+        }
+        self.a1out_set.insert(victim.clone());
+        self.a1out.push_back(victim.clone());
+        Some(victim)
+    }
+}
+
+impl<K: Clone + Eq + Hash + Debug> ReplacementPolicy<K> for TwoQFullPolicy<K> {
+    fn contains(&self, key: &K) -> bool {
+        self.am.contains(key) || self.a1in_set.contains(key)
+    }
+
+    fn touch(&mut self, key: &K) {
+        // A1in entries deliberately do NOT move on re-reference (that is
+        // 2Q's scan resistance); Am entries refresh their LRU position.
+        self.am.touch(key);
+    }
+
+    fn admit(&mut self, key: K) -> AdmitOutcome<K> {
+        if self.am.contains(&key) {
+            self.am.touch(&key);
+            return AdmitOutcome::Resident { evicted: vec![] };
+        }
+        if self.a1in_set.contains(&key) {
+            return AdmitOutcome::Resident { evicted: vec![] };
+        }
+        if self.a1out_set.contains(&key) {
+            // Proven recurring: promote to Am.
+            self.drop_from_a1out(&key);
+            return self.am.admit(key);
+        }
+        // First sighting: resident via A1in.
+        let mut evicted = Vec::new();
+        if self.a1in.len() == self.a1in_capacity {
+            if let Some(victim) = self.age_out_a1in() {
+                evicted.push(victim);
+            }
+        }
+        self.a1in_set.insert(key.clone());
+        self.a1in.push_back(key);
+        AdmitOutcome::Resident { evicted }
+    }
+
+    fn remove(&mut self, key: &K) {
+        self.am.remove(key);
+        self.drop_from_a1in(key);
+        self.drop_from_a1out(key);
+    }
+
+    fn resident_count(&self) -> usize {
+        self.am.resident_count() + self.a1in.len()
+    }
+
+    fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn resident_keys(&self) -> Vec<K> {
+        let mut keys = self.am.resident_keys();
+        keys.extend(self.a1in.iter().cloned());
+        keys
+    }
+
+    fn name(&self) -> &'static str {
+        "2Q-full"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_sighting_is_resident_via_a1in() {
+        let mut q = TwoQFullPolicy::new(8);
+        let out = q.admit(1u32);
+        assert!(out.is_resident());
+        assert!(q.contains(&1));
+        assert_eq!(q.resident_count(), 1);
+    }
+
+    #[test]
+    fn one_shot_scan_does_not_reach_am() {
+        let mut q = TwoQFullPolicy::new(8); // Kin = 2, Kout = 4
+        for k in 0..20u32 {
+            q.admit(k);
+        }
+        // A scan of 20 distinct keys leaves only Kin of them resident.
+        assert_eq!(q.resident_count(), 2);
+        assert!(q.contains(&19) && q.contains(&18));
+    }
+
+    #[test]
+    fn reference_from_ghost_promotes_to_am() {
+        let mut q = TwoQFullPolicy::new(8); // Kin = 2, Kout = 4
+        q.admit(1u32);
+        q.admit(2);
+        q.admit(3); // 1 ages out into A1out
+        assert!(!q.contains(&1));
+        assert!(q.in_ghost(&1));
+        let out = q.admit(1);
+        assert!(out.is_resident());
+        assert!(q.contains(&1), "ghost re-reference lands in Am");
+        // Now survives further scans.
+        for k in 10..30u32 {
+            q.admit(k);
+        }
+        assert!(q.contains(&1), "Am member survives a scan");
+    }
+
+    #[test]
+    fn ghost_queue_is_bounded() {
+        let mut q = TwoQFullPolicy::new(8); // Kout = 4
+        for k in 0..50u32 {
+            q.admit(k);
+        }
+        assert!(q.a1out.len() <= 4);
+        assert_eq!(q.a1out.len(), q.a1out_set.len());
+    }
+
+    #[test]
+    fn remove_clears_all_queues() {
+        let mut q = TwoQFullPolicy::new(8);
+        q.admit(1u32);
+        q.remove(&1);
+        assert!(!q.contains(&1));
+        q.admit(2u32);
+        q.admit(3u32);
+        q.admit(4u32); // 2 aged out to ghost
+        q.remove(&2);
+        assert!(!q.in_ghost(&2));
+        // Re-admission of 2 is a fresh first sighting (A1in), not a
+        // promotion.
+        q.admit(2u32);
+        assert!(q.contains(&2));
+        assert!(!q.in_ghost(&2));
+    }
+
+    #[test]
+    fn resident_never_exceeds_capacity() {
+        let mut q = TwoQFullPolicy::new(6);
+        for k in 0..200u32 {
+            q.admit(k % 37);
+            assert!(q.resident_count() <= 6, "at key {k}");
+        }
+    }
+}

@@ -1,0 +1,517 @@
+//! The `pmv-cli` session: a small command language over the PMV system.
+//!
+//! ```text
+//! load tpcr 0.01                         generate TPC-R data at scale s
+//! tables                                 list relations
+//! template <name> <SQL>                  define a template (see parser)
+//! pmv <template> [f=N] [l=N] [policy=clock|2q|2qfull|lru|lru2]
+//! query <template> <binding> …           run through the PMV pipeline
+//! plain <template> <binding> …           run without the PMV
+//! explain <template> <binding> …         show the plan
+//! stats [<template>]                     PMV statistics
+//! advisor                                recommend PMVs from the trace
+//! help | quit
+//! ```
+//!
+//! Bindings: one per `?` slot, in order. Equality slots take
+//! `[v1,v2,…]`; interval slots take `[lo..hi,lo2..hi2,…]` (half-open).
+//! Integer and 'string' values are supported.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use pmv_cache::PolicyKind;
+use pmv_core::{AdvisorConfig, PartialViewDef, Pmv, PmvAdvisor, PmvConfig, PmvPipeline};
+use pmv_query::{
+    parse_template, CondForm, Condition, Database, Interval, QueryInstance, QueryTemplate,
+};
+use pmv_storage::Value;
+use pmv_workload::tpcr::{self, TpcrConfig};
+
+/// An interactive session: database + templates + PMVs + advisor.
+pub struct Session {
+    db: Database,
+    templates: HashMap<String, Arc<QueryTemplate>>,
+    pmvs: HashMap<String, Pmv>,
+    pipeline: PmvPipeline,
+    advisor: PmvAdvisor,
+}
+
+impl Default for Session {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Session {
+    /// Fresh session with an empty database.
+    pub fn new() -> Self {
+        Session {
+            db: Database::new(),
+            templates: HashMap::new(),
+            pmvs: HashMap::new(),
+            pipeline: PmvPipeline::new(),
+            advisor: PmvAdvisor::new(),
+        }
+    }
+
+    /// Direct access for embedding (tests, examples).
+    pub fn database_mut(&mut self) -> &mut Database {
+        &mut self.db
+    }
+
+    /// Execute one command line; returns the text to print.
+    pub fn execute(&mut self, line: &str) -> Result<String, String> {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            return Ok(String::new());
+        }
+        let (cmd, rest) = match line.split_once(char::is_whitespace) {
+            Some((c, r)) => (c, r.trim()),
+            None => (line, ""),
+        };
+        match cmd.to_ascii_lowercase().as_str() {
+            "help" => Ok(HELP.to_string()),
+            "load" => self.cmd_load(rest),
+            "tables" => self.cmd_tables(),
+            "template" => self.cmd_template(rest),
+            "pmv" => self.cmd_pmv(rest),
+            "query" => self.cmd_query(rest, Mode::Pmv),
+            "plain" => self.cmd_query(rest, Mode::Plain),
+            "explain" => self.cmd_query(rest, Mode::Explain),
+            "stats" => self.cmd_stats(rest),
+            "advisor" => self.cmd_advisor(),
+            "quit" | "exit" => Err("bye".to_string()),
+            other => Err(format!("unknown command '{other}' (try: help)")),
+        }
+    }
+
+    fn cmd_load(&mut self, rest: &str) -> Result<String, String> {
+        let mut parts = rest.split_whitespace();
+        match parts.next() {
+            Some("tpcr") => {
+                let scale: f64 = parts
+                    .next()
+                    .unwrap_or("0.01")
+                    .parse()
+                    .map_err(|_| "bad scale factor".to_string())?;
+                tpcr::generate(
+                    &mut self.db,
+                    &TpcrConfig {
+                        scale,
+                        seed: 0xc0ffee,
+                        pad: false,
+                        date_supplier_pool: Some(2),
+                    },
+                )
+                .map_err(|e| e.to_string())?;
+                tpcr::standard_indexes(&mut self.db).map_err(|e| e.to_string())?;
+                Ok(format!(
+                    "loaded TPC-R at s={scale}: {} customers, {} orders, {} lineitems (indexed)",
+                    self.db.len("customer").map_err(|e| e.to_string())?,
+                    self.db.len("orders").map_err(|e| e.to_string())?,
+                    self.db.len("lineitem").map_err(|e| e.to_string())?,
+                ))
+            }
+            _ => Err("usage: load tpcr <scale>".to_string()),
+        }
+    }
+
+    fn cmd_tables(&mut self) -> Result<String, String> {
+        let mut out = String::new();
+        for name in ["customer", "orders", "lineitem"] {
+            if let Ok(n) = self.db.len(name) {
+                let _ = writeln!(out, "{name}: {n} tuples");
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no known tables; use `load tpcr <scale>`)\n");
+        }
+        Ok(out)
+    }
+
+    fn cmd_template(&mut self, rest: &str) -> Result<String, String> {
+        let (name, sql) = rest
+            .split_once(char::is_whitespace)
+            .ok_or("usage: template <name> <SQL>")?;
+        let t = parse_template(name, sql.trim(), &self.db).map_err(|e| e.to_string())?;
+        let summary = format!(
+            "template '{}': {} relation(s), {} join(s), {} fixed pred(s), {} condition slot(s)",
+            name,
+            t.relations().len(),
+            t.joins().len(),
+            t.fixed_preds().len(),
+            t.cond_count()
+        );
+        self.templates.insert(name.to_string(), t);
+        Ok(summary)
+    }
+
+    fn cmd_pmv(&mut self, rest: &str) -> Result<String, String> {
+        let mut parts = rest.split_whitespace();
+        let name = parts
+            .next()
+            .ok_or("usage: pmv <template> [f=N] [l=N] [policy=...]")?;
+        let template = self
+            .templates
+            .get(name)
+            .ok_or_else(|| format!("unknown template '{name}'"))?
+            .clone();
+        let mut config = PmvConfig::default();
+        for opt in parts {
+            let (k, v) = opt.split_once('=').ok_or(format!("bad option '{opt}'"))?;
+            match k {
+                "f" => config.f = v.parse().map_err(|_| "bad f")?,
+                "l" => config.l = v.parse().map_err(|_| "bad l")?,
+                "policy" => {
+                    config.policy = match v.to_ascii_lowercase().as_str() {
+                        "clock" => PolicyKind::Clock,
+                        "2q" => PolicyKind::TwoQ,
+                        "lru" => PolicyKind::Lru,
+                        "lru2" | "lru-2" => PolicyKind::LruK,
+                        "2qfull" | "2q-full" => PolicyKind::TwoQFull,
+                        other => return Err(format!("unknown policy '{other}'")),
+                    }
+                }
+                other => return Err(format!("unknown option '{other}'")),
+            }
+        }
+        // Interval-form conditions get a discretizer learned later (via
+        // advisor) or a simple default grid here.
+        let discretizers = template
+            .cond_templates()
+            .iter()
+            .map(|ct| match ct.form {
+                CondForm::Equality => None,
+                CondForm::Interval => Some(pmv_core::Discretizer::int_grid(0, 100, 64)),
+            })
+            .collect();
+        let def = PartialViewDef::new(format!("pmv_{name}"), template, discretizers)
+            .map_err(|e| e.to_string())?;
+        let summary = format!(
+            "PMV for '{}': F={}, L={}, policy={}",
+            name,
+            config.f,
+            config.l,
+            config.policy.name()
+        );
+        self.pmvs.insert(name.to_string(), Pmv::new(def, config));
+        Ok(summary)
+    }
+
+    fn bind(&self, template: &Arc<QueryTemplate>, args: &str) -> Result<QueryInstance, String> {
+        let bindings = parse_bindings(args)?;
+        if bindings.len() != template.cond_count() {
+            return Err(format!(
+                "template has {} condition slot(s), got {} binding(s)",
+                template.cond_count(),
+                bindings.len()
+            ));
+        }
+        let conds: Vec<Condition> = bindings
+            .into_iter()
+            .zip(template.cond_templates())
+            .map(|(b, ct)| match (b, ct.form) {
+                (Binding::Values(vs), CondForm::Equality) => Ok(Condition::Equality(vs)),
+                (Binding::Ranges(rs), CondForm::Interval) => Ok(Condition::Intervals(rs)),
+                (Binding::Values(_), CondForm::Interval) => {
+                    Err("interval slot needs [lo..hi] ranges".to_string())
+                }
+                (Binding::Ranges(_), CondForm::Equality) => {
+                    Err("equality slot needs [v1,v2] values".to_string())
+                }
+            })
+            .collect::<Result<_, _>>()?;
+        template.bind(conds).map_err(|e| e.to_string())
+    }
+
+    fn cmd_query(&mut self, rest: &str, mode: Mode) -> Result<String, String> {
+        let (name, args) = rest
+            .split_once(char::is_whitespace)
+            .map(|(n, a)| (n, a.trim()))
+            .unwrap_or((rest, ""));
+        let template = self
+            .templates
+            .get(name)
+            .ok_or_else(|| format!("unknown template '{name}'"))?
+            .clone();
+        let q = self.bind(&template, args)?;
+        self.advisor.observe(&q);
+        match mode {
+            Mode::Explain => Ok(pmv_query::explain(&self.db, &q)),
+            Mode::Plain => {
+                let (rows, _, elapsed) = self
+                    .pipeline
+                    .run_plain(&self.db, &q)
+                    .map_err(|e| e.to_string())?;
+                Ok(format!("{} row(s) in {elapsed:?} (no PMV)", rows.len()))
+            }
+            Mode::Pmv => {
+                let pmv = self
+                    .pmvs
+                    .get_mut(name)
+                    .ok_or_else(|| format!("no PMV for '{name}' (use: pmv {name})"))?;
+                let out = self
+                    .pipeline
+                    .run(&self.db, pmv, &q)
+                    .map_err(|e| e.to_string())?;
+                let mut text = format!(
+                    "{} row(s) immediately in {:?}, {} after execution ({:?}); hit={}",
+                    out.partial.len(),
+                    out.timings.o2,
+                    out.remaining.len(),
+                    out.timings.exec,
+                    out.bcp_hit
+                );
+                for t in out.partial.iter().take(5) {
+                    let _ = write!(text, "\n  early: {t}");
+                }
+                Ok(text)
+            }
+        }
+    }
+
+    fn cmd_stats(&mut self, rest: &str) -> Result<String, String> {
+        let mut out = String::new();
+        for (name, pmv) in &self.pmvs {
+            if !rest.is_empty() && rest != name {
+                continue;
+            }
+            let s = pmv.stats();
+            let _ = writeln!(
+                out,
+                "{name}: {} queries, hit {:.1}%, {} tuples served early, \
+                 store {} entries / {} tuples / {} bytes, policy {}",
+                s.queries,
+                s.hit_probability() * 100.0,
+                s.partial_tuples_served,
+                pmv.store().entry_count(),
+                pmv.store().tuple_count(),
+                pmv.store().byte_size(),
+                pmv.store().policy_name(),
+            );
+        }
+        if out.is_empty() {
+            out.push_str("(no PMVs yet)\n");
+        }
+        Ok(out)
+    }
+
+    fn cmd_advisor(&mut self) -> Result<String, String> {
+        let recs = self
+            .advisor
+            .recommend(&AdvisorConfig {
+                min_queries: 3,
+                ..Default::default()
+            })
+            .map_err(|e| e.to_string())?;
+        if recs.is_empty() {
+            return Ok("no recommendations yet (run more queries)".to_string());
+        }
+        let mut out = String::new();
+        for r in recs {
+            let _ = writeln!(
+                out,
+                "recommend PMV '{}' for template '{}': F={}, L={}, observed {} queries (mean h {:.1})",
+                r.def.name(),
+                r.def.template().name(),
+                r.config.f,
+                r.config.l,
+                r.queries,
+                r.mean_h,
+            );
+        }
+        Ok(out)
+    }
+}
+
+enum Mode {
+    Pmv,
+    Plain,
+    Explain,
+}
+
+/// A parsed binding: values for an equality slot, ranges for an interval
+/// slot.
+#[derive(Debug, PartialEq)]
+enum Binding {
+    Values(Vec<Value>),
+    Ranges(Vec<Interval>),
+}
+
+/// Parse `[1,2] ['a'] [10..20,30..40]` into bindings.
+fn parse_bindings(args: &str) -> Result<Vec<Binding>, String> {
+    let mut out = Vec::new();
+    let mut rest = args.trim();
+    while !rest.is_empty() {
+        if !rest.starts_with('[') {
+            return Err(format!("expected '[' at '{rest}'"));
+        }
+        let end = rest.find(']').ok_or("missing ']'")?;
+        let inner = &rest[1..end];
+        out.push(parse_binding(inner)?);
+        rest = rest[end + 1..].trim_start();
+    }
+    Ok(out)
+}
+
+fn parse_binding(inner: &str) -> Result<Binding, String> {
+    let items: Vec<&str> = inner
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
+    if items.is_empty() {
+        return Err("empty binding".to_string());
+    }
+    if items[0].contains("..") {
+        let mut ranges = Vec::with_capacity(items.len());
+        for item in items {
+            let (lo, hi) = item.split_once("..").ok_or(format!("bad range '{item}'"))?;
+            let lo = parse_value(lo.trim())?;
+            let hi = parse_value(hi.trim())?;
+            ranges.push(Interval {
+                lo: std::ops::Bound::Included(lo),
+                hi: std::ops::Bound::Excluded(hi),
+            });
+        }
+        Ok(Binding::Ranges(ranges))
+    } else {
+        items
+            .into_iter()
+            .map(parse_value)
+            .collect::<Result<_, _>>()
+            .map(Binding::Values)
+    }
+}
+
+fn parse_value(s: &str) -> Result<Value, String> {
+    if let Some(stripped) = s.strip_prefix('\'').and_then(|x| x.strip_suffix('\'')) {
+        return Ok(Value::str(stripped));
+    }
+    if let Ok(i) = s.parse::<i64>() {
+        return Ok(Value::Int(i));
+    }
+    if let Ok(f) = s.parse::<f64>() {
+        return Ok(Value::Double(f));
+    }
+    Err(format!("cannot parse value '{s}'"))
+}
+
+const HELP: &str = "\
+commands:
+  load tpcr <scale>                 generate TPC-R data
+  tables                            list relations
+  template <name> <SQL>             define a template (slots: col = ? | col BETWEEN ?)
+  pmv <template> [f=N] [l=N] [policy=clock|2q|2qfull|lru|lru2]
+  query <template> [v,..] [lo..hi,..]   run through the PMV
+  plain <template> <bindings>       run without the PMV
+  explain <template> <bindings>     show the plan
+  stats [<template>]                PMV statistics
+  advisor                           recommend PMVs from the observed trace
+  help | quit";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loaded_session() -> Session {
+        let mut s = Session::new();
+        s.execute("load tpcr 0.001").unwrap();
+        s.execute(
+            "template t1 SELECT * FROM orders, lineitem \
+             WHERE orders.orderkey = lineitem.orderkey \
+             AND orders.orderdate = ? AND lineitem.suppkey = ?",
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn full_session_flow() {
+        let mut s = loaded_session();
+        let out = s.execute("pmv t1 f=3 l=1000 policy=2q").unwrap();
+        assert!(out.contains("F=3"));
+        assert!(out.contains("2Q"));
+        // Query twice: second should hit (2Q needs two admissions, so
+        // warm three times).
+        for _ in 0..3 {
+            s.execute("query t1 [100] [1]").unwrap();
+        }
+        let out = s.execute("query t1 [100] [1]").unwrap();
+        assert!(out.contains("hit="), "{out}");
+        let stats = s.execute("stats").unwrap();
+        assert!(stats.contains("t1:"), "{stats}");
+        let plain = s.execute("plain t1 [100] [1]").unwrap();
+        assert!(plain.contains("no PMV"));
+    }
+
+    #[test]
+    fn explain_prints_plan() {
+        let mut s = loaded_session();
+        let out = s.execute("explain t1 [100] [1]").unwrap();
+        assert!(out.contains("drive: orders"), "{out}");
+        assert!(out.contains("join: lineitem"), "{out}");
+    }
+
+    #[test]
+    fn advisor_recommends_after_queries() {
+        let mut s = loaded_session();
+        s.execute("pmv t1").unwrap();
+        for i in 0..5 {
+            s.execute(&format!("query t1 [{i}] [1]")).unwrap();
+        }
+        let out = s.execute("advisor").unwrap();
+        assert!(out.contains("recommend PMV"), "{out}");
+        assert!(out.contains("template 't1'"), "{out}");
+    }
+
+    #[test]
+    fn binding_parser() {
+        assert_eq!(
+            parse_bindings("[1,2] ['x']").unwrap(),
+            vec![
+                Binding::Values(vec![Value::Int(1), Value::Int(2)]),
+                Binding::Values(vec![Value::str("x")]),
+            ]
+        );
+        let r = parse_bindings("[10..20,30..40]").unwrap();
+        match &r[0] {
+            Binding::Ranges(ivs) => {
+                assert_eq!(ivs.len(), 2);
+                assert!(ivs[0].contains(&Value::Int(10)));
+                assert!(!ivs[0].contains(&Value::Int(20)));
+            }
+            other => panic!("expected ranges, got {other:?}"),
+        }
+        assert!(parse_bindings("[1").is_err());
+        assert!(parse_bindings("nope").is_err());
+        assert!(parse_bindings("[]").is_err());
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        let mut s = Session::new();
+        assert!(s.execute("bogus").is_err());
+        assert!(s
+            .execute("template t SELECT * FROM nosuch WHERE nosuch.x = ?")
+            .is_err());
+        assert!(s.execute("query missing [1]").is_err());
+        assert!(s.execute("load tpcr abc").is_err());
+        // Comments and blanks are fine.
+        assert_eq!(s.execute("# a comment").unwrap(), "");
+        assert_eq!(s.execute("   ").unwrap(), "");
+        // Arity mismatch.
+        let mut s = loaded_session();
+        assert!(s.execute("query t1 [1]").is_err());
+        // Interval binding on an equality slot.
+        assert!(s.execute("query t1 [1..2] [1]").is_err());
+    }
+
+    #[test]
+    fn quit_signals_termination() {
+        let mut s = Session::new();
+        assert_eq!(s.execute("quit").unwrap_err(), "bye");
+    }
+}

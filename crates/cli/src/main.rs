@@ -1,0 +1,61 @@
+//! `pmv-cli` — interactive shell for the PMV system.
+//!
+//! ```bash
+//! cargo run --release -p pmv-cli              # interactive
+//! cargo run --release -p pmv-cli script.pmv   # run a command script
+//! ```
+
+use std::io::{BufRead, Write};
+
+use pmv_cli::Session;
+
+fn main() {
+    let mut session = Session::new();
+    let args: Vec<String> = std::env::args().collect();
+
+    if let Some(path) = args.get(1) {
+        // Script mode: run each line, echoing commands and output.
+        let script = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        for line in script.lines() {
+            if line.trim().is_empty() || line.trim_start().starts_with('#') {
+                continue;
+            }
+            println!("pmv> {line}");
+            match session.execute(line) {
+                Ok(out) if out.is_empty() => {}
+                Ok(out) => println!("{out}"),
+                Err(e) if e == "bye" => return,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        return;
+    }
+
+    println!("pmv-cli — Partial Materialized Views (type `help`)");
+    let stdin = std::io::stdin();
+    loop {
+        print!("pmv> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        match session.execute(&line) {
+            Ok(out) if out.is_empty() => {}
+            Ok(out) => println!("{out}"),
+            Err(e) if e == "bye" => break,
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}

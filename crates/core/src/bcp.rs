@@ -1,0 +1,397 @@
+//! Basic condition parts (Section 3.1).
+//!
+//! For each interval-form selection condition `Ci`, the RDBMS knows
+//! "dividing values" that split the attribute's entire range `E_i` into
+//! non-overlapping *basic intervals* that fully cover `E_i`; each basic
+//! interval gets an id. A **basic condition part** (bcp) is then an
+//! m-tuple with, per condition, either an equality value (equality form)
+//! or a basic-interval id (interval form) — exactly how the paper stores
+//! bcps: "if d_i is of the form R.a = b_i, value b_i is stored; if d_i is
+//! an interval, the id of (b_i, c_i) is stored."
+
+use std::fmt;
+use std::ops::Bound;
+
+use pmv_query::Interval;
+use pmv_storage::{HeapSize, Value};
+
+/// One dimension of a [`BcpKey`].
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BcpDim {
+    /// Equality-form condition: the equality value itself.
+    Eq(Value),
+    /// Interval-form condition: the basic interval's id.
+    Iv(u32),
+}
+
+impl fmt::Display for BcpDim {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BcpDim::Eq(v) => write!(f, "{v}"),
+            BcpDim::Iv(id) => write!(f, "#{id}"),
+        }
+    }
+}
+
+/// A basic condition part: one [`BcpDim`] per selection condition.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BcpKey {
+    dims: Box<[BcpDim]>,
+}
+
+impl BcpKey {
+    /// Build from dimensions (one per condition, in `Cselect` order).
+    pub fn new(dims: impl Into<Box<[BcpDim]>>) -> Self {
+        BcpKey { dims: dims.into() }
+    }
+
+    /// Dimensions.
+    pub fn dims(&self) -> &[BcpDim] {
+        &self.dims
+    }
+
+    /// Number of dimensions (`m`).
+    pub fn arity(&self) -> usize {
+        self.dims.len()
+    }
+}
+
+impl fmt::Debug for BcpKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bcp(")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl HeapSize for BcpKey {
+    fn heap_size(&self) -> usize {
+        self.dims.len() * std::mem::size_of::<BcpDim>()
+            + self
+                .dims
+                .iter()
+                .map(|d| match d {
+                    BcpDim::Eq(v) => v.heap_size(),
+                    BcpDim::Iv(_) => 0,
+                })
+                .sum::<usize>()
+    }
+}
+
+/// Discretizer for one interval-form condition: sorted dividing values
+/// splitting `E = (-∞, +∞)` into half-open basic intervals
+/// `(-∞, d_0), [d_0, d_1), …, [d_{n-1}, +∞)` with ids `0..=n`.
+///
+/// ```
+/// use pmv_core::Discretizer;
+/// use pmv_storage::Value;
+///
+/// let d = Discretizer::new(vec![Value::Int(10), Value::Int(20)]);
+/// assert_eq!(d.interval_count(), 3);
+/// assert_eq!(d.id_of(&Value::Int(5)), 0);   // (-inf, 10)
+/// assert_eq!(d.id_of(&Value::Int(10)), 1);  // [10, 20)
+/// assert_eq!(d.id_of(&Value::Int(25)), 2);  // [20, +inf)
+/// ```
+///
+/// The half-open convention makes the basic intervals a true partition
+/// (every domain value belongs to exactly one basic interval), which the
+/// paper requires ("non-overlapping basic intervals … fully cover E_i").
+#[derive(Clone, Debug, PartialEq)]
+pub struct Discretizer {
+    dividers: Vec<Value>,
+}
+
+impl Discretizer {
+    /// Build from dividing values; they are sorted and deduplicated.
+    pub fn new(mut dividers: Vec<Value>) -> Self {
+        dividers.sort();
+        dividers.dedup();
+        Discretizer { dividers }
+    }
+
+    /// Evenly spaced integer dividers: `lo, lo+step, …` (`count` of them).
+    /// Convenience for benchmarks and form-based UIs with regular ranges.
+    pub fn int_grid(lo: i64, step: i64, count: usize) -> Self {
+        assert!(step > 0, "grid step must be positive");
+        Discretizer {
+            dividers: (0..count as i64)
+                .map(|i| Value::Int(lo + i * step))
+                .collect(),
+        }
+    }
+
+    /// Learn dividing values from a trace of query intervals, per
+    /// Section 3.1: "the continuous feature discretization technique in
+    /// machine learning can automatically learn dividing values from
+    /// query traces", and in form-based applications "these from values
+    /// and to values can serve as dividing values."
+    ///
+    /// Every bounded endpoint observed in the trace becomes a candidate
+    /// divider — intervals then align exactly with basic-interval
+    /// boundaries, which is the criterion the paper states ("the
+    /// resulting basic intervals can be used to differentiate hot
+    /// results from cold results"). When candidates exceed
+    /// `max_dividers`, the most *frequent* endpoints are kept (hot form
+    /// choices recur in a trace; rare ones matter least).
+    pub fn learn_from_trace(trace: &[Interval], max_dividers: usize) -> Self {
+        use std::collections::HashMap;
+        assert!(max_dividers > 0, "need at least one divider");
+        let mut freq: HashMap<Value, usize> = HashMap::new();
+        for iv in trace {
+            for b in [&iv.lo, &iv.hi] {
+                match b {
+                    Bound::Included(v) | Bound::Excluded(v) => {
+                        *freq.entry(v.clone()).or_insert(0) += 1;
+                    }
+                    Bound::Unbounded => {}
+                }
+            }
+        }
+        let mut candidates: Vec<(Value, usize)> = freq.into_iter().collect();
+        // Most frequent first; ties broken by value for determinism.
+        candidates.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        candidates.truncate(max_dividers);
+        Discretizer::new(candidates.into_iter().map(|(v, _)| v).collect())
+    }
+
+    /// The dividing values, sorted.
+    pub fn dividers(&self) -> &[Value] {
+        &self.dividers
+    }
+
+    /// Number of basic intervals (`dividers + 1`).
+    pub fn interval_count(&self) -> usize {
+        self.dividers.len() + 1
+    }
+
+    /// Id of the basic interval containing `v`.
+    pub fn id_of(&self, v: &Value) -> u32 {
+        self.dividers.partition_point(|d| d <= v) as u32
+    }
+
+    /// The basic interval with id `id`.
+    pub fn interval_of(&self, id: u32) -> Interval {
+        let id = id as usize;
+        assert!(id < self.interval_count(), "basic interval id out of range");
+        let lo = if id == 0 {
+            Bound::Unbounded
+        } else {
+            Bound::Included(self.dividers[id - 1].clone())
+        };
+        let hi = if id == self.dividers.len() {
+            Bound::Unbounded
+        } else {
+            Bound::Excluded(self.dividers[id].clone())
+        };
+        Interval { lo, hi }
+    }
+
+    /// Ids of all basic intervals that overlap `query` (the paper's `J_r`
+    /// sets in Operation O1), in ascending order.
+    pub fn overlapping_ids(&self, query: &Interval) -> std::ops::RangeInclusive<u32> {
+        let first = match &query.lo {
+            Bound::Unbounded => 0,
+            Bound::Included(v) | Bound::Excluded(v) => self.id_of(v),
+        };
+        let last = match &query.hi {
+            Bound::Unbounded => (self.interval_count() - 1) as u32,
+            Bound::Included(v) => self.id_of(v),
+            Bound::Excluded(v) => {
+                // An interval ending exactly at a divider (exclusive) does
+                // not reach the basic interval that starts there.
+                let id = self.id_of(v);
+                if id > 0 && self.dividers[id as usize - 1] == *v {
+                    id - 1
+                } else {
+                    id
+                }
+            }
+        };
+        first..=last
+    }
+
+    /// The portion of basic interval `id` covered by `query`
+    /// (intersection), or `None` if they do not overlap. Also reports
+    /// whether the fragment covers the whole basic interval.
+    pub fn fragment(&self, id: u32, query: &Interval) -> Option<(Interval, bool)> {
+        let basic = self.interval_of(id);
+        let frag = basic.intersect(query)?;
+        let whole = frag == basic;
+        Some((frag, whole))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: i64) -> Value {
+        Value::Int(x)
+    }
+
+    #[test]
+    fn id_of_partitions_domain() {
+        let d = Discretizer::new(vec![v(10), v(20), v(30)]);
+        assert_eq!(d.interval_count(), 4);
+        assert_eq!(d.id_of(&v(-100)), 0);
+        assert_eq!(d.id_of(&v(9)), 0);
+        assert_eq!(d.id_of(&v(10)), 1); // divider belongs to the right
+        assert_eq!(d.id_of(&v(19)), 1);
+        assert_eq!(d.id_of(&v(20)), 2);
+        assert_eq!(d.id_of(&v(30)), 3);
+        assert_eq!(d.id_of(&v(1000)), 3);
+    }
+
+    #[test]
+    fn interval_of_roundtrips_with_id_of() {
+        let d = Discretizer::new(vec![v(10), v(20)]);
+        for x in [-5i64, 0, 9, 10, 15, 19, 20, 25, 100] {
+            let id = d.id_of(&v(x));
+            assert!(
+                d.interval_of(id).contains(&v(x)),
+                "value {x} must lie in its own basic interval"
+            );
+        }
+    }
+
+    #[test]
+    fn basic_intervals_are_disjoint_and_cover() {
+        let d = Discretizer::new(vec![v(10), v(20)]);
+        let all: Vec<Interval> = (0..d.interval_count() as u32)
+            .map(|i| d.interval_of(i))
+            .collect();
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[..i] {
+                assert!(!a.overlaps(b), "{a} overlaps {b}");
+            }
+        }
+        // Coverage at and around dividers.
+        for x in [9i64, 10, 11, 19, 20, 21] {
+            assert!(all.iter().any(|iv| iv.contains(&v(x))));
+        }
+    }
+
+    #[test]
+    fn overlapping_ids_basic() {
+        let d = Discretizer::new(vec![v(10), v(20), v(30)]);
+        // (12, 28) overlaps basic intervals [10,20) and [20,30).
+        assert_eq!(d.overlapping_ids(&Interval::open(12i64, 28i64)), 1..=2);
+        // (5, 35) overlaps all four.
+        assert_eq!(d.overlapping_ids(&Interval::open(5i64, 35i64)), 0..=3);
+        // Unbounded covers everything.
+        assert_eq!(d.overlapping_ids(&Interval::everything()), 0..=3);
+    }
+
+    #[test]
+    fn overlapping_ids_at_divider_boundaries() {
+        let d = Discretizer::new(vec![v(10), v(20)]);
+        // [10, 20) is exactly basic interval 1.
+        assert_eq!(d.overlapping_ids(&Interval::half_open(10i64, 20i64)), 1..=1);
+        // (10, 20] touches basic 1 and basic 2 (value 20 itself).
+        assert_eq!(d.overlapping_ids(&Interval::open(10i64, 20i64)), 1..=1);
+        assert_eq!(d.overlapping_ids(&Interval::closed(10i64, 20i64)), 1..=2);
+        // [5, 10) stays in basic 0 even though it ends at the divider.
+        assert_eq!(d.overlapping_ids(&Interval::half_open(5i64, 10i64)), 0..=0);
+    }
+
+    #[test]
+    fn fragment_detects_whole_coverage() {
+        let d = Discretizer::new(vec![v(10), v(20)]);
+        // Query (5, 25) fully covers basic 1 = [10, 20).
+        let q = Interval::open(5i64, 25i64);
+        let (frag, whole) = d.fragment(1, &q).unwrap();
+        assert!(whole);
+        assert_eq!(frag, d.interval_of(1));
+        // Partially covers basic 0 and basic 2.
+        let (frag0, whole0) = d.fragment(0, &q).unwrap();
+        assert!(!whole0);
+        assert!(frag0.contains(&v(6)));
+        assert!(!frag0.contains(&v(5)));
+        let (_, whole2) = d.fragment(2, &q).unwrap();
+        assert!(!whole2);
+        // Non-overlapping id.
+        let far = Interval::open(100i64, 200i64);
+        assert!(d.fragment(0, &far).is_none());
+    }
+
+    #[test]
+    fn int_grid_spacing() {
+        let d = Discretizer::int_grid(0, 10, 3); // dividers 0, 10, 20
+        assert_eq!(d.dividers(), &[v(0), v(10), v(20)]);
+        assert_eq!(d.interval_count(), 4);
+        assert_eq!(d.id_of(&v(-1)), 0);
+        assert_eq!(d.id_of(&v(0)), 1);
+        assert_eq!(d.id_of(&v(15)), 2);
+    }
+
+    #[test]
+    fn learn_from_trace_uses_endpoints() {
+        let trace = vec![
+            Interval::half_open(10i64, 20i64),
+            Interval::half_open(10i64, 30i64),
+            Interval::above(20i64, true),
+        ];
+        let d = Discretizer::learn_from_trace(&trace, 10);
+        assert_eq!(d.dividers(), &[v(10), v(20), v(30)]);
+        // Every trace interval now aligns with basic-interval borders:
+        // its fragments are whole basic intervals.
+        for iv in &trace {
+            for id in d.overlapping_ids(iv) {
+                let (_, whole) = d.fragment(id, iv).unwrap();
+                assert!(whole, "interval {iv} fragment {id} not whole");
+            }
+        }
+    }
+
+    #[test]
+    fn learn_from_trace_keeps_hottest_endpoints() {
+        let mut trace = Vec::new();
+        for _ in 0..10 {
+            trace.push(Interval::half_open(100i64, 200i64)); // hot
+        }
+        trace.push(Interval::half_open(1i64, 2i64)); // rare
+        let d = Discretizer::learn_from_trace(&trace, 2);
+        assert_eq!(d.dividers(), &[v(100), v(200)]);
+    }
+
+    #[test]
+    fn learn_from_trace_ignores_unbounded_sides() {
+        let trace = vec![Interval::everything(), Interval::below(7i64, false)];
+        let d = Discretizer::learn_from_trace(&trace, 5);
+        assert_eq!(d.dividers(), &[v(7)]);
+    }
+
+    #[test]
+    fn dividers_sorted_and_deduped() {
+        let d = Discretizer::new(vec![v(20), v(10), v(20)]);
+        assert_eq!(d.dividers(), &[v(10), v(20)]);
+    }
+
+    #[test]
+    fn bcp_key_equality_and_display() {
+        let a = BcpKey::new(vec![BcpDim::Eq(v(5)), BcpDim::Iv(3)]);
+        let b = BcpKey::new(vec![BcpDim::Eq(v(5)), BcpDim::Iv(3)]);
+        let c = BcpKey::new(vec![BcpDim::Eq(v(5)), BcpDim::Iv(4)]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(format!("{a:?}"), "bcp(5, #3)");
+        assert_eq!(a.arity(), 2);
+    }
+
+    #[test]
+    fn string_attribute_discretization() {
+        // The paper notes interval attributes "can be non-numerical (e.g.,
+        // string)".
+        let d = Discretizer::new(vec![Value::str("g"), Value::str("p")]);
+        assert_eq!(d.id_of(&Value::str("apple")), 0);
+        assert_eq!(d.id_of(&Value::str("grape")), 1);
+        assert_eq!(d.id_of(&Value::str("zebra")), 2);
+        let ids = d.overlapping_ids(&Interval::closed("b", "h"));
+        assert_eq!(ids, 0..=1);
+    }
+}

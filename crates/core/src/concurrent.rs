@@ -1,0 +1,171 @@
+//! Thread-safe PMV embedding.
+//!
+//! [`crate::pipeline::PmvPipeline::run`] takes `&mut Pmv`, which forces
+//! single-writer access; [`SharedPmv`] packages the locking a
+//! multi-threaded embedder needs: an internal mutex over the PMV, the
+//! shared [`PmvPipeline`] (whose S/X protocol serializes queries against
+//! maintainers per Section 3.6), and clone-to-share semantics.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use pmv_query::Database;
+use pmv_storage::DeltaBatch;
+
+use crate::maintenance::MaintenanceOutcome;
+use crate::pipeline::{Pmv, PmvPipeline, QueryOutcome};
+use crate::stats::PmvStats;
+use crate::Result;
+
+/// A clonable, thread-safe handle to one PMV.
+#[derive(Clone)]
+pub struct SharedPmv {
+    inner: Arc<Mutex<Pmv>>,
+    pipeline: PmvPipeline,
+}
+
+impl SharedPmv {
+    /// Wrap a PMV for shared use; all clones use `pipeline`'s lock
+    /// manager for the S/X protocol.
+    pub fn new(pmv: Pmv, pipeline: PmvPipeline) -> Self {
+        SharedPmv {
+            inner: Arc::new(Mutex::new(pmv)),
+            pipeline,
+        }
+    }
+
+    /// The shared pipeline.
+    pub fn pipeline(&self) -> &PmvPipeline {
+        &self.pipeline
+    }
+
+    /// Run a query (O1/O2/O3) under the internal lock.
+    pub fn run(&self, db: &Database, q: &pmv_query::QueryInstance) -> Result<QueryOutcome> {
+        let mut pmv = self.inner.lock();
+        self.pipeline.run(db, &mut pmv, q)
+    }
+
+    /// Apply a maintenance batch under the internal lock.
+    pub fn maintain(&self, db: &Database, batch: &DeltaBatch) -> Result<MaintenanceOutcome> {
+        let mut pmv = self.inner.lock();
+        self.pipeline.maintain(db, &mut pmv, batch)
+    }
+
+    /// Inspect the PMV under the lock.
+    pub fn with<R>(&self, f: impl FnOnce(&Pmv) -> R) -> R {
+        let pmv = self.inner.lock();
+        f(&pmv)
+    }
+
+    /// Mutate the PMV under the lock (e.g. `revalidate`, `reset_stats`).
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut Pmv) -> R) -> R {
+        let mut pmv = self.inner.lock();
+        f(&mut pmv)
+    }
+
+    /// Snapshot of the statistics.
+    pub fn stats(&self) -> PmvStats {
+        *self.inner.lock().stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::view::{PartialViewDef, PmvConfig};
+    use pmv_cache::PolicyKind;
+    use pmv_index::IndexDef;
+    use pmv_query::{Condition, TemplateBuilder, Transaction};
+    use pmv_storage::{tuple, Column, ColumnType, Schema, Value};
+
+    fn setup() -> (Database, SharedPmv) {
+        let mut db = Database::new();
+        db.create_relation(Schema::new(
+            "r",
+            vec![
+                Column::new("a", ColumnType::Int),
+                Column::new("f", ColumnType::Int),
+            ],
+        ))
+        .unwrap();
+        for i in 0..500i64 {
+            db.insert("r", tuple![i, i % 10]).unwrap();
+        }
+        db.create_index(IndexDef::btree("r", vec![1])).unwrap();
+        let t = TemplateBuilder::new("t")
+            .relation(db.schema("r").unwrap())
+            .select("r", "a")
+            .unwrap()
+            .cond_eq("r", "f")
+            .unwrap()
+            .build()
+            .unwrap();
+        let pmv = Pmv::new(
+            PartialViewDef::all_equality("shared", t).unwrap(),
+            PmvConfig::new(3, 16, PolicyKind::Clock),
+        );
+        (db, SharedPmv::new(pmv, PmvPipeline::new()))
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let (db, shared) = setup();
+        let clone = shared.clone();
+        let t = shared.with(|p| p.def().template().clone());
+        let q = t
+            .bind(vec![Condition::Equality(vec![Value::Int(3)])])
+            .unwrap();
+        shared.run(&db, &q).unwrap();
+        // The clone sees the warm cache.
+        let out = clone.run(&db, &q).unwrap();
+        assert!(out.bcp_hit);
+        assert_eq!(clone.stats().queries, 2);
+    }
+
+    #[test]
+    fn concurrent_queries_and_maintenance_stay_consistent() {
+        let (db, shared) = setup();
+        let db = Arc::new(parking_lot::RwLock::new(db));
+        let t = shared.with(|p| p.def().template().clone());
+
+        let mut handles = Vec::new();
+        for thread in 0..4 {
+            let shared = shared.clone();
+            let db = Arc::clone(&db);
+            let t = t.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..50i64 {
+                    if thread == 0 && i % 5 == 0 {
+                        // Maintainer thread: insert + maintain.
+                        let mut guard = db.write();
+                        let mut txn = Transaction::begin(&mut guard);
+                        txn.insert(
+                            "r",
+                            pmv_storage::Tuple::new(vec![Value::Int(1000 + i), Value::Int(i % 10)]),
+                        )
+                        .unwrap();
+                        let batches = txn.commit();
+                        let read = parking_lot::RwLockWriteGuard::downgrade(guard);
+                        for b in &batches {
+                            shared.maintain(&read, b).unwrap();
+                        }
+                    } else {
+                        let q = t
+                            .bind(vec![Condition::Equality(vec![Value::Int(i % 10)])])
+                            .unwrap();
+                        let guard = db.read();
+                        let out = shared.run(&guard, &q).unwrap();
+                        assert_eq!(out.ds_leftover, 0, "stale partial result");
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let guard = db.read();
+        let removed = shared.with_mut(|p| p.revalidate(&guard).unwrap());
+        assert_eq!(removed, 0, "no stale tuples after concurrent run");
+        assert!(shared.stats().queries > 100);
+    }
+}

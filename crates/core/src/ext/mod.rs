@@ -1,0 +1,15 @@
+//! Extensions sketched in the paper's Section 3.6 and conclusion:
+//! DISTINCT queries, aggregate (GROUP BY) queries, EXISTS-nested queries,
+//! and popularity ranking of result tuples.
+
+pub mod aggregate;
+pub mod distinct;
+pub mod exists;
+pub mod order_by;
+pub mod ranking;
+
+pub use aggregate::{run_aggregate, AggFn, AggValue, AggregateOutcome, GroupBySpec};
+pub use distinct::{run_distinct, DistinctOutcome};
+pub use exists::{exists_accelerated, ExistsOutcome};
+pub use order_by::{run_ordered, Direction, OrderBy, OrderedOutcome};
+pub use ranking::rank_by_popularity;

@@ -1,0 +1,88 @@
+//! # pmv-core — Partial Materialized Views
+//!
+//! The primary contribution of *Partial Materialized Views* (Gang Luo,
+//! ICDE 2007), built on the workspace's storage/index/query substrates.
+//!
+//! A **PMV** caches, for one parameterized query template, up to `F`
+//! result tuples for each of up to `L` *basic condition parts* — the
+//! discretized cells of the template's selection space. On query arrival
+//! the PMV is probed first and any cached results are returned within
+//! microseconds (Operation O2); the query then executes normally and the
+//! remaining results follow, deduplicated through the multiset `DS`
+//! (Operation O3). The cached content adapts to the query pattern via a
+//! replacement policy (CLOCK/2Q/…), is filled and updated *for free* from
+//! observed result tuples, needs **no maintenance on inserts**, and is
+//! kept consistent on deletes/updates by joining `ΔR` with the other base
+//! relations.
+//!
+//! Module map (paper section in parentheses):
+//!
+//! * [`bcp`] — basic intervals, discretizers, bcp keys (3.1)
+//! * [`view`] — PMV definitions and config (3.2)
+//! * [`o1`] — decomposition of `Cselect` into condition parts (3.3, O1)
+//! * [`store`] — the bounded, policy-managed result store (3.2, 3.5)
+//! * [`ds`] — the O2/O3 dedup multiset (3.3)
+//! * [`pipeline`] — Operations O1/O2/O3 with S-locking (3.3, 3.6)
+//! * [`maintenance`] — deferred maintenance under X locks (3.4)
+//! * [`mv`] — traditional-MV and small-MV baselines (2.2, 2.3)
+//! * [`ext`] — DISTINCT / aggregate / EXISTS / popularity-ranking
+//!   extensions (3.6 and the conclusion)
+//! * [`stats`] — cumulative counters, hit probability
+
+pub mod advisor;
+pub mod bcp;
+pub mod concurrent;
+pub mod ds;
+pub mod ext;
+pub mod maint_filter;
+pub mod maintenance;
+pub mod manager;
+pub mod mv;
+pub mod o1;
+pub mod pipeline;
+pub mod stats;
+pub mod store;
+pub mod view;
+
+pub use advisor::{AdvisorConfig, PmvAdvisor, Recommendation};
+pub use bcp::{BcpDim, BcpKey, Discretizer};
+pub use concurrent::SharedPmv;
+pub use ds::Ds;
+pub use maint_filter::MaintFilter;
+pub use maintenance::MaintenanceOutcome;
+pub use manager::PmvManager;
+pub use mv::{SmallMvSet, TraditionalMv};
+pub use o1::{decompose, ConditionPart, PartDim};
+pub use pipeline::{Pmv, PmvPipeline, QueryOutcome, QueryTimings};
+pub use stats::PmvStats;
+pub use store::{PmvStore, Residency};
+pub use view::{PartialViewDef, PmvConfig};
+
+/// Errors from the PMV layer.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Bad PMV definition or query/definition mismatch.
+    Definition(String),
+    /// Underlying query/storage failure.
+    Query(pmv_query::QueryError),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Definition(msg) => write!(f, "pmv definition error: {msg}"),
+            CoreError::Query(e) => write!(f, "query error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<pmv_query::QueryError> for CoreError {
+    fn from(e: pmv_query::QueryError) -> Self {
+        CoreError::Query(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,251 @@
+//! Maintenance filter indices on V_PM attributes (Section 3.4):
+//!
+//! > "In many cases, we can avoid this join computation by building
+//! > indices on some attributes of V_PM. Due to space constraints, the
+//! > details of this method are available in \[25\]."
+//!
+//! Our instantiation: for each base relation `R_i`, consider the columns
+//! of `R_i` that appear in the expanded select list `Ls'`. Every view
+//! tuple derived from a base tuple `t ∈ R_i` must agree with `t` on those
+//! columns, so a multiset index from (those columns' values) → count over
+//! the *cached* view tuples gives a sound filter: if a deleted tuple's
+//! projection is absent, no cached tuple can be affected and the
+//! `ΔR ⋈ R_j` join is skipped entirely.
+//!
+//! The filter is maintained incrementally by the store on every cached
+//! tuple added, removed, or evicted — cheap in-memory hash updates, which
+//! is exactly why Figure 11's PMV maintenance cost is two orders of
+//! magnitude below the MV's.
+
+use std::collections::HashMap;
+
+use pmv_query::QueryTemplate;
+use pmv_storage::{Tuple, Value};
+
+/// Per-relation projection spec: which `Ls'` positions hold relation
+/// `i`'s attributes, and which base-relation columns they correspond to.
+#[derive(Clone, Debug)]
+struct RelSpec {
+    /// Positions in the `Ls'` result layout.
+    view_positions: Vec<usize>,
+    /// Matching column indices in the base relation.
+    base_columns: Vec<usize>,
+}
+
+/// Multiset filter index over cached view tuples, one map per base
+/// relation.
+pub struct MaintFilter {
+    specs: Vec<RelSpec>,
+    /// `counts[i]`: projection of cached view tuples onto relation i's
+    /// attributes → number of cached tuples with that projection.
+    counts: Vec<HashMap<Box<[Value]>, usize>>,
+    /// Joins skipped thanks to the filter (for reporting).
+    joins_avoided: u64,
+}
+
+impl MaintFilter {
+    /// Build the (empty) filter for a template.
+    pub fn new(template: &QueryTemplate) -> Self {
+        let n = template.relations().len();
+        let mut specs = Vec::with_capacity(n);
+        for rel in 0..n {
+            let mut view_positions = Vec::new();
+            let mut base_columns = Vec::new();
+            for (pos, attr) in template.expanded_list().iter().enumerate() {
+                if attr.relation == rel {
+                    view_positions.push(pos);
+                    base_columns.push(attr.column);
+                }
+            }
+            specs.push(RelSpec {
+                view_positions,
+                base_columns,
+            });
+        }
+        MaintFilter {
+            specs,
+            counts: vec![HashMap::new(); n],
+            joins_avoided: 0,
+        }
+    }
+
+    fn view_key(&self, rel: usize, view_tuple: &Tuple) -> Box<[Value]> {
+        self.specs[rel]
+            .view_positions
+            .iter()
+            .map(|&p| view_tuple.get(p).clone())
+            .collect()
+    }
+
+    fn base_key(&self, rel: usize, base_tuple: &Tuple) -> Box<[Value]> {
+        self.specs[rel]
+            .base_columns
+            .iter()
+            .map(|&c| base_tuple.get(c).clone())
+            .collect()
+    }
+
+    /// Register a cached view tuple.
+    pub fn add(&mut self, view_tuple: &Tuple) {
+        for rel in 0..self.specs.len() {
+            let key = self.view_key(rel, view_tuple);
+            *self.counts[rel].entry(key).or_insert(0) += 1;
+        }
+    }
+
+    /// Unregister a cached view tuple.
+    pub fn remove(&mut self, view_tuple: &Tuple) {
+        for rel in 0..self.specs.len() {
+            let key = self.view_key(rel, view_tuple);
+            match self.counts[rel].get_mut(&key) {
+                Some(n) if *n > 1 => *n -= 1,
+                Some(_) => {
+                    self.counts[rel].remove(&key);
+                }
+                None => debug_assert!(false, "filter underflow for relation {rel}"),
+            }
+        }
+    }
+
+    /// Could deleting `base_tuple` from relation `rel` affect any cached
+    /// tuple? `false` means the ΔR join can be skipped (sound, never a
+    /// false negative). Relations contributing no `Ls'` attribute always
+    /// return `true` (the filter has no information).
+    pub fn may_affect(&mut self, rel: usize, base_tuple: &Tuple) -> bool {
+        if self.specs[rel].view_positions.is_empty() {
+            return true;
+        }
+        let key = self.base_key(rel, base_tuple);
+        let hit = self.counts[rel].contains_key(&key);
+        if !hit {
+            self.joins_avoided += 1;
+        }
+        hit
+    }
+
+    /// Number of ΔR joins the filter has skipped.
+    pub fn joins_avoided(&self) -> u64 {
+        self.joins_avoided
+    }
+
+    /// Total distinct projections tracked (diagnostic).
+    pub fn key_count(&self) -> usize {
+        self.counts.iter().map(HashMap::len).sum()
+    }
+
+    /// Validate against the full cached-tuple multiset (test helper).
+    pub fn validate(&self, cached: &[Tuple]) {
+        for rel in 0..self.specs.len() {
+            let mut expect: HashMap<Box<[Value]>, usize> = HashMap::new();
+            for t in cached {
+                *expect.entry(self.view_key(rel, t)).or_insert(0) += 1;
+            }
+            assert_eq!(
+                expect, self.counts[rel],
+                "filter drifted for relation {rel}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmv_query::TemplateBuilder;
+    use pmv_storage::{tuple, Column, ColumnType, Schema};
+
+    fn template() -> std::sync::Arc<QueryTemplate> {
+        TemplateBuilder::new("t")
+            .relation(Schema::new(
+                "r",
+                vec![
+                    Column::new("a", ColumnType::Int),
+                    Column::new("c", ColumnType::Int),
+                    Column::new("f", ColumnType::Int),
+                ],
+            ))
+            .relation(Schema::new(
+                "s",
+                vec![
+                    Column::new("d", ColumnType::Int),
+                    Column::new("e", ColumnType::Int),
+                    Column::new("g", ColumnType::Int),
+                ],
+            ))
+            .join("r", "c", "s", "d")
+            .unwrap()
+            .select("r", "a")
+            .unwrap()
+            .select("s", "e")
+            .unwrap()
+            .cond_eq("r", "f")
+            .unwrap()
+            .cond_eq("s", "g")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    // Ls' layout for this template: (r.a, s.e, r.f, s.g).
+
+    #[test]
+    fn add_then_may_affect() {
+        let t = template();
+        let mut filter = MaintFilter::new(&t);
+        // Cached view tuple: a=1, e=2, f=1, g=7.
+        filter.add(&tuple![1i64, 2i64, 1i64, 7i64]);
+        // Deleting r-tuple (a=1, c=4, f=1) projects to (a=1, f=1): match.
+        assert!(filter.may_affect(0, &tuple![1i64, 4i64, 1i64]));
+        // Different a: no cached tuple can be affected.
+        assert!(!filter.may_affect(0, &tuple![9i64, 4i64, 1i64]));
+        // s-side: (e=2, g=7) matches, (e=3, g=7) does not.
+        assert!(filter.may_affect(1, &tuple![4i64, 2i64, 7i64]));
+        assert!(!filter.may_affect(1, &tuple![4i64, 3i64, 7i64]));
+        assert_eq!(filter.joins_avoided(), 2);
+    }
+
+    #[test]
+    fn remove_clears_counts() {
+        let t = template();
+        let mut filter = MaintFilter::new(&t);
+        let v = tuple![1i64, 2i64, 1i64, 7i64];
+        filter.add(&v);
+        filter.add(&v);
+        filter.remove(&v);
+        // Still one copy cached: must match.
+        assert!(filter.may_affect(0, &tuple![1i64, 0i64, 1i64]));
+        filter.remove(&v);
+        assert!(!filter.may_affect(0, &tuple![1i64, 0i64, 1i64]));
+        assert_eq!(filter.key_count(), 0);
+    }
+
+    #[test]
+    fn validate_matches_multiset() {
+        let t = template();
+        let mut filter = MaintFilter::new(&t);
+        let tuples = vec![
+            tuple![1i64, 2i64, 1i64, 7i64],
+            tuple![1i64, 2i64, 1i64, 7i64],
+            tuple![7i64, 8i64, 3i64, 9i64],
+        ];
+        for tu in &tuples {
+            filter.add(tu);
+        }
+        filter.validate(&tuples);
+        filter.remove(&tuples[0]);
+        filter.validate(&tuples[1..]);
+    }
+
+    #[test]
+    fn relation_without_view_attrs_always_affects() {
+        // A template selecting only r attributes: s contributes nothing
+        // to Ls' beyond its condition attr... build one where s truly has
+        // no Ls' columns is impossible (cond attrs join Ls'), so check
+        // the guard directly with a handcrafted spec.
+        let t = template();
+        let mut filter = MaintFilter::new(&t);
+        filter.specs[1].view_positions.clear();
+        assert!(filter.may_affect(1, &tuple![0i64, 0i64, 0i64]));
+        assert_eq!(filter.joins_avoided(), 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Deferred PMV maintenance (Section 3.4).
+//!
+//! Upon a change `ΔR_i` to a base relation of the PMV:
+//!
+//! * **Insert** — "existing tuples in V_PM are not affected by this
+//!   insert. Hence, V_PM is not maintained immediately." New result tuples
+//!   flow in later, for free, through Operation O3 (the `c_j < F` refill
+//!   path).
+//! * **Delete** — compute `ΔR_i ⋈ R_j (j ≠ i)` and remove every join
+//!   result found in the PMV.
+//! * **Update** — if no attribute of `R_i` appearing in `Ls'` or `Cjoin`
+//!   changed, do nothing; otherwise proceed like a delete of the old
+//!   tuple (the insert side again needs no work).
+//!
+//! Maintenance takes an X lock on the PMV, which is what makes the O2/O3
+//! S lock sufficient for serializability (Section 3.6).
+//!
+//! Known limit of the deferred scheme (the paper defers details to its
+//! full version \[25\]): if one transaction deletes *matching* tuples from
+//! two base relations, the second relation's ΔR join can no longer see
+//! the first relation's deleted tuple, so a view tuple may survive. Use
+//! [`crate::pipeline::Pmv::revalidate`] after such transactions, or run
+//! maintenance per statement rather than per transaction.
+
+use std::collections::HashSet;
+
+use pmv_query::{exec::join_from, Database};
+use pmv_storage::{Delta, DeltaBatch, Tuple};
+
+use crate::pipeline::{Pmv, PmvPipeline};
+use crate::Result;
+
+/// What maintenance did for one delta batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MaintenanceOutcome {
+    /// Inserts that required no PMV work.
+    pub inserts_ignored: usize,
+    /// Deletes processed through the ΔR join.
+    pub deletes_joined: usize,
+    /// Updates skipped (no relevant attribute changed).
+    pub updates_ignored: usize,
+    /// Updates processed like deletes.
+    pub updates_joined: usize,
+    /// Join result rows computed across all ΔR joins.
+    pub join_rows: usize,
+    /// View tuples actually removed from the PMV.
+    pub view_tuples_removed: usize,
+    /// ΔR joins skipped by the Section 3.4 maintenance filter.
+    pub joins_avoided: usize,
+    /// True when the batch's relation is not a base relation of this PMV.
+    pub unrelated_relation: bool,
+}
+
+impl PmvPipeline {
+    /// Apply one relation's delta batch to the PMV.
+    pub fn maintain(
+        &self,
+        db: &Database,
+        pmv: &mut Pmv,
+        batch: &DeltaBatch,
+    ) -> Result<MaintenanceOutcome> {
+        let mut out = MaintenanceOutcome::default();
+        let template = pmv.def().template().clone();
+        let Some(rel_idx) = template
+            .relations()
+            .iter()
+            .position(|r| r == batch.relation())
+        else {
+            out.unrelated_relation = true;
+            return Ok(out);
+        };
+
+        let relevant = relevant_columns(&template, rel_idx);
+        let _x_lock = self.locks().lock_exclusive(pmv.def().name());
+
+        for delta in batch.deltas() {
+            match delta {
+                Delta::Insert { .. } => {
+                    out.inserts_ignored += 1;
+                    pmv.stats.maint_inserts_ignored += 1;
+                }
+                Delta::Delete { tuple, .. } => {
+                    out.deletes_joined += 1;
+                    pmv.stats.maint_deletes_joined += 1;
+                    remove_joined(db, pmv, &template, rel_idx, tuple, &mut out)?;
+                }
+                Delta::Update { old, .. } => {
+                    let changed = delta.changed_columns();
+                    if changed.iter().any(|c| relevant.contains(c)) {
+                        out.updates_joined += 1;
+                        pmv.stats.maint_updates_joined += 1;
+                        remove_joined(db, pmv, &template, rel_idx, old, &mut out)?;
+                    } else {
+                        out.updates_ignored += 1;
+                        pmv.stats.maint_updates_ignored += 1;
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Apply several batches (e.g. a whole transaction's) in order.
+    pub fn maintain_all(
+        &self,
+        db: &Database,
+        pmv: &mut Pmv,
+        batches: &[DeltaBatch],
+    ) -> Result<MaintenanceOutcome> {
+        let mut total = MaintenanceOutcome::default();
+        for b in batches {
+            let o = self.maintain(db, pmv, b)?;
+            total.inserts_ignored += o.inserts_ignored;
+            total.deletes_joined += o.deletes_joined;
+            total.updates_ignored += o.updates_ignored;
+            total.updates_joined += o.updates_joined;
+            total.join_rows += o.join_rows;
+            total.view_tuples_removed += o.view_tuples_removed;
+            total.joins_avoided += o.joins_avoided;
+        }
+        Ok(total)
+    }
+}
+
+/// Columns of relation `rel_idx` whose change can affect cached view
+/// tuples: those in `Ls'` or in `Cjoin` (join attributes and fixed
+/// predicates).
+fn relevant_columns(template: &pmv_query::QueryTemplate, rel_idx: usize) -> HashSet<usize> {
+    let mut cols = HashSet::new();
+    for a in template.expanded_list() {
+        if a.relation == rel_idx {
+            cols.insert(a.column);
+        }
+    }
+    for j in template.joins() {
+        if j.left.relation == rel_idx {
+            cols.insert(j.left.column);
+        }
+        if j.right.relation == rel_idx {
+            cols.insert(j.right.column);
+        }
+    }
+    for fp in template.fixed_preds() {
+        if fp.attr.relation == rel_idx {
+            cols.insert(fp.attr.column);
+        }
+    }
+    cols
+}
+
+/// Delete/update arm: join the old tuple against the other base relations
+/// and evict every matching view tuple.
+fn remove_joined(
+    db: &Database,
+    pmv: &mut Pmv,
+    template: &pmv_query::QueryTemplate,
+    rel_idx: usize,
+    tuple: &Tuple,
+    out: &mut MaintenanceOutcome,
+) -> Result<()> {
+    // Section 3.4 / [25]: light indices on V_PM attributes can prove the
+    // deleted tuple touches nothing cached, skipping the join.
+    if !pmv.store.may_affect(rel_idx, tuple) {
+        out.joins_avoided += 1;
+        return Ok(());
+    }
+    let rows = join_from(db, template, rel_idx, tuple)?;
+    out.join_rows += rows.len();
+    for row in rows {
+        let bcp = pmv.def().bcp_of_tuple(&row);
+        if pmv.store.remove_tuple(&bcp, &row) {
+            out.view_tuples_removed += 1;
+            pmv.stats.maint_tuples_removed += 1;
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,368 @@
+//! Multi-PMV management.
+//!
+//! The paper argues the RDBMS "can afford storing many PMVs" — with
+//! L = 10K, F = 2, At = 50 B a PMV is ≤ 1 MB, so memory holds hundreds
+//! (Section 3.2) — one per frequently used query template (the call-center
+//! scenario needs "many query templates", one `R_sale` per store or
+//! department). [`PmvManager`] owns a set of PMVs, routes queries to the
+//! right one by template identity, fans maintenance out to every PMV built
+//! over the changed relation, and enforces a global byte budget.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use pmv_query::{Database, QueryInstance, QueryTemplate};
+use pmv_storage::DeltaBatch;
+
+use crate::maintenance::MaintenanceOutcome;
+use crate::pipeline::{Pmv, PmvPipeline, QueryOutcome};
+use crate::view::{PartialViewDef, PmvConfig};
+use crate::{CoreError, Result};
+
+/// A named collection of PMVs sharing one pipeline (and thus one lock
+/// manager).
+pub struct PmvManager {
+    pipeline: PmvPipeline,
+    views: Vec<Pmv>,
+    /// template pointer identity → index into `views`.
+    by_template: HashMap<usize, usize>,
+    /// Optional global budget over Σ store byte sizes.
+    byte_budget: Option<usize>,
+}
+
+impl Default for PmvManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PmvManager {
+    /// Empty manager with a fresh pipeline.
+    pub fn new() -> Self {
+        PmvManager {
+            pipeline: PmvPipeline::new(),
+            views: Vec::new(),
+            by_template: HashMap::new(),
+            byte_budget: None,
+        }
+    }
+
+    /// Impose a global byte budget across all PMVs. [`Self::over_budget`]
+    /// reports violations; [`Self::shed`] trims the largest PMV until the
+    /// budget holds.
+    pub fn with_byte_budget(mut self, bytes: usize) -> Self {
+        self.byte_budget = Some(bytes);
+        self
+    }
+
+    /// The shared pipeline (for direct `run`/`maintain` calls).
+    pub fn pipeline(&self) -> &PmvPipeline {
+        &self.pipeline
+    }
+
+    fn template_key(t: &Arc<QueryTemplate>) -> usize {
+        Arc::as_ptr(t) as usize
+    }
+
+    /// Register a PMV for a template. One PMV per template.
+    pub fn create_view(&mut self, def: PartialViewDef, config: PmvConfig) -> Result<()> {
+        let key = Self::template_key(def.template());
+        if self.by_template.contains_key(&key) {
+            return Err(CoreError::Definition(format!(
+                "template '{}' already has a PMV",
+                def.template().name()
+            )));
+        }
+        self.by_template.insert(key, self.views.len());
+        self.views.push(Pmv::new(def, config));
+        Ok(())
+    }
+
+    /// Number of registered PMVs.
+    pub fn view_count(&self) -> usize {
+        self.views.len()
+    }
+
+    /// The PMV for a template, if registered.
+    pub fn view_for(&self, template: &Arc<QueryTemplate>) -> Option<&Pmv> {
+        self.by_template
+            .get(&Self::template_key(template))
+            .map(|&i| &self.views[i])
+    }
+
+    /// Mutable access by template (e.g. for `revalidate`).
+    pub fn view_for_mut(&mut self, template: &Arc<QueryTemplate>) -> Option<&mut Pmv> {
+        self.by_template
+            .get(&Self::template_key(template))
+            .map(|&i| &mut self.views[i])
+    }
+
+    /// Route a query to its template's PMV and run the O1/O2/O3 pipeline.
+    /// Queries over unregistered templates fail with a definition error;
+    /// use [`PmvPipeline::run_plain`] for those.
+    pub fn run(&mut self, db: &Database, q: &QueryInstance) -> Result<QueryOutcome> {
+        let idx = *self
+            .by_template
+            .get(&Self::template_key(q.template()))
+            .ok_or_else(|| {
+                CoreError::Definition(format!(
+                    "no PMV registered for template '{}'",
+                    q.template().name()
+                ))
+            })?;
+        self.pipeline.run(db, &mut self.views[idx], q)
+    }
+
+    /// Fan a delta batch out to every PMV whose template references the
+    /// changed relation. Returns one outcome per affected PMV.
+    pub fn maintain(
+        &mut self,
+        db: &Database,
+        batch: &DeltaBatch,
+    ) -> Result<Vec<(String, MaintenanceOutcome)>> {
+        let mut outcomes = Vec::new();
+        for pmv in &mut self.views {
+            let references = pmv
+                .def()
+                .template()
+                .relations()
+                .iter()
+                .any(|r| r == batch.relation());
+            if references {
+                let name = pmv.def().name().to_string();
+                let out = self.pipeline.maintain(db, pmv, batch)?;
+                outcomes.push((name, out));
+            }
+        }
+        Ok(outcomes)
+    }
+
+    /// Total bytes cached across all PMVs.
+    pub fn total_bytes(&self) -> usize {
+        self.views.iter().map(|p| p.store().byte_size()).sum()
+    }
+
+    /// Amount over the byte budget, if any.
+    pub fn over_budget(&self) -> usize {
+        match self.byte_budget {
+            Some(b) => self.total_bytes().saturating_sub(b),
+            None => 0,
+        }
+    }
+
+    /// Trim cached entries (largest store first, evicting its coldest
+    /// entries through the policy) until within budget. Returns tuples
+    /// dropped.
+    pub fn shed(&mut self) -> usize {
+        let Some(budget) = self.byte_budget else {
+            return 0;
+        };
+        let mut dropped = 0;
+        while self.total_bytes() > budget {
+            // Largest store pays.
+            let Some((idx, _)) = self
+                .views
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, p)| p.store().byte_size())
+            else {
+                break;
+            };
+            let pmv = &mut self.views[idx];
+            // Evict one entry: drop the first resident bcp's tuples.
+            let victim = pmv
+                .store()
+                .iter()
+                .next()
+                .map(|(k, ts)| (k.clone(), ts.to_vec()));
+            match victim {
+                Some((bcp, tuples)) => {
+                    for t in tuples {
+                        pmv.store.remove_tuple(&bcp, &t);
+                        dropped += 1;
+                    }
+                }
+                None => break, // nothing left to shed anywhere
+            }
+        }
+        dropped
+    }
+
+    /// Aggregate statistics across all PMVs.
+    pub fn aggregate_stats(&self) -> crate::stats::PmvStats {
+        let mut total = crate::stats::PmvStats::default();
+        for p in &self.views {
+            total.merge(p.stats());
+        }
+        total
+    }
+
+    /// Iterate over the registered PMVs.
+    pub fn views(&self) -> impl Iterator<Item = &Pmv> {
+        self.views.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmv_cache::PolicyKind;
+    use pmv_index::IndexDef;
+    use pmv_query::{Condition, TemplateBuilder, Transaction};
+    use pmv_storage::{tuple, Column, ColumnType, Schema, Value};
+
+    fn setup() -> (Database, Arc<QueryTemplate>, Arc<QueryTemplate>) {
+        let mut db = Database::new();
+        db.create_relation(Schema::new(
+            "r",
+            vec![
+                Column::new("a", ColumnType::Int),
+                Column::new("f", ColumnType::Int),
+            ],
+        ))
+        .unwrap();
+        for i in 0..200i64 {
+            db.insert("r", tuple![i, i % 10]).unwrap();
+        }
+        db.create_index(IndexDef::btree("r", vec![1])).unwrap();
+        let ta = TemplateBuilder::new("by_f")
+            .relation(db.schema("r").unwrap())
+            .select("r", "a")
+            .unwrap()
+            .cond_eq("r", "f")
+            .unwrap()
+            .build()
+            .unwrap();
+        let tb = TemplateBuilder::new("by_a")
+            .relation(db.schema("r").unwrap())
+            .select("r", "f")
+            .unwrap()
+            .cond_eq("r", "a")
+            .unwrap()
+            .build()
+            .unwrap();
+        (db, ta, tb)
+    }
+
+    fn mgr(ta: &Arc<QueryTemplate>, tb: &Arc<QueryTemplate>) -> PmvManager {
+        let mut m = PmvManager::new();
+        m.create_view(
+            PartialViewDef::all_equality("pmv_a", ta.clone()).unwrap(),
+            PmvConfig::new(2, 16, PolicyKind::Clock),
+        )
+        .unwrap();
+        m.create_view(
+            PartialViewDef::all_equality("pmv_b", tb.clone()).unwrap(),
+            PmvConfig::new(2, 16, PolicyKind::Clock),
+        )
+        .unwrap();
+        m
+    }
+
+    #[test]
+    fn routes_queries_by_template() {
+        let (db, ta, tb) = setup();
+        let mut m = mgr(&ta, &tb);
+        let qa = ta
+            .bind(vec![Condition::Equality(vec![Value::Int(3)])])
+            .unwrap();
+        let qb = tb
+            .bind(vec![Condition::Equality(vec![Value::Int(7)])])
+            .unwrap();
+        m.run(&db, &qa).unwrap();
+        m.run(&db, &qb).unwrap();
+        assert_eq!(m.view_for(&ta).unwrap().stats().queries, 1);
+        assert_eq!(m.view_for(&tb).unwrap().stats().queries, 1);
+        assert_eq!(m.aggregate_stats().queries, 2);
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let (_db, ta, tb) = setup();
+        let mut m = mgr(&ta, &tb);
+        let err = m.create_view(
+            PartialViewDef::all_equality("again", ta.clone()).unwrap(),
+            PmvConfig::default(),
+        );
+        assert!(err.is_err());
+        assert_eq!(m.view_count(), 2);
+    }
+
+    #[test]
+    fn unregistered_template_errors() {
+        let (db, ta, tb) = setup();
+        let mut m = PmvManager::new();
+        m.create_view(
+            PartialViewDef::all_equality("only_a", ta.clone()).unwrap(),
+            PmvConfig::default(),
+        )
+        .unwrap();
+        let qb = tb
+            .bind(vec![Condition::Equality(vec![Value::Int(1)])])
+            .unwrap();
+        assert!(m.run(&db, &qb).is_err());
+    }
+
+    #[test]
+    fn maintenance_fans_out_to_referencing_views() {
+        let (mut db, ta, tb) = setup();
+        let mut m = mgr(&ta, &tb);
+        // Warm both.
+        let qa = ta
+            .bind(vec![Condition::Equality(vec![Value::Int(3)])])
+            .unwrap();
+        let qb = tb
+            .bind(vec![Condition::Equality(vec![Value::Int(13)])])
+            .unwrap();
+        m.run(&db, &qa).unwrap();
+        m.run(&db, &qb).unwrap();
+        // Delete tuple (13, 3): both PMVs reference relation r.
+        let row = db
+            .relation("r")
+            .unwrap()
+            .read()
+            .iter()
+            .find(|(_, t)| t.get(0) == &Value::Int(13))
+            .map(|(r, _)| r)
+            .unwrap();
+        let mut txn = Transaction::begin(&mut db);
+        txn.delete("r", row).unwrap();
+        let batches = txn.commit();
+        let outcomes = m.maintain(&db, &batches[0]).unwrap();
+        assert_eq!(outcomes.len(), 2, "both PMVs must be maintained");
+        let removed: usize = outcomes.iter().map(|(_, o)| o.view_tuples_removed).sum();
+        assert!(
+            removed >= 1,
+            "the cached (13) tuple must be evicted somewhere"
+        );
+        // Queries stay consistent.
+        let out = m.run(&db, &qa).unwrap();
+        assert_eq!(out.ds_leftover, 0);
+        let out = m.run(&db, &qb).unwrap();
+        assert_eq!(out.ds_leftover, 0);
+    }
+
+    #[test]
+    fn byte_budget_shedding() {
+        let (db, ta, tb) = setup();
+        let mut m = mgr(&ta, &tb).with_byte_budget(200);
+        for f in 0..10i64 {
+            let q = ta
+                .bind(vec![Condition::Equality(vec![Value::Int(f)])])
+                .unwrap();
+            m.run(&db, &q).unwrap();
+        }
+        assert!(m.total_bytes() > 200);
+        assert!(m.over_budget() > 0);
+        let dropped = m.shed();
+        assert!(dropped > 0);
+        assert_eq!(m.over_budget(), 0);
+        // The system still answers correctly after shedding.
+        let q = ta
+            .bind(vec![Condition::Equality(vec![Value::Int(1)])])
+            .unwrap();
+        let out = m.run(&db, &q).unwrap();
+        assert_eq!(out.ds_leftover, 0);
+        assert_eq!(out.all_results().len(), 20);
+    }
+}

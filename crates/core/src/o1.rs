@@ -1,0 +1,339 @@
+//! Operation O1: break a query's `Cselect` into non-overlapping condition
+//! parts (Section 3.3).
+//!
+//! For each condition `Ci` a set `S_i` is formed — the equality values, or
+//! the fragments of basic intervals overlapped by the query's intervals —
+//! and `Cselect` is broken into the cross product `∏ S_i`. Each resulting
+//! condition part is either a basic condition part itself or is contained
+//! in exactly one (its *containing* bcp), as in the paper's Figure 5 grid.
+
+use pmv_query::{Condition, Interval, QueryInstance};
+use pmv_storage::{Tuple, Value};
+
+use crate::bcp::{BcpDim, BcpKey};
+use crate::view::PartialViewDef;
+use crate::{CoreError, Result};
+
+/// One dimension of a condition part: the actual (possibly clipped)
+/// constraint the query asks for in this dimension.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PartDim {
+    /// Equality constraint.
+    Eq(Value),
+    /// Interval constraint (a fragment of a basic interval).
+    Iv(Interval),
+}
+
+impl PartDim {
+    /// Whether `v` satisfies this dimension.
+    pub fn matches(&self, v: &Value) -> bool {
+        match self {
+            PartDim::Eq(x) => v == x,
+            PartDim::Iv(iv) => iv.contains(v),
+        }
+    }
+}
+
+/// A condition part: per-dimension constraints plus its containing bcp.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ConditionPart {
+    /// Per-condition constraints, in `Cselect` order.
+    pub dims: Vec<PartDim>,
+    /// The containing basic condition part.
+    pub bcp: BcpKey,
+    /// True iff this part *is* its containing bcp (every interval
+    /// dimension covers its whole basic interval).
+    pub is_basic: bool,
+}
+
+impl ConditionPart {
+    /// Whether an `Ls'`-layout tuple falls inside this part (used by
+    /// tests; Operation O2 checks the full `Cselect` instead, which is
+    /// equivalent for entry tuples of the containing bcp).
+    pub fn contains_tuple(&self, def: &PartialViewDef, tuple: &Tuple) -> bool {
+        self.dims
+            .iter()
+            .enumerate()
+            .all(|(i, d)| d.matches(tuple.get(def.template().cond_position(i))))
+    }
+}
+
+/// Per-dimension element used during cross-product construction.
+struct DimElement {
+    part: PartDim,
+    bcp: BcpDim,
+    whole: bool,
+}
+
+/// Hard cap on generated condition parts; queries beyond this are
+/// malformed for PMV purposes (the paper's h tops out at 10).
+pub const MAX_CONDITION_PARTS: usize = 1 << 20;
+
+/// Operation O1: decompose `q`'s `Cselect` into condition parts.
+pub fn decompose(def: &PartialViewDef, q: &QueryInstance) -> Result<Vec<ConditionPart>> {
+    def.check_instance(q)?;
+    let m = q.conds().len();
+    let mut per_dim: Vec<Vec<DimElement>> = Vec::with_capacity(m);
+    for (i, cond) in q.conds().iter().enumerate() {
+        let mut elems = Vec::new();
+        match cond {
+            Condition::Equality(values) => {
+                for v in values {
+                    elems.push(DimElement {
+                        part: PartDim::Eq(v.clone()),
+                        bcp: BcpDim::Eq(v.clone()),
+                        whole: true,
+                    });
+                }
+            }
+            Condition::Intervals(intervals) => {
+                let d = def
+                    .discretizer(i)
+                    .expect("interval-form condition has a discretizer (validated at definition)");
+                for iv in intervals {
+                    for id in d.overlapping_ids(iv) {
+                        if let Some((frag, whole)) = d.fragment(id, iv) {
+                            elems.push(DimElement {
+                                part: PartDim::Iv(frag),
+                                bcp: BcpDim::Iv(id),
+                                whole,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        if elems.is_empty() {
+            // A condition with no satisfiable disjunct: the whole query is
+            // empty, so there are no condition parts.
+            return Ok(Vec::new());
+        }
+        per_dim.push(elems);
+    }
+
+    let total: usize = per_dim.iter().map(Vec::len).product();
+    if total > MAX_CONDITION_PARTS {
+        return Err(CoreError::Definition(format!(
+            "query decomposes into {total} condition parts (cap {MAX_CONDITION_PARTS})"
+        )));
+    }
+
+    // Cross product ∏ S_i.
+    let mut parts = Vec::with_capacity(total);
+    let mut cursor = vec![0usize; m];
+    loop {
+        let mut dims = Vec::with_capacity(m);
+        let mut bcp_dims = Vec::with_capacity(m);
+        let mut is_basic = true;
+        for (i, &c) in cursor.iter().enumerate() {
+            let e = &per_dim[i][c];
+            dims.push(e.part.clone());
+            bcp_dims.push(e.bcp.clone());
+            is_basic &= e.whole;
+        }
+        parts.push(ConditionPart {
+            dims,
+            bcp: BcpKey::new(bcp_dims),
+            is_basic,
+        });
+        // Odometer increment.
+        let mut i = m;
+        loop {
+            if i == 0 {
+                return Ok(parts);
+            }
+            i -= 1;
+            cursor[i] += 1;
+            if cursor[i] < per_dim[i].len() {
+                break;
+            }
+            cursor[i] = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bcp::Discretizer;
+    use pmv_query::{QueryTemplate, TemplateBuilder};
+    use pmv_storage::{Column, ColumnType, Schema};
+    use std::sync::Arc;
+
+    fn template() -> Arc<QueryTemplate> {
+        TemplateBuilder::new("t")
+            .relation(Schema::new(
+                "r",
+                vec![
+                    Column::new("a", ColumnType::Int),
+                    Column::new("f", ColumnType::Int),
+                    Column::new("g", ColumnType::Int),
+                ],
+            ))
+            .select("r", "a")
+            .unwrap()
+            .cond_eq("r", "f")
+            .unwrap()
+            .cond_interval("r", "g")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn def() -> PartialViewDef {
+        PartialViewDef::new(
+            "v",
+            template(),
+            vec![None, Some(Discretizer::int_grid(0, 10, 4))], // dividers 0,10,20,30
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn equality_times_interval_cross_product() {
+        let d = def();
+        let q = d
+            .template()
+            .bind(vec![
+                Condition::Equality(vec![Value::Int(1), Value::Int(2)]),
+                // (5, 25) overlaps basic intervals [0,10), [10,20), [20,30).
+                Condition::Intervals(vec![Interval::open(5i64, 25i64)]),
+            ])
+            .unwrap();
+        let parts = decompose(&d, &q).unwrap();
+        assert_eq!(parts.len(), 2 * 3);
+        // Exactly the middle fragment is a whole basic interval, so parts
+        // with bcp dim Iv(2) ([10,20)) are basic.
+        let basics: Vec<_> = parts.iter().filter(|p| p.is_basic).collect();
+        assert_eq!(basics.len(), 2);
+        for b in basics {
+            assert_eq!(b.bcp.dims()[1], BcpDim::Iv(2));
+        }
+    }
+
+    #[test]
+    fn parts_are_pairwise_disjoint() {
+        let d = def();
+        let q = d
+            .template()
+            .bind(vec![
+                Condition::Equality(vec![Value::Int(1), Value::Int(2)]),
+                Condition::Intervals(vec![
+                    Interval::open(5i64, 15i64),
+                    Interval::open(22i64, 28i64),
+                ]),
+            ])
+            .unwrap();
+        let parts = decompose(&d, &q).unwrap();
+        // Probe a grid of tuples; each must fall in at most one part.
+        for f in 0..4i64 {
+            for g in -5..40i64 {
+                let tup = pmv_storage::tuple![0i64, f, g];
+                let n = parts.iter().filter(|p| p.contains_tuple(&d, &tup)).count();
+                assert!(n <= 1, "tuple (f={f}, g={g}) in {n} parts");
+            }
+        }
+    }
+
+    #[test]
+    fn parts_cover_exactly_the_query() {
+        let d = def();
+        let q = d
+            .template()
+            .bind(vec![
+                Condition::Equality(vec![Value::Int(1)]),
+                Condition::Intervals(vec![Interval::closed(5i64, 25i64)]),
+            ])
+            .unwrap();
+        let parts = decompose(&d, &q).unwrap();
+        for g in -5..40i64 {
+            let tup = pmv_storage::tuple![0i64, 1i64, g];
+            let in_query = q.matches_select(&tup);
+            let in_parts = parts.iter().any(|p| p.contains_tuple(&d, &tup));
+            assert_eq!(in_query, in_parts, "coverage mismatch at g={g}");
+        }
+    }
+
+    #[test]
+    fn each_part_contained_in_its_bcp() {
+        let d = def();
+        let q = d
+            .template()
+            .bind(vec![
+                Condition::Equality(vec![Value::Int(9)]),
+                Condition::Intervals(vec![Interval::open(-3i64, 33i64)]),
+            ])
+            .unwrap();
+        for p in decompose(&d, &q).unwrap() {
+            for (i, dim) in p.dims.iter().enumerate() {
+                match (&p.bcp.dims()[i], dim) {
+                    (BcpDim::Eq(b), PartDim::Eq(v)) => assert_eq!(b, v),
+                    (BcpDim::Iv(id), PartDim::Iv(frag)) => {
+                        let basic = d.discretizer(i).unwrap().interval_of(*id);
+                        // Fragment ⊆ basic interval: their intersection is
+                        // the fragment itself.
+                        assert_eq!(basic.intersect(frag), Some(frag.clone()));
+                    }
+                    other => panic!("mismatched dims {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn whole_basic_interval_marks_basic_part() {
+        let d = def();
+        let q = d
+            .template()
+            .bind(vec![
+                Condition::Equality(vec![Value::Int(1)]),
+                // Exactly [10, 20): one basic part.
+                Condition::Intervals(vec![Interval::half_open(10i64, 20i64)]),
+            ])
+            .unwrap();
+        let parts = decompose(&d, &q).unwrap();
+        assert_eq!(parts.len(), 1);
+        assert!(parts[0].is_basic);
+        assert_eq!(parts[0].bcp.dims()[1], BcpDim::Iv(2));
+    }
+
+    #[test]
+    fn two_query_intervals_can_share_one_bcp() {
+        let d = def();
+        let q = d
+            .template()
+            .bind(vec![
+                Condition::Equality(vec![Value::Int(1)]),
+                // Both inside basic interval [10, 20).
+                Condition::Intervals(vec![
+                    Interval::open(11i64, 13i64),
+                    Interval::open(15i64, 17i64),
+                ]),
+            ])
+            .unwrap();
+        let parts = decompose(&d, &q).unwrap();
+        assert_eq!(parts.len(), 2);
+        assert_eq!(parts[0].bcp, parts[1].bcp);
+        assert!(!parts[0].is_basic && !parts[1].is_basic);
+    }
+
+    #[test]
+    fn combination_factor_matches_part_count_for_basic_queries() {
+        // When every disjunct is exactly one basic interval or equality
+        // value, h = ∏ u_i (the paper's combination factor).
+        let d = def();
+        let q = d
+            .template()
+            .bind(vec![
+                Condition::Equality(vec![Value::Int(1), Value::Int(2), Value::Int(3)]),
+                Condition::Intervals(vec![
+                    Interval::half_open(0i64, 10i64),
+                    Interval::half_open(20i64, 30i64),
+                ]),
+            ])
+            .unwrap();
+        let parts = decompose(&d, &q).unwrap();
+        assert_eq!(parts.len(), q.combination_factor());
+        assert!(parts.iter().all(|p| p.is_basic));
+    }
+}

@@ -1,0 +1,683 @@
+//! The PMV query pipeline: Operations O1, O2, O3 (Section 3.3).
+//!
+//! * **O1** — break the query's `Cselect` into condition parts
+//!   ([`crate::o1::decompose`]).
+//! * **O2** — under an S lock on the PMV, probe the bcp index for each
+//!   part's containing bcp; matching cached tuples are returned to the
+//!   user *immediately* and recorded in the dedup multiset `DS`.
+//! * **O3** — execute the query in full; each produced tuple is either
+//!   matched against `DS` (already served — suppress) or returned now and
+//!   offered to the PMV (fill/update "for free"), respecting the
+//!   per-bcp cap `F` via the counters `c_j`.
+//!
+//! The S lock is held from O2 through the end of O3, so no maintainer
+//! (which takes an X lock) can make the served partial results
+//! inconsistent with the full execution — the paper's Section 3.6
+//! serializability argument. The end-of-O3 invariant "DS must be empty"
+//! is checked and surfaced in the outcome.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use pmv_query::{execute, Database, ExecStats, LockManager, QueryInstance};
+use pmv_storage::Tuple;
+
+use crate::bcp::BcpKey;
+use crate::ds::Ds;
+use crate::o1::{decompose, ConditionPart};
+use crate::stats::PmvStats;
+use crate::store::{PmvStore, Residency};
+use crate::view::{PartialViewDef, PmvConfig};
+use crate::Result;
+
+/// A live partial materialized view: definition + bounded store + stats.
+pub struct Pmv {
+    pub(crate) def: PartialViewDef,
+    pub(crate) config: PmvConfig,
+    pub(crate) store: PmvStore,
+    pub(crate) stats: PmvStats,
+}
+
+impl Pmv {
+    /// Create an (initially empty) PMV.
+    pub fn new(def: PartialViewDef, config: PmvConfig) -> Self {
+        let mut store = PmvStore::new(&config);
+        if config.maint_filter {
+            store.enable_filter(crate::maint_filter::MaintFilter::new(def.template()));
+        }
+        Pmv {
+            def,
+            config,
+            store,
+            stats: PmvStats::default(),
+        }
+    }
+
+    /// The view definition.
+    pub fn def(&self) -> &PartialViewDef {
+        &self.def
+    }
+
+    /// The tuning knobs.
+    pub fn config(&self) -> &PmvConfig {
+        &self.config
+    }
+
+    /// The bounded store (read access).
+    pub fn store(&self) -> &PmvStore {
+        &self.store
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &PmvStats {
+        &self.stats
+    }
+
+    /// Zero the statistics (e.g. after a warm-up phase).
+    pub fn reset_stats(&mut self) {
+        self.stats = PmvStats::default();
+    }
+
+    /// Build the query instance selecting exactly the tuples of `bcp`
+    /// (each dimension pinned to the equality value / basic interval).
+    pub fn bcp_query(&self, bcp: &BcpKey) -> Result<QueryInstance> {
+        use crate::bcp::BcpDim;
+        use pmv_query::Condition;
+        let conds = bcp
+            .dims()
+            .iter()
+            .enumerate()
+            .map(|(i, d)| match d {
+                BcpDim::Eq(v) => Condition::Equality(vec![v.clone()]),
+                BcpDim::Iv(id) => {
+                    let disc = self.def.discretizer(i).expect("Iv dim implies discretizer");
+                    Condition::Intervals(vec![disc.interval_of(*id)])
+                }
+            })
+            .collect();
+        Ok(self.def.template().bind(conds)?)
+    }
+
+    /// Repair utility: re-execute each resident bcp's query and drop any
+    /// cached tuple not in the current answer. Useful after maintenance
+    /// sequences the deferred scheme cannot cover (e.g. one transaction
+    /// deleting matching tuples from two base relations); also the oracle
+    /// the property tests use.
+    pub fn revalidate(&mut self, db: &Database) -> Result<usize> {
+        let bcps: Vec<BcpKey> = self.store.iter().map(|(k, _)| k.clone()).collect();
+        let mut removed = 0;
+        for bcp in bcps {
+            let q = self.bcp_query(&bcp)?;
+            let (truth, _) = execute(db, &q)?;
+            let mut budget: HashMap<&Tuple, usize> = HashMap::new();
+            for t in &truth {
+                *budget.entry(t).or_insert(0) += 1;
+            }
+            let cached: Vec<Tuple> = self
+                .store
+                .lookup(&bcp)
+                .map(|s| s.to_vec())
+                .unwrap_or_default();
+            for t in cached {
+                match budget.get_mut(&t) {
+                    Some(n) if *n > 0 => *n -= 1,
+                    _ => {
+                        self.store.remove_tuple(&bcp, &t);
+                        removed += 1;
+                    }
+                }
+            }
+        }
+        Ok(removed)
+    }
+}
+
+/// Wall-clock breakdown of one pipeline run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueryTimings {
+    /// Operation O1 (decomposition).
+    pub o1: Duration,
+    /// Operation O2 (PMV probe + partial-result return).
+    pub o2: Duration,
+    /// Full query execution inside O3.
+    pub exec: Duration,
+    /// O3 bookkeeping beyond execution (DS checks, bcp recovery, PMV
+    /// fill/update).
+    pub o3_overhead: Duration,
+}
+
+impl QueryTimings {
+    /// Total overhead of "our techniques" as the paper measures it:
+    /// everything except the query execution itself.
+    pub fn overhead(&self) -> Duration {
+        self.o1 + self.o2 + self.o3_overhead
+    }
+}
+
+/// Everything a pipeline run produced.
+#[derive(Clone, Debug)]
+pub struct QueryOutcome {
+    /// Partial results served from the PMV in O2 (user layout `Ls`).
+    pub partial: Vec<Tuple>,
+    /// Remaining results served in O3 (user layout `Ls`).
+    pub remaining: Vec<Tuple>,
+    /// Partial results in `Ls'` layout (extensions need the cond attrs).
+    pub partial_expanded: Vec<Tuple>,
+    /// Remaining results in `Ls'` layout.
+    pub remaining_expanded: Vec<Tuple>,
+    /// Whether any probed bcp was resident (the paper's "hit").
+    pub bcp_hit: bool,
+    /// Number of condition parts the query decomposed into.
+    pub parts: usize,
+    /// Timing breakdown.
+    pub timings: QueryTimings,
+    /// Executor counters.
+    pub exec_stats: ExecStats,
+    /// Occurrences left in DS after O3 — must be 0; anything else means a
+    /// stale tuple was served (surfaced for tests/diagnostics).
+    pub ds_leftover: usize,
+}
+
+impl QueryOutcome {
+    /// Full result multiset in user layout (partial then remaining).
+    pub fn all_results(&self) -> Vec<Tuple> {
+        let mut v = Vec::with_capacity(self.partial.len() + self.remaining.len());
+        v.extend_from_slice(&self.partial);
+        v.extend_from_slice(&self.remaining);
+        v
+    }
+}
+
+/// The query pipeline; owns the lock manager shared between queries (S
+/// locks) and maintenance (X locks).
+#[derive(Clone, Default)]
+pub struct PmvPipeline {
+    locks: LockManager,
+}
+
+impl PmvPipeline {
+    /// Pipeline with a fresh lock manager.
+    pub fn new() -> Self {
+        PmvPipeline::default()
+    }
+
+    /// Pipeline sharing an existing lock manager.
+    pub fn with_locks(locks: LockManager) -> Self {
+        PmvPipeline { locks }
+    }
+
+    /// The shared lock manager.
+    pub fn locks(&self) -> &LockManager {
+        &self.locks
+    }
+
+    /// Run one query through O1/O2/O3.
+    pub fn run(&self, db: &Database, pmv: &mut Pmv, q: &QueryInstance) -> Result<QueryOutcome> {
+        // ---- Operation O1 ----
+        let t_o1 = Instant::now();
+        let parts = decompose(&pmv.def, q)?;
+        let o1 = t_o1.elapsed();
+
+        // ---- Operation O2 (S lock from here to the end of O3) ----
+        let _s_lock = self.locks.lock_shared(pmv.def.name());
+        let t_o2 = Instant::now();
+        let mut ds = Ds::new();
+        let mut counters: HashMap<BcpKey, usize> = HashMap::with_capacity(parts.len());
+        let mut partial_expanded: Vec<Tuple> = Vec::new();
+        let mut bcp_hit = false;
+        probe_parts(
+            pmv,
+            q,
+            &parts,
+            &mut counters,
+            &mut ds,
+            &mut partial_expanded,
+            &mut bcp_hit,
+        );
+        let o2 = t_o2.elapsed();
+
+        // ---- Operation O3: full execution ----
+        let t_exec = Instant::now();
+        let (results, exec_stats) = execute(db, q)?;
+        let exec = t_exec.elapsed();
+
+        // ---- Operation O3: dedup + fill/update ----
+        let t_o3 = Instant::now();
+        let mut remaining_expanded: Vec<Tuple> = Vec::new();
+        let mut admit_cache: HashMap<BcpKey, Residency> = HashMap::new();
+        for t in results {
+            if ds.remove_one(&t) {
+                continue; // the user already has this occurrence
+            }
+            let bcp = pmv.def.bcp_of_tuple(&t);
+            let cj = counters.entry(bcp.clone()).or_insert(0);
+            if *cj < pmv.config.f {
+                let residency = match admit_cache.get(&bcp) {
+                    Some(r) => *r,
+                    None => {
+                        let r = pmv.store.admit(&bcp);
+                        if r == Residency::Probation {
+                            pmv.stats.probations += 1;
+                        }
+                        admit_cache.insert(bcp.clone(), r);
+                        r
+                    }
+                };
+                if residency == Residency::Resident && pmv.store.push_tuple(&bcp, t.clone()) {
+                    *cj += 1;
+                    pmv.stats.tuples_admitted += 1;
+                }
+            }
+            remaining_expanded.push(t);
+        }
+        let ds_leftover = ds.len();
+        debug_assert_eq!(ds_leftover, 0, "DS must be empty after O3");
+        let o3_overhead = t_o3.elapsed();
+
+        // ---- Bookkeeping ----
+        pmv.stats.queries += 1;
+        pmv.stats.condition_parts += parts.len() as u64;
+        if bcp_hit {
+            pmv.stats.bcp_hit_queries += 1;
+        }
+        if !partial_expanded.is_empty() {
+            pmv.stats.serving_queries += 1;
+            pmv.stats.partial_tuples_served += partial_expanded.len() as u64;
+        }
+
+        let template = pmv.def.template();
+        let partial = partial_expanded
+            .iter()
+            .map(|t| template.user_tuple(t))
+            .collect();
+        let remaining = remaining_expanded
+            .iter()
+            .map(|t| template.user_tuple(t))
+            .collect();
+        Ok(QueryOutcome {
+            partial,
+            remaining,
+            partial_expanded,
+            remaining_expanded,
+            bcp_hit,
+            parts: parts.len(),
+            timings: QueryTimings {
+                o1,
+                o2,
+                exec,
+                o3_overhead,
+            },
+            exec_stats,
+            ds_leftover,
+        })
+    }
+
+    /// Baseline: execute the query without any PMV involvement, returning
+    /// user-layout results and the execution time.
+    pub fn run_plain(
+        &self,
+        db: &Database,
+        q: &QueryInstance,
+    ) -> Result<(Vec<Tuple>, ExecStats, Duration)> {
+        let t0 = Instant::now();
+        let (results, stats) = execute(db, q)?;
+        let template = q.template();
+        let user: Vec<Tuple> = results.iter().map(|t| template.user_tuple(t)).collect();
+        Ok((user, stats, t0.elapsed()))
+    }
+}
+
+/// O2 inner loop, factored out for readability: probe each distinct
+/// containing bcp once, serve matching cached tuples, fill DS/counters.
+fn probe_parts(
+    pmv: &mut Pmv,
+    q: &QueryInstance,
+    parts: &[ConditionPart],
+    counters: &mut HashMap<BcpKey, usize>,
+    ds: &mut Ds,
+    partial_expanded: &mut Vec<Tuple>,
+    bcp_hit: &mut bool,
+) {
+    for part in parts {
+        if counters.contains_key(&part.bcp) {
+            // Several condition parts can share one containing bcp (two
+            // query intervals inside one basic interval); the full
+            // Cselect check below already covered its tuples.
+            continue;
+        }
+        let cached: Option<Vec<Tuple>> = pmv.store.lookup(&part.bcp).map(<[Tuple]>::to_vec);
+        match cached {
+            Some(tuples) => {
+                *bcp_hit = true;
+                counters.insert(part.bcp.clone(), tuples.len());
+                let mut served = false;
+                for t in tuples {
+                    // A basic part contains every tuple of its bcp; a
+                    // contained part requires the full Cselect check —
+                    // "this is equivalent to checking whether t satisfies
+                    // the Cselect of query Q".
+                    if part.is_basic || q.matches_select(&t) {
+                        ds.insert(t.clone());
+                        partial_expanded.push(t);
+                        served = true;
+                    }
+                }
+                pmv.store.touch(&part.bcp, served);
+            }
+            None => {
+                counters.insert(part.bcp.clone(), 0);
+                pmv.store.touch(&part.bcp, false);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bcp::{BcpDim, BcpKey, Discretizer};
+    use crate::view::PartialViewDef;
+    use pmv_cache::PolicyKind;
+    use pmv_index::IndexDef;
+    use pmv_query::{Condition, Interval, TemplateBuilder};
+    use pmv_storage::{tuple, Column, ColumnType, Schema, Value};
+
+    /// R(a, c, f) ⋈ S(d, e, g) on c = d, conditions on f (eq) and g (eq),
+    /// the paper's Eqt with the Figure 3 data plus extras.
+    fn setup() -> (Database, Pmv, PmvPipeline) {
+        let mut db = Database::new();
+        db.create_relation(Schema::new(
+            "r",
+            vec![
+                Column::new("a", ColumnType::Int),
+                Column::new("c", ColumnType::Int),
+                Column::new("f", ColumnType::Int),
+            ],
+        ))
+        .unwrap();
+        db.create_relation(Schema::new(
+            "s",
+            vec![
+                Column::new("d", ColumnType::Int),
+                Column::new("e", ColumnType::Int),
+                Column::new("g", ColumnType::Int),
+            ],
+        ))
+        .unwrap();
+        db.load(
+            "r",
+            vec![
+                tuple![1i64, 4i64, 1i64],
+                tuple![1i64, 5i64, 1i64],
+                tuple![7i64, 6i64, 3i64],
+                tuple![9i64, 6i64, 5i64],
+            ],
+        )
+        .unwrap();
+        db.load(
+            "s",
+            vec![
+                tuple![4i64, 2i64, 7i64],
+                tuple![5i64, 2i64, 7i64],
+                tuple![6i64, 8i64, 9i64],
+            ],
+        )
+        .unwrap();
+        db.create_index(IndexDef::btree("r", vec![2])).unwrap();
+        db.create_index(IndexDef::btree("r", vec![1])).unwrap();
+        db.create_index(IndexDef::btree("s", vec![0])).unwrap();
+        db.create_index(IndexDef::btree("s", vec![2])).unwrap();
+        let t = TemplateBuilder::new("Eqt")
+            .relation(db.schema("r").unwrap())
+            .relation(db.schema("s").unwrap())
+            .join("r", "c", "s", "d")
+            .unwrap()
+            .select("r", "a")
+            .unwrap()
+            .select("s", "e")
+            .unwrap()
+            .cond_eq("r", "f")
+            .unwrap()
+            .cond_eq("s", "g")
+            .unwrap()
+            .build()
+            .unwrap();
+        let def = PartialViewDef::all_equality("pmv_eqt", t).unwrap();
+        let pmv = Pmv::new(def, PmvConfig::new(2, 8, PolicyKind::Clock));
+        (db, pmv, PmvPipeline::new())
+    }
+
+    fn q_eq(pmv: &Pmv, fs: &[i64], gs: &[i64]) -> QueryInstance {
+        pmv.def()
+            .template()
+            .bind(vec![
+                Condition::Equality(fs.iter().map(|&v| Value::Int(v)).collect()),
+                Condition::Equality(gs.iter().map(|&v| Value::Int(v)).collect()),
+            ])
+            .unwrap()
+    }
+
+    #[test]
+    fn cold_query_serves_nothing_but_fills_pmv() {
+        let (db, mut pmv, pipe) = setup();
+        let q = q_eq(&pmv, &[1], &[7]);
+        let out = pipe.run(&db, &mut pmv, &q).unwrap();
+        assert!(!out.bcp_hit);
+        assert!(out.partial.is_empty());
+        assert_eq!(out.remaining.len(), 2);
+        assert_eq!(out.ds_leftover, 0);
+        // F = 2: both result tuples cached under bcp (1, 7).
+        let bcp = BcpKey::new(vec![BcpDim::Eq(Value::Int(1)), BcpDim::Eq(Value::Int(7))]);
+        assert_eq!(pmv.store().lookup(&bcp).unwrap().len(), 2);
+        pmv.store().validate();
+    }
+
+    #[test]
+    fn warm_query_serves_partial_results_first() {
+        let (db, mut pmv, pipe) = setup();
+        let q = q_eq(&pmv, &[1], &[7]);
+        pipe.run(&db, &mut pmv, &q).unwrap();
+        let out = pipe.run(&db, &mut pmv, &q).unwrap();
+        assert!(out.bcp_hit);
+        assert_eq!(out.partial.len(), 2);
+        assert!(out.remaining.is_empty());
+        assert_eq!(out.ds_leftover, 0);
+        assert_eq!(pmv.stats().bcp_hit_queries, 1);
+        assert_eq!(pmv.stats().queries, 2);
+    }
+
+    #[test]
+    fn each_result_returned_exactly_once() {
+        let (db, mut pmv, pipe) = setup();
+        // Query with a hot and a cold pair, as in Section 2.3's example.
+        let hot = q_eq(&pmv, &[1], &[7]);
+        pipe.run(&db, &mut pmv, &hot).unwrap();
+        let q = q_eq(&pmv, &[1, 3], &[7, 9]);
+        let out = pipe.run(&db, &mut pmv, &q).unwrap();
+        // Full result multiset: (1,2) x2 for (f=1,g=7), (7,8) for (3,9).
+        let mut all = out.all_results();
+        all.sort();
+        assert_eq!(
+            all,
+            vec![tuple![1i64, 2i64], tuple![1i64, 2i64], tuple![7i64, 8i64]]
+        );
+        // The two (1,2) tuples came early.
+        assert_eq!(out.partial.len(), 2);
+        assert_eq!(out.remaining.len(), 1);
+        assert_eq!(out.ds_leftover, 0);
+    }
+
+    #[test]
+    fn f_caps_cached_tuples_per_bcp() {
+        let (db, pmv, pipe) = setup();
+        // (f=1, g=7) has 2 result tuples; with F = 1 only one is cached.
+        let mut pmv1 = Pmv::new(pmv.def().clone(), PmvConfig::new(1, 8, PolicyKind::Clock));
+        let q = q_eq(&pmv, &[1], &[7]);
+        pipe.run(&db, &mut pmv1, &q).unwrap();
+        let bcp = BcpKey::new(vec![BcpDim::Eq(Value::Int(1)), BcpDim::Eq(Value::Int(7))]);
+        assert_eq!(pmv1.store().lookup(&bcp).unwrap().len(), 1);
+        // Second run: one tuple early, one late, none lost.
+        let out = pipe.run(&db, &mut pmv1, &q).unwrap();
+        assert_eq!(out.partial.len(), 1);
+        assert_eq!(out.remaining.len(), 1);
+        assert_eq!(out.ds_leftover, 0);
+        pmv1.store().validate();
+        let _ = pmv;
+    }
+
+    #[test]
+    fn pipeline_results_match_plain_execution() {
+        let (db, mut pmv, pipe) = setup();
+        let queries = [
+            q_eq(&pmv, &[1], &[7]),
+            q_eq(&pmv, &[1, 3], &[7, 9]),
+            q_eq(&pmv, &[3, 5], &[9]),
+            q_eq(&pmv, &[1, 3, 5], &[7, 9]),
+        ];
+        for _ in 0..3 {
+            for q in &queries {
+                let (mut plain, _, _) = pipe.run_plain(&db, q).unwrap();
+                let out = pipe.run(&db, &mut pmv, q).unwrap();
+                let mut got = out.all_results();
+                got.sort();
+                plain.sort();
+                assert_eq!(got, plain);
+                assert_eq!(out.ds_leftover, 0);
+                pmv.store().validate();
+            }
+        }
+    }
+
+    #[test]
+    fn interval_template_pipeline() {
+        let (db, _, pipe) = setup();
+        let t = TemplateBuilder::new("iv")
+            .relation(db.schema("r").unwrap())
+            .relation(db.schema("s").unwrap())
+            .join("r", "c", "s", "d")
+            .unwrap()
+            .select("r", "a")
+            .unwrap()
+            .select("s", "e")
+            .unwrap()
+            .cond_interval("r", "f")
+            .unwrap()
+            .cond_eq("s", "g")
+            .unwrap()
+            .build()
+            .unwrap();
+        let def = PartialViewDef::new(
+            "pmv_iv",
+            t,
+            vec![Some(Discretizer::int_grid(0, 2, 4)), None], // dividers 0,2,4,6
+        )
+        .unwrap();
+        let mut pmv = Pmv::new(def, PmvConfig::default());
+        let q = pmv
+            .def()
+            .template()
+            .bind(vec![
+                Condition::Intervals(vec![Interval::half_open(0i64, 4i64)]),
+                Condition::Equality(vec![Value::Int(7)]),
+            ])
+            .unwrap();
+        let out1 = pipe.run(&db, &mut pmv, &q).unwrap();
+        assert_eq!(out1.remaining.len(), 2); // both f=1 rows
+        let out2 = pipe.run(&db, &mut pmv, &q).unwrap();
+        assert_eq!(out2.partial.len(), 2);
+        assert!(out2.remaining.is_empty());
+        assert_eq!(out2.ds_leftover, 0);
+
+        // A narrower query contained in the same bcp still gets served
+        // (the "contained in a basic condition part" case).
+        let narrow = pmv
+            .def()
+            .template()
+            .bind(vec![
+                Condition::Intervals(vec![Interval::half_open(0i64, 2i64)]),
+                Condition::Equality(vec![Value::Int(7)]),
+            ])
+            .unwrap();
+        let out3 = pipe.run(&db, &mut pmv, &narrow).unwrap();
+        assert_eq!(out3.partial.len(), 2); // f=1 falls in [0,2)
+        assert_eq!(out3.ds_leftover, 0);
+    }
+
+    #[test]
+    fn bcp_query_selects_exactly_the_cell() {
+        let (db, mut pmv, pipe) = setup();
+        let q = q_eq(&pmv, &[1], &[7]);
+        pipe.run(&db, &mut pmv, &q).unwrap();
+        let bcp = BcpKey::new(vec![BcpDim::Eq(Value::Int(1)), BcpDim::Eq(Value::Int(7))]);
+        let cell_q = pmv.bcp_query(&bcp).unwrap();
+        let (rows, _) = pmv_query::execute(&db, &cell_q).unwrap();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn revalidate_removes_stale_tuples() {
+        let (mut db, mut pmv, pipe) = setup();
+        let q = q_eq(&pmv, &[1], &[7]);
+        pipe.run(&db, &mut pmv, &q).unwrap();
+        // Bypass maintenance: delete a base row directly, leaving the PMV
+        // stale, then let revalidate repair it.
+        let handle = db.relation("r").unwrap();
+        let row = handle
+            .read()
+            .iter()
+            .find(|(_, t)| t.get(1) == &Value::Int(4))
+            .map(|(r, _)| r)
+            .unwrap();
+        db.delete("r", row).unwrap();
+        let removed = pmv.revalidate(&db).unwrap();
+        assert_eq!(removed, 1);
+        let out = pipe.run(&db, &mut pmv, &q).unwrap();
+        assert_eq!(out.ds_leftover, 0);
+        assert_eq!(out.all_results().len(), 1);
+    }
+
+    #[test]
+    fn two_q_policy_requires_second_query_to_cache() {
+        let (db, pmv, pipe) = setup();
+        let mut pmv2 = Pmv::new(pmv.def().clone(), PmvConfig::new(2, 8, PolicyKind::TwoQ));
+        let q = q_eq(&pmv, &[1], &[7]);
+        pipe.run(&db, &mut pmv2, &q).unwrap();
+        // First query: bcp went to A1, nothing cached.
+        assert_eq!(pmv2.store().entry_count(), 0);
+        assert!(pmv2.stats().probations > 0);
+        pipe.run(&db, &mut pmv2, &q).unwrap();
+        // Second query: promoted to Am and filled.
+        assert_eq!(pmv2.store().entry_count(), 1);
+        let out = pipe.run(&db, &mut pmv2, &q).unwrap();
+        assert_eq!(out.partial.len(), 2);
+        let _ = pmv;
+    }
+
+    #[test]
+    fn eviction_under_small_l() {
+        let (db, pmv, pipe) = setup();
+        let mut small = Pmv::new(pmv.def().clone(), PmvConfig::new(2, 1, PolicyKind::Clock));
+        pipe.run(&db, &mut small, &q_eq(&pmv, &[1], &[7])).unwrap();
+        pipe.run(&db, &mut small, &q_eq(&pmv, &[3], &[9])).unwrap();
+        assert_eq!(small.store().entry_count(), 1);
+        assert!(small.store().evictions() > 0);
+        small.store().validate();
+        let _ = pmv;
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let (db, mut pmv, pipe) = setup();
+        let q = q_eq(&pmv, &[1], &[7]);
+        pipe.run(&db, &mut pmv, &q).unwrap();
+        pipe.run(&db, &mut pmv, &q).unwrap();
+        let s = pmv.stats();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.bcp_hit_queries, 1);
+        assert_eq!(s.partial_tuples_served, 2);
+        assert_eq!(s.tuples_admitted, 2);
+        assert!((s.hit_probability() - 0.5).abs() < 1e-12);
+        pmv.reset_stats();
+        assert_eq!(pmv.stats().queries, 0);
+    }
+}

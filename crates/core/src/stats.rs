@@ -1,0 +1,109 @@
+//! Cumulative PMV statistics.
+
+/// Counters accumulated across a PMV's lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PmvStats {
+    /// Queries run through the pipeline.
+    pub queries: u64,
+    /// Queries for which the PMV provided at least one partial result —
+    /// the numerator of the paper's *hit probability* ("if any of the h
+    /// basic condition parts in the Cselect of Q exists in V_PM, Q is
+    /// hit"). Note the paper's simulation counts presence of the bcp; a
+    /// bcp present but with zero matching tuples still counts as a hit
+    /// there. We count both, see `bcp_hit_queries`.
+    pub serving_queries: u64,
+    /// Queries for which at least one probed bcp was resident.
+    pub bcp_hit_queries: u64,
+    /// Partial result tuples served from the PMV (Operation O2).
+    pub partial_tuples_served: u64,
+    /// Result tuples stored into the PMV (Operation O3 fill/update).
+    pub tuples_admitted: u64,
+    /// bcp admissions that landed in a probation queue.
+    pub probations: u64,
+    /// Condition parts generated across all queries (Σ h).
+    pub condition_parts: u64,
+    /// Inserts into base relations that required no PMV work.
+    pub maint_inserts_ignored: u64,
+    /// Deletes processed via the ΔR join.
+    pub maint_deletes_joined: u64,
+    /// Updates skipped because no relevant attribute changed.
+    pub maint_updates_ignored: u64,
+    /// Updates processed like deletes.
+    pub maint_updates_joined: u64,
+    /// View tuples evicted by maintenance.
+    pub maint_tuples_removed: u64,
+}
+
+impl PmvStats {
+    /// Hit probability over the queries seen so far, by the paper's
+    /// definition (bcp residency).
+    pub fn hit_probability(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.bcp_hit_queries as f64 / self.queries as f64
+        }
+    }
+
+    /// Fraction of queries that actually received partial tuples.
+    pub fn serving_probability(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.serving_queries as f64 / self.queries as f64
+        }
+    }
+
+    /// Fold another stats block into this one.
+    pub fn merge(&mut self, other: &PmvStats) {
+        self.queries += other.queries;
+        self.serving_queries += other.serving_queries;
+        self.bcp_hit_queries += other.bcp_hit_queries;
+        self.partial_tuples_served += other.partial_tuples_served;
+        self.tuples_admitted += other.tuples_admitted;
+        self.probations += other.probations;
+        self.condition_parts += other.condition_parts;
+        self.maint_inserts_ignored += other.maint_inserts_ignored;
+        self.maint_deletes_joined += other.maint_deletes_joined;
+        self.maint_updates_ignored += other.maint_updates_ignored;
+        self.maint_updates_joined += other.maint_updates_joined;
+        self.maint_tuples_removed += other.maint_tuples_removed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probabilities() {
+        let s = PmvStats {
+            queries: 10,
+            bcp_hit_queries: 9,
+            serving_queries: 8,
+            ..Default::default()
+        };
+        assert!((s.hit_probability() - 0.9).abs() < 1e-12);
+        assert!((s.serving_probability() - 0.8).abs() < 1e-12);
+        assert_eq!(PmvStats::default().hit_probability(), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = PmvStats {
+            queries: 1,
+            partial_tuples_served: 5,
+            ..Default::default()
+        };
+        let b = PmvStats {
+            queries: 2,
+            partial_tuples_served: 7,
+            maint_tuples_removed: 3,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.queries, 3);
+        assert_eq!(a.partial_tuples_served, 12);
+        assert_eq!(a.maint_tuples_removed, 3);
+    }
+}

@@ -1,0 +1,363 @@
+//! The PMV store: bcp-keyed entries of at most `F` result tuples, bounded
+//! to `L` entries, managed by a pluggable replacement policy
+//! (Sections 3.2 and 3.5).
+//!
+//! The store is the moral equivalent of the paper's Figure 4: a table of
+//! `(bcp, tuples)` entries with a hash index `I` on bcp (bcp probes are
+//! exact-match, so hashing is the right index shape; `pmv-bench` ablates
+//! this against a B-tree).
+
+use std::collections::HashMap;
+
+#[cfg(test)]
+use pmv_cache::PolicyKind;
+use pmv_cache::{AdmitOutcome, ReplacementPolicy};
+use pmv_storage::{HeapSize, Tuple};
+
+use crate::bcp::BcpKey;
+use crate::maint_filter::MaintFilter;
+use crate::view::PmvConfig;
+
+/// Residency decision for a bcp in Operation O3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Residency {
+    /// The bcp is resident: its tuples may be cached and served.
+    Resident,
+    /// The bcp is on probation (2Q's A1): no tuples cached yet.
+    Probation,
+}
+
+struct Entry {
+    tuples: Vec<Tuple>,
+    /// Times this bcp produced partial results (popularity ranking
+    /// extension).
+    hits: u64,
+}
+
+/// Bounded store of hot query results, keyed by basic condition part.
+pub struct PmvStore {
+    entries: HashMap<BcpKey, Entry>,
+    policy: Box<dyn ReplacementPolicy<BcpKey> + Send>,
+    f: usize,
+    bytes: usize,
+    evictions: u64,
+    filter: Option<MaintFilter>,
+}
+
+impl PmvStore {
+    /// Empty store per the config ("Initially, V_PM is empty").
+    pub fn new(config: &PmvConfig) -> Self {
+        PmvStore {
+            entries: HashMap::with_capacity(config.l),
+            policy: config.policy.build(config.l),
+            f: config.f,
+            bytes: 0,
+            evictions: 0,
+            filter: None,
+        }
+    }
+
+    /// Attach the Section 3.4 maintenance filter (must be done while the
+    /// store is empty).
+    pub fn enable_filter(&mut self, filter: MaintFilter) {
+        debug_assert!(self.entries.is_empty(), "enable the filter before use");
+        self.filter = Some(filter);
+    }
+
+    /// Could deleting `base_tuple` from template relation `rel` affect
+    /// any cached tuple? Always `true` when the filter is disabled.
+    pub fn may_affect(&mut self, rel: usize, base_tuple: &Tuple) -> bool {
+        match &mut self.filter {
+            Some(f) => f.may_affect(rel, base_tuple),
+            None => true,
+        }
+    }
+
+    /// ΔR joins skipped by the maintenance filter so far.
+    pub fn joins_avoided(&self) -> u64 {
+        self.filter.as_ref().map_or(0, MaintFilter::joins_avoided)
+    }
+
+    /// Max tuples per bcp (`F`).
+    pub fn f(&self) -> usize {
+        self.f
+    }
+
+    /// Max bcp entries (`L`).
+    pub fn l(&self) -> usize {
+        self.policy.capacity()
+    }
+
+    /// The replacement policy's name.
+    pub fn policy_name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    /// Tuples cached for `bcp`, if resident. Does not touch the policy.
+    pub fn lookup(&self, bcp: &BcpKey) -> Option<&[Tuple]> {
+        self.entries.get(bcp).map(|e| e.tuples.as_slice())
+    }
+
+    /// Record a query access to `bcp` (Operation O2) and count a hit if it
+    /// served results.
+    pub fn touch(&mut self, bcp: &BcpKey, served: bool) {
+        self.policy.touch(bcp);
+        if served {
+            if let Some(e) = self.entries.get_mut(bcp) {
+                e.hits += 1;
+            }
+        }
+    }
+
+    /// Ask the policy to make `bcp` resident (Operation O3, once per bcp
+    /// per query). Evicted entries are purged.
+    pub fn admit(&mut self, bcp: &BcpKey) -> Residency {
+        match self.policy.admit(bcp.clone()) {
+            AdmitOutcome::Resident { evicted } => {
+                for victim in evicted {
+                    if let Some(e) = self.entries.remove(&victim) {
+                        self.bytes -= Self::key_bytes(&victim)
+                            + e.tuples.iter().map(Self::tuple_bytes).sum::<usize>();
+                        self.evictions += 1;
+                        if let Some(f) = &mut self.filter {
+                            for t in &e.tuples {
+                                f.remove(t);
+                            }
+                        }
+                    }
+                }
+                Residency::Resident
+            }
+            AdmitOutcome::Probation => Residency::Probation,
+        }
+    }
+
+    /// Store one result tuple under a resident `bcp`. Returns false when
+    /// the bcp is not resident or already holds `F` tuples.
+    pub fn push_tuple(&mut self, bcp: &BcpKey, tuple: Tuple) -> bool {
+        if !self.policy.contains(bcp) {
+            return false;
+        }
+        let entry = self.entries.entry(bcp.clone()).or_insert_with(|| Entry {
+            tuples: Vec::with_capacity(self.f.min(8)),
+            hits: 0,
+        });
+        if entry.tuples.len() >= self.f {
+            return false;
+        }
+        self.bytes += Self::tuple_bytes(&tuple)
+            + if entry.tuples.is_empty() {
+                Self::key_bytes(bcp)
+            } else {
+                0
+            };
+        if let Some(f) = &mut self.filter {
+            f.add(&tuple);
+        }
+        entry.tuples.push(tuple);
+        true
+    }
+
+    /// Remove one occurrence of `tuple` under `bcp` (PMV maintenance after
+    /// a base-relation delete/update). Returns whether a tuple was removed.
+    pub fn remove_tuple(&mut self, bcp: &BcpKey, tuple: &Tuple) -> bool {
+        let Some(entry) = self.entries.get_mut(bcp) else {
+            return false;
+        };
+        let Some(pos) = entry.tuples.iter().position(|t| t == tuple) else {
+            return false;
+        };
+        entry.tuples.swap_remove(pos);
+        self.bytes -= Self::tuple_bytes(tuple);
+        if let Some(f) = &mut self.filter {
+            f.remove(tuple);
+        }
+        if entry.tuples.is_empty() {
+            self.entries.remove(bcp);
+            self.bytes -= Self::key_bytes(bcp);
+            self.policy.remove(bcp);
+        }
+        true
+    }
+
+    /// Popularity of `bcp`: number of queries it served (ranking
+    /// extension; see `ext::ranking`).
+    pub fn hit_count(&self, bcp: &BcpKey) -> u64 {
+        self.entries.get(bcp).map_or(0, |e| e.hits)
+    }
+
+    /// Number of bcp entries currently stored.
+    pub fn entry_count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Total cached tuples.
+    pub fn tuple_count(&self) -> usize {
+        self.entries.values().map(|e| e.tuples.len()).sum()
+    }
+
+    /// Approximate bytes cached (tuples + keys).
+    pub fn byte_size(&self) -> usize {
+        self.bytes
+    }
+
+    /// Total entries evicted by the policy so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Iterate over `(bcp, tuples)` (diagnostics/tests).
+    pub fn iter(&self) -> impl Iterator<Item = (&BcpKey, &[Tuple])> {
+        self.entries.iter().map(|(k, e)| (k, e.tuples.as_slice()))
+    }
+
+    fn tuple_bytes(t: &Tuple) -> usize {
+        std::mem::size_of::<Tuple>() + t.heap_size()
+    }
+
+    fn key_bytes(k: &BcpKey) -> usize {
+        std::mem::size_of::<BcpKey>() + k.heap_size()
+    }
+
+    /// Check structural invariants; panics on violation. Test helper.
+    pub fn validate(&self) {
+        assert!(
+            self.entries.len() <= self.policy.capacity(),
+            "more entries than L"
+        );
+        for (k, e) in &self.entries {
+            assert!(!e.tuples.is_empty(), "empty entry for {k:?}");
+            assert!(e.tuples.len() <= self.f, "entry over F for {k:?}");
+            assert!(
+                self.policy.contains(k),
+                "entry {k:?} not resident in policy"
+            );
+        }
+        let recomputed: usize = self
+            .entries
+            .iter()
+            .map(|(k, e)| {
+                Self::key_bytes(k) + e.tuples.iter().map(Self::tuple_bytes).sum::<usize>()
+            })
+            .sum();
+        assert_eq!(recomputed, self.bytes, "byte accounting drifted");
+        if let Some(f) = &self.filter {
+            let cached: Vec<Tuple> = self
+                .entries
+                .values()
+                .flat_map(|e| e.tuples.iter().cloned())
+                .collect();
+            f.validate(&cached);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bcp::BcpDim;
+    use pmv_storage::{tuple, Value};
+
+    fn bcp(x: i64) -> BcpKey {
+        BcpKey::new(vec![BcpDim::Eq(Value::Int(x))])
+    }
+
+    fn cfg(f: usize, l: usize, policy: PolicyKind) -> PmvConfig {
+        PmvConfig::new(f, l, policy)
+    }
+
+    #[test]
+    fn push_respects_f() {
+        let mut s = PmvStore::new(&cfg(2, 10, PolicyKind::Clock));
+        assert_eq!(s.admit(&bcp(1)), Residency::Resident);
+        assert!(s.push_tuple(&bcp(1), tuple![1i64, 1i64]));
+        assert!(s.push_tuple(&bcp(1), tuple![1i64, 2i64]));
+        assert!(!s.push_tuple(&bcp(1), tuple![1i64, 3i64]));
+        assert_eq!(s.lookup(&bcp(1)).unwrap().len(), 2);
+        s.validate();
+    }
+
+    #[test]
+    fn push_requires_residency() {
+        let mut s = PmvStore::new(&cfg(2, 10, PolicyKind::TwoQ));
+        assert_eq!(s.admit(&bcp(1)), Residency::Probation);
+        assert!(!s.push_tuple(&bcp(1), tuple![1i64]));
+        assert_eq!(s.entry_count(), 0);
+        // Second admission promotes.
+        assert_eq!(s.admit(&bcp(1)), Residency::Resident);
+        assert!(s.push_tuple(&bcp(1), tuple![1i64]));
+        s.validate();
+    }
+
+    #[test]
+    fn eviction_purges_entry_and_bytes() {
+        let mut s = PmvStore::new(&cfg(1, 2, PolicyKind::Clock));
+        for i in 0..2i64 {
+            s.admit(&bcp(i));
+            s.push_tuple(&bcp(i), tuple![i]);
+        }
+        assert_eq!(s.entry_count(), 2);
+        let before = s.byte_size();
+        s.admit(&bcp(99)); // evicts one of the two
+        assert_eq!(s.entry_count(), 1);
+        assert!(s.byte_size() < before);
+        assert_eq!(s.evictions(), 1);
+        s.validate();
+    }
+
+    #[test]
+    fn remove_tuple_multiset_semantics() {
+        let mut s = PmvStore::new(&cfg(3, 10, PolicyKind::Clock));
+        s.admit(&bcp(1));
+        s.push_tuple(&bcp(1), tuple![7i64]);
+        s.push_tuple(&bcp(1), tuple![7i64]);
+        assert!(s.remove_tuple(&bcp(1), &tuple![7i64]));
+        assert_eq!(s.lookup(&bcp(1)).unwrap().len(), 1);
+        assert!(s.remove_tuple(&bcp(1), &tuple![7i64]));
+        // Entry is gone entirely.
+        assert!(s.lookup(&bcp(1)).is_none());
+        assert!(!s.remove_tuple(&bcp(1), &tuple![7i64]));
+        assert_eq!(s.byte_size(), 0);
+        s.validate();
+    }
+
+    #[test]
+    fn removed_entry_frees_policy_slot() {
+        let mut s = PmvStore::new(&cfg(1, 1, PolicyKind::Clock));
+        s.admit(&bcp(1));
+        s.push_tuple(&bcp(1), tuple![1i64]);
+        s.remove_tuple(&bcp(1), &tuple![1i64]);
+        // New bcp should be admitted without evicting anything.
+        s.admit(&bcp(2));
+        s.push_tuple(&bcp(2), tuple![2i64]);
+        assert_eq!(s.evictions(), 0);
+        s.validate();
+    }
+
+    #[test]
+    fn hits_track_serving() {
+        let mut s = PmvStore::new(&cfg(1, 4, PolicyKind::Clock));
+        s.admit(&bcp(1));
+        s.push_tuple(&bcp(1), tuple![1i64]);
+        assert_eq!(s.hit_count(&bcp(1)), 0);
+        s.touch(&bcp(1), true);
+        s.touch(&bcp(1), true);
+        s.touch(&bcp(1), false);
+        assert_eq!(s.hit_count(&bcp(1)), 2);
+    }
+
+    #[test]
+    fn refill_after_partial_removal() {
+        // The paper's cj < F case: maintenance removed a tuple, a later
+        // query refills the entry.
+        let mut s = PmvStore::new(&cfg(2, 4, PolicyKind::Clock));
+        s.admit(&bcp(1));
+        s.push_tuple(&bcp(1), tuple![1i64]);
+        s.push_tuple(&bcp(1), tuple![2i64]);
+        s.remove_tuple(&bcp(1), &tuple![1i64]);
+        assert_eq!(s.admit(&bcp(1)), Residency::Resident);
+        assert!(s.push_tuple(&bcp(1), tuple![3i64]));
+        assert_eq!(s.lookup(&bcp(1)).unwrap().len(), 2);
+        s.validate();
+    }
+}

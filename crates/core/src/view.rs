@@ -1,0 +1,265 @@
+//! Partial materialized view definitions (Section 3.2).
+//!
+//! ```text
+//! create partial materialized view V_PM as subset of
+//!   select Ls' from R1, R2, …, Rn
+//!   where Cjoin with selection condition template Cselect;
+//! ```
+//!
+//! A [`PartialViewDef`] couples a [`QueryTemplate`] with one
+//! [`Discretizer`] per interval-form condition, plus the person-specified
+//! knobs: `F` (max result tuples stored per bcp), the entry budget `L`,
+//! and the replacement policy. The containing materialized view `V_M` is
+//! implicit — it is the template joined without `Cselect`.
+
+use std::sync::Arc;
+
+use pmv_cache::PolicyKind;
+use pmv_query::{CondForm, QueryInstance, QueryTemplate};
+use pmv_storage::Tuple;
+
+use crate::bcp::{BcpDim, BcpKey, Discretizer};
+use crate::{CoreError, Result};
+
+/// Tuning knobs for a PMV.
+#[derive(Clone, Debug)]
+pub struct PmvConfig {
+    /// Max result tuples stored per basic condition part (`F`).
+    pub f: usize,
+    /// Max number of bcp entries (`L`). Together with the average tuple
+    /// size `At` this bounds storage: `UB ≤ L × F × At`.
+    pub l: usize,
+    /// How resident bcps are managed (CLOCK by default, per the paper).
+    pub policy: PolicyKind,
+    /// Keep the Section 3.4 maintenance filter indices on V_PM
+    /// attributes, letting deletes of unrelated tuples skip the ΔR join
+    /// (the \[25\] optimization). On by default.
+    pub maint_filter: bool,
+}
+
+impl Default for PmvConfig {
+    fn default() -> Self {
+        // The paper's running example: "If L = 10K, F = 2, and At = 50B,
+        // then the size of V_PM is no more than 1MB".
+        PmvConfig {
+            f: 2,
+            l: 10_000,
+            policy: PolicyKind::Clock,
+            maint_filter: true,
+        }
+    }
+}
+
+impl PmvConfig {
+    /// Config with explicit `F`, `L`, and policy (maintenance filter on).
+    pub fn new(f: usize, l: usize, policy: PolicyKind) -> Self {
+        PmvConfig {
+            f,
+            l,
+            policy,
+            maint_filter: true,
+        }
+    }
+}
+
+impl PmvConfig {
+    /// Derive the entry budget `L` from a byte budget `UB` and an average
+    /// tuple size `At`, per the paper's bound `UB ≤ L × F × At`.
+    pub fn with_byte_budget(
+        f: usize,
+        ub_bytes: usize,
+        avg_tuple_bytes: usize,
+        policy: PolicyKind,
+    ) -> Self {
+        assert!(f > 0 && avg_tuple_bytes > 0);
+        let l = (ub_bytes / (f * avg_tuple_bytes)).max(1);
+        PmvConfig::new(f, l, policy)
+    }
+}
+
+/// Definition of a partial materialized view for one query template.
+#[derive(Clone, Debug)]
+pub struct PartialViewDef {
+    name: String,
+    template: Arc<QueryTemplate>,
+    /// One entry per selection condition: `Some(discretizer)` for
+    /// interval-form conditions, `None` for equality-form ones.
+    discretizers: Vec<Option<Discretizer>>,
+}
+
+impl PartialViewDef {
+    /// Define a PMV over `template`. `discretizers` must supply a
+    /// [`Discretizer`] for every interval-form condition (the paper's
+    /// dividing values, chosen by the DBA, harvested from form-based UI
+    /// from/to lists, or learned from traces).
+    pub fn new(
+        name: impl Into<String>,
+        template: Arc<QueryTemplate>,
+        discretizers: Vec<Option<Discretizer>>,
+    ) -> Result<Self> {
+        if discretizers.len() != template.cond_count() {
+            return Err(CoreError::Definition(format!(
+                "expected {} discretizer slots, got {}",
+                template.cond_count(),
+                discretizers.len()
+            )));
+        }
+        for (i, (ct, d)) in template
+            .cond_templates()
+            .iter()
+            .zip(&discretizers)
+            .enumerate()
+        {
+            match (ct.form, d) {
+                (CondForm::Interval, None) => {
+                    return Err(CoreError::Definition(format!(
+                        "condition {i} is interval-form but has no discretizer"
+                    )))
+                }
+                (CondForm::Equality, Some(_)) => {
+                    return Err(CoreError::Definition(format!(
+                        "condition {i} is equality-form and must not have a discretizer"
+                    )))
+                }
+                _ => {}
+            }
+        }
+        Ok(PartialViewDef {
+            name: name.into(),
+            template,
+            discretizers,
+        })
+    }
+
+    /// Define a PMV for a template whose conditions are all equality-form.
+    pub fn all_equality(name: impl Into<String>, template: Arc<QueryTemplate>) -> Result<Self> {
+        let slots = vec![None; template.cond_count()];
+        PartialViewDef::new(name, template, slots)
+    }
+
+    /// View name (lock-manager object id).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The underlying query template.
+    pub fn template(&self) -> &Arc<QueryTemplate> {
+        &self.template
+    }
+
+    /// Discretizer for condition `i` (None for equality-form).
+    pub fn discretizer(&self, i: usize) -> Option<&Discretizer> {
+        self.discretizers[i].as_ref()
+    }
+
+    /// Recover the "conceptual" containing basic condition part of an
+    /// `Ls'`-layout result tuple — the paper stores no bcp with the tuple;
+    /// "whenever needed, bcp is recovered from ats" (Section 3.2).
+    pub fn bcp_of_tuple(&self, tuple: &Tuple) -> BcpKey {
+        let dims: Vec<BcpDim> = (0..self.template.cond_count())
+            .map(|i| {
+                let v = tuple.get(self.template.cond_position(i));
+                match &self.discretizers[i] {
+                    None => BcpDim::Eq(v.clone()),
+                    Some(d) => BcpDim::Iv(d.id_of(v)),
+                }
+            })
+            .collect();
+        BcpKey::new(dims)
+    }
+
+    /// Check that `instance` belongs to this view's template.
+    pub fn check_instance(&self, instance: &QueryInstance) -> Result<()> {
+        if !Arc::ptr_eq(instance.template(), &self.template) {
+            return Err(CoreError::Definition(format!(
+                "query instance is not from template '{}'",
+                self.template.name()
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmv_query::TemplateBuilder;
+    use pmv_storage::{tuple, Column, ColumnType, Schema, Value};
+
+    fn template_eq_iv() -> Arc<QueryTemplate> {
+        TemplateBuilder::new("t")
+            .relation(Schema::new(
+                "r",
+                vec![
+                    Column::new("a", ColumnType::Int),
+                    Column::new("f", ColumnType::Int),
+                    Column::new("g", ColumnType::Int),
+                ],
+            ))
+            .select("r", "a")
+            .unwrap()
+            .cond_eq("r", "f")
+            .unwrap()
+            .cond_interval("r", "g")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn definition_requires_matching_discretizers() {
+        let t = template_eq_iv();
+        // Missing discretizer for the interval condition.
+        assert!(PartialViewDef::new("v", Arc::clone(&t), vec![None, None]).is_err());
+        // Spurious discretizer on the equality condition.
+        assert!(PartialViewDef::new(
+            "v",
+            Arc::clone(&t),
+            vec![
+                Some(Discretizer::int_grid(0, 10, 2)),
+                Some(Discretizer::int_grid(0, 10, 2))
+            ]
+        )
+        .is_err());
+        // Wrong arity.
+        assert!(PartialViewDef::new("v", Arc::clone(&t), vec![None]).is_err());
+        // Correct.
+        assert!(
+            PartialViewDef::new("v", t, vec![None, Some(Discretizer::int_grid(0, 10, 2))]).is_ok()
+        );
+    }
+
+    #[test]
+    fn bcp_recovered_from_tuple() {
+        let t = template_eq_iv();
+        let def = PartialViewDef::new(
+            "v",
+            t,
+            vec![None, Some(Discretizer::new(vec![Value::Int(100)]))],
+        )
+        .unwrap();
+        // Ls' layout: (a, f, g).
+        let tup = tuple![1i64, 7i64, 150i64];
+        let bcp = def.bcp_of_tuple(&tup);
+        assert_eq!(
+            bcp,
+            BcpKey::new(vec![BcpDim::Eq(Value::Int(7)), BcpDim::Iv(1)])
+        );
+    }
+
+    #[test]
+    fn byte_budget_derives_l() {
+        let c = PmvConfig::with_byte_budget(2, 1_000_000, 50, PolicyKind::Clock);
+        assert_eq!(c.l, 10_000); // the paper's 1MB example
+        let c = PmvConfig::with_byte_budget(5, 100, 50, PolicyKind::TwoQ);
+        assert_eq!(c.l, 1); // floor at 1
+    }
+
+    #[test]
+    fn default_config_matches_paper_example() {
+        let c = PmvConfig::default();
+        assert_eq!(c.f, 2);
+        assert_eq!(c.l, 10_000);
+        assert_eq!(c.policy, PolicyKind::Clock);
+    }
+}

@@ -1,0 +1,471 @@
+//! A from-scratch B+-tree over composite keys.
+//!
+//! Arena-allocated nodes, leaf-level linked list for range scans, posting
+//! lists per key. Deletion is *lazy*: removing the last posting of a key
+//! removes the key from its leaf but never merges nodes. Underfull leaves
+//! are harmless for correctness and keep the code small; the workloads in
+//! this reproduction are insert-heavy (TPC-R loads) with comparatively few
+//! deletes, matching the paper's setting where deletes flow through ΔR.
+
+use std::ops::Bound;
+
+use pmv_storage::RowId;
+
+use crate::key::IndexKey;
+use crate::SecondaryIndex;
+
+/// Maximum keys per node before it splits.
+const DEFAULT_ORDER: usize = 32;
+
+type NodeId = usize;
+
+enum Node {
+    Internal {
+        /// Separator keys; `children[i]` holds keys `< keys[i]`,
+        /// `children[i+1]` holds keys `>= keys[i]`.
+        keys: Vec<IndexKey>,
+        children: Vec<NodeId>,
+    },
+    Leaf {
+        keys: Vec<IndexKey>,
+        postings: Vec<Vec<RowId>>,
+        next: Option<NodeId>,
+    },
+}
+
+/// B+-tree index: ordered composite keys with range scans.
+pub struct BTreeIndex {
+    nodes: Vec<Node>,
+    root: NodeId,
+    order: usize,
+    key_count: usize,
+    entry_count: usize,
+}
+
+impl Default for BTreeIndex {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BTreeIndex {
+    /// Empty tree with the default node order.
+    pub fn new() -> Self {
+        Self::with_order(DEFAULT_ORDER)
+    }
+
+    /// Empty tree with `order` maximum keys per node (minimum 4).
+    pub fn with_order(order: usize) -> Self {
+        assert!(order >= 4, "B+-tree order must be at least 4");
+        BTreeIndex {
+            // Node 0 is the initial (leftmost) leaf and stays the leftmost
+            // leaf forever: splits always allocate the *right* sibling.
+            nodes: vec![Node::Leaf {
+                keys: Vec::new(),
+                postings: Vec::new(),
+                next: None,
+            }],
+            root: 0,
+            order,
+            key_count: 0,
+            entry_count: 0,
+        }
+    }
+
+    /// Leaf that would contain `key`, plus the path of internal nodes
+    /// walked (for split propagation).
+    fn descend(&self, key: &IndexKey) -> (NodeId, Vec<(NodeId, usize)>) {
+        let mut path = Vec::new();
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node] {
+                Node::Internal { keys, children } => {
+                    let child_idx = keys.partition_point(|sep| sep <= key);
+                    path.push((node, child_idx));
+                    node = children[child_idx];
+                }
+                Node::Leaf { .. } => return (node, path),
+            }
+        }
+    }
+
+    /// Split the overfull node `node`, returning the separator key and the
+    /// new right sibling id.
+    fn split(&mut self, node: NodeId) -> (IndexKey, NodeId) {
+        let new_id = self.nodes.len();
+        match &mut self.nodes[node] {
+            Node::Leaf {
+                keys,
+                postings,
+                next,
+            } => {
+                let mid = keys.len() / 2;
+                let right_keys = keys.split_off(mid);
+                let right_postings = postings.split_off(mid);
+                let sep = right_keys[0].clone();
+                let right = Node::Leaf {
+                    keys: right_keys,
+                    postings: right_postings,
+                    next: next.take(),
+                };
+                match &mut self.nodes[node] {
+                    Node::Leaf { next, .. } => *next = Some(new_id),
+                    Node::Internal { .. } => unreachable!(),
+                }
+                self.nodes.push(right);
+                (sep, new_id)
+            }
+            Node::Internal { keys, children } => {
+                let mid = keys.len() / 2;
+                // The separator at `mid` moves up; right node gets keys
+                // after it.
+                let sep = keys[mid].clone();
+                let right_keys = keys.split_off(mid + 1);
+                keys.pop(); // drop the promoted separator
+                let right_children = children.split_off(mid + 1);
+                let right = Node::Internal {
+                    keys: right_keys,
+                    children: right_children,
+                };
+                self.nodes.push(right);
+                (sep, new_id)
+            }
+        }
+    }
+
+    fn node_len(&self, node: NodeId) -> usize {
+        match &self.nodes[node] {
+            Node::Internal { keys, .. } | Node::Leaf { keys, .. } => keys.len(),
+        }
+    }
+
+    /// Propagate splits from `leaf` back up `path` to the root.
+    fn rebalance_after_insert(&mut self, leaf: NodeId, path: Vec<(NodeId, usize)>) {
+        let mut child = leaf;
+        let mut path = path;
+        while self.node_len(child) > self.order {
+            let (sep, right) = self.split(child);
+            match path.pop() {
+                Some((parent, child_idx)) => {
+                    match &mut self.nodes[parent] {
+                        Node::Internal { keys, children } => {
+                            keys.insert(child_idx, sep);
+                            children.insert(child_idx + 1, right);
+                        }
+                        Node::Leaf { .. } => unreachable!("parent must be internal"),
+                    }
+                    child = parent;
+                }
+                None => {
+                    // `child` was the root: grow a new root.
+                    let new_root = Node::Internal {
+                        keys: vec![sep],
+                        children: vec![child, right],
+                    };
+                    self.nodes.push(new_root);
+                    self.root = self.nodes.len() - 1;
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Range scan: all `(key, postings)` with key within the bounds, in
+    /// ascending key order.
+    pub fn range(&self, lo: Bound<&IndexKey>, hi: Bound<&IndexKey>) -> Vec<(IndexKey, Vec<RowId>)> {
+        let mut out = Vec::new();
+        // Locate the starting leaf and position.
+        let (mut node, mut pos) = match lo {
+            Bound::Unbounded => (0, 0), // node 0 is always the leftmost leaf
+            Bound::Included(k) | Bound::Excluded(k) => {
+                let (leaf, _) = self.descend(k);
+                let pos = match &self.nodes[leaf] {
+                    Node::Leaf { keys, .. } => match lo {
+                        Bound::Included(k) => keys.partition_point(|x| x < k),
+                        Bound::Excluded(k) => keys.partition_point(|x| x <= k),
+                        Bound::Unbounded => 0,
+                    },
+                    Node::Internal { .. } => unreachable!(),
+                };
+                (leaf, pos)
+            }
+        };
+        loop {
+            let Node::Leaf {
+                keys,
+                postings,
+                next,
+            } = &self.nodes[node]
+            else {
+                unreachable!("leaf chain contains only leaves")
+            };
+            while pos < keys.len() {
+                let k = &keys[pos];
+                let in_hi = match hi {
+                    Bound::Unbounded => true,
+                    Bound::Included(h) => k <= h,
+                    Bound::Excluded(h) => k < h,
+                };
+                if !in_hi {
+                    return out;
+                }
+                out.push((k.clone(), postings[pos].clone()));
+                pos += 1;
+            }
+            match next {
+                Some(n) => {
+                    node = *n;
+                    pos = 0;
+                }
+                None => return out,
+            }
+        }
+    }
+
+    /// All keys in ascending order (test/validation helper).
+    pub fn keys_in_order(&self) -> Vec<IndexKey> {
+        self.range(Bound::Unbounded, Bound::Unbounded)
+            .into_iter()
+            .map(|(k, _)| k)
+            .collect()
+    }
+
+    /// Check structural invariants; panics on violation. Test helper.
+    pub fn validate(&self) {
+        let keys = self.keys_in_order();
+        assert!(
+            keys.windows(2).all(|w| w[0] < w[1]),
+            "leaf chain keys must be strictly ascending"
+        );
+        assert_eq!(keys.len(), self.key_count, "key_count mismatch");
+        let posted: usize = self
+            .range(Bound::Unbounded, Bound::Unbounded)
+            .iter()
+            .map(|(_, p)| p.len())
+            .sum();
+        assert_eq!(posted, self.entry_count, "entry_count mismatch");
+    }
+}
+
+impl SecondaryIndex for BTreeIndex {
+    fn insert(&mut self, key: IndexKey, row: RowId) {
+        let (leaf, path) = self.descend(&key);
+        let overflow = match &mut self.nodes[leaf] {
+            Node::Leaf { keys, postings, .. } => {
+                match keys.binary_search(&key) {
+                    Ok(i) => postings[i].push(row),
+                    Err(i) => {
+                        keys.insert(i, key);
+                        postings.insert(i, vec![row]);
+                        self.key_count += 1;
+                    }
+                }
+                keys.len() > self.order
+            }
+            Node::Internal { .. } => unreachable!(),
+        };
+        self.entry_count += 1;
+        if overflow {
+            self.rebalance_after_insert(leaf, path);
+        }
+    }
+
+    fn remove(&mut self, key: &IndexKey, row: RowId) -> bool {
+        let (leaf, _) = self.descend(key);
+        match &mut self.nodes[leaf] {
+            Node::Leaf { keys, postings, .. } => match keys.binary_search(key) {
+                Ok(i) => {
+                    let Some(pos) = postings[i].iter().position(|&r| r == row) else {
+                        return false;
+                    };
+                    postings[i].swap_remove(pos);
+                    self.entry_count -= 1;
+                    if postings[i].is_empty() {
+                        keys.remove(i);
+                        postings.remove(i);
+                        self.key_count -= 1;
+                    }
+                    true
+                }
+                Err(_) => false,
+            },
+            Node::Internal { .. } => unreachable!(),
+        }
+    }
+
+    fn get(&self, key: &IndexKey) -> &[RowId] {
+        let (leaf, _) = self.descend(key);
+        match &self.nodes[leaf] {
+            Node::Leaf { keys, postings, .. } => match keys.binary_search(key) {
+                Ok(i) => &postings[i],
+                Err(_) => &[],
+            },
+            Node::Internal { .. } => unreachable!(),
+        }
+    }
+
+    fn key_count(&self) -> usize {
+        self.key_count
+    }
+
+    fn entry_count(&self) -> usize {
+        self.entry_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmv_storage::Value;
+
+    fn k(v: i64) -> IndexKey {
+        IndexKey::single(Value::Int(v))
+    }
+
+    #[test]
+    fn insert_and_get_small() {
+        let mut t = BTreeIndex::new();
+        t.insert(k(5), RowId(50));
+        t.insert(k(3), RowId(30));
+        t.insert(k(7), RowId(70));
+        assert_eq!(t.get(&k(3)), &[RowId(30)]);
+        assert_eq!(t.get(&k(5)), &[RowId(50)]);
+        assert_eq!(t.get(&k(9)), &[] as &[RowId]);
+        t.validate();
+    }
+
+    #[test]
+    fn many_inserts_force_splits() {
+        let mut t = BTreeIndex::with_order(4);
+        for i in 0..1000i64 {
+            t.insert(k(i), RowId(i as u32));
+        }
+        t.validate();
+        assert_eq!(t.key_count(), 1000);
+        for i in 0..1000i64 {
+            assert_eq!(t.get(&k(i)), &[RowId(i as u32)], "key {i}");
+        }
+    }
+
+    #[test]
+    fn descending_inserts() {
+        let mut t = BTreeIndex::with_order(4);
+        for i in (0..500i64).rev() {
+            t.insert(k(i), RowId(i as u32));
+        }
+        t.validate();
+        let keys = t.keys_in_order();
+        assert_eq!(keys.len(), 500);
+        assert_eq!(keys[0], k(0));
+        assert_eq!(keys[499], k(499));
+    }
+
+    #[test]
+    fn duplicate_keys_extend_postings() {
+        let mut t = BTreeIndex::new();
+        t.insert(k(1), RowId(10));
+        t.insert(k(1), RowId(11));
+        assert_eq!(t.get(&k(1)), &[RowId(10), RowId(11)]);
+        assert_eq!(t.key_count(), 1);
+        assert_eq!(t.entry_count(), 2);
+    }
+
+    #[test]
+    fn remove_posting_and_key() {
+        let mut t = BTreeIndex::with_order(4);
+        for i in 0..100i64 {
+            t.insert(k(i), RowId(i as u32));
+            t.insert(k(i), RowId(1000 + i as u32));
+        }
+        assert!(t.remove(&k(50), RowId(50)));
+        assert_eq!(t.get(&k(50)), &[RowId(1050)]);
+        assert!(t.remove(&k(50), RowId(1050)));
+        assert_eq!(t.get(&k(50)), &[] as &[RowId]);
+        assert!(!t.remove(&k(50), RowId(1050)));
+        t.validate();
+        assert_eq!(t.key_count(), 99);
+    }
+
+    #[test]
+    fn range_inclusive_exclusive() {
+        let mut t = BTreeIndex::with_order(4);
+        for i in 0..20i64 {
+            t.insert(k(i * 10), RowId(i as u32));
+        }
+        let r = t.range(Bound::Included(&k(30)), Bound::Included(&k(60)));
+        let got: Vec<_> = r.iter().map(|(key, _)| key.clone()).collect();
+        assert_eq!(got, vec![k(30), k(40), k(50), k(60)]);
+
+        let r = t.range(Bound::Excluded(&k(30)), Bound::Excluded(&k(60)));
+        let got: Vec<_> = r.iter().map(|(key, _)| key.clone()).collect();
+        assert_eq!(got, vec![k(40), k(50)]);
+    }
+
+    #[test]
+    fn range_unbounded_sides() {
+        let mut t = BTreeIndex::with_order(4);
+        for i in 0..50i64 {
+            t.insert(k(i), RowId(i as u32));
+        }
+        assert_eq!(t.range(Bound::Unbounded, Bound::Excluded(&k(3))).len(), 3);
+        assert_eq!(t.range(Bound::Included(&k(47)), Bound::Unbounded).len(), 3);
+        assert_eq!(t.range(Bound::Unbounded, Bound::Unbounded).len(), 50);
+    }
+
+    #[test]
+    fn range_between_keys_lands_correctly() {
+        let mut t = BTreeIndex::with_order(4);
+        for i in 0..20i64 {
+            t.insert(k(i * 10), RowId(i as u32));
+        }
+        // Bounds that are not keys themselves.
+        let r = t.range(Bound::Included(&k(25)), Bound::Included(&k(45)));
+        let got: Vec<_> = r.iter().map(|(key, _)| key.clone()).collect();
+        assert_eq!(got, vec![k(30), k(40)]);
+    }
+
+    #[test]
+    fn empty_tree_behaves() {
+        let t = BTreeIndex::new();
+        assert_eq!(t.get(&k(1)), &[] as &[RowId]);
+        assert!(t.range(Bound::Unbounded, Bound::Unbounded).is_empty());
+        t.validate();
+    }
+
+    #[test]
+    fn composite_keys_order_lexicographically_in_range() {
+        let mut t = BTreeIndex::with_order(4);
+        for a in 0..10i64 {
+            for b in 0..10i64 {
+                t.insert(
+                    IndexKey::new(vec![Value::Int(a), Value::Int(b)]),
+                    RowId((a * 10 + b) as u32),
+                );
+            }
+        }
+        t.validate();
+        // All keys with first component 3: [ (3,0) .. (4,0) )
+        let lo = IndexKey::new(vec![Value::Int(3)]);
+        let hi = IndexKey::new(vec![Value::Int(4)]);
+        let r = t.range(Bound::Included(&lo), Bound::Excluded(&hi));
+        assert_eq!(r.len(), 10);
+        assert!(r.iter().all(|(key, _)| key.parts()[0] == Value::Int(3)));
+    }
+
+    #[test]
+    fn interleaved_insert_remove_stress() {
+        let mut t = BTreeIndex::with_order(4);
+        for round in 0..5 {
+            for i in 0..200i64 {
+                t.insert(k(i), RowId((round * 200 + i) as u32));
+            }
+            for i in (0..200i64).step_by(2) {
+                assert!(t.remove(&k(i), RowId((round * 200 + i) as u32)));
+            }
+            t.validate();
+        }
+        // Odd keys have 5 postings each, even keys 0 extra beyond removals.
+        assert_eq!(t.get(&k(1)).len(), 5);
+        assert_eq!(t.get(&k(2)).len(), 0);
+    }
+}

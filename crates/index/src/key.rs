@@ -1,0 +1,110 @@
+//! Composite index keys.
+
+use std::fmt;
+
+use pmv_storage::{HeapSize, Tuple, Value};
+
+/// A composite key: one value per indexed column, ordered
+/// lexicographically. Single-column keys are the common case; the PMV's
+/// bcp index uses one component per selection condition in the template.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct IndexKey {
+    parts: Box<[Value]>,
+}
+
+impl IndexKey {
+    /// Key over several values.
+    pub fn new(parts: impl Into<Box<[Value]>>) -> Self {
+        IndexKey {
+            parts: parts.into(),
+        }
+    }
+
+    /// Key over a single value.
+    pub fn single(v: Value) -> Self {
+        IndexKey {
+            parts: Box::from([v]),
+        }
+    }
+
+    /// Extract the key for `tuple` given the indexed column positions.
+    pub fn from_tuple(tuple: &Tuple, columns: &[usize]) -> Self {
+        IndexKey::new(
+            columns
+                .iter()
+                .map(|&c| tuple.get(c).clone())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// Key components.
+    pub fn parts(&self) -> &[Value] {
+        &self.parts
+    }
+
+    /// Number of components.
+    pub fn arity(&self) -> usize {
+        self.parts.len()
+    }
+}
+
+impl fmt::Debug for IndexKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k[")?;
+        for (i, v) in self.parts.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl From<Value> for IndexKey {
+    fn from(v: Value) -> Self {
+        IndexKey::single(v)
+    }
+}
+
+impl From<Vec<Value>> for IndexKey {
+    fn from(v: Vec<Value>) -> Self {
+        IndexKey::new(v)
+    }
+}
+
+impl HeapSize for IndexKey {
+    fn heap_size(&self) -> usize {
+        self.parts.heap_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmv_storage::tuple;
+
+    #[test]
+    fn lexicographic_order() {
+        let a = IndexKey::new(vec![Value::Int(1), Value::Int(9)]);
+        let b = IndexKey::new(vec![Value::Int(2), Value::Int(0)]);
+        assert!(a < b);
+        let c = IndexKey::new(vec![Value::Int(1)]);
+        // Prefix sorts before its extension.
+        assert!(c < a);
+    }
+
+    #[test]
+    fn from_tuple_extracts_columns() {
+        let t = tuple![10i64, "x", 30i64];
+        let k = IndexKey::from_tuple(&t, &[2, 0]);
+        assert_eq!(k.parts(), &[Value::Int(30), Value::Int(10)]);
+        assert_eq!(k.arity(), 2);
+    }
+
+    #[test]
+    fn debug_format() {
+        let k = IndexKey::new(vec![Value::Int(1), Value::str("a")]);
+        assert_eq!(format!("{k:?}"), "k[1, 'a']");
+    }
+}

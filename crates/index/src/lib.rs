@@ -1,0 +1,137 @@
+//! Secondary index substrate.
+//!
+//! The paper's experiments "built an index on each selection/join
+//! attribute" (Section 4.2), and the PMV itself carries "an index I on bcp"
+//! which is a multi-attribute index when the template has more than one
+//! selection condition (Section 3.2). This crate provides both index shapes
+//! from scratch:
+//!
+//! * [`BTreeIndex`] — a B+-tree over composite keys with leaf-linked range
+//!   scans, used for interval-form conditions and join attributes.
+//! * [`HashIndex`] — an equality-probe index used for equality-form
+//!   conditions and the PMV's bcp index.
+//!
+//! Both map an [`IndexKey`] (one or more [`pmv_storage::Value`]s) to a
+//! posting list of [`pmv_storage::RowId`]s, and both are maintained
+//! incrementally from storage deltas.
+
+pub mod btree;
+pub mod hash;
+pub mod key;
+pub mod maintenance;
+
+pub use btree::BTreeIndex;
+pub use hash::HashIndex;
+pub use key::IndexKey;
+pub use maintenance::{IndexDef, IndexShape};
+
+use pmv_storage::RowId;
+use std::ops::Bound;
+
+/// Common interface of all secondary indexes.
+pub trait SecondaryIndex {
+    /// Add `row` to the posting list of `key`.
+    fn insert(&mut self, key: IndexKey, row: RowId);
+
+    /// Remove `row` from the posting list of `key`. Returns whether the
+    /// (key, row) pair was present.
+    fn remove(&mut self, key: &IndexKey, row: RowId) -> bool;
+
+    /// Rows matching `key` exactly.
+    fn get(&self, key: &IndexKey) -> &[RowId];
+
+    /// Number of distinct keys.
+    fn key_count(&self) -> usize;
+
+    /// Total number of (key, row) postings.
+    fn entry_count(&self) -> usize;
+}
+
+/// An index of either shape, chosen per the access pattern it must serve.
+pub enum AnyIndex {
+    /// Ordered index with range scans.
+    BTree(BTreeIndex),
+    /// Equality-only hash index.
+    Hash(HashIndex),
+}
+
+impl AnyIndex {
+    /// Range scan over keys in `(lo, hi)`; only ordered indexes support it.
+    /// Calling it on a hash index is a planner bug, hence a panic rather
+    /// than a recoverable error.
+    pub fn range(&self, lo: Bound<&IndexKey>, hi: Bound<&IndexKey>) -> Vec<(IndexKey, Vec<RowId>)> {
+        match self {
+            AnyIndex::BTree(b) => b.range(lo, hi),
+            AnyIndex::Hash(_) => panic!("range scan requested on a hash index"),
+        }
+    }
+
+    /// Whether this index supports ordered range scans.
+    pub fn supports_range(&self) -> bool {
+        matches!(self, AnyIndex::BTree(_))
+    }
+}
+
+impl SecondaryIndex for AnyIndex {
+    fn insert(&mut self, key: IndexKey, row: RowId) {
+        match self {
+            AnyIndex::BTree(b) => b.insert(key, row),
+            AnyIndex::Hash(h) => h.insert(key, row),
+        }
+    }
+
+    fn remove(&mut self, key: &IndexKey, row: RowId) -> bool {
+        match self {
+            AnyIndex::BTree(b) => b.remove(key, row),
+            AnyIndex::Hash(h) => h.remove(key, row),
+        }
+    }
+
+    fn get(&self, key: &IndexKey) -> &[RowId] {
+        match self {
+            AnyIndex::BTree(b) => b.get(key),
+            AnyIndex::Hash(h) => h.get(key),
+        }
+    }
+
+    fn key_count(&self) -> usize {
+        match self {
+            AnyIndex::BTree(b) => b.key_count(),
+            AnyIndex::Hash(h) => h.key_count(),
+        }
+    }
+
+    fn entry_count(&self) -> usize {
+        match self {
+            AnyIndex::BTree(b) => b.entry_count(),
+            AnyIndex::Hash(h) => h.entry_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmv_storage::Value;
+
+    #[test]
+    fn any_index_dispatches() {
+        let mut idx = AnyIndex::Hash(HashIndex::new());
+        idx.insert(IndexKey::single(Value::Int(1)), RowId(0));
+        assert_eq!(idx.get(&IndexKey::single(Value::Int(1))), &[RowId(0)]);
+        assert!(!idx.supports_range());
+
+        let mut idx = AnyIndex::BTree(BTreeIndex::new());
+        idx.insert(IndexKey::single(Value::Int(1)), RowId(0));
+        assert!(idx.supports_range());
+        assert_eq!(idx.key_count(), 1);
+        assert_eq!(idx.entry_count(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "range scan requested on a hash index")]
+    fn hash_range_panics() {
+        let idx = AnyIndex::Hash(HashIndex::new());
+        idx.range(Bound::Unbounded, Bound::Unbounded);
+    }
+}

@@ -1,0 +1,280 @@
+//! The `Database`: catalog + secondary indexes + indexed DML.
+//!
+//! This is the substrate standing in for PostgreSQL in the paper's
+//! prototype: relations live in a [`Catalog`], secondary indexes are kept
+//! transactionally consistent with every insert/delete/update, and each
+//! mutation yields a [`Delta`] so higher layers (transactions, PMV
+//! maintenance) can observe `ΔR`.
+
+use pmv_index::{AnyIndex, IndexDef, SecondaryIndex};
+use pmv_storage::{Catalog, Delta, HeapRelation, RowId, Schema, StorageError, Tuple};
+
+use crate::table_stats::TableStats;
+use crate::Result;
+
+/// Shared handle to a relation (re-export of the catalog handle type).
+pub type RelationHandle = pmv_storage::catalog::RelationHandle;
+
+/// An in-memory database: relations plus their secondary indexes.
+#[derive(Default)]
+pub struct Database {
+    catalog: Catalog,
+    indexes: Vec<(IndexDef, AnyIndex)>,
+    stats: Option<TableStats>,
+}
+
+impl Database {
+    /// Empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Create a relation.
+    pub fn create_relation(&mut self, schema: Schema) -> Result<()> {
+        self.catalog.create_relation(schema)?;
+        Ok(())
+    }
+
+    /// Handle to a relation.
+    pub fn relation(&self, name: &str) -> Result<RelationHandle> {
+        Ok(self.catalog.relation(name)?)
+    }
+
+    /// Schema snapshot of a relation.
+    pub fn schema(&self, name: &str) -> Result<Schema> {
+        Ok(self.catalog.relation(name)?.read().schema().clone())
+    }
+
+    /// Create a secondary index, building it from the relation's current
+    /// contents.
+    pub fn create_index(&mut self, def: IndexDef) -> Result<()> {
+        let rel = self.catalog.relation(&def.relation)?;
+        let mut idx = def.build_empty();
+        for (row, tuple) in rel.read().iter() {
+            idx.insert(def.key_of(tuple), row);
+        }
+        self.indexes.push((def, idx));
+        Ok(())
+    }
+
+    /// First index on exactly `(relation, columns)`, if any.
+    pub fn index_on(&self, relation: &str, columns: &[usize]) -> Option<&AnyIndex> {
+        self.indexes
+            .iter()
+            .find(|(d, _)| d.relation == relation && d.columns == columns)
+            .map(|(_, i)| i)
+    }
+
+    /// Index definitions registered for `relation`.
+    pub fn index_defs(&self, relation: &str) -> Vec<&IndexDef> {
+        self.indexes
+            .iter()
+            .filter(|(d, _)| d.relation == relation)
+            .map(|(d, _)| d)
+            .collect()
+    }
+
+    /// Apply one delta to every index of its relation.
+    fn maintain_indexes(&mut self, relation: &str, delta: &Delta) {
+        for (def, idx) in &mut self.indexes {
+            if def.relation == relation {
+                def.apply_delta(idx, delta);
+            }
+        }
+    }
+
+    /// Insert a tuple; maintains indexes; returns the delta.
+    pub fn insert(&mut self, relation: &str, tuple: Tuple) -> Result<Delta> {
+        let rel = self.catalog.relation(relation)?;
+        let row = rel.write().insert(tuple.clone())?;
+        let delta = Delta::Insert { row, tuple };
+        self.maintain_indexes(relation, &delta);
+        Ok(delta)
+    }
+
+    /// Bulk-load tuples (still index-maintained, but avoids per-row handle
+    /// lookups). Returns the number loaded.
+    pub fn load(
+        &mut self,
+        relation: &str,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<usize> {
+        let rel = self.catalog.relation(relation)?;
+        let mut n = 0;
+        {
+            let mut guard = rel.write();
+            for t in tuples {
+                let row = guard.insert(t.clone())?;
+                let delta = Delta::Insert { row, tuple: t };
+                for (def, idx) in &mut self.indexes {
+                    if def.relation == relation {
+                        def.apply_delta(idx, &delta);
+                    }
+                }
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// Delete the tuple at `row`; maintains indexes; returns the delta.
+    pub fn delete(&mut self, relation: &str, row: RowId) -> Result<Delta> {
+        let rel = self.catalog.relation(relation)?;
+        let tuple = rel.write().delete(row)?;
+        let delta = Delta::Delete { row, tuple };
+        self.maintain_indexes(relation, &delta);
+        Ok(delta)
+    }
+
+    /// Replace the tuple at `row`; maintains indexes; returns the delta.
+    pub fn update(&mut self, relation: &str, row: RowId, new: Tuple) -> Result<Delta> {
+        let rel = self.catalog.relation(relation)?;
+        let old = rel.write().update(row, new.clone())?;
+        let delta = Delta::Update { row, old, new };
+        self.maintain_indexes(relation, &delta);
+        Ok(delta)
+    }
+
+    /// Tuple at `row`, cloned out.
+    pub fn get(&self, relation: &str, row: RowId) -> Result<Tuple> {
+        let rel = self.catalog.relation(relation)?;
+        let guard = rel.read();
+        guard.get(row).cloned().ok_or_else(|| {
+            StorageError::RowNotFound {
+                relation: relation.to_string(),
+                slot: row.0,
+            }
+            .into()
+        })
+    }
+
+    /// Number of live tuples in a relation.
+    pub fn len(&self, relation: &str) -> Result<usize> {
+        Ok(self.catalog.relation(relation)?.read().len())
+    }
+
+    /// Collect table statistics over every relation (the paper's "we ran
+    /// the PostgreSQL statistics collection program on all the
+    /// relations"). The executor then drives from the most selective
+    /// condition instead of blindly using the first one. Statistics are
+    /// a snapshot — re-run after bulk changes.
+    pub fn analyze(&mut self) -> Result<()> {
+        let names = self.catalog.relation_names();
+        let refs: Vec<&str> = names.iter().map(String::as_str).collect();
+        self.stats = Some(TableStats::analyze(self, &refs)?);
+        Ok(())
+    }
+
+    /// Table statistics, if `analyze` has been run.
+    pub fn table_stats(&self) -> Option<&TableStats> {
+        self.stats.as_ref()
+    }
+
+    /// Run `f` over a read guard of the relation.
+    pub fn with_relation<T>(
+        &self,
+        relation: &str,
+        f: impl FnOnce(&HeapRelation) -> T,
+    ) -> Result<T> {
+        let rel = self.catalog.relation(relation)?;
+        let guard = rel.read();
+        Ok(f(&guard))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmv_storage::{tuple, Column, ColumnType, Value};
+
+    fn db_with_r() -> Database {
+        let mut db = Database::new();
+        db.create_relation(Schema::new(
+            "r",
+            vec![
+                Column::new("a", ColumnType::Int),
+                Column::new("b", ColumnType::Int),
+            ],
+        ))
+        .unwrap();
+        db
+    }
+
+    #[test]
+    fn insert_maintains_index() {
+        let mut db = db_with_r();
+        db.create_index(IndexDef::btree("r", vec![0])).unwrap();
+        let d = db.insert("r", tuple![5i64, 50i64]).unwrap();
+        let Delta::Insert { row, .. } = d else {
+            panic!()
+        };
+        let idx = db.index_on("r", &[0]).unwrap();
+        assert_eq!(idx.get(&pmv_index::IndexKey::single(Value::Int(5))), &[row]);
+    }
+
+    #[test]
+    fn index_created_after_load_backfills() {
+        let mut db = db_with_r();
+        db.load("r", vec![tuple![1i64, 10i64], tuple![2i64, 20i64]])
+            .unwrap();
+        db.create_index(IndexDef::hash("r", vec![1])).unwrap();
+        let idx = db.index_on("r", &[1]).unwrap();
+        assert_eq!(
+            idx.get(&pmv_index::IndexKey::single(Value::Int(20))).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn delete_and_update_maintain_index() {
+        let mut db = db_with_r();
+        db.create_index(IndexDef::btree("r", vec![0])).unwrap();
+        let Delta::Insert { row, .. } = db.insert("r", tuple![5i64, 50i64]).unwrap() else {
+            panic!()
+        };
+        db.update("r", row, tuple![6i64, 50i64]).unwrap();
+        let idx = db.index_on("r", &[0]).unwrap();
+        assert!(idx
+            .get(&pmv_index::IndexKey::single(Value::Int(5)))
+            .is_empty());
+        assert_eq!(idx.get(&pmv_index::IndexKey::single(Value::Int(6))), &[row]);
+        db.delete("r", row).unwrap();
+        let idx = db.index_on("r", &[0]).unwrap();
+        assert!(idx
+            .get(&pmv_index::IndexKey::single(Value::Int(6)))
+            .is_empty());
+        assert_eq!(db.len("r").unwrap(), 0);
+    }
+
+    #[test]
+    fn index_on_requires_exact_columns() {
+        let mut db = db_with_r();
+        db.create_index(IndexDef::btree("r", vec![0])).unwrap();
+        assert!(db.index_on("r", &[0]).is_some());
+        assert!(db.index_on("r", &[1]).is_none());
+        assert!(db.index_on("r", &[0, 1]).is_none());
+        assert!(db.index_on("s", &[0]).is_none());
+    }
+
+    #[test]
+    fn get_and_len() {
+        let mut db = db_with_r();
+        let Delta::Insert { row, .. } = db.insert("r", tuple![1i64, 2i64]).unwrap() else {
+            panic!()
+        };
+        assert_eq!(db.get("r", row).unwrap(), tuple![1i64, 2i64]);
+        assert_eq!(db.len("r").unwrap(), 1);
+        db.delete("r", row).unwrap();
+        assert!(db.get("r", row).is_err());
+    }
+
+    #[test]
+    fn multiple_indexes_on_one_relation() {
+        let mut db = db_with_r();
+        db.create_index(IndexDef::btree("r", vec![0])).unwrap();
+        db.create_index(IndexDef::hash("r", vec![1])).unwrap();
+        db.insert("r", tuple![1i64, 2i64]).unwrap();
+        assert_eq!(db.index_defs("r").len(), 2);
+        assert_eq!(db.index_on("r", &[1]).unwrap().entry_count(), 1);
+    }
+}

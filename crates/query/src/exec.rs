@@ -1,0 +1,1070 @@
+//! Query execution.
+//!
+//! [`execute`] is an index-nested-loop-join executor for the template
+//! class: it drives from the first selection condition's relation
+//! (fetching candidates through a secondary index where one exists), then
+//! binds the remaining relations one join edge at a time, probing the join
+//! index of each. This mirrors the plans the paper describes for Eqt
+//! ("fetches tuples from R using the index on R.f; for each retrieved
+//! tuple, the index on S.d is used to search S", Section 2.1).
+//!
+//! [`execute_scan`] is a deliberately naive nested-loop oracle used by the
+//! test suite to validate the indexed executor, and [`join_from`] computes
+//! the `ΔR ⋈ (other relations)` join needed by PMV delete maintenance
+//! (Section 3.4) without touching the deleted tuple's own relation.
+
+use pmv_index::{IndexKey, SecondaryIndex};
+use pmv_storage::{HeapRelation, RowId, Tuple, Value};
+
+use crate::condition::Condition;
+use crate::engine::Database;
+use crate::template::{AttrRef, QueryInstance, QueryTemplate};
+use crate::Result;
+
+/// Counters describing how a query was executed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Exact-match index probes issued.
+    pub index_probes: usize,
+    /// Index range scans issued.
+    pub range_scans: usize,
+    /// Full relation scans that had to run because no index applied.
+    pub fallback_scans: usize,
+    /// Tuples examined (fetched and predicate-checked).
+    pub tuples_examined: usize,
+    /// Result tuples produced.
+    pub results: usize,
+}
+
+/// One join step in the binding order: bind `new_rel` by probing its
+/// `new_attr` column with the value of `bound_attr` from an already-bound
+/// relation.
+struct JoinStep {
+    new_rel: usize,
+    bound_attr: AttrRef,
+    new_attr: AttrRef,
+}
+
+/// Compute the binding order starting from `start`, walking join edges.
+fn plan_join_order(t: &QueryTemplate, start: usize) -> Vec<JoinStep> {
+    let n = t.relations().len();
+    let mut bound = vec![false; n];
+    bound[start] = true;
+    let mut steps = Vec::with_capacity(n.saturating_sub(1));
+    while steps.len() + 1 < n {
+        let step = t
+            .joins()
+            .iter()
+            .find_map(|j| {
+                if bound[j.left.relation] && !bound[j.right.relation] {
+                    Some(JoinStep {
+                        new_rel: j.right.relation,
+                        bound_attr: j.left,
+                        new_attr: j.right,
+                    })
+                } else if bound[j.right.relation] && !bound[j.left.relation] {
+                    Some(JoinStep {
+                        new_rel: j.left.relation,
+                        bound_attr: j.right,
+                        new_attr: j.left,
+                    })
+                } else {
+                    None
+                }
+            })
+            .expect("join graph is connected (validated at template build)");
+        bound[step.new_rel] = true;
+        steps.push(step);
+    }
+    steps
+}
+
+/// Shared executor context.
+struct ExecCtx<'a> {
+    db: &'a Database,
+    t: &'a QueryTemplate,
+    /// Selection conditions grouped by relation: `(cond index, condition)`.
+    conds_by_rel: Vec<Vec<(usize, &'a Condition)>>,
+    stats: ExecStats,
+    out: Vec<Tuple>,
+}
+
+impl<'a> ExecCtx<'a> {
+    /// Do all predicates local to `rel` hold for `tuple`? (fixed preds and
+    /// selection conditions; join predicates are enforced by construction
+    /// of the probe, and re-checked for redundant join edges at emit.)
+    fn local_predicates_hold(&self, rel: usize, tuple: &Tuple, check_conds: bool) -> bool {
+        for fp in self.t.fixed_preds() {
+            if fp.attr.relation == rel && tuple.get(fp.attr.column) != &fp.value {
+                return false;
+            }
+        }
+        if check_conds {
+            for &(i, c) in &self.conds_by_rel[rel] {
+                let col = self.t.cond_templates()[i].attr.column;
+                if !c.matches(tuple.get(col)) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Emit the expanded-layout tuple for a full binding, verifying every
+    /// join condition (covers cyclic/redundant join edges the spanning
+    /// order did not use for probing).
+    fn emit(&mut self, bindings: &[Option<&Tuple>]) {
+        for j in self.t.joins() {
+            let l = bindings[j.left.relation].expect("bound").get(j.left.column);
+            let r = bindings[j.right.relation]
+                .expect("bound")
+                .get(j.right.column);
+            if l != r {
+                return;
+            }
+        }
+        let values: Vec<Value> = self
+            .t
+            .expanded_list()
+            .iter()
+            .map(|a| bindings[a.relation].expect("bound").get(a.column).clone())
+            .collect();
+        self.out.push(Tuple::new(values));
+        self.stats.results += 1;
+    }
+}
+
+/// Execute `q` with index nested loops, returning `Ls'`-layout result
+/// tuples and execution stats.
+pub fn execute(db: &Database, q: &QueryInstance) -> Result<(Vec<Tuple>, ExecStats)> {
+    let t = q.template().as_ref();
+    execute_with_conditions(db, t, q.conds(), true)
+}
+
+/// Core of [`execute`], also reused by [`join_from`] with selection
+/// conditions disabled.
+fn execute_with_conditions(
+    db: &Database,
+    t: &QueryTemplate,
+    conds: &[Condition],
+    check_conds: bool,
+) -> Result<(Vec<Tuple>, ExecStats)> {
+    let n = t.relations().len();
+    let mut conds_by_rel: Vec<Vec<(usize, &Condition)>> = vec![Vec::new(); n];
+    for (i, c) in conds.iter().enumerate() {
+        conds_by_rel[t.cond_templates()[i].attr.relation].push((i, c));
+    }
+    let (drive, drive_cond) = if check_conds && !conds.is_empty() {
+        choose_drive(db, t, conds)
+    } else {
+        (0, None)
+    };
+
+    let handles: Vec<_> = t
+        .relations()
+        .iter()
+        .map(|name| db.relation(name))
+        .collect::<Result<_>>()?;
+    let guards: Vec<_> = handles.iter().map(|h| h.read()).collect();
+
+    let steps = plan_join_order(t, drive);
+    let mut ctx = ExecCtx {
+        db,
+        t,
+        conds_by_rel,
+        stats: ExecStats::default(),
+        out: Vec::new(),
+    };
+
+    // Fetch driving-relation candidate rows.
+    let candidates = driving_candidates(&mut ctx, &guards, drive, drive_cond);
+
+    let mut bindings: Vec<Option<&Tuple>> = vec![None; n];
+    for row in candidates {
+        let Some(tuple) = guards[drive].get(row) else {
+            continue;
+        };
+        ctx.stats.tuples_examined += 1;
+        if !ctx.local_predicates_hold(drive, tuple, check_conds) {
+            continue;
+        }
+        bindings[drive] = Some(tuple);
+        bind_remaining(&mut ctx, &guards, &steps, 0, &mut bindings, check_conds);
+        bindings[drive] = None;
+    }
+
+    let stats = ctx.stats;
+    Ok((ctx.out, stats))
+}
+
+/// Candidate row ids for the driving relation: through an index on the
+/// first condition's attribute when possible, else one full scan.
+fn driving_candidates(
+    ctx: &mut ExecCtx<'_>,
+    guards: &[parking_lot::RwLockReadGuard<'_, HeapRelation>],
+    drive: usize,
+    drive_cond: Option<usize>,
+) -> Vec<RowId> {
+    let rel_name = &ctx.t.relations()[drive];
+    if let Some(ci) = drive_cond {
+        let cond = ctx.conds_by_rel[drive]
+            .iter()
+            .find(|(i, _)| *i == ci)
+            .map(|(_, c)| *c);
+        if let Some(cond) = cond {
+            let col = ctx.t.cond_templates()[ci].attr.column;
+            if let Some(idx) = ctx.db.index_on(rel_name, &[col]) {
+                match cond {
+                    Condition::Equality(values) => {
+                        let mut rows = Vec::new();
+                        for v in values {
+                            ctx.stats.index_probes += 1;
+                            rows.extend_from_slice(idx.get(&IndexKey::single(v.clone())));
+                        }
+                        return rows;
+                    }
+                    Condition::Intervals(intervals) if idx.supports_range() => {
+                        let mut rows = Vec::new();
+                        for iv in intervals {
+                            ctx.stats.range_scans += 1;
+                            let lo = ref_bound_to_key(&iv.lo);
+                            let hi = ref_bound_to_key(&iv.hi);
+                            for (_, posting) in idx.range(as_key_bound(&lo), as_key_bound(&hi)) {
+                                rows.extend_from_slice(&posting);
+                            }
+                        }
+                        return rows;
+                    }
+                    Condition::Intervals(_) => { /* fall through to scan */ }
+                }
+            }
+        }
+    }
+    // No applicable index: scan once.
+    ctx.stats.fallback_scans += 1;
+    guards[drive].iter().map(|(row, _)| row).collect()
+}
+
+/// Estimate rows matching a set of intervals on `col` using the
+/// column's observed [min, max] span (uniformity assumption). Intervals
+/// with unbounded or non-integer endpoints fall back to charging 10% of
+/// the relation each.
+fn estimate_interval_rows(
+    rs: &crate::table_stats::RelationStats,
+    col: usize,
+    intervals: &[crate::condition::Interval],
+) -> f64 {
+    use std::ops::Bound;
+    let fallback = intervals.len() as f64 * rs.rows as f64 * 0.1;
+    let span = match (&rs.columns[col].min, &rs.columns[col].max) {
+        (Some(Value::Int(lo)), Some(Value::Int(hi))) if hi > lo => (*lo, *hi),
+        _ => return fallback,
+    };
+    let width = (span.1 - span.0) as f64;
+    let mut est = 0.0f64;
+    for iv in intervals {
+        let lo = match &iv.lo {
+            Bound::Included(Value::Int(v)) | Bound::Excluded(Value::Int(v)) => *v,
+            Bound::Unbounded => span.0,
+            _ => return fallback,
+        };
+        let hi = match &iv.hi {
+            Bound::Included(Value::Int(v)) | Bound::Excluded(Value::Int(v)) => *v,
+            Bound::Unbounded => span.1,
+            _ => return fallback,
+        };
+        est += match &rs.columns[col].histogram {
+            // Equi-depth histogram: accurate under skew.
+            Some(h) => h.estimate_range_rows(lo, hi),
+            // Uniformity over [min, max] otherwise.
+            None => {
+                let covered = ((hi.min(span.1) - lo.max(span.0)).max(0)) as f64;
+                rs.rows as f64 * (covered / width).min(1.0)
+            }
+        };
+    }
+    est.min(rs.rows as f64)
+}
+
+/// Pick the driving condition: without statistics, the first condition
+/// (the paper's plans drive from the first selection); with statistics
+/// (after [`Database::analyze`]), the condition with the lowest
+/// estimated candidate-row count, preferring indexed attributes.
+fn choose_drive(db: &Database, t: &QueryTemplate, conds: &[Condition]) -> (usize, Option<usize>) {
+    let default = (t.cond_templates()[0].attr.relation, Some(0));
+    let Some(stats) = db.table_stats() else {
+        return default;
+    };
+    let mut best: Option<(usize, f64)> = None;
+    for (i, c) in conds.iter().enumerate() {
+        let attr = t.cond_templates()[i].attr;
+        let rel_name = &t.relations()[attr.relation];
+        let Some(rs) = stats.relation(rel_name) else {
+            continue;
+        };
+        let indexed = db.index_on(rel_name, &[attr.column]).is_some();
+        let est = if !indexed {
+            // Driving an unindexed condition scans the whole relation.
+            rs.rows as f64
+        } else {
+            match c {
+                Condition::Equality(vs) => vs.len() as f64 * rs.eq_selectivity_rows(attr.column),
+                Condition::Intervals(ivs) => {
+                    estimate_interval_rows(rs, attr.column, ivs)
+                }
+            }
+        };
+        if best.is_none_or(|(_, b)| est < b) {
+            best = Some((i, est));
+        }
+    }
+    match best {
+        Some((i, _)) => (t.cond_templates()[i].attr.relation, Some(i)),
+        None => default,
+    }
+}
+
+fn ref_bound_to_key(b: &std::ops::Bound<Value>) -> std::ops::Bound<IndexKey> {
+    match b {
+        std::ops::Bound::Included(v) => std::ops::Bound::Included(IndexKey::single(v.clone())),
+        std::ops::Bound::Excluded(v) => std::ops::Bound::Excluded(IndexKey::single(v.clone())),
+        std::ops::Bound::Unbounded => std::ops::Bound::Unbounded,
+    }
+}
+
+fn as_key_bound(b: &std::ops::Bound<IndexKey>) -> std::ops::Bound<&IndexKey> {
+    match b {
+        std::ops::Bound::Included(k) => std::ops::Bound::Included(k),
+        std::ops::Bound::Excluded(k) => std::ops::Bound::Excluded(k),
+        std::ops::Bound::Unbounded => std::ops::Bound::Unbounded,
+    }
+}
+
+/// Recursively bind the remaining relations along the join steps.
+fn bind_remaining<'g>(
+    ctx: &mut ExecCtx<'_>,
+    guards: &'g [parking_lot::RwLockReadGuard<'g, HeapRelation>],
+    steps: &[JoinStep],
+    depth: usize,
+    bindings: &mut Vec<Option<&'g Tuple>>,
+    check_conds: bool,
+) {
+    if depth == steps.len() {
+        ctx.emit(bindings);
+        return;
+    }
+    let step = &steps[depth];
+    let probe_value = bindings[step.bound_attr.relation]
+        .expect("bound side of join step")
+        .get(step.bound_attr.column)
+        .clone();
+    let rel_name = &ctx.t.relations()[step.new_rel];
+
+    let rows: Vec<RowId> = if let Some(idx) = ctx.db.index_on(rel_name, &[step.new_attr.column]) {
+        ctx.stats.index_probes += 1;
+        idx.get(&IndexKey::single(probe_value.clone())).to_vec()
+    } else {
+        ctx.stats.fallback_scans += 1;
+        guards[step.new_rel]
+            .iter()
+            .filter(|(_, t)| t.get(step.new_attr.column) == &probe_value)
+            .map(|(row, _)| row)
+            .collect()
+    };
+
+    for row in rows {
+        let Some(tuple) = guards[step.new_rel].get(row) else {
+            continue;
+        };
+        ctx.stats.tuples_examined += 1;
+        if tuple.get(step.new_attr.column) != &probe_value {
+            continue; // only possible via stale fallback logic; keep safe
+        }
+        if !ctx.local_predicates_hold(step.new_rel, tuple, check_conds) {
+            continue;
+        }
+        bindings[step.new_rel] = Some(tuple);
+        bind_remaining(ctx, guards, steps, depth + 1, bindings, check_conds);
+        bindings[step.new_rel] = None;
+    }
+}
+
+/// Human-readable plan description: driving relation and access method,
+/// then each join step with its probe method — the shape a PostgreSQL
+/// EXPLAIN would print for the paper's index-nested-loop plans.
+pub fn explain(db: &Database, q: &QueryInstance) -> String {
+    let t = q.template().as_ref();
+    let drive = t.cond_templates()[0].attr.relation;
+    let drive_name = &t.relations()[drive];
+    let drive_col = t.cond_templates()[0].attr.column;
+    let mut out = String::new();
+    let access = match (q.conds().first(), db.index_on(drive_name, &[drive_col])) {
+        (Some(Condition::Equality(vs)), Some(_)) => {
+            format!(
+                "index probes on {}.{} ({} disjuncts)",
+                drive_name,
+                t.schema(drive).column(drive_col).name,
+                vs.len()
+            )
+        }
+        (Some(Condition::Intervals(ivs)), Some(idx)) if idx.supports_range() => {
+            format!(
+                "index range scans on {}.{} ({} intervals)",
+                drive_name,
+                t.schema(drive).column(drive_col).name,
+                ivs.len()
+            )
+        }
+        _ => format!("sequential scan of {drive_name}"),
+    };
+    out.push_str(&format!("drive: {drive_name} via {access}\n"));
+    for step in plan_join_order(t, drive) {
+        let rel_name = &t.relations()[step.new_rel];
+        let col_name = t
+            .schema(step.new_rel)
+            .column(step.new_attr.column)
+            .name
+            .clone();
+        let bound_rel = &t.relations()[step.bound_attr.relation];
+        let bound_col = t
+            .schema(step.bound_attr.relation)
+            .column(step.bound_attr.column)
+            .name
+            .clone();
+        let method = if db.index_on(rel_name, &[step.new_attr.column]).is_some() {
+            "index probe"
+        } else {
+            "sequential scan"
+        };
+        out.push_str(&format!(
+            "join: {rel_name}.{col_name} = {bound_rel}.{bound_col} via {method}\n"
+        ));
+    }
+    out.push_str(&format!(
+        "project: {} columns (Ls' = {})\n",
+        t.select_list().len(),
+        t.expanded_list().len()
+    ));
+    out
+}
+
+/// Materialize the template's containing view `V_M`: the join under
+/// `Cjoin` alone (no selection conditions), in `Ls'` layout. This is what
+/// a traditional MV for the template stores (the paper's Figure 2).
+pub fn full_join(db: &Database, t: &QueryTemplate) -> Result<(Vec<Tuple>, ExecStats)> {
+    execute_with_conditions(db, t, &[], false)
+}
+
+/// Naive nested-loop oracle: cross product with predicate evaluation.
+/// Exponential in relation sizes — tests only.
+pub fn execute_scan(db: &Database, q: &QueryInstance) -> Result<Vec<Tuple>> {
+    let t = q.template().as_ref();
+    let n = t.relations().len();
+    let handles: Vec<_> = t
+        .relations()
+        .iter()
+        .map(|name| db.relation(name))
+        .collect::<Result<_>>()?;
+    let guards: Vec<_> = handles.iter().map(|h| h.read()).collect();
+    let mut out = Vec::new();
+    let mut bindings: Vec<Option<&Tuple>> = vec![None; n];
+    scan_rec(t, q, &guards, 0, &mut bindings, &mut out);
+    Ok(out)
+}
+
+fn scan_rec<'a>(
+    t: &QueryTemplate,
+    q: &QueryInstance,
+    guards: &'a [parking_lot::RwLockReadGuard<'a, HeapRelation>],
+    rel: usize,
+    bindings: &mut Vec<Option<&'a Tuple>>,
+    out: &mut Vec<Tuple>,
+) {
+    if rel == guards.len() {
+        // All bound: evaluate Cjoin ∧ Cselect.
+        for j in t.joins() {
+            let l = bindings[j.left.relation].unwrap().get(j.left.column);
+            let r = bindings[j.right.relation].unwrap().get(j.right.column);
+            if l != r {
+                return;
+            }
+        }
+        for fp in t.fixed_preds() {
+            if bindings[fp.attr.relation].unwrap().get(fp.attr.column) != &fp.value {
+                return;
+            }
+        }
+        for (i, c) in q.conds().iter().enumerate() {
+            let attr = t.cond_templates()[i].attr;
+            if !c.matches(bindings[attr.relation].unwrap().get(attr.column)) {
+                return;
+            }
+        }
+        let values: Vec<Value> = t
+            .expanded_list()
+            .iter()
+            .map(|a| bindings[a.relation].unwrap().get(a.column).clone())
+            .collect();
+        out.push(Tuple::new(values));
+        return;
+    }
+    // Collect first to end the immutable borrow of guards[rel] per tuple.
+    for (_, tuple) in guards[rel].iter() {
+        bindings[rel] = Some(tuple);
+        scan_rec(t, q, guards, rel + 1, bindings, out);
+    }
+    bindings[rel] = None;
+}
+
+/// Join a single (possibly already-deleted) tuple of relation `rel_idx`
+/// with all other template relations under `Cjoin` only, returning
+/// `Ls'`-layout join results. This is the `ΔR_i ⋈ R_j (j ≠ i)` computation
+/// of the paper's delete/update maintenance (Section 3.4).
+pub fn join_from(
+    db: &Database,
+    t: &QueryTemplate,
+    rel_idx: usize,
+    tuple: &Tuple,
+) -> Result<Vec<Tuple>> {
+    let n = t.relations().len();
+    // Fixed predicates on the delta tuple's own relation must hold, or the
+    // tuple can never appear in a view row.
+    for fp in t.fixed_preds() {
+        if fp.attr.relation == rel_idx && tuple.get(fp.attr.column) != &fp.value {
+            return Ok(Vec::new());
+        }
+    }
+    let handles: Vec<_> = t
+        .relations()
+        .iter()
+        .map(|name| db.relation(name))
+        .collect::<Result<_>>()?;
+    let guards: Vec<_> = handles.iter().map(|h| h.read()).collect();
+    let steps = plan_join_order(t, rel_idx);
+    let mut ctx = ExecCtx {
+        db,
+        t,
+        conds_by_rel: vec![Vec::new(); n],
+        stats: ExecStats::default(),
+        out: Vec::new(),
+    };
+    let mut bindings: Vec<Option<&Tuple>> = vec![None; n];
+    bindings[rel_idx] = Some(tuple);
+    bind_remaining(&mut ctx, &guards, &steps, 0, &mut bindings, false);
+    Ok(ctx.out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::condition::Interval;
+    use crate::template::TemplateBuilder;
+    use pmv_index::IndexDef;
+    use pmv_storage::{tuple, Column, ColumnType, Schema};
+    use std::sync::Arc;
+
+    /// Two-relation database shaped like the paper's Figure 3 example:
+    /// R(a, c, f), S(d, e, g), join on R.c = S.d.
+    fn setup() -> (Database, Arc<QueryTemplate>) {
+        let mut db = Database::new();
+        db.create_relation(Schema::new(
+            "r",
+            vec![
+                Column::new("a", ColumnType::Int),
+                Column::new("c", ColumnType::Int),
+                Column::new("f", ColumnType::Int),
+            ],
+        ))
+        .unwrap();
+        db.create_relation(Schema::new(
+            "s",
+            vec![
+                Column::new("d", ColumnType::Int),
+                Column::new("e", ColumnType::Int),
+                Column::new("g", ColumnType::Int),
+            ],
+        ))
+        .unwrap();
+        // Figure 3 data.
+        db.load(
+            "r",
+            vec![
+                tuple![1i64, 4i64, 1i64],
+                tuple![1i64, 5i64, 1i64],
+                tuple![7i64, 6i64, 3i64],
+            ],
+        )
+        .unwrap();
+        db.load(
+            "s",
+            vec![
+                tuple![4i64, 2i64, 7i64],
+                tuple![5i64, 2i64, 7i64],
+                tuple![6i64, 8i64, 9i64],
+            ],
+        )
+        .unwrap();
+        db.create_index(IndexDef::btree("r", vec![2])).unwrap(); // R.f
+        db.create_index(IndexDef::btree("s", vec![0])).unwrap(); // S.d
+        db.create_index(IndexDef::btree("s", vec![2])).unwrap(); // S.g
+        let t = TemplateBuilder::new("Eqt")
+            .relation(db.schema("r").unwrap())
+            .relation(db.schema("s").unwrap())
+            .join("r", "c", "s", "d")
+            .unwrap()
+            .select("r", "a")
+            .unwrap()
+            .select("s", "e")
+            .unwrap()
+            .cond_eq("r", "f")
+            .unwrap()
+            .cond_eq("s", "g")
+            .unwrap()
+            .build()
+            .unwrap();
+        (db, t)
+    }
+
+    #[test]
+    fn indexed_matches_figure3_mv() {
+        let (db, t) = setup();
+        // Query all hot/cold pairs: f in {1,3}, g in {7,9}: the containing
+        // MV of Figure 3 has rows (1,2,1,7) x2 and (7,8,3,9).
+        let q = t
+            .bind(vec![
+                Condition::Equality(vec![Value::Int(1), Value::Int(3)]),
+                Condition::Equality(vec![Value::Int(7), Value::Int(9)]),
+            ])
+            .unwrap();
+        let (mut rows, stats) = execute(&db, &q).unwrap();
+        rows.sort();
+        assert_eq!(
+            rows,
+            vec![
+                tuple![1i64, 2i64, 1i64, 7i64],
+                tuple![1i64, 2i64, 1i64, 7i64],
+                tuple![7i64, 8i64, 3i64, 9i64],
+            ]
+        );
+        assert!(stats.index_probes > 0);
+        assert_eq!(stats.fallback_scans, 0);
+        assert_eq!(stats.results, 3);
+    }
+
+    #[test]
+    fn indexed_equals_scan_oracle() {
+        let (db, t) = setup();
+        let q = t
+            .bind(vec![
+                Condition::Equality(vec![Value::Int(1)]),
+                Condition::Equality(vec![Value::Int(7)]),
+            ])
+            .unwrap();
+        let (mut indexed, _) = execute(&db, &q).unwrap();
+        let mut scanned = execute_scan(&db, &q).unwrap();
+        indexed.sort();
+        scanned.sort();
+        assert_eq!(indexed, scanned);
+        assert_eq!(indexed.len(), 2); // duplicate result tuples preserved
+    }
+
+    #[test]
+    fn interval_condition_uses_range_scan() {
+        let (db, t0) = setup();
+        drop(t0);
+        let t = TemplateBuilder::new("iv")
+            .relation(db.schema("r").unwrap())
+            .relation(db.schema("s").unwrap())
+            .join("r", "c", "s", "d")
+            .unwrap()
+            .select("r", "a")
+            .unwrap()
+            .cond_interval("r", "f")
+            .unwrap()
+            .build()
+            .unwrap();
+        let q = t
+            .bind(vec![Condition::Intervals(vec![Interval::closed(
+                1i64, 2i64,
+            )])])
+            .unwrap();
+        let (rows, stats) = execute(&db, &q).unwrap();
+        assert_eq!(rows.len(), 2); // both R.f=1 tuples join
+        assert_eq!(stats.range_scans, 1);
+    }
+
+    #[test]
+    fn fallback_scan_without_index() {
+        let (db, _) = setup();
+        // Condition on an unindexed attribute (r.a).
+        let t = TemplateBuilder::new("noidx")
+            .relation(db.schema("r").unwrap())
+            .relation(db.schema("s").unwrap())
+            .join("r", "c", "s", "d")
+            .unwrap()
+            .select("s", "e")
+            .unwrap()
+            .cond_eq("r", "a")
+            .unwrap()
+            .build()
+            .unwrap();
+        let q = t
+            .bind(vec![Condition::Equality(vec![Value::Int(7)])])
+            .unwrap();
+        let (rows, stats) = execute(&db, &q).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert!(stats.fallback_scans >= 1);
+    }
+
+    #[test]
+    fn fixed_predicates_filter() {
+        let (db, _) = setup();
+        let t = TemplateBuilder::new("fixed")
+            .relation(db.schema("r").unwrap())
+            .relation(db.schema("s").unwrap())
+            .join("r", "c", "s", "d")
+            .unwrap()
+            .fixed("s", "e", 8i64)
+            .unwrap()
+            .select("r", "a")
+            .unwrap()
+            .cond_eq("r", "f")
+            .unwrap()
+            .build()
+            .unwrap();
+        let q = t
+            .bind(vec![Condition::Equality(vec![
+                Value::Int(1),
+                Value::Int(3),
+            ])])
+            .unwrap();
+        let (rows, _) = execute(&db, &q).unwrap();
+        // Only the (7,6,3)⋈(6,8,9) combination has s.e=8.
+        assert_eq!(rows, vec![tuple![7i64, 3i64]]);
+    }
+
+    #[test]
+    fn join_from_computes_delta_join() {
+        let (db, t) = setup();
+        // Pretend tuple (9, 4, 2) was just deleted from R: joins S.d=4.
+        let deleted = tuple![9i64, 4i64, 2i64];
+        let rows = join_from(&db, &t, 0, &deleted).unwrap();
+        assert_eq!(rows, vec![tuple![9i64, 2i64, 2i64, 7i64]]);
+        // From the S side: deleting (5, 2, 7) joins both R.c=5 rows.
+        let deleted_s = tuple![5i64, 2i64, 7i64];
+        let rows = join_from(&db, &t, 1, &deleted_s).unwrap();
+        assert_eq!(rows.len(), 1); // only (1,5,1) has c=5
+        assert_eq!(rows[0], tuple![1i64, 2i64, 1i64, 7i64]);
+    }
+
+    #[test]
+    fn single_relation_template_works() {
+        let mut db = Database::new();
+        db.create_relation(Schema::new(
+            "only",
+            vec![
+                Column::new("k", ColumnType::Int),
+                Column::new("v", ColumnType::Int),
+            ],
+        ))
+        .unwrap();
+        db.load("only", (0..10i64).map(|i| tuple![i, i * 10]))
+            .unwrap();
+        db.create_index(IndexDef::hash("only", vec![0])).unwrap();
+        let t = TemplateBuilder::new("single")
+            .relation(db.schema("only").unwrap())
+            .select_star()
+            .cond_eq("only", "k")
+            .unwrap()
+            .build()
+            .unwrap();
+        let q = t
+            .bind(vec![Condition::Equality(vec![
+                Value::Int(3),
+                Value::Int(7),
+            ])])
+            .unwrap();
+        let (mut rows, stats) = execute(&db, &q).unwrap();
+        rows.sort();
+        assert_eq!(rows, vec![tuple![3i64, 30i64], tuple![7i64, 70i64]]);
+        assert_eq!(stats.index_probes, 2);
+    }
+
+    #[test]
+    fn empty_disjuncts_yield_empty_results() {
+        let (db, t) = setup();
+        let q = t
+            .bind(vec![
+                Condition::Equality(vec![Value::Int(999)]),
+                Condition::Equality(vec![Value::Int(7)]),
+            ])
+            .unwrap();
+        let (rows, _) = execute(&db, &q).unwrap();
+        assert!(rows.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod explain_tests {
+    use super::*;
+    use crate::condition::Condition;
+    use crate::template::TemplateBuilder;
+    use pmv_index::IndexDef;
+    use pmv_storage::{Column, ColumnType, Schema, Value};
+
+    #[test]
+    fn explain_names_access_methods() {
+        let mut db = Database::new();
+        db.create_relation(Schema::new(
+            "r",
+            vec![
+                Column::new("a", ColumnType::Int),
+                Column::new("c", ColumnType::Int),
+            ],
+        ))
+        .unwrap();
+        db.create_relation(Schema::new("s", vec![Column::new("d", ColumnType::Int)]))
+            .unwrap();
+        db.create_index(IndexDef::btree("r", vec![0])).unwrap();
+        let t = TemplateBuilder::new("e")
+            .relation(db.schema("r").unwrap())
+            .relation(db.schema("s").unwrap())
+            .join("r", "c", "s", "d")
+            .unwrap()
+            .select("s", "d")
+            .unwrap()
+            .cond_eq("r", "a")
+            .unwrap()
+            .build()
+            .unwrap();
+        let q = t
+            .bind(vec![Condition::Equality(vec![
+                Value::Int(1),
+                Value::Int(2),
+            ])])
+            .unwrap();
+        let plan = explain(&db, &q);
+        assert!(
+            plan.contains("drive: r via index probes on r.a (2 disjuncts)"),
+            "{plan}"
+        );
+        // No index on s.d: sequential scan.
+        assert!(
+            plan.contains("join: s.d = r.c via sequential scan"),
+            "{plan}"
+        );
+        db.create_index(IndexDef::btree("s", vec![0])).unwrap();
+        let plan = explain(&db, &q);
+        assert!(plan.contains("join: s.d = r.c via index probe"), "{plan}");
+        assert!(plan.contains("project: 1 columns"), "{plan}");
+    }
+
+    #[test]
+    fn explain_shows_seq_scan_without_index() {
+        let mut db = Database::new();
+        db.create_relation(Schema::new("r", vec![Column::new("a", ColumnType::Int)]))
+            .unwrap();
+        let t = TemplateBuilder::new("e2")
+            .relation(db.schema("r").unwrap())
+            .select("r", "a")
+            .unwrap()
+            .cond_eq("r", "a")
+            .unwrap()
+            .build()
+            .unwrap();
+        let q = t
+            .bind(vec![Condition::Equality(vec![Value::Int(1)])])
+            .unwrap();
+        let plan = explain(&db, &q);
+        assert!(plan.contains("sequential scan of r"), "{plan}");
+    }
+}
+
+#[cfg(test)]
+mod drive_choice_tests {
+    use super::*;
+    use crate::condition::Condition;
+    use crate::template::TemplateBuilder;
+    use pmv_index::IndexDef;
+    use pmv_storage::{tuple, Column, ColumnType, Schema, Value};
+
+    /// r(k, j) has 1000 rows with high-cardinality k; s(j, g) has 1000
+    /// rows with only 2 distinct g. Condition 0 is the *bad* drive
+    /// (g: 500 rows/disjunct), condition 1 the good one (k: 1 row).
+    fn setup() -> Database {
+        let mut db = Database::new();
+        db.create_relation(Schema::new(
+            "r",
+            vec![
+                Column::new("k", ColumnType::Int),
+                Column::new("j", ColumnType::Int),
+            ],
+        ))
+        .unwrap();
+        db.create_relation(Schema::new(
+            "s",
+            vec![
+                Column::new("j", ColumnType::Int),
+                Column::new("g", ColumnType::Int),
+            ],
+        ))
+        .unwrap();
+        for i in 0..1000i64 {
+            db.insert("r", tuple![i, i]).unwrap();
+            db.insert("s", tuple![i, i % 2]).unwrap();
+        }
+        db.create_index(IndexDef::btree("r", vec![0])).unwrap();
+        db.create_index(IndexDef::btree("r", vec![1])).unwrap();
+        db.create_index(IndexDef::btree("s", vec![0])).unwrap();
+        db.create_index(IndexDef::btree("s", vec![1])).unwrap();
+        db
+    }
+
+    fn template(db: &Database) -> std::sync::Arc<QueryTemplate> {
+        TemplateBuilder::new("d")
+            .relation(db.schema("s").unwrap())
+            .relation(db.schema("r").unwrap())
+            .join("s", "j", "r", "j")
+            .unwrap()
+            .select("r", "k")
+            .unwrap()
+            .cond_eq("s", "g") // condition 0: unselective
+            .unwrap()
+            .cond_eq("r", "k") // condition 1: selective
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn stats_pick_the_selective_drive() {
+        let mut db = setup();
+        let t = template(&db);
+        let q = t
+            .bind(vec![
+                Condition::Equality(vec![Value::Int(0)]),
+                Condition::Equality(vec![Value::Int(7)]),
+            ])
+            .unwrap();
+        // Without stats: drives condition 0 (s.g = 0 → 500 candidates).
+        let (mut rows_a, stats_a) = execute(&db, &q).unwrap();
+        // With stats: drives condition 1 (r.k = 7 → 1 candidate).
+        db.analyze().unwrap();
+        let (mut rows_b, stats_b) = execute(&db, &q).unwrap();
+        rows_a.sort();
+        rows_b.sort();
+        assert_eq!(rows_a, rows_b, "plans must agree on the answer");
+        assert!(
+            stats_b.tuples_examined * 10 < stats_a.tuples_examined,
+            "stats-chosen drive must examine far fewer tuples: {} vs {}",
+            stats_b.tuples_examined,
+            stats_a.tuples_examined
+        );
+    }
+
+    #[test]
+    fn stats_do_not_change_results_across_workload() {
+        let mut db = setup();
+        let t = template(&db);
+        db.analyze().unwrap();
+        for g in 0..2i64 {
+            for k in [0i64, 250, 999] {
+                let q = t
+                    .bind(vec![
+                        Condition::Equality(vec![Value::Int(g)]),
+                        Condition::Equality(vec![Value::Int(k)]),
+                    ])
+                    .unwrap();
+                let (mut fast, _) = execute(&db, &q).unwrap();
+                let mut slow = execute_scan(&db, &q).unwrap();
+                fast.sort();
+                slow.sort();
+                assert_eq!(fast, slow, "g={g} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn unindexed_condition_not_chosen_as_drive() {
+        let mut db = setup();
+        // Drop and rebuild: no index on r.k this time.
+        let mut db2 = Database::new();
+        db2.create_relation(db.schema("s").unwrap()).unwrap();
+        db2.create_relation(db.schema("r").unwrap()).unwrap();
+        for i in 0..1000i64 {
+            db2.insert("r", tuple![i, i]).unwrap();
+            db2.insert("s", tuple![i, i % 2]).unwrap();
+        }
+        db2.create_index(IndexDef::btree("s", vec![1])).unwrap();
+        db2.create_index(IndexDef::btree("r", vec![1])).unwrap();
+        db2.analyze().unwrap();
+        let t = template(&db2);
+        let q = t
+            .bind(vec![
+                Condition::Equality(vec![Value::Int(0)]),
+                Condition::Equality(vec![Value::Int(8)]), // k=8 → j=8 → g=0
+            ])
+            .unwrap();
+        // r.k is unindexed → estimated at full relation size → condition
+        // 0 (indexed, 500 rows) wins despite being unselective.
+        let (rows, stats) = execute(&db2, &q).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(stats.fallback_scans, 0, "must not seq-scan the drive");
+        let _ = db.analyze();
+    }
+}
+
+#[cfg(test)]
+mod interval_estimate_tests {
+    use super::*;
+    use crate::condition::{Condition, Interval};
+    use crate::template::TemplateBuilder;
+    use pmv_index::IndexDef;
+    use pmv_storage::{tuple, Column, ColumnType, Schema, Value};
+
+    #[test]
+    fn narrow_interval_drives_over_wide_equality() {
+        let mut db = Database::new();
+        db.create_relation(Schema::new(
+            "r",
+            vec![
+                Column::new("x", ColumnType::Int), // 0..1000 uniform
+                Column::new("y", ColumnType::Int), // 2 distinct values
+            ],
+        ))
+        .unwrap();
+        for i in 0..1000i64 {
+            db.insert("r", tuple![i, i % 2]).unwrap();
+        }
+        db.create_index(IndexDef::btree("r", vec![0])).unwrap();
+        db.create_index(IndexDef::btree("r", vec![1])).unwrap();
+        db.analyze().unwrap();
+        let t = TemplateBuilder::new("ie")
+            .relation(db.schema("r").unwrap())
+            .select("r", "x")
+            .unwrap()
+            .cond_eq("r", "y") // 500 rows per disjunct
+            .unwrap()
+            .cond_interval("r", "x") // narrow: ~10 rows
+            .unwrap()
+            .build()
+            .unwrap();
+        let q = t
+            .bind(vec![
+                Condition::Equality(vec![Value::Int(0)]),
+                Condition::Intervals(vec![Interval::half_open(100i64, 110i64)]),
+            ])
+            .unwrap();
+        let (rows, stats) = execute(&db, &q).unwrap();
+        // x in [100,110) with even x: 5 rows.
+        assert_eq!(rows.len(), 5);
+        // The interval (est ~10 rows) must out-select the equality
+        // (est 500): few tuples examined.
+        assert!(
+            stats.tuples_examined <= 20,
+            "interval should drive; examined {}",
+            stats.tuples_examined
+        );
+        assert_eq!(stats.range_scans, 1, "drive must use the range scan");
+    }
+}

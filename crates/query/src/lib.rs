@@ -1,0 +1,72 @@
+//! Query substrate: the template class of the paper's Section 2.1, a
+//! planner/executor for it, and the transactional machinery around it.
+//!
+//! The paper considers queries from templates
+//!
+//! ```text
+//! qt: select Ls from R1, R2, …, Rn where Cjoin and Cselect;
+//! ```
+//!
+//! where `Cjoin` holds the equi-join conditions plus parameterless
+//! selections, and `Cselect = ∧ Ci` with each `Ci` a disjunction of
+//! equality predicates (`∨ R.a = v_r`) or of *disjoint* intervals
+//! (`∨ v_r < R.a < w_r`). This crate models exactly that class:
+//!
+//! * [`Interval`], [`Condition`] — the two disjunctive forms.
+//! * [`QueryTemplate`], [`TemplateBuilder`], [`QueryInstance`] — templates
+//!   and their parameter bindings.
+//! * [`Database`] — catalog + secondary indexes + DML with delta capture.
+//! * [`exec`] — an index-nested-loop executor and a naive full-scan oracle.
+//! * [`lock`] — an S/X lock manager implementing the paper's Section 3.6
+//!   protocol on PMVs.
+//! * [`txn`] — transactions with undo, producing [`pmv_storage::DeltaBatch`]es.
+
+pub mod condition;
+pub mod engine;
+pub mod exec;
+pub mod lock;
+pub mod parser;
+pub mod snapshot;
+pub mod table_stats;
+pub mod template;
+pub mod txn;
+
+pub use condition::{Condition, Interval};
+pub use engine::Database;
+pub use exec::{execute, execute_scan, explain, ExecStats};
+pub use lock::{LockManager, LockMode};
+pub use parser::parse_template;
+pub use table_stats::{ColumnStats, Histogram, RelationStats, TableStats};
+pub use template::{
+    AttrRef, CondForm, CondTemplate, QueryInstance, QueryTemplate, TemplateBuilder,
+};
+pub use txn::Transaction;
+
+/// Crate-wide error type.
+#[derive(Debug)]
+pub enum QueryError {
+    /// Underlying storage failure.
+    Storage(pmv_storage::StorageError),
+    /// Template construction or binding problem.
+    Template(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::Storage(e) => write!(f, "storage error: {e}"),
+            QueryError::Template(msg) => write!(f, "template error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<pmv_storage::StorageError> for QueryError {
+    fn from(e: pmv_storage::StorageError) -> Self {
+        QueryError::Storage(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, QueryError>;

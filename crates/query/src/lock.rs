@@ -1,0 +1,291 @@
+//! S/X lock manager for the paper's Section 3.6 locking protocol.
+//!
+//! > "When a query Q reads a partial materialized view V_PM in Operation
+//! > O2, Q puts an S lock on V_PM. Then between Operations O2 and O3, no
+//! > other transaction can change the correct read result of Q by
+//! > updating some base relation, as that would require updating V_PM
+//! > with the acquisition of an X lock on V_PM."
+//!
+//! The manager hands out RAII guards; a dropped guard releases its lock
+//! and wakes waiters. Acquisition order is the caller's responsibility
+//! (the PMV protocol only ever takes one lock at a time, so deadlock is
+//! structurally impossible there); `try_lock` variants are provided for
+//! callers that need non-blocking behaviour.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::{Condvar, Mutex};
+
+/// Lock modes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LockMode {
+    /// Shared: many readers.
+    Shared,
+    /// Exclusive: one writer, no readers.
+    Exclusive,
+}
+
+#[derive(Default)]
+struct LockState {
+    sharers: usize,
+    exclusive: bool,
+}
+
+impl LockState {
+    fn compatible(&self, mode: LockMode) -> bool {
+        match mode {
+            LockMode::Shared => !self.exclusive,
+            LockMode::Exclusive => !self.exclusive && self.sharers == 0,
+        }
+    }
+
+    fn acquire(&mut self, mode: LockMode) {
+        match mode {
+            LockMode::Shared => self.sharers += 1,
+            LockMode::Exclusive => self.exclusive = true,
+        }
+    }
+
+    fn release(&mut self, mode: LockMode) {
+        match mode {
+            LockMode::Shared => self.sharers -= 1,
+            LockMode::Exclusive => self.exclusive = false,
+        }
+    }
+
+    fn is_free(&self) -> bool {
+        !self.exclusive && self.sharers == 0
+    }
+}
+
+#[derive(Default)]
+struct Inner {
+    table: Mutex<HashMap<String, LockState>>,
+    cond: Condvar,
+}
+
+/// A named-object S/X lock manager.
+#[derive(Clone, Default)]
+pub struct LockManager {
+    inner: Arc<Inner>,
+}
+
+impl LockManager {
+    /// New manager with no locks held.
+    pub fn new() -> Self {
+        LockManager::default()
+    }
+
+    /// Block until `mode` can be granted on `object`, then hold it.
+    pub fn lock(&self, object: &str, mode: LockMode) -> LockGuard {
+        let mut table = self.inner.table.lock();
+        loop {
+            let state = table.entry(object.to_string()).or_default();
+            if state.compatible(mode) {
+                state.acquire(mode);
+                return LockGuard {
+                    manager: self.clone(),
+                    object: object.to_string(),
+                    mode,
+                };
+            }
+            self.inner.cond.wait(&mut table);
+        }
+    }
+
+    /// Try to acquire without blocking.
+    pub fn try_lock(&self, object: &str, mode: LockMode) -> Option<LockGuard> {
+        let mut table = self.inner.table.lock();
+        let state = table.entry(object.to_string()).or_default();
+        if state.compatible(mode) {
+            state.acquire(mode);
+            Some(LockGuard {
+                manager: self.clone(),
+                object: object.to_string(),
+                mode,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Try to acquire, waiting at most `timeout`.
+    pub fn lock_timeout(
+        &self,
+        object: &str,
+        mode: LockMode,
+        timeout: Duration,
+    ) -> Option<LockGuard> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut table = self.inner.table.lock();
+        loop {
+            let state = table.entry(object.to_string()).or_default();
+            if state.compatible(mode) {
+                state.acquire(mode);
+                return Some(LockGuard {
+                    manager: self.clone(),
+                    object: object.to_string(),
+                    mode,
+                });
+            }
+            if self.inner.cond.wait_until(&mut table, deadline).timed_out() {
+                return None;
+            }
+        }
+    }
+
+    /// Shorthand for a shared lock.
+    pub fn lock_shared(&self, object: &str) -> LockGuard {
+        self.lock(object, LockMode::Shared)
+    }
+
+    /// Shorthand for an exclusive lock.
+    pub fn lock_exclusive(&self, object: &str) -> LockGuard {
+        self.lock(object, LockMode::Exclusive)
+    }
+
+    /// Number of objects with at least one lock held (diagnostic).
+    pub fn held_objects(&self) -> usize {
+        self.inner
+            .table
+            .lock()
+            .values()
+            .filter(|s| !s.is_free())
+            .count()
+    }
+
+    fn release(&self, object: &str, mode: LockMode) {
+        let mut table = self.inner.table.lock();
+        if let Some(state) = table.get_mut(object) {
+            state.release(mode);
+            if state.is_free() {
+                table.remove(object);
+            }
+        }
+        self.inner.cond.notify_all();
+    }
+}
+
+/// RAII lock guard; releases on drop.
+pub struct LockGuard {
+    manager: LockManager,
+    object: String,
+    mode: LockMode,
+}
+
+impl LockGuard {
+    /// The held mode.
+    pub fn mode(&self) -> LockMode {
+        self.mode
+    }
+
+    /// The locked object's name.
+    pub fn object(&self) -> &str {
+        &self.object
+    }
+}
+
+impl Drop for LockGuard {
+    fn drop(&mut self) {
+        self.manager.release(&self.object, self.mode);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn shared_locks_coexist() {
+        let lm = LockManager::new();
+        let a = lm.lock_shared("pmv");
+        let b = lm.lock_shared("pmv");
+        assert_eq!(lm.held_objects(), 1);
+        drop(a);
+        drop(b);
+        assert_eq!(lm.held_objects(), 0);
+    }
+
+    #[test]
+    fn exclusive_excludes_everyone() {
+        let lm = LockManager::new();
+        let x = lm.lock_exclusive("pmv");
+        assert!(lm.try_lock("pmv", LockMode::Shared).is_none());
+        assert!(lm.try_lock("pmv", LockMode::Exclusive).is_none());
+        drop(x);
+        assert!(lm.try_lock("pmv", LockMode::Shared).is_some());
+    }
+
+    #[test]
+    fn shared_blocks_exclusive_only() {
+        let lm = LockManager::new();
+        let s = lm.lock_shared("pmv");
+        assert!(lm.try_lock("pmv", LockMode::Exclusive).is_none());
+        assert!(lm.try_lock("pmv", LockMode::Shared).is_some());
+        drop(s);
+    }
+
+    #[test]
+    fn different_objects_are_independent() {
+        let lm = LockManager::new();
+        let _x = lm.lock_exclusive("pmv-1");
+        assert!(lm.try_lock("pmv-2", LockMode::Exclusive).is_some());
+    }
+
+    #[test]
+    fn timeout_expires_under_contention() {
+        let lm = LockManager::new();
+        let _x = lm.lock_exclusive("pmv");
+        let got = lm.lock_timeout("pmv", LockMode::Shared, Duration::from_millis(20));
+        assert!(got.is_none());
+    }
+
+    #[test]
+    fn blocked_writer_proceeds_after_readers_leave() {
+        let lm = LockManager::new();
+        let s = lm.lock_shared("pmv");
+        let counter = Arc::new(AtomicUsize::new(0));
+        let lm2 = lm.clone();
+        let c2 = Arc::clone(&counter);
+        let t = std::thread::spawn(move || {
+            let _x = lm2.lock_exclusive("pmv");
+            c2.fetch_add(1, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert_eq!(counter.load(Ordering::SeqCst), 0, "writer must wait");
+        drop(s);
+        t.join().unwrap();
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers_serialize() {
+        let lm = LockManager::new();
+        let shared_value = Arc::new(Mutex::new(0i64));
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let lm = lm.clone();
+            let v = Arc::clone(&shared_value);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..50 {
+                    if i % 2 == 0 {
+                        let _g = lm.lock_exclusive("obj");
+                        let mut val = v.lock();
+                        *val += 1;
+                    } else {
+                        let _g = lm.lock_shared("obj");
+                        let _ = *v.lock();
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*shared_value.lock(), 4 * 50);
+        assert_eq!(lm.held_objects(), 0);
+    }
+}

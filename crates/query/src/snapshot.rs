@@ -1,0 +1,300 @@
+//! Database snapshots: save/load the full catalog (schemas + tuples +
+//! index definitions) to a self-describing JSON document.
+//!
+//! Intended for persisting generated workloads between runs (a TPC-R
+//! generation at scale 0.2 takes longer than loading it back) and for
+//! shipping small repro cases. Indexes are *rebuilt* on load rather than
+//! serialized — they are derived state.
+
+use std::io::{BufReader, BufWriter, Read, Write};
+
+use pmv_index::{IndexDef, IndexShape};
+use pmv_storage::{Column, ColumnType, Schema, Tuple, Value};
+use serde::{Deserialize, Serialize};
+
+use crate::engine::Database;
+use crate::{QueryError, Result};
+
+/// Serialization mirror of [`Value`] (avoids exposing `Arc<str>` to
+/// serde).
+#[derive(Serialize, Deserialize)]
+enum SerValue {
+    #[serde(rename = "n")]
+    Null,
+    #[serde(rename = "i")]
+    Int(i64),
+    #[serde(rename = "d")]
+    Double(f64),
+    #[serde(rename = "s")]
+    Str(String),
+}
+
+impl From<&Value> for SerValue {
+    fn from(v: &Value) -> Self {
+        match v {
+            Value::Null => SerValue::Null,
+            Value::Int(i) => SerValue::Int(*i),
+            Value::Double(d) => SerValue::Double(*d),
+            Value::Str(s) => SerValue::Str(s.to_string()),
+        }
+    }
+}
+
+impl From<SerValue> for Value {
+    fn from(v: SerValue) -> Self {
+        match v {
+            SerValue::Null => Value::Null,
+            SerValue::Int(i) => Value::Int(i),
+            SerValue::Double(d) => Value::Double(d),
+            SerValue::Str(s) => Value::str(&s),
+        }
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct SerColumn {
+    name: String,
+    ty: String,
+}
+
+#[derive(Serialize, Deserialize)]
+struct SerRelation {
+    name: String,
+    columns: Vec<SerColumn>,
+    rows: Vec<Vec<SerValue>>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct SerIndex {
+    relation: String,
+    columns: Vec<usize>,
+    shape: String,
+}
+
+/// The on-disk document.
+#[derive(Serialize, Deserialize)]
+struct SerSnapshot {
+    format_version: u32,
+    relations: Vec<SerRelation>,
+    indexes: Vec<SerIndex>,
+}
+
+const FORMAT_VERSION: u32 = 1;
+
+fn ty_to_str(t: ColumnType) -> &'static str {
+    match t {
+        ColumnType::Int => "int",
+        ColumnType::Double => "double",
+        ColumnType::Str => "str",
+    }
+}
+
+fn ty_from_str(s: &str) -> Result<ColumnType> {
+    match s {
+        "int" => Ok(ColumnType::Int),
+        "double" => Ok(ColumnType::Double),
+        "str" => Ok(ColumnType::Str),
+        other => Err(QueryError::Template(format!(
+            "unknown column type '{other}'"
+        ))),
+    }
+}
+
+/// Serialize the named relations of `db` (schemas, live tuples, and
+/// their index definitions) into a writer as JSON.
+pub fn save<W: Write>(db: &Database, relations: &[&str], out: W) -> Result<()> {
+    let mut doc = SerSnapshot {
+        format_version: FORMAT_VERSION,
+        relations: Vec::with_capacity(relations.len()),
+        indexes: Vec::new(),
+    };
+    for &name in relations {
+        let schema = db.schema(name)?;
+        let columns = schema
+            .columns()
+            .iter()
+            .map(|c| SerColumn {
+                name: c.name.clone(),
+                ty: ty_to_str(c.ty).to_string(),
+            })
+            .collect();
+        let mut rows = Vec::new();
+        db.with_relation(name, |rel| {
+            for (_, t) in rel.iter() {
+                rows.push(t.values().iter().map(SerValue::from).collect());
+            }
+        })?;
+        doc.relations.push(SerRelation {
+            name: name.to_string(),
+            columns,
+            rows,
+        });
+        for def in db.index_defs(name) {
+            doc.indexes.push(SerIndex {
+                relation: def.relation.clone(),
+                columns: def.columns.clone(),
+                shape: match def.shape {
+                    IndexShape::BTree => "btree".to_string(),
+                    IndexShape::Hash => "hash".to_string(),
+                },
+            });
+        }
+    }
+    let writer = BufWriter::new(out);
+    serde_json::to_writer(writer, &doc)
+        .map_err(|e| QueryError::Template(format!("snapshot serialization failed: {e}")))
+}
+
+/// Load a snapshot into a fresh [`Database`], rebuilding all indexes.
+pub fn load<R: Read>(input: R) -> Result<Database> {
+    let reader = BufReader::new(input);
+    let doc: SerSnapshot = serde_json::from_reader(reader)
+        .map_err(|e| QueryError::Template(format!("snapshot parse failed: {e}")))?;
+    if doc.format_version != FORMAT_VERSION {
+        return Err(QueryError::Template(format!(
+            "unsupported snapshot format {} (expected {FORMAT_VERSION})",
+            doc.format_version
+        )));
+    }
+    let mut db = Database::new();
+    for rel in doc.relations {
+        let columns = rel
+            .columns
+            .iter()
+            .map(|c| Ok(Column::new(&c.name, ty_from_str(&c.ty)?)))
+            .collect::<Result<Vec<_>>>()?;
+        db.create_relation(Schema::new(rel.name.clone(), columns))?;
+        db.load(
+            &rel.name,
+            rel.rows
+                .into_iter()
+                .map(|r| Tuple::new(r.into_iter().map(Value::from).collect::<Vec<_>>())),
+        )?;
+    }
+    for idx in doc.indexes {
+        let def = match idx.shape.as_str() {
+            "btree" => IndexDef::btree(idx.relation, idx.columns),
+            "hash" => IndexDef::hash(idx.relation, idx.columns),
+            other => {
+                return Err(QueryError::Template(format!(
+                    "unknown index shape '{other}'"
+                )))
+            }
+        };
+        db.create_index(def)?;
+    }
+    Ok(db)
+}
+
+/// Save to a file path.
+pub fn save_to_path(db: &Database, relations: &[&str], path: &std::path::Path) -> Result<()> {
+    let file = std::fs::File::create(path)
+        .map_err(|e| QueryError::Template(format!("cannot create {}: {e}", path.display())))?;
+    save(db, relations, file)
+}
+
+/// Load from a file path.
+pub fn load_from_path(path: &std::path::Path) -> Result<Database> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| QueryError::Template(format!("cannot open {}: {e}", path.display())))?;
+    load(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmv_index::SecondaryIndex;
+    use pmv_storage::tuple;
+
+    fn sample_db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(Schema::new(
+            "r",
+            vec![
+                Column::new("a", ColumnType::Int),
+                Column::new("name", ColumnType::Str),
+                Column::new("score", ColumnType::Double),
+            ],
+        ))
+        .unwrap();
+        db.load(
+            "r",
+            vec![
+                tuple![1i64, "alpha", 1.5f64],
+                tuple![2i64, "beta", -0.25f64],
+                Tuple::new(vec![Value::Int(3), Value::Null, Value::Double(0.0)]),
+            ],
+        )
+        .unwrap();
+        db.create_index(IndexDef::btree("r", vec![0])).unwrap();
+        db.create_index(IndexDef::hash("r", vec![1])).unwrap();
+        db
+    }
+
+    #[test]
+    fn roundtrip_preserves_tuples_and_indexes() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        save(&db, &["r"], &mut buf).unwrap();
+        let restored = load(buf.as_slice()).unwrap();
+        assert_eq!(restored.len("r").unwrap(), 3);
+        // Content equality (as multisets).
+        let collect = |d: &Database| {
+            let mut rows = Vec::new();
+            d.with_relation("r", |rel| {
+                for (_, t) in rel.iter() {
+                    rows.push(t.clone());
+                }
+            })
+            .unwrap();
+            rows.sort();
+            rows
+        };
+        assert_eq!(collect(&db), collect(&restored));
+        // Indexes rebuilt and usable.
+        let idx = restored.index_on("r", &[0]).unwrap();
+        assert_eq!(
+            idx.get(&pmv_index::IndexKey::single(Value::Int(2))).len(),
+            1
+        );
+        assert!(restored.index_on("r", &[1]).is_some());
+    }
+
+    #[test]
+    fn null_and_special_doubles_survive() {
+        let db = sample_db();
+        let mut buf = Vec::new();
+        save(&db, &["r"], &mut buf).unwrap();
+        let restored = load(buf.as_slice()).unwrap();
+        let mut has_null = false;
+        restored
+            .with_relation("r", |rel| {
+                for (_, t) in rel.iter() {
+                    if t.get(1).is_null() {
+                        has_null = true;
+                    }
+                }
+            })
+            .unwrap();
+        assert!(has_null, "NULL must survive the roundtrip");
+    }
+
+    #[test]
+    fn bad_documents_are_rejected() {
+        assert!(load("not json".as_bytes()).is_err());
+        let wrong_version = r#"{"format_version":99,"relations":[],"indexes":[]}"#;
+        assert!(load(wrong_version.as_bytes()).is_err());
+        let bad_type = r#"{"format_version":1,"relations":[{"name":"r","columns":[{"name":"a","ty":"blob"}],"rows":[]}],"indexes":[]}"#;
+        assert!(load(bad_type.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let db = sample_db();
+        let path = std::env::temp_dir().join("pmv_snapshot_test.json");
+        save_to_path(&db, &["r"], &path).unwrap();
+        let restored = load_from_path(&path).unwrap();
+        assert_eq!(restored.len("r").unwrap(), 3);
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,205 @@
+//! Transactions: grouped DML with undo, producing the per-relation
+//! [`DeltaBatch`]es that drive PMV maintenance (the paper's transaction T
+//! in Section 4.3 inserts `p·|ΔR|` tuples and deletes `(1-p)·|ΔR|` tuples
+//! in one unit).
+
+use std::collections::HashMap;
+
+use pmv_storage::{Delta, DeltaBatch, RowId, Tuple};
+
+use crate::engine::Database;
+use crate::Result;
+
+/// A transaction over a mutable database.
+///
+/// Note on undo: aborting re-inserts deleted tuples, which may assign new
+/// row ids (heap slots are reused in LIFO order, so a plain
+/// delete-then-abort usually restores the same slot, but this is not
+/// guaranteed). Logical content is always restored exactly.
+pub struct Transaction<'a> {
+    db: &'a mut Database,
+    applied: Vec<(String, Delta)>,
+}
+
+impl<'a> Transaction<'a> {
+    /// Begin a transaction.
+    pub fn begin(db: &'a mut Database) -> Self {
+        Transaction {
+            db,
+            applied: Vec::new(),
+        }
+    }
+
+    /// Insert a tuple.
+    pub fn insert(&mut self, relation: &str, tuple: Tuple) -> Result<RowId> {
+        let delta = self.db.insert(relation, tuple)?;
+        let row = delta.row();
+        self.applied.push((relation.to_string(), delta));
+        Ok(row)
+    }
+
+    /// Delete the tuple at `row`, returning it.
+    pub fn delete(&mut self, relation: &str, row: RowId) -> Result<Tuple> {
+        let delta = self.db.delete(relation, row)?;
+        let Delta::Delete { ref tuple, .. } = delta else {
+            unreachable!("Database::delete returns Delta::Delete")
+        };
+        let t = tuple.clone();
+        self.applied.push((relation.to_string(), delta));
+        Ok(t)
+    }
+
+    /// Replace the tuple at `row`.
+    pub fn update(&mut self, relation: &str, row: RowId, new: Tuple) -> Result<Tuple> {
+        let delta = self.db.update(relation, row, new)?;
+        let Delta::Update { ref old, .. } = delta else {
+            unreachable!("Database::update returns Delta::Update")
+        };
+        let t = old.clone();
+        self.applied.push((relation.to_string(), delta));
+        Ok(t)
+    }
+
+    /// Read through the transaction (sees own writes, trivially, since
+    /// changes are applied eagerly).
+    pub fn get(&self, relation: &str, row: RowId) -> Result<Tuple> {
+        self.db.get(relation, row)
+    }
+
+    /// Commit: keep all changes, return per-relation delta batches in the
+    /// order relations were first touched.
+    pub fn commit(self) -> Vec<DeltaBatch> {
+        let mut order: Vec<String> = Vec::new();
+        let mut batches: HashMap<String, DeltaBatch> = HashMap::new();
+        for (rel, delta) in self.applied {
+            if !batches.contains_key(&rel) {
+                order.push(rel.clone());
+                batches.insert(rel.clone(), DeltaBatch::new(rel.clone()));
+            }
+            batches.get_mut(&rel).expect("just inserted").push(delta);
+        }
+        order
+            .into_iter()
+            .map(|rel| batches.remove(&rel).expect("present"))
+            .collect()
+    }
+
+    /// Abort: undo all changes in reverse order.
+    pub fn abort(self) -> Result<()> {
+        for (rel, delta) in self.applied.into_iter().rev() {
+            match delta {
+                Delta::Insert { row, .. } => {
+                    self.db.delete(&rel, row)?;
+                }
+                Delta::Delete { tuple, .. } => {
+                    self.db.insert(&rel, tuple)?;
+                }
+                Delta::Update { row, old, .. } => {
+                    self.db.update(&rel, row, old)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of changes applied so far.
+    pub fn change_count(&self) -> usize {
+        self.applied.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pmv_index::IndexDef;
+    use pmv_storage::{tuple, Column, ColumnType, Schema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_relation(Schema::new(
+            "r",
+            vec![
+                Column::new("a", ColumnType::Int),
+                Column::new("b", ColumnType::Int),
+            ],
+        ))
+        .unwrap();
+        db.create_index(IndexDef::hash("r", vec![0])).unwrap();
+        db
+    }
+
+    #[test]
+    fn commit_groups_deltas_by_relation() {
+        let mut db = db();
+        let mut txn = Transaction::begin(&mut db);
+        let row = txn.insert("r", tuple![1i64, 10i64]).unwrap();
+        txn.update("r", row, tuple![1i64, 11i64]).unwrap();
+        let batches = txn.commit();
+        assert_eq!(batches.len(), 1);
+        assert_eq!(batches[0].relation(), "r");
+        assert_eq!(batches[0].len(), 2);
+        assert_eq!(db.len("r").unwrap(), 1);
+    }
+
+    #[test]
+    fn abort_restores_content_and_indexes() {
+        let mut db = db();
+        let kept = match db.insert("r", tuple![7i64, 70i64]).unwrap() {
+            Delta::Insert { row, .. } => row,
+            _ => unreachable!(),
+        };
+        let mut txn = Transaction::begin(&mut db);
+        txn.insert("r", tuple![1i64, 10i64]).unwrap();
+        txn.delete("r", kept).unwrap();
+        txn.abort().unwrap();
+        assert_eq!(db.len("r").unwrap(), 1);
+        // The kept tuple is back and indexed.
+        let idx = db.index_on("r", &[0]).unwrap();
+        use pmv_index::SecondaryIndex;
+        assert_eq!(
+            idx.get(&pmv_index::IndexKey::single(Value::Int(7))).len(),
+            1
+        );
+        assert_eq!(
+            idx.get(&pmv_index::IndexKey::single(Value::Int(1))).len(),
+            0
+        );
+    }
+
+    #[test]
+    fn abort_undoes_updates() {
+        let mut db = db();
+        let row = match db.insert("r", tuple![5i64, 50i64]).unwrap() {
+            Delta::Insert { row, .. } => row,
+            _ => unreachable!(),
+        };
+        let mut txn = Transaction::begin(&mut db);
+        txn.update("r", row, tuple![5i64, 99i64]).unwrap();
+        txn.update("r", row, tuple![6i64, 99i64]).unwrap();
+        txn.abort().unwrap();
+        assert_eq!(db.get("r", row).unwrap(), tuple![5i64, 50i64]);
+    }
+
+    #[test]
+    fn mixed_insert_delete_transaction() {
+        let mut db = db();
+        // Pre-populate.
+        let mut rows = Vec::new();
+        for i in 0..5i64 {
+            match db.insert("r", tuple![i, i * 10]).unwrap() {
+                Delta::Insert { row, .. } => rows.push(row),
+                _ => unreachable!(),
+            }
+        }
+        // The Section 4.3 transaction shape: p inserts, (1-p) deletes.
+        let mut txn = Transaction::begin(&mut db);
+        txn.insert("r", tuple![100i64, 1i64]).unwrap();
+        txn.insert("r", tuple![101i64, 1i64]).unwrap();
+        txn.delete("r", rows[0]).unwrap();
+        assert_eq!(txn.change_count(), 3);
+        let batches = txn.commit();
+        assert_eq!(batches[0].inserted_tuples().count(), 2);
+        assert_eq!(batches[0].deleted_tuples().count(), 1);
+        assert_eq!(db.len("r").unwrap(), 6);
+    }
+}

@@ -1,0 +1,134 @@
+//! Catalog of named relations.
+//!
+//! The catalog owns every base relation behind a `parking_lot::RwLock`, so
+//! queries (readers) and maintenance transactions (writers) can coexist —
+//! the coarse-grained analogue of the paper's standard locking protocol on
+//! base relations.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::error::StorageError;
+use crate::relation::HeapRelation;
+use crate::schema::Schema;
+
+/// Shared handle to one relation.
+pub type RelationHandle = Arc<RwLock<HeapRelation>>;
+
+/// Named collection of relations.
+#[derive(Default)]
+pub struct Catalog {
+    relations: BTreeMap<String, RelationHandle>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Create a relation with the given schema.
+    pub fn create_relation(&mut self, schema: Schema) -> Result<RelationHandle, StorageError> {
+        let name = schema.name().to_string();
+        if self.relations.contains_key(&name) {
+            return Err(StorageError::DuplicateRelation(name));
+        }
+        let handle = Arc::new(RwLock::new(HeapRelation::new(schema)));
+        self.relations.insert(name, Arc::clone(&handle));
+        Ok(handle)
+    }
+
+    /// Look up a relation by name.
+    pub fn relation(&self, name: &str) -> Result<RelationHandle, StorageError> {
+        self.relations
+            .get(name)
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+    }
+
+    /// True if the named relation exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Drop a relation.
+    pub fn drop_relation(&mut self, name: &str) -> Result<(), StorageError> {
+        self.relations
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+    }
+
+    /// Names of all relations, sorted.
+    pub fn relation_names(&self) -> Vec<String> {
+        self.relations.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType};
+    use crate::tuple;
+
+    fn schema(name: &str) -> Schema {
+        Schema::new(name, vec![Column::new("a", ColumnType::Int)])
+    }
+
+    #[test]
+    fn create_and_lookup() {
+        let mut c = Catalog::new();
+        c.create_relation(schema("r")).unwrap();
+        assert!(c.contains("r"));
+        let h = c.relation("r").unwrap();
+        h.write().insert(tuple![1i64]).unwrap();
+        assert_eq!(c.relation("r").unwrap().read().len(), 1);
+    }
+
+    #[test]
+    fn duplicate_creation_fails() {
+        let mut c = Catalog::new();
+        c.create_relation(schema("r")).unwrap();
+        assert!(matches!(
+            c.create_relation(schema("r")),
+            Err(StorageError::DuplicateRelation(_))
+        ));
+    }
+
+    #[test]
+    fn missing_relation_errors() {
+        let c = Catalog::new();
+        assert!(matches!(
+            c.relation("nope"),
+            Err(StorageError::UnknownRelation(_))
+        ));
+    }
+
+    #[test]
+    fn drop_removes() {
+        let mut c = Catalog::new();
+        c.create_relation(schema("r")).unwrap();
+        c.drop_relation("r").unwrap();
+        assert!(!c.contains("r"));
+        assert!(c.drop_relation("r").is_err());
+    }
+
+    #[test]
+    fn names_sorted() {
+        let mut c = Catalog::new();
+        c.create_relation(schema("z")).unwrap();
+        c.create_relation(schema("a")).unwrap();
+        assert_eq!(c.relation_names(), vec!["a".to_string(), "z".to_string()]);
+    }
+
+    #[test]
+    fn handles_share_state() {
+        let mut c = Catalog::new();
+        let h1 = c.create_relation(schema("r")).unwrap();
+        let h2 = c.relation("r").unwrap();
+        h1.write().insert(tuple![5i64]).unwrap();
+        assert_eq!(h2.read().len(), 1);
+    }
+}

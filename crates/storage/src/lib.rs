@@ -1,0 +1,33 @@
+//! Storage substrate for the Partial Materialized View (PMV) reproduction.
+//!
+//! The paper (Luo, "Partial Materialized Views", ICDE 2007) prototypes its
+//! technique inside PostgreSQL. This crate provides the storage layer of the
+//! in-memory RDBMS substrate we build instead: typed values, relation
+//! schemas, tuples, slotted heap relations with stable row identifiers, a
+//! catalog, and delta capture for change propagation (the paper's `ΔR`).
+//!
+//! Everything is deliberately simple and allocation-conscious: tuples are
+//! boxed slices of [`Value`]s, strings are reference-counted so tuple clones
+//! are cheap, and every structure can report its heap footprint so the PMV
+//! layer can enforce the paper's storage bound `UB`.
+
+pub mod catalog;
+pub mod delta;
+pub mod error;
+pub mod relation;
+pub mod schema;
+pub mod size;
+pub mod tuple;
+pub mod value;
+
+pub use catalog::Catalog;
+pub use delta::{Delta, DeltaBatch};
+pub use error::StorageError;
+pub use relation::{HeapRelation, RowId};
+pub use schema::{Column, ColumnType, Schema};
+pub use size::HeapSize;
+pub use tuple::Tuple;
+pub use value::Value;
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

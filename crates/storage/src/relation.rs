@@ -1,0 +1,273 @@
+//! Slotted in-memory heap relations with stable row ids.
+//!
+//! A [`HeapRelation`] stores tuples in slots. Deleting a tuple frees its
+//! slot (reused by later inserts), but a live tuple's [`RowId`] never
+//! changes — indexes and deltas can therefore refer to rows by id, just as
+//! the paper's PostgreSQL prototype refers to heap TIDs.
+
+use crate::error::StorageError;
+use crate::schema::Schema;
+use crate::size::HeapSize;
+use crate::tuple::Tuple;
+
+/// Stable identifier of a tuple slot within one relation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId(pub u32);
+
+impl RowId {
+    /// Slot number as an index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An in-memory heap relation.
+#[derive(Clone, Debug)]
+pub struct HeapRelation {
+    schema: Schema,
+    slots: Vec<Option<Tuple>>,
+    free: Vec<u32>,
+    live: usize,
+    /// Monotone counter bumped on every mutation; cheap change detection
+    /// for layers that cache derived state.
+    version: u64,
+}
+
+impl HeapRelation {
+    /// Create an empty relation with the given schema.
+    pub fn new(schema: Schema) -> Self {
+        HeapRelation {
+            schema,
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+            version: 0,
+        }
+    }
+
+    /// The relation's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Relation name (from the schema).
+    pub fn name(&self) -> &str {
+        self.schema.name()
+    }
+
+    /// Number of live tuples.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no live tuples exist.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Mutation counter; bumps on insert/delete/update.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Insert a tuple, validating it against the schema. Returns its id.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<RowId, StorageError> {
+        self.schema.check(tuple.values())?;
+        self.version += 1;
+        self.live += 1;
+        let id = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(tuple);
+                RowId(slot)
+            }
+            None => {
+                let slot = u32::try_from(self.slots.len()).expect("relation exceeds u32 slots");
+                self.slots.push(Some(tuple));
+                RowId(slot)
+            }
+        };
+        Ok(id)
+    }
+
+    /// Delete the tuple at `id`, returning it.
+    pub fn delete(&mut self, id: RowId) -> Result<Tuple, StorageError> {
+        let slot = self
+            .slots
+            .get_mut(id.index())
+            .and_then(Option::take)
+            .ok_or_else(|| StorageError::RowNotFound {
+                relation: self.schema.name().to_string(),
+                slot: id.0,
+            })?;
+        self.free.push(id.0);
+        self.live -= 1;
+        self.version += 1;
+        Ok(slot)
+    }
+
+    /// Replace the tuple at `id`, returning the old tuple.
+    pub fn update(&mut self, id: RowId, new: Tuple) -> Result<Tuple, StorageError> {
+        self.schema.check(new.values())?;
+        let slot = self
+            .slots
+            .get_mut(id.index())
+            .ok_or_else(|| StorageError::RowNotFound {
+                relation: self.schema.name().to_string(),
+                slot: id.0,
+            })?;
+        match slot {
+            Some(t) => {
+                let old = std::mem::replace(t, new);
+                self.version += 1;
+                Ok(old)
+            }
+            None => Err(StorageError::RowNotFound {
+                relation: self.schema.name().to_string(),
+                slot: id.0,
+            }),
+        }
+    }
+
+    /// Tuple at `id`, if live.
+    pub fn get(&self, id: RowId) -> Option<&Tuple> {
+        self.slots.get(id.index()).and_then(Option::as_ref)
+    }
+
+    /// Iterate over `(RowId, &Tuple)` for all live tuples.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Tuple)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.as_ref().map(|t| (RowId(i as u32), t)))
+    }
+
+    /// Average total tuple size in bytes (the paper's `At`), or 0 if empty.
+    pub fn avg_tuple_bytes(&self) -> usize {
+        if self.live == 0 {
+            return 0;
+        }
+        let total: usize = self
+            .iter()
+            .map(|(_, t)| std::mem::size_of::<Tuple>() + t.heap_size())
+            .sum();
+        total / self.live
+    }
+}
+
+impl HeapSize for HeapRelation {
+    fn heap_size(&self) -> usize {
+        self.slots.heap_size()
+            + self.free.capacity() * std::mem::size_of::<u32>()
+            + self.schema.name().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Column, ColumnType};
+    use crate::tuple;
+
+    fn rel() -> HeapRelation {
+        HeapRelation::new(Schema::new(
+            "r",
+            vec![
+                Column::new("a", ColumnType::Int),
+                Column::new("b", ColumnType::Str),
+            ],
+        ))
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut r = rel();
+        let id = r.insert(tuple![1i64, "x"]).unwrap();
+        assert_eq!(r.get(id), Some(&tuple![1i64, "x"]));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn insert_validates_schema() {
+        let mut r = rel();
+        assert!(r.insert(tuple![1i64]).is_err());
+        assert!(r.insert(tuple!["wrong", "x"]).is_err());
+        assert_eq!(r.len(), 0);
+    }
+
+    #[test]
+    fn delete_frees_slot_for_reuse() {
+        let mut r = rel();
+        let id1 = r.insert(tuple![1i64, "x"]).unwrap();
+        let id2 = r.insert(tuple![2i64, "y"]).unwrap();
+        let removed = r.delete(id1).unwrap();
+        assert_eq!(removed, tuple![1i64, "x"]);
+        assert_eq!(r.get(id1), None);
+        assert_eq!(r.len(), 1);
+        // New insert reuses the freed slot.
+        let id3 = r.insert(tuple![3i64, "z"]).unwrap();
+        assert_eq!(id3, id1);
+        assert_ne!(id3, id2);
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn double_delete_errors() {
+        let mut r = rel();
+        let id = r.insert(tuple![1i64, "x"]).unwrap();
+        r.delete(id).unwrap();
+        assert!(matches!(
+            r.delete(id),
+            Err(StorageError::RowNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn update_replaces_in_place() {
+        let mut r = rel();
+        let id = r.insert(tuple![1i64, "x"]).unwrap();
+        let old = r.update(id, tuple![9i64, "y"]).unwrap();
+        assert_eq!(old, tuple![1i64, "x"]);
+        assert_eq!(r.get(id), Some(&tuple![9i64, "y"]));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn update_validates_schema() {
+        let mut r = rel();
+        let id = r.insert(tuple![1i64, "x"]).unwrap();
+        assert!(r.update(id, tuple!["bad", "y"]).is_err());
+        assert_eq!(r.get(id), Some(&tuple![1i64, "x"]));
+    }
+
+    #[test]
+    fn iter_skips_deleted() {
+        let mut r = rel();
+        let a = r.insert(tuple![1i64, "a"]).unwrap();
+        let _b = r.insert(tuple![2i64, "b"]).unwrap();
+        r.delete(a).unwrap();
+        let rows: Vec<_> = r.iter().map(|(_, t)| t.get(0).clone()).collect();
+        assert_eq!(rows, vec![crate::value::Value::Int(2)]);
+    }
+
+    #[test]
+    fn version_bumps_on_every_mutation() {
+        let mut r = rel();
+        let v0 = r.version();
+        let id = r.insert(tuple![1i64, "a"]).unwrap();
+        let v1 = r.version();
+        r.update(id, tuple![2i64, "b"]).unwrap();
+        let v2 = r.version();
+        r.delete(id).unwrap();
+        let v3 = r.version();
+        assert!(v0 < v1 && v1 < v2 && v2 < v3);
+    }
+
+    #[test]
+    fn avg_tuple_bytes_reasonable() {
+        let mut r = rel();
+        r.insert(tuple![1i64, "abcd"]).unwrap();
+        assert!(r.avg_tuple_bytes() > 4);
+        let empty = rel();
+        assert_eq!(empty.avg_tuple_bytes(), 0);
+    }
+}

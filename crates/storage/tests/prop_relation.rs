@@ -1,0 +1,108 @@
+//! Property test: `HeapRelation` against a `HashMap` model — row-id
+//! stability across arbitrary insert/delete/update interleavings, slot
+//! reuse never corrupting live rows, and iteration matching the model.
+
+use std::collections::HashMap;
+
+use pmv_storage::{Column, ColumnType, HeapRelation, RowId, Schema, Tuple, Value};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(i64),
+    DeleteNth(usize),
+    UpdateNth(usize, i64),
+    GetNth(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => any::<i64>().prop_map(Op::Insert),
+        1 => (0usize..64).prop_map(Op::DeleteNth),
+        1 => ((0usize..64), any::<i64>()).prop_map(|(n, v)| Op::UpdateNth(n, v)),
+        1 => (0usize..64).prop_map(Op::GetNth),
+    ]
+}
+
+fn schema() -> Schema {
+    Schema::new("r", vec![Column::new("v", ColumnType::Int)])
+}
+
+fn tup(v: i64) -> Tuple {
+    Tuple::new(vec![Value::Int(v)])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn relation_matches_model(ops in proptest::collection::vec(op_strategy(), 1..200)) {
+        let mut rel = HeapRelation::new(schema());
+        let mut model: HashMap<RowId, i64> = HashMap::new();
+        let mut live_order: Vec<RowId> = Vec::new(); // arbitrary pick list
+
+        for op in ops {
+            match op {
+                Op::Insert(v) => {
+                    let id = rel.insert(tup(v)).unwrap();
+                    prop_assert!(
+                        !model.contains_key(&id),
+                        "insert returned a live row id {id:?}"
+                    );
+                    model.insert(id, v);
+                    live_order.push(id);
+                }
+                Op::DeleteNth(n) => {
+                    if live_order.is_empty() {
+                        continue;
+                    }
+                    let id = live_order.remove(n % live_order.len());
+                    let removed = rel.delete(id).unwrap();
+                    prop_assert_eq!(removed, tup(model[&id]));
+                    model.remove(&id);
+                    // Double delete must fail.
+                    prop_assert!(rel.delete(id).is_err());
+                }
+                Op::UpdateNth(n, v) => {
+                    if live_order.is_empty() {
+                        continue;
+                    }
+                    let id = live_order[n % live_order.len()];
+                    let old = rel.update(id, tup(v)).unwrap();
+                    prop_assert_eq!(old, tup(model[&id]));
+                    model.insert(id, v);
+                }
+                Op::GetNth(n) => {
+                    if live_order.is_empty() {
+                        prop_assert_eq!(rel.len(), 0);
+                        continue;
+                    }
+                    let id = live_order[n % live_order.len()];
+                    prop_assert_eq!(rel.get(id), Some(&tup(model[&id])));
+                }
+            }
+            // Global invariants after every op.
+            prop_assert_eq!(rel.len(), model.len());
+            let mut seen: HashMap<RowId, i64> = HashMap::new();
+            for (id, t) in rel.iter() {
+                seen.insert(id, t.get(0).as_int().unwrap());
+            }
+            prop_assert_eq!(&seen, &model, "iteration diverged from model");
+        }
+    }
+
+    /// Row ids of surviving tuples never change, no matter how many
+    /// other rows churn around them.
+    #[test]
+    fn surviving_row_ids_are_stable(churn in 1usize..60) {
+        let mut rel = HeapRelation::new(schema());
+        let pinned = rel.insert(tup(42)).unwrap();
+        for i in 0..churn as i64 {
+            let id = rel.insert(tup(i)).unwrap();
+            prop_assert_ne!(id, pinned);
+            rel.delete(id).unwrap();
+        }
+        prop_assert_eq!(rel.get(pinned), Some(&tup(42)));
+        prop_assert_eq!(rel.len(), 1);
+    }
+}

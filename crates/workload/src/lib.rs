@@ -1,0 +1,22 @@
+//! Workload substrate for the PMV reproduction.
+//!
+//! * [`zipf`] — a Zipfian sampler (the paper's Section 4.1 draws bcps
+//!   from a Zipfian distribution with parameter α).
+//! * [`sim`] — the Section 4.1 simulation study: a stream of queries,
+//!   each touching `h` bcps, against a policy-managed PMV; reports hit
+//!   probability (Figures 6 and 7).
+//! * [`tpcr`] — a TPC-R-style data generator with the paper's Table 1
+//!   cardinality ratios (customer : orders : lineitem = 0.15 : 1.5 : 6
+//!   million per scale factor; 10 orders/customer, 4 lineitems/order).
+//! * [`queries`] — the paper's query templates T1 and T2 plus query
+//!   generators for the Section 4.2 experiments.
+
+pub mod queries;
+pub mod sim;
+pub mod tpcr;
+pub mod zipf;
+
+pub use queries::{t1_query, t2_query, template_t1, template_t2};
+pub use sim::{run_sim, SimConfig, SimResult};
+pub use tpcr::{generate, standard_indexes, TpcrConfig, TpcrStats};
+pub use zipf::Zipf;

@@ -1,0 +1,87 @@
+//! # pmv — Partial Materialized Views
+//!
+//! A from-scratch Rust reproduction of *Partial Materialized Views*
+//! (Gang Luo, ICDE 2007). A **partial materialized view (PMV)** caches a
+//! bounded set of the most frequently accessed query results for a
+//! parameterized query template, so an RDBMS can return transactionally
+//! consistent *partial* results within a millisecond while the full query
+//! continues to execute — without the storage and maintenance cost of a
+//! traditional materialized view.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`storage`] — values, schemas, tuples, heap relations, deltas.
+//! * [`index`] — hash and B+-tree secondary indexes with composite keys.
+//! * [`query`] — query templates (`Cjoin` + disjunctive `Cselect`),
+//!   planner, index-nested-loop executor, transactions, 2PL locks.
+//! * [`cache`] — replacement policies: CLOCK, simplified 2Q, LRU, LRU-2.
+//! * [`core`] — the paper's contribution: basic condition parts, the PMV
+//!   store, the O1/O2/O3 pipeline, deferred maintenance, MV baselines,
+//!   and the Section 3.6 extensions.
+//! * [`workload`] — Zipfian bcp streams, TPC-R-style data and query
+//!   generators.
+//! * [`costmodel`] — the analytical maintenance cost model of Section 4.3.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour, or run the whole
+//! flow in miniature:
+//!
+//! ```
+//! use pmv::prelude::*;
+//! use pmv::index::IndexDef;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut db = Database::new();
+//! db.create_relation(Schema::new(
+//!     "items",
+//!     vec![
+//!         Column::new("id", ColumnType::Int),
+//!         Column::new("kind", ColumnType::Int),
+//!     ],
+//! ))?;
+//! for i in 0..100i64 {
+//!     db.insert("items", tuple![i, i % 5])?;
+//! }
+//! db.create_index(IndexDef::btree("items", vec![1]))?;
+//!
+//! let template = TemplateBuilder::new("by_kind")
+//!     .relation(db.schema("items")?)
+//!     .select("items", "id")?
+//!     .cond_eq("items", "kind")?
+//!     .build()?;
+//! let def = PartialViewDef::all_equality("items_pmv", template.clone())?;
+//! let mut pmv = Pmv::new(def, PmvConfig::default());
+//! let pipeline = PmvPipeline::new();
+//!
+//! let q = template.bind(vec![Condition::Equality(vec![Value::Int(3)])])?;
+//! let cold = pipeline.run(&db, &mut pmv, &q)?; // fills the PMV
+//! assert!(cold.partial.is_empty());
+//! let warm = pipeline.run(&db, &mut pmv, &q)?; // serves partial results
+//! assert_eq!(warm.partial.len(), pmv.config().f);
+//! assert_eq!(
+//!     cold.all_results().len(),
+//!     warm.all_results().len(),
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+pub use pmv_cache as cache;
+pub use pmv_core as core;
+pub use pmv_costmodel as costmodel;
+pub use pmv_index as index;
+pub use pmv_query as query;
+pub use pmv_storage as storage;
+pub use pmv_workload as workload;
+
+/// Commonly used items, for `use pmv::prelude::*`.
+pub mod prelude {
+    pub use pmv_cache::{ClockPolicy, PolicyKind, ReplacementPolicy, TwoQPolicy};
+    pub use pmv_core::{
+        BcpKey, Discretizer, MaintenanceOutcome, PartialViewDef, Pmv, PmvConfig, PmvManager,
+        PmvPipeline, QueryOutcome,
+    };
+    pub use pmv_query::{
+        Condition, Database, Interval, QueryInstance, QueryTemplate, TemplateBuilder,
+    };
+    pub use pmv_storage::{tuple, Column, ColumnType, Schema, Tuple, Value};
+}

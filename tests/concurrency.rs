@@ -1,0 +1,172 @@
+//! Concurrency tests for the Section 3.6 locking protocol: queries take
+//! an S lock on the PMV for O2..O3; maintenance takes an X lock. A
+//! maintainer therefore cannot slip between a query's partial results and
+//! its full execution.
+
+mod common;
+
+use common::{eqt_fixture, eqt_query};
+use pmv::prelude::*;
+use pmv::query::{LockManager, LockMode};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+#[test]
+fn maintainer_waits_for_reader() {
+    let locks = LockManager::new();
+    let s = locks.lock_shared("pmv_obj");
+    let done = Arc::new(AtomicBool::new(false));
+    let locks2 = locks.clone();
+    let done2 = Arc::clone(&done);
+    let t = std::thread::spawn(move || {
+        let _x = locks2.lock_exclusive("pmv_obj");
+        done2.store(true, Ordering::SeqCst);
+    });
+    std::thread::sleep(Duration::from_millis(40));
+    assert!(
+        !done.load(Ordering::SeqCst),
+        "X lock must wait for the query's S lock"
+    );
+    drop(s);
+    t.join().unwrap();
+    assert!(done.load(Ordering::SeqCst));
+}
+
+#[test]
+fn readers_share_maintainers_serialize() {
+    let locks = LockManager::new();
+    let in_cs = Arc::new(AtomicUsize::new(0));
+    let max_writers = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+    for i in 0..8 {
+        let locks = locks.clone();
+        let in_cs = Arc::clone(&in_cs);
+        let max_writers = Arc::clone(&max_writers);
+        handles.push(std::thread::spawn(move || {
+            for _ in 0..200 {
+                if i % 2 == 0 {
+                    let _g = locks.lock("v", LockMode::Exclusive);
+                    let now = in_cs.fetch_add(1, Ordering::SeqCst) + 1;
+                    max_writers.fetch_max(now, Ordering::SeqCst);
+                    in_cs.fetch_sub(1, Ordering::SeqCst);
+                } else {
+                    let _g = locks.lock("v", LockMode::Shared);
+                }
+            }
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(
+        max_writers.load(Ordering::SeqCst),
+        1,
+        "two X holders overlapped"
+    );
+    assert_eq!(locks.held_objects(), 0);
+}
+
+/// Full-protocol test: one thread streams queries through the pipeline
+/// while another applies deletes with maintenance. Each query must be
+/// internally consistent (exactly-once: ds_leftover == 0) even though
+/// the database changes between queries.
+#[test]
+fn queries_and_maintenance_interleave_consistently() {
+    let fx = eqt_fixture(150);
+    let db = Arc::new(parking_lot::RwLock::new(fx.db));
+    let template = fx.template;
+    let locks = LockManager::new();
+    let pipeline = PmvPipeline::with_locks(locks.clone());
+    let def = PartialViewDef::all_equality("shared_pmv", template.clone()).unwrap();
+    let pmv = Arc::new(parking_lot::Mutex::new(Pmv::new(def, PmvConfig::default())));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let inconsistencies = Arc::new(AtomicUsize::new(0));
+
+    let reader = {
+        let db = Arc::clone(&db);
+        let pmv = Arc::clone(&pmv);
+        let pipeline = pipeline.clone();
+        let template = template.clone();
+        let stop = Arc::clone(&stop);
+        let bad = Arc::clone(&inconsistencies);
+        std::thread::spawn(move || {
+            let mut i = 0i64;
+            while !stop.load(Ordering::SeqCst) {
+                let q = eqt_query(&template, &[i % 7], &[(i / 7) % 5]);
+                let db_guard = db.read();
+                let mut pmv_guard = pmv.lock();
+                let out = pipeline.run(&db_guard, &mut pmv_guard, &q).unwrap();
+                if out.ds_leftover != 0 {
+                    bad.fetch_add(1, Ordering::SeqCst);
+                }
+                drop(pmv_guard);
+                drop(db_guard);
+                i += 1;
+            }
+            i
+        })
+    };
+
+    let writer = {
+        let db = Arc::clone(&db);
+        let pmv = Arc::clone(&pmv);
+        let pipeline = pipeline.clone();
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut round = 0i64;
+            while !stop.load(Ordering::SeqCst) {
+                let mut db_guard = db.write();
+                let mut txn = pmv::query::Transaction::begin(&mut db_guard);
+                txn.insert(
+                    "r",
+                    Tuple::new(vec![
+                        Value::Int(10_000 + round),
+                        Value::Int(round % 76),
+                        Value::Int(round % 7),
+                    ]),
+                )
+                .unwrap();
+                // Delete some earlier row if present.
+                let victim = {
+                    let handle = txn.get("r", pmv::storage::RowId((round % 150) as u32));
+                    handle
+                        .ok()
+                        .map(|_| pmv::storage::RowId((round % 150) as u32))
+                };
+                if let Some(v) = victim {
+                    txn.delete("r", v).unwrap();
+                }
+                let batches = txn.commit();
+                // Downgrade to read for the maintenance joins.
+                let db_read = parking_lot::RwLockWriteGuard::downgrade(db_guard);
+                let mut pmv_guard = pmv.lock();
+                for b in &batches {
+                    pipeline.maintain(&db_read, &mut pmv_guard, b).unwrap();
+                }
+                round += 1;
+                std::thread::sleep(Duration::from_micros(200));
+            }
+            round
+        })
+    };
+
+    std::thread::sleep(Duration::from_millis(300));
+    stop.store(true, Ordering::SeqCst);
+    let queries = reader.join().unwrap();
+    let rounds = writer.join().unwrap();
+    assert!(queries > 10, "reader made progress ({queries} queries)");
+    assert!(rounds > 10, "writer made progress ({rounds} rounds)");
+    assert_eq!(
+        inconsistencies.load(Ordering::SeqCst),
+        0,
+        "a query saw a stale partial result"
+    );
+
+    // Final state sanity: revalidation finds nothing stale.
+    let db_guard = db.read();
+    let mut pmv_guard = pmv.lock();
+    let removed = pmv_guard.revalidate(&db_guard).unwrap();
+    assert_eq!(removed, 0, "stale tuples survived maintenance");
+}

