@@ -4,10 +4,8 @@
 //! as an aligned text table plus a JSON line per row (for downstream
 //! plotting).
 
-use serde::Serialize;
-
 /// One row of an experiment: an x-value plus named series values.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Row {
     /// X-axis label (e.g. `h=3`, `N=20000`, `p=40%`).
     pub x: String,
@@ -16,7 +14,7 @@ pub struct Row {
 }
 
 /// A whole experiment's output.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct ExperimentReport {
     /// Experiment id, e.g. `figure6`.
     pub id: String,

@@ -91,8 +91,7 @@ impl<K: Clone + Eq + Hash + Debug> ReplacementPolicy<K> for ClockPolicy<K> {
 
     fn remove(&mut self, key: &K) {
         if let Some(pos) = self.map.remove(key) {
-            // Swap-remove the frame, fixing the moved frame's map entry
-            // and the hand if it pointed past the shrunken ring.
+            // Swap-remove the frame, fixing the moved frame's map entry.
             let last = self.frames.len() - 1;
             self.frames.swap(pos, last);
             self.frames.pop();
@@ -100,10 +99,16 @@ impl<K: Clone + Eq + Hash + Debug> ReplacementPolicy<K> for ClockPolicy<K> {
                 let moved_key = self.frames[pos].key.clone();
                 self.map.insert(moved_key, pos);
             }
-            if !self.frames.is_empty() {
-                self.hand %= self.frames.len();
-            } else {
-                self.hand = 0;
+            // Hand repair. Only `hand == last` needs it: positions below
+            // `last` still hold the same frames. If the hand pointed at
+            // the frame that was swapped down into `pos`, it must follow
+            // it there (resetting to 0 — the seed's `hand %= len` — lets
+            // the hand skip unvisited frames and re-sweep ones that
+            // already spent their second chance). If the hand pointed at
+            // the removed frame itself (`pos == last`, no swap), the
+            // next frame in ring order is index 0.
+            if self.hand >= self.frames.len() {
+                self.hand = if pos < self.frames.len() { pos } else { 0 };
             }
         }
     }
@@ -201,6 +206,29 @@ mod tests {
         c.touch(&2); // must touch the right frame
         c.admit(3);
         assert_eq!(c.resident_count(), 3);
+    }
+
+    #[test]
+    fn remove_hand_follows_swapped_frame() {
+        let mut c = ClockPolicy::new(3);
+        c.admit(0u32);
+        c.admit(1);
+        c.admit(2);
+        assert_eq!(c.admit(3).evicted(), &[0]); // frames [3,1,2], hand=1
+        assert_eq!(c.admit(4).evicted(), &[1]); // frames [3,4,2], hand=2
+        c.touch(&2);
+        // Swap-remove moves key 2 into slot 1; the hand (on slot 2, the
+        // old last) must follow it there. The seed's `hand %= len` reset
+        // it to slot 0, which made the next sweep spend 3's second
+        // chance out of turn and evict 3 instead of 2.
+        c.remove(&4);
+        // Refills the freed slot, no eviction.
+        assert_eq!(c.admit(5).evicted(), &[] as &[u32]);
+        // Sweep order from the followed hand: 2, 5, 3, then 2 again →
+        // victim 2. (With the seed's reset hand the sweep started at 3
+        // and evicted it instead.)
+        assert_eq!(c.admit(6).evicted(), &[2]);
+        assert!(c.contains(&3) && c.contains(&5) && c.contains(&6));
     }
 
     #[test]

@@ -115,10 +115,13 @@ impl PolicyKind {
     ///
     /// For 2Q, `capacity` is the Am queue size N; the A1 probation queue
     /// gets the paper's N' = 50% × N additional key-only entries.
-    pub fn build<K: Clone + Eq + Hash + Ord + Debug + Send + 'static>(
+    ///
+    /// The box is `Send + Sync` so a store can live behind a shard's
+    /// `RwLock` in the sharded concurrent PMV.
+    pub fn build<K: Clone + Eq + Hash + Ord + Debug + Send + Sync + 'static>(
         &self,
         capacity: usize,
-    ) -> Box<dyn ReplacementPolicy<K> + Send> {
+    ) -> Box<dyn ReplacementPolicy<K> + Send + Sync> {
         match self {
             PolicyKind::Clock => Box::new(ClockPolicy::new(capacity)),
             PolicyKind::TwoQ => Box::new(TwoQPolicy::new(capacity)),

@@ -1,0 +1,145 @@
+//! Model-based property test for [`ClockPolicy`].
+//!
+//! `ClockPolicy` keeps a key→position map and repairs the clock hand
+//! in-place on `remove` (swap-remove of the frame ring). Both are easy to
+//! get subtly wrong — the seed reset the hand with `hand %= len`, which
+//! teleported it to frame 0 whenever it pointed at the last frame, letting
+//! it skip unswept frames and re-sweep ones that had already spent their
+//! second chance. This test replays arbitrary operation sequences against
+//! [`ModelClock`], an obviously-correct reference written with linear
+//! scans and case-by-case hand repair, and demands identical observable
+//! behavior (admit outcomes, residency, counts) after every step.
+
+use pmv_cache::{ClockPolicy, ReplacementPolicy};
+use proptest::collection;
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Admit(u8),
+    Touch(u8),
+    Remove(u8),
+}
+
+/// Reference CLOCK: the same abstract machine as `ClockPolicy` (a frame
+/// ring stored in a vector, swap-remove on removal) with no incremental
+/// bookkeeping to go stale — positions are found by linear search and the
+/// hand repair on removal is spelled out case by case.
+struct ModelClock {
+    /// (key, referenced) frames in ring order.
+    frames: Vec<(u8, bool)>,
+    hand: usize,
+    capacity: usize,
+}
+
+impl ModelClock {
+    fn new(capacity: usize) -> Self {
+        ModelClock {
+            frames: Vec::new(),
+            hand: 0,
+            capacity,
+        }
+    }
+
+    fn pos_of(&self, key: u8) -> Option<usize> {
+        self.frames.iter().position(|f| f.0 == key)
+    }
+
+    fn touch(&mut self, key: u8) {
+        if let Some(p) = self.pos_of(key) {
+            self.frames[p].1 = true;
+        }
+    }
+
+    fn admit(&mut self, key: u8) -> Vec<u8> {
+        if let Some(p) = self.pos_of(key) {
+            self.frames[p].1 = true;
+            return vec![];
+        }
+        if self.frames.len() < self.capacity {
+            self.frames.push((key, true));
+            return vec![];
+        }
+        loop {
+            let pos = self.hand;
+            self.hand = (self.hand + 1) % self.frames.len();
+            if self.frames[pos].1 {
+                self.frames[pos].1 = false;
+            } else {
+                let victim = self.frames[pos].0;
+                self.frames[pos] = (key, true);
+                return vec![victim];
+            }
+        }
+    }
+
+    fn remove(&mut self, key: u8) {
+        let Some(pos) = self.pos_of(key) else {
+            return;
+        };
+        let last = self.frames.len() - 1;
+        self.frames.swap(pos, last);
+        self.frames.pop();
+        // Positions below `last` still hold the same frames, so a hand
+        // below `last` needs no repair. A hand at `last` pointed either
+        // at the frame that was swapped down into `pos` (follow it), or
+        // — when `pos == last` — at the removed frame itself, whose ring
+        // successor is frame 0.
+        if self.hand == last {
+            self.hand = if pos < self.frames.len() { pos } else { 0 };
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn clock_matches_model(
+        capacity in 1usize..6,
+        ops in collection::vec(
+            prop_oneof![
+                (0u8..12).prop_map(Op::Admit),
+                (0u8..12).prop_map(Op::Touch),
+                (0u8..12).prop_map(Op::Remove),
+            ],
+            0..200,
+        ),
+    ) {
+        let mut real = ClockPolicy::new(capacity);
+        let mut model = ModelClock::new(capacity);
+        for (step, op) in ops.iter().enumerate() {
+            match op {
+                Op::Admit(k) => {
+                    let got = real.admit(*k).evicted().to_vec();
+                    let want = model.admit(*k);
+                    prop_assert_eq!(
+                        &got, &want,
+                        "step {} {:?}: evicted {:?} but model evicts {:?}",
+                        step, op, got, want
+                    );
+                }
+                Op::Touch(k) => {
+                    real.touch(k);
+                    model.touch(*k);
+                }
+                Op::Remove(k) => {
+                    real.remove(k);
+                    model.remove(*k);
+                }
+            }
+            prop_assert_eq!(real.resident_count(), model.frames.len());
+            prop_assert!(real.resident_count() <= capacity);
+            let mut keys = real.resident_keys();
+            keys.sort_unstable();
+            let mut model_keys: Vec<u8> = model.frames.iter().map(|f| f.0).collect();
+            model_keys.sort_unstable();
+            prop_assert_eq!(&keys, &model_keys, "step {}: residents diverged", step);
+            keys.dedup();
+            prop_assert_eq!(keys.len(), real.resident_count(), "duplicate resident key");
+            for k in 0u8..12 {
+                prop_assert_eq!(real.contains(&k), model.pos_of(k).is_some());
+            }
+        }
+    }
+}

@@ -138,18 +138,40 @@ impl Discretizer {
     /// results from cold results"). When candidates exceed
     /// `max_dividers`, the most *frequent* endpoints are kept (hot form
     /// choices recur in a trace; rare ones matter least).
+    ///
+    /// Endpoint exclusivity matters under the half-open convention
+    /// `[d, next)`: a divider at `d` puts `d` itself in the basic
+    /// interval to its *right*. An included lower endpoint `[v, …` and
+    /// an excluded upper endpoint `…, v)` therefore use `v` directly,
+    /// while an excluded lower endpoint `(v, …` and an included upper
+    /// endpoint `…, v]` need the divider at `v`'s successor — `v + 1`
+    /// for integer domains. Non-integer domains have no successor, so
+    /// those endpoints fall back to `v`, the closest expressible
+    /// divider (the basic interval then mixes the boundary value in;
+    /// that is inherent, not a bug).
     pub fn learn_from_trace(trace: &[Interval], max_dividers: usize) -> Self {
         use std::collections::HashMap;
         assert!(max_dividers > 0, "need at least one divider");
+        fn successor(v: &Value) -> Value {
+            match v {
+                Value::Int(i) => Value::Int(i.saturating_add(1)),
+                other => other.clone(),
+            }
+        }
         let mut freq: HashMap<Value, usize> = HashMap::new();
         for iv in trace {
-            for b in [&iv.lo, &iv.hi] {
-                match b {
-                    Bound::Included(v) | Bound::Excluded(v) => {
-                        *freq.entry(v.clone()).or_insert(0) += 1;
-                    }
-                    Bound::Unbounded => {}
-                }
+            let lo = match &iv.lo {
+                Bound::Included(v) => Some(v.clone()),
+                Bound::Excluded(v) => Some(successor(v)),
+                Bound::Unbounded => None,
+            };
+            let hi = match &iv.hi {
+                Bound::Excluded(v) => Some(v.clone()),
+                Bound::Included(v) => Some(successor(v)),
+                Bound::Unbounded => None,
+            };
+            for v in [lo, hi].into_iter().flatten() {
+                *freq.entry(v).or_insert(0) += 1;
             }
         }
         let mut candidates: Vec<(Value, usize)> = freq.into_iter().collect();
@@ -346,6 +368,44 @@ mod tests {
                 assert!(whole, "interval {iv} fragment {id} not whole");
             }
         }
+    }
+
+    #[test]
+    fn learn_from_trace_respects_exclusive_endpoints() {
+        // (10, 21) over integers is {11, …, 20} = [11, 21), so the
+        // learned dividers must be 11 and 21. The seed used the raw
+        // endpoints 10 and 21, putting the *cold* boundary value 10 in
+        // the same basic interval as the hot values 11..=20.
+        let d = Discretizer::learn_from_trace(&[Interval::open(10i64, 21i64)], 10);
+        assert_eq!(d.dividers(), &[v(11), v(21)]);
+        assert_ne!(
+            d.id_of(&v(10)),
+            d.id_of(&v(11)),
+            "cold 10 split from hot 11"
+        );
+        assert_eq!(d.id_of(&v(11)), d.id_of(&v(20)));
+        assert_ne!(
+            d.id_of(&v(20)),
+            d.id_of(&v(21)),
+            "hot 20 split from cold 21"
+        );
+        // The query interval now covers whole basic intervals only.
+        let q = Interval::half_open(11i64, 21i64); // same integer set
+        for id in d.overlapping_ids(&q) {
+            let (_, whole) = d.fragment(id, &q).unwrap();
+            assert!(whole);
+        }
+
+        // Included upper endpoint: [30, 39] = [30, 40) needs divider 40.
+        let d = Discretizer::learn_from_trace(&[Interval::closed(30i64, 39i64)], 10);
+        assert_eq!(d.dividers(), &[v(30), v(40)]);
+        assert_eq!(d.id_of(&v(30)), d.id_of(&v(39)));
+        assert_ne!(d.id_of(&v(39)), d.id_of(&v(40)));
+
+        // Non-integer domains have no successor: fall back to the raw
+        // endpoint rather than inventing one.
+        let d = Discretizer::learn_from_trace(&[Interval::above("m", false)], 10);
+        assert_eq!(d.dividers(), &[Value::str("m")]);
     }
 
     #[test]

@@ -1,84 +1,469 @@
-//! Thread-safe PMV embedding.
+//! Sharded, thread-safe PMV embedding.
 //!
 //! [`crate::pipeline::PmvPipeline::run`] takes `&mut Pmv`, which forces
-//! single-writer access; [`SharedPmv`] packages the locking a
-//! multi-threaded embedder needs: an internal mutex over the PMV, the
-//! shared [`PmvPipeline`] (whose S/X protocol serializes queries against
-//! maintainers per Section 3.6), and clone-to-share semantics.
+//! single-writer access; the first multi-threaded embedding wrapped the
+//! whole PMV in one mutex, so every O2 probe serialized against every
+//! other and maintenance stalled all queries. [`SharedPmv`] shards the
+//! store by bcp-key hash instead:
+//!
+//! * The view's `L` entry budget is split over `N` shards (default: the
+//!   machine's available parallelism), each with its own [`PmvStore`] —
+//!   its slice of the bcp entries, its own replacement-policy instance of
+//!   capacity `⌈L/N⌉`, and its own maintenance-filter slice — behind its
+//!   own [`parking_lot::RwLock`].
+//! * A query locks only the shards its condition parts hash to, one short
+//!   write guard per shard for the O2 probe and again for the O3
+//!   fill/update, so concurrent probes on different bcps proceed in
+//!   parallel.
+//! * Maintenance X-locks (write-locks) only the shards its ΔR join rows
+//!   hash to; queries over unaffected shards are never blocked.
+//! * Statistics accumulate locally per call and publish via one relaxed
+//!   [`AtomicPmvStats::add`] — no lock is taken for bookkeeping.
+//!
+//! # Locking protocol (the Section 3.6 S/X discipline, sharded)
+//!
+//! The paper holds an S lock on the PMV from O2 to the end of O3 so no
+//! maintainer can invalidate already-served partial results before the
+//! full execution re-derives them. Here the same guarantee comes from the
+//! database snapshot plus a visibility rule:
+//!
+//! 1. A query runs against `&Database` — the base data cannot change for
+//!    the duration of [`SharedPmv::run`], because any writer needs
+//!    `&mut Database` (e.g. the write half of an `RwLock<Database>`).
+//! 2. [`SharedPmv::maintain`] **must be called before the delta's new
+//!    database state becomes visible to queries** — i.e. while the caller
+//!    still holds its exclusive database access, reborrowed as
+//!    `&Database`:
+//!
+//!    ```text
+//!    let mut g = db.write();              // exclusive: no query running
+//!    let batches = txn.commit();          // Δ applied to the base data
+//!    shared.maintain(&g, &batches[0])?;   // shards repaired *before*…
+//!    drop(g);                             // …readers can see the new DB
+//!    ```
+//!
+//! Under that contract every query observes (database state, shard
+//! contents) pairs where the cached tuples are a subset of the true bcp
+//! answers, so O3 re-derives every served tuple and the end-of-O3
+//! invariant `ds_leftover == 0` holds. (This rule is exactly what the
+//! seed's global-mutex embedding got wrong: it committed, *downgraded*
+//! the database lock, and only then locked the PMV — a reader could slip
+//! into the gap, see the new database with stale shards, and trip the
+//! `DS must be empty` assertion.)
+//!
+//! Lock ordering is uniform — database access is always acquired before
+//! any shard lock, queries hold at most one shard lock at a time and
+//! never touch database locks while holding one, and maintenance acquires
+//! its affected shards in ascending index order — so the embedding is
+//! deadlock-free.
 
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
 use std::sync::Arc;
+use std::time::Instant;
 
-use parking_lot::Mutex;
-use pmv_query::Database;
-use pmv_storage::DeltaBatch;
+use parking_lot::RwLock;
+use pmv_query::{exec::join_from, execute, Database, QueryInstance};
+use pmv_storage::{Delta, DeltaBatch, Tuple};
 
-use crate::maintenance::MaintenanceOutcome;
-use crate::pipeline::{Pmv, PmvPipeline, QueryOutcome};
-use crate::stats::PmvStats;
+use crate::bcp::BcpKey;
+use crate::ds::Ds;
+use crate::maintenance::{relevant_columns, MaintenanceOutcome};
+use crate::o1::{decompose, ConditionPart};
+use crate::pipeline::{probe_parts, revalidate_store, QueryOutcome, QueryTimings};
+use crate::stats::{AtomicPmvStats, PmvStats};
+use crate::store::{PmvStore, Residency};
+use crate::view::{PartialViewDef, PmvConfig};
 use crate::Result;
 
-/// A clonable, thread-safe handle to one PMV.
+struct Inner {
+    def: PartialViewDef,
+    config: PmvConfig,
+    shards: Vec<RwLock<PmvStore>>,
+    stats: AtomicPmvStats,
+}
+
+/// A clonable, thread-safe handle to one bcp-hash-sharded PMV.
 #[derive(Clone)]
 pub struct SharedPmv {
-    inner: Arc<Mutex<Pmv>>,
-    pipeline: PmvPipeline,
+    inner: Arc<Inner>,
 }
 
 impl SharedPmv {
-    /// Wrap a PMV for shared use; all clones use `pipeline`'s lock
-    /// manager for the S/X protocol.
-    pub fn new(pmv: Pmv, pipeline: PmvPipeline) -> Self {
+    /// Sharded PMV with one shard per available hardware thread.
+    pub fn new(def: PartialViewDef, config: PmvConfig) -> Self {
+        let n = std::thread::available_parallelism().map_or(4, usize::from);
+        SharedPmv::with_shards(def, config, n)
+    }
+
+    /// Sharded PMV with an explicit shard count (≥ 1). Each shard's store
+    /// gets capacity `⌈L/N⌉`, so total capacity stays within one shard's
+    /// rounding of the configured `L`.
+    pub fn with_shards(def: PartialViewDef, config: PmvConfig, shards: usize) -> Self {
+        let n = shards.max(1);
+        let per_shard = config.l.div_ceil(n).max(1);
+        let shards = (0..n)
+            .map(|_| {
+                let mut store = PmvStore::with_capacity(&config, per_shard);
+                if config.maint_filter {
+                    store.enable_filter(crate::maint_filter::MaintFilter::new(def.template()));
+                }
+                RwLock::new(store)
+            })
+            .collect();
         SharedPmv {
-            inner: Arc::new(Mutex::new(pmv)),
-            pipeline,
+            inner: Arc::new(Inner {
+                def,
+                config,
+                shards,
+                stats: AtomicPmvStats::new(),
+            }),
         }
     }
 
-    /// The shared pipeline.
-    pub fn pipeline(&self) -> &PmvPipeline {
-        &self.pipeline
+    /// The view definition.
+    pub fn def(&self) -> &PartialViewDef {
+        &self.inner.def
     }
 
-    /// Run a query (O1/O2/O3) under the internal lock.
-    pub fn run(&self, db: &Database, q: &pmv_query::QueryInstance) -> Result<QueryOutcome> {
-        let mut pmv = self.inner.lock();
-        self.pipeline.run(db, &mut pmv, q)
+    /// The tuning knobs.
+    pub fn config(&self) -> &PmvConfig {
+        &self.inner.config
     }
 
-    /// Apply a maintenance batch under the internal lock.
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.inner.shards.len()
+    }
+
+    fn shard_of(&self, bcp: &BcpKey) -> usize {
+        let mut h = DefaultHasher::new();
+        bcp.hash(&mut h);
+        (h.finish() % self.inner.shards.len() as u64) as usize
+    }
+
+    /// Run one query through O1/O2/O3, locking only the shards its
+    /// condition parts and result tuples hash to.
+    pub fn run(&self, db: &Database, q: &QueryInstance) -> Result<QueryOutcome> {
+        let inner = &*self.inner;
+        let n = inner.shards.len();
+        let mut local = PmvStats::default();
+
+        // ---- Operation O1 ----
+        let t_o1 = Instant::now();
+        let parts = decompose(&inner.def, q)?;
+        let o1 = t_o1.elapsed();
+
+        // ---- Operation O2: probe shard by shard ----
+        let t_o2 = Instant::now();
+        let mut ds = Ds::new();
+        let mut counters: HashMap<BcpKey, usize> = HashMap::with_capacity(parts.len());
+        let mut partial_expanded: Vec<Tuple> = Vec::new();
+        let mut bcp_hit = false;
+        let mut parts_by_shard: Vec<Vec<&ConditionPart>> = vec![Vec::new(); n];
+        let mut seen: HashSet<&BcpKey> = HashSet::with_capacity(parts.len());
+        for part in &parts {
+            if seen.insert(&part.bcp) {
+                parts_by_shard[self.shard_of(&part.bcp)].push(part);
+            }
+        }
+        for (si, group) in parts_by_shard.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let mut store = inner.shards[si].write();
+            probe_parts(
+                &mut store,
+                q,
+                group,
+                &mut counters,
+                &mut ds,
+                &mut partial_expanded,
+                &mut bcp_hit,
+            );
+        }
+        let o2 = t_o2.elapsed();
+
+        // ---- Operation O3: full execution (no shard locks held) ----
+        let t_exec = Instant::now();
+        let (results, exec_stats) = execute(db, q)?;
+        let exec = t_exec.elapsed();
+
+        // ---- Operation O3: dedup + fill/update ----
+        let t_o3 = Instant::now();
+        // How many occurrences of each (bcp, tuple) this query proved to
+        // exist: served partials plus remaining execution results. The
+        // fill below never pushes a tuple's cached count past this bound,
+        // which keeps every entry a sub-multiset of its bcp's true answer
+        // even when several queries fill the same entry concurrently.
+        let mut proven: HashMap<(BcpKey, Tuple), usize> = HashMap::new();
+        for t in &partial_expanded {
+            *proven
+                .entry((inner.def.bcp_of_tuple(t), t.clone()))
+                .or_insert(0) += 1;
+        }
+        let mut remaining_expanded: Vec<Tuple> = Vec::new();
+        let mut candidates: Vec<(usize, BcpKey, Tuple)> = Vec::new();
+        for t in results {
+            if ds.remove_one(&t) {
+                continue; // the user already has this occurrence
+            }
+            let bcp = inner.def.bcp_of_tuple(&t);
+            *proven.entry((bcp.clone(), t.clone())).or_insert(0) += 1;
+            candidates.push((self.shard_of(&bcp), bcp, t.clone()));
+            remaining_expanded.push(t);
+        }
+        let mut fill_by_shard: Vec<Vec<(BcpKey, Tuple, usize)>> = vec![Vec::new(); n];
+        for (si, bcp, t) in candidates {
+            let key = (bcp, t);
+            let cap = proven[&key];
+            fill_by_shard[si].push((key.0, key.1, cap));
+        }
+        for (si, group) in fill_by_shard.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            let mut store = inner.shards[si].write();
+            let mut admit_cache: HashMap<&BcpKey, Residency> = HashMap::new();
+            for (bcp, t, cap) in group {
+                let residency = *admit_cache.entry(bcp).or_insert_with(|| {
+                    let r = store.admit(bcp);
+                    if r == Residency::Probation {
+                        local.probations += 1;
+                    }
+                    r
+                });
+                if residency != Residency::Resident {
+                    continue;
+                }
+                let have = store
+                    .lookup(bcp)
+                    .map_or(0, |ts| ts.iter().filter(|x| *x == t).count());
+                if have < *cap && store.push_tuple(bcp, t.clone()) {
+                    local.tuples_admitted += 1;
+                }
+            }
+        }
+        let ds_leftover = ds.len();
+        debug_assert_eq!(ds_leftover, 0, "DS must be empty after O3");
+        let o3_overhead = t_o3.elapsed();
+
+        // ---- Bookkeeping ----
+        local.queries = 1;
+        local.condition_parts = parts.len() as u64;
+        if bcp_hit {
+            local.bcp_hit_queries = 1;
+        }
+        if !partial_expanded.is_empty() {
+            local.serving_queries = 1;
+            local.partial_tuples_served = partial_expanded.len() as u64;
+        }
+        inner.stats.add(&local);
+
+        let template = inner.def.template();
+        let partial = partial_expanded
+            .iter()
+            .map(|t| template.user_tuple(t))
+            .collect();
+        let remaining = remaining_expanded
+            .iter()
+            .map(|t| template.user_tuple(t))
+            .collect();
+        Ok(QueryOutcome {
+            partial,
+            remaining,
+            partial_expanded,
+            remaining_expanded,
+            bcp_hit,
+            parts: parts.len(),
+            timings: QueryTimings {
+                o1,
+                o2,
+                exec,
+                o3_overhead,
+            },
+            exec_stats,
+            ds_leftover,
+        })
+    }
+
+    /// Apply one relation's delta batch, write-locking only the shards
+    /// the ΔR join rows hash to.
+    ///
+    /// **Contract:** call this while the delta's new database state is
+    /// not yet visible to concurrent queries — in the
+    /// `RwLock<Database>` idiom, while still holding the write guard
+    /// (reborrowed as `&Database`), *before* downgrading or dropping it.
+    /// Violating this reintroduces the stale-partial-result race the
+    /// module docs describe.
     pub fn maintain(&self, db: &Database, batch: &DeltaBatch) -> Result<MaintenanceOutcome> {
-        let mut pmv = self.inner.lock();
-        self.pipeline.maintain(db, &mut pmv, batch)
+        let inner = &*self.inner;
+        let mut out = MaintenanceOutcome::default();
+        let mut local = PmvStats::default();
+        let template = inner.def.template().clone();
+        let Some(rel_idx) = template
+            .relations()
+            .iter()
+            .position(|r| r == batch.relation())
+        else {
+            out.unrelated_relation = true;
+            return Ok(out);
+        };
+        let relevant = relevant_columns(&template, rel_idx);
+
+        // Phase 1: compute the ΔR ⋈ R_j rows and the shards they hash to.
+        let mut removals: Vec<(usize, BcpKey, Tuple)> = Vec::new();
+        for delta in batch.deltas() {
+            let tuple = match delta {
+                Delta::Insert { .. } => {
+                    out.inserts_ignored += 1;
+                    local.maint_inserts_ignored += 1;
+                    continue;
+                }
+                Delta::Delete { tuple, .. } => {
+                    out.deletes_joined += 1;
+                    local.maint_deletes_joined += 1;
+                    tuple
+                }
+                Delta::Update { old, .. } => {
+                    let changed = delta.changed_columns();
+                    if changed.iter().any(|c| relevant.contains(c)) {
+                        out.updates_joined += 1;
+                        local.maint_updates_joined += 1;
+                        old
+                    } else {
+                        out.updates_ignored += 1;
+                        local.maint_updates_ignored += 1;
+                        continue;
+                    }
+                }
+            };
+            // Section 3.4 / [25]: if no shard's filter index can match the
+            // deleted tuple, nothing cached is affected and the join is
+            // skipped entirely.
+            let affected = inner
+                .shards
+                .iter()
+                .any(|s| s.read().would_affect(rel_idx, tuple));
+            if !affected {
+                out.joins_avoided += 1;
+                continue;
+            }
+            let rows = join_from(db, &template, rel_idx, tuple)?;
+            out.join_rows += rows.len();
+            for row in rows {
+                let bcp = inner.def.bcp_of_tuple(&row);
+                removals.push((self.shard_of(&bcp), bcp, row));
+            }
+        }
+
+        // Phase 2: X-lock only the affected shards, in ascending index
+        // order, and evict the joined view tuples.
+        let mut affected_shards: Vec<usize> = removals.iter().map(|(s, _, _)| *s).collect();
+        affected_shards.sort_unstable();
+        affected_shards.dedup();
+        for si in affected_shards {
+            let mut store = inner.shards[si].write();
+            for (s, bcp, row) in &removals {
+                if *s == si && store.remove_tuple(bcp, row) {
+                    out.view_tuples_removed += 1;
+                    local.maint_tuples_removed += 1;
+                }
+            }
+        }
+        inner.stats.add(&local);
+        Ok(out)
     }
 
-    /// Inspect the PMV under the lock.
-    pub fn with<R>(&self, f: impl FnOnce(&Pmv) -> R) -> R {
-        let pmv = self.inner.lock();
-        f(&pmv)
+    /// Apply several batches (e.g. a whole transaction's) in order, under
+    /// the same visibility contract as [`Self::maintain`].
+    pub fn maintain_all(
+        &self,
+        db: &Database,
+        batches: &[DeltaBatch],
+    ) -> Result<MaintenanceOutcome> {
+        let mut total = MaintenanceOutcome::default();
+        for b in batches {
+            let o = self.maintain(db, b)?;
+            total.inserts_ignored += o.inserts_ignored;
+            total.deletes_joined += o.deletes_joined;
+            total.updates_ignored += o.updates_ignored;
+            total.updates_joined += o.updates_joined;
+            total.join_rows += o.join_rows;
+            total.view_tuples_removed += o.view_tuples_removed;
+            total.joins_avoided += o.joins_avoided;
+        }
+        Ok(total)
     }
 
-    /// Mutate the PMV under the lock (e.g. `revalidate`, `reset_stats`).
-    pub fn with_mut<R>(&self, f: impl FnOnce(&mut Pmv) -> R) -> R {
-        let mut pmv = self.inner.lock();
-        f(&mut pmv)
+    /// Re-execute each resident bcp's query shard by shard and drop any
+    /// cached tuple not in the current answer (see
+    /// [`crate::pipeline::Pmv::revalidate`]). Returns tuples removed.
+    pub fn revalidate(&self, db: &Database) -> Result<usize> {
+        let mut removed = 0;
+        for shard in &self.inner.shards {
+            let mut store = shard.write();
+            removed += revalidate_store(db, &self.inner.def, &mut store)?;
+        }
+        Ok(removed)
     }
 
     /// Snapshot of the statistics.
     pub fn stats(&self) -> PmvStats {
-        *self.inner.lock().stats()
+        self.inner.stats.snapshot()
+    }
+
+    /// Zero the statistics (e.g. after a warm-up phase).
+    pub fn reset_stats(&self) {
+        self.inner.stats.reset();
+    }
+
+    /// Total bcp entries across all shards.
+    pub fn entry_count(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.read().entry_count())
+            .sum()
+    }
+
+    /// Total cached tuples across all shards.
+    pub fn tuple_count(&self) -> usize {
+        self.inner
+            .shards
+            .iter()
+            .map(|s| s.read().tuple_count())
+            .sum()
+    }
+
+    /// Approximate bytes cached across all shards.
+    pub fn byte_size(&self) -> usize {
+        self.inner.shards.iter().map(|s| s.read().byte_size()).sum()
+    }
+
+    /// Total entries evicted by the shard policies so far.
+    pub fn evictions(&self) -> u64 {
+        self.inner.shards.iter().map(|s| s.read().evictions()).sum()
+    }
+
+    /// Check every shard's structural invariants (test helper).
+    pub fn validate(&self) {
+        for shard in &self.inner.shards {
+            shard.read().validate();
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::view::{PartialViewDef, PmvConfig};
     use pmv_cache::PolicyKind;
     use pmv_index::IndexDef;
     use pmv_query::{Condition, TemplateBuilder, Transaction};
     use pmv_storage::{tuple, Column, ColumnType, Schema, Value};
 
-    fn setup() -> (Database, SharedPmv) {
+    fn setup(shards: usize) -> (Database, SharedPmv) {
         let mut db = Database::new();
         db.create_relation(Schema::new(
             "r",
@@ -100,18 +485,16 @@ mod tests {
             .unwrap()
             .build()
             .unwrap();
-        let pmv = Pmv::new(
-            PartialViewDef::all_equality("shared", t).unwrap(),
-            PmvConfig::new(3, 16, PolicyKind::Clock),
-        );
-        (db, SharedPmv::new(pmv, PmvPipeline::new()))
+        let def = PartialViewDef::all_equality("shared", t).unwrap();
+        let shared = SharedPmv::with_shards(def, PmvConfig::new(3, 16, PolicyKind::Clock), shards);
+        (db, shared)
     }
 
     #[test]
     fn clones_share_state() {
-        let (db, shared) = setup();
+        let (db, shared) = setup(4);
         let clone = shared.clone();
-        let t = shared.with(|p| p.def().template().clone());
+        let t = shared.def().template().clone();
         let q = t
             .bind(vec![Condition::Equality(vec![Value::Int(3)])])
             .unwrap();
@@ -120,13 +503,103 @@ mod tests {
         let out = clone.run(&db, &q).unwrap();
         assert!(out.bcp_hit);
         assert_eq!(clone.stats().queries, 2);
+        shared.validate();
+    }
+
+    #[test]
+    fn sharded_matches_plain_execution() {
+        let (db, shared) = setup(4);
+        let t = shared.def().template().clone();
+        let pipeline = crate::pipeline::PmvPipeline::new();
+        for round in 0..3 {
+            for f in 0..10i64 {
+                let q = t
+                    .bind(vec![Condition::Equality(vec![Value::Int(f)])])
+                    .unwrap();
+                let (mut plain, _, _) = pipeline.run_plain(&db, &q).unwrap();
+                let out = shared.run(&db, &q).unwrap();
+                let mut got = out.all_results();
+                got.sort();
+                plain.sort();
+                assert_eq!(got, plain, "round {round} f={f}");
+                assert_eq!(out.ds_leftover, 0);
+            }
+        }
+        shared.validate();
+        // 10 distinct bcps over 4 shards of ⌈16/4⌉ = 4 entries; hash
+        // imbalance may evict a few, but warm entries must exist and
+        // later rounds must hit them.
+        assert!(shared.entry_count() >= 1 && shared.entry_count() <= 10);
+        assert_eq!(shared.stats().queries, 30);
+        assert!(shared.stats().bcp_hit_queries >= 1);
+    }
+
+    #[test]
+    fn single_shard_behaves_like_unsharded() {
+        let (db, shared) = setup(1);
+        assert_eq!(shared.shard_count(), 1);
+        let t = shared.def().template().clone();
+        let q = t
+            .bind(vec![Condition::Equality(vec![Value::Int(3)])])
+            .unwrap();
+        shared.run(&db, &q).unwrap();
+        let out = shared.run(&db, &q).unwrap();
+        assert!(out.bcp_hit);
+        assert_eq!(out.partial.len(), 3); // F = 3 cached tuples served
+        shared.validate();
+    }
+
+    #[test]
+    fn per_shard_capacity_splits_l() {
+        let (_db, shared) = setup(4);
+        // L = 16 over 4 shards → 4 per shard.
+        for shard in &shared.inner.shards {
+            assert_eq!(shard.read().l(), 4);
+        }
+        let (_db, one) = setup(1);
+        assert_eq!(one.inner.shards[0].read().l(), 16);
+    }
+
+    #[test]
+    fn maintenance_locks_only_affected_shards() {
+        let (mut db, shared) = setup(4);
+        let t = shared.def().template().clone();
+        // Warm all ten bcps.
+        for f in 0..10i64 {
+            let q = t
+                .bind(vec![Condition::Equality(vec![Value::Int(f)])])
+                .unwrap();
+            shared.run(&db, &q).unwrap();
+        }
+        // Hold a read lock on a shard that f=3's bcp does NOT hash to;
+        // maintenance for a row with f=3 must not block on it.
+        let bcp3 = BcpKey::new(vec![crate::bcp::BcpDim::Eq(Value::Int(3))]);
+        let affected = shared.shard_of(&bcp3);
+        let other = (affected + 1) % shared.shard_count();
+        let _outside_guard = shared.inner.shards[other].read();
+
+        let row = db
+            .relation("r")
+            .unwrap()
+            .read()
+            .iter()
+            .find(|(_, tu)| tu.get(1) == &Value::Int(3))
+            .map(|(r, _)| r)
+            .unwrap();
+        let mut txn = Transaction::begin(&mut db);
+        txn.delete("r", row).unwrap();
+        let batches = txn.commit();
+        let out = shared.maintain_all(&db, &batches).unwrap();
+        assert_eq!(out.deletes_joined, 1);
+        drop(_outside_guard);
+        shared.validate();
     }
 
     #[test]
     fn concurrent_queries_and_maintenance_stay_consistent() {
-        let (db, shared) = setup();
+        let (db, shared) = setup(4);
         let db = Arc::new(parking_lot::RwLock::new(db));
-        let t = shared.with(|p| p.def().template().clone());
+        let t = shared.def().template().clone();
 
         let mut handles = Vec::new();
         for thread in 0..4 {
@@ -136,7 +609,8 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..50i64 {
                     if thread == 0 && i % 5 == 0 {
-                        // Maintainer thread: insert + maintain.
+                        // Maintainer thread: insert + maintain while the
+                        // new database state is still invisible.
                         let mut guard = db.write();
                         let mut txn = Transaction::begin(&mut guard);
                         txn.insert(
@@ -145,9 +619,8 @@ mod tests {
                         )
                         .unwrap();
                         let batches = txn.commit();
-                        let read = parking_lot::RwLockWriteGuard::downgrade(guard);
                         for b in &batches {
-                            shared.maintain(&read, b).unwrap();
+                            shared.maintain(&guard, b).unwrap();
                         }
                     } else {
                         let q = t
@@ -164,8 +637,9 @@ mod tests {
             h.join().unwrap();
         }
         let guard = db.read();
-        let removed = shared.with_mut(|p| p.revalidate(&guard).unwrap());
+        let removed = shared.revalidate(&guard).unwrap();
         assert_eq!(removed, 0, "no stale tuples after concurrent run");
         assert!(shared.stats().queries > 100);
+        shared.validate();
     }
 }

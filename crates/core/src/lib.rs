@@ -54,7 +54,7 @@ pub use manager::PmvManager;
 pub use mv::{SmallMvSet, TraditionalMv};
 pub use o1::{decompose, ConditionPart, PartDim};
 pub use pipeline::{Pmv, PmvPipeline, QueryOutcome, QueryTimings};
-pub use stats::PmvStats;
+pub use stats::{AtomicPmvStats, PmvStats};
 pub use store::{PmvStore, Residency};
 pub use view::{PartialViewDef, PmvConfig};
 

@@ -112,15 +112,21 @@ impl MaintFilter {
     /// false negative). Relations contributing no `Ls'` attribute always
     /// return `true` (the filter has no information).
     pub fn may_affect(&mut self, rel: usize, base_tuple: &Tuple) -> bool {
-        if self.specs[rel].view_positions.is_empty() {
-            return true;
-        }
-        let key = self.base_key(rel, base_tuple);
-        let hit = self.counts[rel].contains_key(&key);
+        let hit = self.check(rel, base_tuple);
         if !hit {
             self.joins_avoided += 1;
         }
         hit
+    }
+
+    /// Read-only form of [`Self::may_affect`] (no skip counting) — used
+    /// when several filters must be consulted before acting on the answer.
+    pub fn check(&self, rel: usize, base_tuple: &Tuple) -> bool {
+        if self.specs[rel].view_positions.is_empty() {
+            return true;
+        }
+        let key = self.base_key(rel, base_tuple);
+        self.counts[rel].contains_key(&key)
     }
 
     /// Number of ΔR joins the filter has skipped.

@@ -124,8 +124,12 @@ impl PmvPipeline {
 
 /// Columns of relation `rel_idx` whose change can affect cached view
 /// tuples: those in `Ls'` or in `Cjoin` (join attributes and fixed
-/// predicates).
-fn relevant_columns(template: &pmv_query::QueryTemplate, rel_idx: usize) -> HashSet<usize> {
+/// predicates). Shared with the sharded maintenance path in
+/// [`crate::concurrent`].
+pub(crate) fn relevant_columns(
+    template: &pmv_query::QueryTemplate,
+    rel_idx: usize,
+) -> HashSet<usize> {
     let mut cols = HashSet::new();
     for a in template.expanded_list() {
         if a.relation == rel_idx {

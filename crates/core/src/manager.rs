@@ -188,6 +188,18 @@ impl PmvManager {
         dropped
     }
 
+    /// Re-derive every cached tuple of every PMV from the current
+    /// database state and drop anything stale (the coarse fallback when
+    /// deltas were lost, e.g. after crash recovery). Returns the total
+    /// number of tuples removed across all PMVs.
+    pub fn revalidate_all(&mut self, db: &Database) -> Result<usize> {
+        let mut removed = 0;
+        for pmv in &mut self.views {
+            removed += pmv.revalidate(db)?;
+        }
+        Ok(removed)
+    }
+
     /// Aggregate statistics across all PMVs.
     pub fn aggregate_stats(&self) -> crate::stats::PmvStats {
         let mut total = crate::stats::PmvStats::default();
@@ -339,6 +351,40 @@ mod tests {
         let out = m.run(&db, &qa).unwrap();
         assert_eq!(out.ds_leftover, 0);
         let out = m.run(&db, &qb).unwrap();
+        assert_eq!(out.ds_leftover, 0);
+    }
+
+    #[test]
+    fn revalidate_all_sweeps_every_view() {
+        let (mut db, ta, tb) = setup();
+        let mut m = mgr(&ta, &tb);
+        let qa = ta
+            .bind(vec![Condition::Equality(vec![Value::Int(3)])])
+            .unwrap();
+        let qb = tb
+            .bind(vec![Condition::Equality(vec![Value::Int(13)])])
+            .unwrap();
+        m.run(&db, &qa).unwrap();
+        m.run(&db, &qb).unwrap();
+        // Nothing stale yet.
+        assert_eq!(m.revalidate_all(&db).unwrap(), 0);
+        // Delete a row behind the manager's back (no maintain call): both
+        // PMVs cached tuples derived from it, so revalidation must sweep
+        // them out.
+        let row = db
+            .relation("r")
+            .unwrap()
+            .read()
+            .iter()
+            .find(|(_, t)| t.get(0) == &Value::Int(13))
+            .map(|(r, _)| r)
+            .unwrap();
+        let mut txn = Transaction::begin(&mut db);
+        txn.delete("r", row).unwrap();
+        txn.commit();
+        let removed = m.revalidate_all(&db).unwrap();
+        assert!(removed >= 1, "stale tuples must be removed, got {removed}");
+        let out = m.run(&db, &qa).unwrap();
         assert_eq!(out.ds_leftover, 0);
     }
 

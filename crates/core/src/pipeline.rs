@@ -81,21 +81,7 @@ impl Pmv {
     /// Build the query instance selecting exactly the tuples of `bcp`
     /// (each dimension pinned to the equality value / basic interval).
     pub fn bcp_query(&self, bcp: &BcpKey) -> Result<QueryInstance> {
-        use crate::bcp::BcpDim;
-        use pmv_query::Condition;
-        let conds = bcp
-            .dims()
-            .iter()
-            .enumerate()
-            .map(|(i, d)| match d {
-                BcpDim::Eq(v) => Condition::Equality(vec![v.clone()]),
-                BcpDim::Iv(id) => {
-                    let disc = self.def.discretizer(i).expect("Iv dim implies discretizer");
-                    Condition::Intervals(vec![disc.interval_of(*id)])
-                }
-            })
-            .collect();
-        Ok(self.def.template().bind(conds)?)
+        self.def.bcp_query(bcp)
     }
 
     /// Repair utility: re-execute each resident bcp's query and drop any
@@ -104,32 +90,39 @@ impl Pmv {
     /// deleting matching tuples from two base relations); also the oracle
     /// the property tests use.
     pub fn revalidate(&mut self, db: &Database) -> Result<usize> {
-        let bcps: Vec<BcpKey> = self.store.iter().map(|(k, _)| k.clone()).collect();
-        let mut removed = 0;
-        for bcp in bcps {
-            let q = self.bcp_query(&bcp)?;
-            let (truth, _) = execute(db, &q)?;
-            let mut budget: HashMap<&Tuple, usize> = HashMap::new();
-            for t in &truth {
-                *budget.entry(t).or_insert(0) += 1;
-            }
-            let cached: Vec<Tuple> = self
-                .store
-                .lookup(&bcp)
-                .map(|s| s.to_vec())
-                .unwrap_or_default();
-            for t in cached {
-                match budget.get_mut(&t) {
-                    Some(n) if *n > 0 => *n -= 1,
-                    _ => {
-                        self.store.remove_tuple(&bcp, &t);
-                        removed += 1;
-                    }
+        revalidate_store(db, &self.def, &mut self.store)
+    }
+}
+
+/// Drop every cached tuple of `store` that is not in the current answer of
+/// its bcp's query. Shared by [`Pmv::revalidate`] and the sharded
+/// [`crate::concurrent::SharedPmv`] (which revalidates shard by shard).
+pub(crate) fn revalidate_store(
+    db: &Database,
+    def: &PartialViewDef,
+    store: &mut PmvStore,
+) -> Result<usize> {
+    let bcps: Vec<BcpKey> = store.iter().map(|(k, _)| k.clone()).collect();
+    let mut removed = 0;
+    for bcp in bcps {
+        let q = def.bcp_query(&bcp)?;
+        let (truth, _) = execute(db, &q)?;
+        let mut budget: HashMap<&Tuple, usize> = HashMap::new();
+        for t in &truth {
+            *budget.entry(t).or_insert(0) += 1;
+        }
+        let cached: Vec<Tuple> = store.lookup(&bcp).map(|s| s.to_vec()).unwrap_or_default();
+        for t in cached {
+            match budget.get_mut(&t) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => {
+                    store.remove_tuple(&bcp, &t);
+                    removed += 1;
                 }
             }
         }
-        Ok(removed)
     }
+    Ok(removed)
 }
 
 /// Wall-clock breakdown of one pipeline run.
@@ -225,10 +218,11 @@ impl PmvPipeline {
         let mut counters: HashMap<BcpKey, usize> = HashMap::with_capacity(parts.len());
         let mut partial_expanded: Vec<Tuple> = Vec::new();
         let mut bcp_hit = false;
+        let part_refs: Vec<&ConditionPart> = parts.iter().collect();
         probe_parts(
-            pmv,
+            &mut pmv.store,
             q,
-            &parts,
+            &part_refs,
             &mut counters,
             &mut ds,
             &mut partial_expanded,
@@ -327,12 +321,14 @@ impl PmvPipeline {
     }
 }
 
-/// O2 inner loop, factored out for readability: probe each distinct
-/// containing bcp once, serve matching cached tuples, fill DS/counters.
-fn probe_parts(
-    pmv: &mut Pmv,
+/// O2 inner loop, shared with the sharded [`crate::concurrent::SharedPmv`]
+/// (which calls it once per shard with that shard's slice of the parts):
+/// probe each distinct containing bcp once, serve matching cached tuples,
+/// fill DS/counters.
+pub(crate) fn probe_parts(
+    store: &mut PmvStore,
     q: &QueryInstance,
-    parts: &[ConditionPart],
+    parts: &[&ConditionPart],
     counters: &mut HashMap<BcpKey, usize>,
     ds: &mut Ds,
     partial_expanded: &mut Vec<Tuple>,
@@ -345,7 +341,7 @@ fn probe_parts(
             // Cselect check below already covered its tuples.
             continue;
         }
-        let cached: Option<Vec<Tuple>> = pmv.store.lookup(&part.bcp).map(<[Tuple]>::to_vec);
+        let cached: Option<Vec<Tuple>> = store.lookup(&part.bcp).map(<[Tuple]>::to_vec);
         match cached {
             Some(tuples) => {
                 *bcp_hit = true;
@@ -362,11 +358,11 @@ fn probe_parts(
                         served = true;
                     }
                 }
-                pmv.store.touch(&part.bcp, served);
+                store.touch(&part.bcp, served);
             }
             None => {
                 counters.insert(part.bcp.clone(), 0);
-                pmv.store.touch(&part.bcp, false);
+                store.touch(&part.bcp, false);
             }
         }
     }

@@ -1,5 +1,7 @@
 //! Cumulative PMV statistics.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 /// Counters accumulated across a PMV's lifetime.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct PmvStats {
@@ -71,6 +73,102 @@ impl PmvStats {
     }
 }
 
+/// Shared-counter variant of [`PmvStats`] for concurrent embeddings
+/// (notably the sharded [`crate::concurrent::SharedPmv`]): queries and
+/// maintainers accumulate a local [`PmvStats`] and publish it with one
+/// [`AtomicPmvStats::add`], so no lock is ever taken for bookkeeping.
+/// All counters use relaxed ordering — they are statistics, not
+/// synchronization.
+#[derive(Debug, Default)]
+pub struct AtomicPmvStats {
+    queries: AtomicU64,
+    serving_queries: AtomicU64,
+    bcp_hit_queries: AtomicU64,
+    partial_tuples_served: AtomicU64,
+    tuples_admitted: AtomicU64,
+    probations: AtomicU64,
+    condition_parts: AtomicU64,
+    maint_inserts_ignored: AtomicU64,
+    maint_deletes_joined: AtomicU64,
+    maint_updates_ignored: AtomicU64,
+    maint_updates_joined: AtomicU64,
+    maint_tuples_removed: AtomicU64,
+}
+
+impl AtomicPmvStats {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        AtomicPmvStats::default()
+    }
+
+    /// Fold a locally accumulated stats block into the shared counters.
+    pub fn add(&self, delta: &PmvStats) {
+        self.queries.fetch_add(delta.queries, Ordering::Relaxed);
+        self.serving_queries
+            .fetch_add(delta.serving_queries, Ordering::Relaxed);
+        self.bcp_hit_queries
+            .fetch_add(delta.bcp_hit_queries, Ordering::Relaxed);
+        self.partial_tuples_served
+            .fetch_add(delta.partial_tuples_served, Ordering::Relaxed);
+        self.tuples_admitted
+            .fetch_add(delta.tuples_admitted, Ordering::Relaxed);
+        self.probations
+            .fetch_add(delta.probations, Ordering::Relaxed);
+        self.condition_parts
+            .fetch_add(delta.condition_parts, Ordering::Relaxed);
+        self.maint_inserts_ignored
+            .fetch_add(delta.maint_inserts_ignored, Ordering::Relaxed);
+        self.maint_deletes_joined
+            .fetch_add(delta.maint_deletes_joined, Ordering::Relaxed);
+        self.maint_updates_ignored
+            .fetch_add(delta.maint_updates_ignored, Ordering::Relaxed);
+        self.maint_updates_joined
+            .fetch_add(delta.maint_updates_joined, Ordering::Relaxed);
+        self.maint_tuples_removed
+            .fetch_add(delta.maint_tuples_removed, Ordering::Relaxed);
+    }
+
+    /// Point-in-time copy of the counters. Individual fields are read
+    /// relaxed, so a snapshot taken while writers are active may mix
+    /// adjacent updates; totals are exact once writers quiesce.
+    pub fn snapshot(&self) -> PmvStats {
+        PmvStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            serving_queries: self.serving_queries.load(Ordering::Relaxed),
+            bcp_hit_queries: self.bcp_hit_queries.load(Ordering::Relaxed),
+            partial_tuples_served: self.partial_tuples_served.load(Ordering::Relaxed),
+            tuples_admitted: self.tuples_admitted.load(Ordering::Relaxed),
+            probations: self.probations.load(Ordering::Relaxed),
+            condition_parts: self.condition_parts.load(Ordering::Relaxed),
+            maint_inserts_ignored: self.maint_inserts_ignored.load(Ordering::Relaxed),
+            maint_deletes_joined: self.maint_deletes_joined.load(Ordering::Relaxed),
+            maint_updates_ignored: self.maint_updates_ignored.load(Ordering::Relaxed),
+            maint_updates_joined: self.maint_updates_joined.load(Ordering::Relaxed),
+            maint_tuples_removed: self.maint_tuples_removed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Zero every counter (e.g. after a warm-up phase).
+    pub fn reset(&self) {
+        for c in [
+            &self.queries,
+            &self.serving_queries,
+            &self.bcp_hit_queries,
+            &self.partial_tuples_served,
+            &self.tuples_admitted,
+            &self.probations,
+            &self.condition_parts,
+            &self.maint_inserts_ignored,
+            &self.maint_deletes_joined,
+            &self.maint_updates_ignored,
+            &self.maint_updates_joined,
+            &self.maint_tuples_removed,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +203,55 @@ mod tests {
         assert_eq!(a.queries, 3);
         assert_eq!(a.partial_tuples_served, 12);
         assert_eq!(a.maint_tuples_removed, 3);
+    }
+
+    #[test]
+    fn atomic_add_snapshot_reset() {
+        let shared = AtomicPmvStats::new();
+        let a = PmvStats {
+            queries: 3,
+            bcp_hit_queries: 2,
+            tuples_admitted: 5,
+            ..Default::default()
+        };
+        let b = PmvStats {
+            queries: 1,
+            maint_tuples_removed: 4,
+            ..Default::default()
+        };
+        shared.add(&a);
+        shared.add(&b);
+        let snap = shared.snapshot();
+        assert_eq!(snap.queries, 4);
+        assert_eq!(snap.bcp_hit_queries, 2);
+        assert_eq!(snap.tuples_admitted, 5);
+        assert_eq!(snap.maint_tuples_removed, 4);
+        assert!((snap.hit_probability() - 0.5).abs() < 1e-12);
+        shared.reset();
+        assert_eq!(shared.snapshot(), PmvStats::default());
+    }
+
+    #[test]
+    fn atomic_adds_from_threads_sum_exactly() {
+        let shared = std::sync::Arc::new(AtomicPmvStats::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let shared = std::sync::Arc::clone(&shared);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    shared.add(&PmvStats {
+                        queries: 1,
+                        condition_parts: 2,
+                        ..Default::default()
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = shared.snapshot();
+        assert_eq!(snap.queries, 8000);
+        assert_eq!(snap.condition_parts, 16000);
     }
 }

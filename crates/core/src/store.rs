@@ -37,7 +37,7 @@ struct Entry {
 /// Bounded store of hot query results, keyed by basic condition part.
 pub struct PmvStore {
     entries: HashMap<BcpKey, Entry>,
-    policy: Box<dyn ReplacementPolicy<BcpKey> + Send>,
+    policy: Box<dyn ReplacementPolicy<BcpKey> + Send + Sync>,
     f: usize,
     bytes: usize,
     evictions: u64,
@@ -47,9 +47,18 @@ pub struct PmvStore {
 impl PmvStore {
     /// Empty store per the config ("Initially, V_PM is empty").
     pub fn new(config: &PmvConfig) -> Self {
+        PmvStore::with_capacity(config, config.l)
+    }
+
+    /// Empty store whose entry budget is `l` instead of `config.l`. The
+    /// sharded [`crate::concurrent::SharedPmv`] builds one store per shard
+    /// with capacity `⌈L/N⌉` so the shards together respect the view's
+    /// global `L`.
+    pub fn with_capacity(config: &PmvConfig, l: usize) -> Self {
+        let l = l.max(1);
         PmvStore {
-            entries: HashMap::with_capacity(config.l),
-            policy: config.policy.build(config.l),
+            entries: HashMap::with_capacity(l),
+            policy: config.policy.build(l),
             f: config.f,
             bytes: 0,
             evictions: 0,
@@ -69,6 +78,17 @@ impl PmvStore {
     pub fn may_affect(&mut self, rel: usize, base_tuple: &Tuple) -> bool {
         match &mut self.filter {
             Some(f) => f.may_affect(rel, base_tuple),
+            None => true,
+        }
+    }
+
+    /// Read-only variant of [`Self::may_affect`]: same sound answer, no
+    /// `joins_avoided` bookkeeping. Lets the sharded maintenance path peek
+    /// at every shard's filter under read locks before deciding whether
+    /// the ΔR join is needed at all.
+    pub fn would_affect(&self, rel: usize, base_tuple: &Tuple) -> bool {
+        match &self.filter {
+            Some(f) => f.check(rel, base_tuple),
             None => true,
         }
     }

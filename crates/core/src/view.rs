@@ -168,6 +168,25 @@ impl PartialViewDef {
         BcpKey::new(dims)
     }
 
+    /// Build the query instance selecting exactly the tuples of `bcp`
+    /// (each dimension pinned to the equality value / basic interval).
+    pub fn bcp_query(&self, bcp: &BcpKey) -> Result<QueryInstance> {
+        use pmv_query::Condition;
+        let conds = bcp
+            .dims()
+            .iter()
+            .enumerate()
+            .map(|(i, d)| match d {
+                BcpDim::Eq(v) => Condition::Equality(vec![v.clone()]),
+                BcpDim::Iv(id) => {
+                    let disc = self.discretizer(i).expect("Iv dim implies discretizer");
+                    Condition::Intervals(vec![disc.interval_of(*id)])
+                }
+            })
+            .collect();
+        Ok(self.template.bind(conds)?)
+    }
+
     /// Check that `instance` belongs to this view's template.
     pub fn check_instance(&self, instance: &QueryInstance) -> Result<()> {
         if !Arc::ptr_eq(instance.template(), &self.template) {

@@ -30,10 +30,8 @@
 //! in p, and PMV maintenance exactly 0 at p = 100 % (unplottable on the
 //! paper's log axis, as it notes).
 
-use serde::Serialize;
-
 /// Model parameters.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct CostParams {
     /// Transaction size `|ΔR|` (paper: 1000).
     pub delta_size: u64,
@@ -68,7 +66,7 @@ impl Default for CostParams {
 }
 
 /// One evaluated point of the model.
-#[derive(Clone, Copy, Debug, Serialize)]
+#[derive(Clone, Copy, Debug)]
 pub struct CostPoint {
     /// Insert fraction `p` in `[0, 1]`.
     pub p: f64,
@@ -131,7 +129,7 @@ impl CostParams {
 /// ΔR tuple must join against each of the other `n-1` relations in turn
 /// (one index descent + fetch per hop), and the number of affected view
 /// rows is the product of the per-hop fan-outs.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct MultiRelationCost {
     /// Per-hop fan-outs along the join path from the changed relation
     /// (e.g. `[4.0]` for orders→lineitem, `[4.0, 1.0]` when customer is

@@ -28,6 +28,26 @@ pub use maintenance::{IndexDef, IndexShape};
 use pmv_storage::RowId;
 use std::ops::Bound;
 
+/// Errors from index operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IndexError {
+    /// A range scan was requested on an index shape that has no key
+    /// order (a hash index). The caller should fall back to a heap scan.
+    RangeOnHashIndex,
+}
+
+impl std::fmt::Display for IndexError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexError::RangeOnHashIndex => {
+                write!(f, "range scan requested on a hash index")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IndexError {}
+
 /// Common interface of all secondary indexes.
 pub trait SecondaryIndex {
     /// Add `row` to the posting list of `key`.
@@ -56,13 +76,20 @@ pub enum AnyIndex {
 }
 
 impl AnyIndex {
-    /// Range scan over keys in `(lo, hi)`; only ordered indexes support it.
-    /// Calling it on a hash index is a planner bug, hence a panic rather
-    /// than a recoverable error.
-    pub fn range(&self, lo: Bound<&IndexKey>, hi: Bound<&IndexKey>) -> Vec<(IndexKey, Vec<RowId>)> {
+    /// Range scan over keys in `(lo, hi)`; only ordered indexes support
+    /// it. A hash index returns [`IndexError::RangeOnHashIndex`] so the
+    /// executor can recover with a heap scan instead of aborting the
+    /// query — the planner normally routes around this via
+    /// [`Self::supports_range`], but a stale plan (index rebuilt with a
+    /// different shape) must degrade gracefully, not panic.
+    pub fn range(
+        &self,
+        lo: Bound<&IndexKey>,
+        hi: Bound<&IndexKey>,
+    ) -> Result<Vec<(IndexKey, Vec<RowId>)>, IndexError> {
         match self {
-            AnyIndex::BTree(b) => b.range(lo, hi),
-            AnyIndex::Hash(_) => panic!("range scan requested on a hash index"),
+            AnyIndex::BTree(b) => Ok(b.range(lo, hi)),
+            AnyIndex::Hash(_) => Err(IndexError::RangeOnHashIndex),
         }
     }
 
@@ -129,9 +156,24 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "range scan requested on a hash index")]
-    fn hash_range_panics() {
+    fn hash_range_returns_typed_error() {
         let idx = AnyIndex::Hash(HashIndex::new());
-        idx.range(Bound::Unbounded, Bound::Unbounded);
+        let err = idx.range(Bound::Unbounded, Bound::Unbounded).unwrap_err();
+        assert_eq!(err, IndexError::RangeOnHashIndex);
+        assert_eq!(err.to_string(), "range scan requested on a hash index");
+    }
+
+    #[test]
+    fn btree_range_still_scans() {
+        let mut idx = AnyIndex::BTree(BTreeIndex::new());
+        for i in 0..5i64 {
+            idx.insert(IndexKey::single(Value::Int(i)), RowId(i as u32));
+        }
+        let lo = IndexKey::single(Value::Int(1));
+        let hi = IndexKey::single(Value::Int(3));
+        let hits = idx
+            .range(Bound::Included(&lo), Bound::Included(&hi))
+            .unwrap();
+        assert_eq!(hits.len(), 3);
     }
 }

@@ -223,19 +223,32 @@ fn driving_candidates(
                         }
                         return rows;
                     }
-                    Condition::Intervals(intervals) if idx.supports_range() => {
+                    Condition::Intervals(intervals) => {
+                        // Try index range scans; an unordered (hash)
+                        // index refuses with a typed error, and we
+                        // degrade to the fallback heap scan below.
                         let mut rows = Vec::new();
+                        let mut refused = false;
                         for iv in intervals {
-                            ctx.stats.range_scans += 1;
                             let lo = ref_bound_to_key(&iv.lo);
                             let hi = ref_bound_to_key(&iv.hi);
-                            for (_, posting) in idx.range(as_key_bound(&lo), as_key_bound(&hi)) {
-                                rows.extend_from_slice(&posting);
+                            match idx.range(as_key_bound(&lo), as_key_bound(&hi)) {
+                                Ok(postings) => {
+                                    ctx.stats.range_scans += 1;
+                                    for (_, posting) in postings {
+                                        rows.extend_from_slice(&posting);
+                                    }
+                                }
+                                Err(pmv_index::IndexError::RangeOnHashIndex) => {
+                                    refused = true;
+                                    break;
+                                }
                             }
                         }
-                        return rows;
+                        if !refused {
+                            return rows;
+                        }
                     }
-                    Condition::Intervals(_) => { /* fall through to scan */ }
                 }
             }
         }
@@ -309,9 +322,7 @@ fn choose_drive(db: &Database, t: &QueryTemplate, conds: &[Condition]) -> (usize
         } else {
             match c {
                 Condition::Equality(vs) => vs.len() as f64 * rs.eq_selectivity_rows(attr.column),
-                Condition::Intervals(ivs) => {
-                    estimate_interval_rows(rs, attr.column, ivs)
-                }
+                Condition::Intervals(ivs) => estimate_interval_rows(rs, attr.column, ivs),
             }
         };
         if best.is_none_or(|(_, b)| est < b) {
@@ -691,6 +702,41 @@ mod tests {
         let (rows, stats) = execute(&db, &q).unwrap();
         assert_eq!(rows.len(), 2); // both R.f=1 tuples join
         assert_eq!(stats.range_scans, 1);
+    }
+
+    #[test]
+    fn interval_on_hash_index_falls_back_to_scan() {
+        // A hash index on the interval column: the executor must not
+        // panic (the seed behavior) but degrade to a heap scan and still
+        // produce correct results.
+        let (db, _) = setup();
+        let t = TemplateBuilder::new("iv_hash")
+            .relation(db.schema("r").unwrap())
+            .relation(db.schema("s").unwrap())
+            .join("r", "c", "s", "d")
+            .unwrap()
+            .select("r", "a")
+            .unwrap()
+            .cond_interval("r", "a") // r.a: about to get a hash index only
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut db = db;
+        db.create_index(IndexDef::hash("r", vec![0])).unwrap();
+        let q = t
+            .bind(vec![Condition::Intervals(vec![Interval::closed(
+                1i64, 6i64,
+            )])])
+            .unwrap();
+        let (rows, stats) = execute(&db, &q).unwrap();
+        assert_eq!(rows.len(), 2); // both a=1 rows join (a=7 excluded)
+        assert_eq!(stats.range_scans, 0, "hash index cannot range scan");
+        assert!(stats.fallback_scans >= 1, "must fall back to heap scan");
+        let mut scanned = execute_scan(&db, &q).unwrap();
+        let mut indexed = rows;
+        indexed.sort();
+        scanned.sort();
+        assert_eq!(indexed, scanned);
     }
 
     #[test]

@@ -10,76 +10,88 @@ use std::io::{BufReader, BufWriter, Read, Write};
 
 use pmv_index::{IndexDef, IndexShape};
 use pmv_storage::{Column, ColumnType, Schema, Tuple, Value};
-use serde::{Deserialize, Serialize};
+use serde_json::{Map as JsonMap, Value as Json};
 
 use crate::engine::Database;
 use crate::{QueryError, Result};
 
-/// Serialization mirror of [`Value`] (avoids exposing `Arc<str>` to
-/// serde).
-#[derive(Serialize, Deserialize)]
-enum SerValue {
-    #[serde(rename = "n")]
-    Null,
-    #[serde(rename = "i")]
-    Int(i64),
-    #[serde(rename = "d")]
-    Double(f64),
-    #[serde(rename = "s")]
-    Str(String),
-}
-
-impl From<&Value> for SerValue {
-    fn from(v: &Value) -> Self {
-        match v {
-            Value::Null => SerValue::Null,
-            Value::Int(i) => SerValue::Int(*i),
-            Value::Double(d) => SerValue::Double(*d),
-            Value::Str(s) => SerValue::Str(s.to_string()),
-        }
-    }
-}
-
-impl From<SerValue> for Value {
-    fn from(v: SerValue) -> Self {
-        match v {
-            SerValue::Null => Value::Null,
-            SerValue::Int(i) => Value::Int(i),
-            SerValue::Double(d) => Value::Double(d),
-            SerValue::Str(s) => Value::str(&s),
-        }
-    }
-}
-
-#[derive(Serialize, Deserialize)]
-struct SerColumn {
-    name: String,
-    ty: String,
-}
-
-#[derive(Serialize, Deserialize)]
-struct SerRelation {
-    name: String,
-    columns: Vec<SerColumn>,
-    rows: Vec<Vec<SerValue>>,
-}
-
-#[derive(Serialize, Deserialize)]
-struct SerIndex {
-    relation: String,
-    columns: Vec<usize>,
-    shape: String,
-}
-
-/// The on-disk document.
-#[derive(Serialize, Deserialize)]
-struct SerSnapshot {
-    format_version: u32,
-    relations: Vec<SerRelation>,
-    indexes: Vec<SerIndex>,
-}
-
 const FORMAT_VERSION: u32 = 1;
+
+fn err(msg: impl Into<String>) -> QueryError {
+    QueryError::Template(msg.into())
+}
+
+/// Encode a tuple [`Value`] as its externally-tagged JSON form:
+/// `"n"` for NULL, `{"i": …}` / `{"d": …}` / `{"s": …}` otherwise.
+/// Non-finite doubles, which JSON cannot carry as numbers, are tagged
+/// strings under `"d"`.
+fn value_to_json(v: &Value) -> Json {
+    let tagged = |tag: &str, inner: Json| {
+        let mut m = JsonMap::new();
+        m.insert(tag.to_string(), inner);
+        Json::Object(m)
+    };
+    match v {
+        Value::Null => Json::from("n"),
+        Value::Int(i) => tagged("i", Json::from(*i)),
+        Value::Double(d) if d.is_finite() => tagged("d", Json::from(*d)),
+        Value::Double(d) if d.is_nan() => tagged("d", Json::from("nan")),
+        Value::Double(d) if *d > 0.0 => tagged("d", Json::from("inf")),
+        Value::Double(_) => tagged("d", Json::from("-inf")),
+        Value::Str(s) => tagged("s", Json::from(s.to_string())),
+    }
+}
+
+fn value_from_json(j: &Json) -> Result<Value> {
+    if j.as_str() == Some("n") {
+        return Ok(Value::Null);
+    }
+    let obj = j
+        .as_object()
+        .ok_or_else(|| err(format!("invalid value encoding {j}")))?;
+    if let Some(i) = obj.get("i") {
+        return i
+            .as_i64()
+            .map(Value::Int)
+            .ok_or_else(|| err(format!("invalid int encoding {j}")));
+    }
+    if let Some(d) = obj.get("d") {
+        if let Some(f) = d.as_f64() {
+            return Ok(Value::Double(f));
+        }
+        return match d.as_str() {
+            Some("nan") => Ok(Value::Double(f64::NAN)),
+            Some("inf") => Ok(Value::Double(f64::INFINITY)),
+            Some("-inf") => Ok(Value::Double(f64::NEG_INFINITY)),
+            _ => Err(err(format!("invalid double encoding {j}"))),
+        };
+    }
+    if let Some(s) = obj.get("s") {
+        return s
+            .as_str()
+            .map(Value::str)
+            .ok_or_else(|| err(format!("invalid string encoding {j}")));
+    }
+    Err(err(format!("unknown value tag in {j}")))
+}
+
+fn get_str(obj: &JsonMap, key: &str, ctx: &str) -> Result<String> {
+    obj.get(key)
+        .and_then(|v| v.as_str())
+        .map(str::to_owned)
+        .ok_or_else(|| err(format!("snapshot {ctx} missing string field '{key}'")))
+}
+
+fn get_array<'a>(obj: &'a JsonMap, key: &str, ctx: &str) -> Result<&'a Vec<Json>> {
+    obj.get(key)
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| err(format!("snapshot {ctx} missing array field '{key}'")))
+}
+
+fn as_object<'a>(j: &'a Json, ctx: &str) -> Result<&'a JsonMap> {
+    j.as_object()
+        .ok_or_else(|| err(format!("snapshot {ctx} must be a JSON object")))
+}
 
 fn ty_to_str(t: ColumnType) -> &'static str {
     match t {
@@ -103,83 +115,118 @@ fn ty_from_str(s: &str) -> Result<ColumnType> {
 /// Serialize the named relations of `db` (schemas, live tuples, and
 /// their index definitions) into a writer as JSON.
 pub fn save<W: Write>(db: &Database, relations: &[&str], out: W) -> Result<()> {
-    let mut doc = SerSnapshot {
-        format_version: FORMAT_VERSION,
-        relations: Vec::with_capacity(relations.len()),
-        indexes: Vec::new(),
-    };
+    let mut rel_docs = Vec::with_capacity(relations.len());
+    let mut idx_docs = Vec::new();
     for &name in relations {
         let schema = db.schema(name)?;
-        let columns = schema
+        let columns: Vec<Json> = schema
             .columns()
             .iter()
-            .map(|c| SerColumn {
-                name: c.name.clone(),
-                ty: ty_to_str(c.ty).to_string(),
+            .map(|c| {
+                let mut m = JsonMap::new();
+                m.insert("name".into(), Json::from(c.name.clone()));
+                m.insert("ty".into(), Json::from(ty_to_str(c.ty)));
+                Json::Object(m)
             })
             .collect();
-        let mut rows = Vec::new();
+        let mut rows: Vec<Json> = Vec::new();
         db.with_relation(name, |rel| {
             for (_, t) in rel.iter() {
-                rows.push(t.values().iter().map(SerValue::from).collect());
+                rows.push(Json::Array(t.values().iter().map(value_to_json).collect()));
             }
         })?;
-        doc.relations.push(SerRelation {
-            name: name.to_string(),
-            columns,
-            rows,
-        });
+        let mut rel_doc = JsonMap::new();
+        rel_doc.insert("name".into(), Json::from(name));
+        rel_doc.insert("columns".into(), Json::Array(columns));
+        rel_doc.insert("rows".into(), Json::Array(rows));
+        rel_docs.push(Json::Object(rel_doc));
         for def in db.index_defs(name) {
-            doc.indexes.push(SerIndex {
-                relation: def.relation.clone(),
-                columns: def.columns.clone(),
-                shape: match def.shape {
-                    IndexShape::BTree => "btree".to_string(),
-                    IndexShape::Hash => "hash".to_string(),
-                },
-            });
+            let mut idx_doc = JsonMap::new();
+            idx_doc.insert("relation".into(), Json::from(def.relation.clone()));
+            idx_doc.insert(
+                "columns".into(),
+                Json::Array(def.columns.iter().map(|&c| Json::from(c)).collect()),
+            );
+            idx_doc.insert(
+                "shape".into(),
+                Json::from(match def.shape {
+                    IndexShape::BTree => "btree",
+                    IndexShape::Hash => "hash",
+                }),
+            );
+            idx_docs.push(Json::Object(idx_doc));
         }
     }
+    let mut doc = JsonMap::new();
+    doc.insert("format_version".into(), Json::from(FORMAT_VERSION as i64));
+    doc.insert("relations".into(), Json::Array(rel_docs));
+    doc.insert("indexes".into(), Json::Array(idx_docs));
     let writer = BufWriter::new(out);
-    serde_json::to_writer(writer, &doc)
-        .map_err(|e| QueryError::Template(format!("snapshot serialization failed: {e}")))
+    serde_json::to_writer(writer, &Json::Object(doc))
+        .map_err(|e| err(format!("snapshot serialization failed: {e}")))
 }
 
 /// Load a snapshot into a fresh [`Database`], rebuilding all indexes.
 pub fn load<R: Read>(input: R) -> Result<Database> {
     let reader = BufReader::new(input);
-    let doc: SerSnapshot = serde_json::from_reader(reader)
-        .map_err(|e| QueryError::Template(format!("snapshot parse failed: {e}")))?;
-    if doc.format_version != FORMAT_VERSION {
-        return Err(QueryError::Template(format!(
-            "unsupported snapshot format {} (expected {FORMAT_VERSION})",
-            doc.format_version
+    let doc =
+        serde_json::from_reader(reader).map_err(|e| err(format!("snapshot parse failed: {e}")))?;
+    let doc = as_object(&doc, "document")?;
+    let version = doc
+        .get("format_version")
+        .and_then(|v| v.as_i64())
+        .ok_or_else(|| err("snapshot missing format_version"))?;
+    if version != FORMAT_VERSION as i64 {
+        return Err(err(format!(
+            "unsupported snapshot format {version} (expected {FORMAT_VERSION})"
         )));
     }
     let mut db = Database::new();
-    for rel in doc.relations {
-        let columns = rel
-            .columns
+    for rel in get_array(doc, "relations", "document")? {
+        let rel = as_object(rel, "relation")?;
+        let name = get_str(rel, "name", "relation")?;
+        let columns = get_array(rel, "columns", "relation")?
             .iter()
-            .map(|c| Ok(Column::new(&c.name, ty_from_str(&c.ty)?)))
+            .map(|c| {
+                let c = as_object(c, "column")?;
+                Ok(Column::new(
+                    &get_str(c, "name", "column")?,
+                    ty_from_str(&get_str(c, "ty", "column")?)?,
+                ))
+            })
             .collect::<Result<Vec<_>>>()?;
-        db.create_relation(Schema::new(rel.name.clone(), columns))?;
-        db.load(
-            &rel.name,
-            rel.rows
-                .into_iter()
-                .map(|r| Tuple::new(r.into_iter().map(Value::from).collect::<Vec<_>>())),
-        )?;
+        db.create_relation(Schema::new(name.clone(), columns))?;
+        let rows = get_array(rel, "rows", "relation")?
+            .iter()
+            .map(|row| {
+                let cells = row
+                    .as_array()
+                    .ok_or_else(|| err("snapshot row must be an array"))?;
+                Ok(Tuple::new(
+                    cells
+                        .iter()
+                        .map(value_from_json)
+                        .collect::<Result<Vec<_>>>()?,
+                ))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        db.load(&name, rows)?;
     }
-    for idx in doc.indexes {
-        let def = match idx.shape.as_str() {
-            "btree" => IndexDef::btree(idx.relation, idx.columns),
-            "hash" => IndexDef::hash(idx.relation, idx.columns),
-            other => {
-                return Err(QueryError::Template(format!(
-                    "unknown index shape '{other}'"
-                )))
-            }
+    for idx in get_array(doc, "indexes", "document")? {
+        let idx = as_object(idx, "index")?;
+        let relation = get_str(idx, "relation", "index")?;
+        let columns = get_array(idx, "columns", "index")?
+            .iter()
+            .map(|c| {
+                c.as_u64()
+                    .map(|v| v as usize)
+                    .ok_or_else(|| err("index column must be a non-negative integer"))
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let def = match get_str(idx, "shape", "index")?.as_str() {
+            "btree" => IndexDef::btree(relation, columns),
+            "hash" => IndexDef::hash(relation, columns),
+            other => return Err(err(format!("unknown index shape '{other}'"))),
         };
         db.create_index(def)?;
     }

@@ -1,0 +1,441 @@
+//! Offline shim exposing the subset of the `parking_lot` API this
+//! workspace uses: `Mutex`, `Condvar`, and an `RwLock` with write-guard
+//! downgrade. Built on `std::sync` primitives (poisoning is swallowed,
+//! matching parking_lot's behaviour); the `RwLock` is hand-rolled because
+//! `std::sync::RwLock` has no atomic downgrade.
+//!
+//! This crate exists because the build environment has no crates.io
+//! access — see the workspace `Cargo.toml`, which patches the registry
+//! name to this path.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// Mutual exclusion without lock poisoning.
+pub struct Mutex<T: ?Sized> {
+    inner: StdMutex<T>,
+}
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized> {
+    inner: StdMutexGuard<'a, T>,
+}
+
+impl<T> Mutex<T> {
+    /// New unlocked mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: StdMutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Block until the lock is held.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: self.inner.lock().unwrap_or_else(|e| e.into_inner()),
+        }
+    }
+
+    /// Acquire without blocking, if free.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: g }),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: e.into_inner(),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_lock() {
+            Some(g) => f.debug_struct("Mutex").field("data", &*g).finish(),
+            None => f.write_str("Mutex { <locked> }"),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Result of a timed wait.
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Condition variable usable with [`MutexGuard`].
+#[derive(Default)]
+pub struct Condvar {
+    inner: StdCondvar,
+}
+
+impl Condvar {
+    /// New condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: StdCondvar::new(),
+        }
+    }
+
+    /// Atomically release the guard's lock and wait for a notification.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        replace_guard(&mut guard.inner, |g| {
+            self.inner.wait(g).unwrap_or_else(|e| e.into_inner())
+        });
+    }
+
+    /// Wait until notified or `deadline` passes.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        let now = Instant::now();
+        let timeout = deadline.saturating_duration_since(now);
+        let mut timed_out = false;
+        replace_guard(&mut guard.inner, |g| {
+            let (g, res) = match self.inner.wait_timeout(g, timeout) {
+                Ok((g, res)) => (g, res),
+                Err(e) => {
+                    let (g, res) = e.into_inner();
+                    (g, res)
+                }
+            };
+            timed_out = res.timed_out();
+            g
+        });
+        WaitTimeoutResult { timed_out }
+    }
+
+    /// Wake one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wake all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+/// Run `f` on the owned std guard in place. The guard slot is never
+/// observable empty: `f` consumes the old guard and returns the new one
+/// before control returns to safe code.
+fn replace_guard<'a, T: ?Sized>(
+    slot: &mut StdMutexGuard<'a, T>,
+    f: impl FnOnce(StdMutexGuard<'a, T>) -> StdMutexGuard<'a, T>,
+) {
+    unsafe {
+        let old = std::ptr::read(slot);
+        let new = f(old);
+        std::ptr::write(slot, new);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock with atomic write→read downgrade
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct RwState {
+    readers: usize,
+    writer: bool,
+    waiting_writers: usize,
+}
+
+/// Reader-writer lock with writer preference and an atomic
+/// [`RwLockWriteGuard::downgrade`].
+pub struct RwLock<T: ?Sized> {
+    state: StdMutex<RwState>,
+    readers_cv: StdCondvar,
+    writers_cv: StdCondvar,
+    data: UnsafeCell<T>,
+}
+
+unsafe impl<T: ?Sized + Send> Send for RwLock<T> {}
+unsafe impl<T: ?Sized + Send + Sync> Sync for RwLock<T> {}
+
+/// Shared-access guard.
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+/// Exclusive-access guard.
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    lock: &'a RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// New unlocked lock.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            state: StdMutex::new(RwState {
+                readers: 0,
+                writer: false,
+                waiting_writers: 0,
+            }),
+            readers_cv: StdCondvar::new(),
+            writers_cv: StdCondvar::new(),
+            data: UnsafeCell::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.data.into_inner()
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    fn state(&self) -> StdMutexGuard<'_, RwState> {
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Block until shared access is granted.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let mut s = self.state();
+        // Writer preference: don't overtake a waiting writer.
+        while s.writer || s.waiting_writers > 0 {
+            s = self.readers_cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        s.readers += 1;
+        RwLockReadGuard { lock: self }
+    }
+
+    /// Shared access without blocking, if available.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        let mut s = self.state();
+        if s.writer || s.waiting_writers > 0 {
+            return None;
+        }
+        s.readers += 1;
+        Some(RwLockReadGuard { lock: self })
+    }
+
+    /// Block until exclusive access is granted.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let mut s = self.state();
+        s.waiting_writers += 1;
+        while s.writer || s.readers > 0 {
+            s = self.writers_cv.wait(s).unwrap_or_else(|e| e.into_inner());
+        }
+        s.waiting_writers -= 1;
+        s.writer = true;
+        RwLockWriteGuard { lock: self }
+    }
+
+    /// Exclusive access without blocking, if available.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        let mut s = self.state();
+        if s.writer || s.readers > 0 {
+            return None;
+        }
+        s.writer = true;
+        Some(RwLockWriteGuard { lock: self })
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.data.get_mut()
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.try_read() {
+            Some(g) => f.debug_struct("RwLock").field("data", &*g).finish(),
+            None => f.write_str("RwLock { <locked> }"),
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        let mut s = self.lock.state();
+        s.readers -= 1;
+        if s.readers == 0 {
+            drop(s);
+            self.lock.writers_cv.notify_one();
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        let mut s = self.lock.state();
+        s.writer = false;
+        let wake_writer = s.waiting_writers > 0;
+        drop(s);
+        if wake_writer {
+            self.lock.writers_cv.notify_one();
+        } else {
+            self.lock.readers_cv.notify_all();
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.lock.data.get() }
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.lock.data.get() }
+    }
+}
+
+impl<'a, T: ?Sized> RwLockWriteGuard<'a, T> {
+    /// Atomically convert exclusive access into shared access: no other
+    /// writer can slip in between.
+    pub fn downgrade(guard: Self) -> RwLockReadGuard<'a, T> {
+        let lock = guard.lock;
+        std::mem::forget(guard);
+        {
+            let mut s = lock.state();
+            s.writer = false;
+            s.readers = 1;
+        }
+        // Other readers may join; waiting writers must wait for us.
+        lock.readers_cv.notify_all();
+        RwLockReadGuard { lock }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn mutex_roundtrip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn rwlock_readers_share() {
+        let l = RwLock::new(5);
+        let a = l.read();
+        let b = l.read();
+        assert_eq!(*a + *b, 10);
+        assert!(l.try_write().is_none());
+        drop(a);
+        drop(b);
+        assert!(l.try_write().is_some());
+    }
+
+    #[test]
+    fn rwlock_downgrade_excludes_writers() {
+        let l = Arc::new(RwLock::new(0));
+        let w = l.write();
+        let r = RwLockWriteGuard::downgrade(w);
+        assert_eq!(*r, 0);
+        assert!(l.try_write().is_none());
+        assert!(l.try_read().is_some());
+        drop(r);
+        assert!(l.try_write().is_some());
+    }
+
+    #[test]
+    fn condvar_wait_until_times_out() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let mut g = m.lock();
+        let res = cv.wait_until(&mut g, Instant::now() + Duration::from_millis(10));
+        assert!(res.timed_out());
+    }
+
+    #[test]
+    fn contended_rwlock_counts() {
+        let l = Arc::new(RwLock::new(0u64));
+        let reads = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for i in 0..8 {
+            let l = Arc::clone(&l);
+            let reads = Arc::clone(&reads);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..200 {
+                    if i % 4 == 0 {
+                        *l.write() += 1;
+                    } else {
+                        let _ = *l.read();
+                        reads.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*l.read(), 2 * 200);
+        assert_eq!(reads.load(Ordering::Relaxed), 6 * 200);
+    }
+}

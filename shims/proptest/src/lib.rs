@@ -1,0 +1,617 @@
+//! Offline shim of the `proptest` API surface this workspace uses:
+//! the [`Strategy`] trait with `prop_map`, [`Just`], [`any`], integer
+//! ranges, tuples, a tiny character-class regex strategy for `&'static
+//! str`, `collection::{vec, btree_set}`, and the `proptest!`,
+//! `prop_oneof!`, `prop_assert*!`, `prop_assume!` macros.
+//!
+//! Cases are generated deterministically (seeded from the test name and
+//! the case index) so failures are reproducible. There is no shrinking:
+//! a failing case is reported as-is, which keeps the shim small while
+//! preserving the property-checking power of the originals.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Deterministic generator handed to strategies.
+pub struct TestRng(pub StdRng);
+
+impl TestRng {
+    /// Seed from a test-name hash and case index.
+    pub fn for_case(name: &str, case: u64) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng(StdRng::seed_from_u64(
+            h ^ case.wrapping_mul(0x9E3779B97F4A7C15),
+        ))
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// `prop_assume!` filtered the case out; it is retried, not failed.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A property violation.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A filtered-out case.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Per-case outcome alias, as in upstream.
+pub type TestCaseResult = std::result::Result<(), TestCaseError>;
+
+/// Test-runner settings.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        (**self).gen_value(rng)
+    }
+}
+
+/// Strategy always yielding a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn gen_value(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// Weighted choice among boxed strategies (`prop_oneof!` output).
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        let total = arms.iter().map(|(w, _)| *w as u64).sum();
+        assert!(total > 0, "prop_oneof! weights must not all be zero");
+        Union { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        let mut pick = rng.0.gen_range(0..self.total);
+        for (w, strat) in &self.arms {
+            if pick < *w as u64 {
+                return strat.gen_value(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick out of range")
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> $t {
+                rng.0.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn gen_value(&self, rng: &mut TestRng) -> f64 {
+        rng.0.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident.$idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    )+};
+}
+tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4)
+);
+
+/// Types with a default full-domain strategy (upstream's `Arbitrary`).
+pub trait ArbValue: Sized {
+    /// Draw one value from the full domain.
+    fn arb(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! arb_int {
+    ($($t:ty),*) => {$(
+        impl ArbValue for $t {
+            fn arb(rng: &mut TestRng) -> Self {
+                rng.0.gen()
+            }
+        }
+    )*};
+}
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool);
+
+impl ArbValue for f64 {
+    fn arb(rng: &mut TestRng) -> Self {
+        // Full bit-pattern domain: exercises subnormals, infinities and
+        // NaN, which is what callers using `any::<f64>()` want.
+        f64::from_bits(rng.0.gen())
+    }
+}
+
+/// Full-domain strategy for `T` (see [`any`]).
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: ArbValue> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut TestRng) -> T {
+        T::arb(rng)
+    }
+}
+
+/// `any::<T>()` — the full-domain strategy for `T`.
+pub fn any<T: ArbValue>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+/// `&'static str` regex-lite strategy: supports patterns made of literal
+/// characters and character classes `[a-z0-9_]` with an optional `{n}` /
+/// `{m,n}` repetition, e.g. `"[a-z]{0,8}"`. Anything fancier panics with
+/// a clear message.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let chars: Vec<char> = self.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let alphabet: Vec<char> = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .unwrap_or_else(|| panic!("unterminated '[' in pattern {self:?}"))
+                        + i;
+                    let mut set = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            let (lo, hi) = (chars[j] as u32, chars[j + 2] as u32);
+                            set.extend((lo..=hi).filter_map(char::from_u32));
+                            j += 3;
+                        } else {
+                            set.push(chars[j]);
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    set
+                }
+                c @ ('{' | '}' | '(' | ')' | '*' | '+' | '?' | '|' | '\\' | '.' | '^' | '$') => {
+                    panic!(
+                        "regex feature '{c}' unsupported by the proptest shim (pattern {self:?})"
+                    )
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            // Optional repetition suffix.
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated '{{' in pattern {self:?}"))
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.trim()
+                            .parse::<usize>()
+                            .expect("bad repetition lower bound"),
+                        n.trim()
+                            .parse::<usize>()
+                            .expect("bad repetition upper bound"),
+                    ),
+                    None => {
+                        let n = body.trim().parse::<usize>().expect("bad repetition count");
+                        (n, n)
+                    }
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(!alphabet.is_empty(), "empty character class in {self:?}");
+            let count = rng.0.gen_range(lo..=hi);
+            for _ in 0..count {
+                out.push(alphabet[rng.0.gen_range(0..alphabet.len())]);
+            }
+        }
+        out
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::*;
+
+    /// Element counts acceptable to collection strategies.
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.end > r.start, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    /// Strategy yielding `Vec`s of `element` values.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec(element, sizes)`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = rng.0.gen_range(self.size.lo..=self.size.hi);
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// Strategy yielding `BTreeSet`s of `element` values.
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::btree_set(element, sizes)`.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = rng.0.gen_range(self.size.lo..=self.size.hi);
+            let mut set = BTreeSet::new();
+            // Duplicates shrink the set; bounded retries keep generation
+            // total even when the element domain is small.
+            for _ in 0..target.saturating_mul(20).max(32) {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.gen_value(rng));
+            }
+            set
+        }
+    }
+}
+
+/// Runner used by the `proptest!` macro expansion; not public API.
+pub fn run_property<F: FnMut(&mut TestRng) -> TestCaseResult>(
+    name: &str,
+    config: &ProptestConfig,
+    mut case: F,
+) {
+    let mut accepted: u64 = 0;
+    let mut attempts: u64 = 0;
+    let max_attempts = (config.cases as u64).saturating_mul(20).max(64);
+    while accepted < config.cases as u64 {
+        if attempts >= max_attempts {
+            assert!(
+                accepted > 0,
+                "proptest '{name}': every generated case was rejected by prop_assume!"
+            );
+            break;
+        }
+        let mut rng = TestRng::for_case(name, attempts);
+        attempts += 1;
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest '{name}' failed at case {} (attempt {}): {msg}",
+                    accepted,
+                    attempts - 1
+                );
+            }
+        }
+    }
+}
+
+/// Everything a test file normally imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+/// Define property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of `#[test] fn name(pat in
+/// strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    (@munch ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            $crate::run_property(stringify!($name), &config, |__rng| {
+                $(let $pat = {
+                    let __strategy = $strat;
+                    $crate::Strategy::gen_value(&__strategy, __rng)
+                };)+
+                let mut __case = || -> $crate::TestCaseResult { $body Ok(()) };
+                #[allow(clippy::redundant_closure_call)]
+                __case()
+            });
+        }
+        $crate::proptest!(@munch ($cfg) $($rest)*);
+    };
+    (@munch ($cfg:expr)) => {};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@munch ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Weighted (or unweighted) choice among strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$(($weight as u32, $crate::Strategy::boxed($strat))),+])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$((1u32, $crate::Strategy::boxed($strat))),+])
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assert_eq failed: `{}` = {:?} vs `{}` = {:?}",
+            stringify!($left), l, stringify!($right), r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assert_eq failed: {:?} vs {:?}: {}",
+            l, r, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fail if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assert_ne failed: both sides were {:?}",
+            l
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assert_ne failed: both sides were {:?}: {}",
+            l, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Reject (and retry) the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(v in -5i64..9, w in 0usize..4) {
+            prop_assert!((-5..9).contains(&v));
+            prop_assert!(w < 4);
+        }
+
+        #[test]
+        fn tuples_and_maps(pair in (0i64..10, 0i64..10).prop_map(|(a, b)| a + b)) {
+            prop_assert!((0..19).contains(&pair));
+        }
+
+        #[test]
+        fn assume_filters(v in 0i64..10) {
+            prop_assume!(v != 3);
+            prop_assert_ne!(v, 3);
+        }
+
+        #[test]
+        fn oneof_weighted(v in prop_oneof![3 => Just(1i64), 1 => 10i64..20]) {
+            prop_assert!(v == 1 || (10..20).contains(&v));
+        }
+
+        #[test]
+        fn regex_lite(s in "[a-z]{0,8}") {
+            prop_assert!(s.len() <= 8);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(v in collection::vec(0u8..10, 0..5)) {
+            prop_assert!(v.len() < 5);
+        }
+    }
+
+    use crate::collection;
+
+    #[test]
+    fn btree_set_hits_min_size() {
+        let strat = collection::btree_set(0i64..100, 3..4);
+        let mut rng = crate::TestRng::for_case("btree", 0);
+        for _ in 0..50 {
+            let s = crate::Strategy::gen_value(&strat, &mut rng);
+            assert_eq!(s.len(), 3);
+        }
+    }
+}

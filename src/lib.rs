@@ -78,7 +78,7 @@ pub mod prelude {
     pub use pmv_cache::{ClockPolicy, PolicyKind, ReplacementPolicy, TwoQPolicy};
     pub use pmv_core::{
         BcpKey, Discretizer, MaintenanceOutcome, PartialViewDef, Pmv, PmvConfig, PmvManager,
-        PmvPipeline, QueryOutcome,
+        PmvPipeline, PmvStats, QueryOutcome, SharedPmv,
     };
     pub use pmv_query::{
         Condition, Database, Interval, QueryInstance, QueryTemplate, TemplateBuilder,

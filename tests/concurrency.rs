@@ -139,9 +139,14 @@ fn queries_and_maintenance_interleave_consistently() {
                     txn.delete("r", v).unwrap();
                 }
                 let batches = txn.commit();
-                // Downgrade to read for the maintenance joins.
-                let db_read = parking_lot::RwLockWriteGuard::downgrade(db_guard);
+                // Lock the PMV *before* downgrading the database lock:
+                // once the new database state is visible to readers, no
+                // reader may probe the not-yet-maintained PMV. (Taking
+                // the PMV lock after the downgrade is the seed bug — a
+                // reader slipped into the gap, saw the new database with
+                // a stale PMV, and served an already-deleted tuple.)
                 let mut pmv_guard = pmv.lock();
+                let db_read = parking_lot::RwLockWriteGuard::downgrade(db_guard);
                 for b in &batches {
                     pipeline.maintain(&db_read, &mut pmv_guard, b).unwrap();
                 }
@@ -169,4 +174,105 @@ fn queries_and_maintenance_interleave_consistently() {
     let mut pmv_guard = pmv.lock();
     let removed = pmv_guard.revalidate(&db_guard).unwrap();
     assert_eq!(removed, 0, "stale tuples survived maintenance");
+}
+
+/// Sharded-PMV stress test: 8 threads hammer one `SharedPmv` — six run
+/// queries over mixed hot/cold bcps, two interleave insert+delete
+/// transactions with shard maintenance applied before the new database
+/// state becomes visible (the `SharedPmv::maintain` contract). Every
+/// query must satisfy the end-of-O3 invariant (`ds_leftover == 0`: every
+/// partial tuple served in O2 was re-derived by the full execution), and
+/// a final revalidation must find nothing stale.
+#[test]
+fn sharded_pmv_eight_thread_stress() {
+    let fx = eqt_fixture(150);
+    let db = Arc::new(parking_lot::RwLock::new(fx.db));
+    let template = fx.template;
+    let def = PartialViewDef::all_equality("sharded_pmv", template.clone()).unwrap();
+    let shared = SharedPmv::with_shards(def, PmvConfig::default(), 8);
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let inconsistencies = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::new();
+
+    for thread in 0..8u64 {
+        let db = Arc::clone(&db);
+        let shared = shared.clone();
+        let template = template.clone();
+        let stop = Arc::clone(&stop);
+        let bad = Arc::clone(&inconsistencies);
+        handles.push(std::thread::spawn(move || {
+            let mut ops = 0i64;
+            if thread < 6 {
+                // Query thread: each starts on a different slice of the
+                // bcp grid so probes hit different shards in parallel.
+                let mut i = thread as i64;
+                while !stop.load(Ordering::SeqCst) {
+                    let q = eqt_query(&template, &[i % 7], &[(i / 7) % 5]);
+                    let guard = db.read();
+                    let out = shared.run(&guard, &q).unwrap();
+                    if out.ds_leftover != 0 {
+                        bad.fetch_add(1, Ordering::SeqCst);
+                    }
+                    drop(guard);
+                    i += 1;
+                    ops += 1;
+                }
+            } else {
+                // Maintainer thread: commit a small transaction, then
+                // repair the affected shards while still holding the
+                // database write guard, so no reader ever sees the new
+                // database paired with stale shards.
+                let mut round = thread as i64 * 1000;
+                while !stop.load(Ordering::SeqCst) {
+                    let mut db_guard = db.write();
+                    let mut txn = pmv::query::Transaction::begin(&mut db_guard);
+                    txn.insert(
+                        "r",
+                        Tuple::new(vec![
+                            Value::Int(100_000 + round),
+                            Value::Int(round % 76),
+                            Value::Int(round % 7),
+                        ]),
+                    )
+                    .unwrap();
+                    let victim = pmv::storage::RowId((round % 150) as u32);
+                    if txn.get("r", victim).is_ok() {
+                        txn.delete("r", victim).unwrap();
+                    }
+                    let batches = txn.commit();
+                    for b in &batches {
+                        shared.maintain(&db_guard, b).unwrap();
+                    }
+                    drop(db_guard);
+                    round += 1;
+                    ops += 1;
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            }
+            ops
+        }));
+    }
+
+    std::thread::sleep(Duration::from_millis(400));
+    stop.store(true, Ordering::SeqCst);
+    let per_thread: Vec<i64> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert!(
+        per_thread.iter().all(|&ops| ops > 5),
+        "every thread made progress: {per_thread:?}"
+    );
+    assert_eq!(
+        inconsistencies.load(Ordering::SeqCst),
+        0,
+        "a query saw a stale partial result (ds_leftover != 0)"
+    );
+
+    // Final state: shard invariants hold and revalidation removes nothing.
+    shared.validate();
+    let db_guard = db.read();
+    let removed = shared.revalidate(&db_guard).unwrap();
+    assert_eq!(removed, 0, "stale tuples survived sharded maintenance");
+    let stats = shared.stats();
+    assert!(stats.queries > 50, "query throughput: {stats:?}");
+    assert!(stats.maint_deletes_joined > 0, "maintenance ran: {stats:?}");
 }
