@@ -18,10 +18,14 @@
 //! see the shard effect.)
 //!
 //! `--quick` scales the workload down ~10× for a smoke run.
+//! `--faults <spec>` installs a `pmv-faultinject` plan for the measured
+//! phase (e.g. `seed=42;exec-start:panic@0.05`), turning the
+//! `degraded_query_rate` / `quarantine_events` series non-zero so the
+//! degradation overhead can be compared against the clean run.
 
 use std::time::Instant;
 
-use pmv_bench::tpcr_harness::arg_flag;
+use pmv_bench::tpcr_harness::{arg_flag, arg_value};
 use pmv_bench::ExperimentReport;
 use pmv_cache::PolicyKind;
 use pmv_core::{PartialViewDef, PmvConfig, SharedPmv};
@@ -36,6 +40,35 @@ fn main() {
     } else {
         (20_000i64, 64i64, 2_000usize)
     };
+    let faulty = arg_value("--faults").map(|spec| {
+        let plan = pmv_faultinject::FaultPlan::parse(&spec).unwrap_or_else(|e| {
+            eprintln!("bad --faults spec: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("fault injection active: {spec}");
+        pmv_faultinject::install(std::sync::Arc::new(plan))
+    });
+
+    if faulty.is_some() {
+        // Injected panics are caught by the serving path; keep the
+        // default hook from spamming a backtrace for each one.
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(|s| s.starts_with(pmv_faultinject::PANIC_PREFIX))
+                .or_else(|| {
+                    info.payload()
+                        .downcast_ref::<&str>()
+                        .map(|s| s.starts_with(pmv_faultinject::PANIC_PREFIX))
+                })
+                .unwrap_or(false);
+            if !injected {
+                default(info);
+            }
+        }));
+    }
 
     let mut db = Database::new();
     db.create_relation(Schema::new(
@@ -121,6 +154,14 @@ fn main() {
             );
             values.push((format!("shards={shards} q/s"), qps));
             values.push((format!("shards={shards} speedup"), speedup));
+            values.push((
+                format!("shards={shards} degraded_query_rate"),
+                stats.degraded_query_rate(),
+            ));
+            values.push((
+                format!("shards={shards} quarantine_events"),
+                stats.quarantine_events as f64,
+            ));
         }
         report.push(threads.to_string(), values);
     }

@@ -29,6 +29,89 @@ use pmv_query::{
 use pmv_storage::Value;
 use pmv_workload::tpcr::{self, TpcrConfig};
 
+/// Typed CLI errors. Each class maps to a distinct process exit code so
+/// scripts and CI can tell a usage mistake from an engine failure:
+///
+/// | code | class |
+/// |------|-----------------------------------------|
+/// | 0    | success (incl. `quit`)                  |
+/// | 1    | I/O (unreadable script, read failure)   |
+/// | 2    | usage: bad command/options/bindings     |
+/// | 3    | storage-layer error                     |
+/// | 4    | query-layer error (incl. budget/fault)  |
+/// | 5    | PMV-layer (core) error                  |
+///
+/// Errors are classified by *root cause*: a `CoreError` wrapping a
+/// `QueryError` wrapping a `StorageError` exits with the storage code.
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad command, option, or binding syntax (exit code 2).
+    Usage(String),
+    /// Storage-layer failure (exit code 3).
+    Storage(pmv_storage::StorageError),
+    /// Query-layer failure (exit code 4).
+    Query(pmv_query::QueryError),
+    /// PMV-layer failure (exit code 5).
+    Core(pmv_core::CoreError),
+    /// `quit` / `exit` was entered (exit code 0).
+    Quit,
+}
+
+impl CliError {
+    /// The process exit code for this error class.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            CliError::Quit => 0,
+            CliError::Usage(_) => 2,
+            CliError::Storage(_) => 3,
+            CliError::Query(_) => 4,
+            CliError::Core(_) => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}"),
+            CliError::Storage(e) => write!(f, "storage error: {e}"),
+            CliError::Query(e) => write!(f, "query error: {e}"),
+            CliError::Core(e) => write!(f, "{e}"),
+            CliError::Quit => write!(f, "bye"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<pmv_storage::StorageError> for CliError {
+    fn from(e: pmv_storage::StorageError) -> Self {
+        CliError::Storage(e)
+    }
+}
+
+impl From<pmv_query::QueryError> for CliError {
+    fn from(e: pmv_query::QueryError) -> Self {
+        match e {
+            pmv_query::QueryError::Storage(s) => CliError::Storage(s),
+            other => CliError::Query(other),
+        }
+    }
+}
+
+impl From<pmv_core::CoreError> for CliError {
+    fn from(e: pmv_core::CoreError) -> Self {
+        match e {
+            pmv_core::CoreError::Query(q) => CliError::from(q),
+            other => CliError::Core(other),
+        }
+    }
+}
+
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
 /// An interactive session: database + templates + PMVs + advisor.
 pub struct Session {
     db: Database,
@@ -62,7 +145,7 @@ impl Session {
     }
 
     /// Execute one command line; returns the text to print.
-    pub fn execute(&mut self, line: &str) -> Result<String, String> {
+    pub fn execute(&mut self, line: &str) -> Result<String, CliError> {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             return Ok(String::new());
@@ -81,13 +164,15 @@ impl Session {
             "plain" => self.cmd_query(rest, Mode::Plain),
             "explain" => self.cmd_query(rest, Mode::Explain),
             "stats" => self.cmd_stats(rest),
+            "health" => self.cmd_health(),
+            "revalidate" => self.cmd_revalidate(rest),
             "advisor" => self.cmd_advisor(),
-            "quit" | "exit" => Err("bye".to_string()),
-            other => Err(format!("unknown command '{other}' (try: help)")),
+            "quit" | "exit" => Err(CliError::Quit),
+            other => Err(usage(format!("unknown command '{other}' (try: help)"))),
         }
     }
 
-    fn cmd_load(&mut self, rest: &str) -> Result<String, String> {
+    fn cmd_load(&mut self, rest: &str) -> Result<String, CliError> {
         let mut parts = rest.split_whitespace();
         match parts.next() {
             Some("tpcr") => {
@@ -95,7 +180,7 @@ impl Session {
                     .next()
                     .unwrap_or("0.01")
                     .parse()
-                    .map_err(|_| "bad scale factor".to_string())?;
+                    .map_err(|_| usage("bad scale factor"))?;
                 tpcr::generate(
                     &mut self.db,
                     &TpcrConfig {
@@ -104,21 +189,20 @@ impl Session {
                         pad: false,
                         date_supplier_pool: Some(2),
                     },
-                )
-                .map_err(|e| e.to_string())?;
-                tpcr::standard_indexes(&mut self.db).map_err(|e| e.to_string())?;
+                )?;
+                tpcr::standard_indexes(&mut self.db)?;
                 Ok(format!(
                     "loaded TPC-R at s={scale}: {} customers, {} orders, {} lineitems (indexed)",
-                    self.db.len("customer").map_err(|e| e.to_string())?,
-                    self.db.len("orders").map_err(|e| e.to_string())?,
-                    self.db.len("lineitem").map_err(|e| e.to_string())?,
+                    self.db.len("customer")?,
+                    self.db.len("orders")?,
+                    self.db.len("lineitem")?,
                 ))
             }
-            _ => Err("usage: load tpcr <scale>".to_string()),
+            _ => Err(usage("usage: load tpcr <scale>")),
         }
     }
 
-    fn cmd_tables(&mut self) -> Result<String, String> {
+    fn cmd_tables(&mut self) -> Result<String, CliError> {
         let mut out = String::new();
         for name in ["customer", "orders", "lineitem"] {
             if let Ok(n) = self.db.len(name) {
@@ -131,11 +215,11 @@ impl Session {
         Ok(out)
     }
 
-    fn cmd_template(&mut self, rest: &str) -> Result<String, String> {
+    fn cmd_template(&mut self, rest: &str) -> Result<String, CliError> {
         let (name, sql) = rest
             .split_once(char::is_whitespace)
-            .ok_or("usage: template <name> <SQL>")?;
-        let t = parse_template(name, sql.trim(), &self.db).map_err(|e| e.to_string())?;
+            .ok_or_else(|| usage("usage: template <name> <SQL>"))?;
+        let t = parse_template(name, sql.trim(), &self.db)?;
         let summary = format!(
             "template '{}': {} relation(s), {} join(s), {} fixed pred(s), {} condition slot(s)",
             name,
@@ -148,22 +232,24 @@ impl Session {
         Ok(summary)
     }
 
-    fn cmd_pmv(&mut self, rest: &str) -> Result<String, String> {
+    fn cmd_pmv(&mut self, rest: &str) -> Result<String, CliError> {
         let mut parts = rest.split_whitespace();
         let name = parts
             .next()
-            .ok_or("usage: pmv <template> [f=N] [l=N] [policy=...]")?;
+            .ok_or_else(|| usage("usage: pmv <template> [f=N] [l=N] [policy=...]"))?;
         let template = self
             .templates
             .get(name)
-            .ok_or_else(|| format!("unknown template '{name}'"))?
+            .ok_or_else(|| usage(format!("unknown template '{name}'")))?
             .clone();
         let mut config = PmvConfig::default();
         for opt in parts {
-            let (k, v) = opt.split_once('=').ok_or(format!("bad option '{opt}'"))?;
+            let (k, v) = opt
+                .split_once('=')
+                .ok_or_else(|| usage(format!("bad option '{opt}'")))?;
             match k {
-                "f" => config.f = v.parse().map_err(|_| "bad f")?,
-                "l" => config.l = v.parse().map_err(|_| "bad l")?,
+                "f" => config.f = v.parse().map_err(|_| usage("bad f"))?,
+                "l" => config.l = v.parse().map_err(|_| usage("bad l"))?,
                 "policy" => {
                     config.policy = match v.to_ascii_lowercase().as_str() {
                         "clock" => PolicyKind::Clock,
@@ -171,10 +257,10 @@ impl Session {
                         "lru" => PolicyKind::Lru,
                         "lru2" | "lru-2" => PolicyKind::LruK,
                         "2qfull" | "2q-full" => PolicyKind::TwoQFull,
-                        other => return Err(format!("unknown policy '{other}'")),
+                        other => return Err(usage(format!("unknown policy '{other}'"))),
                     }
                 }
-                other => return Err(format!("unknown option '{other}'")),
+                other => return Err(usage(format!("unknown option '{other}'"))),
             }
         }
         // Interval-form conditions get a discretizer learned later (via
@@ -187,8 +273,7 @@ impl Session {
                 CondForm::Interval => Some(pmv_core::Discretizer::int_grid(0, 100, 64)),
             })
             .collect();
-        let def = PartialViewDef::new(format!("pmv_{name}"), template, discretizers)
-            .map_err(|e| e.to_string())?;
+        let def = PartialViewDef::new(format!("pmv_{name}"), template, discretizers)?;
         let summary = format!(
             "PMV for '{}': F={}, L={}, policy={}",
             name,
@@ -200,14 +285,14 @@ impl Session {
         Ok(summary)
     }
 
-    fn bind(&self, template: &Arc<QueryTemplate>, args: &str) -> Result<QueryInstance, String> {
-        let bindings = parse_bindings(args)?;
+    fn bind(&self, template: &Arc<QueryTemplate>, args: &str) -> Result<QueryInstance, CliError> {
+        let bindings = parse_bindings(args).map_err(usage)?;
         if bindings.len() != template.cond_count() {
-            return Err(format!(
+            return Err(usage(format!(
                 "template has {} condition slot(s), got {} binding(s)",
                 template.cond_count(),
                 bindings.len()
-            ));
+            )));
         }
         let conds: Vec<Condition> = bindings
             .into_iter()
@@ -216,17 +301,17 @@ impl Session {
                 (Binding::Values(vs), CondForm::Equality) => Ok(Condition::Equality(vs)),
                 (Binding::Ranges(rs), CondForm::Interval) => Ok(Condition::Intervals(rs)),
                 (Binding::Values(_), CondForm::Interval) => {
-                    Err("interval slot needs [lo..hi] ranges".to_string())
+                    Err(usage("interval slot needs [lo..hi] ranges"))
                 }
                 (Binding::Ranges(_), CondForm::Equality) => {
-                    Err("equality slot needs [v1,v2] values".to_string())
+                    Err(usage("equality slot needs [v1,v2] values"))
                 }
             })
             .collect::<Result<_, _>>()?;
-        template.bind(conds).map_err(|e| e.to_string())
+        Ok(template.bind(conds)?)
     }
 
-    fn cmd_query(&mut self, rest: &str, mode: Mode) -> Result<String, String> {
+    fn cmd_query(&mut self, rest: &str, mode: Mode) -> Result<String, CliError> {
         let (name, args) = rest
             .split_once(char::is_whitespace)
             .map(|(n, a)| (n, a.trim()))
@@ -234,28 +319,22 @@ impl Session {
         let template = self
             .templates
             .get(name)
-            .ok_or_else(|| format!("unknown template '{name}'"))?
+            .ok_or_else(|| usage(format!("unknown template '{name}'")))?
             .clone();
         let q = self.bind(&template, args)?;
         self.advisor.observe(&q);
         match mode {
             Mode::Explain => Ok(pmv_query::explain(&self.db, &q)),
             Mode::Plain => {
-                let (rows, _, elapsed) = self
-                    .pipeline
-                    .run_plain(&self.db, &q)
-                    .map_err(|e| e.to_string())?;
+                let (rows, _, elapsed) = self.pipeline.run_plain(&self.db, &q)?;
                 Ok(format!("{} row(s) in {elapsed:?} (no PMV)", rows.len()))
             }
             Mode::Pmv => {
                 let pmv = self
                     .pmvs
                     .get_mut(name)
-                    .ok_or_else(|| format!("no PMV for '{name}' (use: pmv {name})"))?;
-                let out = self
-                    .pipeline
-                    .run(&self.db, pmv, &q)
-                    .map_err(|e| e.to_string())?;
+                    .ok_or_else(|| usage(format!("no PMV for '{name}' (use: pmv {name})")))?;
+                let out = self.pipeline.run(&self.db, pmv, &q)?;
                 let mut text = format!(
                     "{} row(s) immediately in {:?}, {} after execution ({:?}); hit={}",
                     out.partial.len(),
@@ -264,6 +343,13 @@ impl Session {
                     out.timings.exec,
                     out.bcp_hit
                 );
+                if let Some(d) = &out.degraded {
+                    let _ = write!(
+                        text,
+                        "\n  DEGRADED ({}): partial results only, staleness ≤ {:?}",
+                        d.reason, d.staleness
+                    );
+                }
                 for t in out.partial.iter().take(5) {
                     let _ = write!(text, "\n  early: {t}");
                 }
@@ -272,7 +358,56 @@ impl Session {
         }
     }
 
-    fn cmd_stats(&mut self, rest: &str) -> Result<String, String> {
+    fn cmd_health(&mut self) -> Result<String, CliError> {
+        let mut out = String::new();
+        for (name, pmv) in &self.pmvs {
+            let s = pmv.stats();
+            let b = pmv.breaker();
+            let _ = writeln!(
+                out,
+                "{name}: {} (error rate {:.3}, trips {}, degraded queries {}, \
+                 quarantine events {}{})",
+                pmv.health(),
+                b.error_rate(),
+                b.trip_count(),
+                s.degraded_queries,
+                s.quarantine_events,
+                if pmv.store().is_quarantined() {
+                    ", store DRAINED"
+                } else {
+                    ""
+                },
+            );
+        }
+        if out.is_empty() {
+            out.push_str("(no PMVs yet)\n");
+        }
+        Ok(out)
+    }
+
+    fn cmd_revalidate(&mut self, rest: &str) -> Result<String, CliError> {
+        let mut out = String::new();
+        let mut names: Vec<String> = self.pmvs.keys().cloned().collect();
+        names.sort();
+        for name in names {
+            if !rest.is_empty() && rest != name {
+                continue;
+            }
+            let pmv = self.pmvs.get_mut(&name).expect("key from keys()");
+            let removed = pmv.revalidate(&self.db)?;
+            let _ = writeln!(
+                out,
+                "{name}: {removed} stale tuple(s) removed, now {}",
+                pmv.health()
+            );
+        }
+        if out.is_empty() {
+            out.push_str("(no matching PMV)\n");
+        }
+        Ok(out)
+    }
+
+    fn cmd_stats(&mut self, rest: &str) -> Result<String, CliError> {
         let mut out = String::new();
         for (name, pmv) in &self.pmvs {
             if !rest.is_empty() && rest != name {
@@ -298,14 +433,11 @@ impl Session {
         Ok(out)
     }
 
-    fn cmd_advisor(&mut self) -> Result<String, String> {
-        let recs = self
-            .advisor
-            .recommend(&AdvisorConfig {
-                min_queries: 3,
-                ..Default::default()
-            })
-            .map_err(|e| e.to_string())?;
+    fn cmd_advisor(&mut self) -> Result<String, CliError> {
+        let recs = self.advisor.recommend(&AdvisorConfig {
+            min_queries: 3,
+            ..Default::default()
+        })?;
         if recs.is_empty() {
             return Ok("no recommendations yet (run more queries)".to_string());
         }
@@ -409,6 +541,8 @@ commands:
   plain <template> <bindings>       run without the PMV
   explain <template> <bindings>     show the plan
   stats [<template>]                PMV statistics
+  health                            per-PMV circuit-breaker state
+  revalidate [<template>]           re-derive cached tuples, lift quarantine
   advisor                           recommend PMVs from the observed trace
   help | quit";
 
@@ -512,6 +646,44 @@ mod tests {
     #[test]
     fn quit_signals_termination() {
         let mut s = Session::new();
-        assert_eq!(s.execute("quit").unwrap_err(), "bye");
+        assert!(matches!(s.execute("quit").unwrap_err(), CliError::Quit));
+    }
+
+    #[test]
+    fn errors_carry_distinct_exit_codes() {
+        let mut s = Session::new();
+        let e = s.execute("bogus").unwrap_err();
+        assert!(matches!(e, CliError::Usage(_)));
+        assert_eq!(e.exit_code(), 2);
+        // Template over a missing relation: root cause is the catalog
+        // lookup, so it classifies as a storage error.
+        let e = s
+            .execute("template t SELECT * FROM nosuch WHERE nosuch.x = ?")
+            .unwrap_err();
+        assert!(matches!(e, CliError::Storage(_)));
+        assert_eq!(e.exit_code(), 3);
+        assert!(matches!(CliError::Quit.exit_code(), 0));
+        // Root-cause classification unwraps nested errors.
+        let nested = CliError::from(pmv_core::CoreError::Query(pmv_query::QueryError::Storage(
+            pmv_storage::StorageError::UnknownRelation("r".to_string()),
+        )));
+        assert!(matches!(nested, CliError::Storage(_)));
+        assert_eq!(nested.exit_code(), 3);
+    }
+
+    #[test]
+    fn health_and_revalidate_commands() {
+        let mut s = loaded_session();
+        assert!(s.execute("health").unwrap().contains("no PMVs"));
+        s.execute("pmv t1").unwrap();
+        s.execute("query t1 [100] [1]").unwrap();
+        let out = s.execute("health").unwrap();
+        assert!(out.contains("t1: healthy"), "{out}");
+        let out = s.execute("revalidate").unwrap();
+        assert!(out.contains("t1: 0 stale tuple(s) removed"), "{out}");
+        assert!(s
+            .execute("revalidate nope")
+            .unwrap()
+            .contains("no matching"));
     }
 }

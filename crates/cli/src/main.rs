@@ -3,19 +3,75 @@
 //! ```bash
 //! cargo run --release -p pmv-cli              # interactive
 //! cargo run --release -p pmv-cli script.pmv   # run a command script
+//! cargo run --release -p pmv-cli -- --fault-plan 'seed=42;exec-row:error@0.01' script.pmv
 //! ```
+//!
+//! Exit codes (script mode): 0 success, 1 I/O, 2 usage, 3 storage error,
+//! 4 query error, 5 PMV error — see [`pmv_cli::CliError`].
 
 use std::io::{BufRead, Write};
 
-use pmv_cli::Session;
+use pmv_cli::{CliError, Session};
 
 fn main() {
-    let mut session = Session::new();
-    let args: Vec<String> = std::env::args().collect();
+    let mut script_path: Option<String> = None;
+    let mut fault_plan: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if let Some(spec) = arg.strip_prefix("--fault-plan=") {
+            fault_plan = Some(spec.to_string());
+        } else if arg == "--fault-plan" {
+            match args.next() {
+                Some(spec) => fault_plan = Some(spec),
+                None => {
+                    eprintln!("--fault-plan needs a spec, e.g. 'seed=42;exec-row:error@0.01'");
+                    std::process::exit(2);
+                }
+            }
+        } else if arg.starts_with("--") {
+            eprintln!("unknown flag '{arg}'");
+            std::process::exit(2);
+        } else {
+            script_path = Some(arg);
+        }
+    }
 
-    if let Some(path) = args.get(1) {
+    // Keep the guard alive for the whole process: the plan stays
+    // installed until exit.
+    let _fault_guard = fault_plan.map(|spec| {
+        let plan = pmv_faultinject::FaultPlan::parse(&spec).unwrap_or_else(|e| {
+            eprintln!("bad --fault-plan: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("fault injection active: {spec}");
+        pmv_faultinject::install(std::sync::Arc::new(plan))
+    });
+    if _fault_guard.is_some() {
+        // Injected panics are caught by the serving path; keep the
+        // default hook from printing a backtrace for each one.
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let injected = info
+                .payload()
+                .downcast_ref::<String>()
+                .map(|s| s.starts_with(pmv_faultinject::PANIC_PREFIX))
+                .or_else(|| {
+                    info.payload()
+                        .downcast_ref::<&str>()
+                        .map(|s| s.starts_with(pmv_faultinject::PANIC_PREFIX))
+                })
+                .unwrap_or(false);
+            if !injected {
+                default(info);
+            }
+        }));
+    }
+
+    let mut session = Session::new();
+
+    if let Some(path) = script_path {
         // Script mode: run each line, echoing commands and output.
-        let script = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        let script = std::fs::read_to_string(&path).unwrap_or_else(|e| {
             eprintln!("cannot read {path}: {e}");
             std::process::exit(1);
         });
@@ -27,10 +83,10 @@ fn main() {
             match session.execute(line) {
                 Ok(out) if out.is_empty() => {}
                 Ok(out) => println!("{out}"),
-                Err(e) if e == "bye" => return,
+                Err(CliError::Quit) => return,
                 Err(e) => {
                     eprintln!("error: {e}");
-                    std::process::exit(1);
+                    std::process::exit(e.exit_code());
                 }
             }
         }
@@ -54,7 +110,7 @@ fn main() {
         match session.execute(&line) {
             Ok(out) if out.is_empty() => {}
             Ok(out) => println!("{out}"),
-            Err(e) if e == "bye" => break,
+            Err(CliError::Quit) => break,
             Err(e) => println!("error: {e}"),
         }
     }

@@ -28,12 +28,15 @@
 //! * [`ext`] — DISTINCT / aggregate / EXISTS / popularity-ranking
 //!   extensions (3.6 and the conclusion)
 //! * [`stats`] — cumulative counters, hit probability
+//! * [`health`] — circuit breaker, degradation semantics, validation
+//!   reports (failure model; see DESIGN.md §11)
 
 pub mod advisor;
 pub mod bcp;
 pub mod concurrent;
 pub mod ds;
 pub mod ext;
+pub mod health;
 pub mod maint_filter;
 pub mod maintenance;
 pub mod manager;
@@ -48,9 +51,13 @@ pub use advisor::{AdvisorConfig, PmvAdvisor, Recommendation};
 pub use bcp::{BcpDim, BcpKey, Discretizer};
 pub use concurrent::SharedPmv;
 pub use ds::Ds;
+pub use health::{
+    BreakerConfig, CircuitBreaker, Degradation, DegradeReason, ShardReport, ValidationReport,
+    ViewHealth,
+};
 pub use maint_filter::MaintFilter;
 pub use maintenance::MaintenanceOutcome;
-pub use manager::PmvManager;
+pub use manager::{PmvManager, ViewHealthReport};
 pub use mv::{SmallMvSet, TraditionalMv};
 pub use o1::{decompose, ConditionPart, PartDim};
 pub use pipeline::{Pmv, PmvPipeline, QueryOutcome, QueryTimings};

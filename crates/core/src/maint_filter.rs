@@ -134,23 +134,39 @@ impl MaintFilter {
         self.joins_avoided
     }
 
+    /// Drop every tracked projection (the store was drained, e.g. on
+    /// quarantine). The skip counter survives — it is cumulative history.
+    pub fn clear(&mut self) {
+        for m in &mut self.counts {
+            m.clear();
+        }
+    }
+
     /// Total distinct projections tracked (diagnostic).
     pub fn key_count(&self) -> usize {
         self.counts.iter().map(HashMap::len).sum()
     }
 
-    /// Validate against the full cached-tuple multiset (test helper).
-    pub fn validate(&self, cached: &[Tuple]) {
+    /// Compare against the full cached-tuple multiset, returning a
+    /// violation message per drifted relation. Never panics.
+    pub fn check_against(&self, cached: &[Tuple]) -> Vec<String> {
+        let mut violations = Vec::new();
         for rel in 0..self.specs.len() {
             let mut expect: HashMap<Box<[Value]>, usize> = HashMap::new();
             for t in cached {
                 *expect.entry(self.view_key(rel, t)).or_insert(0) += 1;
             }
-            assert_eq!(
-                expect, self.counts[rel],
-                "filter drifted for relation {rel}"
-            );
+            if expect != self.counts[rel] {
+                violations.push(format!("maintenance filter drifted for relation {rel}"));
+            }
         }
+        violations
+    }
+
+    /// Validate against the full cached-tuple multiset (test helper).
+    pub fn validate(&self, cached: &[Tuple]) {
+        let violations = self.check_against(cached);
+        assert!(violations.is_empty(), "{violations:?}");
     }
 }
 

@@ -47,8 +47,30 @@ pub struct MaintenanceOutcome {
     pub view_tuples_removed: usize,
     /// ΔR joins skipped by the Section 3.4 maintenance filter.
     pub joins_avoided: usize,
+    /// ΔR join attempts retried after a transient failure.
+    pub retries: usize,
+    /// Deltas whose join kept failing: the affected shards were drained
+    /// (quarantined) instead of repaired — removal-only, never stale.
+    pub fallback_invalidations: usize,
     /// True when the batch's relation is not a base relation of this PMV.
     pub unrelated_relation: bool,
+}
+
+impl MaintenanceOutcome {
+    /// Fold another outcome into this one (counter fields only;
+    /// `unrelated_relation` is OR-ed).
+    pub fn absorb(&mut self, o: &MaintenanceOutcome) {
+        self.inserts_ignored += o.inserts_ignored;
+        self.deletes_joined += o.deletes_joined;
+        self.updates_ignored += o.updates_ignored;
+        self.updates_joined += o.updates_joined;
+        self.join_rows += o.join_rows;
+        self.view_tuples_removed += o.view_tuples_removed;
+        self.joins_avoided += o.joins_avoided;
+        self.retries += o.retries;
+        self.fallback_invalidations += o.fallback_invalidations;
+        self.unrelated_relation |= o.unrelated_relation;
+    }
 }
 
 impl PmvPipeline {
@@ -97,6 +119,7 @@ impl PmvPipeline {
                 }
             }
         }
+        pmv.last_verified = std::time::Instant::now();
         Ok(out)
     }
 
@@ -110,14 +133,11 @@ impl PmvPipeline {
         let mut total = MaintenanceOutcome::default();
         for b in batches {
             let o = self.maintain(db, pmv, b)?;
-            total.inserts_ignored += o.inserts_ignored;
-            total.deletes_joined += o.deletes_joined;
-            total.updates_ignored += o.updates_ignored;
-            total.updates_joined += o.updates_joined;
-            total.join_rows += o.join_rows;
-            total.view_tuples_removed += o.view_tuples_removed;
-            total.joins_avoided += o.joins_avoided;
+            total.absorb(&o);
         }
+        // Per-batch relevance is reported on the individual outcomes;
+        // the transaction-level total keeps the historical `false`.
+        total.unrelated_relation = false;
         Ok(total)
     }
 }

@@ -14,10 +14,44 @@ use std::sync::Arc;
 use pmv_query::{Database, QueryInstance, QueryTemplate};
 use pmv_storage::DeltaBatch;
 
+use crate::health::ViewHealth;
 use crate::maintenance::MaintenanceOutcome;
 use crate::pipeline::{Pmv, PmvPipeline, QueryOutcome};
 use crate::view::{PartialViewDef, PmvConfig};
 use crate::{CoreError, Result};
+
+/// One row of [`PmvManager::health_report`]: the operator-facing health
+/// summary for a single view.
+#[derive(Clone, Debug)]
+pub struct ViewHealthReport {
+    /// View name.
+    pub name: String,
+    /// Circuit-breaker state.
+    pub health: ViewHealth,
+    /// Windowed error fraction seen by the breaker.
+    pub error_rate: f64,
+    /// Times the breaker entered Quarantined.
+    pub trips: u64,
+    /// Queries answered with a `Degraded` outcome so far.
+    pub degraded_queries: u64,
+    /// Shard/store drain events so far.
+    pub quarantine_events: u64,
+}
+
+impl std::fmt::Display for ViewHealthReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} (error rate {:.3}, trips {}, degraded queries {}, quarantine events {})",
+            self.name,
+            self.health,
+            self.error_rate,
+            self.trips,
+            self.degraded_queries,
+            self.quarantine_events
+        )
+    }
+}
 
 /// A named collection of PMVs sharing one pipeline (and thus one lock
 /// manager).
@@ -198,6 +232,26 @@ impl PmvManager {
             removed += pmv.revalidate(db)?;
         }
         Ok(removed)
+    }
+
+    /// Per-view health summary: breaker state, windowed error rate, trip
+    /// count, and degradation counters. The CLI's `health` command and
+    /// operators' dashboards read this.
+    pub fn health_report(&self) -> Vec<ViewHealthReport> {
+        self.views
+            .iter()
+            .map(|p| {
+                let stats = p.stats();
+                ViewHealthReport {
+                    name: p.def().name().to_string(),
+                    health: p.health(),
+                    error_rate: p.breaker().error_rate(),
+                    trips: p.breaker().trip_count(),
+                    degraded_queries: stats.degraded_queries,
+                    quarantine_events: stats.quarantine_events,
+                }
+            })
+            .collect()
     }
 
     /// Aggregate statistics across all PMVs.

@@ -19,11 +19,14 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
-use pmv_query::{execute, Database, ExecStats, LockManager, QueryInstance};
+use pmv_query::{
+    execute, execute_bounded, Database, ExecBudget, ExecStats, LockManager, QueryInstance,
+};
 use pmv_storage::Tuple;
 
 use crate::bcp::BcpKey;
 use crate::ds::Ds;
+use crate::health::{CircuitBreaker, Degradation, DegradeReason, ViewHealth};
 use crate::o1::{decompose, ConditionPart};
 use crate::stats::PmvStats;
 use crate::store::{PmvStore, Residency};
@@ -36,6 +39,10 @@ pub struct Pmv {
     pub(crate) config: PmvConfig,
     pub(crate) store: PmvStore,
     pub(crate) stats: PmvStats,
+    pub(crate) breaker: CircuitBreaker,
+    /// When the view last completed maintenance or revalidation — the
+    /// reference point for the staleness bound in degraded outcomes.
+    pub(crate) last_verified: Instant,
 }
 
 impl Pmv {
@@ -45,11 +52,14 @@ impl Pmv {
         if config.maint_filter {
             store.enable_filter(crate::maint_filter::MaintFilter::new(def.template()));
         }
+        let breaker = CircuitBreaker::new(config.breaker);
         Pmv {
             def,
             config,
             store,
             stats: PmvStats::default(),
+            breaker,
+            last_verified: Instant::now(),
         }
     }
 
@@ -84,13 +94,29 @@ impl Pmv {
         self.def.bcp_query(bcp)
     }
 
+    /// Current health of this view's circuit breaker.
+    pub fn health(&self) -> ViewHealth {
+        self.breaker.state()
+    }
+
+    /// The circuit breaker guarding this view's serving path.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
     /// Repair utility: re-execute each resident bcp's query and drop any
     /// cached tuple not in the current answer. Useful after maintenance
     /// sequences the deferred scheme cannot cover (e.g. one transaction
     /// deleting matching tuples from two base relations); also the oracle
-    /// the property tests use.
+    /// the property tests use. Lifts any quarantine and resets the
+    /// circuit breaker — the cache is known-consistent afterwards.
     pub fn revalidate(&mut self, db: &Database) -> Result<usize> {
-        revalidate_store(db, &self.def, &mut self.store)
+        let removed = revalidate_store(db, &self.def, &mut self.store)?;
+        self.store.lift_quarantine();
+        self.breaker.reset();
+        self.stats.revalidations += 1;
+        self.last_verified = Instant::now();
+        Ok(removed)
     }
 }
 
@@ -169,6 +195,11 @@ pub struct QueryOutcome {
     /// Occurrences left in DS after O3 — must be 0; anything else means a
     /// stale tuple was served (surfaced for tests/diagnostics).
     pub ds_leftover: usize,
+    /// `Some` when O3 did not complete (deadline, row budget, caught
+    /// panic, or transient error): `partial`/`partial_expanded` hold the
+    /// sound-but-possibly-incomplete cached results and `remaining` is
+    /// empty. `None` means the full answer was produced.
+    pub degraded: Option<Degradation>,
 }
 
 impl QueryOutcome {
@@ -178,6 +209,11 @@ impl QueryOutcome {
         v.extend_from_slice(&self.partial);
         v.extend_from_slice(&self.remaining);
         v
+    }
+
+    /// Whether the outcome carries the complete answer (not degraded).
+    pub fn is_complete(&self) -> bool {
+        self.degraded.is_none()
     }
 }
 
@@ -218,21 +254,96 @@ impl PmvPipeline {
         let mut counters: HashMap<BcpKey, usize> = HashMap::with_capacity(parts.len());
         let mut partial_expanded: Vec<Tuple> = Vec::new();
         let mut bcp_hit = false;
-        let part_refs: Vec<&ConditionPart> = parts.iter().collect();
-        probe_parts(
-            &mut pmv.store,
-            q,
-            &part_refs,
-            &mut counters,
-            &mut ds,
-            &mut partial_expanded,
-            &mut bcp_hit,
-        );
+        // A quarantined view serves nothing and caches nothing: the query
+        // still gets its full, correct answer from O3 below.
+        let serving = pmv.breaker.allow_serve();
+        if serving {
+            let part_refs: Vec<&ConditionPart> = parts.iter().collect();
+            probe_parts(
+                &mut pmv.store,
+                q,
+                &part_refs,
+                &mut counters,
+                &mut ds,
+                &mut partial_expanded,
+                &mut bcp_hit,
+            );
+        }
         let o2 = t_o2.elapsed();
 
-        // ---- Operation O3: full execution ----
+        // ---- Operation O3: full execution under the config's budget ----
         let t_exec = Instant::now();
-        let (results, exec_stats) = execute(db, q)?;
+        let budget = ExecBudget {
+            deadline: pmv.config.o3_deadline.map(|d| Instant::now() + d),
+            max_tuples: pmv.config.o3_max_tuples,
+        };
+        // The executor holds no PMV state, so a panicking operator cannot
+        // tear the store: catch it and degrade exactly like a transient
+        // error.
+        let exec_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_bounded(db, q, budget)
+        }));
+        let (results, exec_stats) = match exec_result {
+            Ok(Ok(r)) => r,
+            Ok(Err(e)) if !(e.is_budget() || e.is_transient()) => {
+                pmv.breaker.record_error();
+                return Err(e.into());
+            }
+            faulted => {
+                // Serve what O2 already produced, flagged degraded. The
+                // partials are a sub-multiset of the true answer, so this
+                // under-serves but never lies.
+                let reason = match &faulted {
+                    Ok(Err(e)) => degrade_reason(e),
+                    _ => DegradeReason::ExecPanic,
+                };
+                pmv.breaker.record_error();
+                pmv.stats.queries += 1;
+                pmv.stats.condition_parts += parts.len() as u64;
+                pmv.stats.degraded_queries += 1;
+                match reason {
+                    DegradeReason::Deadline | DegradeReason::TupleBudget => {
+                        pmv.stats.budget_exceeded += 1
+                    }
+                    DegradeReason::ExecPanic => pmv.stats.exec_panics += 1,
+                    _ => pmv.stats.exec_errors += 1,
+                }
+                if bcp_hit {
+                    pmv.stats.bcp_hit_queries += 1;
+                }
+                if !partial_expanded.is_empty() {
+                    pmv.stats.serving_queries += 1;
+                    pmv.stats.partial_tuples_served += partial_expanded.len() as u64;
+                }
+                let template = pmv.def.template();
+                let partial = partial_expanded
+                    .iter()
+                    .map(|t| template.user_tuple(t))
+                    .collect();
+                return Ok(QueryOutcome {
+                    partial,
+                    remaining: Vec::new(),
+                    partial_expanded,
+                    remaining_expanded: Vec::new(),
+                    bcp_hit,
+                    parts: parts.len(),
+                    timings: QueryTimings {
+                        o1,
+                        o2,
+                        exec: t_exec.elapsed(),
+                        o3_overhead: Duration::ZERO,
+                    },
+                    exec_stats: ExecStats::default(),
+                    ds_leftover: 0,
+                    degraded: Some(Degradation {
+                        reason,
+                        partial_only: true,
+                        staleness: pmv.last_verified.elapsed(),
+                    }),
+                });
+            }
+        };
+        pmv.breaker.record_ok();
         let exec = t_exec.elapsed();
 
         // ---- Operation O3: dedup + fill/update ----
@@ -245,7 +356,7 @@ impl PmvPipeline {
             }
             let bcp = pmv.def.bcp_of_tuple(&t);
             let cj = counters.entry(bcp.clone()).or_insert(0);
-            if *cj < pmv.config.f {
+            if serving && *cj < pmv.config.f {
                 let residency = match admit_cache.get(&bcp) {
                     Some(r) => *r,
                     None => {
@@ -303,6 +414,7 @@ impl PmvPipeline {
             },
             exec_stats,
             ds_leftover,
+            degraded: None,
         })
     }
 
@@ -318,6 +430,17 @@ impl PmvPipeline {
         let template = q.template();
         let user: Vec<Tuple> = results.iter().map(|t| template.user_tuple(t)).collect();
         Ok((user, stats, t0.elapsed()))
+    }
+}
+
+/// Map an abort-class [`pmv_query::QueryError`] to a degradation reason.
+/// Shared with the sharded embedding.
+pub(crate) fn degrade_reason(e: &pmv_query::QueryError) -> DegradeReason {
+    use pmv_query::{BudgetExceeded, QueryError};
+    match e {
+        QueryError::Budget(BudgetExceeded::Deadline) => DegradeReason::Deadline,
+        QueryError::Budget(BudgetExceeded::Tuples) => DegradeReason::TupleBudget,
+        _ => DegradeReason::ExecError,
     }
 }
 

@@ -1,173 +1,161 @@
 //! Cumulative PMV statistics.
+//!
+//! The counter list is declared once in [`for_each_stat_field!`] and
+//! expanded into both the plain [`PmvStats`] block and the lock-free
+//! [`AtomicPmvStats`] used by the sharded embedding — adding a counter is
+//! a one-line change instead of six hand-synchronized edit sites.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Counters accumulated across a PMV's lifetime.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct PmvStats {
-    /// Queries run through the pipeline.
-    pub queries: u64,
-    /// Queries for which the PMV provided at least one partial result —
-    /// the numerator of the paper's *hit probability* ("if any of the h
-    /// basic condition parts in the Cselect of Q exists in V_PM, Q is
-    /// hit"). Note the paper's simulation counts presence of the bcp; a
-    /// bcp present but with zero matching tuples still counts as a hit
-    /// there. We count both, see `bcp_hit_queries`.
-    pub serving_queries: u64,
-    /// Queries for which at least one probed bcp was resident.
-    pub bcp_hit_queries: u64,
-    /// Partial result tuples served from the PMV (Operation O2).
-    pub partial_tuples_served: u64,
-    /// Result tuples stored into the PMV (Operation O3 fill/update).
-    pub tuples_admitted: u64,
-    /// bcp admissions that landed in a probation queue.
-    pub probations: u64,
-    /// Condition parts generated across all queries (Σ h).
-    pub condition_parts: u64,
-    /// Inserts into base relations that required no PMV work.
-    pub maint_inserts_ignored: u64,
-    /// Deletes processed via the ΔR join.
-    pub maint_deletes_joined: u64,
-    /// Updates skipped because no relevant attribute changed.
-    pub maint_updates_ignored: u64,
-    /// Updates processed like deletes.
-    pub maint_updates_joined: u64,
-    /// View tuples evicted by maintenance.
-    pub maint_tuples_removed: u64,
+/// Invoke `$cb!` with the full `(name: doc)` counter list. Every struct
+/// and impl below derives from this single declaration.
+macro_rules! for_each_stat_field {
+    ($cb:ident) => {
+        $cb! {
+            /// Queries run through the pipeline.
+            queries,
+            /// Queries for which the PMV provided at least one partial
+            /// result — the numerator of the paper's *hit probability*
+            /// ("if any of the h basic condition parts in the Cselect of
+            /// Q exists in V_PM, Q is hit"). Note the paper's simulation
+            /// counts presence of the bcp; a bcp present but with zero
+            /// matching tuples still counts as a hit there. We count
+            /// both, see `bcp_hit_queries`.
+            serving_queries,
+            /// Queries for which at least one probed bcp was resident.
+            bcp_hit_queries,
+            /// Partial result tuples served from the PMV (Operation O2).
+            partial_tuples_served,
+            /// Result tuples stored into the PMV (Operation O3
+            /// fill/update).
+            tuples_admitted,
+            /// bcp admissions that landed in a probation queue.
+            probations,
+            /// Condition parts generated across all queries (Σ h).
+            condition_parts,
+            /// Inserts into base relations that required no PMV work.
+            maint_inserts_ignored,
+            /// Deletes processed via the ΔR join.
+            maint_deletes_joined,
+            /// Updates skipped because no relevant attribute changed.
+            maint_updates_ignored,
+            /// Updates processed like deletes.
+            maint_updates_joined,
+            /// View tuples evicted by maintenance.
+            maint_tuples_removed,
+            /// Queries that returned a `Degraded` outcome (partials only).
+            degraded_queries,
+            /// O3 executions that panicked and were caught.
+            exec_panics,
+            /// O3 executions that failed with a transient error.
+            exec_errors,
+            /// O3 executions cut short by a deadline or row budget.
+            budget_exceeded,
+            /// Shards drained into quarantine (panic mid-mutation or
+            /// maintenance fallback).
+            quarantine_events,
+            /// Maintenance join retries after transient failures.
+            maint_retries,
+            /// Maintenance fallbacks: retries exhausted, affected shards
+            /// invalidated instead of repaired.
+            maint_fallbacks,
+            /// Revalidation sweeps completed (each lifts quarantine).
+            revalidations,
+        }
+    };
 }
+
+macro_rules! define_plain_stats {
+    ($($(#[$doc:meta])* $field:ident),+ $(,)?) => {
+        /// Counters accumulated across a PMV's lifetime.
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+        pub struct PmvStats {
+            $($(#[$doc])* pub $field: u64,)+
+        }
+
+        impl PmvStats {
+            /// Fold another stats block into this one.
+            pub fn merge(&mut self, other: &PmvStats) {
+                $(self.$field += other.$field;)+
+            }
+        }
+    };
+}
+for_each_stat_field!(define_plain_stats);
 
 impl PmvStats {
     /// Hit probability over the queries seen so far, by the paper's
     /// definition (bcp residency).
     pub fn hit_probability(&self) -> f64 {
-        if self.queries == 0 {
-            0.0
-        } else {
-            self.bcp_hit_queries as f64 / self.queries as f64
-        }
+        self.rate(self.bcp_hit_queries)
     }
 
     /// Fraction of queries that actually received partial tuples.
     pub fn serving_probability(&self) -> f64 {
+        self.rate(self.serving_queries)
+    }
+
+    /// Fraction of queries that returned a flagged-degraded outcome —
+    /// the robustness metric tracked by the bench reports.
+    pub fn degraded_query_rate(&self) -> f64 {
+        self.rate(self.degraded_queries)
+    }
+
+    fn rate(&self, numerator: u64) -> f64 {
         if self.queries == 0 {
             0.0
         } else {
-            self.serving_queries as f64 / self.queries as f64
-        }
-    }
-
-    /// Fold another stats block into this one.
-    pub fn merge(&mut self, other: &PmvStats) {
-        self.queries += other.queries;
-        self.serving_queries += other.serving_queries;
-        self.bcp_hit_queries += other.bcp_hit_queries;
-        self.partial_tuples_served += other.partial_tuples_served;
-        self.tuples_admitted += other.tuples_admitted;
-        self.probations += other.probations;
-        self.condition_parts += other.condition_parts;
-        self.maint_inserts_ignored += other.maint_inserts_ignored;
-        self.maint_deletes_joined += other.maint_deletes_joined;
-        self.maint_updates_ignored += other.maint_updates_ignored;
-        self.maint_updates_joined += other.maint_updates_joined;
-        self.maint_tuples_removed += other.maint_tuples_removed;
-    }
-}
-
-/// Shared-counter variant of [`PmvStats`] for concurrent embeddings
-/// (notably the sharded [`crate::concurrent::SharedPmv`]): queries and
-/// maintainers accumulate a local [`PmvStats`] and publish it with one
-/// [`AtomicPmvStats::add`], so no lock is ever taken for bookkeeping.
-/// All counters use relaxed ordering — they are statistics, not
-/// synchronization.
-#[derive(Debug, Default)]
-pub struct AtomicPmvStats {
-    queries: AtomicU64,
-    serving_queries: AtomicU64,
-    bcp_hit_queries: AtomicU64,
-    partial_tuples_served: AtomicU64,
-    tuples_admitted: AtomicU64,
-    probations: AtomicU64,
-    condition_parts: AtomicU64,
-    maint_inserts_ignored: AtomicU64,
-    maint_deletes_joined: AtomicU64,
-    maint_updates_ignored: AtomicU64,
-    maint_updates_joined: AtomicU64,
-    maint_tuples_removed: AtomicU64,
-}
-
-impl AtomicPmvStats {
-    /// Fresh zeroed counters.
-    pub fn new() -> Self {
-        AtomicPmvStats::default()
-    }
-
-    /// Fold a locally accumulated stats block into the shared counters.
-    pub fn add(&self, delta: &PmvStats) {
-        self.queries.fetch_add(delta.queries, Ordering::Relaxed);
-        self.serving_queries
-            .fetch_add(delta.serving_queries, Ordering::Relaxed);
-        self.bcp_hit_queries
-            .fetch_add(delta.bcp_hit_queries, Ordering::Relaxed);
-        self.partial_tuples_served
-            .fetch_add(delta.partial_tuples_served, Ordering::Relaxed);
-        self.tuples_admitted
-            .fetch_add(delta.tuples_admitted, Ordering::Relaxed);
-        self.probations
-            .fetch_add(delta.probations, Ordering::Relaxed);
-        self.condition_parts
-            .fetch_add(delta.condition_parts, Ordering::Relaxed);
-        self.maint_inserts_ignored
-            .fetch_add(delta.maint_inserts_ignored, Ordering::Relaxed);
-        self.maint_deletes_joined
-            .fetch_add(delta.maint_deletes_joined, Ordering::Relaxed);
-        self.maint_updates_ignored
-            .fetch_add(delta.maint_updates_ignored, Ordering::Relaxed);
-        self.maint_updates_joined
-            .fetch_add(delta.maint_updates_joined, Ordering::Relaxed);
-        self.maint_tuples_removed
-            .fetch_add(delta.maint_tuples_removed, Ordering::Relaxed);
-    }
-
-    /// Point-in-time copy of the counters. Individual fields are read
-    /// relaxed, so a snapshot taken while writers are active may mix
-    /// adjacent updates; totals are exact once writers quiesce.
-    pub fn snapshot(&self) -> PmvStats {
-        PmvStats {
-            queries: self.queries.load(Ordering::Relaxed),
-            serving_queries: self.serving_queries.load(Ordering::Relaxed),
-            bcp_hit_queries: self.bcp_hit_queries.load(Ordering::Relaxed),
-            partial_tuples_served: self.partial_tuples_served.load(Ordering::Relaxed),
-            tuples_admitted: self.tuples_admitted.load(Ordering::Relaxed),
-            probations: self.probations.load(Ordering::Relaxed),
-            condition_parts: self.condition_parts.load(Ordering::Relaxed),
-            maint_inserts_ignored: self.maint_inserts_ignored.load(Ordering::Relaxed),
-            maint_deletes_joined: self.maint_deletes_joined.load(Ordering::Relaxed),
-            maint_updates_ignored: self.maint_updates_ignored.load(Ordering::Relaxed),
-            maint_updates_joined: self.maint_updates_joined.load(Ordering::Relaxed),
-            maint_tuples_removed: self.maint_tuples_removed.load(Ordering::Relaxed),
-        }
-    }
-
-    /// Zero every counter (e.g. after a warm-up phase).
-    pub fn reset(&self) {
-        for c in [
-            &self.queries,
-            &self.serving_queries,
-            &self.bcp_hit_queries,
-            &self.partial_tuples_served,
-            &self.tuples_admitted,
-            &self.probations,
-            &self.condition_parts,
-            &self.maint_inserts_ignored,
-            &self.maint_deletes_joined,
-            &self.maint_updates_ignored,
-            &self.maint_updates_joined,
-            &self.maint_tuples_removed,
-        ] {
-            c.store(0, Ordering::Relaxed);
+            numerator as f64 / self.queries as f64
         }
     }
 }
+
+macro_rules! define_atomic_stats {
+    ($($(#[$doc:meta])* $field:ident),+ $(,)?) => {
+        /// Shared-counter variant of [`PmvStats`] for concurrent
+        /// embeddings (notably the sharded
+        /// [`crate::concurrent::SharedPmv`]): queries and maintainers
+        /// accumulate a local [`PmvStats`] and publish it with one
+        /// [`AtomicPmvStats::add`], so no lock is ever taken for
+        /// bookkeeping. All counters use relaxed ordering — they are
+        /// statistics, not synchronization.
+        #[derive(Debug, Default)]
+        pub struct AtomicPmvStats {
+            $($field: AtomicU64,)+
+        }
+
+        impl AtomicPmvStats {
+            /// Fresh zeroed counters.
+            pub fn new() -> Self {
+                AtomicPmvStats::default()
+            }
+
+            /// Fold a locally accumulated stats block into the shared
+            /// counters.
+            pub fn add(&self, delta: &PmvStats) {
+                $(if delta.$field != 0 {
+                    self.$field.fetch_add(delta.$field, Ordering::Relaxed);
+                })+
+            }
+
+            /// Point-in-time copy of the counters. Individual fields are
+            /// read relaxed, so a snapshot taken while writers are active
+            /// may mix adjacent updates; totals are exact once writers
+            /// quiesce.
+            pub fn snapshot(&self) -> PmvStats {
+                PmvStats {
+                    $($field: self.$field.load(Ordering::Relaxed),)+
+                }
+            }
+
+            /// Zero every counter (e.g. after a warm-up phase).
+            pub fn reset(&self) {
+                $(self.$field.store(0, Ordering::Relaxed);)+
+            }
+        }
+    };
+}
+for_each_stat_field!(define_atomic_stats);
 
 #[cfg(test)]
 mod tests {
@@ -179,11 +167,14 @@ mod tests {
             queries: 10,
             bcp_hit_queries: 9,
             serving_queries: 8,
+            degraded_queries: 2,
             ..Default::default()
         };
         assert!((s.hit_probability() - 0.9).abs() < 1e-12);
         assert!((s.serving_probability() - 0.8).abs() < 1e-12);
+        assert!((s.degraded_query_rate() - 0.2).abs() < 1e-12);
         assert_eq!(PmvStats::default().hit_probability(), 0.0);
+        assert_eq!(PmvStats::default().degraded_query_rate(), 0.0);
     }
 
     #[test]
@@ -197,12 +188,14 @@ mod tests {
             queries: 2,
             partial_tuples_served: 7,
             maint_tuples_removed: 3,
+            quarantine_events: 1,
             ..Default::default()
         };
         a.merge(&b);
         assert_eq!(a.queries, 3);
         assert_eq!(a.partial_tuples_served, 12);
         assert_eq!(a.maint_tuples_removed, 3);
+        assert_eq!(a.quarantine_events, 1);
     }
 
     #[test]
@@ -217,6 +210,7 @@ mod tests {
         let b = PmvStats {
             queries: 1,
             maint_tuples_removed: 4,
+            exec_panics: 2,
             ..Default::default()
         };
         shared.add(&a);
@@ -226,6 +220,7 @@ mod tests {
         assert_eq!(snap.bcp_hit_queries, 2);
         assert_eq!(snap.tuples_admitted, 5);
         assert_eq!(snap.maint_tuples_removed, 4);
+        assert_eq!(snap.exec_panics, 2);
         assert!((snap.hit_probability() - 0.5).abs() < 1e-12);
         shared.reset();
         assert_eq!(shared.snapshot(), PmvStats::default());

@@ -9,9 +9,7 @@
 
 use std::collections::HashMap;
 
-#[cfg(test)]
-use pmv_cache::PolicyKind;
-use pmv_cache::{AdmitOutcome, ReplacementPolicy};
+use pmv_cache::{AdmitOutcome, PolicyKind, ReplacementPolicy};
 use pmv_storage::{HeapSize, Tuple};
 
 use crate::bcp::BcpKey;
@@ -38,10 +36,17 @@ struct Entry {
 pub struct PmvStore {
     entries: HashMap<BcpKey, Entry>,
     policy: Box<dyn ReplacementPolicy<BcpKey> + Send + Sync>,
+    /// Which policy `policy` was built from, kept so a quarantine drain
+    /// can rebuild a fresh instance of the same kind.
+    policy_kind: PolicyKind,
     f: usize,
     bytes: usize,
     evictions: u64,
     filter: Option<MaintFilter>,
+    /// Drained after a panic mid-mutation (or a maintenance fallback):
+    /// serves nothing and caches nothing until quarantine is lifted by
+    /// revalidation.
+    quarantined: bool,
 }
 
 impl PmvStore {
@@ -59,10 +64,12 @@ impl PmvStore {
         PmvStore {
             entries: HashMap::with_capacity(l),
             policy: config.policy.build(l),
+            policy_kind: config.policy,
             f: config.f,
             bytes: 0,
             evictions: 0,
             filter: None,
+            quarantined: false,
         }
     }
 
@@ -113,8 +120,37 @@ impl PmvStore {
         self.policy.name()
     }
 
+    /// Whether the store is quarantined (drained, serving nothing).
+    pub fn is_quarantined(&self) -> bool {
+        self.quarantined
+    }
+
+    /// Drain the store after its contents became untrustworthy (a panic
+    /// mid-mutation, or maintenance that could not repair it): every
+    /// entry is dropped, the policy and filter are rebuilt empty, and the
+    /// store stops serving and caching until [`Self::lift_quarantine`].
+    /// Removal-only, so it can never cause a stale tuple to be served.
+    pub fn quarantine(&mut self) {
+        self.entries.clear();
+        self.bytes = 0;
+        self.policy = self.policy_kind.build(self.policy.capacity());
+        if let Some(f) = &mut self.filter {
+            f.clear();
+        }
+        self.quarantined = true;
+    }
+
+    /// Resume serving after revalidation confirmed (or re-established)
+    /// consistency.
+    pub fn lift_quarantine(&mut self) {
+        self.quarantined = false;
+    }
+
     /// Tuples cached for `bcp`, if resident. Does not touch the policy.
     pub fn lookup(&self, bcp: &BcpKey) -> Option<&[Tuple]> {
+        if self.quarantined {
+            return None;
+        }
         self.entries.get(bcp).map(|e| e.tuples.as_slice())
     }
 
@@ -132,6 +168,9 @@ impl PmvStore {
     /// Ask the policy to make `bcp` resident (Operation O3, once per bcp
     /// per query). Evicted entries are purged.
     pub fn admit(&mut self, bcp: &BcpKey) -> Residency {
+        if self.quarantined {
+            return Residency::Probation;
+        }
         match self.policy.admit(bcp.clone()) {
             AdmitOutcome::Resident { evicted } => {
                 for victim in evicted {
@@ -155,7 +194,7 @@ impl PmvStore {
     /// Store one result tuple under a resident `bcp`. Returns false when
     /// the bcp is not resident or already holds `F` tuples.
     pub fn push_tuple(&mut self, bcp: &BcpKey, tuple: Tuple) -> bool {
-        if !self.policy.contains(bcp) {
+        if self.quarantined || !self.policy.contains(bcp) {
             return false;
         }
         let entry = self.entries.entry(bcp.clone()).or_insert_with(|| Entry {
@@ -239,19 +278,27 @@ impl PmvStore {
         std::mem::size_of::<BcpKey>() + k.heap_size()
     }
 
-    /// Check structural invariants; panics on violation. Test helper.
-    pub fn validate(&self) {
-        assert!(
-            self.entries.len() <= self.policy.capacity(),
-            "more entries than L"
-        );
+    /// Check structural invariants, returning each violation as a
+    /// message. Empty means consistent. Never panics.
+    pub fn check(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        if self.entries.len() > self.policy.capacity() {
+            violations.push(format!(
+                "more entries than L: {} > {}",
+                self.entries.len(),
+                self.policy.capacity()
+            ));
+        }
         for (k, e) in &self.entries {
-            assert!(!e.tuples.is_empty(), "empty entry for {k:?}");
-            assert!(e.tuples.len() <= self.f, "entry over F for {k:?}");
-            assert!(
-                self.policy.contains(k),
-                "entry {k:?} not resident in policy"
-            );
+            if e.tuples.is_empty() {
+                violations.push(format!("empty entry for {k:?}"));
+            }
+            if e.tuples.len() > self.f {
+                violations.push(format!("entry over F for {k:?}"));
+            }
+            if !self.policy.contains(k) {
+                violations.push(format!("entry {k:?} not resident in policy"));
+            }
         }
         let recomputed: usize = self
             .entries
@@ -260,15 +307,30 @@ impl PmvStore {
                 Self::key_bytes(k) + e.tuples.iter().map(Self::tuple_bytes).sum::<usize>()
             })
             .sum();
-        assert_eq!(recomputed, self.bytes, "byte accounting drifted");
+        if recomputed != self.bytes {
+            violations.push(format!(
+                "byte accounting drifted: recomputed {recomputed} != tracked {}",
+                self.bytes
+            ));
+        }
         if let Some(f) = &self.filter {
             let cached: Vec<Tuple> = self
                 .entries
                 .values()
                 .flat_map(|e| e.tuples.iter().cloned())
                 .collect();
-            f.validate(&cached);
+            violations.extend(f.check_against(&cached));
         }
+        violations
+    }
+
+    /// Check structural invariants; panics on violation. Test helper.
+    pub fn validate(&self) {
+        let violations = self.check();
+        assert!(
+            violations.is_empty(),
+            "store invariants violated: {violations:?}"
+        );
     }
 }
 

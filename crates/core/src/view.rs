@@ -13,12 +13,14 @@
 //! implicit — it is the template joined without `Cselect`.
 
 use std::sync::Arc;
+use std::time::Duration;
 
 use pmv_cache::PolicyKind;
 use pmv_query::{CondForm, QueryInstance, QueryTemplate};
 use pmv_storage::Tuple;
 
 use crate::bcp::{BcpDim, BcpKey, Discretizer};
+use crate::health::BreakerConfig;
 use crate::{CoreError, Result};
 
 /// Tuning knobs for a PMV.
@@ -35,6 +37,20 @@ pub struct PmvConfig {
     /// attributes, letting deletes of unrelated tuples skip the ΔR join
     /// (the \[25\] optimization). On by default.
     pub maint_filter: bool,
+    /// Wall-clock budget for one O3 execution; when exceeded, the query
+    /// returns the O2 partials flagged `Degraded` instead of blocking.
+    /// `None` (the default) runs O3 to completion.
+    pub o3_deadline: Option<Duration>,
+    /// Cap on tuples one O3 execution may examine; same degradation
+    /// semantics as `o3_deadline`. `None` (the default) is unlimited.
+    pub o3_max_tuples: Option<u64>,
+    /// Retries for a maintenance join that failed transiently, before
+    /// falling back to invalidating the affected shards.
+    pub maint_retries: u32,
+    /// Base backoff between maintenance retries (doubled per attempt).
+    pub maint_backoff: Duration,
+    /// Circuit-breaker thresholds for the per-view health state machine.
+    pub breaker: BreakerConfig,
 }
 
 impl Default for PmvConfig {
@@ -46,19 +62,43 @@ impl Default for PmvConfig {
             l: 10_000,
             policy: PolicyKind::Clock,
             maint_filter: true,
+            o3_deadline: None,
+            o3_max_tuples: None,
+            maint_retries: 3,
+            maint_backoff: Duration::from_micros(50),
+            breaker: BreakerConfig::default(),
         }
     }
 }
 
 impl PmvConfig {
-    /// Config with explicit `F`, `L`, and policy (maintenance filter on).
+    /// Config with explicit `F`, `L`, and policy (maintenance filter on,
+    /// no execution budget, default breaker).
     pub fn new(f: usize, l: usize, policy: PolicyKind) -> Self {
         PmvConfig {
             f,
             l,
             policy,
-            maint_filter: true,
+            ..PmvConfig::default()
         }
+    }
+
+    /// Bound each O3 execution to `deadline` of wall-clock time.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.o3_deadline = Some(deadline);
+        self
+    }
+
+    /// Bound each O3 execution to examining at most `max_tuples` tuples.
+    pub fn with_row_budget(mut self, max_tuples: u64) -> Self {
+        self.o3_max_tuples = Some(max_tuples);
+        self
+    }
+
+    /// Override the circuit-breaker thresholds.
+    pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
+        self.breaker = breaker;
+        self
     }
 }
 

@@ -1,0 +1,570 @@
+//! # pmv-faultinject — deterministic fault injection
+//!
+//! The PMV's value proposition is answering from the cache even when the
+//! full query path is slow or broken, so the serving path has to be
+//! exercised *under* failure, not just under load. This crate provides
+//! that failure model: a seeded [`FaultPlan`] of [`FaultRule`]s, each
+//! binding a [`Site`] (a named point in storage, index, query execution,
+//! or the sharded PMV's critical sections) to a [`FaultKind`]
+//! (error/latency/panic) at a given rate.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Deterministic.** Whether invocation *n* of a site fires is a pure
+//!    function of `(seed, site, n)` — a counter-indexed hash, not a
+//!    shared-state RNG — so an 8-thread stress run injects the same
+//!    multiset of faults for a given seed regardless of interleaving,
+//!    and a failing seed replays.
+//! 2. **Free when off.** `fire` is one relaxed atomic load when no plan
+//!    is installed, so the hooks can sit on per-tuple paths.
+//! 3. **Suppressible.** Test oracles need to compute ground truth on the
+//!    same thread the faults target; [`suppress`] disables injection for
+//!    the duration of a closure on the current thread.
+//!
+//! Faults are injected *globally* (process-wide) via [`install`], because
+//! the interesting failures cross thread boundaries: a panic injected in
+//! one query thread must not poison state observed by another.
+//!
+//! ```
+//! use pmv_faultinject::{fire, install, FaultKind, FaultPlan, Site};
+//! use std::sync::Arc;
+//!
+//! let plan = Arc::new(FaultPlan::new(42).with_rule(Site::MaintJoin, FaultKind::Error, 1.0));
+//! let _guard = install(Arc::clone(&plan));
+//! assert!(fire(Site::MaintJoin).is_err());
+//! assert!(fire(Site::ExecRow).is_ok()); // no rule at this site
+//! ```
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A named injection point. Each site is a place in the real code where
+/// [`fire`] (or [`fire_soft`]) is called.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Site {
+    /// `pmv_storage::HeapRelation::get` — every tuple fetch. Soft site:
+    /// latency/panic only (the read path has no `Result` to carry an
+    /// injected error).
+    StorageRead,
+    /// Secondary-index probe (`AnyIndex::get`). Soft site.
+    IndexProbe,
+    /// Entry of the index-nested-loop executor (one per query/join).
+    ExecStart,
+    /// Each tuple examined by the executor. Latency here makes O3 slow
+    /// enough to trip deadlines; errors abort the execution.
+    ExecRow,
+    /// The `ΔR ⋈ R_j` maintenance join (`join_from`).
+    MaintJoin,
+    /// Inside a shard's O2 probe critical section. Soft site.
+    ShardProbe,
+    /// Inside a shard's O3 fill critical section. Soft site.
+    ShardFill,
+    /// Inside a shard's maintenance removal critical section. Soft site.
+    ShardMaint,
+}
+
+/// All sites, for iteration and per-site counters.
+pub const ALL_SITES: [Site; 8] = [
+    Site::StorageRead,
+    Site::IndexProbe,
+    Site::ExecStart,
+    Site::ExecRow,
+    Site::MaintJoin,
+    Site::ShardProbe,
+    Site::ShardFill,
+    Site::ShardMaint,
+];
+
+impl Site {
+    fn index(self) -> usize {
+        match self {
+            Site::StorageRead => 0,
+            Site::IndexProbe => 1,
+            Site::ExecStart => 2,
+            Site::ExecRow => 3,
+            Site::MaintJoin => 4,
+            Site::ShardProbe => 5,
+            Site::ShardFill => 6,
+            Site::ShardMaint => 7,
+        }
+    }
+
+    /// Stable name, used by the plan parser and in error messages.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Site::StorageRead => "storage-read",
+            Site::IndexProbe => "index-probe",
+            Site::ExecStart => "exec-start",
+            Site::ExecRow => "exec-row",
+            Site::MaintJoin => "maint-join",
+            Site::ShardProbe => "shard-probe",
+            Site::ShardFill => "shard-fill",
+            Site::ShardMaint => "shard-maint",
+        }
+    }
+
+    /// Parse a site name as printed by [`Site::as_str`].
+    pub fn parse(s: &str) -> Option<Site> {
+        ALL_SITES.iter().copied().find(|site| site.as_str() == s)
+    }
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What an injected fault does at its site.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Return an [`InjectedFault`] error (ignored at soft sites).
+    Error,
+    /// Panic with a recognizable message; the serving path must contain
+    /// the unwind.
+    Panic,
+    /// Sleep for the given duration (simulates a slow disk/lock/join).
+    Latency(Duration),
+}
+
+/// One (site, kind, rate) binding in a plan.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultRule {
+    /// Where to inject.
+    pub site: Site,
+    /// What to inject.
+    pub kind: FaultKind,
+    /// Probability per invocation, in `[0, 1]`.
+    pub rate: f64,
+}
+
+/// The error value carried out of a fault-injected `Result` path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// Site that fired.
+    pub site: Site,
+}
+
+impl fmt::Display for InjectedFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "injected fault at {}", self.site)
+    }
+}
+
+impl std::error::Error for InjectedFault {}
+
+/// Message prefix of every injected panic, so harnesses can tell injected
+/// panics from genuine bugs when inspecting a caught payload.
+pub const PANIC_PREFIX: &str = "pmv-faultinject: injected panic";
+
+/// Counts of faults actually delivered, by kind.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Errors returned.
+    pub errors: u64,
+    /// Panics raised.
+    pub panics: u64,
+    /// Latency injections applied.
+    pub latencies: u64,
+}
+
+/// A seeded, deterministic fault plan.
+pub struct FaultPlan {
+    seed: u64,
+    rules: Vec<FaultRule>,
+    /// Per-site invocation counters (the `n` in `(seed, site, n)`).
+    invocations: [AtomicU64; ALL_SITES.len()],
+    errors: AtomicU64,
+    panics: AtomicU64,
+    latencies: AtomicU64,
+}
+
+impl FaultPlan {
+    /// Empty plan (no rules fire) with the given seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+            invocations: Default::default(),
+            errors: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            latencies: AtomicU64::new(0),
+        }
+    }
+
+    /// Add a rule (builder style).
+    pub fn with_rule(mut self, site: Site, kind: FaultKind, rate: f64) -> Self {
+        self.rules.push(FaultRule {
+            site,
+            kind,
+            rate: rate.clamp(0.0, 1.0),
+        });
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The plan's rules.
+    pub fn rules(&self) -> &[FaultRule] {
+        &self.rules
+    }
+
+    /// Faults delivered so far.
+    pub fn counts(&self) -> FaultCounts {
+        FaultCounts {
+            errors: self.errors.load(Ordering::Relaxed),
+            panics: self.panics.load(Ordering::Relaxed),
+            latencies: self.latencies.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total site invocations observed (diagnostics).
+    pub fn invocations(&self, site: Site) -> u64 {
+        self.invocations[site.index()].load(Ordering::Relaxed)
+    }
+
+    /// Decide the fault (if any) for the next invocation of `site`.
+    /// Consumes one invocation index; at most one rule fires per
+    /// invocation (rules at the same site stack their rates).
+    fn decide(&self, site: Site) -> Option<FaultKind> {
+        if self.rules.iter().all(|r| r.site != site) {
+            return None;
+        }
+        let n = self.invocations[site.index()].fetch_add(1, Ordering::Relaxed);
+        let h = splitmix64(
+            self.seed
+                .wrapping_add((site.index() as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+                .wrapping_add(n.wrapping_mul(0xbf58_476d_1ce4_e5b9)),
+        );
+        // Uniform in [0, 1).
+        let mut x = (h >> 11) as f64 / (1u64 << 53) as f64;
+        for rule in self.rules.iter().filter(|r| r.site == site) {
+            if x < rule.rate {
+                return Some(rule.kind);
+            }
+            x -= rule.rate;
+        }
+        None
+    }
+
+    /// Parse a plan spec, the `--fault-plan` argument format:
+    ///
+    /// ```text
+    /// seed=42;exec-row:latency=2ms@0.01;maint-join:error@0.2;exec-start:panic@0.1
+    /// ```
+    ///
+    /// Semicolon-separated items; `seed=N` sets the seed (default 0);
+    /// every other item is `<site>:<kind>[=<duration>]@<rate>` with kind
+    /// one of `error`, `panic`, `latency` (latency takes `=<N>ms` or
+    /// `=<N>us`).
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut seed = 0u64;
+        let mut rules = Vec::new();
+        for item in spec.split(';').map(str::trim).filter(|s| !s.is_empty()) {
+            if let Some(v) = item.strip_prefix("seed=") {
+                seed = v.parse().map_err(|_| format!("bad seed '{v}'"))?;
+                continue;
+            }
+            let (site_s, rest) = item
+                .split_once(':')
+                .ok_or_else(|| format!("bad rule '{item}' (want <site>:<kind>@<rate>)"))?;
+            let site = Site::parse(site_s).ok_or_else(|| {
+                format!(
+                    "unknown site '{site_s}' (known: {})",
+                    ALL_SITES.map(Site::as_str).join(", ")
+                )
+            })?;
+            let (kind_s, rate_s) = rest
+                .split_once('@')
+                .ok_or_else(|| format!("bad rule '{item}' (missing @<rate>)"))?;
+            let kind = match kind_s {
+                "error" => FaultKind::Error,
+                "panic" => FaultKind::Panic,
+                other => match other.strip_prefix("latency=") {
+                    Some(d) => FaultKind::Latency(parse_duration(d)?),
+                    None => return Err(format!("unknown fault kind '{kind_s}'")),
+                },
+            };
+            let rate: f64 = rate_s.parse().map_err(|_| format!("bad rate '{rate_s}'"))?;
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(format!("rate {rate} outside [0, 1]"));
+            }
+            rules.push(FaultRule { site, kind, rate });
+        }
+        let mut plan = FaultPlan::new(seed);
+        plan.rules = rules;
+        Ok(plan)
+    }
+}
+
+fn parse_duration(s: &str) -> Result<Duration, String> {
+    if let Some(ms) = s.strip_suffix("ms") {
+        let n: u64 = ms.parse().map_err(|_| format!("bad duration '{s}'"))?;
+        Ok(Duration::from_millis(n))
+    } else if let Some(us) = s.strip_suffix("us") {
+        let n: u64 = us.parse().map_err(|_| format!("bad duration '{s}'"))?;
+        Ok(Duration::from_micros(n))
+    } else {
+        Err(format!("bad duration '{s}' (want <N>ms or <N>us)"))
+    }
+}
+
+/// SplitMix64 finalizer: a well-mixed pure function of its input.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Fast-path flag: true while a plan is installed.
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+static PLAN: Mutex<Option<Arc<FaultPlan>>> = Mutex::new(None);
+
+thread_local! {
+    static SUPPRESSED: Cell<u32> = const { Cell::new(0) };
+}
+
+/// Uninstalls the plan when dropped, so a panicking test cannot leak
+/// faults into the rest of the process.
+pub struct InstallGuard(());
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        uninstall();
+    }
+}
+
+/// Install `plan` process-wide, replacing any previous plan. Injection
+/// stays active until the returned guard drops (or [`uninstall`] is
+/// called).
+pub fn install(plan: Arc<FaultPlan>) -> InstallGuard {
+    *PLAN.lock().unwrap_or_else(|e| e.into_inner()) = Some(plan);
+    ACTIVE.store(true, Ordering::SeqCst);
+    InstallGuard(())
+}
+
+/// Remove the installed plan; [`fire`] becomes a no-op again.
+pub fn uninstall() {
+    ACTIVE.store(false, Ordering::SeqCst);
+    *PLAN.lock().unwrap_or_else(|e| e.into_inner()) = None;
+}
+
+/// Whether a plan is currently installed.
+pub fn active() -> bool {
+    ACTIVE.load(Ordering::Relaxed)
+}
+
+/// Run `f` with injection disabled on this thread — for test oracles that
+/// must compute ground truth through the same (instrumented) code paths.
+pub fn suppress<T>(f: impl FnOnce() -> T) -> T {
+    SUPPRESSED.with(|s| s.set(s.get() + 1));
+    // Balance the counter even if `f` unwinds.
+    struct Unsuppress;
+    impl Drop for Unsuppress {
+        fn drop(&mut self) {
+            SUPPRESSED.with(|s| s.set(s.get() - 1));
+        }
+    }
+    let _guard = Unsuppress;
+    f()
+}
+
+/// Evaluate the installed plan at `site`: may sleep (latency), panic, or
+/// return an [`InjectedFault`] error. Free (one relaxed load) when no
+/// plan is installed or the thread is [`suppress`]ed.
+pub fn fire(site: Site) -> Result<(), InjectedFault> {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return Ok(());
+    }
+    if SUPPRESSED.with(Cell::get) > 0 {
+        return Ok(());
+    }
+    let plan = PLAN.lock().unwrap_or_else(|e| e.into_inner()).clone();
+    let Some(plan) = plan else { return Ok(()) };
+    match plan.decide(site) {
+        None => Ok(()),
+        Some(FaultKind::Latency(d)) => {
+            plan.latencies.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(d);
+            Ok(())
+        }
+        Some(FaultKind::Error) => {
+            plan.errors.fetch_add(1, Ordering::Relaxed);
+            Err(InjectedFault { site })
+        }
+        Some(FaultKind::Panic) => {
+            plan.panics.fetch_add(1, Ordering::Relaxed);
+            panic!("{PANIC_PREFIX} at {site}");
+        }
+    }
+}
+
+/// [`fire`] for sites without a `Result` to carry an error: latency and
+/// panic rules apply; an error rule at a soft site is counted but has no
+/// effect.
+pub fn fire_soft(site: Site) {
+    let _ = fire(site);
+}
+
+/// Whether a caught panic payload is one of ours (vs a genuine bug).
+pub fn is_injected_panic(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload
+        .downcast_ref::<String>()
+        .is_some_and(|s| s.starts_with(PANIC_PREFIX))
+        || payload
+            .downcast_ref::<&str>()
+            .is_some_and(|s| s.starts_with(PANIC_PREFIX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests in this module share the global plan slot; serialize them.
+    static LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn inactive_plan_fires_nothing() {
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        uninstall();
+        assert!(fire(Site::ExecStart).is_ok());
+        assert!(!active());
+    }
+
+    #[test]
+    fn rates_are_deterministic_per_seed() {
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let counts = |seed: u64| {
+            let plan =
+                Arc::new(FaultPlan::new(seed).with_rule(Site::MaintJoin, FaultKind::Error, 0.3));
+            let _g = install(Arc::clone(&plan));
+            let mut fired = Vec::new();
+            for i in 0..1000 {
+                if fire(Site::MaintJoin).is_err() {
+                    fired.push(i);
+                }
+            }
+            fired
+        };
+        let a = counts(7);
+        let b = counts(7);
+        let c = counts(8);
+        assert_eq!(a, b, "same seed must fire identically");
+        assert_ne!(a, c, "different seeds must differ");
+        // Rate roughly honored.
+        assert!(a.len() > 200 && a.len() < 400, "got {}", a.len());
+    }
+
+    #[test]
+    fn rate_one_always_fires_and_rate_zero_never() {
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let plan = Arc::new(
+            FaultPlan::new(1)
+                .with_rule(Site::ExecStart, FaultKind::Error, 1.0)
+                .with_rule(Site::ExecRow, FaultKind::Error, 0.0),
+        );
+        let _g = install(Arc::clone(&plan));
+        for _ in 0..50 {
+            assert!(fire(Site::ExecStart).is_err());
+            assert!(fire(Site::ExecRow).is_ok());
+        }
+        assert_eq!(plan.counts().errors, 50);
+    }
+
+    #[test]
+    fn suppress_disables_injection_on_this_thread() {
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let plan = Arc::new(FaultPlan::new(1).with_rule(Site::ExecStart, FaultKind::Error, 1.0));
+        let _g = install(plan);
+        assert!(fire(Site::ExecStart).is_err());
+        suppress(|| assert!(fire(Site::ExecStart).is_ok()));
+        assert!(fire(Site::ExecStart).is_err());
+    }
+
+    #[test]
+    fn injected_panic_is_recognizable() {
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let plan = Arc::new(FaultPlan::new(1).with_rule(Site::ShardFill, FaultKind::Panic, 1.0));
+        let _g = install(Arc::clone(&plan));
+        let caught =
+            std::panic::catch_unwind(|| fire_soft(Site::ShardFill)).expect_err("must panic");
+        assert!(is_injected_panic(caught.as_ref()));
+        assert_eq!(plan.counts().panics, 1);
+    }
+
+    #[test]
+    fn guard_uninstalls_on_drop() {
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        {
+            let _g = install(Arc::new(FaultPlan::new(1).with_rule(
+                Site::ExecStart,
+                FaultKind::Error,
+                1.0,
+            )));
+            assert!(active());
+        }
+        assert!(!active());
+        assert!(fire(Site::ExecStart).is_ok());
+    }
+
+    #[test]
+    fn latency_rule_sleeps() {
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let plan = Arc::new(FaultPlan::new(1).with_rule(
+            Site::StorageRead,
+            FaultKind::Latency(Duration::from_millis(5)),
+            1.0,
+        ));
+        let _g = install(Arc::clone(&plan));
+        let t0 = std::time::Instant::now();
+        fire_soft(Site::StorageRead);
+        assert!(t0.elapsed() >= Duration::from_millis(4));
+        assert_eq!(plan.counts().latencies, 1);
+    }
+
+    #[test]
+    fn parse_round_trips_the_readme_example() {
+        let plan = FaultPlan::parse(
+            "seed=42; exec-row:latency=2ms@0.01; maint-join:error@0.2; exec-start:panic@0.1",
+        )
+        .unwrap();
+        assert_eq!(plan.seed(), 42);
+        assert_eq!(plan.rules().len(), 3);
+        assert_eq!(plan.rules()[0].site, Site::ExecRow);
+        assert_eq!(
+            plan.rules()[0].kind,
+            FaultKind::Latency(Duration::from_millis(2))
+        );
+        assert_eq!(plan.rules()[1].kind, FaultKind::Error);
+        assert!((plan.rules()[2].rate - 0.1).abs() < 1e-12);
+        assert!(FaultPlan::parse("nosite:error@0.5").is_err());
+        assert!(FaultPlan::parse("exec-row:error@1.5").is_err());
+        assert!(FaultPlan::parse("exec-row:latency=2s@0.5").is_err());
+        assert!(FaultPlan::parse("seed=x").is_err());
+    }
+
+    #[test]
+    fn stacked_rules_share_the_draw() {
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        // error@0.5 + latency@0.5 → every invocation fires exactly one.
+        let plan = Arc::new(
+            FaultPlan::new(3)
+                .with_rule(Site::MaintJoin, FaultKind::Error, 0.5)
+                .with_rule(Site::MaintJoin, FaultKind::Latency(Duration::ZERO), 0.5),
+        );
+        let _g = install(Arc::clone(&plan));
+        for _ in 0..200 {
+            let _ = fire(Site::MaintJoin);
+        }
+        let c = plan.counts();
+        assert_eq!(c.errors + c.latencies, 200);
+        assert!(c.errors > 50 && c.latencies > 50);
+    }
+}

@@ -115,6 +115,9 @@ impl SecondaryIndex for AnyIndex {
     }
 
     fn get(&self, key: &IndexKey) -> &[RowId] {
+        // Equality-probe path used by the executor and the PMV's bcp
+        // index; soft site because `&[RowId]` has no error channel.
+        pmv_faultinject::fire_soft(pmv_faultinject::Site::IndexProbe);
         match self {
             AnyIndex::BTree(b) => b.get(key),
             AnyIndex::Hash(h) => h.get(key),

@@ -13,13 +13,48 @@
 //! the `ΔR ⋈ (other relations)` join needed by PMV delete maintenance
 //! (Section 3.4) without touching the deleted tuple's own relation.
 
+use pmv_faultinject::Site;
 use pmv_index::{IndexKey, SecondaryIndex};
 use pmv_storage::{HeapRelation, RowId, Tuple, Value};
 
 use crate::condition::Condition;
 use crate::engine::Database;
 use crate::template::{AttrRef, QueryInstance, QueryTemplate};
-use crate::Result;
+use crate::{BudgetExceeded, QueryError, Result};
+
+/// Resource limits for one execution: a wall-clock deadline and/or a cap
+/// on tuples examined. The default ([`ExecBudget::UNLIMITED`]) imposes
+/// neither, so [`execute`] behaves exactly as before budgets existed.
+///
+/// Budgets make O3 *interruptible*: when the PMV already holds partial
+/// results for a query, a caller can bound how long it is willing to wait
+/// for the full answer and fall back to serving the (sound but
+/// incomplete) cached partials flagged as degraded.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ExecBudget {
+    /// Absolute wall-clock instant after which execution aborts.
+    pub deadline: Option<std::time::Instant>,
+    /// Maximum number of tuples the executor may examine.
+    pub max_tuples: Option<u64>,
+}
+
+impl ExecBudget {
+    /// No limits: run to completion.
+    pub const UNLIMITED: ExecBudget = ExecBudget {
+        deadline: None,
+        max_tuples: None,
+    };
+
+    /// Whether this budget imposes any limit at all.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.max_tuples.is_none()
+    }
+}
+
+/// How many tuples to examine between deadline checks; bounds both the
+/// `Instant::now` overhead on the hot path and the overshoot past the
+/// deadline.
+const DEADLINE_CHECK_STRIDE: usize = 16;
 
 /// Counters describing how a query was executed.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -87,6 +122,9 @@ struct ExecCtx<'a> {
     conds_by_rel: Vec<Vec<(usize, &'a Condition)>>,
     stats: ExecStats,
     out: Vec<Tuple>,
+    budget: ExecBudget,
+    /// First budget/fault error hit; set once, then every loop unwinds.
+    abort: Option<QueryError>,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -132,13 +170,54 @@ impl<'a> ExecCtx<'a> {
         self.out.push(Tuple::new(values));
         self.stats.results += 1;
     }
+
+    /// Account one examined tuple against the budget and the per-row
+    /// fault site. Returns `false` (with `self.abort` set) when execution
+    /// must stop; loops at every depth check `abort` and unwind.
+    fn tick(&mut self) -> bool {
+        self.stats.tuples_examined += 1;
+        if let Err(f) = pmv_faultinject::fire(Site::ExecRow) {
+            self.abort = Some(QueryError::Fault(f.site.as_str().to_string()));
+            return false;
+        }
+        if let Some(max) = self.budget.max_tuples {
+            if self.stats.tuples_examined as u64 > max {
+                self.abort = Some(QueryError::Budget(BudgetExceeded::Tuples));
+                return false;
+            }
+        }
+        if let Some(deadline) = self.budget.deadline {
+            if self
+                .stats
+                .tuples_examined
+                .is_multiple_of(DEADLINE_CHECK_STRIDE)
+                && std::time::Instant::now() >= deadline
+            {
+                self.abort = Some(QueryError::Budget(BudgetExceeded::Deadline));
+                return false;
+            }
+        }
+        true
+    }
 }
 
 /// Execute `q` with index nested loops, returning `Ls'`-layout result
 /// tuples and execution stats.
 pub fn execute(db: &Database, q: &QueryInstance) -> Result<(Vec<Tuple>, ExecStats)> {
+    execute_bounded(db, q, ExecBudget::UNLIMITED)
+}
+
+/// [`execute`] under a resource budget. Aborts with
+/// [`QueryError::Budget`] as soon as the deadline passes or the tuple cap
+/// is hit; any partially-built output is discarded (the PMV serving path
+/// falls back to its cached partials instead).
+pub fn execute_bounded(
+    db: &Database,
+    q: &QueryInstance,
+    budget: ExecBudget,
+) -> Result<(Vec<Tuple>, ExecStats)> {
     let t = q.template().as_ref();
-    execute_with_conditions(db, t, q.conds(), true)
+    execute_with_conditions(db, t, q.conds(), true, budget)
 }
 
 /// Core of [`execute`], also reused by [`join_from`] with selection
@@ -148,7 +227,11 @@ fn execute_with_conditions(
     t: &QueryTemplate,
     conds: &[Condition],
     check_conds: bool,
+    budget: ExecBudget,
 ) -> Result<(Vec<Tuple>, ExecStats)> {
+    if let Err(f) = pmv_faultinject::fire(Site::ExecStart) {
+        return Err(QueryError::Fault(f.site.as_str().to_string()));
+    }
     let n = t.relations().len();
     let mut conds_by_rel: Vec<Vec<(usize, &Condition)>> = vec![Vec::new(); n];
     for (i, c) in conds.iter().enumerate() {
@@ -174,6 +257,8 @@ fn execute_with_conditions(
         conds_by_rel,
         stats: ExecStats::default(),
         out: Vec::new(),
+        budget,
+        abort: None,
     };
 
     // Fetch driving-relation candidate rows.
@@ -181,10 +266,15 @@ fn execute_with_conditions(
 
     let mut bindings: Vec<Option<&Tuple>> = vec![None; n];
     for row in candidates {
+        if ctx.abort.is_some() {
+            break;
+        }
         let Some(tuple) = guards[drive].get(row) else {
             continue;
         };
-        ctx.stats.tuples_examined += 1;
+        if !ctx.tick() {
+            break;
+        }
         if !ctx.local_predicates_hold(drive, tuple, check_conds) {
             continue;
         }
@@ -193,6 +283,9 @@ fn execute_with_conditions(
         bindings[drive] = None;
     }
 
+    if let Some(err) = ctx.abort.take() {
+        return Err(err);
+    }
     let stats = ctx.stats;
     Ok((ctx.out, stats))
 }
@@ -384,10 +477,15 @@ fn bind_remaining<'g>(
     };
 
     for row in rows {
+        if ctx.abort.is_some() {
+            return;
+        }
         let Some(tuple) = guards[step.new_rel].get(row) else {
             continue;
         };
-        ctx.stats.tuples_examined += 1;
+        if !ctx.tick() {
+            return;
+        }
         if tuple.get(step.new_attr.column) != &probe_value {
             continue; // only possible via stale fallback logic; keep safe
         }
@@ -463,7 +561,7 @@ pub fn explain(db: &Database, q: &QueryInstance) -> String {
 /// `Cjoin` alone (no selection conditions), in `Ls'` layout. This is what
 /// a traditional MV for the template stores (the paper's Figure 2).
 pub fn full_join(db: &Database, t: &QueryTemplate) -> Result<(Vec<Tuple>, ExecStats)> {
-    execute_with_conditions(db, t, &[], false)
+    execute_with_conditions(db, t, &[], false, ExecBudget::UNLIMITED)
 }
 
 /// Naive nested-loop oracle: cross product with predicate evaluation.
@@ -538,6 +636,9 @@ pub fn join_from(
     tuple: &Tuple,
 ) -> Result<Vec<Tuple>> {
     let n = t.relations().len();
+    if let Err(f) = pmv_faultinject::fire(Site::MaintJoin) {
+        return Err(QueryError::Fault(f.site.as_str().to_string()));
+    }
     // Fixed predicates on the delta tuple's own relation must hold, or the
     // tuple can never appear in a view row.
     for fp in t.fixed_preds() {
@@ -558,10 +659,15 @@ pub fn join_from(
         conds_by_rel: vec![Vec::new(); n],
         stats: ExecStats::default(),
         out: Vec::new(),
+        budget: ExecBudget::UNLIMITED,
+        abort: None,
     };
     let mut bindings: Vec<Option<&Tuple>> = vec![None; n];
     bindings[rel_idx] = Some(tuple);
     bind_remaining(&mut ctx, &guards, &steps, 0, &mut bindings, false);
+    if let Some(err) = ctx.abort.take() {
+        return Err(err);
+    }
     Ok(ctx.out)
 }
 

@@ -33,7 +33,7 @@ pub mod txn;
 
 pub use condition::{Condition, Interval};
 pub use engine::Database;
-pub use exec::{execute, execute_scan, explain, ExecStats};
+pub use exec::{execute, execute_bounded, execute_scan, explain, ExecBudget, ExecStats};
 pub use lock::{LockManager, LockMode};
 pub use parser::parse_template;
 pub use table_stats::{ColumnStats, Histogram, RelationStats, TableStats};
@@ -42,6 +42,24 @@ pub use template::{
 };
 pub use txn::Transaction;
 
+/// Which limit of an [`ExecBudget`] was exceeded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BudgetExceeded {
+    /// The wall-clock deadline passed mid-execution.
+    Deadline,
+    /// The tuple-examination cap was reached.
+    Tuples,
+}
+
+impl std::fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetExceeded::Deadline => write!(f, "deadline exceeded"),
+            BudgetExceeded::Tuples => write!(f, "tuple budget exceeded"),
+        }
+    }
+}
+
 /// Crate-wide error type.
 #[derive(Debug)]
 pub enum QueryError {
@@ -49,6 +67,25 @@ pub enum QueryError {
     Storage(pmv_storage::StorageError),
     /// Template construction or binding problem.
     Template(String),
+    /// Execution ran out of its [`ExecBudget`] (deadline or row cap).
+    /// The caller may still hold sound partial results from the cache.
+    Budget(BudgetExceeded),
+    /// An injected fault fired mid-execution (see `pmv-faultinject`).
+    /// Transient by construction: a retry draws a fresh decision.
+    Fault(String),
+}
+
+impl QueryError {
+    /// Whether a retry of the same operation could plausibly succeed.
+    /// Injected faults are transient; budget and template errors are not.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, QueryError::Fault(_))
+    }
+
+    /// Whether this is a budget (deadline / row-cap) exhaustion.
+    pub fn is_budget(&self) -> bool {
+        matches!(self, QueryError::Budget(_))
+    }
 }
 
 impl std::fmt::Display for QueryError {
@@ -56,6 +93,8 @@ impl std::fmt::Display for QueryError {
         match self {
             QueryError::Storage(e) => write!(f, "storage error: {e}"),
             QueryError::Template(msg) => write!(f, "template error: {msg}"),
+            QueryError::Budget(b) => write!(f, "execution budget: {b}"),
+            QueryError::Fault(site) => write!(f, "injected fault at {site}"),
         }
     }
 }

@@ -129,7 +129,12 @@ impl HeapRelation {
     }
 
     /// Tuple at `id`, if live.
+    ///
+    /// This is the executor's row-fetch path, so it carries a soft fault
+    /// site (latency / panic injection only — the `Option` return has no
+    /// error channel).
     pub fn get(&self, id: RowId) -> Option<&Tuple> {
+        pmv_faultinject::fire_soft(pmv_faultinject::Site::StorageRead);
         self.slots.get(id.index()).and_then(Option::as_ref)
     }
 
