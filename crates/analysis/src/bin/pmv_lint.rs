@@ -1,0 +1,145 @@
+//! `pmv-lint` — run the repo-specific concurrency lint rules over a
+//! source tree.
+//!
+//! ```text
+//! pmv-lint [--json] [--deny-warnings] [paths…]
+//! ```
+//!
+//! With no paths, lints `crates/` under the current directory. Exit
+//! status is 0 when clean, 1 when any finding fails the run (errors
+//! always; warnings only under `--deny-warnings`, which is how CI
+//! invokes it), 2 on usage or I/O errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pmv_analysis::lint::{lint_tree, Level, LintReport};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--help" | "-h" => {
+                println!("usage: pmv-lint [--json] [--deny-warnings] [paths...]");
+                println!("lints .rs files for PMV locking-contract violations");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("pmv-lint: unknown flag `{other}`");
+                return ExitCode::from(2);
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    if paths.is_empty() {
+        paths.push(PathBuf::from("crates"));
+    }
+
+    let mut report = LintReport::default();
+    for path in &paths {
+        match lint_tree(path) {
+            Ok(r) => {
+                report.findings.extend(r.findings);
+                report.allows_used.extend(r.allows_used);
+                report.files_scanned += r.files_scanned;
+            }
+            Err(e) => {
+                eprintln!("pmv-lint: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    if json {
+        print_json(&report);
+    } else {
+        print_human(&report, deny_warnings);
+    }
+
+    if report.failed(deny_warnings) {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn print_human(report: &LintReport, deny_warnings: bool) {
+    for f in &report.findings {
+        println!("{f}");
+    }
+    for a in &report.allows_used {
+        println!(
+            "note: pmv::allow({}) in effect at {}:{}",
+            a.rule,
+            a.file.display(),
+            a.line
+        );
+    }
+    let errors = report
+        .findings
+        .iter()
+        .filter(|f| f.level == Level::Error || deny_warnings)
+        .count();
+    let warnings = report.findings.len() - errors;
+    println!(
+        "pmv-lint: {} file(s) scanned, {} error(s), {} warning(s), {} allow entrie(s)",
+        report.files_scanned,
+        errors,
+        warnings,
+        report.allows_used.len()
+    );
+}
+
+fn print_json(report: &LintReport) {
+    // Hand-rolled JSON: the workspace serde_json shim has no serializer.
+    let mut out = String::from("{\"findings\":[");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":{},\"level\":{},\"file\":{},\"line\":{},\"message\":{}}}",
+            json_str(f.rule),
+            json_str(&f.level.to_string()),
+            json_str(&f.file.display().to_string()),
+            f.line,
+            json_str(&f.message)
+        ));
+    }
+    out.push_str("],\"allows_used\":[");
+    for (i, a) in report.allows_used.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":{},\"file\":{},\"line\":{}}}",
+            json_str(&a.rule),
+            json_str(&a.file.display().to_string()),
+            a.line
+        ));
+    }
+    out.push_str(&format!("],\"files_scanned\":{}}}", report.files_scanned));
+    println!("{out}");
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -1,0 +1,34 @@
+//! # pmv-analysis — static analysis for the PMV system
+//!
+//! This crate is the analysis umbrella described in DESIGN.md §12. It
+//! has two halves:
+//!
+//! 1. **Template verifier** (`verify` — re-exported from
+//!    [`pmv_core::verify`]). Registration-time checks that a
+//!    [`pmv_core::ViewDef`]'s template, discretizers and maintenance
+//!    filter satisfy the paper's soundness preconditions *without
+//!    executing anything*, producing typed diagnostics PMV001–PMV006.
+//!    The verifier lives in `pmv-core` so `PmvManager::register` can
+//!    call it without a dependency cycle; this crate re-exports it as
+//!    the analysis entry point and houses the corpus and property
+//!    tests that pin its behaviour.
+//!
+//! 2. **Source lint pass** ([`lint`], driven by the `pmv-lint` binary).
+//!    Repo-specific concurrency rules over `crates/**` source text:
+//!    no shard write guard held across executor calls, no lock
+//!    acquisition inside `catch_unwind` closures, DB-before-shard lock
+//!    order, and no `Relaxed` atomics outside designated statistics
+//!    modules.
+//!
+//! Run the lint pass with:
+//!
+//! ```text
+//! cargo run -p pmv-analysis --bin pmv-lint -- [--json] [--deny-warnings] [paths…]
+//! ```
+
+pub mod lint;
+
+pub use pmv_core::verify::{
+    estimate_tuple_bytes, verify_def, verify_parts, DiagCode, Diagnostic, FilterSpec, Severity,
+    VerifyOptions, VerifyPolicy, VerifyReport,
+};

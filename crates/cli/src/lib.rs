@@ -22,7 +22,9 @@ use std::fmt::Write as _;
 use std::sync::Arc;
 
 use pmv_cache::PolicyKind;
-use pmv_core::{AdvisorConfig, PartialViewDef, Pmv, PmvAdvisor, PmvConfig, PmvPipeline};
+use pmv_core::{
+    AdvisorConfig, PartialViewDef, Pmv, PmvAdvisor, PmvConfig, PmvPipeline, VerifyOptions,
+};
 use pmv_query::{
     parse_template, CondForm, Condition, Database, Interval, QueryInstance, QueryTemplate,
 };
@@ -160,6 +162,7 @@ impl Session {
             "tables" => self.cmd_tables(),
             "template" => self.cmd_template(rest),
             "pmv" => self.cmd_pmv(rest),
+            "analyze" => self.cmd_analyze(rest),
             "query" => self.cmd_query(rest, Mode::Pmv),
             "plain" => self.cmd_query(rest, Mode::Plain),
             "explain" => self.cmd_query(rest, Mode::Explain),
@@ -283,6 +286,59 @@ impl Session {
         );
         self.pmvs.insert(name.to_string(), Pmv::new(def, config));
         Ok(summary)
+    }
+
+    /// Run the static verifier over a template with the same default
+    /// discretizer choice `pmv` would make, without registering
+    /// anything. `json` switches to the machine-readable rendering.
+    fn cmd_analyze(&mut self, rest: &str) -> Result<String, CliError> {
+        let mut parts = rest.split_whitespace();
+        let name = parts
+            .next()
+            .ok_or_else(|| usage("usage: analyze <template> [f=N] [l=N] [budget=BYTES] [json]"))?;
+        let template = self
+            .templates
+            .get(name)
+            .ok_or_else(|| usage(format!("unknown template '{name}'")))?
+            .clone();
+        let mut config = PmvConfig::default();
+        let mut opts = VerifyOptions::default();
+        let mut json = false;
+        for opt in parts {
+            if opt == "json" {
+                json = true;
+                continue;
+            }
+            let (k, v) = opt
+                .split_once('=')
+                .ok_or_else(|| usage(format!("bad option '{opt}'")))?;
+            match k {
+                "f" => config.f = v.parse().map_err(|_| usage("bad f"))?,
+                "l" => config.l = v.parse().map_err(|_| usage("bad l"))?,
+                "budget" => opts.byte_budget = Some(v.parse().map_err(|_| usage("bad budget"))?),
+                other => return Err(usage(format!("unknown option '{other}'"))),
+            }
+        }
+        let discretizers: Vec<_> = template
+            .cond_templates()
+            .iter()
+            .map(|ct| match ct.form {
+                CondForm::Equality => None,
+                CondForm::Interval => Some(pmv_core::Discretizer::int_grid(0, 100, 64)),
+            })
+            .collect();
+        let report = pmv_core::verify_parts(&template, &discretizers, &config, &opts);
+        if json {
+            return Ok(report.to_json());
+        }
+        let verdict = if report.denied() {
+            "DENIED (registration would be rejected)"
+        } else if report.diagnostics.is_empty() {
+            "clean"
+        } else {
+            "accepted with warnings"
+        };
+        Ok(format!("analyze '{name}': {verdict}\n{report}"))
     }
 
     fn bind(&self, template: &Arc<QueryTemplate>, args: &str) -> Result<QueryInstance, CliError> {
@@ -537,6 +593,7 @@ commands:
   tables                            list relations
   template <name> <SQL>             define a template (slots: col = ? | col BETWEEN ?)
   pmv <template> [f=N] [l=N] [policy=clock|2q|2qfull|lru|lru2]
+  analyze <template> [f=N] [l=N] [budget=BYTES] [json]   static verifier (PMV001-PMV006)
   query <template> [v,..] [lo..hi,..]   run through the PMV
   plain <template> <bindings>       run without the PMV
   explain <template> <bindings>     show the plan
@@ -587,6 +644,24 @@ mod tests {
         let out = s.execute("explain t1 [100] [1]").unwrap();
         assert!(out.contains("drive: orders"), "{out}");
         assert!(out.contains("join: lineitem"), "{out}");
+    }
+
+    #[test]
+    fn analyze_reports_verdicts() {
+        let mut s = loaded_session();
+        // All-equality template with default config: clean.
+        let out = s.execute("analyze t1").unwrap();
+        assert!(out.contains("clean"), "{out}");
+        // A one-byte budget cannot hold L·F·At: PMV004 denial.
+        let out = s.execute("analyze t1 budget=1").unwrap();
+        assert!(out.contains("DENIED"), "{out}");
+        assert!(out.contains("PMV004"), "{out}");
+        // JSON mode is machine-readable and carries the same code.
+        let out = s.execute("analyze t1 budget=1 json").unwrap();
+        assert!(out.starts_with("{\"denied\":true"), "{out}");
+        assert!(out.contains("\"code\":\"PMV004\""), "{out}");
+        // Unknown template is a usage error.
+        assert!(matches!(s.execute("analyze nope"), Err(CliError::Usage(_))));
     }
 
     #[test]

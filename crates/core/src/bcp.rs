@@ -114,6 +114,24 @@ impl Discretizer {
         Discretizer { dividers }
     }
 
+    /// Build from dividing values **verbatim**, trusting the caller —
+    /// for dividers loaded from persisted metadata or supplied by a DBA
+    /// tool. Unlike [`Discretizer::new`] this performs no
+    /// normalization, so the result may violate the strictly-increasing
+    /// (normalized) form; the static verifier exists to catch exactly
+    /// that (`PMV002 OverlappingBasicIntervals`, `PMV003
+    /// GridGapOnDimension`) before such a grid reaches a registration.
+    pub fn from_raw(dividers: Vec<Value>) -> Self {
+        Discretizer { dividers }
+    }
+
+    /// Whether the dividers are in normalized form: strictly increasing,
+    /// so the basic intervals are pairwise disjoint, non-empty, and
+    /// fully cover the dimension under the half-open convention.
+    pub fn is_normalized(&self) -> bool {
+        self.dividers.windows(2).all(|w| w[0] < w[1])
+    }
+
     /// Evenly spaced integer dividers: `lo, lo+step, …` (`count` of them).
     /// Convenience for benchmarks and form-based UIs with regular ranges.
     pub fn int_grid(lo: i64, step: i64, count: usize) -> Self {
@@ -170,7 +188,13 @@ impl Discretizer {
                 Bound::Included(v) => Some(successor(v)),
                 Bound::Unbounded => None,
             };
-            for v in [lo, hi].into_iter().flatten() {
+            // Normalize per interval: under the half-open convention the
+            // two endpoints of a degenerate interval (e.g. the empty
+            // `(10, 11)` over integers) map to the *same* divider; count
+            // it once, not twice, or a single degenerate trace entry
+            // outweighs two distinct hot endpoints.
+            let same = matches!((&lo, &hi), (Some(a), Some(b)) if a == b);
+            for v in [lo, if same { None } else { hi }].into_iter().flatten() {
                 *freq.entry(v).or_insert(0) += 1;
             }
         }
@@ -406,6 +430,34 @@ mod tests {
         // endpoint rather than inventing one.
         let d = Discretizer::learn_from_trace(&[Interval::above("m", false)], 10);
         assert_eq!(d.dividers(), &[Value::str("m")]);
+    }
+
+    #[test]
+    fn learn_from_trace_normalizes_degenerate_intervals() {
+        // (10, 11) over integers is empty: both endpoints normalize to
+        // the same divider 11 under the half-open convention, and must
+        // count as ONE candidate. Before normalization, this single
+        // degenerate interval gave 11 frequency 2, beating both
+        // genuinely observed endpoints 5 and 6 for the divider budget.
+        let trace = vec![
+            Interval::open(10i64, 11i64),
+            Interval::half_open(5i64, 6i64),
+        ];
+        let d = Discretizer::learn_from_trace(&trace, 2);
+        assert_eq!(d.dividers(), &[v(5), v(6)]);
+        assert!(d.is_normalized());
+    }
+
+    #[test]
+    fn raw_dividers_bypass_normalization() {
+        // `from_raw` trusts the caller verbatim (persisted metadata);
+        // the static verifier's PMV002 check asserts the normalized
+        // form that `new` establishes.
+        let raw = Discretizer::from_raw(vec![v(20), v(10), v(10)]);
+        assert!(!raw.is_normalized());
+        let normalized = Discretizer::new(vec![v(20), v(10), v(10)]);
+        assert!(normalized.is_normalized());
+        assert_eq!(normalized.dividers(), &[v(10), v(20)]);
     }
 
     #[test]

@@ -77,7 +77,9 @@ use crate::health::{
 };
 use crate::maintenance::{relevant_columns, MaintenanceOutcome};
 use crate::o1::{decompose, ConditionPart};
-use crate::pipeline::{degrade_reason, probe_parts, revalidate_store, QueryOutcome, QueryTimings};
+use crate::pipeline::{
+    bcp_truths, degrade_reason, probe_parts, remove_stale, QueryOutcome, QueryTimings,
+};
 use crate::stats::{AtomicPmvStats, PmvStats};
 use crate::store::{PmvStore, Residency};
 use crate::view::{PartialViewDef, PmvConfig};
@@ -101,13 +103,18 @@ impl Inner {
     /// Upper bound on how stale served partials can be: time since the
     /// last completed maintenance/revalidation.
     fn staleness(&self) -> Duration {
-        let verified = Duration::from_millis(self.last_verified_ms.load(Ordering::Relaxed));
+        // Acquire pairs with the Release in `mark_verified`: a reader
+        // that observed post-maintenance shard state also observes the
+        // timestamp, keeping the reported bound tight. (This is the only
+        // non-stats atomic here; `pmv-lint` bans `Relaxed` outside
+        // designated statistics modules.)
+        let verified = Duration::from_millis(self.last_verified_ms.load(Ordering::Acquire));
         self.created.elapsed().saturating_sub(verified)
     }
 
     fn mark_verified(&self) {
         self.last_verified_ms
-            .store(self.created.elapsed().as_millis() as u64, Ordering::Relaxed);
+            .store(self.created.elapsed().as_millis() as u64, Ordering::Release);
     }
 }
 
@@ -645,10 +652,32 @@ impl SharedPmv {
         let inner = &*self.inner;
         let mut removed = 0;
         for shard in &inner.shards {
+            // Phase 1: snapshot the resident bcps under a brief read
+            // guard, then re-derive each bcp's truth with NO shard lock
+            // held. Holding the write guard across the executor (as this
+            // loop originally did) blocked the shard for the whole sweep
+            // and violated the repo lock rule the `pmv-lint`
+            // `write_guard_across_exec` pass enforces.
+            let bcps: Vec<BcpKey> = {
+                let store = shard.read();
+                store.iter().map(|(k, _)| k.clone()).collect()
+            };
+            let truths = bcp_truths(db, &inner.def, &bcps)?;
+            // Phase 2: apply the diff under the write guard. Tuples
+            // filled concurrently between the phases came from O3
+            // executions against the same database state (the caller
+            // holds the DB guard for the sweep), so the truth multisets
+            // are still current; removal-only keeps this sound either
+            // way.
             let mut store = shard.write();
-            removed += revalidate_store(db, &inner.def, &mut store)?;
+            for (bcp, mut budget) in truths {
+                removed += remove_stale(&mut store, &bcp, &mut budget);
+            }
             store.lift_quarantine();
         }
+        // The sweep closes the failure episode: clear transient
+        // panic/quarantine tallies with the breaker, then record it.
+        inner.stats.reset_transient();
         let local = PmvStats {
             revalidations: 1,
             ..Default::default()

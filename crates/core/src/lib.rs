@@ -30,6 +30,8 @@
 //! * [`stats`] — cumulative counters, hit probability
 //! * [`health`] — circuit breaker, degradation semantics, validation
 //!   reports (failure model; see DESIGN.md §11)
+//! * [`verify`] — registration-time static verifier, diagnostics
+//!   `PMV001..PMV006` (see DESIGN.md §12)
 
 pub mod advisor;
 pub mod bcp;
@@ -45,6 +47,7 @@ pub mod o1;
 pub mod pipeline;
 pub mod stats;
 pub mod store;
+pub mod verify;
 pub mod view;
 
 pub use advisor::{AdvisorConfig, PmvAdvisor, Recommendation};
@@ -63,6 +66,10 @@ pub use o1::{decompose, ConditionPart, PartDim};
 pub use pipeline::{Pmv, PmvPipeline, QueryOutcome, QueryTimings};
 pub use stats::{AtomicPmvStats, PmvStats};
 pub use store::{PmvStore, Residency};
+pub use verify::{
+    verify_def, verify_parts, DiagCode, Diagnostic, FilterSpec, Severity, VerifyOptions,
+    VerifyPolicy, VerifyReport,
+};
 pub use view::{PartialViewDef, PmvConfig};
 
 /// Errors from the PMV layer.
@@ -72,6 +79,8 @@ pub enum CoreError {
     Definition(String),
     /// Underlying query/storage failure.
     Query(pmv_query::QueryError),
+    /// Registration rejected by the static verifier (deny diagnostics).
+    Analysis(verify::VerifyReport),
 }
 
 impl std::fmt::Display for CoreError {
@@ -79,6 +88,9 @@ impl std::fmt::Display for CoreError {
         match self {
             CoreError::Definition(msg) => write!(f, "pmv definition error: {msg}"),
             CoreError::Query(e) => write!(f, "query error: {e}"),
+            CoreError::Analysis(report) => {
+                write!(f, "registration denied by static analysis:\n{report}")
+            }
         }
     }
 }

@@ -129,6 +129,14 @@ impl MaintFilter {
         self.counts[rel].contains_key(&key)
     }
 
+    /// The `(Ls' positions, base columns)` projection spec for one
+    /// relation — what the filter actually keys on. The static verifier
+    /// audits this against the template (`PMV005 UnsoundMaintFilter`).
+    pub fn rel_spec(&self, rel: usize) -> (&[usize], &[usize]) {
+        let spec = &self.specs[rel];
+        (&spec.view_positions, &spec.base_columns)
+    }
+
     /// Number of ΔR joins the filter has skipped.
     pub fn joins_avoided(&self) -> u64 {
         self.joins_avoided

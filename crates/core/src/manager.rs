@@ -17,6 +17,7 @@ use pmv_storage::DeltaBatch;
 use crate::health::ViewHealth;
 use crate::maintenance::MaintenanceOutcome;
 use crate::pipeline::{Pmv, PmvPipeline, QueryOutcome};
+use crate::verify::{self, VerifyOptions};
 use crate::view::{PartialViewDef, PmvConfig};
 use crate::{CoreError, Result};
 
@@ -62,6 +63,9 @@ pub struct PmvManager {
     by_template: HashMap<usize, usize>,
     /// Optional global budget over Σ store byte sizes.
     byte_budget: Option<usize>,
+    /// Registration-time static-analysis options (deny-by-default; see
+    /// [`crate::verify`]).
+    analysis: VerifyOptions,
 }
 
 impl Default for PmvManager {
@@ -78,7 +82,17 @@ impl PmvManager {
             views: Vec::new(),
             by_template: HashMap::new(),
             byte_budget: None,
+            analysis: VerifyOptions::default(),
         }
+    }
+
+    /// Override the registration-time analysis options — e.g. downgrade
+    /// a diagnostic code via [`crate::verify::VerifyPolicy`], or set a
+    /// hard `PMV004` byte budget (distinct from [`Self::with_byte_budget`],
+    /// the *soft* runtime budget enforced by shedding).
+    pub fn with_analysis(mut self, opts: VerifyOptions) -> Self {
+        self.analysis = opts;
+        self
     }
 
     /// Impose a global byte budget across all PMVs. [`Self::over_budget`]
@@ -99,7 +113,18 @@ impl PmvManager {
     }
 
     /// Register a PMV for a template. One PMV per template.
-    pub fn create_view(&mut self, def: PartialViewDef, config: PmvConfig) -> Result<()> {
+    ///
+    /// The definition first passes through the static verifier
+    /// ([`crate::verify::verify_def`]); any `PMV001..PMV006` diagnostic
+    /// at deny severity rejects the registration with
+    /// [`CoreError::Analysis`] before a store is ever allocated.
+    /// Deny-by-default — downgrade individual codes through
+    /// [`Self::with_analysis`].
+    pub fn register(&mut self, def: PartialViewDef, config: PmvConfig) -> Result<()> {
+        let report = verify::verify_def(&def, &config, &self.analysis);
+        if report.denied() {
+            return Err(CoreError::Analysis(report));
+        }
         let key = Self::template_key(def.template());
         if self.by_template.contains_key(&key) {
             return Err(CoreError::Definition(format!(
@@ -110,6 +135,11 @@ impl PmvManager {
         self.by_template.insert(key, self.views.len());
         self.views.push(Pmv::new(def, config));
         Ok(())
+    }
+
+    /// Alias for [`Self::register`], kept for earlier callers.
+    pub fn create_view(&mut self, def: PartialViewDef, config: PmvConfig) -> Result<()> {
+        self.register(def, config)
     }
 
     /// Number of registered PMVs.
@@ -440,6 +470,80 @@ mod tests {
         assert!(removed >= 1, "stale tuples must be removed, got {removed}");
         let out = m.run(&db, &qa).unwrap();
         assert_eq!(out.ds_leftover, 0);
+    }
+
+    #[test]
+    fn register_runs_static_verifier_deny_by_default() {
+        use crate::bcp::Discretizer;
+        use crate::verify::{DiagCode, Severity, VerifyPolicy};
+        let mut db = Database::new();
+        db.create_relation(Schema::new(
+            "r",
+            vec![
+                Column::new("a", ColumnType::Int),
+                Column::new("f", ColumnType::Int),
+            ],
+        ))
+        .unwrap();
+        let t = TemplateBuilder::new("iv")
+            .relation(db.schema("r").unwrap())
+            .select("r", "a")
+            .unwrap()
+            .cond_interval("r", "f")
+            .unwrap()
+            .build()
+            .unwrap();
+        // Raw, unnormalized dividers: PMV002 must deny the registration.
+        let bad = Discretizer::from_raw(vec![Value::Int(20), Value::Int(10)]);
+        let def = PartialViewDef::new("bad_grid", t.clone(), vec![Some(bad.clone())]).unwrap();
+        let mut m = PmvManager::new();
+        let err = m.register(def, PmvConfig::default()).unwrap_err();
+        match err {
+            CoreError::Analysis(report) => {
+                assert!(report.has(DiagCode::OverlappingBasicIntervals), "{report}")
+            }
+            other => panic!("expected analysis denial, got {other}"),
+        }
+        assert_eq!(m.view_count(), 0, "no store allocated for a denied view");
+        // Downgrading the code via config admits the same definition.
+        let mut m = PmvManager::new().with_analysis(VerifyOptions {
+            policy: VerifyPolicy::deny_by_default()
+                .with_override(DiagCode::OverlappingBasicIntervals, Severity::Warn),
+            ..Default::default()
+        });
+        let def = PartialViewDef::new("bad_grid", t, vec![Some(bad)]).unwrap();
+        m.register(def, PmvConfig::default()).unwrap();
+        assert_eq!(m.view_count(), 1);
+    }
+
+    #[test]
+    fn revalidate_all_resets_transient_counters() {
+        let (db, ta, tb) = setup();
+        let mut m = PmvManager::new();
+        // A zero row budget degrades every query: transient counters rise.
+        m.register(
+            PartialViewDef::all_equality("tight", ta.clone()).unwrap(),
+            PmvConfig::new(2, 16, PolicyKind::Clock).with_row_budget(0),
+        )
+        .unwrap();
+        m.register(
+            PartialViewDef::all_equality("other", tb.clone()).unwrap(),
+            PmvConfig::new(2, 16, PolicyKind::Clock),
+        )
+        .unwrap();
+        let qa = ta
+            .bind(vec![Condition::Equality(vec![Value::Int(3)])])
+            .unwrap();
+        m.run(&db, &qa).unwrap();
+        let before = *m.view_for(&ta).unwrap().stats();
+        assert!(before.budget_exceeded > 0, "row budget must have tripped");
+        assert!(before.degraded_queries > 0);
+        m.revalidate_all(&db).unwrap();
+        let after = m.view_for(&ta).unwrap().stats();
+        assert_eq!(after.budget_exceeded, 0, "transient counters reset");
+        assert_eq!(after.degraded_queries, 0);
+        assert_eq!(after.queries, before.queries, "workload history kept");
+        assert_eq!(after.revalidations, 1);
     }
 
     #[test]

@@ -114,6 +114,11 @@ impl Pmv {
         let removed = revalidate_store(db, &self.def, &mut self.store)?;
         self.store.lift_quarantine();
         self.breaker.reset();
+        // The sweep closes the failure episode: clear the transient
+        // panic/degradation/quarantine tallies along with the breaker so
+        // health reports reflect the verified state, then record the
+        // sweep itself.
+        self.stats.reset_transient();
         self.stats.revalidations += 1;
         self.last_verified = Instant::now();
         Ok(removed)
@@ -129,26 +134,57 @@ pub(crate) fn revalidate_store(
     store: &mut PmvStore,
 ) -> Result<usize> {
     let bcps: Vec<BcpKey> = store.iter().map(|(k, _)| k.clone()).collect();
+    let truths = bcp_truths(db, def, &bcps)?;
     let mut removed = 0;
+    for (bcp, mut budget) in truths {
+        removed += remove_stale(store, &bcp, &mut budget);
+    }
+    Ok(removed)
+}
+
+/// Revalidation phase 1: for each cached bcp, re-derive the multiset of
+/// tuples its query produces from current base truth. Pure executor
+/// reads — no store access — so the sharded embedding runs this with no
+/// shard lock held (repo lock rule: never hold a shard guard across a
+/// call into `query::exec`).
+pub(crate) fn bcp_truths(
+    db: &Database,
+    def: &PartialViewDef,
+    bcps: &[BcpKey],
+) -> Result<Vec<(BcpKey, HashMap<Tuple, usize>)>> {
+    let mut out = Vec::with_capacity(bcps.len());
     for bcp in bcps {
-        let q = def.bcp_query(&bcp)?;
+        let q = def.bcp_query(bcp)?;
         let (truth, _) = execute(db, &q)?;
-        let mut budget: HashMap<&Tuple, usize> = HashMap::new();
-        for t in &truth {
+        let mut budget: HashMap<Tuple, usize> = HashMap::new();
+        for t in truth {
             *budget.entry(t).or_insert(0) += 1;
         }
-        let cached: Vec<Tuple> = store.lookup(&bcp).map(|s| s.to_vec()).unwrap_or_default();
-        for t in cached {
-            match budget.get_mut(&t) {
-                Some(n) if *n > 0 => *n -= 1,
-                _ => {
-                    store.remove_tuple(&bcp, &t);
-                    removed += 1;
-                }
+        out.push((bcp.clone(), budget));
+    }
+    Ok(out)
+}
+
+/// Revalidation phase 2: drop the cached tuples of `bcp` that exceed the
+/// truth multiset. Runs under the store's exclusive guard; removal-only,
+/// hence always sound.
+pub(crate) fn remove_stale(
+    store: &mut PmvStore,
+    bcp: &BcpKey,
+    budget: &mut HashMap<Tuple, usize>,
+) -> usize {
+    let cached: Vec<Tuple> = store.lookup(bcp).map(|s| s.to_vec()).unwrap_or_default();
+    let mut removed = 0;
+    for t in cached {
+        match budget.get_mut(&t) {
+            Some(n) if *n > 0 => *n -= 1,
+            _ => {
+                store.remove_tuple(bcp, &t);
+                removed += 1;
             }
         }
     }
-    Ok(removed)
+    removed
 }
 
 /// Wall-clock breakdown of one pipeline run.

@@ -7,13 +7,20 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Invoke `$cb!` with the full `(name: doc)` counter list. Every struct
+/// Invoke `$cb!` with the full `[class] name` counter list. Every struct
 /// and impl below derives from this single declaration.
+///
+/// The class tags feed [`PmvStats::reset_transient`]:
+/// * `[keep]` — cumulative workload history (queries, hits, admissions,
+///   maintenance work); survives revalidation.
+/// * `[transient]` — failure-episode counters (panics, degradations,
+///   quarantines, retries); a completed revalidation sweep re-derives
+///   the view from base truth and closes the episode, so these reset.
 macro_rules! for_each_stat_field {
     ($cb:ident) => {
         $cb! {
             /// Queries run through the pipeline.
-            queries,
+            [keep] queries,
             /// Queries for which the PMV provided at least one partial
             /// result — the numerator of the paper's *hit probability*
             /// ("if any of the h basic condition parts in the Cselect of
@@ -21,52 +28,67 @@ macro_rules! for_each_stat_field {
             /// counts presence of the bcp; a bcp present but with zero
             /// matching tuples still counts as a hit there. We count
             /// both, see `bcp_hit_queries`.
-            serving_queries,
+            [keep] serving_queries,
             /// Queries for which at least one probed bcp was resident.
-            bcp_hit_queries,
+            [keep] bcp_hit_queries,
             /// Partial result tuples served from the PMV (Operation O2).
-            partial_tuples_served,
+            [keep] partial_tuples_served,
             /// Result tuples stored into the PMV (Operation O3
             /// fill/update).
-            tuples_admitted,
+            [keep] tuples_admitted,
             /// bcp admissions that landed in a probation queue.
-            probations,
+            [keep] probations,
             /// Condition parts generated across all queries (Σ h).
-            condition_parts,
+            [keep] condition_parts,
             /// Inserts into base relations that required no PMV work.
-            maint_inserts_ignored,
+            [keep] maint_inserts_ignored,
             /// Deletes processed via the ΔR join.
-            maint_deletes_joined,
+            [keep] maint_deletes_joined,
             /// Updates skipped because no relevant attribute changed.
-            maint_updates_ignored,
+            [keep] maint_updates_ignored,
             /// Updates processed like deletes.
-            maint_updates_joined,
+            [keep] maint_updates_joined,
             /// View tuples evicted by maintenance.
-            maint_tuples_removed,
+            [keep] maint_tuples_removed,
             /// Queries that returned a `Degraded` outcome (partials only).
-            degraded_queries,
+            [transient] degraded_queries,
             /// O3 executions that panicked and were caught.
-            exec_panics,
+            [transient] exec_panics,
             /// O3 executions that failed with a transient error.
-            exec_errors,
+            [transient] exec_errors,
             /// O3 executions cut short by a deadline or row budget.
-            budget_exceeded,
+            [transient] budget_exceeded,
             /// Shards drained into quarantine (panic mid-mutation or
             /// maintenance fallback).
-            quarantine_events,
+            [transient] quarantine_events,
             /// Maintenance join retries after transient failures.
-            maint_retries,
+            [transient] maint_retries,
             /// Maintenance fallbacks: retries exhausted, affected shards
             /// invalidated instead of repaired.
-            maint_fallbacks,
+            [transient] maint_fallbacks,
             /// Revalidation sweeps completed (each lifts quarantine).
-            revalidations,
+            [keep] revalidations,
         }
     };
 }
 
+/// Expand to a reset for `[transient]` fields, nothing for `[keep]`.
+macro_rules! reset_transient_plain {
+    ($s:ident, keep, $field:ident) => {};
+    ($s:ident, transient, $field:ident) => {
+        $s.$field = 0;
+    };
+}
+
+macro_rules! reset_transient_atomic {
+    ($s:ident, keep, $field:ident) => {};
+    ($s:ident, transient, $field:ident) => {
+        $s.$field.store(0, Ordering::Relaxed);
+    };
+}
+
 macro_rules! define_plain_stats {
-    ($($(#[$doc:meta])* $field:ident),+ $(,)?) => {
+    ($($(#[$doc:meta])* [$class:ident] $field:ident),+ $(,)?) => {
         /// Counters accumulated across a PMV's lifetime.
         #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
         pub struct PmvStats {
@@ -77,6 +99,14 @@ macro_rules! define_plain_stats {
             /// Fold another stats block into this one.
             pub fn merge(&mut self, other: &PmvStats) {
                 $(self.$field += other.$field;)+
+            }
+
+            /// Zero the failure-episode (`[transient]`) counters. Called
+            /// by `revalidate` paths: the sweep re-derives the view from
+            /// base truth, so panic/degradation/quarantine tallies from
+            /// the closed episode must not keep tripping health reports.
+            pub fn reset_transient(&mut self) {
+                $(reset_transient_plain!(self, $class, $field);)+
             }
         }
     };
@@ -111,7 +141,7 @@ impl PmvStats {
 }
 
 macro_rules! define_atomic_stats {
-    ($($(#[$doc:meta])* $field:ident),+ $(,)?) => {
+    ($($(#[$doc:meta])* [$class:ident] $field:ident),+ $(,)?) => {
         /// Shared-counter variant of [`PmvStats`] for concurrent
         /// embeddings (notably the sharded
         /// [`crate::concurrent::SharedPmv`]): queries and maintainers
@@ -151,6 +181,12 @@ macro_rules! define_atomic_stats {
             /// Zero every counter (e.g. after a warm-up phase).
             pub fn reset(&self) {
                 $(self.$field.store(0, Ordering::Relaxed);)+
+            }
+
+            /// Zero the failure-episode (`[transient]`) counters; see
+            /// [`PmvStats::reset_transient`].
+            pub fn reset_transient(&self) {
+                $(reset_transient_atomic!(self, $class, $field);)+
             }
         }
     };
@@ -224,6 +260,45 @@ mod tests {
         assert!((snap.hit_probability() - 0.5).abs() < 1e-12);
         shared.reset();
         assert_eq!(shared.snapshot(), PmvStats::default());
+    }
+
+    #[test]
+    fn reset_transient_keeps_workload_history() {
+        let mut s = PmvStats {
+            queries: 10,
+            tuples_admitted: 7,
+            revalidations: 2,
+            degraded_queries: 3,
+            exec_panics: 1,
+            exec_errors: 2,
+            budget_exceeded: 4,
+            quarantine_events: 5,
+            maint_retries: 6,
+            maint_fallbacks: 1,
+            ..Default::default()
+        };
+        s.reset_transient();
+        assert_eq!(s.queries, 10, "workload history survives");
+        assert_eq!(s.tuples_admitted, 7);
+        assert_eq!(s.revalidations, 2, "revalidation count is history");
+        assert_eq!(s.degraded_queries, 0);
+        assert_eq!(s.exec_panics, 0);
+        assert_eq!(s.exec_errors, 0);
+        assert_eq!(s.budget_exceeded, 0);
+        assert_eq!(s.quarantine_events, 0);
+        assert_eq!(s.maint_retries, 0);
+        assert_eq!(s.maint_fallbacks, 0);
+
+        let shared = AtomicPmvStats::new();
+        shared.add(&PmvStats {
+            queries: 4,
+            quarantine_events: 2,
+            ..Default::default()
+        });
+        shared.reset_transient();
+        let snap = shared.snapshot();
+        assert_eq!(snap.queries, 4);
+        assert_eq!(snap.quarantine_events, 0);
     }
 
     #[test]

@@ -16,7 +16,11 @@
 //!    multiset of faults for a given seed regardless of interleaving,
 //!    and a failing seed replays.
 //! 2. **Free when off.** `fire` is one relaxed atomic load when no plan
-//!    is installed, so the hooks can sit on per-tuple paths.
+//!    is installed, so the hooks can sit on per-tuple paths. All atomics
+//!    in this crate are monotonically-increasing counters — they are
+//!    statistics, not synchronization — so `Ordering::Relaxed` is sound
+//!    throughout (no reader derives a happens-before edge from them; the
+//!    pmv-lint `relaxed_outside_stats` rule keys off this paragraph).
 //! 3. **Suppressible.** Test oracles need to compute ground truth on the
 //!    same thread the faults target; [`suppress`] disables injection for
 //!    the duration of a closure on the current thread.

@@ -1,0 +1,136 @@
+//! Offline shim exposing the subset of the `loom` API the workspace's
+//! concurrency models use: [`model`], `loom::thread::{spawn, yield_now}`
+//! and `loom::sync::{Arc, Mutex, RwLock, atomic}`.
+//!
+//! The real loom is a permutation-exploring model checker (DPOR). This
+//! shim is **not** — it is a randomized-interleaving stress scheduler:
+//! [`model`] runs the body many times, and every [`thread::yield_now`]
+//! call site perturbs the schedule with a deterministic per-iteration
+//! xorshift sequence (plain yields, short spins, and occasional
+//! micro-sleeps). That explores far fewer interleavings than DPOR but
+//! keeps the model tests compiling and probing real schedules offline;
+//! CI can swap in the real crate by replacing this path dependency.
+//!
+//! The sync types re-export `std::sync` directly — loom mirrors the std
+//! API for the subset used here (`lock().unwrap()`, `read()`/`write()`,
+//! `Ordering`-parameterised atomics), so models written against this
+//! shim stay source-compatible with the real crate.
+
+use std::cell::Cell;
+
+/// Number of randomized schedules [`model`] runs the body under.
+pub const DEFAULT_ITERATIONS: usize = 64;
+
+thread_local! {
+    static SCHED_STATE: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Run `f` under [`DEFAULT_ITERATIONS`] randomized schedules.
+///
+/// Each iteration seeds the scheduler differently, so `yield_now` call
+/// sites perturb thread interleavings in a different (but
+/// reproducible) pattern every pass. Panics propagate, failing the
+/// enclosing test — the same contract as the real `loom::model`.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Sync + Send + 'static,
+{
+    let iterations = std::env::var("LOOM_MAX_PREEMPTIONS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map(|p| p.max(1) * 16)
+        .unwrap_or(DEFAULT_ITERATIONS);
+    for iter in 0..iterations {
+        SCHED_STATE.with(|s| s.set(0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(iter as u64 + 1)));
+        f();
+    }
+}
+
+fn next_rand() -> u64 {
+    SCHED_STATE.with(|s| {
+        // xorshift64*; state 0 (spawned threads never seeded) stays a
+        // plain-yield schedule.
+        let mut x = s.get();
+        if x == 0 {
+            x = 0x853c_49e6_748f_ea9b;
+        }
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        s.set(x);
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    })
+}
+
+/// Thread handling with schedule perturbation.
+pub mod thread {
+    pub use std::thread::JoinHandle;
+
+    /// Spawn an OS thread (loom spawns a modelled thread).
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        std::thread::spawn(f)
+    }
+
+    /// Schedule perturbation point: plain yield, short spin, or a
+    /// micro-sleep, chosen by the per-iteration xorshift stream.
+    pub fn yield_now() {
+        match super::next_rand() % 8 {
+            0..=4 => std::thread::yield_now(),
+            5 | 6 => std::hint::spin_loop(),
+            _ => std::thread::sleep(std::time::Duration::from_micros(super::next_rand() % 50)),
+        }
+    }
+}
+
+/// Synchronization primitives (std re-exports; see crate docs).
+pub mod sync {
+    pub use std::sync::{
+        Arc, Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard,
+    };
+
+    /// Atomics (std re-exports — loom mirrors the std API).
+    pub mod atomic {
+        pub use std::sync::atomic::{
+            AtomicBool, AtomicI64, AtomicU32, AtomicU64, AtomicUsize, Ordering,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Arc;
+
+    #[test]
+    fn model_runs_body_repeatedly() {
+        static RUNS: AtomicUsize = AtomicUsize::new(0);
+        super::model(|| {
+            RUNS.fetch_add(1, Ordering::SeqCst);
+        });
+        assert_eq!(RUNS.load(Ordering::SeqCst), super::DEFAULT_ITERATIONS);
+    }
+
+    #[test]
+    fn spawned_threads_join_with_yields() {
+        super::model(|| {
+            let counter = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..3)
+                .map(|_| {
+                    let c = Arc::clone(&counter);
+                    super::thread::spawn(move || {
+                        super::thread::yield_now();
+                        c.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(counter.load(Ordering::SeqCst), 3);
+        });
+    }
+}

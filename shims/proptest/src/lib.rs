@@ -415,10 +415,18 @@ pub fn run_property<F: FnMut(&mut TestRng) -> TestCaseResult>(
     config: &ProptestConfig,
     mut case: F,
 ) {
+    // `PROPTEST_CASES` overrides the per-test case count, mirroring the
+    // real crate. CI uses it to shrink the matrix under slow
+    // interpreters (Miri) and sanitizers.
+    let cases = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .filter(|&c| c > 0)
+        .unwrap_or(config.cases);
     let mut accepted: u64 = 0;
     let mut attempts: u64 = 0;
-    let max_attempts = (config.cases as u64).saturating_mul(20).max(64);
-    while accepted < config.cases as u64 {
+    let max_attempts = (cases as u64).saturating_mul(20).max(64);
+    while accepted < cases as u64 {
         if attempts >= max_attempts {
             assert!(
                 accepted > 0,
