@@ -9,6 +9,13 @@
 //! combination plus the speedup over the single-thread run at the same
 //! shard count.
 //!
+//! With the obs registry enabled (the default) each cell also reports
+//! the time-to-first-result (query start → O2 partials returned) and
+//! full-query latency percentiles from the lock-free phase histograms —
+//! the paper's "immediate partial results" claim (Figs. 8/9) made
+//! measurable. A final section runs one cell with observability off and
+//! on to bound the instrumentation overhead.
+//!
 //! Expected shape: with 1 shard every probe serializes on the single
 //! shard lock and speedup stays near 1×; with shards ≥ threads the
 //! disjoint bcps hash across different shards and throughput scales with
@@ -18,20 +25,38 @@
 //! see the shard effect.)
 //!
 //! `--quick` scales the workload down ~10× for a smoke run.
+//! `--json [path]` additionally writes the machine-readable series to
+//! `BENCH_pmv.json` (or `path`) for CI artifacts and regression diffs.
 //! `--faults <spec>` installs a `pmv-faultinject` plan for the measured
 //! phase (e.g. `seed=42;exec-start:panic@0.05`), turning the
 //! `degraded_query_rate` / `quarantine_events` series non-zero so the
 //! degradation overhead can be compared against the clean run.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
 use pmv_bench::tpcr_harness::{arg_flag, arg_value};
 use pmv_bench::ExperimentReport;
 use pmv_cache::PolicyKind;
-use pmv_core::{PartialViewDef, PmvConfig, SharedPmv};
+use pmv_core::{PartialViewDef, Phase, PmvConfig, SharedPmv};
 use pmv_index::IndexDef;
-use pmv_query::{Condition, Database, TemplateBuilder};
+use pmv_query::{Condition, Database, QueryTemplate, TemplateBuilder};
 use pmv_storage::{tuple, Column, ColumnType, Schema, Value};
+use std::sync::Arc;
+
+/// One measured (threads × shards) cell.
+struct CellResult {
+    threads: usize,
+    shards: usize,
+    qps: f64,
+    speedup: f64,
+    ttfr_p50_us: u128,
+    ttfr_p99_us: u128,
+    full_p50_us: u128,
+    full_p99_us: u128,
+    degraded_query_rate: f64,
+    quarantine_events: u64,
+}
 
 fn main() {
     let quick = arg_flag("--quick");
@@ -40,6 +65,11 @@ fn main() {
     } else {
         (20_000i64, 64i64, 2_000usize)
     };
+    let json_path = arg_flag("--json").then(|| {
+        arg_value("--json")
+            .filter(|v| !v.starts_with("--"))
+            .unwrap_or_else(|| "BENCH_pmv.json".to_string())
+    });
     let faulty = arg_value("--faults").map(|spec| {
         let plan = pmv_faultinject::FaultPlan::parse(&spec).unwrap_or_else(|e| {
             eprintln!("bad --faults spec: {e}");
@@ -97,73 +127,216 @@ fn main() {
 
     let mut report = ExperimentReport::new(
         "concurrent_scaling",
-        "O2 probe throughput, threads x shards, disjoint bcps",
+        "O2 probe throughput + latency percentiles, threads x shards, disjoint bcps",
         "threads",
     );
+    let mut cells: Vec<CellResult> = Vec::new();
     let mut baselines = vec![0.0f64; shard_counts.len()];
     for &threads in &thread_counts {
         let mut values = Vec::new();
         for (si, &shards) in shard_counts.iter().enumerate() {
-            let def = PartialViewDef::all_equality("bench_pmv", template.clone()).unwrap();
-            let config = PmvConfig::new(8, (bcps as usize) * 2, PolicyKind::Clock);
-            let shared = SharedPmv::with_shards(def, config, shards);
-            // Warm every bcp: the first run fills it, the second serves
-            // partials, so the measured phase is all O2 hits.
-            for f in 0..bcps {
-                let q = template
-                    .bind(vec![Condition::Equality(vec![Value::Int(f)])])
-                    .unwrap();
-                shared.run(&db, &q).unwrap();
-                shared.run(&db, &q).unwrap();
-            }
-            shared.reset_stats();
-
-            let start = Instant::now();
-            std::thread::scope(|scope| {
-                for t in 0..threads {
-                    let shared = shared.clone();
-                    let template = template.clone();
-                    let db = &db;
-                    scope.spawn(move || {
-                        // Disjoint slice of the bcp space per thread.
-                        let mut f = t as i64 % bcps;
-                        for _ in 0..per_thread {
-                            let q = template
-                                .bind(vec![Condition::Equality(vec![Value::Int(f)])])
-                                .unwrap();
-                            let out = shared.run(db, &q).unwrap();
-                            assert_eq!(out.ds_leftover, 0);
-                            f = (f + threads as i64) % bcps;
-                        }
-                    });
-                }
-            });
-            let secs = start.elapsed().as_secs_f64();
-            let total = (threads * per_thread) as f64;
-            let qps = total / secs;
+            let (shared, qps) = run_cell(&db, &template, bcps, threads, shards, per_thread, true);
             let stats = shared.stats();
             assert_eq!(stats.queries as usize, threads * per_thread);
             if threads == 1 {
                 baselines[si] = qps;
             }
             let speedup = qps / baselines[si];
+            let ttfr = shared.obs().snapshot(Phase::ttfr);
+            let full = shared.obs().snapshot(Phase::full);
+            assert_eq!(
+                ttfr.count() as usize,
+                threads * per_thread,
+                "every query must record a time-to-first-result sample"
+            );
+            let cell = CellResult {
+                threads,
+                shards,
+                qps,
+                speedup,
+                ttfr_p50_us: ttfr.quantile(0.5).as_micros(),
+                ttfr_p99_us: ttfr.quantile(0.99).as_micros(),
+                full_p50_us: full.quantile(0.5).as_micros(),
+                full_p99_us: full.quantile(0.99).as_micros(),
+                degraded_query_rate: stats.degraded_query_rate(),
+                quarantine_events: stats.quarantine_events,
+            };
             eprintln!(
                 "threads={threads} shards={shards}: {qps:.0} q/s ({speedup:.2}x), \
-                 hit rate {:.3}",
+                 ttfr p50/p99 {}/{} µs, full p50/p99 {}/{} µs, hit rate {:.3}",
+                cell.ttfr_p50_us,
+                cell.ttfr_p99_us,
+                cell.full_p50_us,
+                cell.full_p99_us,
                 stats.bcp_hit_queries as f64 / stats.queries as f64
             );
             values.push((format!("shards={shards} q/s"), qps));
             values.push((format!("shards={shards} speedup"), speedup));
             values.push((
+                format!("shards={shards} ttfr_p50_us"),
+                cell.ttfr_p50_us as f64,
+            ));
+            values.push((
+                format!("shards={shards} ttfr_p99_us"),
+                cell.ttfr_p99_us as f64,
+            ));
+            values.push((
                 format!("shards={shards} degraded_query_rate"),
-                stats.degraded_query_rate(),
+                cell.degraded_query_rate,
             ));
             values.push((
                 format!("shards={shards} quarantine_events"),
-                stats.quarantine_events as f64,
+                cell.quarantine_events as f64,
             ));
+            cells.push(cell);
         }
         report.push(threads.to_string(), values);
     }
+
+    // Observability overhead: the same cell with the registry off and
+    // on (best of 3 each to damp scheduler noise). The disabled path
+    // differs from uninstrumented code by one relaxed load per record
+    // site; the enabled-vs-disabled delta therefore upper-bounds the
+    // cost of leaving observability off.
+    let (ov_threads, ov_shards) = (*thread_counts.last().unwrap(), 16);
+    let mut qps_off = 0.0f64;
+    let mut qps_on = 0.0f64;
+    for _ in 0..3 {
+        let (_, q) = run_cell(
+            &db, &template, bcps, ov_threads, ov_shards, per_thread, false,
+        );
+        qps_off = qps_off.max(q);
+        let (_, q) = run_cell(
+            &db, &template, bcps, ov_threads, ov_shards, per_thread, true,
+        );
+        qps_on = qps_on.max(q);
+    }
+    let overhead_pct = (1.0 - qps_on / qps_off) * 100.0;
+    eprintln!(
+        "obs overhead (threads={ov_threads} shards={ov_shards}): \
+         disabled {qps_off:.0} q/s, enabled {qps_on:.0} q/s, \
+         enabling costs {overhead_pct:.1}% (<5% required when disabled)"
+    );
     report.print();
+    // Separate report: its rows have different columns than the sweep.
+    let mut obs_report = ExperimentReport::new(
+        "concurrent_scaling_obs_overhead",
+        "observability cost, same cell with the registry off vs on",
+        "mode",
+    );
+    obs_report.push(
+        format!("threads={ov_threads} shards={ov_shards}"),
+        vec![
+            ("qps_obs_disabled".to_string(), qps_off),
+            ("qps_obs_enabled".to_string(), qps_on),
+            ("obs_overhead_pct".to_string(), overhead_pct),
+        ],
+    );
+    obs_report.print();
+
+    if let Some(path) = json_path {
+        let json = cells_to_json(quick, &cells, ov_threads, ov_shards, qps_off, qps_on);
+        std::fs::write(&path, &json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {path} ({} cells)", cells.len());
+    }
+}
+
+/// Build, warm, and measure one (threads × shards) configuration.
+/// Returns the shared PMV (for stats/histograms) and queries/second.
+fn run_cell(
+    db: &Database,
+    template: &Arc<QueryTemplate>,
+    bcps: i64,
+    threads: usize,
+    shards: usize,
+    per_thread: usize,
+    obs_enabled: bool,
+) -> (SharedPmv, f64) {
+    let def = PartialViewDef::all_equality("bench_pmv", template.clone()).unwrap();
+    let config = PmvConfig::new(8, (bcps as usize) * 2, PolicyKind::Clock);
+    let shared = SharedPmv::with_shards(def, config, shards);
+    shared.set_obs_enabled(obs_enabled);
+    // Warm every bcp: the first run fills it, the second serves
+    // partials, so the measured phase is all O2 hits.
+    for f in 0..bcps {
+        let q = template
+            .bind(vec![Condition::Equality(vec![Value::Int(f)])])
+            .unwrap();
+        shared.run(db, &q).unwrap();
+        shared.run(db, &q).unwrap();
+    }
+    shared.reset_stats();
+    shared.obs().reset();
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let shared = shared.clone();
+            let template = template.clone();
+            scope.spawn(move || {
+                // Disjoint slice of the bcp space per thread.
+                let mut f = t as i64 % bcps;
+                for _ in 0..per_thread {
+                    let q = template
+                        .bind(vec![Condition::Equality(vec![Value::Int(f)])])
+                        .unwrap();
+                    let out = shared.run(db, &q).unwrap();
+                    assert_eq!(out.ds_leftover, 0);
+                    f = (f + threads as i64) % bcps;
+                }
+            });
+        }
+    });
+    let secs = start.elapsed().as_secs_f64();
+    let qps = (threads * per_thread) as f64 / secs;
+    (shared, qps)
+}
+
+/// Hand-rolled `BENCH_pmv.json`: the percentile series per cell plus the
+/// observability-overhead comparison.
+fn cells_to_json(
+    quick: bool,
+    cells: &[CellResult],
+    ov_threads: usize,
+    ov_shards: usize,
+    qps_off: f64,
+    qps_on: f64,
+) -> String {
+    let mut out = String::with_capacity(4096);
+    let _ = write!(
+        out,
+        "{{\n  \"bench\": \"concurrent_scaling\",\n  \"quick\": {quick},\n  \"series\": ["
+    );
+    for (i, c) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "\n    {{\"threads\": {}, \"shards\": {}, \"qps\": {:.0}, \"speedup\": {:.3}, \
+             \"ttfr_p50_us\": {}, \"ttfr_p99_us\": {}, \"full_p50_us\": {}, \
+             \"full_p99_us\": {}, \"degraded_query_rate\": {:.4}, \"quarantine_events\": {}}}",
+            c.threads,
+            c.shards,
+            c.qps,
+            c.speedup,
+            c.ttfr_p50_us,
+            c.ttfr_p99_us,
+            c.full_p50_us,
+            c.full_p99_us,
+            c.degraded_query_rate,
+            c.quarantine_events
+        );
+    }
+    let overhead_pct = (1.0 - qps_on / qps_off) * 100.0;
+    let _ = write!(
+        out,
+        "\n  ],\n  \"obs_overhead\": {{\"threads\": {ov_threads}, \"shards\": {ov_shards}, \
+         \"qps_obs_disabled\": {qps_off:.0}, \"qps_obs_enabled\": {qps_on:.0}, \
+         \"obs_overhead_pct\": {overhead_pct:.2}}}\n}}\n"
+    );
+    out
 }

@@ -57,6 +57,12 @@ impl<K> AdmitOutcome<K> {
             AdmitOutcome::Probation => &[],
         }
     }
+
+    /// Number of keys evicted by this admission — the telemetry feed for
+    /// fill-phase trace events, without borrowing the key list.
+    pub fn evicted_count(&self) -> u64 {
+        self.evicted().len() as u64
+    }
 }
 
 /// A replacement policy over keys of type `K`.
@@ -92,6 +98,16 @@ pub trait ReplacementPolicy<K: Clone + Eq + Hash + Debug> {
 
     /// Policy name for reports.
     fn name(&self) -> &'static str;
+
+    /// Resident fraction of capacity in `[0, 1]` — exported as the
+    /// `occupancy` gauge. Zero-capacity policies report 0 (never NaN).
+    fn occupancy(&self) -> f64 {
+        if self.capacity() == 0 {
+            0.0
+        } else {
+            self.resident_count() as f64 / self.capacity() as f64
+        }
+    }
 }
 
 /// Which policy to instantiate (used by config/bench code).
@@ -172,5 +188,44 @@ mod tests {
         let p: AdmitOutcome<u32> = AdmitOutcome::Probation;
         assert!(!p.is_resident());
         assert!(p.evicted().is_empty());
+        assert_eq!(r.evicted_count(), 1);
+        assert_eq!(p.evicted_count(), 0);
+    }
+
+    #[test]
+    fn occupancy_gauge() {
+        let mut p: Box<dyn ReplacementPolicy<u64>> = PolicyKind::Clock.build(4);
+        assert_eq!(p.occupancy(), 0.0);
+        p.admit(1);
+        p.admit(2);
+        assert!((p.occupancy() - 0.5).abs() < 1e-12);
+
+        // The default guards capacity() == 0 (policies assert positive
+        // capacity at build time, but trait impls outside this crate may
+        // not): it must yield 0, never NaN.
+        struct Zero;
+        impl ReplacementPolicy<u64> for Zero {
+            fn contains(&self, _: &u64) -> bool {
+                false
+            }
+            fn touch(&mut self, _: &u64) {}
+            fn admit(&mut self, _: u64) -> AdmitOutcome<u64> {
+                AdmitOutcome::Probation
+            }
+            fn remove(&mut self, _: &u64) {}
+            fn resident_count(&self) -> usize {
+                0
+            }
+            fn capacity(&self) -> usize {
+                0
+            }
+            fn resident_keys(&self) -> Vec<u64> {
+                Vec::new()
+            }
+            fn name(&self) -> &'static str {
+                "zero"
+            }
+        }
+        assert_eq!(Zero.occupancy(), 0.0, "zero capacity must not be NaN");
     }
 }

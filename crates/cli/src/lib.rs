@@ -9,6 +9,8 @@
 //! plain <template> <binding> …           run without the PMV
 //! explain <template> <binding> …         show the plan
 //! stats [<template>]                     PMV statistics
+//! metrics [--format prometheus|json]     per-phase latency + counter export
+//! trace [--tail N]                       query lifecycle traces
 //! advisor                                recommend PMVs from the trace
 //! help | quit
 //! ```
@@ -168,6 +170,8 @@ impl Session {
             "explain" => self.cmd_query(rest, Mode::Explain),
             "stats" => self.cmd_stats(rest),
             "health" => self.cmd_health(),
+            "metrics" => self.cmd_metrics(rest),
+            "trace" => self.cmd_trace(rest),
             "revalidate" => self.cmd_revalidate(rest),
             "advisor" => self.cmd_advisor(),
             "quit" | "exit" => Err(CliError::Quit),
@@ -422,12 +426,13 @@ impl Session {
             let _ = writeln!(
                 out,
                 "{name}: {} (error rate {:.3}, trips {}, degraded queries {}, \
-                 quarantine events {}{})",
+                 quarantine events {}, last verified {}ms ago{})",
                 pmv.health(),
                 b.error_rate(),
                 b.trip_count(),
                 s.degraded_queries,
                 s.quarantine_events,
+                pmv.last_verified_age().as_millis(),
                 if pmv.store().is_quarantined() {
                     ", store DRAINED"
                 } else {
@@ -437,6 +442,131 @@ impl Session {
         }
         if out.is_empty() {
             out.push_str("(no PMVs yet)\n");
+        }
+        Ok(out)
+    }
+
+    /// The exportable telemetry for every PMV, sorted by template name
+    /// so script output is deterministic.
+    fn view_metrics(&self) -> Vec<pmv_obs::ViewMetrics> {
+        let mut names: Vec<&String> = self.pmvs.keys().collect();
+        names.sort();
+        names
+            .into_iter()
+            .map(|name| {
+                let pmv = &self.pmvs[name];
+                let s = pmv.stats();
+                pmv_obs::ViewMetrics {
+                    name: pmv.def().name().to_string(),
+                    health: pmv.health().as_str().to_string(),
+                    error_rate: pmv.breaker().error_rate(),
+                    trips: pmv.breaker().trip_count(),
+                    last_verified_age_ms: pmv.last_verified_age().as_millis() as u64,
+                    counters: s.as_pairs(),
+                    gauges: vec![
+                        ("hit_probability", s.hit_probability()),
+                        ("serving_probability", s.serving_probability()),
+                        ("degraded_query_rate", s.degraded_query_rate()),
+                        ("store_bytes", pmv.store().byte_size() as f64),
+                        ("occupancy", pmv.store().occupancy()),
+                    ],
+                    phases: pmv.obs().snapshots(),
+                }
+            })
+            .collect()
+    }
+
+    /// `metrics [--format prometheus|json]` — default is a human
+    /// summary; the other formats are scrape/pipe-ready.
+    fn cmd_metrics(&mut self, rest: &str) -> Result<String, CliError> {
+        let mut format = "human";
+        let mut parts = rest.split_whitespace();
+        while let Some(opt) = parts.next() {
+            let value = match opt.strip_prefix("--format") {
+                Some("") => parts
+                    .next()
+                    .ok_or_else(|| usage("usage: metrics [--format prometheus|json]"))?,
+                Some(eq) => eq
+                    .strip_prefix('=')
+                    .ok_or_else(|| usage(format!("bad option '{opt}'")))?,
+                None => opt,
+            };
+            match value {
+                "prometheus" | "json" | "human" => format = value,
+                other => return Err(usage(format!("unknown metrics format '{other}'"))),
+            }
+        }
+        let views = self.view_metrics();
+        if views.is_empty() {
+            return Ok("(no PMVs yet)\n".to_string());
+        }
+        match format {
+            "prometheus" => Ok(pmv_obs::to_prometheus(&views)),
+            "json" => Ok(pmv_obs::to_json(&views)),
+            _ => {
+                let mut out = String::new();
+                for v in &views {
+                    let queries = v
+                        .counters
+                        .iter()
+                        .find(|(n, _)| *n == "queries")
+                        .map_or(0, |&(_, c)| c);
+                    let _ = writeln!(
+                        out,
+                        "{} [{}] queries={queries} error_rate={:.3}",
+                        v.name, v.health, v.error_rate
+                    );
+                    for (phase, snap) in &v.phases {
+                        if snap.count() == 0 {
+                            continue;
+                        }
+                        let _ = writeln!(
+                            out,
+                            "  {phase:<12} n={:<6} p50={:?} p90={:?} p99={:?} max={:?}",
+                            snap.count(),
+                            snap.quantile(0.5),
+                            snap.quantile(0.9),
+                            snap.quantile(0.99),
+                            snap.max(),
+                        );
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// `trace [--tail N]` — the last N lifecycle traces per PMV
+    /// (default 10), oldest first.
+    fn cmd_trace(&mut self, rest: &str) -> Result<String, CliError> {
+        let mut n = 10usize;
+        let mut parts = rest.split_whitespace();
+        while let Some(opt) = parts.next() {
+            let value = match opt.strip_prefix("--tail") {
+                Some("") => parts
+                    .next()
+                    .ok_or_else(|| usage("usage: trace [--tail N]"))?,
+                Some(eq) => eq
+                    .strip_prefix('=')
+                    .ok_or_else(|| usage(format!("bad option '{opt}'")))?,
+                None => opt,
+            };
+            n = value.parse().map_err(|_| usage("bad tail count"))?;
+        }
+        if self.pmvs.is_empty() {
+            return Ok("(no PMVs yet)\n".to_string());
+        }
+        let mut names: Vec<&String> = self.pmvs.keys().collect();
+        names.sort();
+        let mut out = String::new();
+        for name in names {
+            for trace in self.pmvs[name].obs().trace().tail(n) {
+                // Display already ends each trace with a newline.
+                let _ = write!(out, "{trace}");
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no traces recorded yet; run some queries)\n");
         }
         Ok(out)
     }
@@ -599,6 +729,8 @@ commands:
   explain <template> <bindings>     show the plan
   stats [<template>]                PMV statistics
   health                            per-PMV circuit-breaker state
+  metrics [--format prometheus|json]   per-phase latency + counter export
+  trace [--tail N]                  last N query lifecycle traces per PMV
   revalidate [<template>]           re-derive cached tuples, lift quarantine
   advisor                           recommend PMVs from the observed trace
   help | quit";
@@ -744,6 +876,62 @@ mod tests {
         )));
         assert!(matches!(nested, CliError::Storage(_)));
         assert_eq!(nested.exit_code(), 3);
+    }
+
+    #[test]
+    fn metrics_command_formats() {
+        let mut s = loaded_session();
+        assert!(s.execute("metrics").unwrap().contains("no PMVs"));
+        s.execute("pmv t1").unwrap();
+        for _ in 0..3 {
+            s.execute("query t1 [100] [1]").unwrap();
+        }
+        let human = s.execute("metrics").unwrap();
+        assert!(human.contains("pmv_t1 [healthy] queries=3"), "{human}");
+        assert!(human.contains("ttfr"), "{human}");
+        let prom = s.execute("metrics --format prometheus").unwrap();
+        assert!(
+            prom.contains("pmv_queries_total{view=\"pmv_t1\"} 3"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("pmv_phase_latency_seconds_count{view=\"pmv_t1\",phase=\"full\"} 3"),
+            "{prom}"
+        );
+        let json = s.execute("metrics --format=json").unwrap();
+        assert!(json.contains("\"name\":\"pmv_t1\""), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(matches!(
+            s.execute("metrics --format bogus"),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn trace_command_tails_lifecycles() {
+        let mut s = loaded_session();
+        assert!(s.execute("trace").unwrap().contains("no PMVs"));
+        s.execute("pmv t1").unwrap();
+        for i in 0..4 {
+            s.execute(&format!("query t1 [{i}] [1]")).unwrap();
+        }
+        let out = s.execute("trace --tail 2").unwrap();
+        assert_eq!(
+            out.lines().filter(|l| l.contains("query 'pmv_t1'")).count(),
+            2,
+            "{out}"
+        );
+        assert!(out.contains("FirstResults"), "{out}");
+        let all = s.execute("trace").unwrap();
+        assert_eq!(
+            all.lines().filter(|l| l.contains("query 'pmv_t1'")).count(),
+            4,
+            "{all}"
+        );
+        assert!(matches!(
+            s.execute("trace --tail nope"),
+            Err(CliError::Usage(_))
+        ));
     }
 
     #[test]

@@ -66,7 +66,8 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
-use pmv_faultinject::Site;
+use pmv_faultinject::{CaptureGuard, Site};
+use pmv_obs::{EventKind, ObsRegistry, Phase, TraceKind, TraceScope};
 use pmv_query::{exec::join_from, execute_bounded, Database, ExecBudget, QueryInstance};
 use pmv_storage::{Delta, DeltaBatch, Tuple};
 
@@ -78,7 +79,7 @@ use crate::health::{
 use crate::maintenance::{relevant_columns, MaintenanceOutcome};
 use crate::o1::{decompose, ConditionPart};
 use crate::pipeline::{
-    bcp_truths, degrade_reason, probe_parts, remove_stale, QueryOutcome, QueryTimings,
+    bcp_truths, degrade_reason, flush_faults, probe_parts, remove_stale, QueryOutcome, QueryTimings,
 };
 use crate::stats::{AtomicPmvStats, PmvStats};
 use crate::store::{PmvStore, Residency};
@@ -97,6 +98,9 @@ struct Inner {
     /// Milliseconds after `created` at which the view last completed
     /// maintenance or revalidation (staleness reference point).
     last_verified_ms: AtomicU64,
+    /// Per-phase latency histograms + lifecycle trace ring. Enabled by
+    /// default; when disabled, every record is one relaxed load.
+    obs: ObsRegistry,
 }
 
 impl Inner {
@@ -156,6 +160,7 @@ impl SharedPmv {
                 breaker,
                 created: Instant::now(),
                 last_verified_ms: AtomicU64::new(0),
+                obs: ObsRegistry::new(),
             }),
         }
     }
@@ -187,17 +192,33 @@ impl SharedPmv {
         let inner = &*self.inner;
         let n = inner.shards.len();
         let mut local = PmvStats::default();
+        let t_start = Instant::now();
+        // Lifecycle span (publishes into the trace ring on every exit
+        // path, including errors) plus a thread-local fault-capture
+        // scope so injected faults — latency above all, which is
+        // otherwise invisible — surface as trace events.
+        let mut trace = inner.obs.begin_trace(TraceKind::Query, inner.def.name());
+        let mut fault_cap = inner.obs.enabled().then(pmv_faultinject::capture);
 
         // ---- Operation O1 ----
         let t_o1 = Instant::now();
         let parts = decompose(&inner.def, q)?;
         let o1 = t_o1.elapsed();
+        inner.obs.record(Phase::o1_decompose, o1);
+        trace.event(EventKind::Decompose {
+            parts: parts.len(),
+            us: o1.as_micros() as u64,
+        });
 
         // ---- Operation O2: probe shard by shard ----
         // A quarantined view skips O2/fill entirely: the query still gets
         // a full, correct answer straight from O3, just without cache
         // acceleration ("never serve from Quarantined").
         let serving = inner.breaker.allow_serve();
+        trace.event(EventKind::Breaker {
+            serving,
+            state: inner.breaker.state().as_str().to_string(),
+        });
         let t_o2 = Instant::now();
         let mut ds = Ds::new();
         let mut counters: HashMap<BcpKey, usize> = HashMap::with_capacity(parts.len());
@@ -215,6 +236,7 @@ impl SharedPmv {
                 if group.is_empty() {
                     continue;
                 }
+                let t_shard = Instant::now();
                 let mut store = inner.shards[si].write();
                 if store.is_quarantined() {
                     continue;
@@ -231,7 +253,8 @@ impl SharedPmv {
                         &mut bcp_hit,
                     );
                 }));
-                if probe.is_err() {
+                let poisoned = probe.is_err();
+                if poisoned {
                     // A panic mid-probe may leave the shard's policy or
                     // entry bookkeeping torn: drain it (removal-only, so
                     // nothing stale can ever be served from it later).
@@ -242,9 +265,36 @@ impl SharedPmv {
                     local.quarantine_events += 1;
                     inner.breaker.record_error();
                 }
+                drop(store);
+                // Per-shard probe latency includes the lock wait, so
+                // contention shows up in the `o2_probe` tail.
+                let shard_probe = t_shard.elapsed();
+                inner.obs.record(Phase::o2_probe, shard_probe);
+                trace.event(EventKind::ShardProbe {
+                    shard: si,
+                    parts: group.len(),
+                    served: partial_expanded.len(),
+                    us: shard_probe.as_micros() as u64,
+                });
+                if poisoned {
+                    trace.event(EventKind::Quarantine { shard: si });
+                }
             }
         }
         let o2 = t_o2.elapsed();
+        // The paper's headline quantity: time-to-first-result, query
+        // start → O2 partials available to the caller (§3.3 "within
+        // ~1 ms"). Recorded before O3 so degraded paths count too.
+        let ttfr = t_start.elapsed();
+        inner.obs.record(Phase::ttfr, ttfr);
+        trace.event_at(
+            ttfr.as_micros() as u64,
+            EventKind::FirstResults {
+                tuples: partial_expanded.len(),
+                bcp_hit,
+                us: ttfr.as_micros() as u64,
+            },
+        );
 
         // ---- Operation O3: full execution (no shard locks held) ----
         let t_exec = Instant::now();
@@ -279,12 +329,17 @@ impl SharedPmv {
                     o2,
                     t_exec.elapsed(),
                     reason,
+                    &mut trace,
+                    fault_cap.take(),
+                    t_start,
                 ));
             }
             Ok(Err(e)) => {
                 inner.breaker.record_error();
                 local.exec_errors = 1;
                 inner.stats.add(&local);
+                inner.obs.record(Phase::o3_exec, t_exec.elapsed());
+                flush_faults(&mut trace, fault_cap.take());
                 return Err(e.into());
             }
             Err(_panic) => {
@@ -302,10 +357,20 @@ impl SharedPmv {
                     o2,
                     t_exec.elapsed(),
                     DegradeReason::ExecPanic,
+                    &mut trace,
+                    fault_cap.take(),
+                    t_start,
                 ));
             }
         };
         let exec = t_exec.elapsed();
+        inner.obs.record(Phase::o3_exec, exec);
+        trace.event(EventKind::Exec {
+            rows: results.len(),
+            tuples_examined: exec_stats.tuples_examined,
+            index_probes: exec_stats.index_probes,
+            us: exec.as_micros() as u64,
+        });
 
         // ---- Operation O3: dedup + fill/update ----
         let t_o3 = Instant::now();
@@ -341,10 +406,13 @@ impl SharedPmv {
             if group.is_empty() || !serving {
                 continue;
             }
+            let t_fill = Instant::now();
             let mut store = inner.shards[si].write();
             if store.is_quarantined() {
                 continue;
             }
+            let admitted_before = local.tuples_admitted;
+            let evicted_before = store.evictions();
             let fill = catch_unwind(AssertUnwindSafe(|| {
                 pmv_faultinject::fire_soft(Site::ShardFill);
                 let mut admit_cache: HashMap<&BcpKey, Residency> = HashMap::new();
@@ -367,15 +435,28 @@ impl SharedPmv {
                     }
                 }
             }));
-            if fill.is_err() {
+            let poisoned = fill.is_err();
+            if poisoned {
                 store.quarantine();
                 local.quarantine_events += 1;
                 inner.breaker.record_error();
+            }
+            let evicted = store.evictions().saturating_sub(evicted_before);
+            drop(store);
+            trace.event(EventKind::Fill {
+                shard: si,
+                admitted: local.tuples_admitted - admitted_before,
+                evicted,
+                us: t_fill.elapsed().as_micros() as u64,
+            });
+            if poisoned {
+                trace.event(EventKind::Quarantine { shard: si });
             }
         }
         let ds_leftover = ds.len();
         debug_assert_eq!(ds_leftover, 0, "DS must be empty after O3");
         let o3_overhead = t_o3.elapsed();
+        inner.obs.record(Phase::o3_dedup, o3_overhead);
 
         // ---- Bookkeeping ----
         local.queries = 1;
@@ -388,6 +469,8 @@ impl SharedPmv {
             local.partial_tuples_served = partial_expanded.len() as u64;
         }
         inner.stats.add(&local);
+        inner.obs.record(Phase::full, t_start.elapsed());
+        flush_faults(&mut trace, fault_cap.take());
 
         let template = inner.def.template();
         let partial = partial_expanded
@@ -431,8 +514,19 @@ impl SharedPmv {
         o2: Duration,
         exec: Duration,
         reason: DegradeReason,
+        trace: &mut TraceScope<'_>,
+        fault_cap: Option<CaptureGuard>,
+        t_start: Instant,
     ) -> QueryOutcome {
         let inner = &*self.inner;
+        let staleness = inner.staleness();
+        inner.obs.record(Phase::o3_exec, exec);
+        inner.obs.record(Phase::degraded, t_start.elapsed());
+        trace.event(EventKind::Degraded {
+            reason: reason.to_string(),
+            staleness_us: staleness.as_micros() as u64,
+        });
+        flush_faults(trace, fault_cap);
         local.queries = 1;
         local.degraded_queries = 1;
         local.condition_parts = parts_len as u64;
@@ -469,7 +563,7 @@ impl SharedPmv {
             degraded: Some(Degradation {
                 reason,
                 partial_only: true,
-                staleness: inner.staleness(),
+                staleness,
             }),
         }
     }
@@ -496,6 +590,11 @@ impl SharedPmv {
             out.unrelated_relation = true;
             return Ok(out);
         };
+        let t_start = Instant::now();
+        let mut trace = inner
+            .obs
+            .begin_trace(TraceKind::Maintenance, inner.def.name());
+        let mut fault_cap = inner.obs.enabled().then(pmv_faultinject::capture);
         let relevant = relevant_columns(&template, rel_idx);
 
         // Phase 1: compute the ΔR ⋈ R_j rows and the shards they hash to.
@@ -554,6 +653,8 @@ impl SharedPmv {
                     Ok(Err(e)) if e.is_transient() => {}
                     Ok(Err(e)) => {
                         inner.stats.add(&local);
+                        inner.obs.record(Phase::maint_join, t_start.elapsed());
+                        flush_faults(&mut trace, fault_cap.take());
                         return Err(e.into());
                     }
                     Err(_panic) => {}
@@ -615,10 +716,22 @@ impl SharedPmv {
                 store.quarantine();
                 local.quarantine_events += 1;
                 inner.breaker.record_error();
+                drop(store);
+                trace.event(EventKind::Quarantine { shard: si });
             }
         }
         inner.mark_verified();
         inner.stats.add(&local);
+        inner.obs.record(Phase::maint_join, t_start.elapsed());
+        trace.event(EventKind::MaintBatch {
+            relation: batch.relation().to_string(),
+            joined: out.deletes_joined + out.updates_joined,
+            join_rows: out.join_rows,
+            removed: out.view_tuples_removed,
+            retries: out.retries,
+            fallbacks: out.fallback_invalidations,
+        });
+        flush_faults(&mut trace, fault_cap.take());
         Ok(out)
     }
 
@@ -650,6 +763,10 @@ impl SharedPmv {
     /// Healthy.
     pub fn revalidate(&self, db: &Database) -> Result<usize> {
         let inner = &*self.inner;
+        let t_start = Instant::now();
+        let mut trace = inner
+            .obs
+            .begin_trace(TraceKind::Revalidate, inner.def.name());
         let mut removed = 0;
         for shard in &inner.shards {
             // Phase 1: snapshot the resident bcps under a brief read
@@ -676,8 +793,11 @@ impl SharedPmv {
             store.lift_quarantine();
         }
         // The sweep closes the failure episode: clear transient
-        // panic/quarantine tallies with the breaker, then record it.
+        // panic/quarantine tallies (counters AND `[transient]`-tagged
+        // histograms — the `[keep]` latency series survive) with the
+        // breaker, then record it.
         inner.stats.reset_transient();
+        inner.obs.reset_transient();
         let local = PmvStats {
             revalidations: 1,
             ..Default::default()
@@ -685,7 +805,20 @@ impl SharedPmv {
         inner.stats.add(&local);
         inner.breaker.reset();
         inner.mark_verified();
+        inner.obs.record(Phase::revalidate, t_start.elapsed());
+        trace.event(EventKind::Revalidated { removed });
         Ok(removed)
+    }
+
+    /// Per-phase latency histograms and the lifecycle trace ring.
+    pub fn obs(&self) -> &ObsRegistry {
+        &self.inner.obs
+    }
+
+    /// Toggle observability recording at runtime. Disabled recording
+    /// costs one relaxed load per call site on the serving path.
+    pub fn set_obs_enabled(&self, on: bool) {
+        self.inner.obs.set_enabled(on);
     }
 
     /// Current health of the view (circuit-breaker state).
@@ -967,5 +1100,116 @@ mod tests {
         assert_eq!(removed, 0, "no stale tuples after concurrent run");
         assert!(shared.stats().queries > 100);
         shared.debug_validate();
+    }
+
+    #[test]
+    fn queries_record_phases_and_traces() {
+        let (db, shared) = setup(4);
+        let t = shared.def().template().clone();
+        let q = t
+            .bind(vec![Condition::Equality(vec![Value::Int(3)])])
+            .unwrap();
+        shared.run(&db, &q).unwrap();
+        let out = shared.run(&db, &q).unwrap();
+        assert!(out.bcp_hit);
+        for phase in [
+            Phase::ttfr,
+            Phase::full,
+            Phase::o1_decompose,
+            Phase::o3_exec,
+        ] {
+            let snap = shared.obs().snapshot(phase);
+            assert_eq!(snap.count(), 2, "{} must record per query", phase.as_str());
+        }
+        // TTFR (through O2 only) is never slower than the full query.
+        let ttfr = shared.obs().snapshot(Phase::ttfr);
+        let full = shared.obs().snapshot(Phase::full);
+        assert!(ttfr.sum_ns() <= full.sum_ns());
+        // Per-shard probes: at least one per query, each traced.
+        assert!(shared.obs().snapshot(Phase::o2_probe).count() >= 2);
+        let traces = shared.obs().trace().tail(10);
+        assert_eq!(traces.len(), 2);
+        let hit = &traces[1];
+        assert_eq!(hit.template, "shared");
+        let names: Vec<_> = hit.events.iter().map(|e| e.kind.name()).collect();
+        for expected in [
+            "decompose",
+            "breaker",
+            "shard_probe",
+            "first_results",
+            "exec",
+        ] {
+            assert!(names.contains(&expected), "missing {expected} in {names:?}");
+        }
+        assert!(
+            hit.events.iter().any(|e| matches!(
+                e.kind,
+                EventKind::FirstResults { tuples, bcp_hit, .. } if tuples > 0 && bcp_hit
+            )),
+            "{hit}"
+        );
+    }
+
+    #[test]
+    fn revalidate_keeps_latency_history_but_resets_degraded() {
+        let (db, shared) = setup(2);
+        let t = shared.def().template().clone();
+        let q = t
+            .bind(vec![Condition::Equality(vec![Value::Int(3)])])
+            .unwrap();
+        shared.run(&db, &q).unwrap();
+        // A zero-budget view degrades every query, filling the
+        // [transient] degraded histogram.
+        let def = PartialViewDef::all_equality("tight", t.clone()).unwrap();
+        let tight = SharedPmv::with_shards(
+            def,
+            PmvConfig::new(3, 16, PolicyKind::Clock).with_row_budget(0),
+            2,
+        );
+        tight.run(&db, &q).unwrap();
+        assert_eq!(tight.obs().snapshot(Phase::degraded).count(), 1);
+        assert_eq!(tight.obs().snapshot(Phase::ttfr).count(), 1);
+
+        tight.revalidate(&db).unwrap();
+        assert_eq!(
+            tight.obs().snapshot(Phase::degraded).count(),
+            0,
+            "[transient] histogram resets with the failure episode"
+        );
+        assert_eq!(
+            tight.obs().snapshot(Phase::ttfr).count(),
+            1,
+            "[keep] latency history survives revalidation"
+        );
+        // Degraded queries land in `degraded`, not `full` (a degraded
+        // latency would poison the healthy full-query series).
+        assert_eq!(tight.obs().snapshot(Phase::full).count(), 0);
+
+        // The sweep itself is timed and traced.
+        assert_eq!(shared.obs().snapshot(Phase::revalidate).count(), 0);
+        shared.revalidate(&db).unwrap();
+        assert_eq!(shared.obs().snapshot(Phase::revalidate).count(), 1);
+        let traces = shared.obs().trace().tail(10);
+        let sweep = traces.last().unwrap();
+        assert_eq!(sweep.kind, TraceKind::Revalidate);
+        assert!(sweep.events.iter().any(|e| e.kind.name() == "revalidated"));
+    }
+
+    #[test]
+    fn disabling_obs_stops_recording() {
+        let (db, shared) = setup(2);
+        shared.set_obs_enabled(false);
+        let t = shared.def().template().clone();
+        let q = t
+            .bind(vec![Condition::Equality(vec![Value::Int(3)])])
+            .unwrap();
+        shared.run(&db, &q).unwrap();
+        assert_eq!(shared.obs().snapshot(Phase::ttfr).count(), 0);
+        assert!(shared.obs().trace().is_empty());
+        // Re-enabling picks recording back up on the shared registry.
+        shared.set_obs_enabled(true);
+        shared.run(&db, &q).unwrap();
+        assert_eq!(shared.obs().snapshot(Phase::ttfr).count(), 1);
+        assert_eq!(shared.obs().trace().len(), 1);
     }
 }

@@ -32,6 +32,11 @@
 //!   reports (failure model; see DESIGN.md §11)
 //! * [`verify`] — registration-time static verifier, diagnostics
 //!   `PMV001..PMV006` (see DESIGN.md §12)
+//!
+//! Observability (per-phase latency histograms, lifecycle traces, and
+//! the Prometheus/JSON export layer) lives in the dependency-free
+//! `pmv-obs` crate; its core types are re-exported here (see
+//! DESIGN.md §13).
 
 pub mod advisor;
 pub mod bcp;
@@ -64,6 +69,10 @@ pub use manager::{PmvManager, ViewHealthReport};
 pub use mv::{SmallMvSet, TraditionalMv};
 pub use o1::{decompose, ConditionPart, PartDim};
 pub use pipeline::{Pmv, PmvPipeline, QueryOutcome, QueryTimings};
+pub use pmv_obs::{
+    EventKind, HistSnapshot, LatencyHistogram, ObsRegistry, Phase, QueryTrace, TraceEvent,
+    TraceKind, TraceRecorder, ViewMetrics,
+};
 pub use stats::{AtomicPmvStats, PmvStats};
 pub use store::{PmvStore, Residency};
 pub use verify::{

@@ -37,19 +37,25 @@ pub struct ViewHealthReport {
     pub degraded_queries: u64,
     /// Shard/store drain events so far.
     pub quarantine_events: u64,
+    /// Milliseconds since the view was last verified consistent (a
+    /// completed maintenance batch or revalidation sweep) — how old the
+    /// breaker's notion of "known good" is.
+    pub last_verified_age_ms: u64,
 }
 
 impl std::fmt::Display for ViewHealthReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "{}: {} (error rate {:.3}, trips {}, degraded queries {}, quarantine events {})",
+            "{}: {} (error rate {:.3}, trips {}, degraded queries {}, quarantine events {}, \
+             last verified {}ms ago)",
             self.name,
             self.health,
             self.error_rate,
             self.trips,
             self.degraded_queries,
-            self.quarantine_events
+            self.quarantine_events,
+            self.last_verified_age_ms
         )
     }
 }
@@ -279,9 +285,68 @@ impl PmvManager {
                     trips: p.breaker().trip_count(),
                     degraded_queries: stats.degraded_queries,
                     quarantine_events: stats.quarantine_events,
+                    last_verified_age_ms: p.last_verified_age().as_millis() as u64,
                 }
             })
             .collect()
+    }
+
+    /// Per-view exportable telemetry: every `PmvStats` counter, the
+    /// derived probability gauges, breaker state, and the per-phase
+    /// latency snapshots from each view's obs registry. This is the feed
+    /// for [`Self::metrics_prometheus`] / [`Self::metrics_json`].
+    pub fn metrics_views(&self) -> Vec<pmv_obs::ViewMetrics> {
+        self.views
+            .iter()
+            .map(|p| {
+                let stats = p.stats();
+                pmv_obs::ViewMetrics {
+                    name: p.def().name().to_string(),
+                    health: p.health().as_str().to_string(),
+                    error_rate: p.breaker().error_rate(),
+                    trips: p.breaker().trip_count(),
+                    last_verified_age_ms: p.last_verified_age().as_millis() as u64,
+                    counters: stats.as_pairs(),
+                    gauges: vec![
+                        ("hit_probability", stats.hit_probability()),
+                        ("serving_probability", stats.serving_probability()),
+                        ("degraded_query_rate", stats.degraded_query_rate()),
+                        ("store_bytes", p.store().byte_size() as f64),
+                        ("occupancy", p.store().occupancy()),
+                    ],
+                    phases: p.obs().snapshots(),
+                }
+            })
+            .collect()
+    }
+
+    /// All views' telemetry in the Prometheus text exposition format.
+    pub fn metrics_prometheus(&self) -> String {
+        pmv_obs::to_prometheus(&self.metrics_views())
+    }
+
+    /// All views' telemetry as one JSON document.
+    pub fn metrics_json(&self) -> String {
+        pmv_obs::to_json(&self.metrics_views())
+    }
+
+    /// The most recent `n` lifecycle traces per view, oldest first
+    /// within each view. Empty unless tracing was enabled via
+    /// [`crate::pipeline::Pmv`]'s obs registry (`obs().set_enabled`).
+    pub fn trace_tail(&self, n: usize) -> Vec<pmv_obs::QueryTrace> {
+        let mut out = Vec::new();
+        for p in &self.views {
+            out.extend(p.obs().trace().tail(n));
+        }
+        out
+    }
+
+    /// Flip observability (histograms + traces) for every registered
+    /// view at once.
+    pub fn set_obs_enabled(&self, on: bool) {
+        for p in &self.views {
+            p.obs().set_enabled(on);
+        }
     }
 
     /// Aggregate statistics across all PMVs.
@@ -544,6 +609,76 @@ mod tests {
         assert_eq!(after.degraded_queries, 0);
         assert_eq!(after.queries, before.queries, "workload history kept");
         assert_eq!(after.revalidations, 1);
+    }
+
+    #[test]
+    fn metrics_export_covers_every_view_and_phase() {
+        let (db, ta, tb) = setup();
+        let mut m = mgr(&ta, &tb);
+        m.set_obs_enabled(true);
+        // Repeats make the second query of each pair a bcp hit.
+        for f in [0i64, 0, 1, 1, 2] {
+            let q = ta
+                .bind(vec![Condition::Equality(vec![Value::Int(f)])])
+                .unwrap();
+            m.run(&db, &q).unwrap();
+        }
+        let views = m.metrics_views();
+        assert_eq!(views.len(), 2);
+        let v = views.iter().find(|v| v.name == "pmv_a").unwrap();
+        assert_eq!(v.health, "healthy");
+        assert!(v.counters.contains(&("queries", 5)), "{:?}", v.counters);
+        assert!(v
+            .gauges
+            .iter()
+            .any(|(n, g)| *n == "hit_probability" && *g > 0.0));
+        // Every declared phase appears; ttfr/full actually recorded.
+        assert_eq!(v.phases.len(), pmv_obs::Phase::ALL.len());
+        let ttfr = &v.phases.iter().find(|(n, _)| *n == "ttfr").unwrap().1;
+        assert_eq!(ttfr.count(), 5);
+
+        let text = m.metrics_prometheus();
+        assert!(
+            text.contains("pmv_queries_total{view=\"pmv_a\"} 5"),
+            "{text}"
+        );
+        assert!(
+            text.contains("pmv_phase_latency_seconds_count{view=\"pmv_a\",phase=\"full\"} 5"),
+            "{text}"
+        );
+        let json = m.metrics_json();
+        assert!(json.contains("\"name\":\"pmv_a\""), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+
+        // Traces were captured and the tail is bounded per view.
+        let traces = m.trace_tail(3);
+        assert_eq!(traces.len(), 3, "only pmv_a ran queries");
+        assert!(traces.iter().all(|t| t.template == "pmv_a"));
+        assert!(traces
+            .iter()
+            .all(|t| t.events.iter().any(|e| e.kind.name() == "first_results")));
+    }
+
+    #[test]
+    fn health_report_includes_last_verified_age() {
+        let (db, ta, tb) = setup();
+        let mut m = mgr(&ta, &tb);
+        let qa = ta
+            .bind(vec![Condition::Equality(vec![Value::Int(3)])])
+            .unwrap();
+        m.run(&db, &qa).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let report = m.health_report();
+        assert!(report.iter().all(|r| r.last_verified_age_ms >= 5));
+        // A revalidation sweep resets the age.
+        m.revalidate_all(&db).unwrap();
+        let report = m.health_report();
+        assert!(
+            report.iter().all(|r| r.last_verified_age_ms < 5),
+            "{report:?}"
+        );
+        let line = report[0].to_string();
+        assert!(line.contains("last verified"), "{line}");
     }
 
     #[test]

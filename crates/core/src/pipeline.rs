@@ -19,6 +19,7 @@
 use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
+use pmv_obs::{EventKind, ObsRegistry, Phase, TraceKind};
 use pmv_query::{
     execute, execute_bounded, Database, ExecBudget, ExecStats, LockManager, QueryInstance,
 };
@@ -43,6 +44,8 @@ pub struct Pmv {
     /// When the view last completed maintenance or revalidation — the
     /// reference point for the staleness bound in degraded outcomes.
     pub(crate) last_verified: Instant,
+    /// Per-phase latency histograms + lifecycle trace ring.
+    pub(crate) obs: ObsRegistry,
 }
 
 impl Pmv {
@@ -60,7 +63,21 @@ impl Pmv {
             stats: PmvStats::default(),
             breaker,
             last_verified: Instant::now(),
+            obs: ObsRegistry::new(),
         }
+    }
+
+    /// Per-phase latency histograms and the lifecycle trace ring
+    /// (`obs().set_enabled(false)` reduces recording to a relaxed load
+    /// per call site).
+    pub fn obs(&self) -> &ObsRegistry {
+        &self.obs
+    }
+
+    /// Time since the view last completed maintenance or revalidation —
+    /// the breaker-state *age* surfaced by health reports.
+    pub fn last_verified_age(&self) -> Duration {
+        self.last_verified.elapsed()
     }
 
     /// The view definition.
@@ -111,14 +128,20 @@ impl Pmv {
     /// the property tests use. Lifts any quarantine and resets the
     /// circuit breaker — the cache is known-consistent afterwards.
     pub fn revalidate(&mut self, db: &Database) -> Result<usize> {
+        let t_start = Instant::now();
+        let mut trace = self.obs.begin_trace(TraceKind::Revalidate, self.def.name());
         let removed = revalidate_store(db, &self.def, &mut self.store)?;
         self.store.lift_quarantine();
         self.breaker.reset();
+        self.obs.record(Phase::revalidate, t_start.elapsed());
+        trace.event(EventKind::Revalidated { removed });
+        drop(trace);
         // The sweep closes the failure episode: clear the transient
         // panic/degradation/quarantine tallies along with the breaker so
         // health reports reflect the verified state, then record the
         // sweep itself.
         self.stats.reset_transient();
+        self.obs.reset_transient();
         self.stats.revalidations += 1;
         self.last_verified = Instant::now();
         Ok(removed)
@@ -278,10 +301,19 @@ impl PmvPipeline {
 
     /// Run one query through O1/O2/O3.
     pub fn run(&self, db: &Database, pmv: &mut Pmv, q: &QueryInstance) -> Result<QueryOutcome> {
+        let t_start = Instant::now();
+        let mut trace = pmv.obs.begin_trace(TraceKind::Query, pmv.def.name());
+        let mut fault_cap = pmv.obs.enabled().then(pmv_faultinject::capture);
+
         // ---- Operation O1 ----
         let t_o1 = Instant::now();
         let parts = decompose(&pmv.def, q)?;
         let o1 = t_o1.elapsed();
+        pmv.obs.record(Phase::o1_decompose, o1);
+        trace.event(EventKind::Decompose {
+            parts: parts.len(),
+            us: o1.as_micros() as u64,
+        });
 
         // ---- Operation O2 (S lock from here to the end of O3) ----
         let _s_lock = self.locks.lock_shared(pmv.def.name());
@@ -293,6 +325,10 @@ impl PmvPipeline {
         // A quarantined view serves nothing and caches nothing: the query
         // still gets its full, correct answer from O3 below.
         let serving = pmv.breaker.allow_serve();
+        trace.event(EventKind::Breaker {
+            serving,
+            state: pmv.breaker.state().as_str().to_string(),
+        });
         if serving {
             let part_refs: Vec<&ConditionPart> = parts.iter().collect();
             probe_parts(
@@ -306,6 +342,20 @@ impl PmvPipeline {
             );
         }
         let o2 = t_o2.elapsed();
+        pmv.obs.record(Phase::o2_probe, o2);
+        // Time-to-first-result: query start → O2 partials available
+        // (the paper's "~1 ms" claim, §3.3). Before O3 on purpose, so
+        // degraded queries count too.
+        let ttfr = t_start.elapsed();
+        pmv.obs.record(Phase::ttfr, ttfr);
+        trace.event_at(
+            ttfr.as_micros() as u64,
+            EventKind::FirstResults {
+                tuples: partial_expanded.len(),
+                bcp_hit,
+                us: ttfr.as_micros() as u64,
+            },
+        );
 
         // ---- Operation O3: full execution under the config's budget ----
         let t_exec = Instant::now();
@@ -323,6 +373,8 @@ impl PmvPipeline {
             Ok(Ok(r)) => r,
             Ok(Err(e)) if !(e.is_budget() || e.is_transient()) => {
                 pmv.breaker.record_error();
+                pmv.obs.record(Phase::o3_exec, t_exec.elapsed());
+                flush_faults(&mut trace, fault_cap.take());
                 return Err(e.into());
             }
             faulted => {
@@ -351,6 +403,13 @@ impl PmvPipeline {
                     pmv.stats.serving_queries += 1;
                     pmv.stats.partial_tuples_served += partial_expanded.len() as u64;
                 }
+                pmv.obs.record(Phase::o3_exec, t_exec.elapsed());
+                pmv.obs.record(Phase::degraded, t_start.elapsed());
+                trace.event(EventKind::Degraded {
+                    reason: reason.to_string(),
+                    staleness_us: pmv.last_verified.elapsed().as_micros() as u64,
+                });
+                flush_faults(&mut trace, fault_cap.take());
                 let template = pmv.def.template();
                 let partial = partial_expanded
                     .iter()
@@ -381,6 +440,13 @@ impl PmvPipeline {
         };
         pmv.breaker.record_ok();
         let exec = t_exec.elapsed();
+        pmv.obs.record(Phase::o3_exec, exec);
+        trace.event(EventKind::Exec {
+            rows: results.len(),
+            tuples_examined: exec_stats.tuples_examined,
+            index_probes: exec_stats.index_probes,
+            us: exec.as_micros() as u64,
+        });
 
         // ---- Operation O3: dedup + fill/update ----
         let t_o3 = Instant::now();
@@ -414,6 +480,9 @@ impl PmvPipeline {
         let ds_leftover = ds.len();
         debug_assert_eq!(ds_leftover, 0, "DS must be empty after O3");
         let o3_overhead = t_o3.elapsed();
+        pmv.obs.record(Phase::o3_dedup, o3_overhead);
+        pmv.obs.record(Phase::full, t_start.elapsed());
+        flush_faults(&mut trace, fault_cap.take());
 
         // ---- Bookkeeping ----
         pmv.stats.queries += 1;
@@ -466,6 +535,24 @@ impl PmvPipeline {
         let template = q.template();
         let user: Vec<Tuple> = results.iter().map(|t| template.user_tuple(t)).collect();
         Ok((user, stats, t0.elapsed()))
+    }
+}
+
+/// Close a fault-capture scope (if one was opened) and surface every
+/// delivered fault — latency injections above all, which otherwise leave
+/// no visible mark — as `FaultFired` trace events. Shared with the
+/// sharded embedding.
+pub(crate) fn flush_faults(
+    trace: &mut pmv_obs::TraceScope<'_>,
+    cap: Option<pmv_faultinject::CaptureGuard>,
+) {
+    if let Some(cap) = cap {
+        for f in cap.finish() {
+            trace.event(EventKind::FaultFired {
+                site: f.site.to_string(),
+                kind: f.kind_str(),
+            });
+        }
     }
 }
 

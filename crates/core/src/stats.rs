@@ -108,6 +108,12 @@ macro_rules! define_plain_stats {
             pub fn reset_transient(&mut self) {
                 $(reset_transient_plain!(self, $class, $field);)+
             }
+
+            /// Every counter as `(name, value)` pairs in declaration
+            /// order — the export feed for `pmv_obs::ViewMetrics`.
+            pub fn as_pairs(&self) -> Vec<(&'static str, u64)> {
+                vec![$((stringify!($field), self.$field),)+]
+            }
         }
     };
 }
@@ -211,6 +217,26 @@ mod tests {
         assert!((s.degraded_query_rate() - 0.2).abs() < 1e-12);
         assert_eq!(PmvStats::default().hit_probability(), 0.0);
         assert_eq!(PmvStats::default().degraded_query_rate(), 0.0);
+    }
+
+    #[test]
+    fn as_pairs_covers_every_field_in_order() {
+        let s = PmvStats {
+            queries: 10,
+            revalidations: 2,
+            ..Default::default()
+        };
+        let pairs = s.as_pairs();
+        assert_eq!(pairs[0], ("queries", 10));
+        assert!(pairs.contains(&("revalidations", 2)));
+        assert!(pairs.contains(&("degraded_queries", 0)));
+        // One pair per declared counter, no duplicates.
+        let mut names: Vec<_> = pairs.iter().map(|(n, _)| *n).collect();
+        let n = names.len();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), n);
+        assert_eq!(n, 20);
     }
 
     #[test]

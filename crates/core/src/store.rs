@@ -120,6 +120,12 @@ impl PmvStore {
         self.policy.name()
     }
 
+    /// Resident fraction of the policy's capacity in `[0, 1]` — the
+    /// `occupancy` telemetry gauge.
+    pub fn occupancy(&self) -> f64 {
+        self.policy.occupancy()
+    }
+
     /// Whether the store is quarantined (drained, serving nothing).
     pub fn is_quarantined(&self) -> bool {
         self.quarantined

@@ -374,6 +374,78 @@ fn pipeline_exec_panic_degrades() {
     assert_eq!(out.ds_leftover, 0);
 }
 
+/// Injected latency must be *visible*: it has to show up in the O3
+/// histogram tail and as a `fault_fired` trace event. (Before the obs
+/// layer, `FaultKind::Latency` slowed queries without leaving any mark —
+/// the one fault class invisible to every counter.)
+#[test]
+fn injected_latency_is_visible_in_histograms_and_traces() {
+    use pmv_core::{EventKind, Phase};
+    let _lock = TEST_LOCK.lock().unwrap();
+    let (db, shared) = setup(4, PmvConfig::new(3, 16, PolicyKind::Clock));
+    let t = shared.def().template().clone();
+    let q = t
+        .bind(vec![Condition::Equality(vec![Value::Int(3)])])
+        .unwrap();
+    // Fault-free baseline: O3 is fast and no fault events are recorded.
+    shared.run(&db, &q).unwrap();
+    let baseline = shared.obs().snapshot(Phase::o3_exec);
+    assert_eq!(baseline.count(), 1);
+
+    let injected = Duration::from_millis(3);
+    let plan = FaultPlan::new(11).with_rule(Site::ExecStart, FaultKind::Latency(injected), 1.0);
+    let guard = pmv_faultinject::install(Arc::new(plan));
+    let out = shared.run(&db, &q).unwrap();
+    drop(guard);
+    assert!(out.degraded.is_none(), "latency alone must not degrade");
+    assert_eq!(out.ds_leftover, 0);
+
+    // The sleep lands in the O3 execute histogram's tail.
+    let o3 = shared.obs().snapshot(Phase::o3_exec);
+    assert_eq!(o3.count(), 2);
+    assert!(
+        o3.max() >= injected,
+        "O3 max {:?} must include the injected {injected:?}",
+        o3.max()
+    );
+    assert!(
+        o3.quantile(0.99) >= injected,
+        "p99 {:?} must sit in the injected tail",
+        o3.quantile(0.99)
+    );
+    assert!(
+        baseline.max() < injected,
+        "baseline O3 {:?} must be faster than the injection",
+        baseline.max()
+    );
+
+    // The trace records the fault delivery itself.
+    let traces = shared.obs().trace().tail(2);
+    assert_eq!(traces.len(), 2);
+    let fired: Vec<_> = traces[1]
+        .events
+        .iter()
+        .filter_map(|e| match &e.kind {
+            EventKind::FaultFired { site, kind } => Some((site.clone(), kind.clone())),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(fired.len(), 1, "exactly one fault fired: {traces:?}");
+    assert_eq!(fired[0].0, Site::ExecStart.to_string());
+    assert!(
+        fired[0].1.starts_with("latency:"),
+        "kind must carry the delay, got '{}'",
+        fired[0].1
+    );
+    assert!(
+        traces[0]
+            .events
+            .iter()
+            .all(|e| !matches!(e.kind, EventKind::FaultFired { .. })),
+        "the fault-free query must record no fault events"
+    );
+}
+
 /// A quarantined view never serves partials, but queries still get full
 /// correct answers from O3.
 #[test]

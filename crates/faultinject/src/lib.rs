@@ -24,6 +24,12 @@
 //! 3. **Suppressible.** Test oracles need to compute ground truth on the
 //!    same thread the faults target; [`suppress`] disables injection for
 //!    the duration of a closure on the current thread.
+//! 4. **Observable.** A delivered fault must be visible to telemetry,
+//!    not just to the code path it broke: [`capture`] opens a
+//!    thread-local scope that records every [`FiredFault`] delivered on
+//!    the current thread. Faults are recorded *before* they act (sleep,
+//!    error return, panic), so a panic contained by `catch_unwind`
+//!    further up the same thread still leaves its record behind.
 //!
 //! Faults are injected *globally* (process-wide) via [`install`], because
 //! the interesting failures cross thread boundaries: a panic injected in
@@ -39,7 +45,7 @@
 //! assert!(fire(Site::ExecRow).is_ok()); // no rule at this site
 //! ```
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -380,6 +386,81 @@ pub fn suppress<T>(f: impl FnOnce() -> T) -> T {
     f()
 }
 
+/// A fault actually delivered on the current thread, as observed by a
+/// [`capture`] scope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FiredFault {
+    /// Site that fired.
+    pub site: Site,
+    /// What was delivered.
+    pub kind: FaultKind,
+}
+
+impl FiredFault {
+    /// Render the kind for trace/log output: `"error"`, `"panic"`, or
+    /// `"latency:<N>us"`.
+    pub fn kind_str(&self) -> String {
+        match self.kind {
+            FaultKind::Error => "error".to_string(),
+            FaultKind::Panic => "panic".to_string(),
+            FaultKind::Latency(d) => format!("latency:{}us", d.as_micros()),
+        }
+    }
+}
+
+thread_local! {
+    static CAPTURE: RefCell<Option<Vec<FiredFault>>> = const { RefCell::new(None) };
+}
+
+/// Open a capture scope on the current thread: every fault delivered
+/// until [`CaptureGuard::finish`] is recorded. Scopes nest — an inner
+/// scope shadows the outer one, which resumes when the inner finishes
+/// (or drops on an unwind).
+pub fn capture() -> CaptureGuard {
+    let prev = CAPTURE.with(|c| c.borrow_mut().replace(Vec::new()));
+    CaptureGuard {
+        prev,
+        finished: false,
+    }
+}
+
+/// Live capture scope; restores the previous scope (if any) when
+/// finished or dropped.
+pub struct CaptureGuard {
+    prev: Option<Vec<FiredFault>>,
+    finished: bool,
+}
+
+impl CaptureGuard {
+    /// Close the scope and return the faults delivered on this thread
+    /// since [`capture`], in delivery order.
+    pub fn finish(mut self) -> Vec<FiredFault> {
+        self.finished = true;
+        let fired = CAPTURE.with(|c| c.borrow_mut().take()).unwrap_or_default();
+        CAPTURE.with(|c| *c.borrow_mut() = self.prev.take());
+        fired
+    }
+}
+
+impl Drop for CaptureGuard {
+    fn drop(&mut self) {
+        if !self.finished {
+            CAPTURE.with(|c| *c.borrow_mut() = self.prev.take());
+        }
+    }
+}
+
+/// Record a delivered fault into the current thread's capture scope (if
+/// one is open). Called *before* the fault acts so the record survives
+/// injected panics contained further up the stack.
+fn record_fired(site: Site, kind: FaultKind) {
+    CAPTURE.with(|c| {
+        if let Some(buf) = c.borrow_mut().as_mut() {
+            buf.push(FiredFault { site, kind });
+        }
+    });
+}
+
 /// Evaluate the installed plan at `site`: may sleep (latency), panic, or
 /// return an [`InjectedFault`] error. Free (one relaxed load) when no
 /// plan is installed or the thread is [`suppress`]ed.
@@ -394,17 +475,20 @@ pub fn fire(site: Site) -> Result<(), InjectedFault> {
     let Some(plan) = plan else { return Ok(()) };
     match plan.decide(site) {
         None => Ok(()),
-        Some(FaultKind::Latency(d)) => {
+        Some(kind @ FaultKind::Latency(d)) => {
             plan.latencies.fetch_add(1, Ordering::Relaxed);
+            record_fired(site, kind);
             std::thread::sleep(d);
             Ok(())
         }
-        Some(FaultKind::Error) => {
+        Some(kind @ FaultKind::Error) => {
             plan.errors.fetch_add(1, Ordering::Relaxed);
+            record_fired(site, kind);
             Err(InjectedFault { site })
         }
-        Some(FaultKind::Panic) => {
+        Some(kind @ FaultKind::Panic) => {
             plan.panics.fetch_add(1, Ordering::Relaxed);
+            record_fired(site, kind);
             panic!("{PANIC_PREFIX} at {site}");
         }
     }
@@ -552,6 +636,64 @@ mod tests {
         assert!(FaultPlan::parse("exec-row:error@1.5").is_err());
         assert!(FaultPlan::parse("exec-row:latency=2s@0.5").is_err());
         assert!(FaultPlan::parse("seed=x").is_err());
+    }
+
+    #[test]
+    fn capture_records_delivered_faults_including_contained_panics() {
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let plan = Arc::new(
+            FaultPlan::new(1)
+                .with_rule(
+                    Site::ExecRow,
+                    FaultKind::Latency(Duration::from_micros(50)),
+                    1.0,
+                )
+                .with_rule(Site::MaintJoin, FaultKind::Error, 1.0)
+                .with_rule(Site::ShardFill, FaultKind::Panic, 1.0),
+        );
+        let _g = install(plan);
+
+        let cap = capture();
+        fire_soft(Site::ExecRow); // latency: recorded before the sleep
+        assert!(fire(Site::MaintJoin).is_err());
+        // Panic contained on the same thread still leaves its record.
+        let caught = std::panic::catch_unwind(|| fire_soft(Site::ShardFill));
+        assert!(caught.is_err());
+        fire_soft(Site::IndexProbe); // no rule: not recorded
+        let fired = cap.finish();
+
+        assert_eq!(fired.len(), 3);
+        assert_eq!(fired[0].site, Site::ExecRow);
+        assert_eq!(fired[0].kind_str(), "latency:50us");
+        assert_eq!(fired[1].kind, FaultKind::Error);
+        assert_eq!(fired[2].site, Site::ShardFill);
+        assert_eq!(fired[2].kind_str(), "panic");
+    }
+
+    #[test]
+    fn capture_scopes_nest_and_restore() {
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let plan = Arc::new(FaultPlan::new(1).with_rule(Site::ExecStart, FaultKind::Error, 1.0));
+        let _g = install(plan);
+
+        let outer = capture();
+        let _ = fire(Site::ExecStart);
+        {
+            let inner = capture();
+            let _ = fire(Site::ExecStart);
+            assert_eq!(inner.finish().len(), 1, "inner sees only its own");
+        }
+        let _ = fire(Site::ExecStart);
+        assert_eq!(
+            outer.finish().len(),
+            2,
+            "outer resumes after inner, missing inner's faults"
+        );
+
+        // No scope open: delivery is not recorded anywhere (and finish on
+        // a fresh scope returns empty).
+        let _ = fire(Site::ExecStart);
+        assert!(capture().finish().is_empty());
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Property tests for the log-bucketed histogram: merge must behave
+//! exactly like recording the union of values (associative and
+//! commutative), and every quantile estimate must land within one
+//! bucket of an exact nearest-rank oracle over the raw values.
+
+use pmv_obs::{bucket_bounds, bucket_of, HistSnapshot, LatencyHistogram};
+use proptest::collection::vec as prop_vec;
+use proptest::prelude::*;
+
+/// Nanosecond values spanning the interesting range: sub-bucket exact
+/// values, the µs–ms serving range, and multi-second outliers.
+fn ns_strategy() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        1 => 0u64..16,
+        4 => 100u64..10_000_000,
+        1 => 1_000_000_000u64..20_000_000_000,
+    ]
+}
+
+fn record_all(values: &[u64]) -> HistSnapshot {
+    let h = LatencyHistogram::new();
+    for &v in values {
+        h.record_ns(v);
+    }
+    h.snapshot()
+}
+
+/// Exact nearest-rank order statistic over the raw values.
+fn oracle_quantile(sorted: &[u64], q: f64) -> u64 {
+    let n = sorted.len() as f64;
+    let rank = ((q * n).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn merge_is_associative_and_matches_union(
+        a in prop_vec(ns_strategy(), 0..60),
+        b in prop_vec(ns_strategy(), 0..60),
+        c in prop_vec(ns_strategy(), 0..60),
+    ) {
+        let (sa, sb, sc) = (record_all(&a), record_all(&b), record_all(&c));
+
+        // (a ∪ b) ∪ c == a ∪ (b ∪ c)
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+        prop_assert_eq!(&left, &right);
+
+        // Commutative: b ∪ a == a ∪ b.
+        let mut ba = sb.clone();
+        ba.merge(&sa);
+        let mut ab = sa.clone();
+        ab.merge(&sb);
+        prop_assert_eq!(&ab, &ba);
+
+        // Merge identity: x ∪ ∅ == x.
+        let mut with_empty = sa.clone();
+        with_empty.merge(&HistSnapshot::empty());
+        prop_assert_eq!(&with_empty, &sa);
+
+        // Union semantics: merging equals one histogram fed everything.
+        let mut union: Vec<u64> = Vec::new();
+        union.extend_from_slice(&a);
+        union.extend_from_slice(&b);
+        union.extend_from_slice(&c);
+        prop_assert_eq!(&left, &record_all(&union));
+    }
+
+    #[test]
+    fn quantile_within_one_bucket_of_exact_oracle(
+        mut values in prop_vec(ns_strategy(), 1..120),
+        qs in prop_vec(0.0f64..1.0, 1..6),
+    ) {
+        let snap = record_all(&values);
+        values.sort_unstable();
+
+        for q in qs {
+            let exact = oracle_quantile(&values, q);
+            let est = snap.quantile(q).as_nanos() as u64;
+            // The estimate is the upper bound of the exact value's
+            // bucket, capped at the true max: never below the exact
+            // order statistic's bucket lower bound, never above the
+            // same bucket's upper bound.
+            let (lo, hi) = bucket_bounds(bucket_of(exact));
+            prop_assert!(
+                est >= lo && est <= hi.min(*values.last().unwrap()).max(lo),
+                "q={q} exact={exact} est={est} bucket=[{lo},{hi}]"
+            );
+        }
+
+        // count/sum/max are exact regardless of bucketing.
+        prop_assert_eq!(snap.count(), values.len() as u64);
+        prop_assert_eq!(snap.sum_ns(), values.iter().sum::<u64>());
+        prop_assert_eq!(snap.max().as_nanos() as u64, *values.last().unwrap());
+    }
+
+    #[test]
+    fn bucket_index_is_monotone(a in any::<u64>(), b in any::<u64>()) {
+        if a <= b {
+            prop_assert!(bucket_of(a) <= bucket_of(b));
+        } else {
+            prop_assert!(bucket_of(a) >= bucket_of(b));
+        }
+    }
+}

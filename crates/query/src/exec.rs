@@ -71,6 +71,30 @@ pub struct ExecStats {
     pub results: usize,
 }
 
+impl ExecStats {
+    /// Every counter as `(name, value)` pairs — the export feed for
+    /// per-execution telemetry (trace `exec` events, metrics gauges).
+    pub fn as_pairs(&self) -> [(&'static str, u64); 5] {
+        [
+            ("index_probes", self.index_probes as u64),
+            ("range_scans", self.range_scans as u64),
+            ("fallback_scans", self.fallback_scans as u64),
+            ("tuples_examined", self.tuples_examined as u64),
+            ("results", self.results as u64),
+        ]
+    }
+
+    /// Fold another execution's counters into this one (used when
+    /// aggregating across retries or shards).
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.index_probes += other.index_probes;
+        self.range_scans += other.range_scans;
+        self.fallback_scans += other.fallback_scans;
+        self.tuples_examined += other.tuples_examined;
+        self.results += other.results;
+    }
+}
+
 /// One join step in the binding order: bind `new_rel` by probing its
 /// `new_attr` column with the value of `bound_attr` from an already-bound
 /// relation.
@@ -1218,5 +1242,35 @@ mod interval_estimate_tests {
             stats.tuples_examined
         );
         assert_eq!(stats.range_scans, 1, "drive must use the range scan");
+    }
+
+    #[test]
+    fn exec_stats_pairs_and_merge() {
+        let mut a = ExecStats {
+            index_probes: 2,
+            tuples_examined: 10,
+            results: 3,
+            ..Default::default()
+        };
+        let pairs = a.as_pairs();
+        assert_eq!(pairs[0], ("index_probes", 2));
+        assert!(pairs.contains(&("results", 3)));
+        a.merge(&ExecStats {
+            index_probes: 1,
+            range_scans: 4,
+            fallback_scans: 1,
+            tuples_examined: 5,
+            results: 2,
+        });
+        assert_eq!(
+            a,
+            ExecStats {
+                index_probes: 3,
+                range_scans: 4,
+                fallback_scans: 1,
+                tuples_examined: 15,
+                results: 5,
+            }
+        );
     }
 }
