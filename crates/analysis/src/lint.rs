@@ -10,6 +10,7 @@
 //! | `lock_in_catch_unwind` | no lock acquisition inside a `catch_unwind` closure — guards are acquired *outside* so the quarantine handler can still reach the store after a panic |
 //! | `lock_order` | DB guard before shard guard, never the reverse |
 //! | `relaxed_outside_stats` | `Ordering::Relaxed` only in designated statistics modules (`stats.rs`, anywhere in the `obs` crate, or a file whose docs declare the "statistics, not synchronization" contract) |
+//! | `lock_in_pin_region` | no blocking lock acquisition (`.read()`/`.write()`/`.lock()`) inside an epoch-pinned region — the scope of a `let … = ….pin()` binding or the body of a `run_pinned` function. The epoch serving path promises "no lock waited on between pin and answer"; best-effort `try_write()` is allowed |
 //!
 //! ## Escape hatch
 //!
@@ -56,11 +57,12 @@ impl fmt::Display for Level {
 }
 
 /// The shipped-enabled rules.
-pub const RULES: [(&str, Level); 4] = [
+pub const RULES: [(&str, Level); 5] = [
     ("write_guard_across_exec", Level::Error),
     ("lock_in_catch_unwind", Level::Error),
     ("lock_order", Level::Error),
     ("relaxed_outside_stats", Level::Warning),
+    ("lock_in_pin_region", Level::Error),
 ];
 
 /// One lint hit.
@@ -168,6 +170,7 @@ pub fn lint_source(file: &Path, source: &str, report: &mut LintReport) {
     rule_lock_in_catch_unwind(&masked, &line_of, &mut raw);
     rule_lock_order(&masked, &line_of, &mut raw);
     rule_relaxed_outside_stats(file, source, &masked, &line_of, &mut raw);
+    rule_lock_in_pin_region(&masked, &line_of, &mut raw);
 
     for (rule, level, line, message) in raw {
         if let Some(allow_line) = allow_covers(&lines, rule, line) {
@@ -569,6 +572,73 @@ fn rule_lock_order(masked: &str, line_of: &[usize], out: &mut Vec<RawFinding>) {
     }
 }
 
+/// Blocking lock acquisitions forbidden inside an epoch-pinned region.
+/// `.try_write()` / `.try_read()` deliberately do not match (`_` before
+/// `write`): best-effort, non-blocking write-backs are the sanctioned
+/// pattern on the pinned path.
+const BLOCKING_ACQUIRES: [&str; 3] = [".read()", ".write()", ".lock()"];
+
+fn rule_lock_in_pin_region(masked: &str, line_of: &[usize], out: &mut Vec<RawFinding>) {
+    // Region form 1: the scope of a `let pin = ….pin()` binding. The
+    // pinned snapshot promises lock-free serving for as long as the
+    // query holds it.
+    for pos in find_all(masked, ".pin()") {
+        let (_, stmt) = statement_around(masked, pos);
+        if !stmt.contains("let ") {
+            continue;
+        }
+        let Some(var) = let_binding_name(stmt) else {
+            continue;
+        };
+        let scope_end = guard_scope_end(masked, pos + ".pin()".len(), Some(var));
+        flag_blocking(masked, pos, scope_end, line_of, out, &|at_line| {
+            format!(
+                "blocking lock acquisition while epoch pin `{var}` (line {at_line}) is live — \
+                 the pinned serving path must not wait on any lock; use the published \
+                 read views / `try_write` write-backs instead"
+            )
+        });
+    }
+    // Region form 2: the body of any `fn run_pinned…` — the epoch
+    // serving path itself, which must stay wait-free end to end.
+    for pos in find_all(masked, "fn run_pinned") {
+        let Some(open_rel) = masked[pos..].find('{') else {
+            continue;
+        };
+        let open = pos + open_rel;
+        let body_end = guard_scope_end(masked, open + 1, None);
+        flag_blocking(masked, open, body_end, line_of, out, &|at_line| {
+            format!(
+                "blocking lock acquisition inside `run_pinned` (line {at_line}) — the epoch \
+                 serving path must not wait on any lock; use the published read views / \
+                 `try_write` write-backs instead"
+            )
+        });
+    }
+}
+
+fn flag_blocking(
+    masked: &str,
+    start: usize,
+    end: usize,
+    line_of: &[usize],
+    out: &mut Vec<RawFinding>,
+    message: &dyn Fn(usize) -> String,
+) {
+    let span = &masked[start..end.min(masked.len())];
+    for acquire in BLOCKING_ACQUIRES {
+        for hit in find_all(span, acquire) {
+            let at = start + hit;
+            out.push((
+                "lock_in_pin_region",
+                Level::Error,
+                line_of[at],
+                message(line_of[start]),
+            ));
+        }
+    }
+}
+
 /// Marker phrase a module must carry to use relaxed atomics: it declares
 /// the counters are statistics with no synchronization role.
 pub const RELAXED_MARKER: &str = "statistics, not synchronization";
@@ -760,6 +830,66 @@ fn special(db: &Database) {
         assert!(report.findings.is_empty(), "{:?}", report.findings);
         assert_eq!(report.allows_used.len(), 1);
         assert_eq!(report.allows_used[0].rule, "write_guard_across_exec");
+    }
+
+    #[test]
+    fn flags_blocking_lock_in_pin_scope() {
+        let src = r#"
+fn bad(&self) {
+    let snap = self.published.pin();
+    let guard = self.db.read();
+}
+"#;
+        let report = lint_str(src);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.rule == "lock_in_pin_region"),
+            "{:?}",
+            report.findings
+        );
+        // Dropping the pin ends the region.
+        let src = r#"
+fn good(&self) {
+    let snap = self.published.pin();
+    serve(&snap);
+    drop(snap);
+    let guard = self.db.read();
+}
+"#;
+        let report = lint_str(src);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn flags_blocking_lock_in_run_pinned_but_allows_try_write() {
+        let src = r#"
+fn run_pinned(&self, view: &V) {
+    let sv = inner.views[si].load();
+    let Some(mut store) = inner.shards[si].try_write() else {
+        return;
+    };
+    store.touch(&bcp, true);
+}
+"#;
+        let report = lint_str(src);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        let src = r#"
+fn run_pinned(&self, view: &V) {
+    let mut store = inner.shards[si].write();
+    store.touch(&bcp, true);
+}
+"#;
+        let report = lint_str(src);
+        assert!(
+            report
+                .findings
+                .iter()
+                .any(|f| f.rule == "lock_in_pin_region"),
+            "{:?}",
+            report.findings
+        );
     }
 
     #[test]

@@ -1,0 +1,176 @@
+//! CI regression gate: diff a fresh `concurrent_scaling --quick --json`
+//! run against the committed `BENCH_pmv.json` baseline and fail the
+//! build when the serving path got materially slower.
+//!
+//! Cells are matched by `(threads, shards)`. The gates are calibrated
+//! for small shared CI runners, where per-cell numbers are noisy but
+//! aggregates are stable (measured ~11% run-to-run spread on a 1-core
+//! host vs >2× swings for individual multi-thread tail cells):
+//!
+//! - **qps**: the *sum* across matched cells may not drop more than
+//!   `--max-qps-drop-pct` (default 20%); any single cell dropping more
+//!   than twice that is flagged as a collapse regardless of the
+//!   aggregate.
+//! - **ttfr_p99_us**: per-cell, may not grow more than
+//!   `--max-p99-growth`× (default 2×). Time-to-first-result is the
+//!   wait-free serving path's own latency and stays in the tens of
+//!   microseconds at every thread count, so tail growth here is signal.
+//! - **full_p99_us**: same growth gate, but only for `threads == 1`
+//!   cells. With more runnable threads than cores the end-to-end tail
+//!   is one descheduling (multiple milliseconds of timeslice), pure
+//!   scheduler lottery.
+//!
+//! Both p99 gates ignore cells whose current value is under
+//! `--p99-floor-us` (default 100 µs): 2× of single-digit-microsecond
+//! noise is still noise. Runs with different `quick` workloads or
+//! `snapshot_mode`s are refused rather than diffed apples-to-oranges.
+//!
+//! Usage:
+//!   bench_regression --baseline BENCH_pmv.json --current BENCH_current.json
+//!
+//! Exit status: 0 clean, 1 regression (or incomparable inputs), 2 bad
+//! invocation.
+
+use pmv_bench::tpcr_harness::arg_value;
+use serde_json::Value;
+
+fn main() {
+    let baseline_path = arg_value("--baseline").unwrap_or_else(|| "BENCH_pmv.json".to_string());
+    let current_path = arg_value("--current").unwrap_or_else(|| "BENCH_current.json".to_string());
+    let max_qps_drop_pct = parse_f64("--max-qps-drop-pct", 20.0);
+    let max_p99_growth = parse_f64("--max-p99-growth", 2.0);
+    let p99_floor_us = parse_f64("--p99-floor-us", 100.0);
+
+    let baseline = load(&baseline_path);
+    let current = load(&current_path);
+
+    for key in ["quick", "snapshot_mode"] {
+        let (b, c) = (baseline.get(key), current.get(key));
+        // Baselines written before the field existed are accepted; a
+        // present-but-different value is an apples-to-oranges diff.
+        if b.is_some() && format!("{b:?}") != format!("{c:?}") {
+            eprintln!(
+                "bench_regression: '{key}' differs (baseline {b:?}, current {c:?}); \
+                 runs are not comparable"
+            );
+            std::process::exit(1);
+        }
+    }
+
+    let base_cells = series(&baseline, &baseline_path);
+    let cur_cells = series(&current, &current_path);
+
+    let mut failures = 0usize;
+    let mut compared = 0usize;
+    let mut base_qps_sum = 0.0f64;
+    let mut cur_qps_sum = 0.0f64;
+    for b in base_cells {
+        let (threads, shards) = cell_key(b);
+        let Some(c) = cur_cells.iter().find(|c| cell_key(c) == (threads, shards)) else {
+            eprintln!("FAIL threads={threads} shards={shards}: cell missing from current run");
+            failures += 1;
+            continue;
+        };
+        compared += 1;
+        let b_qps = num(b, "qps");
+        let c_qps = num(c, "qps");
+        base_qps_sum += b_qps;
+        cur_qps_sum += c_qps;
+        let drop_pct = (1.0 - c_qps / b_qps) * 100.0;
+        if drop_pct > 2.0 * max_qps_drop_pct {
+            eprintln!(
+                "FAIL threads={threads} shards={shards}: qps {b_qps:.0} -> {c_qps:.0} \
+                 ({drop_pct:.1}% drop; single-cell collapse limit is {:.0}%)",
+                2.0 * max_qps_drop_pct
+            );
+            failures += 1;
+        }
+        let gated_p99s: &[&str] = if threads == 1 {
+            &["ttfr_p99_us", "full_p99_us"]
+        } else {
+            &["ttfr_p99_us"]
+        };
+        for p99 in gated_p99s {
+            let b_p99 = num(b, p99);
+            let c_p99 = num(c, p99);
+            if c_p99 <= p99_floor_us {
+                continue; // below the noise floor: never a regression
+            }
+            if c_p99 > b_p99.max(p99_floor_us) * max_p99_growth {
+                eprintln!(
+                    "FAIL threads={threads} shards={shards}: {p99} {b_p99:.0} -> {c_p99:.0} \
+                     (> {max_p99_growth:.1}x growth)"
+                );
+                failures += 1;
+            }
+        }
+    }
+    if compared > 0 {
+        let agg_drop_pct = (1.0 - cur_qps_sum / base_qps_sum) * 100.0;
+        if agg_drop_pct > max_qps_drop_pct {
+            eprintln!(
+                "FAIL aggregate: sum qps {base_qps_sum:.0} -> {cur_qps_sum:.0} \
+                 ({agg_drop_pct:.1}% drop > {max_qps_drop_pct:.0}% allowed)"
+            );
+            failures += 1;
+        } else {
+            eprintln!(
+                "aggregate qps {base_qps_sum:.0} -> {cur_qps_sum:.0} ({agg_drop_pct:+.1}% change)"
+            );
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("bench_regression: {failures} regression(s) across {compared} compared cell(s)");
+        std::process::exit(1);
+    }
+    eprintln!(
+        "bench_regression: {compared} cell(s) within gates (aggregate qps drop <= \
+         {max_qps_drop_pct:.0}%, p99 growth <= {max_p99_growth:.1}x above {p99_floor_us:.0} µs floor)"
+    );
+}
+
+fn parse_f64(flag: &str, default: f64) -> f64 {
+    match arg_value(flag) {
+        None => default,
+        Some(v) => v.parse().unwrap_or_else(|_| {
+            eprintln!("bench_regression: {flag} wants a number, got '{v}'");
+            std::process::exit(2);
+        }),
+    }
+}
+
+fn load(path: &str) -> Value {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_regression: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    serde_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("bench_regression: {path} is not valid JSON: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn series<'a>(doc: &'a Value, path: &str) -> &'a Vec<Value> {
+    doc.get("series")
+        .and_then(Value::as_array)
+        .unwrap_or_else(|| {
+            eprintln!("bench_regression: {path} has no 'series' array");
+            std::process::exit(2);
+        })
+}
+
+fn cell_key(cell: &Value) -> (i64, i64) {
+    (
+        cell.get("threads").and_then(Value::as_i64).unwrap_or(-1),
+        cell.get("shards").and_then(Value::as_i64).unwrap_or(-1),
+    )
+}
+
+fn num(cell: &Value, key: &str) -> f64 {
+    let (threads, shards) = cell_key(cell);
+    cell.get(key).and_then(Value::as_f64).unwrap_or_else(|| {
+        eprintln!("bench_regression: cell threads={threads} shards={shards} lacks numeric '{key}'");
+        std::process::exit(2);
+    })
+}

@@ -25,6 +25,11 @@
 //! see the shard effect.)
 //!
 //! `--quick` scales the workload down ~10× for a smoke run.
+//! `--snapshot-mode={locked,epoch}` selects the serving path: `locked`
+//! takes the database read lock per query ([`SharedPmv::run`]); `epoch`
+//! (the default) pins the published snapshot and serves wait-free
+//! ([`EpochDb::query`] → `run_pinned`). The chosen mode is recorded in
+//! the JSON so regression diffs compare like with like.
 //! `--json [path]` additionally writes the machine-readable series to
 //! `BENCH_pmv.json` (or `path`) for CI artifacts and regression diffs.
 //! `--faults <spec>` installs a `pmv-faultinject` plan for the measured
@@ -38,7 +43,7 @@ use std::time::Instant;
 use pmv_bench::tpcr_harness::{arg_flag, arg_value};
 use pmv_bench::ExperimentReport;
 use pmv_cache::PolicyKind;
-use pmv_core::{PartialViewDef, Phase, PmvConfig, SharedPmv};
+use pmv_core::{EpochDb, PartialViewDef, Phase, PmvConfig, SharedPmv};
 use pmv_index::IndexDef;
 use pmv_query::{Condition, Database, QueryTemplate, TemplateBuilder};
 use pmv_storage::{tuple, Column, ColumnType, Schema, Value};
@@ -70,6 +75,15 @@ fn main() {
             .filter(|v| !v.starts_with("--"))
             .unwrap_or_else(|| "BENCH_pmv.json".to_string())
     });
+    let mode = arg_value("--snapshot-mode").unwrap_or_else(|| "epoch".to_string());
+    let epoch_mode = match mode.as_str() {
+        "epoch" => true,
+        "locked" => false,
+        other => {
+            eprintln!("bad --snapshot-mode '{other}': expected 'locked' or 'epoch'");
+            std::process::exit(2);
+        }
+    };
     let faulty = arg_value("--faults").map(|spec| {
         let plan = pmv_faultinject::FaultPlan::parse(&spec).unwrap_or_else(|e| {
             eprintln!("bad --faults spec: {e}");
@@ -122,9 +136,15 @@ fn main() {
         .build()
         .unwrap();
 
+    // The database never changes during the sweep, so one EpochDb serves
+    // every cell: locked mode takes its read lock per query, epoch mode
+    // pins its published snapshot.
+    let edb = EpochDb::new(db);
+
     let thread_counts = [1usize, 2, 4, 8];
     let shard_counts = [1usize, 4, 16];
 
+    eprintln!("snapshot mode: {mode}");
     let mut report = ExperimentReport::new(
         "concurrent_scaling",
         "O2 probe throughput + latency percentiles, threads x shards, disjoint bcps",
@@ -135,7 +155,9 @@ fn main() {
     for &threads in &thread_counts {
         let mut values = Vec::new();
         for (si, &shards) in shard_counts.iter().enumerate() {
-            let (shared, qps) = run_cell(&db, &template, bcps, threads, shards, per_thread, true);
+            let (shared, qps) = run_cell(
+                &edb, &template, bcps, threads, shards, per_thread, true, epoch_mode,
+            );
             let stats = shared.stats();
             assert_eq!(stats.queries as usize, threads * per_thread);
             if threads == 1 {
@@ -203,11 +225,11 @@ fn main() {
     let mut qps_on = 0.0f64;
     for _ in 0..3 {
         let (_, q) = run_cell(
-            &db, &template, bcps, ov_threads, ov_shards, per_thread, false,
+            &edb, &template, bcps, ov_threads, ov_shards, per_thread, false, epoch_mode,
         );
         qps_off = qps_off.max(q);
         let (_, q) = run_cell(
-            &db, &template, bcps, ov_threads, ov_shards, per_thread, true,
+            &edb, &template, bcps, ov_threads, ov_shards, per_thread, true, epoch_mode,
         );
         qps_on = qps_on.max(q);
     }
@@ -235,7 +257,7 @@ fn main() {
     obs_report.print();
 
     if let Some(path) = json_path {
-        let json = cells_to_json(quick, &cells, ov_threads, ov_shards, qps_off, qps_on);
+        let json = cells_to_json(quick, &mode, &cells, ov_threads, ov_shards, qps_off, qps_on);
         std::fs::write(&path, &json).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
@@ -244,16 +266,34 @@ fn main() {
     }
 }
 
+/// Serve one query on the selected path: `epoch` pins the published
+/// snapshot (wait-free), `locked` holds the database read lock.
+fn serve(
+    edb: &EpochDb,
+    shared: &SharedPmv,
+    q: &pmv_query::QueryInstance,
+    epoch_mode: bool,
+) -> pmv_core::QueryOutcome {
+    if epoch_mode {
+        edb.query(shared, q).unwrap()
+    } else {
+        let guard = edb.read();
+        shared.run(&guard, q).unwrap()
+    }
+}
+
 /// Build, warm, and measure one (threads × shards) configuration.
 /// Returns the shared PMV (for stats/histograms) and queries/second.
+#[allow(clippy::too_many_arguments)]
 fn run_cell(
-    db: &Database,
+    edb: &EpochDb,
     template: &Arc<QueryTemplate>,
     bcps: i64,
     threads: usize,
     shards: usize,
     per_thread: usize,
     obs_enabled: bool,
+    epoch_mode: bool,
 ) -> (SharedPmv, f64) {
     let def = PartialViewDef::all_equality("bench_pmv", template.clone()).unwrap();
     let config = PmvConfig::new(8, (bcps as usize) * 2, PolicyKind::Clock);
@@ -265,8 +305,8 @@ fn run_cell(
         let q = template
             .bind(vec![Condition::Equality(vec![Value::Int(f)])])
             .unwrap();
-        shared.run(db, &q).unwrap();
-        shared.run(db, &q).unwrap();
+        serve(edb, &shared, &q, epoch_mode);
+        serve(edb, &shared, &q, epoch_mode);
     }
     shared.reset_stats();
     shared.obs().reset();
@@ -283,7 +323,7 @@ fn run_cell(
                     let q = template
                         .bind(vec![Condition::Equality(vec![Value::Int(f)])])
                         .unwrap();
-                    let out = shared.run(db, &q).unwrap();
+                    let out = serve(edb, &shared, &q, epoch_mode);
                     assert_eq!(out.ds_leftover, 0);
                     f = (f + threads as i64) % bcps;
                 }
@@ -299,6 +339,7 @@ fn run_cell(
 /// observability-overhead comparison.
 fn cells_to_json(
     quick: bool,
+    mode: &str,
     cells: &[CellResult],
     ov_threads: usize,
     ov_shards: usize,
@@ -308,7 +349,8 @@ fn cells_to_json(
     let mut out = String::with_capacity(4096);
     let _ = write!(
         out,
-        "{{\n  \"bench\": \"concurrent_scaling\",\n  \"quick\": {quick},\n  \"series\": ["
+        "{{\n  \"bench\": \"concurrent_scaling\",\n  \"quick\": {quick},\n  \
+         \"snapshot_mode\": \"{mode}\",\n  \"series\": ["
     );
     for (i, c) in cells.iter().enumerate() {
         if i > 0 {

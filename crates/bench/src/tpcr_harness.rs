@@ -220,9 +220,14 @@ pub fn estimate_scale(db: &Database) -> f64 {
 /// Tiny CLI helper: `--flag value` style lookup over `std::env::args`.
 pub fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
+    let prefix = format!("{name}=");
     args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1).cloned())
+        .find_map(|a| a.strip_prefix(&prefix).map(str::to_string))
+        .or_else(|| {
+            args.iter()
+                .position(|a| a == name)
+                .and_then(|i| args.get(i + 1).cloned())
+        })
 }
 
 /// Presence of a bare `--flag`.

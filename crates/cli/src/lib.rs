@@ -25,7 +25,8 @@ use std::sync::Arc;
 
 use pmv_cache::PolicyKind;
 use pmv_core::{
-    AdvisorConfig, PartialViewDef, Pmv, PmvAdvisor, PmvConfig, PmvPipeline, VerifyOptions,
+    AdvisorConfig, PartialViewDef, Pmv, PmvAdvisor, PmvConfig, PmvPipeline, QueryOutcome,
+    SharedPmv, VerifyOptions,
 };
 use pmv_query::{
     parse_template, CondForm, Condition, Database, Interval, QueryInstance, QueryTemplate,
@@ -116,13 +117,42 @@ fn usage(msg: impl Into<String>) -> CliError {
     CliError::Usage(msg.into())
 }
 
+/// Which serving path `query` uses for PMV-backed templates
+/// (`--snapshot-mode={locked,epoch}`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SnapshotMode {
+    /// The paper's protocol: S/X locks through the single-threaded
+    /// pipeline against the live database.
+    #[default]
+    Locked,
+    /// The lock-free path: each query pins a copy-on-write database
+    /// snapshot and serves wait-free via [`SharedPmv::run_pinned`].
+    Epoch,
+}
+
+impl std::str::FromStr for SnapshotMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "locked" => Ok(SnapshotMode::Locked),
+            "epoch" => Ok(SnapshotMode::Epoch),
+            other => Err(format!(
+                "bad snapshot mode '{other}': expected 'locked' or 'epoch'"
+            )),
+        }
+    }
+}
+
 /// An interactive session: database + templates + PMVs + advisor.
 pub struct Session {
     db: Database,
     templates: HashMap<String, Arc<QueryTemplate>>,
     pmvs: HashMap<String, Pmv>,
+    shared: HashMap<String, SharedPmv>,
     pipeline: PmvPipeline,
     advisor: PmvAdvisor,
+    mode: SnapshotMode,
 }
 
 impl Default for Session {
@@ -132,14 +162,21 @@ impl Default for Session {
 }
 
 impl Session {
-    /// Fresh session with an empty database.
+    /// Fresh session with an empty database, serving in locked mode.
     pub fn new() -> Self {
+        Self::with_mode(SnapshotMode::default())
+    }
+
+    /// Fresh session serving PMV queries on the given path.
+    pub fn with_mode(mode: SnapshotMode) -> Self {
         Session {
             db: Database::new(),
             templates: HashMap::new(),
             pmvs: HashMap::new(),
+            shared: HashMap::new(),
             pipeline: PmvPipeline::new(),
             advisor: PmvAdvisor::new(),
+            mode,
         }
     }
 
@@ -282,13 +319,23 @@ impl Session {
             .collect();
         let def = PartialViewDef::new(format!("pmv_{name}"), template, discretizers)?;
         let summary = format!(
-            "PMV for '{}': F={}, L={}, policy={}",
+            "PMV for '{}': F={}, L={}, policy={}{}",
             name,
             config.f,
             config.l,
-            config.policy.name()
+            config.policy.name(),
+            if self.mode == SnapshotMode::Epoch {
+                " (epoch serving)"
+            } else {
+                ""
+            }
         );
-        self.pmvs.insert(name.to_string(), Pmv::new(def, config));
+        if self.mode == SnapshotMode::Epoch {
+            self.shared
+                .insert(name.to_string(), SharedPmv::new(def, config));
+        } else {
+            self.pmvs.insert(name.to_string(), Pmv::new(def, config));
+        }
         Ok(summary)
     }
 
@@ -389,31 +436,24 @@ impl Session {
                 let (rows, _, elapsed) = self.pipeline.run_plain(&self.db, &q)?;
                 Ok(format!("{} row(s) in {elapsed:?} (no PMV)", rows.len()))
             }
+            Mode::Pmv if self.mode == SnapshotMode::Epoch => {
+                let shared = self
+                    .shared
+                    .get(name)
+                    .ok_or_else(|| usage(format!("no PMV for '{name}' (use: pmv {name})")))?;
+                // Pin a copy-on-write snapshot (O(1) — Arc clones of the
+                // relations and indexes) and serve with no database lock.
+                let snap = self.db.snapshot();
+                let out = shared.run_pinned(&snap, &q)?;
+                Ok(format_outcome(&out))
+            }
             Mode::Pmv => {
                 let pmv = self
                     .pmvs
                     .get_mut(name)
                     .ok_or_else(|| usage(format!("no PMV for '{name}' (use: pmv {name})")))?;
                 let out = self.pipeline.run(&self.db, pmv, &q)?;
-                let mut text = format!(
-                    "{} row(s) immediately in {:?}, {} after execution ({:?}); hit={}",
-                    out.partial.len(),
-                    out.timings.o2,
-                    out.remaining.len(),
-                    out.timings.exec,
-                    out.bcp_hit
-                );
-                if let Some(d) = &out.degraded {
-                    let _ = write!(
-                        text,
-                        "\n  DEGRADED ({}): partial results only, staleness ≤ {:?}",
-                        d.reason, d.staleness
-                    );
-                }
-                for t in out.partial.iter().take(5) {
-                    let _ = write!(text, "\n  early: {t}");
-                }
-                Ok(text)
+                Ok(format_outcome(&out))
             }
         }
     }
@@ -440,6 +480,22 @@ impl Session {
                 },
             );
         }
+        for (name, v) in &self.shared {
+            let s = v.stats();
+            let b = v.breaker();
+            let _ = writeln!(
+                out,
+                "{name}: {} (error rate {:.3}, trips {}, degraded queries {}, \
+                 quarantine events {}, last verified {}ms ago, {} shard(s) quarantined)",
+                v.health(),
+                b.error_rate(),
+                b.trip_count(),
+                s.degraded_queries,
+                s.quarantine_events,
+                v.staleness().as_millis(),
+                v.quarantined_shards(),
+            );
+        }
         if out.is_empty() {
             out.push_str("(no PMVs yet)\n");
         }
@@ -451,7 +507,7 @@ impl Session {
     fn view_metrics(&self) -> Vec<pmv_obs::ViewMetrics> {
         let mut names: Vec<&String> = self.pmvs.keys().collect();
         names.sort();
-        names
+        let mut views: Vec<pmv_obs::ViewMetrics> = names
             .into_iter()
             .map(|name| {
                 let pmv = &self.pmvs[name];
@@ -473,7 +529,29 @@ impl Session {
                     phases: pmv.obs().snapshots(),
                 }
             })
-            .collect()
+            .collect();
+        let mut names: Vec<&String> = self.shared.keys().collect();
+        names.sort();
+        views.extend(names.into_iter().map(|name| {
+            let v = &self.shared[name];
+            let s = v.stats();
+            pmv_obs::ViewMetrics {
+                name: v.def().name().to_string(),
+                health: v.health().as_str().to_string(),
+                error_rate: v.breaker().error_rate(),
+                trips: v.breaker().trip_count(),
+                last_verified_age_ms: v.staleness().as_millis() as u64,
+                counters: s.as_pairs(),
+                gauges: vec![
+                    ("hit_probability", s.hit_probability()),
+                    ("serving_probability", s.serving_probability()),
+                    ("degraded_query_rate", s.degraded_query_rate()),
+                    ("store_bytes", v.byte_size() as f64),
+                ],
+                phases: v.obs().snapshots(),
+            }
+        }));
+        views
     }
 
     /// `metrics [--format prometheus|json]` — default is a human
@@ -553,7 +631,7 @@ impl Session {
             };
             n = value.parse().map_err(|_| usage("bad tail count"))?;
         }
-        if self.pmvs.is_empty() {
+        if self.pmvs.is_empty() && self.shared.is_empty() {
             return Ok("(no PMVs yet)\n".to_string());
         }
         let mut names: Vec<&String> = self.pmvs.keys().collect();
@@ -562,6 +640,13 @@ impl Session {
         for name in names {
             for trace in self.pmvs[name].obs().trace().tail(n) {
                 // Display already ends each trace with a newline.
+                let _ = write!(out, "{trace}");
+            }
+        }
+        let mut names: Vec<&String> = self.shared.keys().collect();
+        names.sort();
+        for name in names {
+            for trace in self.shared[name].obs().trace().tail(n) {
                 let _ = write!(out, "{trace}");
             }
         }
@@ -585,6 +670,20 @@ impl Session {
                 out,
                 "{name}: {removed} stale tuple(s) removed, now {}",
                 pmv.health()
+            );
+        }
+        let mut names: Vec<String> = self.shared.keys().cloned().collect();
+        names.sort();
+        for name in names {
+            if !rest.is_empty() && rest != name {
+                continue;
+            }
+            let v = &self.shared[&name];
+            let removed = v.revalidate(&self.db)?;
+            let _ = writeln!(
+                out,
+                "{name}: {removed} stale tuple(s) removed, now {}",
+                v.health()
             );
         }
         if out.is_empty() {
@@ -611,6 +710,25 @@ impl Session {
                 pmv.store().tuple_count(),
                 pmv.store().byte_size(),
                 pmv.store().policy_name(),
+            );
+        }
+        for (name, v) in &self.shared {
+            if !rest.is_empty() && rest != name {
+                continue;
+            }
+            let s = v.stats();
+            let _ = writeln!(
+                out,
+                "{name}: {} queries, hit {:.1}%, {} tuples served early, \
+                 store {} entries / {} tuples / {} bytes, policy {}, {} shard(s)",
+                s.queries,
+                s.hit_probability() * 100.0,
+                s.partial_tuples_served,
+                v.entry_count(),
+                v.tuple_count(),
+                v.byte_size(),
+                v.config().policy.name(),
+                v.shard_count(),
             );
         }
         if out.is_empty() {
@@ -648,6 +766,29 @@ enum Mode {
     Pmv,
     Plain,
     Explain,
+}
+
+/// Human rendering of a PMV query outcome, shared by both serving paths.
+fn format_outcome(out: &QueryOutcome) -> String {
+    let mut text = format!(
+        "{} row(s) immediately in {:?}, {} after execution ({:?}); hit={}",
+        out.partial.len(),
+        out.timings.o2,
+        out.remaining.len(),
+        out.timings.exec,
+        out.bcp_hit
+    );
+    if let Some(d) = &out.degraded {
+        let _ = write!(
+            text,
+            "\n  DEGRADED ({}): partial results only, staleness ≤ {:?}",
+            d.reason, d.staleness
+        );
+    }
+    for t in out.partial.iter().take(5) {
+        let _ = write!(text, "\n  early: {t}");
+    }
+    text
 }
 
 /// A parsed binding: values for an equality slot, ranges for an interval
@@ -768,6 +909,59 @@ mod tests {
         assert!(stats.contains("t1:"), "{stats}");
         let plain = s.execute("plain t1 [100] [1]").unwrap();
         assert!(plain.contains("no PMV"));
+    }
+
+    #[test]
+    fn epoch_mode_session_flow() {
+        let mut s = Session::with_mode(SnapshotMode::Epoch);
+        s.execute("load tpcr 0.001").unwrap();
+        s.execute(
+            "template t1 SELECT * FROM orders, lineitem \
+             WHERE orders.orderkey = lineitem.orderkey \
+             AND orders.orderdate = ? AND lineitem.suppkey = ?",
+        )
+        .unwrap();
+        let out = s.execute("pmv t1 f=3 l=1000").unwrap();
+        assert!(out.contains("epoch serving"), "{out}");
+        // Sample a (orderdate, suppkey) combo that actually has rows, so
+        // the hit serves a non-empty partial.
+        let (date, supp) = {
+            let db = s.database_mut();
+            let oh = db.relation("orders").unwrap();
+            let orders = oh.read();
+            let (_, o) = orders.iter().next().unwrap();
+            let okey = o.get(0).as_int().unwrap();
+            let date = o.get(2).as_int().unwrap();
+            let lh = db.relation("lineitem").unwrap();
+            let lines = lh.read();
+            let supp = lines
+                .iter()
+                .find(|(_, l)| l.get(0).as_int() == Some(okey))
+                .unwrap()
+                .1
+                .get(1)
+                .as_int()
+                .unwrap();
+            (date, supp)
+        };
+        // Early queries fill through the pinned snapshot (first
+        // admissions are probationary), later ones hit.
+        for _ in 0..3 {
+            s.execute(&format!("query t1 [{date}] [{supp}]")).unwrap();
+        }
+        let out = s.execute(&format!("query t1 [{date}] [{supp}]")).unwrap();
+        assert!(out.contains("hit=true"), "{out}");
+        assert!(!out.starts_with("0 row(s)"), "hit must serve rows: {out}");
+        let stats = s.execute("stats").unwrap();
+        assert!(stats.contains("shard(s)"), "{stats}");
+        let health = s.execute("health").unwrap();
+        assert!(health.contains("t1: healthy"), "{health}");
+        let metrics = s.execute("metrics").unwrap();
+        assert!(metrics.contains("pmv_t1 [healthy] queries=4"), "{metrics}");
+        let reval = s.execute("revalidate").unwrap();
+        assert!(reval.contains("t1: 0 stale tuple(s) removed"), "{reval}");
+        let trace = s.execute("trace").unwrap();
+        assert!(trace.contains("query 'pmv_t1'"), "{trace}");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 //! cargo run --release -p pmv-cli              # interactive
 //! cargo run --release -p pmv-cli script.pmv   # run a command script
 //! cargo run --release -p pmv-cli -- --fault-plan 'seed=42;exec-row:error@0.01' script.pmv
+//! cargo run --release -p pmv-cli -- --snapshot-mode=epoch   # wait-free serving path
 //! ```
 //!
 //! Exit codes (script mode): 0 success, 1 I/O, 2 usage, 3 storage error,
@@ -11,11 +12,12 @@
 
 use std::io::{BufRead, Write};
 
-use pmv_cli::{CliError, Session};
+use pmv_cli::{CliError, Session, SnapshotMode};
 
 fn main() {
     let mut script_path: Option<String> = None;
     let mut fault_plan: Option<String> = None;
+    let mut mode = SnapshotMode::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         if let Some(spec) = arg.strip_prefix("--fault-plan=") {
@@ -25,6 +27,23 @@ fn main() {
                 Some(spec) => fault_plan = Some(spec),
                 None => {
                     eprintln!("--fault-plan needs a spec, e.g. 'seed=42;exec-row:error@0.01'");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(m) = arg.strip_prefix("--snapshot-mode=") {
+            mode = m.parse().unwrap_or_else(|e| {
+                eprintln!("{e}");
+                std::process::exit(2);
+            });
+        } else if arg == "--snapshot-mode" {
+            match args.next().as_deref().map(str::parse) {
+                Some(Ok(m)) => mode = m,
+                Some(Err(e)) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+                None => {
+                    eprintln!("--snapshot-mode needs 'locked' or 'epoch'");
                     std::process::exit(2);
                 }
             }
@@ -67,7 +86,7 @@ fn main() {
         }));
     }
 
-    let mut session = Session::new();
+    let mut session = Session::with_mode(mode);
 
     if let Some(path) = script_path {
         // Script mode: run each line, echoing commands and output.

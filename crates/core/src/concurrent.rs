@@ -56,6 +56,34 @@
 //! never touch database locks while holding one, and maintenance acquires
 //! its affected shards in ascending index order — so the embedding is
 //! deadlock-free.
+//!
+//! # The epoch serving path ([`SharedPmv::run_pinned`])
+//!
+//! [`SharedPmv::run`] still write-locks each probed shard for O2 and
+//! runs O3 against the live database — the *locked* mode. The epoch
+//! mode removes every lock from the read path:
+//!
+//! * Each shard additionally publishes an immutable **shard view** (its
+//!   bcp entries as `Arc`-shared tuples) through a [`pmv_sync::LeftRight`]
+//!   cell. Mutators republish after changing a shard; O2 probes
+//!   [`pmv_sync::LeftRight::load`] the view and never touch the shard
+//!   `RwLock` — the probe is wait-free.
+//! * O3 executes against a pinned [`pmv_query::DataView`] (an epoch
+//!   snapshot published by [`crate::epoch::EpochDb`]), which resolves
+//!   every relation and index to immutable `Arc` versions — no database
+//!   lock either.
+//! * Consistency comes from **epoch gating** instead of the S lock: a
+//!   query pinned at epoch `e` serves a cached tuple only when its
+//!   `fill_epoch ≤ e`, and writes its own results back only when
+//!   `e ≥` the view's last maintenance epoch (`maint_epoch`). Combined
+//!   with the maintain-before-publish commit protocol, every served
+//!   partial is re-derived by the pinned O3 execution and
+//!   `ds_leftover == 0` holds — see DESIGN.md §14 for the full mapping
+//!   onto the paper's Section 3.6 argument.
+//! * Cache **fills and policy touches are best-effort** in epoch mode:
+//!   they take `try_write` and are skipped on contention, so the serving
+//!   path never blocks on a lock (`pmv-lint`'s `lock_in_pin_region` pass
+//!   enforces that no blocking acquisition appears in a pinned region).
 
 use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
@@ -68,8 +96,11 @@ use std::time::{Duration, Instant};
 use parking_lot::RwLock;
 use pmv_faultinject::{CaptureGuard, Site};
 use pmv_obs::{EventKind, ObsRegistry, Phase, TraceKind, TraceScope};
-use pmv_query::{exec::join_from, execute_bounded, Database, ExecBudget, QueryInstance};
+use pmv_query::{
+    exec::join_from, execute_bounded_arc, DataView, Database, ExecBudget, QueryInstance,
+};
 use pmv_storage::{Delta, DeltaBatch, Tuple};
+use pmv_sync::LeftRight;
 
 use crate::bcp::BcpKey;
 use crate::ds::Ds;
@@ -77,7 +108,7 @@ use crate::health::{
     CircuitBreaker, Degradation, DegradeReason, ShardReport, ValidationReport, ViewHealth,
 };
 use crate::maintenance::{relevant_columns, MaintenanceOutcome};
-use crate::o1::{decompose, ConditionPart};
+use crate::o1::decompose;
 use crate::pipeline::{
     bcp_truths, degrade_reason, flush_faults, probe_parts, remove_stale, QueryOutcome, QueryTimings,
 };
@@ -86,10 +117,62 @@ use crate::store::{PmvStore, Residency};
 use crate::view::{PartialViewDef, PmvConfig};
 use crate::Result;
 
+/// Immutable snapshot of one shard's cached entries, published through a
+/// [`LeftRight`] cell so epoch-mode O2 probes read it wait-free. Tuples
+/// are `Arc`-shared with the store — capture copies pointers, not data.
+pub(crate) struct ShardView {
+    entries: HashMap<BcpKey, Vec<(Arc<Tuple>, u64)>>,
+    quarantined: bool,
+}
+
+impl ShardView {
+    fn empty() -> ShardView {
+        ShardView {
+            entries: HashMap::new(),
+            quarantined: false,
+        }
+    }
+
+    fn capture(store: &PmvStore) -> ShardView {
+        ShardView {
+            entries: store
+                .iter()
+                .map(|(k, ts)| (k.clone(), ts.to_vec()))
+                .collect(),
+            quarantined: store.is_quarantined(),
+        }
+    }
+}
+
+/// Collect `(shard, item)` pairs into a compact `(shard, items)` list
+/// over only the shards that own at least one item, in first-seen order.
+/// A query touches a handful of shards, so the linear `find` beats
+/// allocating a dense `vec![Vec::new(); N]` per query — with 16 shards
+/// and one bcp that dense walk dominated the 1-thread TTFR tail.
+fn group_by_shard<T>(pairs: impl Iterator<Item = (usize, T)>) -> Vec<(usize, Vec<T>)> {
+    let mut groups: Vec<(usize, Vec<T>)> = Vec::new();
+    for (si, item) in pairs {
+        match groups.iter_mut().find(|(s, _)| *s == si) {
+            Some((_, g)) => g.push(item),
+            None => groups.push((si, vec![item])),
+        }
+    }
+    groups
+}
+
 struct Inner {
     def: PartialViewDef,
     config: PmvConfig,
     shards: Vec<RwLock<PmvStore>>,
+    /// Published read views, one per shard, for the wait-free O2 probe.
+    /// Republished (under the shard's write guard) after every mutation
+    /// that changes what the shard serves.
+    views: Vec<LeftRight<ShardView>>,
+    /// Epoch (database version) of the last completed maintenance.
+    /// Epoch-mode fills are gated on `pin_epoch >= maint_epoch`: a query
+    /// pinned before the latest maintenance must not write back results
+    /// that maintenance may already have evicted.
+    maint_epoch: AtomicU64,
     stats: AtomicPmvStats,
     /// Per-view health state machine; Quarantined disables all serving.
     breaker: CircuitBreaker,
@@ -119,6 +202,15 @@ impl Inner {
     fn mark_verified(&self) {
         self.last_verified_ms
             .store(self.created.elapsed().as_millis() as u64, Ordering::Release);
+    }
+
+    /// Republish shard `si`'s read view from `store`. Must be called
+    /// while the caller still holds the shard's write guard, so the
+    /// published view always reflects a consistent store state.
+    fn publish_shard(&self, si: usize, store: &PmvStore) {
+        let t0 = Instant::now();
+        self.views[si].publish(Arc::new(ShardView::capture(store)));
+        self.obs.record(Phase::snapshot_swap, t0.elapsed());
     }
 }
 
@@ -150,12 +242,17 @@ impl SharedPmv {
                 RwLock::new(store)
             })
             .collect();
+        let views = (0..n)
+            .map(|_| LeftRight::new(Arc::new(ShardView::empty())))
+            .collect();
         let breaker = CircuitBreaker::new(config.breaker);
         SharedPmv {
             inner: Arc::new(Inner {
                 def,
                 config,
                 shards,
+                views,
+                maint_epoch: AtomicU64::new(0),
                 stats: AtomicPmvStats::new(),
                 breaker,
                 created: Instant::now(),
@@ -190,7 +287,6 @@ impl SharedPmv {
     /// condition parts and result tuples hash to.
     pub fn run(&self, db: &Database, q: &QueryInstance) -> Result<QueryOutcome> {
         let inner = &*self.inner;
-        let n = inner.shards.len();
         let mut local = PmvStats::default();
         let t_start = Instant::now();
         // Lifecycle span (publishes into the trace ring on every exit
@@ -222,20 +318,25 @@ impl SharedPmv {
         let t_o2 = Instant::now();
         let mut ds = Ds::new();
         let mut counters: HashMap<BcpKey, usize> = HashMap::with_capacity(parts.len());
-        let mut partial_expanded: Vec<Tuple> = Vec::new();
+        let mut partial_expanded: Vec<Arc<Tuple>> = Vec::new();
         let mut bcp_hit = false;
-        let mut parts_by_shard: Vec<Vec<&ConditionPart>> = vec![Vec::new(); n];
-        let mut seen: HashSet<&BcpKey> = HashSet::with_capacity(parts.len());
-        for part in &parts {
-            if seen.insert(&part.bcp) {
-                parts_by_shard[self.shard_of(&part.bcp)].push(part);
-            }
-        }
+        // Group the distinct bcps by owning shard — a compact (shard,
+        // parts) list over only the shards that actually own one, so the
+        // probe cost scales with the query's bcp count, not the shard
+        // count (the old dense `vec![Vec::new(); n]` walk made a
+        // 1-thread probe pay for all 16 shards).
+        let parts_by_shard = group_by_shard(
+            parts
+                .iter()
+                .filter({
+                    let mut seen: HashSet<&BcpKey> = HashSet::with_capacity(parts.len());
+                    move |part| seen.insert(&part.bcp)
+                })
+                .map(|part| (self.shard_of(&part.bcp), part)),
+        );
         if serving {
-            for (si, group) in parts_by_shard.iter().enumerate() {
-                if group.is_empty() {
-                    continue;
-                }
+            for (si, group) in &parts_by_shard {
+                let si = *si;
                 let t_shard = Instant::now();
                 let mut store = inner.shards[si].write();
                 if store.is_quarantined() {
@@ -247,6 +348,7 @@ impl SharedPmv {
                         &mut store,
                         q,
                         group,
+                        u64::MAX,
                         &mut counters,
                         &mut ds,
                         &mut partial_expanded,
@@ -264,6 +366,7 @@ impl SharedPmv {
                     store.quarantine();
                     local.quarantine_events += 1;
                     inner.breaker.record_error();
+                    inner.publish_shard(si, &store);
                 }
                 drop(store);
                 // Per-shard probe latency includes the lock wait, so
@@ -302,7 +405,7 @@ impl SharedPmv {
             deadline: inner.config.o3_deadline.map(|d| Instant::now() + d),
             max_tuples: inner.config.o3_max_tuples,
         };
-        let exec_result = catch_unwind(AssertUnwindSafe(|| execute_bounded(db, q, budget)));
+        let exec_result = catch_unwind(AssertUnwindSafe(|| execute_bounded_arc(db, q, budget)));
         let (results, exec_stats) = match exec_result {
             Ok(Ok(ok)) => {
                 inner.breaker.record_ok();
@@ -379,31 +482,33 @@ impl SharedPmv {
         // fill below never pushes a tuple's cached count past this bound,
         // which keeps every entry a sub-multiset of its bcp's true answer
         // even when several queries fill the same entry concurrently.
-        let mut proven: HashMap<(BcpKey, Tuple), usize> = HashMap::new();
+        let mut proven: HashMap<(BcpKey, Arc<Tuple>), usize> = HashMap::new();
         for t in &partial_expanded {
             *proven
-                .entry((inner.def.bcp_of_tuple(t), t.clone()))
+                .entry((inner.def.bcp_of_tuple(t), Arc::clone(t)))
                 .or_insert(0) += 1;
         }
-        let mut remaining_expanded: Vec<Tuple> = Vec::new();
-        let mut candidates: Vec<(usize, BcpKey, Tuple)> = Vec::new();
+        let mut remaining_expanded: Vec<Arc<Tuple>> = Vec::new();
+        let mut candidates: Vec<(usize, BcpKey, Arc<Tuple>)> = Vec::new();
         for t in results {
             if ds.remove_one(&t) {
                 continue; // the user already has this occurrence
             }
             let bcp = inner.def.bcp_of_tuple(&t);
-            *proven.entry((bcp.clone(), t.clone())).or_insert(0) += 1;
-            candidates.push((self.shard_of(&bcp), bcp, t.clone()));
+            *proven.entry((bcp.clone(), Arc::clone(&t))).or_insert(0) += 1;
+            candidates.push((self.shard_of(&bcp), bcp, Arc::clone(&t)));
             remaining_expanded.push(t);
         }
-        let mut fill_by_shard: Vec<Vec<(BcpKey, Tuple, usize)>> = vec![Vec::new(); n];
-        for (si, bcp, t) in candidates {
-            let key = (bcp, t);
-            let cap = proven[&key];
-            fill_by_shard[si].push((key.0, key.1, cap));
-        }
-        for (si, group) in fill_by_shard.iter().enumerate() {
-            if group.is_empty() || !serving {
+        // Cache fills are stamped with the database version the tuples
+        // were derived at, so epoch-pinned readers can gate on it.
+        let fill_epoch = db.version();
+        let fill_by_shard = group_by_shard(candidates.into_iter().map(|(si, bcp, t)| {
+            let cap = proven[&(bcp.clone(), Arc::clone(&t))];
+            (si, (bcp, t, cap))
+        }));
+        for (si, group) in &fill_by_shard {
+            let si = *si;
+            if !serving {
                 continue;
             }
             let t_fill = Instant::now();
@@ -429,8 +534,8 @@ impl SharedPmv {
                     }
                     let have = store
                         .lookup(bcp)
-                        .map_or(0, |ts| ts.iter().filter(|x| *x == t).count());
-                    if have < *cap && store.push_tuple(bcp, t.clone()) {
+                        .map_or(0, |ts| ts.iter().filter(|(x, _)| x == t).count());
+                    if have < *cap && store.push_arc(bcp, Arc::clone(t), fill_epoch) {
                         local.tuples_admitted += 1;
                     }
                 }
@@ -441,11 +546,360 @@ impl SharedPmv {
                 local.quarantine_events += 1;
                 inner.breaker.record_error();
             }
+            inner.publish_shard(si, &store);
             let evicted = store.evictions().saturating_sub(evicted_before);
             drop(store);
             trace.event(EventKind::Fill {
                 shard: si,
                 admitted: local.tuples_admitted - admitted_before,
+                evicted,
+                us: t_fill.elapsed().as_micros() as u64,
+            });
+            if poisoned {
+                trace.event(EventKind::Quarantine { shard: si });
+            }
+        }
+        let ds_leftover = ds.len();
+        debug_assert_eq!(ds_leftover, 0, "DS must be empty after O3");
+        let o3_overhead = t_o3.elapsed();
+        inner.obs.record(Phase::o3_dedup, o3_overhead);
+
+        // ---- Bookkeeping ----
+        local.queries = 1;
+        local.condition_parts = parts.len() as u64;
+        if bcp_hit {
+            local.bcp_hit_queries = 1;
+        }
+        if !partial_expanded.is_empty() {
+            local.serving_queries = 1;
+            local.partial_tuples_served = partial_expanded.len() as u64;
+        }
+        inner.stats.add(&local);
+        inner.obs.record(Phase::full, t_start.elapsed());
+        flush_faults(&mut trace, fault_cap.take());
+
+        let template = inner.def.template();
+        let partial = partial_expanded
+            .iter()
+            .map(|t| template.user_tuple(t))
+            .collect();
+        let remaining = remaining_expanded
+            .iter()
+            .map(|t| template.user_tuple(t))
+            .collect();
+        Ok(QueryOutcome {
+            partial,
+            remaining,
+            partial_expanded,
+            remaining_expanded,
+            bcp_hit,
+            parts: parts.len(),
+            timings: QueryTimings {
+                o1,
+                o2,
+                exec,
+                o3_overhead,
+            },
+            exec_stats,
+            ds_leftover,
+            degraded: None,
+        })
+    }
+
+    /// Run one query on the **epoch serving path**: O2 reads the
+    /// published shard views wait-free, O3 executes against the pinned
+    /// `view` snapshot, and every cache write-back (fills *and* policy
+    /// touches) is best-effort — `try_write`, skipped under contention —
+    /// so between pinning and the answer no lock is ever waited on.
+    ///
+    /// Consistency without the S lock: a cached tuple is served only when
+    /// its fill epoch is ≤ the pin epoch (`view.view_epoch()`), and
+    /// results are written back only when the pin epoch is ≥ the last
+    /// completed maintenance epoch. Together with the
+    /// maintain-before-publish commit protocol this preserves the
+    /// end-of-O3 `ds_leftover == 0` invariant — see the module docs and
+    /// DESIGN.md §14 for the full argument.
+    pub fn run_pinned<V: DataView>(&self, view: &V, q: &QueryInstance) -> Result<QueryOutcome> {
+        let inner = &*self.inner;
+        let pin_epoch = view.view_epoch();
+        let mut local = PmvStats::default();
+        let t_start = Instant::now();
+        let mut trace = inner.obs.begin_trace(TraceKind::Query, inner.def.name());
+        let mut fault_cap = inner.obs.enabled().then(pmv_faultinject::capture);
+
+        // ---- Operation O1 ----
+        let t_o1 = Instant::now();
+        let parts = decompose(&inner.def, q)?;
+        let o1 = t_o1.elapsed();
+        inner.obs.record(Phase::o1_decompose, o1);
+        trace.event(EventKind::Decompose {
+            parts: parts.len(),
+            us: o1.as_micros() as u64,
+        });
+
+        // ---- Operation O2: wait-free probe of the published views ----
+        let serving = inner.breaker.allow_serve();
+        trace.event(EventKind::Breaker {
+            serving,
+            state: inner.breaker.state().as_str().to_string(),
+        });
+        let t_o2 = Instant::now();
+        let mut ds = Ds::new();
+        let mut partial_expanded: Vec<Arc<Tuple>> = Vec::new();
+        let mut bcp_hit = false;
+        // Policy touches observed during the probe, deferred to the
+        // best-effort write-back below — the probe itself never takes
+        // the shard lock.
+        let mut touches: Vec<(usize, BcpKey, bool)> = Vec::new();
+        let parts_by_shard = group_by_shard(
+            parts
+                .iter()
+                .filter({
+                    let mut seen: HashSet<&BcpKey> = HashSet::with_capacity(parts.len());
+                    move |part| seen.insert(&part.bcp)
+                })
+                .map(|part| (self.shard_of(&part.bcp), part)),
+        );
+        if serving {
+            for (si, group) in &parts_by_shard {
+                let si = *si;
+                let t_shard = Instant::now();
+                // `load` is wait-free (bounded retry over the two
+                // left-right slots); a concurrent publish can at worst
+                // hand us the previous consistent view.
+                let sv = inner.views[si].load();
+                if sv.quarantined {
+                    continue;
+                }
+                for part in group {
+                    let Some(entries) = sv.entries.get(&part.bcp) else {
+                        touches.push((si, part.bcp.clone(), false));
+                        continue;
+                    };
+                    bcp_hit = true;
+                    let mut served = false;
+                    for (t, fill_epoch) in entries {
+                        // Epoch gate: never serve a tuple filled after
+                        // this query's pin — it may reflect database
+                        // state the pinned O3 execution cannot see.
+                        if *fill_epoch > pin_epoch {
+                            continue;
+                        }
+                        if part.is_basic || q.matches_select(t) {
+                            ds.insert_arc(Arc::clone(t));
+                            partial_expanded.push(Arc::clone(t));
+                            served = true;
+                        }
+                    }
+                    touches.push((si, part.bcp.clone(), served));
+                }
+                let shard_probe = t_shard.elapsed();
+                inner.obs.record(Phase::o2_probe, shard_probe);
+                trace.event(EventKind::ShardProbe {
+                    shard: si,
+                    parts: group.len(),
+                    served: partial_expanded.len(),
+                    us: shard_probe.as_micros() as u64,
+                });
+            }
+        }
+        let o2 = t_o2.elapsed();
+        let ttfr = t_start.elapsed();
+        inner.obs.record(Phase::ttfr, ttfr);
+        trace.event_at(
+            ttfr.as_micros() as u64,
+            EventKind::FirstResults {
+                tuples: partial_expanded.len(),
+                bcp_hit,
+                us: ttfr.as_micros() as u64,
+            },
+        );
+
+        // ---- Operation O3: full execution against the pinned view ----
+        let t_exec = Instant::now();
+        let budget = ExecBudget {
+            deadline: inner.config.o3_deadline.map(|d| Instant::now() + d),
+            max_tuples: inner.config.o3_max_tuples,
+        };
+        let exec_result = catch_unwind(AssertUnwindSafe(|| execute_bounded_arc(view, q, budget)));
+        let (results, exec_stats) = match exec_result {
+            Ok(Ok(ok)) => {
+                inner.breaker.record_ok();
+                ok
+            }
+            Ok(Err(e)) if e.is_budget() || e.is_transient() => {
+                inner.breaker.record_error();
+                if e.is_budget() {
+                    local.budget_exceeded = 1;
+                } else {
+                    local.exec_errors = 1;
+                }
+                let reason = degrade_reason(&e);
+                return Ok(self.degraded_outcome(
+                    &mut local,
+                    parts.len(),
+                    partial_expanded,
+                    bcp_hit,
+                    o1,
+                    o2,
+                    t_exec.elapsed(),
+                    reason,
+                    &mut trace,
+                    fault_cap.take(),
+                    t_start,
+                ));
+            }
+            Ok(Err(e)) => {
+                inner.breaker.record_error();
+                local.exec_errors = 1;
+                inner.stats.add(&local);
+                inner.obs.record(Phase::o3_exec, t_exec.elapsed());
+                flush_faults(&mut trace, fault_cap.take());
+                return Err(e.into());
+            }
+            Err(_panic) => {
+                inner.breaker.record_error();
+                local.exec_panics = 1;
+                return Ok(self.degraded_outcome(
+                    &mut local,
+                    parts.len(),
+                    partial_expanded,
+                    bcp_hit,
+                    o1,
+                    o2,
+                    t_exec.elapsed(),
+                    DegradeReason::ExecPanic,
+                    &mut trace,
+                    fault_cap.take(),
+                    t_start,
+                ));
+            }
+        };
+        let exec = t_exec.elapsed();
+        inner.obs.record(Phase::o3_exec, exec);
+        trace.event(EventKind::Exec {
+            rows: results.len(),
+            tuples_examined: exec_stats.tuples_examined,
+            index_probes: exec_stats.index_probes,
+            us: exec.as_micros() as u64,
+        });
+
+        // ---- Operation O3: dedup + best-effort write-back ----
+        let t_o3 = Instant::now();
+        let mut proven: HashMap<(BcpKey, Arc<Tuple>), usize> = HashMap::new();
+        for t in &partial_expanded {
+            *proven
+                .entry((inner.def.bcp_of_tuple(t), Arc::clone(t)))
+                .or_insert(0) += 1;
+        }
+        let mut remaining_expanded: Vec<Arc<Tuple>> = Vec::new();
+        let mut candidates: Vec<(usize, BcpKey, Arc<Tuple>)> = Vec::new();
+        for t in results {
+            if ds.remove_one(&t) {
+                continue; // the user already has this occurrence
+            }
+            let bcp = inner.def.bcp_of_tuple(&t);
+            *proven.entry((bcp.clone(), Arc::clone(&t))).or_insert(0) += 1;
+            candidates.push((self.shard_of(&bcp), bcp, Arc::clone(&t)));
+            remaining_expanded.push(t);
+        }
+        // Fill gate: results derived at `pin_epoch` may be written back
+        // only if no maintenance completed after the pin — otherwise the
+        // fill could resurrect a tuple a later Δ already evicted.
+        // Acquire pairs with the Release in `maintain`.
+        let fills_allowed = serving && pin_epoch >= inner.maint_epoch.load(Ordering::Acquire);
+        let fill_by_shard = if fills_allowed {
+            group_by_shard(candidates.into_iter().map(|(si, bcp, t)| {
+                let cap = proven[&(bcp.clone(), Arc::clone(&t))];
+                (si, (bcp, t, cap))
+            }))
+        } else {
+            Vec::new()
+        };
+        let touch_by_shard = group_by_shard(
+            touches
+                .into_iter()
+                .map(|(si, bcp, served)| (si, (bcp, served))),
+        );
+        let mut write_back: Vec<usize> = fill_by_shard
+            .iter()
+            .map(|(s, _)| *s)
+            .chain(touch_by_shard.iter().map(|(s, _)| *s))
+            .collect();
+        write_back.sort_unstable();
+        write_back.dedup();
+        for si in write_back {
+            // Best-effort: the serving path never *waits* on a shard
+            // lock. Skipped touches lose one policy hit; skipped fills
+            // just mean the next identical query re-derives through O3.
+            let Some(mut store) = inner.shards[si].try_write() else {
+                continue;
+            };
+            if store.is_quarantined() {
+                continue;
+            }
+            let t_fill = Instant::now();
+            let admitted_before = local.tuples_admitted;
+            let evicted_before = store.evictions();
+            let fill = catch_unwind(AssertUnwindSafe(|| {
+                if let Some((_, group)) = touch_by_shard.iter().find(|(s, _)| *s == si) {
+                    for (bcp, served) in group {
+                        store.touch(bcp, *served);
+                    }
+                }
+                let Some((_, group)) = fill_by_shard.iter().find(|(s, _)| *s == si) else {
+                    return;
+                };
+                // Re-check the fill gate UNDER the shard write lock: a
+                // maintenance pass racing this query stores `maint_epoch`
+                // before touching any shard lock, so if it already
+                // scanned this shard the lock handoff makes that store
+                // visible here and the stale fill is skipped; if this
+                // check still passes, the fill lands before the scan and
+                // maintenance will evict it. (Pre-check above is just the
+                // fast path; locked mode pins `u64::MAX` and always
+                // passes.)
+                if pin_epoch < inner.maint_epoch.load(Ordering::Acquire) {
+                    return;
+                }
+                pmv_faultinject::fire_soft(Site::ShardFill);
+                let mut admit_cache: HashMap<&BcpKey, Residency> = HashMap::new();
+                for (bcp, t, cap) in group {
+                    let residency = *admit_cache.entry(bcp).or_insert_with(|| {
+                        let r = store.admit(bcp);
+                        if r == Residency::Probation {
+                            local.probations += 1;
+                        }
+                        r
+                    });
+                    if residency != Residency::Resident {
+                        continue;
+                    }
+                    let have = store
+                        .lookup(bcp)
+                        .map_or(0, |ts| ts.iter().filter(|(x, _)| x == t).count());
+                    if have < *cap && store.push_arc(bcp, Arc::clone(t), pin_epoch) {
+                        local.tuples_admitted += 1;
+                    }
+                }
+            }));
+            let poisoned = fill.is_err();
+            if poisoned {
+                store.quarantine();
+                local.quarantine_events += 1;
+                inner.breaker.record_error();
+            }
+            let admitted = local.tuples_admitted - admitted_before;
+            let evicted = store.evictions().saturating_sub(evicted_before);
+            // Touches change only policy state, not what the view
+            // serves; republish only when the entry set did change.
+            if poisoned || admitted > 0 || evicted > 0 {
+                inner.publish_shard(si, &store);
+            }
+            drop(store);
+            trace.event(EventKind::Fill {
+                shard: si,
+                admitted,
                 evicted,
                 us: t_fill.elapsed().as_micros() as u64,
             });
@@ -508,7 +962,7 @@ impl SharedPmv {
         &self,
         local: &mut PmvStats,
         parts_len: usize,
-        partial_expanded: Vec<Tuple>,
+        partial_expanded: Vec<Arc<Tuple>>,
         bcp_hit: bool,
         o1: Duration,
         o2: Duration,
@@ -597,6 +1051,17 @@ impl SharedPmv {
         let mut fault_cap = inner.obs.enabled().then(pmv_faultinject::capture);
         let relevant = relevant_columns(&template, rel_idx);
 
+        // Epoch fence for pinned fills — stored BEFORE this maintenance
+        // touches any shard lock. A query pinned before this Δ may hold
+        // results the Δ evicts; its fill gate re-checks `maint_epoch`
+        // under the shard write lock, so either (a) it sees this store
+        // (the lock handoff orders it after one of our shard accesses)
+        // and skips the fill, or (b) it filled before we looked at the
+        // shard, in which case the `would_affect` scan and phase-2
+        // eviction below see the fill and remove it. Release pairs with
+        // the Acquire in `run_pinned`.
+        inner.maint_epoch.store(db.version(), Ordering::Release);
+
         // Phase 1: compute the ΔR ⋈ R_j rows and the shards they hash to.
         let mut removals: Vec<(usize, BcpKey, Tuple)> = Vec::new();
         for delta in batch.deltas() {
@@ -679,11 +1144,12 @@ impl SharedPmv {
                     out.fallback_invalidations += 1;
                     local.maint_fallbacks += 1;
                     inner.breaker.record_error();
-                    for s in &inner.shards {
+                    for (si, s) in inner.shards.iter().enumerate() {
                         let mut store = s.write();
                         if !store.is_quarantined() && store.would_affect(rel_idx, tuple) {
                             store.quarantine();
                             local.quarantine_events += 1;
+                            inner.publish_shard(si, &store);
                         }
                     }
                 }
@@ -709,14 +1175,18 @@ impl SharedPmv {
                     }
                 }
             }));
-            if evict.is_err() {
+            let poisoned = evict.is_err();
+            if poisoned {
                 // Mid-eviction panic: some of this shard's removals may
                 // not have been applied, so its cache can no longer be
                 // trusted. Drain it.
                 store.quarantine();
                 local.quarantine_events += 1;
                 inner.breaker.record_error();
-                drop(store);
+            }
+            inner.publish_shard(si, &store);
+            drop(store);
+            if poisoned {
                 trace.event(EventKind::Quarantine { shard: si });
             }
         }
@@ -768,7 +1238,7 @@ impl SharedPmv {
             .obs
             .begin_trace(TraceKind::Revalidate, inner.def.name());
         let mut removed = 0;
-        for shard in &inner.shards {
+        for (si, shard) in inner.shards.iter().enumerate() {
             // Phase 1: snapshot the resident bcps under a brief read
             // guard, then re-derive each bcp's truth with NO shard lock
             // held. Holding the write guard across the executor (as this
@@ -791,6 +1261,7 @@ impl SharedPmv {
                 removed += remove_stale(&mut store, &bcp, &mut budget);
             }
             store.lift_quarantine();
+            inner.publish_shard(si, &store);
         }
         // The sweep closes the failure episode: clear transient
         // panic/quarantine tallies (counters AND `[transient]`-tagged

@@ -8,13 +8,19 @@
 //! another tuple t' = t comes, the user can miss some result tuples."
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use pmv_storage::Tuple;
 
 /// Multiset of `Ls'`-layout result tuples.
+///
+/// Keys are `Arc<Tuple>` shared with the PMV store and the query
+/// outcome, so building DS from served partials copies pointers, not
+/// tuples. Lookups still take `&Tuple` (via `Borrow`), so the executor
+/// can probe with borrowed tuples.
 #[derive(Default)]
 pub struct Ds {
-    counts: HashMap<Tuple, usize>,
+    counts: HashMap<Arc<Tuple>, usize>,
     len: usize,
     peak: usize,
 }
@@ -25,11 +31,16 @@ impl Ds {
         Ds::default()
     }
 
-    /// Add one occurrence of `t`.
-    pub fn insert(&mut self, t: Tuple) {
+    /// Add one occurrence of `t` (shared, zero-copy).
+    pub fn insert_arc(&mut self, t: Arc<Tuple>) {
         *self.counts.entry(t).or_insert(0) += 1;
         self.len += 1;
         self.peak = self.peak.max(self.len);
+    }
+
+    /// Add one occurrence of `t`.
+    pub fn insert(&mut self, t: Tuple) {
+        self.insert_arc(Arc::new(t));
     }
 
     /// Remove one occurrence of `t`; returns whether one was present.

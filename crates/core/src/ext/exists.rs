@@ -39,7 +39,7 @@ pub fn exists_accelerated(
     let parts = decompose(pmv.def(), subquery)?;
     for part in &parts {
         if let Some(tuples) = pmv.store().lookup(&part.bcp) {
-            for t in tuples {
+            for (t, _) in tuples {
                 if part.is_basic || subquery.matches_select(t) {
                     return Ok(ExistsOutcome {
                         exists: true,

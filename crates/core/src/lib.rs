@@ -42,6 +42,7 @@ pub mod advisor;
 pub mod bcp;
 pub mod concurrent;
 pub mod ds;
+pub mod epoch;
 pub mod ext;
 pub mod health;
 pub mod maint_filter;
@@ -59,6 +60,7 @@ pub use advisor::{AdvisorConfig, PmvAdvisor, Recommendation};
 pub use bcp::{BcpDim, BcpKey, Discretizer};
 pub use concurrent::SharedPmv;
 pub use ds::Ds;
+pub use epoch::EpochDb;
 pub use health::{
     BreakerConfig, CircuitBreaker, Degradation, DegradeReason, ShardReport, ValidationReport,
     ViewHealth,

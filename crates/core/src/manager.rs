@@ -247,7 +247,7 @@ impl PmvManager {
                 .map(|(k, ts)| (k.clone(), ts.to_vec()));
             match victim {
                 Some((bcp, tuples)) => {
-                    for t in tuples {
+                    for (t, _) in tuples {
                         pmv.store.remove_tuple(&bcp, &t);
                         dropped += 1;
                     }

@@ -17,11 +17,12 @@
 //! is checked and surfaced in the outcome.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use pmv_obs::{EventKind, ObsRegistry, Phase, TraceKind};
 use pmv_query::{
-    execute, execute_bounded, Database, ExecBudget, ExecStats, LockManager, QueryInstance,
+    execute, execute_bounded_arc, Database, ExecBudget, ExecStats, LockManager, QueryInstance,
 };
 use pmv_storage::Tuple;
 
@@ -196,10 +197,11 @@ pub(crate) fn remove_stale(
     bcp: &BcpKey,
     budget: &mut HashMap<Tuple, usize>,
 ) -> usize {
-    let cached: Vec<Tuple> = store.lookup(bcp).map(|s| s.to_vec()).unwrap_or_default();
+    // Pointer-copies only: the entries hold `Arc<Tuple>`s.
+    let cached: Vec<(Arc<Tuple>, u64)> = store.lookup(bcp).map(|s| s.to_vec()).unwrap_or_default();
     let mut removed = 0;
-    for t in cached {
-        match budget.get_mut(&t) {
+    for (t, _) in cached {
+        match budget.get_mut(&*t) {
             Some(n) if *n > 0 => *n -= 1,
             _ => {
                 store.remove_tuple(bcp, &t);
@@ -240,9 +242,11 @@ pub struct QueryOutcome {
     /// Remaining results served in O3 (user layout `Ls`).
     pub remaining: Vec<Tuple>,
     /// Partial results in `Ls'` layout (extensions need the cond attrs).
-    pub partial_expanded: Vec<Tuple>,
-    /// Remaining results in `Ls'` layout.
-    pub remaining_expanded: Vec<Tuple>,
+    /// Shared with the PMV store — serving copies pointers, not tuples.
+    pub partial_expanded: Vec<Arc<Tuple>>,
+    /// Remaining results in `Ls'` layout, shared with the executor output
+    /// and (for cached tuples) the PMV store.
+    pub remaining_expanded: Vec<Arc<Tuple>>,
     /// Whether any probed bcp was resident (the paper's "hit").
     pub bcp_hit: bool,
     /// Number of condition parts the query decomposed into.
@@ -320,7 +324,7 @@ impl PmvPipeline {
         let t_o2 = Instant::now();
         let mut ds = Ds::new();
         let mut counters: HashMap<BcpKey, usize> = HashMap::with_capacity(parts.len());
-        let mut partial_expanded: Vec<Tuple> = Vec::new();
+        let mut partial_expanded: Vec<Arc<Tuple>> = Vec::new();
         let mut bcp_hit = false;
         // A quarantined view serves nothing and caches nothing: the query
         // still gets its full, correct answer from O3 below.
@@ -331,10 +335,14 @@ impl PmvPipeline {
         });
         if serving {
             let part_refs: Vec<&ConditionPart> = parts.iter().collect();
+            // The locked pipeline holds the S lock through O3, so every
+            // cached tuple is consistent regardless of fill epoch: pin
+            // at u64::MAX (serve everything).
             probe_parts(
                 &mut pmv.store,
                 q,
                 &part_refs,
+                u64::MAX,
                 &mut counters,
                 &mut ds,
                 &mut partial_expanded,
@@ -367,7 +375,7 @@ impl PmvPipeline {
         // tear the store: catch it and degrade exactly like a transient
         // error.
         let exec_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            execute_bounded(db, q, budget)
+            execute_bounded_arc(db, q, budget)
         }));
         let (results, exec_stats) = match exec_result {
             Ok(Ok(r)) => r,
@@ -450,7 +458,8 @@ impl PmvPipeline {
 
         // ---- Operation O3: dedup + fill/update ----
         let t_o3 = Instant::now();
-        let mut remaining_expanded: Vec<Tuple> = Vec::new();
+        let fill_epoch = db.version();
+        let mut remaining_expanded: Vec<Arc<Tuple>> = Vec::new();
         let mut admit_cache: HashMap<BcpKey, Residency> = HashMap::new();
         for t in results {
             if ds.remove_one(&t) {
@@ -470,7 +479,9 @@ impl PmvPipeline {
                         r
                     }
                 };
-                if residency == Residency::Resident && pmv.store.push_tuple(&bcp, t.clone()) {
+                if residency == Residency::Resident
+                    && pmv.store.push_arc(&bcp, Arc::clone(&t), fill_epoch)
+                {
                     *cj += 1;
                     pmv.stats.tuples_admitted += 1;
                 }
@@ -571,13 +582,15 @@ pub(crate) fn degrade_reason(e: &pmv_query::QueryError) -> DegradeReason {
 /// (which calls it once per shard with that shard's slice of the parts):
 /// probe each distinct containing bcp once, serve matching cached tuples,
 /// fill DS/counters.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn probe_parts(
     store: &mut PmvStore,
     q: &QueryInstance,
     parts: &[&ConditionPart],
+    pin_epoch: u64,
     counters: &mut HashMap<BcpKey, usize>,
     ds: &mut Ds,
-    partial_expanded: &mut Vec<Tuple>,
+    partial_expanded: &mut Vec<Arc<Tuple>>,
     bcp_hit: &mut bool,
 ) {
     for part in parts {
@@ -587,30 +600,37 @@ pub(crate) fn probe_parts(
             // Cselect check below already covered its tuples.
             continue;
         }
-        let cached: Option<Vec<Tuple>> = store.lookup(&part.bcp).map(<[Tuple]>::to_vec);
-        match cached {
-            Some(tuples) => {
-                *bcp_hit = true;
-                counters.insert(part.bcp.clone(), tuples.len());
+        // Zero-copy: matching tuples are served by cloning their `Arc`s
+        // into DS and the partial list; no tuple data moves.
+        let (hit, served, cached_count) = match store.lookup(&part.bcp) {
+            Some(entries) => {
                 let mut served = false;
-                for t in tuples {
+                for (t, fill_epoch) in entries {
+                    // Epoch gate: a reader pinned at epoch e must not see
+                    // tuples computed after e. (The locked pipeline pins
+                    // u64::MAX — it relies on the S lock instead.)
+                    if *fill_epoch > pin_epoch {
+                        continue;
+                    }
                     // A basic part contains every tuple of its bcp; a
                     // contained part requires the full Cselect check —
                     // "this is equivalent to checking whether t satisfies
                     // the Cselect of query Q".
-                    if part.is_basic || q.matches_select(&t) {
-                        ds.insert(t.clone());
-                        partial_expanded.push(t);
+                    if part.is_basic || q.matches_select(t) {
+                        ds.insert_arc(Arc::clone(t));
+                        partial_expanded.push(Arc::clone(t));
                         served = true;
                     }
                 }
-                store.touch(&part.bcp, served);
+                (true, served, entries.len())
             }
-            None => {
-                counters.insert(part.bcp.clone(), 0);
-                store.touch(&part.bcp, false);
-            }
+            None => (false, false, 0),
+        };
+        if hit {
+            *bcp_hit = true;
         }
+        counters.insert(part.bcp.clone(), cached_count);
+        store.touch(&part.bcp, served);
     }
 }
 

@@ -8,6 +8,7 @@
 //! this against a B-tree).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use pmv_cache::{AdmitOutcome, PolicyKind, ReplacementPolicy};
 use pmv_storage::{HeapSize, Tuple};
@@ -25,8 +26,15 @@ pub enum Residency {
     Probation,
 }
 
+/// One cached result tuple and the epoch it was filled at. Tuples are
+/// shared (`Arc`) with the executor output and the query outcome — the
+/// store never deep-copies a tuple. The fill epoch lets the epoch-pinned
+/// serving path refuse tuples newer than its pinned version (a reader at
+/// epoch `e` serves a cached tuple only when `fill_epoch <= e`).
+pub type CachedTuple = (Arc<Tuple>, u64);
+
 struct Entry {
-    tuples: Vec<Tuple>,
+    tuples: Vec<CachedTuple>,
     /// Times this bcp produced partial results (popularity ranking
     /// extension).
     hits: u64,
@@ -152,8 +160,9 @@ impl PmvStore {
         self.quarantined = false;
     }
 
-    /// Tuples cached for `bcp`, if resident. Does not touch the policy.
-    pub fn lookup(&self, bcp: &BcpKey) -> Option<&[Tuple]> {
+    /// Tuples cached for `bcp` (with their fill epochs), if resident.
+    /// Does not touch the policy.
+    pub fn lookup(&self, bcp: &BcpKey) -> Option<&[CachedTuple]> {
         if self.quarantined {
             return None;
         }
@@ -182,10 +191,13 @@ impl PmvStore {
                 for victim in evicted {
                     if let Some(e) = self.entries.remove(&victim) {
                         self.bytes -= Self::key_bytes(&victim)
-                            + e.tuples.iter().map(Self::tuple_bytes).sum::<usize>();
+                            + e.tuples
+                                .iter()
+                                .map(|(t, _)| Self::tuple_bytes(t))
+                                .sum::<usize>();
                         self.evictions += 1;
                         if let Some(f) = &mut self.filter {
-                            for t in &e.tuples {
+                            for (t, _) in &e.tuples {
                                 f.remove(t);
                             }
                         }
@@ -198,8 +210,18 @@ impl PmvStore {
     }
 
     /// Store one result tuple under a resident `bcp`. Returns false when
-    /// the bcp is not resident or already holds `F` tuples.
+    /// the bcp is not resident or already holds `F` tuples. Convenience
+    /// wrapper over [`Self::push_arc`] for single-writer callers that do
+    /// not track epochs.
     pub fn push_tuple(&mut self, bcp: &BcpKey, tuple: Tuple) -> bool {
+        self.push_arc(bcp, Arc::new(tuple), 0)
+    }
+
+    /// Store one shared result tuple under a resident `bcp`, stamped with
+    /// the epoch it was computed at. The `Arc` is moved in — no tuple
+    /// data is copied. Returns false when the bcp is not resident or
+    /// already holds `F` tuples.
+    pub fn push_arc(&mut self, bcp: &BcpKey, tuple: Arc<Tuple>, epoch: u64) -> bool {
         if self.quarantined || !self.policy.contains(bcp) {
             return false;
         }
@@ -219,7 +241,7 @@ impl PmvStore {
         if let Some(f) = &mut self.filter {
             f.add(&tuple);
         }
-        entry.tuples.push(tuple);
+        entry.tuples.push((tuple, epoch));
         true
     }
 
@@ -229,7 +251,7 @@ impl PmvStore {
         let Some(entry) = self.entries.get_mut(bcp) else {
             return false;
         };
-        let Some(pos) = entry.tuples.iter().position(|t| t == tuple) else {
+        let Some(pos) = entry.tuples.iter().position(|(t, _)| &**t == tuple) else {
             return false;
         };
         entry.tuples.swap_remove(pos);
@@ -261,6 +283,17 @@ impl PmvStore {
         self.entries.values().map(|e| e.tuples.len()).sum()
     }
 
+    /// Highest fill epoch of any cached tuple (0 when empty) — the
+    /// `staleness` telemetry gauge compares this against the current
+    /// database version.
+    pub fn max_fill_epoch(&self) -> u64 {
+        self.entries
+            .values()
+            .flat_map(|e| e.tuples.iter().map(|(_, ep)| *ep))
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Approximate bytes cached (tuples + keys).
     pub fn byte_size(&self) -> usize {
         self.bytes
@@ -271,8 +304,8 @@ impl PmvStore {
         self.evictions
     }
 
-    /// Iterate over `(bcp, tuples)` (diagnostics/tests).
-    pub fn iter(&self) -> impl Iterator<Item = (&BcpKey, &[Tuple])> {
+    /// Iterate over `(bcp, cached tuples)` (diagnostics/tests).
+    pub fn iter(&self) -> impl Iterator<Item = (&BcpKey, &[CachedTuple])> {
         self.entries.iter().map(|(k, e)| (k, e.tuples.as_slice()))
     }
 
@@ -310,7 +343,11 @@ impl PmvStore {
             .entries
             .iter()
             .map(|(k, e)| {
-                Self::key_bytes(k) + e.tuples.iter().map(Self::tuple_bytes).sum::<usize>()
+                Self::key_bytes(k)
+                    + e.tuples
+                        .iter()
+                        .map(|(t, _)| Self::tuple_bytes(t))
+                        .sum::<usize>()
             })
             .sum();
         if recomputed != self.bytes {
@@ -323,7 +360,7 @@ impl PmvStore {
             let cached: Vec<Tuple> = self
                 .entries
                 .values()
-                .flat_map(|e| e.tuples.iter().cloned())
+                .flat_map(|e| e.tuples.iter().map(|(t, _)| (**t).clone()))
                 .collect();
             violations.extend(f.check_against(&cached));
         }

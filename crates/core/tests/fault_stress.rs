@@ -88,10 +88,10 @@ fn setup(shards: usize, config: PmvConfig) -> (Database, SharedPmv) {
     (db, SharedPmv::with_shards(def, config, shards))
 }
 
-fn multiset(tuples: &[Tuple]) -> HashMap<Tuple, usize> {
+fn multiset<T: std::borrow::Borrow<Tuple>>(tuples: &[T]) -> HashMap<Tuple, usize> {
     let mut m = HashMap::new();
     for t in tuples {
-        *m.entry(t.clone()).or_insert(0) += 1;
+        *m.entry(t.borrow().clone()).or_insert(0) += 1;
     }
     m
 }
@@ -164,7 +164,7 @@ fn run_stress(seed: u64, iters: i64) {
                         .expect("injected faults must degrade, not error");
                     // Consistency oracle: fresh fault-free execution under
                     // the same snapshot.
-                    let truth = pmv_faultinject::suppress(|| pmv_query::execute(&guard, &q))
+                    let truth = pmv_faultinject::suppress(|| pmv_query::execute(&*guard, &q))
                         .expect("oracle execution")
                         .0;
                     let mut truth = multiset(&truth);
@@ -173,7 +173,7 @@ fn run_stress(seed: u64, iters: i64) {
                         assert!(out.remaining_expanded.is_empty());
                         // Partials must be a sub-multiset of the truth.
                         for tu in &out.partial_expanded {
-                            let slot = truth.get_mut(tu).unwrap_or_else(|| {
+                            let slot = truth.get_mut(&**tu).unwrap_or_else(|| {
                                 panic!("degraded query served stale tuple {tu} (seed {seed})")
                             });
                             assert!(*slot > 0, "over-served {tu} (seed {seed})");
@@ -185,7 +185,7 @@ fn run_stress(seed: u64, iters: i64) {
                             .partial_expanded
                             .iter()
                             .chain(&out.remaining_expanded)
-                            .cloned()
+                            .map(|t| (**t).clone())
                             .collect();
                         assert_eq!(
                             multiset(&got),
@@ -237,14 +237,14 @@ fn run_stress(seed: u64, iters: i64) {
     let out = pmv_faultinject::suppress(|| shared.run(&guard, &q)).unwrap();
     assert!(out.degraded.is_none());
     assert_eq!(out.ds_leftover, 0);
-    let truth = pmv_faultinject::suppress(|| pmv_query::execute(&guard, &q))
+    let truth = pmv_faultinject::suppress(|| pmv_query::execute(&*guard, &q))
         .unwrap()
         .0;
     let got: Vec<Tuple> = out
         .partial_expanded
         .iter()
         .chain(&out.remaining_expanded)
-        .cloned()
+        .map(|t| (**t).clone())
         .collect();
     assert_eq!(multiset(&got), multiset(&truth));
 }

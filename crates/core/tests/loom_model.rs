@@ -17,11 +17,14 @@ use loom::sync::Arc;
 use loom::thread;
 
 use pmv_cache::PolicyKind;
-use pmv_core::{BreakerConfig, CircuitBreaker, PartialViewDef, PmvConfig, SharedPmv, ViewHealth};
+use pmv_core::{
+    BreakerConfig, CircuitBreaker, EpochDb, PartialViewDef, PmvConfig, SharedPmv, ViewHealth,
+};
 use pmv_faultinject::{FaultKind, FaultPlan, Site, PANIC_PREFIX};
 use pmv_index::IndexDef;
-use pmv_query::{Condition, Database, TemplateBuilder};
+use pmv_query::{Condition, Database, TemplateBuilder, Transaction};
 use pmv_storage::{tuple, Column, ColumnType, Schema, Value};
+use pmv_sync::LeftRight;
 
 fn quiet_injected_panics() {
     let default = std::panic::take_hook();
@@ -170,6 +173,116 @@ fn breaker_transitions_are_consistent() {
         breaker.reset();
         assert_eq!(breaker.state(), ViewHealth::Healthy);
         assert!(breaker.allow_serve());
+    });
+}
+
+/// The epoch pin/swap handoff on the raw primitive: concurrent readers
+/// `load` a [`LeftRight`] cell while a writer publishes increasing
+/// values. Every load must return a value that was actually published
+/// (no torn read — the two-slot protocol never hands out a slot being
+/// overwritten), no reader may travel backwards in time, and the final
+/// load observes the last publish.
+#[test]
+fn left_right_pin_swap_handoff() {
+    loom::model(|| {
+        let cell = std::sync::Arc::new(LeftRight::new(std::sync::Arc::new(0u64)));
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let cell = std::sync::Arc::clone(&cell);
+                thread::spawn(move || {
+                    let mut last = 0u64;
+                    for _ in 0..8 {
+                        thread::yield_now();
+                        let v = *cell.load();
+                        assert!(v <= 6, "torn read: {v} was never published");
+                        assert!(v >= last, "reader went backwards: {last} -> {v}");
+                        last = v;
+                    }
+                })
+            })
+            .collect();
+        for i in 1..=6u64 {
+            thread::yield_now();
+            cell.publish(std::sync::Arc::new(i));
+        }
+        for r in readers {
+            r.join().unwrap();
+        }
+        assert_eq!(*cell.load(), 6);
+        assert_eq!(cell.versions(), 6);
+    });
+}
+
+/// The epoch serving path end to end: pinned queries race commits that
+/// insert and delete rows. The maintain-before-publish commit protocol
+/// plus the fill/serve epoch gates must preserve the end-of-O3
+/// `ds_leftover == 0` invariant (every served partial re-derived by the
+/// pinned execution) under every explored schedule, and a final
+/// revalidation must find nothing stale in the shards.
+#[test]
+fn epoch_pin_maintain_before_publish() {
+    loom::model(|| {
+        let (db, shared) = setup(4);
+        let edb = std::sync::Arc::new(EpochDb::new(db));
+        let t = shared.def().template().clone();
+
+        let mut handles = Vec::new();
+        for tid in 0..2i64 {
+            let shared = shared.clone();
+            let edb = std::sync::Arc::clone(&edb);
+            let t = t.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..5i64 {
+                    thread::yield_now();
+                    let q = t
+                        .bind(vec![Condition::Equality(vec![Value::Int(
+                            (tid * 2 + i) % 6,
+                        )])])
+                        .unwrap();
+                    let out = edb.query(&shared, &q).unwrap();
+                    assert_eq!(out.ds_leftover, 0, "stale partial under epoch serving");
+                }
+            }));
+        }
+        {
+            let shared = shared.clone();
+            let edb = std::sync::Arc::clone(&edb);
+            handles.push(thread::spawn(move || {
+                for i in 0..4i64 {
+                    thread::yield_now();
+                    edb.commit(&[&shared], |db| {
+                        if i % 2 == 0 {
+                            let mut txn = Transaction::begin(db);
+                            txn.insert("r", tuple![100 + i, i % 6]).unwrap();
+                            return Ok(((), txn.commit()));
+                        }
+                        let row = {
+                            let handle = db.relation("r").unwrap();
+                            let rel = handle.read();
+                            let row = rel
+                                .iter()
+                                .find(|(_, tu)| tu.get(1) == &Value::Int(3))
+                                .map(|(r, _)| r);
+                            row
+                        };
+                        let mut txn = Transaction::begin(db);
+                        if let Some(row) = row {
+                            txn.delete("r", row).unwrap();
+                        }
+                        Ok(((), txn.commit()))
+                    })
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let guard = edb.read();
+        let removed = shared.revalidate(&guard).unwrap();
+        assert_eq!(removed, 0, "epoch serving left stale tuples in shards");
+        shared.debug_validate();
     });
 }
 

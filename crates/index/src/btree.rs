@@ -19,6 +19,7 @@ const DEFAULT_ORDER: usize = 32;
 
 type NodeId = usize;
 
+#[derive(Clone)]
 enum Node {
     Internal {
         /// Separator keys; `children[i]` holds keys `< keys[i]`,
@@ -34,6 +35,12 @@ enum Node {
 }
 
 /// B+-tree index: ordered composite keys with range scans.
+///
+/// `Clone` supports the copy-on-write snapshot layer: `Database`
+/// publishes indexes behind `Arc`, and maintenance clones-on-write via
+/// `Arc::make_mut` only when a pinned snapshot still holds the old
+/// version.
+#[derive(Clone)]
 pub struct BTreeIndex {
     nodes: Vec<Node>,
     root: NodeId,
@@ -85,6 +92,29 @@ impl BTreeIndex {
                     node = children[child_idx];
                 }
                 Node::Leaf { .. } => return (node, path),
+            }
+        }
+    }
+
+    /// Rows whose key components equal `parts`, without materializing an
+    /// [`IndexKey`] — the executor's hot probe path borrows the values
+    /// straight out of the bound tuple. Component comparison matches
+    /// `IndexKey`'s derived `Ord` (lexicographic over `Value`), so this
+    /// lands on the same leaf slot as [`SecondaryIndex::get`].
+    pub fn get_by_parts(&self, parts: &[pmv_storage::Value]) -> &[RowId] {
+        let mut node = self.root;
+        loop {
+            match &self.nodes[node] {
+                Node::Internal { keys, children } => {
+                    let child_idx = keys.partition_point(|sep| sep.parts() <= parts);
+                    node = children[child_idx];
+                }
+                Node::Leaf { keys, postings, .. } => {
+                    return match keys.binary_search_by(|k| k.parts().cmp(parts)) {
+                        Ok(i) => &postings[i],
+                        Err(_) => &[],
+                    };
+                }
             }
         }
     }

@@ -12,8 +12,9 @@ use pmv_storage::RowId;
 use crate::key::IndexKey;
 use crate::SecondaryIndex;
 
-/// Hash index: exact-match lookups only.
-#[derive(Default)]
+/// Hash index: exact-match lookups only. `Clone` supports the
+/// copy-on-write snapshot layer (see `BTreeIndex`).
+#[derive(Clone, Default)]
 pub struct HashIndex {
     map: HashMap<IndexKey, Vec<RowId>>,
     entries: usize,
@@ -36,6 +37,13 @@ impl HashIndex {
     /// Iterate over all `(key, postings)` pairs in arbitrary order.
     pub fn iter(&self) -> impl Iterator<Item = (&IndexKey, &[RowId])> {
         self.map.iter().map(|(k, v)| (k, v.as_slice()))
+    }
+
+    /// Rows whose key components equal `parts`, without materializing an
+    /// [`IndexKey`] — the zero-copy probe path (via
+    /// `Borrow<[Value]> for IndexKey`).
+    pub fn get_by_parts(&self, parts: &[pmv_storage::Value]) -> &[RowId] {
+        self.map.get(parts).map_or(&[], Vec::as_slice)
     }
 }
 

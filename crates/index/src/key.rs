@@ -61,6 +61,16 @@ impl fmt::Debug for IndexKey {
     }
 }
 
+/// Lets `HashMap<IndexKey, _>` be probed with a borrowed `&[Value]`
+/// (e.g. values still owned by a bound tuple) — the zero-copy probe
+/// path. Sound because the derived `Hash`/`Eq` on `IndexKey` delegate
+/// to the `[Value]` slice.
+impl std::borrow::Borrow<[Value]> for IndexKey {
+    fn borrow(&self) -> &[Value] {
+        &self.parts
+    }
+}
+
 impl From<Value> for IndexKey {
     fn from(v: Value) -> Self {
         IndexKey::single(v)

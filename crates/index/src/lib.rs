@@ -68,6 +68,12 @@ pub trait SecondaryIndex {
 }
 
 /// An index of either shape, chosen per the access pattern it must serve.
+///
+/// `Clone` supports the copy-on-write snapshot layer: `Database` hands
+/// indexes out behind `Arc` and maintenance clones-on-write via
+/// `Arc::make_mut` only when a pinned snapshot still holds the old
+/// version.
+#[derive(Clone)]
 pub enum AnyIndex {
     /// Ordered index with range scans.
     BTree(BTreeIndex),
@@ -96,6 +102,19 @@ impl AnyIndex {
     /// Whether this index supports ordered range scans.
     pub fn supports_range(&self) -> bool {
         matches!(self, AnyIndex::BTree(_))
+    }
+
+    /// Equality probe by borrowed key components — the zero-copy twin of
+    /// [`SecondaryIndex::get`]. The executor's inner join loop probes
+    /// with values still owned by the bound tuple, so no `IndexKey` (and
+    /// no `Value` clone) is materialized per probe.
+    pub fn probe(&self, parts: &[pmv_storage::Value]) -> &[RowId] {
+        // Same soft fault site as `get`: both are the executor probe path.
+        pmv_faultinject::fire_soft(pmv_faultinject::Site::IndexProbe);
+        match self {
+            AnyIndex::BTree(b) => b.get_by_parts(parts),
+            AnyIndex::Hash(h) => h.get_by_parts(parts),
+        }
     }
 }
 

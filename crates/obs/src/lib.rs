@@ -54,6 +54,8 @@ macro_rules! for_each_phase {
             [keep] o3_dedup,
             [keep] maint_join,
             [keep] revalidate,
+            [keep] snapshot_swap,
+            [keep] epoch_pin,
             [transient] degraded,
         }
     };
@@ -232,7 +234,7 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), n);
-        assert_eq!(n, 9);
+        assert_eq!(n, 11);
     }
 
     #[test]

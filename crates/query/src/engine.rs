@@ -6,9 +6,15 @@
 //! mutation yields a [`Delta`] so higher layers (transactions, PMV
 //! maintenance) can observe `ΔR`.
 
-use pmv_index::{AnyIndex, IndexDef, SecondaryIndex};
-use pmv_storage::{Catalog, Delta, HeapRelation, RowId, Schema, StorageError, Tuple};
+use std::sync::Arc;
 
+use pmv_index::{AnyIndex, IndexDef, SecondaryIndex};
+use pmv_storage::{
+    relation_snapshot, with_relation_mut, Catalog, Delta, HeapRelation, RowId, Schema,
+    StorageError, Tuple,
+};
+
+use crate::dbview::DbSnapshot;
 use crate::table_stats::TableStats;
 use crate::Result;
 
@@ -16,11 +22,19 @@ use crate::Result;
 pub type RelationHandle = pmv_storage::catalog::RelationHandle;
 
 /// An in-memory database: relations plus their secondary indexes.
+///
+/// Relations and indexes are published as immutable `Arc`-held versions
+/// (copy-on-write: DML mutates in place while unshared, clones when a
+/// snapshot pins the old version), so [`Database::snapshot`] is a
+/// handful of `Arc` clones and readers of a snapshot never hold a lock.
+/// `version` counts committed mutations and doubles as the epoch number
+/// of the snapshot serving path.
 #[derive(Default)]
 pub struct Database {
     catalog: Catalog,
-    indexes: Vec<(IndexDef, AnyIndex)>,
-    stats: Option<TableStats>,
+    indexes: Vec<(IndexDef, Arc<AnyIndex>)>,
+    stats: Option<Arc<TableStats>>,
+    version: u64,
 }
 
 impl Database {
@@ -32,7 +46,35 @@ impl Database {
     /// Create a relation.
     pub fn create_relation(&mut self, schema: Schema) -> Result<()> {
         self.catalog.create_relation(schema)?;
+        self.version += 1;
         Ok(())
+    }
+
+    /// Monotonic mutation counter: bumped by every DML statement and
+    /// DDL change. The epoch snapshot layer stamps each published
+    /// [`DbSnapshot`] with this value.
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Immutable snapshot of the whole database: every relation's
+    /// current published version, every index, and the statistics, all
+    /// behind `Arc`s. O(#relations + #indexes) pointer clones — no
+    /// tuple data is copied — and the result can be read forever with
+    /// no lock held.
+    pub fn snapshot(&self) -> DbSnapshot {
+        let mut relations = std::collections::BTreeMap::new();
+        for name in self.catalog.relation_names() {
+            if let Ok(handle) = self.catalog.relation(&name) {
+                relations.insert(name, relation_snapshot(&handle));
+            }
+        }
+        DbSnapshot::new(
+            relations,
+            self.indexes.clone(),
+            self.stats.clone(),
+            self.version,
+        )
     }
 
     /// Handle to a relation.
@@ -50,10 +92,11 @@ impl Database {
     pub fn create_index(&mut self, def: IndexDef) -> Result<()> {
         let rel = self.catalog.relation(&def.relation)?;
         let mut idx = def.build_empty();
-        for (row, tuple) in rel.read().iter() {
+        for (row, tuple) in relation_snapshot(&rel).iter() {
             idx.insert(def.key_of(tuple), row);
         }
-        self.indexes.push((def, idx));
+        self.indexes.push((def, Arc::new(idx)));
+        self.version += 1;
         Ok(())
     }
 
@@ -62,7 +105,17 @@ impl Database {
         self.indexes
             .iter()
             .find(|(d, _)| d.relation == relation && d.columns == columns)
-            .map(|(_, i)| i)
+            .map(|(_, i)| &**i)
+    }
+
+    /// `Arc` handle to the first index on exactly `(relation, columns)`.
+    /// The executor pre-resolves these so its inner loop can borrow
+    /// posting lists without re-borrowing the database.
+    pub fn index_arc(&self, relation: &str, columns: &[usize]) -> Option<Arc<AnyIndex>> {
+        self.indexes
+            .iter()
+            .find(|(d, _)| d.relation == relation && d.columns == columns)
+            .map(|(_, i)| Arc::clone(i))
     }
 
     /// Index definitions registered for `relation`.
@@ -74,11 +127,13 @@ impl Database {
             .collect()
     }
 
-    /// Apply one delta to every index of its relation.
+    /// Apply one delta to every index of its relation. Copy-on-write:
+    /// `Arc::make_mut` mutates in place while no snapshot pins the index
+    /// and clones the next version off-path when one does.
     fn maintain_indexes(&mut self, relation: &str, delta: &Delta) {
         for (def, idx) in &mut self.indexes {
             if def.relation == relation {
-                def.apply_delta(idx, delta);
+                def.apply_delta(Arc::make_mut(idx), delta);
             }
         }
     }
@@ -86,52 +141,58 @@ impl Database {
     /// Insert a tuple; maintains indexes; returns the delta.
     pub fn insert(&mut self, relation: &str, tuple: Tuple) -> Result<Delta> {
         let rel = self.catalog.relation(relation)?;
-        let row = rel.write().insert(tuple.clone())?;
+        let row = with_relation_mut(&rel, |r| r.insert(tuple.clone()))?;
         let delta = Delta::Insert { row, tuple };
         self.maintain_indexes(relation, &delta);
+        self.version += 1;
         Ok(delta)
     }
 
     /// Bulk-load tuples (still index-maintained, but avoids per-row handle
-    /// lookups). Returns the number loaded.
+    /// lookups and builds at most one copy-on-write version). Returns the
+    /// number loaded.
     pub fn load(
         &mut self,
         relation: &str,
         tuples: impl IntoIterator<Item = Tuple>,
     ) -> Result<usize> {
         let rel = self.catalog.relation(relation)?;
-        let mut n = 0;
-        {
-            let mut guard = rel.write();
+        let indexes = &mut self.indexes;
+        let n = with_relation_mut(&rel, |r| -> Result<usize> {
+            let mut n = 0;
             for t in tuples {
-                let row = guard.insert(t.clone())?;
+                let row = r.insert(t.clone())?;
                 let delta = Delta::Insert { row, tuple: t };
-                for (def, idx) in &mut self.indexes {
+                for (def, idx) in indexes.iter_mut() {
                     if def.relation == relation {
-                        def.apply_delta(idx, &delta);
+                        def.apply_delta(Arc::make_mut(idx), &delta);
                     }
                 }
                 n += 1;
             }
-        }
+            Ok(n)
+        })?;
+        self.version += 1;
         Ok(n)
     }
 
     /// Delete the tuple at `row`; maintains indexes; returns the delta.
     pub fn delete(&mut self, relation: &str, row: RowId) -> Result<Delta> {
         let rel = self.catalog.relation(relation)?;
-        let tuple = rel.write().delete(row)?;
+        let tuple = with_relation_mut(&rel, |r| r.delete(row))?;
         let delta = Delta::Delete { row, tuple };
         self.maintain_indexes(relation, &delta);
+        self.version += 1;
         Ok(delta)
     }
 
     /// Replace the tuple at `row`; maintains indexes; returns the delta.
     pub fn update(&mut self, relation: &str, row: RowId, new: Tuple) -> Result<Delta> {
         let rel = self.catalog.relation(relation)?;
-        let old = rel.write().update(row, new.clone())?;
+        let old = with_relation_mut(&rel, |r| r.update(row, new.clone()))?;
         let delta = Delta::Update { row, old, new };
         self.maintain_indexes(relation, &delta);
+        self.version += 1;
         Ok(delta)
     }
 
@@ -161,13 +222,14 @@ impl Database {
     pub fn analyze(&mut self) -> Result<()> {
         let names = self.catalog.relation_names();
         let refs: Vec<&str> = names.iter().map(String::as_str).collect();
-        self.stats = Some(TableStats::analyze(self, &refs)?);
+        self.stats = Some(Arc::new(TableStats::analyze(self, &refs)?));
+        self.version += 1;
         Ok(())
     }
 
     /// Table statistics, if `analyze` has been run.
     pub fn table_stats(&self) -> Option<&TableStats> {
-        self.stats.as_ref()
+        self.stats.as_deref()
     }
 
     /// Run `f` over a read guard of the relation.

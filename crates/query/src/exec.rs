@@ -8,16 +8,30 @@
 //! ("fetches tuples from R using the index on R.f; for each retrieved
 //! tuple, the index on S.d is used to search S", Section 2.1).
 //!
+//! The executor is generic over [`DataView`]: it runs identically on the
+//! live [`Database`] or on an immutable [`crate::DbSnapshot`]. Either
+//! way it resolves every relation and index it needs to immutable `Arc`
+//! versions **up front** and then holds no lock for the rest of the
+//! query — O3 is lock-free. The inner loops are zero-copy: index
+//! postings are borrowed slices (no `to_vec`), probe values are borrowed
+//! from the bound tuples (no per-probe `Value` clone or `IndexKey`
+//! allocation), and result tuples are built once and handed out as
+//! `Arc<Tuple>` (see [`execute_bounded_arc`]).
+//!
 //! [`execute_scan`] is a deliberately naive nested-loop oracle used by the
 //! test suite to validate the indexed executor, and [`join_from`] computes
 //! the `ΔR ⋈ (other relations)` join needed by PMV delete maintenance
 //! (Section 3.4) without touching the deleted tuple's own relation.
 
+use std::sync::Arc;
+
 use pmv_faultinject::Site;
-use pmv_index::{IndexKey, SecondaryIndex};
+use pmv_index::{AnyIndex, IndexKey};
 use pmv_storage::{HeapRelation, RowId, Tuple, Value};
 
 use crate::condition::Condition;
+use crate::dbview::DataView;
+#[allow(unused_imports)] // referenced by docs; concrete callers use it via DataView
 use crate::engine::Database;
 use crate::template::{AttrRef, QueryInstance, QueryTemplate};
 use crate::{BudgetExceeded, QueryError, Result};
@@ -99,6 +113,8 @@ impl ExecStats {
 /// `new_attr` column with the value of `bound_attr` from an already-bound
 /// relation.
 struct JoinStep {
+    /// Index of the join edge in `t.joins()` this step enforces.
+    join_idx: usize,
     new_rel: usize,
     bound_attr: AttrRef,
     new_attr: AttrRef,
@@ -114,15 +130,18 @@ fn plan_join_order(t: &QueryTemplate, start: usize) -> Vec<JoinStep> {
         let step = t
             .joins()
             .iter()
-            .find_map(|j| {
+            .enumerate()
+            .find_map(|(ji, j)| {
                 if bound[j.left.relation] && !bound[j.right.relation] {
                     Some(JoinStep {
+                        join_idx: ji,
                         new_rel: j.right.relation,
                         bound_attr: j.left,
                         new_attr: j.right,
                     })
                 } else if bound[j.right.relation] && !bound[j.left.relation] {
                     Some(JoinStep {
+                        join_idx: ji,
                         new_rel: j.left.relation,
                         bound_attr: j.right,
                         new_attr: j.left,
@@ -138,14 +157,66 @@ fn plan_join_order(t: &QueryTemplate, start: usize) -> Vec<JoinStep> {
     steps
 }
 
+/// Join edges *not* enforced by the spanning binding order (cyclic /
+/// redundant edges); only these need re-checking at emit.
+fn redundant_joins(t: &QueryTemplate, steps: &[JoinStep]) -> Vec<usize> {
+    (0..t.joins().len())
+        .filter(|ji| !steps.iter().any(|s| s.join_idx == *ji))
+        .collect()
+}
+
+/// Everything the executor resolved from the [`DataView`] before the
+/// join loop: immutable relation versions and (optional) index handles.
+/// Once this exists, execution never touches the view — or any lock —
+/// again.
+struct Resolved {
+    /// Current version of each template relation, by relation index.
+    rels: Vec<Arc<HeapRelation>>,
+    /// Pre-resolved join-probe index for each step (same order as the
+    /// step list), so the inner loop borrows posting slices without
+    /// re-borrowing the view.
+    step_indexes: Vec<Option<Arc<AnyIndex>>>,
+    /// Pre-resolved driving-condition index, if any.
+    drive_index: Option<Arc<AnyIndex>>,
+}
+
+fn resolve<V: DataView>(
+    view: &V,
+    t: &QueryTemplate,
+    steps: &[JoinStep],
+    drive: usize,
+    drive_cond: Option<usize>,
+) -> Result<Resolved> {
+    let rels: Vec<Arc<HeapRelation>> = t
+        .relations()
+        .iter()
+        .map(|name| view.relation_version(name))
+        .collect::<Result<_>>()?;
+    let step_indexes = steps
+        .iter()
+        .map(|s| view.index_arc(&t.relations()[s.new_rel], &[s.new_attr.column]))
+        .collect();
+    let drive_index = drive_cond.and_then(|ci| {
+        let col = t.cond_templates()[ci].attr.column;
+        view.index_arc(&t.relations()[drive], &[col])
+    });
+    Ok(Resolved {
+        rels,
+        step_indexes,
+        drive_index,
+    })
+}
+
 /// Shared executor context.
 struct ExecCtx<'a> {
-    db: &'a Database,
     t: &'a QueryTemplate,
     /// Selection conditions grouped by relation: `(cond index, condition)`.
     conds_by_rel: Vec<Vec<(usize, &'a Condition)>>,
+    /// Join edges to re-check at emit (cyclic edges only; spanning edges
+    /// are enforced by probe construction).
+    redundant: Vec<usize>,
     stats: ExecStats,
-    out: Vec<Tuple>,
+    out: Vec<Arc<Tuple>>,
     budget: ExecBudget,
     /// First budget/fault error hit; set once, then every loop unwinds.
     abort: Option<QueryError>,
@@ -172,11 +243,15 @@ impl<'a> ExecCtx<'a> {
         true
     }
 
-    /// Emit the expanded-layout tuple for a full binding, verifying every
-    /// join condition (covers cyclic/redundant join edges the spanning
-    /// order did not use for probing).
+    /// Emit the expanded-layout tuple for a full binding. Only redundant
+    /// (cyclic) join edges are re-checked — the spanning edges were
+    /// enforced by the probes that built the binding. The per-column
+    /// `Value` clone here is the query's single materialization point:
+    /// the values move into the output tuple, which is then shared as
+    /// `Arc<Tuple>` all the way through store and outcome.
     fn emit(&mut self, bindings: &[Option<&Tuple>]) {
-        for j in self.t.joins() {
+        for &ji in &self.redundant {
+            let j = &self.t.joins()[ji];
             let l = bindings[j.left.relation].expect("bound").get(j.left.column);
             let r = bindings[j.right.relation]
                 .expect("bound")
@@ -191,7 +266,7 @@ impl<'a> ExecCtx<'a> {
             .iter()
             .map(|a| bindings[a.relation].expect("bound").get(a.column).clone())
             .collect();
-        self.out.push(Tuple::new(values));
+        self.out.push(Arc::new(Tuple::new(values)));
         self.stats.results += 1;
     }
 
@@ -225,34 +300,55 @@ impl<'a> ExecCtx<'a> {
     }
 }
 
+/// Unwrap executor output for callers that want owned tuples. Each `Arc`
+/// has refcount 1 here, so `try_unwrap` moves the tuple out without
+/// copying.
+fn unarc(v: Vec<Arc<Tuple>>) -> Vec<Tuple> {
+    v.into_iter()
+        .map(|t| Arc::try_unwrap(t).unwrap_or_else(|a| (*a).clone()))
+        .collect()
+}
+
 /// Execute `q` with index nested loops, returning `Ls'`-layout result
 /// tuples and execution stats.
-pub fn execute(db: &Database, q: &QueryInstance) -> Result<(Vec<Tuple>, ExecStats)> {
-    execute_bounded(db, q, ExecBudget::UNLIMITED)
+pub fn execute<V: DataView>(view: &V, q: &QueryInstance) -> Result<(Vec<Tuple>, ExecStats)> {
+    execute_bounded(view, q, ExecBudget::UNLIMITED)
 }
 
 /// [`execute`] under a resource budget. Aborts with
 /// [`QueryError::Budget`] as soon as the deadline passes or the tuple cap
 /// is hit; any partially-built output is discarded (the PMV serving path
 /// falls back to its cached partials instead).
-pub fn execute_bounded(
-    db: &Database,
+pub fn execute_bounded<V: DataView>(
+    view: &V,
     q: &QueryInstance,
     budget: ExecBudget,
 ) -> Result<(Vec<Tuple>, ExecStats)> {
+    let (out, stats) = execute_bounded_arc(view, q, budget)?;
+    Ok((unarc(out), stats))
+}
+
+/// [`execute_bounded`] returning shared tuples — the PMV serving path's
+/// entry point. Results flow as `Arc<Tuple>` into the store, the DS
+/// multiset, and the query outcome without ever being deep-copied.
+pub fn execute_bounded_arc<V: DataView>(
+    view: &V,
+    q: &QueryInstance,
+    budget: ExecBudget,
+) -> Result<(Vec<Arc<Tuple>>, ExecStats)> {
     let t = q.template().as_ref();
-    execute_with_conditions(db, t, q.conds(), true, budget)
+    execute_with_conditions(view, t, q.conds(), true, budget)
 }
 
 /// Core of [`execute`], also reused by [`join_from`] with selection
 /// conditions disabled.
-fn execute_with_conditions(
-    db: &Database,
+fn execute_with_conditions<V: DataView>(
+    view: &V,
     t: &QueryTemplate,
     conds: &[Condition],
     check_conds: bool,
     budget: ExecBudget,
-) -> Result<(Vec<Tuple>, ExecStats)> {
+) -> Result<(Vec<Arc<Tuple>>, ExecStats)> {
     if let Err(f) = pmv_faultinject::fire(Site::ExecStart) {
         return Err(QueryError::Fault(f.site.as_str().to_string()));
     }
@@ -262,23 +358,20 @@ fn execute_with_conditions(
         conds_by_rel[t.cond_templates()[i].attr.relation].push((i, c));
     }
     let (drive, drive_cond) = if check_conds && !conds.is_empty() {
-        choose_drive(db, t, conds)
+        choose_drive(view, t, conds)
     } else {
         (0, None)
     };
 
-    let handles: Vec<_> = t
-        .relations()
-        .iter()
-        .map(|name| db.relation(name))
-        .collect::<Result<_>>()?;
-    let guards: Vec<_> = handles.iter().map(|h| h.read()).collect();
-
     let steps = plan_join_order(t, drive);
+    // Resolve every relation version and index handle now; from here on
+    // execution reads immutable data only — no locks, no view access.
+    let r = resolve(view, t, &steps, drive, drive_cond)?;
+    let redundant = redundant_joins(t, &steps);
     let mut ctx = ExecCtx {
-        db,
         t,
         conds_by_rel,
+        redundant,
         stats: ExecStats::default(),
         out: Vec::new(),
         budget,
@@ -286,14 +379,14 @@ fn execute_with_conditions(
     };
 
     // Fetch driving-relation candidate rows.
-    let candidates = driving_candidates(&mut ctx, &guards, drive, drive_cond);
+    let candidates = driving_candidates(&mut ctx, &r, drive, drive_cond);
 
     let mut bindings: Vec<Option<&Tuple>> = vec![None; n];
     for row in candidates {
         if ctx.abort.is_some() {
             break;
         }
-        let Some(tuple) = guards[drive].get(row) else {
+        let Some(tuple) = r.rels[drive].get(row) else {
             continue;
         };
         if !ctx.tick() {
@@ -303,7 +396,7 @@ fn execute_with_conditions(
             continue;
         }
         bindings[drive] = Some(tuple);
-        bind_remaining(&mut ctx, &guards, &steps, 0, &mut bindings, check_conds);
+        bind_remaining(&mut ctx, &r, &steps, 0, &mut bindings, check_conds);
         bindings[drive] = None;
     }
 
@@ -318,53 +411,51 @@ fn execute_with_conditions(
 /// first condition's attribute when possible, else one full scan.
 fn driving_candidates(
     ctx: &mut ExecCtx<'_>,
-    guards: &[parking_lot::RwLockReadGuard<'_, HeapRelation>],
+    r: &Resolved,
     drive: usize,
     drive_cond: Option<usize>,
 ) -> Vec<RowId> {
-    let rel_name = &ctx.t.relations()[drive];
-    if let Some(ci) = drive_cond {
+    if let (Some(ci), Some(idx)) = (drive_cond, r.drive_index.as_deref()) {
         let cond = ctx.conds_by_rel[drive]
             .iter()
             .find(|(i, _)| *i == ci)
             .map(|(_, c)| *c);
         if let Some(cond) = cond {
-            let col = ctx.t.cond_templates()[ci].attr.column;
-            if let Some(idx) = ctx.db.index_on(rel_name, &[col]) {
-                match cond {
-                    Condition::Equality(values) => {
-                        let mut rows = Vec::new();
-                        for v in values {
-                            ctx.stats.index_probes += 1;
-                            rows.extend_from_slice(idx.get(&IndexKey::single(v.clone())));
-                        }
-                        return rows;
+            match cond {
+                Condition::Equality(values) => {
+                    let mut rows = Vec::new();
+                    for v in values {
+                        ctx.stats.index_probes += 1;
+                        // Borrowed probe: no IndexKey materialized, no
+                        // Value clone, posting list borrowed in place.
+                        rows.extend_from_slice(idx.probe(std::slice::from_ref(v)));
                     }
-                    Condition::Intervals(intervals) => {
-                        // Try index range scans; an unordered (hash)
-                        // index refuses with a typed error, and we
-                        // degrade to the fallback heap scan below.
-                        let mut rows = Vec::new();
-                        let mut refused = false;
-                        for iv in intervals {
-                            let lo = ref_bound_to_key(&iv.lo);
-                            let hi = ref_bound_to_key(&iv.hi);
-                            match idx.range(as_key_bound(&lo), as_key_bound(&hi)) {
-                                Ok(postings) => {
-                                    ctx.stats.range_scans += 1;
-                                    for (_, posting) in postings {
-                                        rows.extend_from_slice(&posting);
-                                    }
-                                }
-                                Err(pmv_index::IndexError::RangeOnHashIndex) => {
-                                    refused = true;
-                                    break;
+                    return rows;
+                }
+                Condition::Intervals(intervals) => {
+                    // Try index range scans; an unordered (hash)
+                    // index refuses with a typed error, and we
+                    // degrade to the fallback heap scan below.
+                    let mut rows = Vec::new();
+                    let mut refused = false;
+                    for iv in intervals {
+                        let lo = ref_bound_to_key(&iv.lo);
+                        let hi = ref_bound_to_key(&iv.hi);
+                        match idx.range(as_key_bound(&lo), as_key_bound(&hi)) {
+                            Ok(postings) => {
+                                ctx.stats.range_scans += 1;
+                                for (_, posting) in postings {
+                                    rows.extend_from_slice(&posting);
                                 }
                             }
+                            Err(pmv_index::IndexError::RangeOnHashIndex) => {
+                                refused = true;
+                                break;
+                            }
                         }
-                        if !refused {
-                            return rows;
-                        }
+                    }
+                    if !refused {
+                        return rows;
                     }
                 }
             }
@@ -372,7 +463,7 @@ fn driving_candidates(
     }
     // No applicable index: scan once.
     ctx.stats.fallback_scans += 1;
-    guards[drive].iter().map(|(row, _)| row).collect()
+    r.rels[drive].iter().map(|(row, _)| row).collect()
 }
 
 /// Estimate rows matching a set of intervals on `col` using the
@@ -418,11 +509,15 @@ fn estimate_interval_rows(
 
 /// Pick the driving condition: without statistics, the first condition
 /// (the paper's plans drive from the first selection); with statistics
-/// (after [`Database::analyze`]), the condition with the lowest
+/// (after `Database::analyze`), the condition with the lowest
 /// estimated candidate-row count, preferring indexed attributes.
-fn choose_drive(db: &Database, t: &QueryTemplate, conds: &[Condition]) -> (usize, Option<usize>) {
+fn choose_drive<V: DataView>(
+    view: &V,
+    t: &QueryTemplate,
+    conds: &[Condition],
+) -> (usize, Option<usize>) {
     let default = (t.cond_templates()[0].attr.relation, Some(0));
-    let Some(stats) = db.table_stats() else {
+    let Some(stats) = view.stats_view() else {
         return default;
     };
     let mut best: Option<(usize, f64)> = None;
@@ -432,7 +527,7 @@ fn choose_drive(db: &Database, t: &QueryTemplate, conds: &[Condition]) -> (usize
         let Some(rs) = stats.relation(rel_name) else {
             continue;
         };
-        let indexed = db.index_on(rel_name, &[attr.column]).is_some();
+        let indexed = view.index_arc(rel_name, &[attr.column]).is_some();
         let est = if !indexed {
             // Driving an unindexed condition scans the whole relation.
             rs.rows as f64
@@ -468,10 +563,40 @@ fn as_key_bound(b: &std::ops::Bound<IndexKey>) -> std::ops::Bound<&IndexKey> {
     }
 }
 
+/// Bind `tuple` at `steps[depth]` and recurse; shared tail of the index
+/// and fallback arms of [`bind_remaining`]. Returns `false` when
+/// execution must unwind (`ctx.abort` set).
+fn bind_tuple<'g>(
+    ctx: &mut ExecCtx<'_>,
+    r: &'g Resolved,
+    steps: &[JoinStep],
+    depth: usize,
+    bindings: &mut Vec<Option<&'g Tuple>>,
+    check_conds: bool,
+    tuple: &'g Tuple,
+) -> bool {
+    let step = &steps[depth];
+    if !ctx.tick() {
+        return false;
+    }
+    if !ctx.local_predicates_hold(step.new_rel, tuple, check_conds) {
+        return true;
+    }
+    bindings[step.new_rel] = Some(tuple);
+    bind_remaining(ctx, r, steps, depth + 1, bindings, check_conds);
+    bindings[step.new_rel] = None;
+    ctx.abort.is_none()
+}
+
 /// Recursively bind the remaining relations along the join steps.
+///
+/// Zero-copy inner loop: the probe value is borrowed from the bound
+/// tuple, the posting list is a borrowed slice out of the pre-resolved
+/// index `Arc`, and the fallback path iterates the relation version
+/// directly — no `to_vec`, no per-probe clone of anything.
 fn bind_remaining<'g>(
     ctx: &mut ExecCtx<'_>,
-    guards: &'g [parking_lot::RwLockReadGuard<'g, HeapRelation>],
+    r: &'g Resolved,
     steps: &[JoinStep],
     depth: usize,
     bindings: &mut Vec<Option<&'g Tuple>>,
@@ -482,56 +607,55 @@ fn bind_remaining<'g>(
         return;
     }
     let step = &steps[depth];
-    let probe_value = bindings[step.bound_attr.relation]
-        .expect("bound side of join step")
-        .get(step.bound_attr.column)
-        .clone();
-    let rel_name = &ctx.t.relations()[step.new_rel];
+    let bound: &'g Tuple = bindings[step.bound_attr.relation].expect("bound side of join step");
+    let probe_value: &'g Value = bound.get(step.bound_attr.column);
 
-    let rows: Vec<RowId> = if let Some(idx) = ctx.db.index_on(rel_name, &[step.new_attr.column]) {
-        ctx.stats.index_probes += 1;
-        idx.get(&IndexKey::single(probe_value.clone())).to_vec()
-    } else {
-        ctx.stats.fallback_scans += 1;
-        guards[step.new_rel]
-            .iter()
-            .filter(|(_, t)| t.get(step.new_attr.column) == &probe_value)
-            .map(|(row, _)| row)
-            .collect()
-    };
-
-    for row in rows {
-        if ctx.abort.is_some() {
-            return;
+    match &r.step_indexes[depth] {
+        Some(idx) => {
+            ctx.stats.index_probes += 1;
+            let rows: &[RowId] = idx.probe(std::slice::from_ref(probe_value));
+            for &row in rows {
+                if ctx.abort.is_some() {
+                    return;
+                }
+                let Some(tuple) = r.rels[step.new_rel].get(row) else {
+                    continue;
+                };
+                if tuple.get(step.new_attr.column) != probe_value {
+                    continue; // stale posting; keep safe
+                }
+                if !bind_tuple(ctx, r, steps, depth, bindings, check_conds, tuple) {
+                    return;
+                }
+            }
         }
-        let Some(tuple) = guards[step.new_rel].get(row) else {
-            continue;
-        };
-        if !ctx.tick() {
-            return;
+        None => {
+            ctx.stats.fallback_scans += 1;
+            for (_, tuple) in r.rels[step.new_rel].iter() {
+                if ctx.abort.is_some() {
+                    return;
+                }
+                if tuple.get(step.new_attr.column) != probe_value {
+                    continue;
+                }
+                if !bind_tuple(ctx, r, steps, depth, bindings, check_conds, tuple) {
+                    return;
+                }
+            }
         }
-        if tuple.get(step.new_attr.column) != &probe_value {
-            continue; // only possible via stale fallback logic; keep safe
-        }
-        if !ctx.local_predicates_hold(step.new_rel, tuple, check_conds) {
-            continue;
-        }
-        bindings[step.new_rel] = Some(tuple);
-        bind_remaining(ctx, guards, steps, depth + 1, bindings, check_conds);
-        bindings[step.new_rel] = None;
     }
 }
 
 /// Human-readable plan description: driving relation and access method,
 /// then each join step with its probe method — the shape a PostgreSQL
 /// EXPLAIN would print for the paper's index-nested-loop plans.
-pub fn explain(db: &Database, q: &QueryInstance) -> String {
+pub fn explain<V: DataView>(view: &V, q: &QueryInstance) -> String {
     let t = q.template().as_ref();
     let drive = t.cond_templates()[0].attr.relation;
     let drive_name = &t.relations()[drive];
     let drive_col = t.cond_templates()[0].attr.column;
     let mut out = String::new();
-    let access = match (q.conds().first(), db.index_on(drive_name, &[drive_col])) {
+    let access = match (q.conds().first(), view.index_arc(drive_name, &[drive_col])) {
         (Some(Condition::Equality(vs)), Some(_)) => {
             format!(
                 "index probes on {}.{} ({} disjuncts)",
@@ -564,7 +688,7 @@ pub fn explain(db: &Database, q: &QueryInstance) -> String {
             .column(step.bound_attr.column)
             .name
             .clone();
-        let method = if db.index_on(rel_name, &[step.new_attr.column]).is_some() {
+        let method = if view.index_arc(rel_name, &[step.new_attr.column]).is_some() {
             "index probe"
         } else {
             "sequential scan"
@@ -584,36 +708,36 @@ pub fn explain(db: &Database, q: &QueryInstance) -> String {
 /// Materialize the template's containing view `V_M`: the join under
 /// `Cjoin` alone (no selection conditions), in `Ls'` layout. This is what
 /// a traditional MV for the template stores (the paper's Figure 2).
-pub fn full_join(db: &Database, t: &QueryTemplate) -> Result<(Vec<Tuple>, ExecStats)> {
-    execute_with_conditions(db, t, &[], false, ExecBudget::UNLIMITED)
+pub fn full_join<V: DataView>(view: &V, t: &QueryTemplate) -> Result<(Vec<Tuple>, ExecStats)> {
+    let (out, stats) = execute_with_conditions(view, t, &[], false, ExecBudget::UNLIMITED)?;
+    Ok((unarc(out), stats))
 }
 
 /// Naive nested-loop oracle: cross product with predicate evaluation.
 /// Exponential in relation sizes — tests only.
-pub fn execute_scan(db: &Database, q: &QueryInstance) -> Result<Vec<Tuple>> {
+pub fn execute_scan<V: DataView>(view: &V, q: &QueryInstance) -> Result<Vec<Tuple>> {
     let t = q.template().as_ref();
     let n = t.relations().len();
-    let handles: Vec<_> = t
+    let rels: Vec<Arc<HeapRelation>> = t
         .relations()
         .iter()
-        .map(|name| db.relation(name))
+        .map(|name| view.relation_version(name))
         .collect::<Result<_>>()?;
-    let guards: Vec<_> = handles.iter().map(|h| h.read()).collect();
     let mut out = Vec::new();
     let mut bindings: Vec<Option<&Tuple>> = vec![None; n];
-    scan_rec(t, q, &guards, 0, &mut bindings, &mut out);
+    scan_rec(t, q, &rels, 0, &mut bindings, &mut out);
     Ok(out)
 }
 
 fn scan_rec<'a>(
     t: &QueryTemplate,
     q: &QueryInstance,
-    guards: &'a [parking_lot::RwLockReadGuard<'a, HeapRelation>],
+    rels: &'a [Arc<HeapRelation>],
     rel: usize,
     bindings: &mut Vec<Option<&'a Tuple>>,
     out: &mut Vec<Tuple>,
 ) {
-    if rel == guards.len() {
+    if rel == rels.len() {
         // All bound: evaluate Cjoin ∧ Cselect.
         for j in t.joins() {
             let l = bindings[j.left.relation].unwrap().get(j.left.column);
@@ -641,10 +765,9 @@ fn scan_rec<'a>(
         out.push(Tuple::new(values));
         return;
     }
-    // Collect first to end the immutable borrow of guards[rel] per tuple.
-    for (_, tuple) in guards[rel].iter() {
+    for (_, tuple) in rels[rel].iter() {
         bindings[rel] = Some(tuple);
-        scan_rec(t, q, guards, rel + 1, bindings, out);
+        scan_rec(t, q, rels, rel + 1, bindings, out);
     }
     bindings[rel] = None;
 }
@@ -653,8 +776,8 @@ fn scan_rec<'a>(
 /// with all other template relations under `Cjoin` only, returning
 /// `Ls'`-layout join results. This is the `ΔR_i ⋈ R_j (j ≠ i)` computation
 /// of the paper's delete/update maintenance (Section 3.4).
-pub fn join_from(
-    db: &Database,
+pub fn join_from<V: DataView>(
+    view: &V,
     t: &QueryTemplate,
     rel_idx: usize,
     tuple: &Tuple,
@@ -670,17 +793,13 @@ pub fn join_from(
             return Ok(Vec::new());
         }
     }
-    let handles: Vec<_> = t
-        .relations()
-        .iter()
-        .map(|name| db.relation(name))
-        .collect::<Result<_>>()?;
-    let guards: Vec<_> = handles.iter().map(|h| h.read()).collect();
     let steps = plan_join_order(t, rel_idx);
+    let r = resolve(view, t, &steps, rel_idx, None)?;
+    let redundant = redundant_joins(t, &steps);
     let mut ctx = ExecCtx {
-        db,
         t,
         conds_by_rel: vec![Vec::new(); n],
+        redundant,
         stats: ExecStats::default(),
         out: Vec::new(),
         budget: ExecBudget::UNLIMITED,
@@ -688,11 +807,11 @@ pub fn join_from(
     };
     let mut bindings: Vec<Option<&Tuple>> = vec![None; n];
     bindings[rel_idx] = Some(tuple);
-    bind_remaining(&mut ctx, &guards, &steps, 0, &mut bindings, false);
+    bind_remaining(&mut ctx, &r, &steps, 0, &mut bindings, false);
     if let Some(err) = ctx.abort.take() {
         return Err(err);
     }
-    Ok(ctx.out)
+    Ok(unarc(ctx.out))
 }
 
 #[cfg(test)]
@@ -790,6 +909,24 @@ mod tests {
         assert!(stats.index_probes > 0);
         assert_eq!(stats.fallback_scans, 0);
         assert_eq!(stats.results, 3);
+    }
+
+    #[test]
+    fn snapshot_executes_identically_to_live_database() {
+        let (db, t) = setup();
+        let q = t
+            .bind(vec![
+                Condition::Equality(vec![Value::Int(1), Value::Int(3)]),
+                Condition::Equality(vec![Value::Int(7), Value::Int(9)]),
+            ])
+            .unwrap();
+        let snap = db.snapshot();
+        let (mut live, live_stats) = execute(&db, &q).unwrap();
+        let (mut snapped, snap_stats) = execute(&snap, &q).unwrap();
+        live.sort();
+        snapped.sort();
+        assert_eq!(live, snapped);
+        assert_eq!(live_stats, snap_stats, "same plan on either view");
     }
 
     #[test]

@@ -22,6 +22,7 @@
 //! * [`txn`] — transactions with undo, producing [`pmv_storage::DeltaBatch`]es.
 
 pub mod condition;
+pub mod dbview;
 pub mod engine;
 pub mod exec;
 pub mod lock;
@@ -32,8 +33,11 @@ pub mod template;
 pub mod txn;
 
 pub use condition::{Condition, Interval};
+pub use dbview::{DataView, DbSnapshot};
 pub use engine::Database;
-pub use exec::{execute, execute_bounded, execute_scan, explain, ExecBudget, ExecStats};
+pub use exec::{
+    execute, execute_bounded, execute_bounded_arc, execute_scan, explain, ExecBudget, ExecStats,
+};
 pub use lock::{LockManager, LockMode};
 pub use parser::parse_template;
 pub use table_stats::{ColumnStats, Histogram, RelationStats, TableStats};

@@ -20,7 +20,7 @@ pub mod size;
 pub mod tuple;
 pub mod value;
 
-pub use catalog::Catalog;
+pub use catalog::{relation_snapshot, with_relation_mut, Catalog, RelationHandle};
 pub use delta::{Delta, DeltaBatch};
 pub use error::StorageError;
 pub use relation::{HeapRelation, RowId};
