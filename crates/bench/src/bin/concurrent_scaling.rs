@@ -24,6 +24,22 @@
 //! around 1× regardless of shard count — run on a multi-core machine to
 //! see the shard effect.)
 //!
+//! # Oversubscription and tail latencies
+//!
+//! The sweep is a **closed loop**: each thread issues its next query the
+//! moment the previous one returns. When `threads` exceeds the host's
+//! cores, a thread is routinely preempted *mid-query* and its full-query
+//! latency absorbs one or more scheduler timeslices — the 4.1 ms
+//! `full_p99_us` outliers previously committed at 2×4/2×16 (and 11.5 ms
+//! at 8×16) sit almost exactly on the kernel's ~4 ms CFS slice, and the
+//! measured phase of this sweep performs **zero commits**, so a
+//! writer-lock convoy is ruled out: they are a harness pacing artifact
+//! of running more closed-loop threads than cores, not a serving-path
+//! defect. The JSON therefore records the host `cores` and flags each
+//! cell `oversubscribed` (`threads > cores`); `bench_regression` holds
+//! tail-latency bounds only for cells the host could actually schedule
+//! concurrently.
+//!
 //! `--quick` scales the workload down ~10× for a smoke run.
 //! `--snapshot-mode={locked,epoch}` selects the serving path: `locked`
 //! takes the database read lock per query ([`SharedPmv::run`]); `epoch`
@@ -53,6 +69,10 @@ use std::sync::Arc;
 struct CellResult {
     threads: usize,
     shards: usize,
+    /// True when `threads` exceeds the host's cores: full-query tail
+    /// latencies then include scheduler preemption (module docs) and
+    /// must not gate regressions.
+    oversubscribed: bool,
     qps: f64,
     speedup: f64,
     ttfr_p50_us: u128,
@@ -143,8 +163,9 @@ fn main() {
 
     let thread_counts = [1usize, 2, 4, 8];
     let shard_counts = [1usize, 4, 16];
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
 
-    eprintln!("snapshot mode: {mode}");
+    eprintln!("snapshot mode: {mode} (host cores: {cores})");
     let mut report = ExperimentReport::new(
         "concurrent_scaling",
         "O2 probe throughput + latency percentiles, threads x shards, disjoint bcps",
@@ -174,6 +195,7 @@ fn main() {
             let cell = CellResult {
                 threads,
                 shards,
+                oversubscribed: threads > cores,
                 qps,
                 speedup,
                 ttfr_p50_us: ttfr.quantile(0.5).as_micros(),
@@ -257,7 +279,9 @@ fn main() {
     obs_report.print();
 
     if let Some(path) = json_path {
-        let json = cells_to_json(quick, &mode, &cells, ov_threads, ov_shards, qps_off, qps_on);
+        let json = cells_to_json(
+            quick, &mode, cores, &cells, ov_threads, ov_shards, qps_off, qps_on,
+        );
         std::fs::write(&path, &json).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
             std::process::exit(1);
@@ -337,9 +361,11 @@ fn run_cell(
 
 /// Hand-rolled `BENCH_pmv.json`: the percentile series per cell plus the
 /// observability-overhead comparison.
+#[allow(clippy::too_many_arguments)]
 fn cells_to_json(
     quick: bool,
     mode: &str,
+    cores: usize,
     cells: &[CellResult],
     ov_threads: usize,
     ov_shards: usize,
@@ -350,7 +376,7 @@ fn cells_to_json(
     let _ = write!(
         out,
         "{{\n  \"bench\": \"concurrent_scaling\",\n  \"quick\": {quick},\n  \
-         \"snapshot_mode\": \"{mode}\",\n  \"series\": ["
+         \"snapshot_mode\": \"{mode}\",\n  \"cores\": {cores},\n  \"series\": ["
     );
     for (i, c) in cells.iter().enumerate() {
         if i > 0 {
@@ -358,11 +384,13 @@ fn cells_to_json(
         }
         let _ = write!(
             out,
-            "\n    {{\"threads\": {}, \"shards\": {}, \"qps\": {:.0}, \"speedup\": {:.3}, \
+            "\n    {{\"threads\": {}, \"shards\": {}, \"oversubscribed\": {}, \"qps\": {:.0}, \
+             \"speedup\": {:.3}, \
              \"ttfr_p50_us\": {}, \"ttfr_p99_us\": {}, \"full_p50_us\": {}, \
              \"full_p99_us\": {}, \"degraded_query_rate\": {:.4}, \"quarantine_events\": {}}}",
             c.threads,
             c.shards,
+            c.oversubscribed,
             c.qps,
             c.speedup,
             c.ttfr_p50_us,

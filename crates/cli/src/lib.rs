@@ -437,13 +437,14 @@ impl Session {
                 Ok(format!("{} row(s) in {elapsed:?} (no PMV)", rows.len()))
             }
             Mode::Pmv if self.mode == SnapshotMode::Epoch => {
+                // Publish an incremental snapshot (amortized O(relations
+                // touched since the last one) — untouched entries are
+                // reused) and serve with no database lock.
+                let snap = self.db.publish_snapshot();
                 let shared = self
                     .shared
                     .get(name)
                     .ok_or_else(|| usage(format!("no PMV for '{name}' (use: pmv {name})")))?;
-                // Pin a copy-on-write snapshot (O(1) — Arc clones of the
-                // relations and indexes) and serve with no database lock.
-                let snap = self.db.snapshot();
                 let out = shared.run_pinned(&snap, &q)?;
                 Ok(format_outcome(&out))
             }

@@ -117,6 +117,42 @@ use crate::store::{PmvStore, Residency};
 use crate::view::{PartialViewDef, PmvConfig};
 use crate::Result;
 
+/// Pooled per-thread buffers for the [`SharedPmv::run_pinned`] hot
+/// loop: the DS multiset, the proven-occurrence map, and the
+/// touch/candidate staging vectors. Reusing them across queries keeps
+/// the steady-state epoch read path free of per-query heap allocation
+/// (the returned `QueryOutcome`'s own vectors excepted — those are
+/// handed to the caller).
+#[derive(Default)]
+struct QueryScratch {
+    ds: Ds,
+    proven: HashMap<(BcpKey, Arc<Tuple>), usize>,
+    touches: Vec<(usize, BcpKey, bool)>,
+    candidates: Vec<(usize, BcpKey, Arc<Tuple>)>,
+    write_back: Vec<usize>,
+}
+
+impl QueryScratch {
+    /// Empty every buffer (keeping capacity) and drop the `Arc<Tuple>`
+    /// references, so a pooled scratch never pins tuple or snapshot
+    /// memory between queries.
+    fn clear(&mut self) {
+        self.ds.clear();
+        self.proven.clear();
+        self.touches.clear();
+        self.candidates.clear();
+        self.write_back.clear();
+    }
+}
+
+thread_local! {
+    /// One scratch per thread, held in a `Cell` (taken for the duration
+    /// of each query) so a re-entrant call falls back to fresh buffers
+    /// instead of panicking on a borrow.
+    static QUERY_SCRATCH: std::cell::Cell<Option<Box<QueryScratch>>> =
+        const { std::cell::Cell::new(None) };
+}
+
 /// Immutable snapshot of one shard's cached entries, published through a
 /// [`LeftRight`] cell so epoch-mode O2 probes read it wait-free. Tuples
 /// are `Arc`-shared with the store — capture copies pointers, not data.
@@ -184,6 +220,9 @@ struct Inner {
     /// Per-phase latency histograms + lifecycle trace ring. Enabled by
     /// default; when disabled, every record is one relaxed load.
     obs: ObsRegistry,
+    /// View name as a shared `Arc<str>`: trace spans clone this instead
+    /// of copying the name string on every query.
+    trace_name: Arc<str>,
 }
 
 impl Inner {
@@ -246,6 +285,7 @@ impl SharedPmv {
             .map(|_| LeftRight::new(Arc::new(ShardView::empty())))
             .collect();
         let breaker = CircuitBreaker::new(config.breaker);
+        let trace_name: Arc<str> = Arc::from(def.name());
         SharedPmv {
             inner: Arc::new(Inner {
                 def,
@@ -258,6 +298,7 @@ impl SharedPmv {
                 created: Instant::now(),
                 last_verified_ms: AtomicU64::new(0),
                 obs: ObsRegistry::new(),
+                trace_name,
             }),
         }
     }
@@ -293,7 +334,9 @@ impl SharedPmv {
         // path, including errors) plus a thread-local fault-capture
         // scope so injected faults — latency above all, which is
         // otherwise invisible — surface as trace events.
-        let mut trace = inner.obs.begin_trace(TraceKind::Query, inner.def.name());
+        let mut trace = inner
+            .obs
+            .begin_trace_shared(TraceKind::Query, &inner.trace_name);
         let mut fault_cap = inner.obs.enabled().then(pmv_faultinject::capture);
 
         // ---- Operation O1 ----
@@ -313,7 +356,7 @@ impl SharedPmv {
         let serving = inner.breaker.allow_serve();
         trace.event(EventKind::Breaker {
             serving,
-            state: inner.breaker.state().as_str().to_string(),
+            state: inner.breaker.state().as_str(),
         });
         let t_o2 = Instant::now();
         let mut ds = Ds::new();
@@ -620,11 +663,37 @@ impl SharedPmv {
     /// end-of-O3 `ds_leftover == 0` invariant — see the module docs and
     /// DESIGN.md §14 for the full argument.
     pub fn run_pinned<V: DataView>(&self, view: &V, q: &QueryInstance) -> Result<QueryOutcome> {
+        QUERY_SCRATCH.with(|tls| {
+            let mut scratch = tls.take().unwrap_or_default();
+            let out = self.run_pinned_scratch(view, q, &mut scratch);
+            scratch.clear();
+            tls.set(Some(scratch));
+            out
+        })
+    }
+
+    /// [`SharedPmv::run_pinned`] body, running over this thread's pooled
+    /// scratch buffers (cleared by the wrapper after every query).
+    fn run_pinned_scratch<V: DataView>(
+        &self,
+        view: &V,
+        q: &QueryInstance,
+        scratch: &mut QueryScratch,
+    ) -> Result<QueryOutcome> {
+        let QueryScratch {
+            ds,
+            proven,
+            touches,
+            candidates,
+            write_back,
+        } = scratch;
         let inner = &*self.inner;
         let pin_epoch = view.view_epoch();
         let mut local = PmvStats::default();
         let t_start = Instant::now();
-        let mut trace = inner.obs.begin_trace(TraceKind::Query, inner.def.name());
+        let mut trace = inner
+            .obs
+            .begin_trace_shared(TraceKind::Query, &inner.trace_name);
         let mut fault_cap = inner.obs.enabled().then(pmv_faultinject::capture);
 
         // ---- Operation O1 ----
@@ -641,16 +710,14 @@ impl SharedPmv {
         let serving = inner.breaker.allow_serve();
         trace.event(EventKind::Breaker {
             serving,
-            state: inner.breaker.state().as_str().to_string(),
+            state: inner.breaker.state().as_str(),
         });
         let t_o2 = Instant::now();
-        let mut ds = Ds::new();
         let mut partial_expanded: Vec<Arc<Tuple>> = Vec::new();
         let mut bcp_hit = false;
-        // Policy touches observed during the probe, deferred to the
-        // best-effort write-back below — the probe itself never takes
-        // the shard lock.
-        let mut touches: Vec<(usize, BcpKey, bool)> = Vec::new();
+        // Policy touches observed during the probe land in the pooled
+        // `touches` buffer, deferred to the best-effort write-back below
+        // — the probe itself never takes the shard lock.
         let parts_by_shard = group_by_shard(
             parts
                 .iter()
@@ -786,14 +853,12 @@ impl SharedPmv {
 
         // ---- Operation O3: dedup + best-effort write-back ----
         let t_o3 = Instant::now();
-        let mut proven: HashMap<(BcpKey, Arc<Tuple>), usize> = HashMap::new();
         for t in &partial_expanded {
             *proven
                 .entry((inner.def.bcp_of_tuple(t), Arc::clone(t)))
                 .or_insert(0) += 1;
         }
         let mut remaining_expanded: Vec<Arc<Tuple>> = Vec::new();
-        let mut candidates: Vec<(usize, BcpKey, Arc<Tuple>)> = Vec::new();
         for t in results {
             if ds.remove_one(&t) {
                 continue; // the user already has this occurrence
@@ -809,7 +874,7 @@ impl SharedPmv {
         // Acquire pairs with the Release in `maintain`.
         let fills_allowed = serving && pin_epoch >= inner.maint_epoch.load(Ordering::Acquire);
         let fill_by_shard = if fills_allowed {
-            group_by_shard(candidates.into_iter().map(|(si, bcp, t)| {
+            group_by_shard(candidates.drain(..).map(|(si, bcp, t)| {
                 let cap = proven[&(bcp.clone(), Arc::clone(&t))];
                 (si, (bcp, t, cap))
             }))
@@ -818,17 +883,18 @@ impl SharedPmv {
         };
         let touch_by_shard = group_by_shard(
             touches
-                .into_iter()
+                .drain(..)
                 .map(|(si, bcp, served)| (si, (bcp, served))),
         );
-        let mut write_back: Vec<usize> = fill_by_shard
-            .iter()
-            .map(|(s, _)| *s)
-            .chain(touch_by_shard.iter().map(|(s, _)| *s))
-            .collect();
+        write_back.extend(
+            fill_by_shard
+                .iter()
+                .map(|(s, _)| *s)
+                .chain(touch_by_shard.iter().map(|(s, _)| *s)),
+        );
         write_back.sort_unstable();
         write_back.dedup();
-        for si in write_back {
+        for &si in write_back.iter() {
             // Best-effort: the serving path never *waits* on a shard
             // lock. Skipped touches lose one policy hit; skipped fills
             // just mean the next identical query re-derives through O3.
@@ -1047,7 +1113,7 @@ impl SharedPmv {
         let t_start = Instant::now();
         let mut trace = inner
             .obs
-            .begin_trace(TraceKind::Maintenance, inner.def.name());
+            .begin_trace_shared(TraceKind::Maintenance, &inner.trace_name);
         let mut fault_cap = inner.obs.enabled().then(pmv_faultinject::capture);
         let relevant = relevant_columns(&template, rel_idx);
 
@@ -1236,7 +1302,7 @@ impl SharedPmv {
         let t_start = Instant::now();
         let mut trace = inner
             .obs
-            .begin_trace(TraceKind::Revalidate, inner.def.name());
+            .begin_trace_shared(TraceKind::Revalidate, &inner.trace_name);
         let mut removed = 0;
         for (si, shard) in inner.shards.iter().enumerate() {
             // Phase 1: snapshot the resident bcps under a brief read
@@ -1284,6 +1350,13 @@ impl SharedPmv {
     /// Per-phase latency histograms and the lifecycle trace ring.
     pub fn obs(&self) -> &ObsRegistry {
         &self.inner.obs
+    }
+
+    /// True when `self` and `other` are handles to the same underlying
+    /// view (the group-commit combiner dedups views by this before
+    /// running maintenance once over a merged batch).
+    pub fn same_view(&self, other: &SharedPmv) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
     }
 
     /// Toggle observability recording at runtime. Disabled recording
@@ -1601,7 +1674,7 @@ mod tests {
         let traces = shared.obs().trace().tail(10);
         assert_eq!(traces.len(), 2);
         let hit = &traces[1];
-        assert_eq!(hit.template, "shared");
+        assert_eq!(&*hit.template, "shared");
         let names: Vec<_> = hit.events.iter().map(|e| e.kind.name()).collect();
         for expected in [
             "decompose",

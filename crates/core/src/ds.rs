@@ -78,6 +78,14 @@ impl Ds {
     pub fn peak(&self) -> usize {
         self.peak
     }
+
+    /// Empty the multiset, keeping the allocated table so a pooled DS
+    /// can be reused across queries without reallocating.
+    pub fn clear(&mut self) {
+        self.counts.clear();
+        self.len = 0;
+        self.peak = 0;
+    }
 }
 
 #[cfg(test)]

@@ -10,33 +10,63 @@
 //! snapshot are copy-on-write `Arc`s, so pinning is O(1) regardless of
 //! data size.
 //!
-//! # The commit protocol
+//! # The commit protocol (group commit)
 //!
 //! [`EpochDb::commit`] is the only place new database states become
-//! visible, and it orders the three steps the correctness argument
-//! (DESIGN.md §14) needs:
+//! visible. Commits are **coalesced, flat-combining style** (DESIGN.md
+//! §15): each committer enqueues a request, then races for the master
+//! write lock. Whichever committer holds the lock — the *combiner* —
+//! drains the whole queue and runs the three steps the correctness
+//! argument (DESIGN.md §14) needs, once for the entire batch:
 //!
-//! 1. **Mutate** under the write lock (bumping the database version —
-//!    the epoch).
-//! 2. **Maintain** every registered PMV against the new state, still
-//!    under the write lock. This evicts cached tuples the Δ
-//!    invalidated and advances each view's `maint_epoch`.
-//! 3. **Publish** the new snapshot, then release the lock.
+//! 1. **Mutate**: apply every drained transaction's closure under the
+//!    write lock (each bumping the database version — the epoch).
+//! 2. **Maintain** every distinct registered PMV against the new state
+//!    over the *merged* `DeltaBatch`es, still under the write lock.
+//!    This evicts cached tuples any Δ invalidated and advances each
+//!    view's `maint_epoch` past the whole batch.
+//! 3. **Publish** one new snapshot (incrementally — untouched
+//!    relations are reused, [`Database::publish_snapshot`]), mark every
+//!    drained request complete, then release the lock.
 //!
-//! Because maintenance completes *before* the snapshot publishes, any
-//! reader pinned at epoch `e` sees shard views whose surviving tuples
-//! with `fill_epoch ≤ e` are true results at `e` — maintenance is
-//! removal-only, so later commits can only make a pinned reader
-//! under-serve, never lie. That is the paper's Section 3.6 S-lock
-//! guarantee, recovered without the lock.
+//! Committers whose request was drained by another combiner find their
+//! result slot filled and never do the work themselves; under
+//! contention, N transactions cost one maintenance scan and one
+//! snapshot publish instead of N of each.
+//!
+//! Because maintenance over the merged batch completes *before* the
+//! coalesced snapshot publishes, any reader pinned at epoch `e` sees
+//! shard views whose surviving tuples with `fill_epoch ≤ e` are true
+//! results at `e` — exactly the §14 argument, unchanged: intermediate
+//! epochs inside a combine round are simply never published, and
+//! maintenance is removal-only, so later commits can only make a
+//! pinned reader under-serve, never lie. That is the paper's
+//! Section 3.6 S-lock guarantee, recovered without the lock.
+//!
+//! # The read path
+//!
+//! Readers *pin* snapshots. [`EpochDb::pin`] hands out the published
+//! `Arc<DbSnapshot>`; [`EpochDb::with_pin`] goes one step further and
+//! serves from a **per-thread snapshot cache** revalidated by one
+//! atomic load of the publish counter ([`LeftRight::version_hint`]),
+//! so the steady-state read path performs *no* shared-memory write at
+//! all — not even the `Arc` refcount bump, which at 8+ threads is a
+//! single cache line every reader bounces through.
 //!
 //! In-flight readers keep their pinned snapshot alive through its
-//! `Arc`; memory is reclaimed when the last pinned query drops it.
+//! `Arc`; memory is reclaimed when the last pinned query (and any
+//! thread-local cache entry) drops it.
 
+use std::any::Any;
+use std::cell::Cell;
+use std::sync::atomic::{
+    AtomicBool, AtomicU64,
+    Ordering::{Acquire, Release, SeqCst},
+};
 use std::sync::Arc;
 use std::time::Instant;
 
-use parking_lot::{RwLock, RwLockReadGuard};
+use parking_lot::{Mutex, RwLock, RwLockReadGuard};
 use pmv_obs::Phase;
 use pmv_query::{Database, DbSnapshot, QueryInstance};
 use pmv_storage::DeltaBatch;
@@ -44,21 +74,98 @@ use pmv_sync::LeftRight;
 
 use crate::concurrent::SharedPmv;
 use crate::pipeline::QueryOutcome;
-use crate::Result;
+use crate::{CoreError, Result};
+
+/// Type-erased result a commit closure hands back through its slot.
+type ErasedResult = Result<Box<dyn Any + Send>>;
+
+/// One enqueued transaction awaiting a combiner.
+struct CommitReq {
+    /// The transaction body, type-erased: mutate the database, return
+    /// the caller's output plus the delta batches produced.
+    #[allow(clippy::type_complexity)]
+    apply: Box<dyn FnOnce(&mut Database) -> Result<(Box<dyn Any + Send>, Vec<DeltaBatch>)> + Send>,
+    /// Views this transaction wants maintained (deduped across the
+    /// batch by the combiner).
+    views: Vec<SharedPmv>,
+    /// Where the combiner deposits the outcome.
+    slot: Arc<CommitSlot>,
+}
+
+/// Completion slot for one commit request. `done` flips (`Release`)
+/// only after `result` is filled, so a committer that observes
+/// `done` (`Acquire`) can take the result without further ceremony.
+#[derive(Default)]
+struct CommitSlot {
+    done: AtomicBool,
+    result: Mutex<Option<ErasedResult>>,
+}
+
+impl CommitSlot {
+    fn fill(&self, res: ErasedResult) {
+        *self.result.lock() = Some(res);
+        self.done.store(true, Release);
+    }
+
+    fn take<T: 'static>(&self) -> Result<T> {
+        let res = self
+            .result
+            .lock()
+            .take()
+            .expect("commit slot marked done without a result");
+        res.map(|out| {
+            *out.downcast::<T>()
+                .expect("group-commit result type mismatch")
+        })
+    }
+}
+
+/// Per-thread pinned-snapshot cache entry (see [`EpochDb::with_pin`]).
+struct PinEntry {
+    db: u64,
+    version: usize,
+    snap: Arc<DbSnapshot>,
+}
+
+thread_local! {
+    /// Cached pins, one per `EpochDb` this thread has queried. Held in
+    /// a `Cell` (taken for the duration of each query) rather than a
+    /// `RefCell` so a re-entrant query degrades to an uncached pin
+    /// instead of a borrow panic.
+    static PIN_CACHE: Cell<Vec<PinEntry>> = const { Cell::new(Vec::new()) };
+}
+
+/// Distinguishes `EpochDb` instances in the per-thread pin cache.
+static NEXT_DB_ID: AtomicU64 = AtomicU64::new(0);
 
 /// A database with an epoch-published snapshot for lock-free serving.
 pub struct EpochDb {
+    id: u64,
     db: RwLock<Database>,
     published: LeftRight<DbSnapshot>,
+    /// Commit requests awaiting a combiner (module docs).
+    queue: Mutex<Vec<CommitReq>>,
+    /// Transactions committed / combine rounds run — the ratio is the
+    /// achieved group-commit batch size.
+    commits: AtomicU64,
+    combines: AtomicU64,
+    /// Set once the first epoch-path query is served; guards
+    /// [`EpochDb::with_write`]'s no-maintenance republish.
+    served: AtomicBool,
 }
 
 impl EpochDb {
     /// Wrap `db` and publish its current state as the first snapshot.
-    pub fn new(db: Database) -> Self {
-        let snap = Arc::new(db.snapshot());
+    pub fn new(mut db: Database) -> Self {
+        let snap = Arc::new(db.publish_snapshot());
         EpochDb {
+            id: NEXT_DB_ID.fetch_add(1, SeqCst),
             db: RwLock::new(db),
             published: LeftRight::new(snap),
+            queue: Mutex::new(Vec::new()),
+            commits: AtomicU64::new(0),
+            combines: AtomicU64::new(0),
+            served: AtomicBool::new(false),
         }
     }
 
@@ -70,52 +177,210 @@ impl EpochDb {
         self.published.load()
     }
 
+    /// Run `f` against the current snapshot via the per-thread pin
+    /// cache: one `Acquire` load of the publish counter revalidates the
+    /// cached `Arc<DbSnapshot>`, and only an actual publish since the
+    /// thread's last query forces a shared [`LeftRight::load`]. The
+    /// steady-state read path therefore writes no shared cache line —
+    /// the `Arc` refcount ping-pong that serializes [`EpochDb::pin`]
+    /// across cores never happens.
+    ///
+    /// A thread's cache entry keeps its snapshot alive until that
+    /// thread queries again (or exits); on a read-mostly serving tier
+    /// that is exactly the pin lifetime readers already have.
+    pub fn with_pin<R>(&self, f: impl FnOnce(&DbSnapshot) -> R) -> R {
+        PIN_CACHE.with(|tls| {
+            let mut cache = tls.take();
+            // Hint is read BEFORE the load below: if a publish lands in
+            // between, the cached entry is newer than its tag and just
+            // revalidates once more than strictly needed — never the
+            // other way around (a tag newer than the snapshot would
+            // serve extra-stale reads without revalidating).
+            let hint = self.published.version_hint();
+            let idx = match cache.iter().position(|e| e.db == self.id) {
+                Some(i) => {
+                    if cache[i].version != hint {
+                        cache[i].snap = self.published.load();
+                        cache[i].version = hint;
+                    }
+                    i
+                }
+                None => {
+                    cache.push(PinEntry {
+                        db: self.id,
+                        version: hint,
+                        snap: self.published.load(),
+                    });
+                    cache.len() - 1
+                }
+            };
+            let out = f(&cache[idx].snap);
+            tls.set(cache);
+            out
+        })
+    }
+
     /// Shared read access to the live database, for locked-mode serving
     /// ([`SharedPmv::run`]) and inspection. Blocks commits while held.
     pub fn read(&self) -> RwLockReadGuard<'_, Database> {
         self.db.read()
     }
 
-    /// Commit one transaction: `f` mutates the database and returns the
-    /// delta batches it produced (e.g. from
-    /// `pmv_query::Transaction::commit`); every view in `views` is then
-    /// maintained and the new snapshot published, all before the write
-    /// lock is released — the maintain-before-publish protocol the
-    /// epoch serving path's correctness rests on (module docs).
-    pub fn commit<T>(
+    /// Commit one transaction through the group-commit queue: `f`
+    /// mutates the database and returns the delta batches it produced
+    /// (e.g. from `pmv_query::Transaction::commit`); every view in
+    /// `views` is maintained and a new snapshot published before the
+    /// result returns — the maintain-before-publish protocol the epoch
+    /// serving path's correctness rests on (module docs).
+    ///
+    /// Under concurrency the enqueue→combine protocol coalesces work:
+    /// whichever committer wins the master write lock drains *all*
+    /// queued transactions, maintains each distinct view once over the
+    /// merged batches, and publishes a single snapshot for the group.
+    /// An error from `f` fails only that transaction; a maintenance
+    /// error aborts the round's publish and fails every transaction in
+    /// it with [`CoreError::Commit`].
+    pub fn commit<T: Send + 'static>(
         &self,
         views: &[&SharedPmv],
-        f: impl FnOnce(&mut Database) -> Result<(T, Vec<DeltaBatch>)>,
+        f: impl FnOnce(&mut Database) -> Result<(T, Vec<DeltaBatch>)> + Send + 'static,
     ) -> Result<T> {
-        let mut guard = self.db.write();
-        let (out, batches) = f(&mut guard)?;
-        for view in views {
-            view.maintain_all(&guard, &batches)?;
+        let slot = Arc::new(CommitSlot::default());
+        self.queue.lock().push(CommitReq {
+            apply: Box::new(move |db| {
+                let (out, batches) = f(db)?;
+                Ok((Box::new(out) as Box<dyn Any + Send>, batches))
+            }),
+            views: views.iter().map(|&v| v.clone()).collect(),
+            slot: Arc::clone(&slot),
+        });
+        loop {
+            // A combiner may have drained our request while we raced
+            // for the lock; slots are filled before the lock releases,
+            // so `done` observed here (or right after acquiring) means
+            // the result is ready and the lock is untouched by us.
+            if slot.done.load(Acquire) {
+                return slot.take();
+            }
+            let mut guard = self.db.write();
+            if slot.done.load(Acquire) {
+                drop(guard);
+                return slot.take();
+            }
+            // We are the combiner. Our own request is still queued
+            // (fills happen under the lock we now hold), and combine
+            // drains the entire queue — so this iteration completes it.
+            self.combine(&mut guard);
+            debug_assert!(
+                slot.done.load(Acquire),
+                "combiner drained the queue without completing its own request"
+            );
         }
-        self.published.publish(Arc::new(guard.snapshot()));
-        Ok(out)
+    }
+
+    /// Drain and apply every queued commit request under the held write
+    /// lock: apply each transaction, maintain each distinct view once
+    /// over the merged delta batches, publish one snapshot, fill every
+    /// slot. No-op on an empty queue.
+    fn combine(&self, db: &mut Database) {
+        let reqs: Vec<CommitReq> = std::mem::take(&mut *self.queue.lock());
+        if reqs.is_empty() {
+            return;
+        }
+        self.commits.fetch_add(reqs.len() as u64, SeqCst);
+        self.combines.fetch_add(1, SeqCst);
+        let mut applied: Vec<(Arc<CommitSlot>, Box<dyn Any + Send>)> =
+            Vec::with_capacity(reqs.len());
+        let mut batches: Vec<DeltaBatch> = Vec::new();
+        let mut views: Vec<SharedPmv> = Vec::new();
+        for req in reqs {
+            match (req.apply)(db) {
+                Ok((out, mut b)) => {
+                    batches.append(&mut b);
+                    for v in req.views {
+                        if !views.iter().any(|w| w.same_view(&v)) {
+                            views.push(v);
+                        }
+                    }
+                    applied.push((req.slot, out));
+                }
+                // A failed transaction fails alone; the rest of the
+                // round proceeds (its closure is responsible for its
+                // own atomicity, as before).
+                Err(e) => req.slot.fill(Err(e)),
+            }
+        }
+        let mut failure: Option<String> = None;
+        for view in &views {
+            if let Err(e) = view.maintain_all(db, &batches) {
+                failure = Some(e.to_string());
+                break;
+            }
+        }
+        match failure {
+            None => {
+                self.published.publish(Arc::new(db.publish_snapshot()));
+                for (slot, out) in applied {
+                    slot.fill(Ok(out));
+                }
+            }
+            Some(msg) => {
+                // Maintenance failed: nothing publishes (readers keep
+                // the last good snapshot) and every transaction in the
+                // round reports the failure.
+                for (slot, _) in applied {
+                    slot.fill(Err(CoreError::Commit(format!(
+                        "maintenance failed; coalesced snapshot not published: {msg}"
+                    ))));
+                }
+            }
+        }
+    }
+
+    /// Transactions committed and combine rounds run so far. The ratio
+    /// `commits / combines` is the achieved group-commit batch size.
+    pub fn commit_counts(&self) -> (u64, u64) {
+        (self.commits.load(SeqCst), self.combines.load(SeqCst))
     }
 
     /// Exclusive setup access (schema, bulk loads, index builds) with a
     /// snapshot republish on exit. Unlike [`EpochDb::commit`] this runs
-    /// no maintenance — use it only before views are serving, or for
-    /// changes views are maintained against separately.
+    /// no maintenance — it is only sound before views start serving
+    /// (debug-asserted): republishing after would pair a new database
+    /// state with stale PMV shards, silently breaking the
+    /// maintain-before-publish invariant. Once serving has begun, route
+    /// every change through [`EpochDb::commit`].
     pub fn with_write<T>(&self, f: impl FnOnce(&mut Database) -> T) -> T {
+        debug_assert!(
+            !self.served.load(Acquire),
+            "EpochDb::with_write after serving began: republishing without \
+             maintenance pairs a new DB with stale PMV shards — route the \
+             change through EpochDb::commit instead"
+        );
         let mut guard = self.db.write();
         let out = f(&mut guard);
-        self.published.publish(Arc::new(guard.snapshot()));
+        self.published.publish(Arc::new(guard.publish_snapshot()));
         out
     }
 
-    /// Serve one query on the epoch path: pin the published snapshot
-    /// (recorded as [`Phase::epoch_pin`]) and run it through
-    /// [`SharedPmv::run_pinned`]. Takes no lock anywhere on the read
-    /// path.
+    /// Serve one query on the epoch path: revalidate this thread's
+    /// cached pin (recorded as [`Phase::epoch_pin`] when observability
+    /// is enabled) and run it through [`SharedPmv::run_pinned`]. Takes
+    /// no lock — and in steady state writes no shared cache line —
+    /// anywhere on the read path.
     pub fn query(&self, pmv: &SharedPmv, q: &QueryInstance) -> Result<QueryOutcome> {
-        let t0 = Instant::now();
-        let snap = self.pin();
-        pmv.obs().record(Phase::epoch_pin, t0.elapsed());
-        pmv.run_pinned(&*snap, q)
+        if !self.served.load(Acquire) {
+            self.served.store(true, Release);
+        }
+        if pmv.obs().enabled() {
+            let t0 = Instant::now();
+            self.with_pin(|snap| {
+                pmv.obs().record(Phase::epoch_pin, t0.elapsed());
+                pmv.run_pinned(snap, q)
+            })
+        } else {
+            self.with_pin(|snap| pmv.run_pinned(snap, q))
+        }
     }
 
     /// Epoch (database version) of the currently published snapshot.
@@ -211,7 +476,7 @@ mod tests {
         edb.query(&pmv, &q).unwrap();
         let pinned = edb.pin();
         let before = edb.query(&pmv, &q).unwrap().all_results().len();
-        edb.commit(&[&pmv], |db| {
+        edb.commit(&[&pmv], move |db| {
             let mut txn = Transaction::begin(db);
             txn.delete("r", row).unwrap();
             Ok(((), txn.commit()))
@@ -232,7 +497,7 @@ mod tests {
     fn epoch_advances_on_commit() {
         let (edb, pmv) = setup();
         let e0 = edb.epoch();
-        edb.commit(&[&pmv], |db| {
+        edb.commit(&[&pmv], move |db| {
             let mut txn = Transaction::begin(db);
             txn.insert("r", tuple![900i64, 3i64]).unwrap();
             Ok(((), txn.commit()))
@@ -261,7 +526,7 @@ mod tests {
         };
         let pinned = edb.pin();
         // Maintenance completes at a later epoch…
-        edb.commit(&[&pmv], |db| {
+        edb.commit(&[&pmv], move |db| {
             let mut txn = Transaction::begin(db);
             txn.delete("r", row).unwrap();
             Ok(((), txn.commit()))

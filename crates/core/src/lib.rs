@@ -88,6 +88,10 @@ pub use view::{PartialViewDef, PmvConfig};
 pub enum CoreError {
     /// Bad PMV definition or query/definition mismatch.
     Definition(String),
+    /// A group-commit combine round failed during view maintenance; the
+    /// coalesced batch was not published and every transaction in it
+    /// reports this error.
+    Commit(String),
     /// Underlying query/storage failure.
     Query(pmv_query::QueryError),
     /// Registration rejected by the static verifier (deny diagnostics).
@@ -98,6 +102,7 @@ impl std::fmt::Display for CoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CoreError::Definition(msg) => write!(f, "pmv definition error: {msg}"),
+            CoreError::Commit(msg) => write!(f, "group commit failed: {msg}"),
             CoreError::Query(e) => write!(f, "query error: {e}"),
             CoreError::Analysis(report) => {
                 write!(f, "registration denied by static analysis:\n{report}")

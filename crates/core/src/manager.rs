@@ -653,7 +653,7 @@ mod tests {
         // Traces were captured and the tail is bounded per view.
         let traces = m.trace_tail(3);
         assert_eq!(traces.len(), 3, "only pmv_a ran queries");
-        assert!(traces.iter().all(|t| t.template == "pmv_a"));
+        assert!(traces.iter().all(|t| &*t.template == "pmv_a"));
         assert!(traces
             .iter()
             .all(|t| t.events.iter().any(|e| e.kind.name() == "first_results")));

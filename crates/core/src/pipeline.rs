@@ -331,7 +331,7 @@ impl PmvPipeline {
         let serving = pmv.breaker.allow_serve();
         trace.event(EventKind::Breaker {
             serving,
-            state: pmv.breaker.state().as_str().to_string(),
+            state: pmv.breaker.state().as_str(),
         });
         if serving {
             let part_refs: Vec<&ConditionPart> = parts.iter().collect();

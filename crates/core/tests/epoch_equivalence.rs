@@ -81,7 +81,7 @@ proptest! {
                     prop_assert_eq!(&a, &c, "epoch vs oracle diverged on f={}", f);
                 }
                 1 => {
-                    edb.commit(&[&locked, &epoch], |db| {
+                    edb.commit(&[&locked, &epoch], move |db| {
                         let mut txn = Transaction::begin(db);
                         txn.insert("r", tuple![a, f]).unwrap();
                         Ok(((), txn.commit()))
@@ -100,7 +100,7 @@ proptest! {
                         row
                     };
                     let Some(row) = row else { continue };
-                    edb.commit(&[&locked, &epoch], |db| {
+                    edb.commit(&[&locked, &epoch], move |db| {
                         let mut txn = Transaction::begin(db);
                         txn.delete("r", row).unwrap();
                         Ok(((), txn.commit()))

@@ -218,6 +218,21 @@ impl ObsRegistry {
             TraceScope::noop()
         }
     }
+
+    /// [`ObsRegistry::begin_trace`] without the per-span string copy:
+    /// the serving path holds one `Arc<str>` per view and opening a
+    /// span costs a refcount bump — and, when disabled, nothing at all.
+    pub fn begin_trace_shared(
+        &self,
+        kind: TraceKind,
+        template: &std::sync::Arc<str>,
+    ) -> TraceScope<'_> {
+        if self.enabled() {
+            self.trace.begin_shared(kind, template)
+        } else {
+            TraceScope::noop()
+        }
+    }
 }
 
 #[cfg(test)]

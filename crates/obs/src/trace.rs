@@ -19,7 +19,7 @@
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 /// What kind of pass a trace covers.
@@ -59,8 +59,10 @@ pub enum EventKind {
     Breaker {
         /// Whether O2/fill are allowed.
         serving: bool,
-        /// Breaker state name at decision time.
-        state: String,
+        /// Breaker state name at decision time (a static name — the
+        /// serving path records this per query, so it must not
+        /// allocate).
+        state: &'static str,
     },
     /// One shard's O2 probe critical section completed.
     ShardProbe {
@@ -270,8 +272,9 @@ pub struct QueryTrace {
     pub id: u64,
     /// Pass kind.
     pub kind: TraceKind,
-    /// Template (or view) name the pass targeted.
-    pub template: String,
+    /// Template (or view) name the pass targeted. Shared (`Arc<str>`)
+    /// so hot paths publish a refcount bump, not a string copy.
+    pub template: Arc<str>,
     /// Total pass duration in microseconds.
     pub total_us: u64,
     /// Ordered lifecycle events.
@@ -364,11 +367,18 @@ impl TraceRecorder {
     /// Open a span. The scope buffers events locally and publishes into
     /// the ring when dropped.
     pub fn begin(&self, kind: TraceKind, template: &str) -> TraceScope<'_> {
+        self.begin_shared(kind, &Arc::from(template))
+    }
+
+    /// [`TraceRecorder::begin`] without the string copy: the caller
+    /// holds the template name in an `Arc<str>` (e.g. one per view,
+    /// created at registration) and each span costs one refcount bump.
+    pub fn begin_shared(&self, kind: TraceKind, template: &Arc<str>) -> TraceScope<'_> {
         TraceScope {
             rec: Some(self),
             id: self.next_id.fetch_add(1, Ordering::Relaxed),
             kind,
-            template: template.to_string(),
+            template: Some(Arc::clone(template)),
             start: Instant::now(),
             events: Vec::new(),
         }
@@ -403,7 +413,9 @@ pub struct TraceScope<'a> {
     rec: Option<&'a TraceRecorder>,
     id: u64,
     kind: TraceKind,
-    template: String,
+    /// `Some` iff `rec` is `Some`; `None` in a noop scope so disabled
+    /// observability allocates nothing.
+    template: Option<Arc<str>>,
     start: Instant,
     events: Vec<TraceEvent>,
 }
@@ -416,7 +428,7 @@ impl TraceScope<'_> {
             rec: None,
             id: 0,
             kind: TraceKind::Query,
-            template: String::new(),
+            template: None,
             start: Instant::now(),
             events: Vec::new(),
         }
@@ -454,10 +466,11 @@ impl TraceScope<'_> {
 impl Drop for TraceScope<'_> {
     fn drop(&mut self) {
         if let Some(rec) = self.rec {
+            let template = self.template.take().unwrap_or_else(|| Arc::from(""));
             rec.push(QueryTrace {
                 id: self.id,
                 kind: self.kind,
-                template: std::mem::take(&mut self.template),
+                template,
                 total_us: self.elapsed_us(),
                 events: std::mem::take(&mut self.events),
             });
@@ -484,8 +497,8 @@ mod tests {
         assert_eq!(rec.len(), 3);
         let tail = rec.tail(10);
         assert_eq!(tail.len(), 3);
-        assert_eq!(tail[0].template, "t2");
-        assert_eq!(tail[2].template, "t4");
+        assert_eq!(&*tail[0].template, "t2");
+        assert_eq!(&*tail[2].template, "t4");
         assert_eq!(tail[2].id, 4, "ids keep counting past evicted traces");
         assert_eq!(rec.tail(1).len(), 1);
         rec.clear();
@@ -499,7 +512,7 @@ mod tests {
             let mut s = rec.begin(TraceKind::Query, "q");
             s.event(EventKind::Breaker {
                 serving: false,
-                state: "quarantined".into(),
+                state: "quarantined",
             });
             7 // scope drops here, mid-"pipeline"
         }

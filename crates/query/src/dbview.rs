@@ -60,20 +60,24 @@ impl DataView for Database {
 }
 
 /// An immutable snapshot of the whole database at one version: the unit
-/// the epoch serving path publishes and queries pin. Cheap to build
-/// (`Arc` clones only) and safe to read from any thread with no lock.
+/// the epoch serving path publishes and queries pin. The relation map
+/// and index list are themselves behind `Arc`s, so cloning a snapshot —
+/// and, more importantly, publishing a new one that reuses the previous
+/// snapshot's entries for untouched relations
+/// ([`Database::publish_snapshot`]) — costs a handful of pointer clones
+/// regardless of how many relations the catalog holds.
 #[derive(Clone)]
 pub struct DbSnapshot {
-    relations: BTreeMap<String, Arc<HeapRelation>>,
-    indexes: Vec<(IndexDef, Arc<AnyIndex>)>,
+    relations: Arc<BTreeMap<String, Arc<HeapRelation>>>,
+    indexes: Arc<Vec<(IndexDef, Arc<AnyIndex>)>>,
     stats: Option<Arc<TableStats>>,
     epoch: u64,
 }
 
 impl DbSnapshot {
     pub(crate) fn new(
-        relations: BTreeMap<String, Arc<HeapRelation>>,
-        indexes: Vec<(IndexDef, Arc<AnyIndex>)>,
+        relations: Arc<BTreeMap<String, Arc<HeapRelation>>>,
+        indexes: Arc<Vec<(IndexDef, Arc<AnyIndex>)>>,
         stats: Option<Arc<TableStats>>,
         epoch: u64,
     ) -> Self {
@@ -108,6 +112,16 @@ impl DbSnapshot {
     /// Names of all relations, sorted.
     pub fn relation_names(&self) -> Vec<String> {
         self.relations.keys().cloned().collect()
+    }
+
+    /// Shared handle to the relation map (incremental publish reuses it).
+    pub(crate) fn relations_arc(&self) -> &Arc<BTreeMap<String, Arc<HeapRelation>>> {
+        &self.relations
+    }
+
+    /// Shared handle to the index list (incremental publish reuses it).
+    pub(crate) fn indexes_arc(&self) -> &Arc<Vec<(IndexDef, Arc<AnyIndex>)>> {
+        &self.indexes
     }
 }
 

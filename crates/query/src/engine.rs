@@ -35,6 +35,27 @@ pub struct Database {
     indexes: Vec<(IndexDef, Arc<AnyIndex>)>,
     stats: Option<Arc<TableStats>>,
     version: u64,
+    /// Per-relation mutation counters: bumped by every DML statement
+    /// that touches the relation. [`Database::publish_snapshot`] keys
+    /// its incremental refresh off these — an untouched relation's
+    /// entry is reused from the previous snapshot verbatim.
+    rel_versions: std::collections::BTreeMap<String, u64>,
+    /// Bumped whenever the index set or any index's contents change
+    /// (create_index, or DML on an indexed relation).
+    index_version: u64,
+    /// The incrementally-maintained snapshot cache (see
+    /// [`Database::publish_snapshot`]).
+    snap_cache: Option<SnapCache>,
+}
+
+/// State carried between [`Database::publish_snapshot`] calls so each
+/// publish only re-captures what actually changed since the last one.
+struct SnapCache {
+    relations: Arc<std::collections::BTreeMap<String, Arc<HeapRelation>>>,
+    /// `rel_versions` value each cached relation entry was captured at.
+    captured: std::collections::BTreeMap<String, u64>,
+    indexes: Arc<Vec<(IndexDef, Arc<AnyIndex>)>>,
+    index_version: u64,
 }
 
 impl Database {
@@ -45,9 +66,25 @@ impl Database {
 
     /// Create a relation.
     pub fn create_relation(&mut self, schema: Schema) -> Result<()> {
+        let name = schema.name().to_string();
         self.catalog.create_relation(schema)?;
         self.version += 1;
+        self.mark_relation_dirty(&name);
         Ok(())
+    }
+
+    /// Bump `relation`'s mutation counter so the next
+    /// [`Database::publish_snapshot`] re-captures it.
+    fn mark_relation_dirty(&mut self, relation: &str) {
+        match self.rel_versions.get_mut(relation) {
+            Some(v) => *v += 1,
+            None => {
+                self.rel_versions.insert(relation.to_string(), 1);
+            }
+        }
+        if self.indexes.iter().any(|(d, _)| d.relation == relation) {
+            self.index_version += 1;
+        }
     }
 
     /// Monotonic mutation counter: bumped by every DML statement and
@@ -62,6 +99,11 @@ impl Database {
     /// behind `Arc`s. O(#relations + #indexes) pointer clones — no
     /// tuple data is copied — and the result can be read forever with
     /// no lock held.
+    ///
+    /// This builds from scratch on every call. Commit paths that
+    /// snapshot after every transaction should use
+    /// [`Database::publish_snapshot`], which reuses the previous
+    /// snapshot's entries for untouched relations.
     pub fn snapshot(&self) -> DbSnapshot {
         let mut relations = std::collections::BTreeMap::new();
         for name in self.catalog.relation_names() {
@@ -70,11 +112,60 @@ impl Database {
             }
         }
         DbSnapshot::new(
-            relations,
-            self.indexes.clone(),
+            Arc::new(relations),
+            Arc::new(self.indexes.clone()),
             self.stats.clone(),
             self.version,
         )
+    }
+
+    /// Incremental snapshot publish: like [`Database::snapshot`], but
+    /// amortized O(relations touched since the last publish) instead of
+    /// O(#relations + #indexes) per call. The relation map and index
+    /// list of the previous publish are kept behind `Arc`s; only
+    /// entries whose per-relation mutation counter moved are
+    /// re-captured (`Arc::make_mut` clones the map of *pointers*, never
+    /// tuple data, and only when a published snapshot still pins it).
+    ///
+    /// This is the snapshot constructor the epoch commit path uses —
+    /// under group commit it runs once per coalesced batch, and a
+    /// commit touching one relation out of hundreds republishes in a
+    /// few pointer writes.
+    pub fn publish_snapshot(&mut self) -> DbSnapshot {
+        let cache = match self.snap_cache.take() {
+            Some(c) => c,
+            None => {
+                let full = self.snapshot();
+                SnapCache {
+                    relations: Arc::clone(full.relations_arc()),
+                    captured: self.rel_versions.clone(),
+                    indexes: Arc::clone(full.indexes_arc()),
+                    index_version: self.index_version,
+                }
+            }
+        };
+        let mut cache = cache;
+        for (name, v) in &self.rel_versions {
+            if cache.captured.get(name) != Some(v) {
+                if let Ok(handle) = self.catalog.relation(name) {
+                    Arc::make_mut(&mut cache.relations)
+                        .insert(name.clone(), relation_snapshot(&handle));
+                }
+            }
+        }
+        cache.captured.clone_from(&self.rel_versions);
+        if cache.index_version != self.index_version {
+            cache.indexes = Arc::new(self.indexes.clone());
+            cache.index_version = self.index_version;
+        }
+        let snap = DbSnapshot::new(
+            Arc::clone(&cache.relations),
+            Arc::clone(&cache.indexes),
+            self.stats.clone(),
+            self.version,
+        );
+        self.snap_cache = Some(cache);
+        snap
     }
 
     /// Handle to a relation.
@@ -97,6 +188,7 @@ impl Database {
         }
         self.indexes.push((def, Arc::new(idx)));
         self.version += 1;
+        self.index_version += 1;
         Ok(())
     }
 
@@ -145,6 +237,7 @@ impl Database {
         let delta = Delta::Insert { row, tuple };
         self.maintain_indexes(relation, &delta);
         self.version += 1;
+        self.mark_relation_dirty(relation);
         Ok(delta)
     }
 
@@ -173,6 +266,7 @@ impl Database {
             Ok(n)
         })?;
         self.version += 1;
+        self.mark_relation_dirty(relation);
         Ok(n)
     }
 
@@ -183,6 +277,7 @@ impl Database {
         let delta = Delta::Delete { row, tuple };
         self.maintain_indexes(relation, &delta);
         self.version += 1;
+        self.mark_relation_dirty(relation);
         Ok(delta)
     }
 
@@ -193,6 +288,7 @@ impl Database {
         let delta = Delta::Update { row, old, new };
         self.maintain_indexes(relation, &delta);
         self.version += 1;
+        self.mark_relation_dirty(relation);
         Ok(delta)
     }
 
@@ -328,6 +424,53 @@ mod tests {
         assert_eq!(db.len("r").unwrap(), 1);
         db.delete("r", row).unwrap();
         assert!(db.get("r", row).is_err());
+    }
+
+    #[test]
+    fn publish_snapshot_reuses_untouched_entries() {
+        use crate::dbview::DataView;
+        let mut db = db_with_r();
+        db.create_relation(Schema::new("s", vec![Column::new("x", ColumnType::Int)]))
+            .unwrap();
+        db.insert("r", tuple![1i64, 10i64]).unwrap();
+        db.insert("s", tuple![7i64]).unwrap();
+        let a = db.publish_snapshot();
+        // No mutation: the next publish reuses the whole relation map.
+        let b = db.publish_snapshot();
+        assert!(Arc::ptr_eq(a.relations_arc(), b.relations_arc()));
+        assert!(Arc::ptr_eq(a.indexes_arc(), b.indexes_arc()));
+        // Mutating r re-captures r but reuses s's entry untouched.
+        db.insert("r", tuple![2i64, 20i64]).unwrap();
+        let c = db.publish_snapshot();
+        assert!(!Arc::ptr_eq(b.relations_arc(), c.relations_arc()));
+        assert!(Arc::ptr_eq(
+            &b.relation_version("s").unwrap(),
+            &c.relation_version("s").unwrap()
+        ));
+        assert_eq!(c.len("r").unwrap(), 2);
+        assert_eq!(b.len("r").unwrap(), 1, "pinned snapshot mutated");
+        // Index list only re-captured when an indexed relation moves.
+        db.create_index(IndexDef::btree("r", vec![0])).unwrap();
+        let d = db.publish_snapshot();
+        assert!(!Arc::ptr_eq(c.indexes_arc(), d.indexes_arc()));
+        db.insert("s", tuple![8i64]).unwrap();
+        let e = db.publish_snapshot();
+        assert!(Arc::ptr_eq(d.indexes_arc(), e.indexes_arc()));
+        db.insert("r", tuple![3i64, 30i64]).unwrap();
+        let f = db.publish_snapshot();
+        assert!(!Arc::ptr_eq(e.indexes_arc(), f.indexes_arc()));
+        assert_eq!(
+            f.index_arc("r", &[0])
+                .unwrap()
+                .probe(&[Value::Int(3)])
+                .len(),
+            1
+        );
+        // Incremental publish and full snapshot agree.
+        let full = db.snapshot();
+        assert_eq!(full.epoch(), f.epoch());
+        assert_eq!(full.len("r").unwrap(), f.len("r").unwrap());
+        assert_eq!(full.len("s").unwrap(), f.len("s").unwrap());
     }
 
     #[test]

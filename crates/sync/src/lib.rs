@@ -143,6 +143,16 @@ impl<T> LeftRight<T> {
     pub fn versions(&self) -> usize {
         self.version.load(SeqCst)
     }
+
+    /// Cheap revalidation hint for per-thread caches: the publish
+    /// counter with `Acquire` ordering. A cached value tagged with this
+    /// hint is provably no older than the hint's publish; a publish
+    /// landing concurrently at worst makes the cache revalidate once
+    /// more. This is a *hint*, not the synchronization — slot safety
+    /// still rides entirely on the `SeqCst` guard protocol above.
+    pub fn version_hint(&self) -> usize {
+        self.version.load(std::sync::atomic::Ordering::Acquire)
+    }
 }
 
 impl<T: std::fmt::Debug> std::fmt::Debug for LeftRight<T> {
