@@ -11,6 +11,7 @@
 //! | `lock_order` | DB guard before shard guard, never the reverse |
 //! | `relaxed_outside_stats` | `Ordering::Relaxed` only in designated statistics modules (`stats.rs`, anywhere in the `obs` crate, or a file whose docs declare the "statistics, not synchronization" contract) |
 //! | `lock_in_pin_region` | no blocking lock acquisition (`.read()`/`.write()`/`.lock()`) inside an epoch-pinned region — the scope of a `let … = ….pin()` binding or the body of a `run_pinned` function. The epoch serving path promises "no lock waited on between pin and answer"; best-effort `try_write()` is allowed |
+//! | `raw_fs_write` | in `crates/{core,storage,wal}/src`, `pmv_wal::dio` is the *only* module allowed raw `std::fs` write access (`File::create`, `fs::write`, `fs::rename`, …). Everything else must route through `dio` so fault injection and the crash kill-point matrix see every durable write. Test modules (`#[cfg(test)]` and below) are exempt |
 //!
 //! ## Escape hatch
 //!
@@ -57,12 +58,13 @@ impl fmt::Display for Level {
 }
 
 /// The shipped-enabled rules.
-pub const RULES: [(&str, Level); 5] = [
+pub const RULES: [(&str, Level); 6] = [
     ("write_guard_across_exec", Level::Error),
     ("lock_in_catch_unwind", Level::Error),
     ("lock_order", Level::Error),
     ("relaxed_outside_stats", Level::Warning),
     ("lock_in_pin_region", Level::Error),
+    ("raw_fs_write", Level::Error),
 ];
 
 /// One lint hit.
@@ -171,6 +173,7 @@ pub fn lint_source(file: &Path, source: &str, report: &mut LintReport) {
     rule_lock_order(&masked, &line_of, &mut raw);
     rule_relaxed_outside_stats(file, source, &masked, &line_of, &mut raw);
     rule_lock_in_pin_region(&masked, &line_of, &mut raw);
+    rule_raw_fs_write(file, &masked, &line_of, &mut raw);
 
     for (rule, level, line, message) in raw {
         if let Some(allow_line) = allow_covers(&lines, rule, line) {
@@ -639,6 +642,72 @@ fn flag_blocking(
     }
 }
 
+/// Filesystem APIs that mutate durable state. Read-side APIs
+/// (`fs::read`, `File::open`, `read_dir`, `metadata`) are deliberately
+/// absent — the contract covers *writes*, which must be observable by
+/// fault injection.
+const FS_WRITE_APIS: [&str; 9] = [
+    "File::create(",
+    "OpenOptions::new(",
+    "File::options(",
+    "fs::write(",
+    "fs::rename(",
+    "fs::remove_file(",
+    "fs::remove_dir_all(",
+    "fs::create_dir",
+    "fs::copy(",
+];
+
+/// Crates whose production sources must route durable writes through
+/// `pmv_wal::dio`: the commit path (`core`), the heap/index substrate
+/// (`storage`), and the durability engine itself (`wal`).
+const DURABLE_CRATES: [&str; 3] = ["core", "storage", "wal"];
+
+fn rule_raw_fs_write(file: &Path, masked: &str, line_of: &[usize], out: &mut Vec<RawFinding>) {
+    let comps: Vec<String> = file
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect();
+    let in_scope = comps
+        .windows(3)
+        .any(|w| w[0] == "crates" && DURABLE_CRATES.contains(&w[1].as_str()) && w[2] == "src");
+    if !in_scope {
+        return;
+    }
+    // The one sanctioned module: every write funnels through it so a
+    // `FaultPlan` can fail or crash any site the kill-point matrix
+    // names.
+    if comps
+        .windows(3)
+        .any(|w| w[0] == "wal" && w[1] == "src" && w[2] == "dio.rs")
+    {
+        return;
+    }
+    // Unit tests embedded in src files (scratch dirs, damage helpers)
+    // are not production write paths: exempt everything from the first
+    // `#[cfg(test)]` on. Masking keeps the attribute visible (it is
+    // neither a comment nor a string).
+    let test_start = masked.find("#[cfg(test)]").unwrap_or(masked.len());
+    for api in FS_WRITE_APIS {
+        for pos in find_all(masked, api) {
+            if pos >= test_start {
+                continue;
+            }
+            out.push((
+                "raw_fs_write",
+                Level::Error,
+                line_of[pos],
+                format!(
+                    "raw filesystem write `{}` outside `pmv_wal::dio` — route it through \
+                     the dio layer so fault injection and the crash kill-point matrix \
+                     cover this write",
+                    api.trim_end_matches('('),
+                ),
+            ));
+        }
+    }
+}
+
 /// Marker phrase a module must carry to use relaxed atomics: it declares
 /// the counters are statistics with no synchronization role.
 pub const RELAXED_MARKER: &str = "statistics, not synchronization";
@@ -890,6 +959,42 @@ fn run_pinned(&self, view: &V) {
             "{:?}",
             report.findings
         );
+    }
+
+    #[test]
+    fn flags_raw_fs_write_outside_dio() {
+        let src = "fn save(p: &Path) { std::fs::write(p, b\"x\").unwrap(); }\n";
+        let mut report = LintReport::default();
+        lint_source(Path::new("crates/core/src/epoch.rs"), src, &mut report);
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
+        assert_eq!(report.findings[0].rule, "raw_fs_write");
+        // The dio module is the sanctioned funnel.
+        let mut report = LintReport::default();
+        lint_source(Path::new("crates/wal/src/dio.rs"), src, &mut report);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        // Crates outside the durable set are unconstrained (the CLI
+        // reads scripts, benches write JSON, …).
+        let mut report = LintReport::default();
+        lint_source(Path::new("crates/cli/src/main.rs"), src, &mut report);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+    }
+
+    #[test]
+    fn raw_fs_write_exempts_test_modules_and_reads() {
+        let src = "fn load(p: &Path) -> Vec<u8> { std::fs::read(p).unwrap() }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn scratch(p: &Path) { std::fs::remove_dir_all(p).ok(); }\n\
+                   }\n";
+        let mut report = LintReport::default();
+        lint_source(Path::new("crates/wal/src/lib.rs"), src, &mut report);
+        assert!(report.findings.is_empty(), "{:?}", report.findings);
+        // The same write *above* the test module is a finding.
+        let src =
+            "fn save(p: &Path) { std::fs::remove_dir_all(p).ok(); }\n#[cfg(test)]\nmod tests {}\n";
+        let mut report = LintReport::default();
+        lint_source(Path::new("crates/wal/src/lib.rs"), src, &mut report);
+        assert_eq!(report.findings.len(), 1, "{:?}", report.findings);
     }
 
     #[test]

@@ -37,6 +37,15 @@
 //! different core count the *relative* qps gates are skipped too —
 //! absolute throughput across machines is not a regression signal.
 //!
+//! When both files carry a `durability` section (`concurrent_scaling
+//! --durability`), its `wal_commits_per_sec` is gated like a cell qps
+//! but at twice the allowed drop — fsync latency on shared CI storage
+//! is far noisier than in-memory serving. A section present in the
+//! baseline but missing from the current run is a failure (the
+//! durability cell silently disappearing from CI is itself a
+//! regression); the reverse merely notes the baseline predates the
+//! section.
+//!
 //! Usage:
 //!   bench_regression --baseline BENCH_pmv.json --current BENCH_current.json
 //!
@@ -179,6 +188,49 @@ fn main() {
             "bench_regression: current host has {cur_cores:?} core(s) (< 8); \
              skipping --min-speedup-at-8 gate"
         );
+    }
+
+    // Durability cell: commit throughput with a WAL fsync per round.
+    match (baseline.get("durability"), current.get("durability")) {
+        (Some(b), Some(c)) => {
+            let b_cps = b.get("wal_commits_per_sec").and_then(Value::as_f64);
+            let c_cps = c.get("wal_commits_per_sec").and_then(Value::as_f64);
+            match (b_cps, c_cps) {
+                (Some(b_cps), Some(c_cps)) if comparable_hosts => {
+                    let drop_pct = (1.0 - c_cps / b_cps) * 100.0;
+                    let limit = 2.0 * max_qps_drop_pct;
+                    if drop_pct > limit {
+                        eprintln!(
+                            "FAIL durability: wal_commits_per_sec {b_cps:.0} -> {c_cps:.0} \
+                             ({drop_pct:.1}% drop > {limit:.0}% allowed)"
+                        );
+                        failures += 1;
+                    } else {
+                        eprintln!(
+                            "durability: wal_commits_per_sec {b_cps:.0} -> {c_cps:.0} \
+                             ({drop_pct:+.1}% change)"
+                        );
+                    }
+                }
+                (Some(_), Some(_)) => {
+                    eprintln!("durability: hosts differ; skipping wal_commits_per_sec gate");
+                }
+                _ => {
+                    eprintln!("FAIL durability: section lacks numeric 'wal_commits_per_sec'");
+                    failures += 1;
+                }
+            }
+        }
+        (Some(_), None) => {
+            eprintln!(
+                "FAIL durability: baseline has a durability section but the current run \
+                 does not (run concurrent_scaling with --durability)"
+            );
+            failures += 1;
+        }
+        (None, _) => {
+            eprintln!("bench_regression: baseline has no durability section; gate skipped");
+        }
     }
 
     if failures > 0 {

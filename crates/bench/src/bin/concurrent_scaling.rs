@@ -52,6 +52,12 @@
 //! phase (e.g. `seed=42;exec-start:panic@0.05`), turning the
 //! `degraded_query_rate` / `quarantine_events` series non-zero so the
 //! degradation overhead can be compared against the clean run.
+//! `--durability` appends a commit-throughput comparison — the same
+//! single-insert commit stream through an in-memory `EpochDb` and
+//! through one opened on a data directory (WAL append + fsync per
+//! combine round, durable-before-visible) — plus recovery time at
+//! several WAL lengths. The serving-path sweep above is unaffected:
+//! without `--data-dir` the durability hook is `None` and costs nothing.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -59,9 +65,9 @@ use std::time::Instant;
 use pmv_bench::tpcr_harness::{arg_flag, arg_value};
 use pmv_bench::ExperimentReport;
 use pmv_cache::PolicyKind;
-use pmv_core::{EpochDb, PartialViewDef, Phase, PmvConfig, SharedPmv};
+use pmv_core::{EpochDb, ObsRegistry, PartialViewDef, Phase, PmvConfig, SharedPmv};
 use pmv_index::IndexDef;
-use pmv_query::{Condition, Database, QueryTemplate, TemplateBuilder};
+use pmv_query::{Condition, Database, QueryTemplate, TemplateBuilder, Transaction};
 use pmv_storage::{tuple, Column, ColumnType, Schema, Value};
 use std::sync::Arc;
 
@@ -278,9 +284,48 @@ fn main() {
     );
     obs_report.print();
 
+    let durability = arg_flag("--durability").then(|| {
+        let d = measure_durability(quick);
+        eprintln!(
+            "durability ({} single-insert commits): in-memory {:.0} commits/s, \
+             WAL+fsync {:.0} commits/s ({:.1}x overhead), {} WAL byte(s)",
+            d.commits,
+            d.mem_cps,
+            d.wal_cps,
+            d.mem_cps / d.wal_cps,
+            d.wal_bytes
+        );
+        let mut dur_report = ExperimentReport::new(
+            "durability_overhead",
+            "commit throughput with and without WAL fsync; recovery time vs WAL length",
+            "wal_records",
+        );
+        for &(records, ms) in &d.recovery {
+            eprintln!("recovery: {records} WAL record(s) replayed in {ms:.2} ms");
+            dur_report.push(
+                records.to_string(),
+                vec![
+                    ("recovery_ms".to_string(), ms),
+                    ("mem_commits_per_sec".to_string(), d.mem_cps),
+                    ("wal_commits_per_sec".to_string(), d.wal_cps),
+                ],
+            );
+        }
+        dur_report.print();
+        d
+    });
+
     if let Some(path) = json_path {
         let json = cells_to_json(
-            quick, &mode, cores, &cells, ov_threads, ov_shards, qps_off, qps_on,
+            quick,
+            &mode,
+            cores,
+            &cells,
+            ov_threads,
+            ov_shards,
+            qps_off,
+            qps_on,
+            durability.as_ref(),
         );
         std::fs::write(&path, &json).unwrap_or_else(|e| {
             eprintln!("cannot write {path}: {e}");
@@ -359,8 +404,110 @@ fn run_cell(
     (shared, qps)
 }
 
+/// Commit-throughput and recovery-time numbers for the `--durability`
+/// section.
+struct DurabilityResult {
+    /// Single-insert commits in each measured stream.
+    commits: usize,
+    /// Commits/second through an in-memory `EpochDb` (no WAL).
+    mem_cps: f64,
+    /// Commits/second with a WAL append + fsync per combine round.
+    wal_cps: f64,
+    /// Bytes in the active WAL segment after the measured stream.
+    wal_bytes: u64,
+    /// `(wal_records, recovery_ms)`: cold-open time as the replayed
+    /// tail grows.
+    recovery: Vec<(u64, f64)>,
+}
+
+/// Measure commit throughput with and without the durability engine,
+/// then recovery time at several WAL lengths. Single-threaded on
+/// purpose: one committer means one WAL record + fsync per commit, the
+/// worst case for fsync amortization (group commit batches concurrent
+/// writers into one record).
+fn measure_durability(quick: bool) -> DurabilityResult {
+    let commits = if quick { 300usize } else { 2_000 };
+
+    let setup = |db: &mut Database| {
+        db.create_relation(Schema::new(
+            "d",
+            vec![
+                Column::new("a", ColumnType::Int),
+                Column::new("f", ColumnType::Int),
+            ],
+        ))
+        .unwrap();
+    };
+    let run_commits = |edb: &EpochDb, n: usize| {
+        let start = Instant::now();
+        for i in 0..n {
+            let v = i as i64;
+            edb.commit(&[], move |db| {
+                let mut txn = Transaction::begin(db);
+                txn.insert("d", tuple![v, v % 16])?;
+                Ok(((), txn.commit()))
+            })
+            .unwrap();
+        }
+        start.elapsed().as_secs_f64()
+    };
+
+    // In-memory baseline: same commit path, no durability engine.
+    let mut db = Database::new();
+    setup(&mut db);
+    let edb = EpochDb::new(db);
+    let mem_cps = commits as f64 / run_commits(&edb, commits);
+
+    // Durable: WAL append + fsync before every publish.
+    let scratch = std::env::temp_dir().join("pmv_bench_durability");
+    let _ = std::fs::remove_dir_all(&scratch);
+    let open = |name: &str| {
+        let dir = scratch.join(name);
+        let (edb, _) = EpochDb::open_durable(&dir, Arc::new(ObsRegistry::new())).unwrap();
+        edb.with_write(|db| setup(db));
+        // Checkpoint the catalog so recovery can replay DML records.
+        edb.checkpoint(Vec::new()).unwrap();
+        edb
+    };
+    let edb = open("throughput");
+    let wal_cps = commits as f64 / run_commits(&edb, commits);
+    let wal_bytes = edb
+        .durability()
+        .expect("opened durable")
+        .active_segment_bytes();
+    drop(edb);
+
+    // Recovery time vs WAL length: fresh dir per length, cold reopen.
+    let mut recovery = Vec::new();
+    for records in [commits / 10, commits / 2, commits] {
+        let name = format!("recovery_{records}");
+        let edb = open(&name);
+        run_commits(&edb, records);
+        drop(edb);
+        let start = Instant::now();
+        let (edb, _) =
+            EpochDb::open_durable(&scratch.join(&name), Arc::new(ObsRegistry::new())).unwrap();
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            edb.durability().unwrap().recovery_info().replayed_records,
+            records as u64
+        );
+        recovery.push((records as u64, ms));
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+
+    DurabilityResult {
+        commits,
+        mem_cps,
+        wal_cps,
+        wal_bytes,
+        recovery,
+    }
+}
+
 /// Hand-rolled `BENCH_pmv.json`: the percentile series per cell plus the
-/// observability-overhead comparison.
+/// observability-overhead comparison and (when measured) the durability
+/// section.
 #[allow(clippy::too_many_arguments)]
 fn cells_to_json(
     quick: bool,
@@ -371,6 +518,7 @@ fn cells_to_json(
     ov_shards: usize,
     qps_off: f64,
     qps_on: f64,
+    durability: Option<&DurabilityResult>,
 ) -> String {
     let mut out = String::with_capacity(4096);
     let _ = write!(
@@ -406,7 +554,31 @@ fn cells_to_json(
         out,
         "\n  ],\n  \"obs_overhead\": {{\"threads\": {ov_threads}, \"shards\": {ov_shards}, \
          \"qps_obs_disabled\": {qps_off:.0}, \"qps_obs_enabled\": {qps_on:.0}, \
-         \"obs_overhead_pct\": {overhead_pct:.2}}}\n}}\n"
+         \"obs_overhead_pct\": {overhead_pct:.2}}}"
     );
+    if let Some(d) = durability {
+        let _ = write!(
+            out,
+            ",\n  \"durability\": {{\"commits\": {}, \"mem_commits_per_sec\": {:.0}, \
+             \"wal_commits_per_sec\": {:.0}, \"wal_overhead_x\": {:.2}, \
+             \"wal_bytes\": {}, \"recovery\": [",
+            d.commits,
+            d.mem_cps,
+            d.wal_cps,
+            d.mem_cps / d.wal_cps,
+            d.wal_bytes
+        );
+        for (i, (records, ms)) in d.recovery.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"wal_records\": {records}, \"recovery_ms\": {ms:.2}}}"
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n}\n");
     out
 }

@@ -12,6 +12,7 @@
 //! metrics [--format prometheus|json]     per-phase latency + counter export
 //! trace [--tail N]                       query lifecycle traces
 //! advisor                                recommend PMVs from the trace
+//! checkpoint                             write a durable snapshot (needs --data-dir)
 //! help | quit
 //! ```
 //!
@@ -25,8 +26,8 @@ use std::sync::Arc;
 
 use pmv_cache::PolicyKind;
 use pmv_core::{
-    AdvisorConfig, PartialViewDef, Pmv, PmvAdvisor, PmvConfig, PmvPipeline, QueryOutcome,
-    SharedPmv, VerifyOptions,
+    AdvisorConfig, CheckpointMeta, Durability, PartialViewDef, Pmv, PmvAdvisor, PmvConfig,
+    PmvPipeline, QueryOutcome, SharedPmv, VerifyOptions, ViewSpec,
 };
 use pmv_query::{
     parse_template, CondForm, Condition, Database, Interval, QueryInstance, QueryTemplate,
@@ -45,6 +46,7 @@ use pmv_workload::tpcr::{self, TpcrConfig};
 /// | 3    | storage-layer error                     |
 /// | 4    | query-layer error (incl. budget/fault)  |
 /// | 5    | PMV-layer (core) error                  |
+/// | 6    | durability error (WAL/checkpoint/recovery) |
 ///
 /// Errors are classified by *root cause*: a `CoreError` wrapping a
 /// `QueryError` wrapping a `StorageError` exits with the storage code.
@@ -58,6 +60,9 @@ pub enum CliError {
     Query(pmv_query::QueryError),
     /// PMV-layer failure (exit code 5).
     Core(pmv_core::CoreError),
+    /// Durability-layer failure: WAL append, checkpoint write, or
+    /// recovery (exit code 6).
+    Durability(String),
     /// `quit` / `exit` was entered (exit code 0).
     Quit,
 }
@@ -71,6 +76,7 @@ impl CliError {
             CliError::Storage(_) => 3,
             CliError::Query(_) => 4,
             CliError::Core(_) => 5,
+            CliError::Durability(_) => 6,
         }
     }
 }
@@ -82,6 +88,7 @@ impl std::fmt::Display for CliError {
             CliError::Storage(e) => write!(f, "storage error: {e}"),
             CliError::Query(e) => write!(f, "query error: {e}"),
             CliError::Core(e) => write!(f, "{e}"),
+            CliError::Durability(msg) => write!(f, "durability error: {msg}"),
             CliError::Quit => write!(f, "bye"),
         }
     }
@@ -108,6 +115,7 @@ impl From<pmv_core::CoreError> for CliError {
     fn from(e: pmv_core::CoreError) -> Self {
         match e {
             pmv_core::CoreError::Query(q) => CliError::from(q),
+            pmv_core::CoreError::Durability(msg) => CliError::Durability(msg),
             other => CliError::Core(other),
         }
     }
@@ -115,6 +123,32 @@ impl From<pmv_core::CoreError> for CliError {
 
 fn usage(msg: impl Into<String>) -> CliError {
     CliError::Usage(msg.into())
+}
+
+/// Parse a policy option value (`pmv … policy=…` and checkpointed view
+/// specs share this spelling).
+fn parse_policy(v: &str) -> Result<PolicyKind, CliError> {
+    match v.to_ascii_lowercase().as_str() {
+        "clock" => Ok(PolicyKind::Clock),
+        "2q" => Ok(PolicyKind::TwoQ),
+        "lru" => Ok(PolicyKind::Lru),
+        "lru2" | "lru-2" => Ok(PolicyKind::LruK),
+        "2qfull" | "2q-full" => Ok(PolicyKind::TwoQFull),
+        other => Err(usage(format!("unknown policy '{other}'"))),
+    }
+}
+
+/// The spelling stored in checkpoint view specs — must round-trip
+/// through [`parse_policy`] (the display names `PolicyKind::name`
+/// returns do not).
+fn policy_spec_name(p: PolicyKind) -> &'static str {
+    match p {
+        PolicyKind::Clock => "clock",
+        PolicyKind::TwoQ => "2q",
+        PolicyKind::Lru => "lru",
+        PolicyKind::LruK => "lru2",
+        PolicyKind::TwoQFull => "2qfull",
+    }
 }
 
 /// Which serving path `query` uses for PMV-backed templates
@@ -144,12 +178,16 @@ impl std::str::FromStr for SnapshotMode {
     }
 }
 
-/// An interactive session: database + templates + PMVs + advisor.
+/// An interactive session: database + templates + PMVs + advisor, with
+/// optional crash durability when opened on a data directory.
 pub struct Session {
     db: Database,
     templates: HashMap<String, Arc<QueryTemplate>>,
+    template_sql: HashMap<String, String>,
     pmvs: HashMap<String, Pmv>,
     shared: HashMap<String, SharedPmv>,
+    view_specs: HashMap<String, ViewSpec>,
+    durability: Option<Arc<Durability>>,
     pipeline: PmvPipeline,
     advisor: PmvAdvisor,
     mode: SnapshotMode,
@@ -167,22 +205,118 @@ impl Session {
         Self::with_mode(SnapshotMode::default())
     }
 
-    /// Fresh session serving PMV queries on the given path.
+    /// Fresh session serving PMV queries on the given path. Pure
+    /// in-memory: no WAL, no checkpoints, zero durability overhead.
     pub fn with_mode(mode: SnapshotMode) -> Self {
         Session {
             db: Database::new(),
             templates: HashMap::new(),
+            template_sql: HashMap::new(),
             pmvs: HashMap::new(),
             shared: HashMap::new(),
+            view_specs: HashMap::new(),
+            durability: None,
             pipeline: PmvPipeline::new(),
             advisor: PmvAdvisor::new(),
             mode,
         }
     }
 
+    /// Durable session on `data_dir` (`--data-dir`): recover the newest
+    /// checkpoint plus the WAL tail, re-register every PMV recorded in
+    /// the checkpoint's view specs, and keep the directory open for
+    /// `checkpoint` commands. Returns the session and a one-line
+    /// recovery summary for the banner.
+    pub fn with_data_dir(
+        mode: SnapshotMode,
+        data_dir: &std::path::Path,
+    ) -> Result<(Self, String), CliError> {
+        let rec = Durability::open(data_dir).map_err(pmv_core::CoreError::from)?;
+        let mut s = Self::with_mode(mode);
+        s.db = rec.db;
+        s.durability = Some(Arc::new(rec.durability));
+        for spec in &rec.meta.views {
+            s.reattach_view(spec)?;
+        }
+        let info = s
+            .durability
+            .as_ref()
+            .expect("just set")
+            .recovery_info()
+            .clone();
+        let summary = if !info.checkpoint_found && info.replayed_records == 0 {
+            format!(
+                "data dir {}: initialized (no prior state)",
+                data_dir.display()
+            )
+        } else {
+            let mut text = format!(
+                "recovered from {}: checkpoint lsn {}, {} WAL record(s) replayed \
+                 ({} delta(s)), {} view(s) re-registered",
+                data_dir.display(),
+                info.checkpoint_lsn,
+                info.replayed_records,
+                info.replayed_deltas,
+                rec.meta.views.len(),
+            );
+            if info.torn_tail {
+                text.push_str(", torn WAL tail truncated");
+            }
+            if info.checkpoints_skipped > 0 {
+                let _ = write!(
+                    text,
+                    ", {} corrupt checkpoint(s) skipped",
+                    info.checkpoints_skipped
+                );
+            }
+            text
+        };
+        Ok((s, summary))
+    }
+
+    /// Rebuild one PMV registration from its checkpointed spec: re-parse
+    /// the template SQL against the recovered catalog, restore the
+    /// discretizers from their divider points, and register a *cold*
+    /// view (the store refills from observed results, per the paper's
+    /// for-free maintenance — cached content is never checkpointed).
+    fn reattach_view(&mut self, spec: &ViewSpec) -> Result<(), CliError> {
+        let template = parse_template(&spec.name, &spec.sql, &self.db)?;
+        self.template_sql
+            .insert(spec.name.clone(), spec.sql.clone());
+        self.templates.insert(spec.name.clone(), template.clone());
+        let config = PmvConfig::new(spec.f, spec.l, parse_policy(&spec.policy)?);
+        let discretizers = spec
+            .dividers
+            .iter()
+            .map(|d| {
+                d.as_ref()
+                    .map(|vals| pmv_core::Discretizer::from_raw(vals.clone()))
+            })
+            .collect();
+        let def = PartialViewDef::new(format!("pmv_{}", spec.name), template, discretizers)
+            .map_err(CliError::from)?;
+        if self.mode == SnapshotMode::Epoch {
+            let v = if spec.shards > 0 {
+                SharedPmv::with_shards(def, config, spec.shards)
+            } else {
+                SharedPmv::new(def, config)
+            };
+            self.shared.insert(spec.name.clone(), v);
+        } else {
+            self.pmvs.insert(spec.name.clone(), Pmv::new(def, config));
+        }
+        self.view_specs.insert(spec.name.clone(), spec.clone());
+        Ok(())
+    }
+
     /// Direct access for embedding (tests, examples).
     pub fn database_mut(&mut self) -> &mut Database {
         &mut self.db
+    }
+
+    /// The durability engine, when the session owns a data directory.
+    pub fn durability(&self) -> Option<&Arc<Durability>> {
+        self.durability.as_ref()
     }
 
     /// Execute one command line; returns the text to print.
@@ -210,6 +344,7 @@ impl Session {
             "metrics" => self.cmd_metrics(rest),
             "trace" => self.cmd_trace(rest),
             "revalidate" => self.cmd_revalidate(rest),
+            "checkpoint" => self.cmd_checkpoint(),
             "advisor" => self.cmd_advisor(),
             "quit" | "exit" => Err(CliError::Quit),
             other => Err(usage(format!("unknown command '{other}' (try: help)"))),
@@ -235,12 +370,22 @@ impl Session {
                     },
                 )?;
                 tpcr::standard_indexes(&mut self.db)?;
-                Ok(format!(
+                let mut out = format!(
                     "loaded TPC-R at s={scale}: {} customers, {} orders, {} lineitems (indexed)",
                     self.db.len("customer")?,
                     self.db.len("orders")?,
                     self.db.len("lineitem")?,
-                ))
+                );
+                // Bulk loads bypass the WAL (it carries commit deltas,
+                // not DDL/loads), so a durable session checkpoints
+                // immediately — the load is on disk before the prompt
+                // returns.
+                if self.durability.is_some() {
+                    let note = self.cmd_checkpoint()?;
+                    out.push('\n');
+                    out.push_str(&note);
+                }
+                Ok(out)
             }
             _ => Err(usage("usage: load tpcr <scale>")),
         }
@@ -273,6 +418,10 @@ impl Session {
             t.cond_count()
         );
         self.templates.insert(name.to_string(), t);
+        // Kept so a later `pmv` + `checkpoint` can record the exact SQL
+        // for re-parsing at recovery.
+        self.template_sql
+            .insert(name.to_string(), sql.trim().to_string());
         Ok(summary)
     }
 
@@ -294,28 +443,23 @@ impl Session {
             match k {
                 "f" => config.f = v.parse().map_err(|_| usage("bad f"))?,
                 "l" => config.l = v.parse().map_err(|_| usage("bad l"))?,
-                "policy" => {
-                    config.policy = match v.to_ascii_lowercase().as_str() {
-                        "clock" => PolicyKind::Clock,
-                        "2q" => PolicyKind::TwoQ,
-                        "lru" => PolicyKind::Lru,
-                        "lru2" | "lru-2" => PolicyKind::LruK,
-                        "2qfull" | "2q-full" => PolicyKind::TwoQFull,
-                        other => return Err(usage(format!("unknown policy '{other}'"))),
-                    }
-                }
+                "policy" => config.policy = parse_policy(v)?,
                 other => return Err(usage(format!("unknown option '{other}'"))),
             }
         }
         // Interval-form conditions get a discretizer learned later (via
         // advisor) or a simple default grid here.
-        let discretizers = template
+        let discretizers: Vec<Option<pmv_core::Discretizer>> = template
             .cond_templates()
             .iter()
             .map(|ct| match ct.form {
                 CondForm::Equality => None,
                 CondForm::Interval => Some(pmv_core::Discretizer::int_grid(0, 100, 64)),
             })
+            .collect();
+        let dividers: Vec<Option<Vec<Value>>> = discretizers
+            .iter()
+            .map(|d| d.as_ref().map(|x| x.dividers().to_vec()))
             .collect();
         let def = PartialViewDef::new(format!("pmv_{name}"), template, discretizers)?;
         let summary = format!(
@@ -330,12 +474,23 @@ impl Session {
                 ""
             }
         );
+        let mut spec = ViewSpec {
+            name: name.to_string(),
+            sql: self.template_sql.get(name).cloned().unwrap_or_default(),
+            f: config.f,
+            l: config.l,
+            policy: policy_spec_name(config.policy).to_string(),
+            shards: 0,
+            dividers,
+        };
         if self.mode == SnapshotMode::Epoch {
-            self.shared
-                .insert(name.to_string(), SharedPmv::new(def, config));
+            let v = SharedPmv::new(def, config);
+            spec.shards = v.shard_count();
+            self.shared.insert(name.to_string(), v);
         } else {
             self.pmvs.insert(name.to_string(), Pmv::new(def, config));
         }
+        self.view_specs.insert(name.to_string(), spec);
         Ok(summary)
     }
 
@@ -499,6 +654,32 @@ impl Session {
         }
         if out.is_empty() {
             out.push_str("(no PMVs yet)\n");
+        }
+        if let Some(dur) = &self.durability {
+            let info = dur.recovery_info();
+            let _ = writeln!(
+                out,
+                "durability: dir {}, durable lsn {}, {} WAL segment(s), {} active byte(s)",
+                dur.dir().display(),
+                dur.durable_lsn(),
+                dur.segment_count(),
+                dur.active_segment_bytes(),
+            );
+            let _ = writeln!(
+                out,
+                "recovery: checkpoint {} (lsn {}), {} record(s) / {} delta(s) replayed, \
+                 torn tail: {}, corrupt checkpoints skipped: {}",
+                if info.checkpoint_found {
+                    "loaded"
+                } else {
+                    "none"
+                },
+                info.checkpoint_lsn,
+                info.replayed_records,
+                info.replayed_deltas,
+                if info.torn_tail { "truncated" } else { "no" },
+                info.checkpoints_skipped,
+            );
         }
         Ok(out)
     }
@@ -693,6 +874,40 @@ impl Session {
         Ok(out)
     }
 
+    /// `checkpoint` — serialize the current database (catalog, heaps
+    /// with exact row ids, indexes, view specs) to the data directory
+    /// via write-temp + atomic-rename, then prune WAL segments wholly
+    /// behind the checkpoint LSN. Requires `--data-dir`.
+    fn cmd_checkpoint(&mut self) -> Result<String, CliError> {
+        let dur = self.durability.clone().ok_or_else(|| {
+            CliError::Durability(
+                "no data directory (start with --data-dir to enable checkpoints)".to_string(),
+            )
+        })?;
+        let snap = self.db.snapshot();
+        let mut views: Vec<ViewSpec> = self.view_specs.values().cloned().collect();
+        views.sort_by(|a, b| a.name.cmp(&b.name));
+        let meta = CheckpointMeta {
+            lsn: dur.durable_lsn(),
+            epoch: snap.epoch(),
+            analyzed: {
+                use pmv_query::DataView;
+                snap.stats_view().is_some()
+            },
+            views,
+        };
+        let path = dur
+            .checkpoint(&snap, &meta)
+            .map_err(pmv_core::CoreError::from)?;
+        Ok(format!(
+            "checkpoint written: {} (lsn {}, {} view spec(s), {} WAL segment(s) live)",
+            path.display(),
+            meta.lsn,
+            meta.views.len(),
+            dur.segment_count(),
+        ))
+    }
+
     fn cmd_stats(&mut self, rest: &str) -> Result<String, CliError> {
         let mut out = String::new();
         for (name, pmv) in &self.pmvs {
@@ -874,6 +1089,7 @@ commands:
   metrics [--format prometheus|json]   per-phase latency + counter export
   trace [--tail N]                  last N query lifecycle traces per PMV
   revalidate [<template>]           re-derive cached tuples, lift quarantine
+  checkpoint                        write a snapshot checkpoint (needs --data-dir)
   advisor                           recommend PMVs from the observed trace
   help | quit";
 
@@ -1043,6 +1259,82 @@ mod tests {
         assert!(s.execute("query t1 [1]").is_err());
         // Interval binding on an equality slot.
         assert!(s.execute("query t1 [1..2] [1]").is_err());
+    }
+
+    fn scratch_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("pmv_cli_durable").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_session_roundtrips_through_checkpoint() {
+        let dir = scratch_dir("roundtrip");
+        {
+            let (mut s, banner) = Session::with_data_dir(SnapshotMode::Locked, &dir).unwrap();
+            assert!(banner.contains("initialized"), "{banner}");
+            // The load auto-checkpoints so the data survives a crash
+            // right after the prompt returns.
+            let out = s.execute("load tpcr 0.001").unwrap();
+            assert!(out.contains("checkpoint written"), "{out}");
+            s.execute(
+                "template t1 SELECT * FROM orders, lineitem \
+                 WHERE orders.orderkey = lineitem.orderkey \
+                 AND orders.orderdate = ? AND lineitem.suppkey = ?",
+            )
+            .unwrap();
+            s.execute("pmv t1 f=3 l=500 policy=2q").unwrap();
+            let out = s.execute("checkpoint").unwrap();
+            assert!(out.contains("1 view spec(s)"), "{out}");
+        }
+        // Reopen: catalog, data, template, and PMV all come back without
+        // re-running any setup command.
+        let (mut s, banner) = Session::with_data_dir(SnapshotMode::Locked, &dir).unwrap();
+        assert!(banner.contains("recovered from"), "{banner}");
+        assert!(banner.contains("1 view(s) re-registered"), "{banner}");
+        let tables = s.execute("tables").unwrap();
+        assert!(tables.contains("orders:"), "{tables}");
+        for _ in 0..3 {
+            s.execute("query t1 [100] [1]").unwrap();
+        }
+        let stats = s.execute("stats").unwrap();
+        assert!(stats.contains("policy 2Q"), "{stats}");
+        let health = s.execute("health").unwrap();
+        assert!(health.contains("durability: dir"), "{health}");
+        assert!(health.contains("recovery: checkpoint loaded"), "{health}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_epoch_session_restores_shard_count() {
+        let dir = scratch_dir("epoch_shards");
+        {
+            let (mut s, _) = Session::with_data_dir(SnapshotMode::Epoch, &dir).unwrap();
+            s.execute("load tpcr 0.001").unwrap();
+            s.execute(
+                "template t1 SELECT * FROM orders, lineitem \
+                 WHERE orders.orderkey = lineitem.orderkey \
+                 AND orders.orderdate = ? AND lineitem.suppkey = ?",
+            )
+            .unwrap();
+            s.execute("pmv t1 f=3 l=1000").unwrap();
+            s.execute("checkpoint").unwrap();
+        }
+        let (mut s, _) = Session::with_data_dir(SnapshotMode::Epoch, &dir).unwrap();
+        let before = s.execute("stats").unwrap();
+        let (mut s2, _) = Session::with_data_dir(SnapshotMode::Epoch, &dir).unwrap();
+        assert_eq!(before, s2.execute("stats").unwrap(), "shard count drifted");
+        assert!(s.execute("query t1 [100] [1]").is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn checkpoint_without_data_dir_is_a_durability_error() {
+        let mut s = Session::new();
+        let e = s.execute("checkpoint").unwrap_err();
+        assert!(matches!(e, CliError::Durability(_)), "{e}");
+        assert_eq!(e.exit_code(), 6);
+        assert!(e.to_string().contains("--data-dir"), "{e}");
     }
 
     #[test]

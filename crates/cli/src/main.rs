@@ -5,10 +5,17 @@
 //! cargo run --release -p pmv-cli script.pmv   # run a command script
 //! cargo run --release -p pmv-cli -- --fault-plan 'seed=42;exec-row:error@0.01' script.pmv
 //! cargo run --release -p pmv-cli -- --snapshot-mode=epoch   # wait-free serving path
+//! cargo run --release -p pmv-cli -- --data-dir ./pmvdata    # durable: WAL + checkpoints
 //! ```
 //!
+//! Without `--data-dir` the session is pure in-memory (no WAL, no
+//! fsync, zero durability overhead). With it, the session recovers the
+//! newest checkpoint plus the WAL tail at startup and the `checkpoint`
+//! command persists the current state.
+//!
 //! Exit codes (script mode): 0 success, 1 I/O, 2 usage, 3 storage error,
-//! 4 query error, 5 PMV error — see [`pmv_cli::CliError`].
+//! 4 query error, 5 PMV error, 6 durability error — see
+//! [`pmv_cli::CliError`].
 
 use std::io::{BufRead, Write};
 
@@ -17,10 +24,21 @@ use pmv_cli::{CliError, Session, SnapshotMode};
 fn main() {
     let mut script_path: Option<String> = None;
     let mut fault_plan: Option<String> = None;
+    let mut data_dir: Option<String> = None;
     let mut mode = SnapshotMode::default();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if let Some(spec) = arg.strip_prefix("--fault-plan=") {
+        if let Some(dir) = arg.strip_prefix("--data-dir=") {
+            data_dir = Some(dir.to_string());
+        } else if arg == "--data-dir" {
+            match args.next() {
+                Some(dir) => data_dir = Some(dir),
+                None => {
+                    eprintln!("--data-dir needs a directory path");
+                    std::process::exit(2);
+                }
+            }
+        } else if let Some(spec) = arg.strip_prefix("--fault-plan=") {
             fault_plan = Some(spec.to_string());
         } else if arg == "--fault-plan" {
             match args.next() {
@@ -86,7 +104,18 @@ fn main() {
         }));
     }
 
-    let mut session = Session::with_mode(mode);
+    let mut session = match data_dir {
+        Some(dir) => {
+            let (session, banner) = Session::with_data_dir(mode, std::path::Path::new(&dir))
+                .unwrap_or_else(|e| {
+                    eprintln!("error: {e}");
+                    std::process::exit(e.exit_code());
+                });
+            eprintln!("{banner}");
+            session
+        }
+        None => Session::with_mode(mode),
+    };
 
     if let Some(path) = script_path {
         // Script mode: run each line, echoing commands and output.

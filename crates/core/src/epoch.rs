@@ -66,11 +66,14 @@ use std::sync::atomic::{
 use std::sync::Arc;
 use std::time::Instant;
 
+use std::path::{Path, PathBuf};
+
 use parking_lot::{Mutex, RwLock, RwLockReadGuard};
-use pmv_obs::Phase;
+use pmv_obs::{ObsRegistry, Phase};
 use pmv_query::{Database, DbSnapshot, QueryInstance};
 use pmv_storage::DeltaBatch;
 use pmv_sync::LeftRight;
+use pmv_wal::{CheckpointMeta, Durability, ViewSpec};
 
 use crate::concurrent::SharedPmv;
 use crate::pipeline::QueryOutcome;
@@ -152,10 +155,22 @@ pub struct EpochDb {
     /// Set once the first epoch-path query is served; guards
     /// [`EpochDb::with_write`]'s no-maintenance republish.
     served: AtomicBool,
+    /// Optional durability engine. When present, the combiner appends
+    /// one fsynced WAL record per round *before* maintenance and
+    /// publish — durable strictly precedes visible — and a WAL failure
+    /// rolls the round's deltas back and publishes nothing.
+    durability: Option<Arc<Durability>>,
+    /// Durable mark: the last published snapshot paired with the
+    /// highest LSN it reflects. Checkpoints serialize from this pair so
+    /// the image and its "replay after me" LSN agree exactly; updated
+    /// by the combiner (and `with_write`) after each publish.
+    durable: Mutex<Option<(Arc<DbSnapshot>, u64)>>,
 }
 
 impl EpochDb {
     /// Wrap `db` and publish its current state as the first snapshot.
+    /// Pure in-memory mode: no WAL, no checkpoints, zero durability
+    /// overhead on the commit path.
     pub fn new(mut db: Database) -> Self {
         let snap = Arc::new(db.publish_snapshot());
         EpochDb {
@@ -166,7 +181,45 @@ impl EpochDb {
             commits: AtomicU64::new(0),
             combines: AtomicU64::new(0),
             served: AtomicBool::new(false),
+            durability: None,
+            durable: Mutex::new(None),
         }
+    }
+
+    /// Wrap a (typically just-recovered) `db` with a durability engine:
+    /// every subsequent commit is WAL-logged and fsynced before it
+    /// becomes visible. The durable mark starts at the engine's current
+    /// durable LSN paired with the initial snapshot.
+    pub fn with_durability(mut db: Database, durability: Arc<Durability>) -> Self {
+        let snap = Arc::new(db.publish_snapshot());
+        let lsn = durability.durable_lsn();
+        EpochDb {
+            id: NEXT_DB_ID.fetch_add(1, SeqCst),
+            db: RwLock::new(db),
+            published: LeftRight::new(Arc::clone(&snap)),
+            queue: Mutex::new(Vec::new()),
+            commits: AtomicU64::new(0),
+            combines: AtomicU64::new(0),
+            served: AtomicBool::new(false),
+            durability: Some(durability),
+            durable: Mutex::new(Some((snap, lsn))),
+        }
+    }
+
+    /// Open (or create) a durable database at `dir`: recover the newest
+    /// valid checkpoint plus the WAL tail (see `pmv-wal`), and return
+    /// the serving-ready [`EpochDb`] together with the recovered
+    /// checkpoint metadata — the host re-registers views from
+    /// `meta.views` (cold; their stores refill from queries, and
+    /// revalidation can confirm consistency). Recovery progress is
+    /// recorded into `obs` (`recovery_replay` phase; WAL/checkpoint
+    /// phases accumulate there from then on).
+    pub fn open_durable(dir: &Path, obs: Arc<ObsRegistry>) -> Result<(Self, CheckpointMeta)> {
+        let recovered = Durability::open_with_obs(dir, obs)?;
+        Ok((
+            EpochDb::with_durability(recovered.db, Arc::new(recovered.durability)),
+            recovered.meta,
+        ))
     }
 
     /// Pin the current published snapshot: one wait-free load plus an
@@ -310,6 +363,31 @@ impl EpochDb {
                 Err(e) => req.slot.fill(Err(e)),
             }
         }
+        // Durable-before-visible: one WAL record for the whole round,
+        // fsynced before any maintenance or publish. On failure the
+        // round's deltas are rolled back (exact inverses, in reverse
+        // order), every transaction reports the error, and nothing
+        // publishes — readers keep the last durable snapshot.
+        if let Some(dur) = &self.durability {
+            if !batches.iter().all(|b| b.is_empty()) {
+                if let Err(e) = dur.append_commit(&batches) {
+                    for batch in batches.iter().rev() {
+                        for delta in batch.deltas().iter().rev() {
+                            db.undo_delta_exact(batch.relation(), delta).expect(
+                                "undo of a just-applied delta cannot fail: \
+                                 inverses target the exact rows the round wrote",
+                            );
+                        }
+                    }
+                    for (slot, _) in applied {
+                        slot.fill(Err(CoreError::Durability(format!(
+                            "WAL append failed; round rolled back, not published: {e}"
+                        ))));
+                    }
+                    return;
+                }
+            }
+        }
         let mut failure: Option<String> = None;
         for view in &views {
             if let Err(e) = view.maintain_all(db, &batches) {
@@ -319,7 +397,14 @@ impl EpochDb {
         }
         match failure {
             None => {
-                self.published.publish(Arc::new(db.publish_snapshot()));
+                let snap = Arc::new(db.publish_snapshot());
+                self.published.publish(Arc::clone(&snap));
+                if let Some(dur) = &self.durability {
+                    // Safe to read here: all appends happen under the
+                    // write lock this combiner holds, so durable_lsn is
+                    // exactly this round's last record.
+                    *self.durable.lock() = Some((snap, dur.durable_lsn()));
+                }
                 for (slot, out) in applied {
                     slot.fill(Ok(out));
                 }
@@ -359,8 +444,55 @@ impl EpochDb {
         );
         let mut guard = self.db.write();
         let out = f(&mut guard);
-        self.published.publish(Arc::new(guard.publish_snapshot()));
+        let snap = Arc::new(guard.publish_snapshot());
+        self.published.publish(Arc::clone(&snap));
+        if let Some(dur) = &self.durability {
+            // Setup-path changes (DDL, bulk loads) are not WAL-logged —
+            // the log carries DML deltas only — so they become durable
+            // at the next checkpoint. Refresh the mark so that
+            // checkpoint captures them; hosts checkpoint right after
+            // setup (the CLI does) to close the window.
+            *self.durable.lock() = Some((snap, dur.durable_lsn()));
+        }
         out
+    }
+
+    /// Write a checkpoint from the current durable mark: the last
+    /// published snapshot serialized together with the exact LSN it
+    /// reflects, plus the caller's registered view specs. Runs off the
+    /// write path — commits keep flowing while the image is written —
+    /// then rotates the WAL and deletes segments behind the checkpoint.
+    /// Returns the checkpoint file path, or an error when the database
+    /// is in-memory (no durability engine attached).
+    pub fn checkpoint(&self, views: Vec<ViewSpec>) -> Result<PathBuf> {
+        let dur = self.durability.as_ref().ok_or_else(|| {
+            CoreError::Durability("no data directory attached (in-memory mode)".to_string())
+        })?;
+        let (snap, lsn) = self
+            .durable
+            .lock()
+            .clone()
+            .expect("durable mark is initialized whenever durability is attached");
+        use pmv_query::DataView;
+        let meta = CheckpointMeta {
+            lsn,
+            epoch: snap.view_epoch(),
+            analyzed: snap.stats_view().is_some(),
+            views,
+        };
+        let path = dur.checkpoint(&snap, &meta)?;
+        Ok(path)
+    }
+
+    /// The durability engine, when this database has one.
+    pub fn durability(&self) -> Option<&Arc<Durability>> {
+        self.durability.as_ref()
+    }
+
+    /// Highest LSN reflected in the published snapshot (`None` in
+    /// in-memory mode).
+    pub fn durable_lsn(&self) -> Option<u64> {
+        self.durable.lock().as_ref().map(|(_, lsn)| *lsn)
     }
 
     /// Serve one query on the epoch path: revalidate this thread's
@@ -504,6 +636,94 @@ mod tests {
         })
         .unwrap();
         assert!(edb.epoch() > e0);
+    }
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("pmv_epoch_durable").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn durable_commit_survives_reopen() {
+        let dir = tmp_dir("reopen");
+        let obs = Arc::new(ObsRegistry::new());
+        let (edb, meta) = EpochDb::open_durable(&dir, obs).unwrap();
+        assert!(meta.views.is_empty());
+        edb.with_write(|db| {
+            db.create_relation(Schema::new(
+                "r",
+                vec![
+                    Column::new("a", ColumnType::Int),
+                    Column::new("f", ColumnType::Int),
+                ],
+            ))
+            .unwrap();
+            db.insert("r", tuple![1i64, 1i64]).unwrap();
+        });
+        // Setup-path changes become durable via checkpoint.
+        edb.checkpoint(Vec::new()).unwrap();
+        // A WAL-logged commit rides the tail past the checkpoint.
+        edb.commit(&[], |db| {
+            let mut txn = Transaction::begin(db);
+            txn.insert("r", tuple![2i64, 2i64]).unwrap();
+            Ok(((), txn.commit()))
+        })
+        .unwrap();
+        assert_eq!(edb.durable_lsn(), Some(1));
+        drop(edb);
+
+        let obs = Arc::new(ObsRegistry::new());
+        let (edb2, _) = EpochDb::open_durable(&dir, Arc::clone(&obs)).unwrap();
+        let info = edb2.durability().unwrap().recovery_info().clone();
+        assert!(info.checkpoint_found);
+        assert_eq!(info.replayed_records, 1);
+        assert_eq!(info.durable_lsn, 1);
+        assert_eq!(edb2.read().relation("r").unwrap().read().len(), 2);
+        assert!(obs.snapshot(Phase::recovery_replay).count() >= 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wal_failure_rolls_back_and_publishes_nothing() {
+        use pmv_faultinject::{install, FaultKind, FaultPlan, Site};
+        let dir = tmp_dir("wal_fail");
+        let obs = Arc::new(ObsRegistry::new());
+        let (edb, _) = EpochDb::open_durable(&dir, obs).unwrap();
+        edb.with_write(|db| {
+            db.create_relation(Schema::new("r", vec![Column::new("a", ColumnType::Int)]))
+                .unwrap();
+        });
+        edb.checkpoint(Vec::new()).unwrap();
+        let epoch_before = edb.epoch();
+
+        let plan = Arc::new(FaultPlan::new(7).with_rule_at(Site::WalFsync, FaultKind::Io, 0));
+        let guard = install(plan);
+        let err = edb
+            .commit(&[], |db| {
+                let mut txn = Transaction::begin(db);
+                txn.insert("r", tuple![10i64]).unwrap();
+                Ok(((), txn.commit()))
+            })
+            .unwrap_err();
+        drop(guard);
+        assert!(matches!(err, CoreError::Durability(_)), "got {err}");
+        // Rolled back: nothing published, nothing in the heap, and the
+        // LSN was not consumed.
+        assert_eq!(edb.epoch(), epoch_before);
+        assert_eq!(edb.read().relation("r").unwrap().read().len(), 0);
+        assert_eq!(edb.durability().unwrap().durable_lsn(), 0);
+
+        // The engine keeps working after the fault clears.
+        edb.commit(&[], |db| {
+            let mut txn = Transaction::begin(db);
+            txn.insert("r", tuple![11i64]).unwrap();
+            Ok(((), txn.commit()))
+        })
+        .unwrap();
+        assert_eq!(edb.durable_lsn(), Some(1));
+        assert_eq!(edb.read().relation("r").unwrap().read().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

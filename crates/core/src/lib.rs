@@ -75,6 +75,7 @@ pub use pmv_obs::{
     EventKind, HistSnapshot, LatencyHistogram, ObsRegistry, Phase, QueryTrace, TraceEvent,
     TraceKind, TraceRecorder, ViewMetrics,
 };
+pub use pmv_wal::{CheckpointMeta, Durability, RecoveryInfo, ViewSpec};
 pub use stats::{AtomicPmvStats, PmvStats};
 pub use store::{PmvStore, Residency};
 pub use verify::{
@@ -94,6 +95,10 @@ pub enum CoreError {
     Commit(String),
     /// Underlying query/storage failure.
     Query(pmv_query::QueryError),
+    /// The durability layer failed: a commit's WAL record could not be
+    /// made durable (the transaction was rolled back and nothing
+    /// published), or a checkpoint/recovery operation failed.
+    Durability(String),
     /// Registration rejected by the static verifier (deny diagnostics).
     Analysis(verify::VerifyReport),
 }
@@ -104,6 +109,7 @@ impl std::fmt::Display for CoreError {
             CoreError::Definition(msg) => write!(f, "pmv definition error: {msg}"),
             CoreError::Commit(msg) => write!(f, "group commit failed: {msg}"),
             CoreError::Query(e) => write!(f, "query error: {e}"),
+            CoreError::Durability(msg) => write!(f, "durability error: {msg}"),
             CoreError::Analysis(report) => {
                 write!(f, "registration denied by static analysis:\n{report}")
             }
@@ -116,6 +122,12 @@ impl std::error::Error for CoreError {}
 impl From<pmv_query::QueryError> for CoreError {
     fn from(e: pmv_query::QueryError) -> Self {
         CoreError::Query(e)
+    }
+}
+
+impl From<pmv_wal::WalError> for CoreError {
+    fn from(e: pmv_wal::WalError) -> Self {
+        CoreError::Durability(e.to_string())
     }
 }
 

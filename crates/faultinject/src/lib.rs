@@ -74,10 +74,21 @@ pub enum Site {
     ShardFill,
     /// Inside a shard's maintenance removal critical section. Soft site.
     ShardMaint,
+    /// `Dio::append` — the WAL record write (before the bytes reach the
+    /// file). Disk site: supports `Io`/`TornWrite`/`CrashPoint`.
+    WalAppend,
+    /// `Dio::fsync` on the WAL file — the durability point of a commit.
+    WalFsync,
+    /// WAL segment deletion behind a checkpoint (`Dio::remove`).
+    WalTruncate,
+    /// Checkpoint temp-file write (`Dio::write_all` during serialization).
+    CkptWrite,
+    /// The checkpoint's atomic rename (`Dio::rename`).
+    CkptRename,
 }
 
 /// All sites, for iteration and per-site counters.
-pub const ALL_SITES: [Site; 8] = [
+pub const ALL_SITES: [Site; 13] = [
     Site::StorageRead,
     Site::IndexProbe,
     Site::ExecStart,
@@ -86,6 +97,11 @@ pub const ALL_SITES: [Site; 8] = [
     Site::ShardProbe,
     Site::ShardFill,
     Site::ShardMaint,
+    Site::WalAppend,
+    Site::WalFsync,
+    Site::WalTruncate,
+    Site::CkptWrite,
+    Site::CkptRename,
 ];
 
 impl Site {
@@ -99,10 +115,17 @@ impl Site {
             Site::ShardProbe => 5,
             Site::ShardFill => 6,
             Site::ShardMaint => 7,
+            Site::WalAppend => 8,
+            Site::WalFsync => 9,
+            Site::WalTruncate => 10,
+            Site::CkptWrite => 11,
+            Site::CkptRename => 12,
         }
     }
 
-    /// Stable name, used by the plan parser and in error messages.
+    /// Stable name, used by the plan parser and in error messages. Disk
+    /// sites use dotted names (`wal.append`) to mark the layer boundary;
+    /// in-memory sites keep their dashed PR-2 names.
     pub fn as_str(self) -> &'static str {
         match self {
             Site::StorageRead => "storage-read",
@@ -113,6 +136,11 @@ impl Site {
             Site::ShardProbe => "shard-probe",
             Site::ShardFill => "shard-fill",
             Site::ShardMaint => "shard-maint",
+            Site::WalAppend => "wal.append",
+            Site::WalFsync => "wal.fsync",
+            Site::WalTruncate => "wal.truncate",
+            Site::CkptWrite => "ckpt.write",
+            Site::CkptRename => "ckpt.rename",
         }
     }
 
@@ -138,17 +166,35 @@ pub enum FaultKind {
     Panic,
     /// Sleep for the given duration (simulates a slow disk/lock/join).
     Latency(Duration),
+    /// Disk sites: the operation fails with an I/O error after doing
+    /// nothing (ENOSPC/EIO model). At non-disk `Result` sites it behaves
+    /// like [`FaultKind::Error`].
+    Io,
+    /// Disk sites: the write persists only a prefix of the buffer, then
+    /// fails — the torn-tail case WAL recovery must truncate. Elsewhere
+    /// it degrades to [`FaultKind::Error`].
+    TornWrite,
+    /// Simulated `kill -9`: panic with [`CRASH_PREFIX`] so a crash
+    /// harness can catch the unwind, drop all in-memory state, and
+    /// reopen from the surviving files.
+    CrashPoint,
 }
 
-/// One (site, kind, rate) binding in a plan.
+/// One (site, kind, trigger) binding in a plan: either probabilistic
+/// (`rate` per invocation) or one-shot (`nth` pins the exact invocation
+/// index, for kill-point placement).
 #[derive(Clone, Copy, Debug)]
 pub struct FaultRule {
     /// Where to inject.
     pub site: Site,
     /// What to inject.
     pub kind: FaultKind,
-    /// Probability per invocation, in `[0, 1]`.
+    /// Probability per invocation, in `[0, 1]`. Ignored when `nth` is
+    /// set.
     pub rate: f64,
+    /// Fire exactly on the `nth` invocation (0-based) of the site and
+    /// never again — deterministic kill-point placement.
+    pub nth: Option<u64>,
 }
 
 /// The error value carried out of a fault-injected `Result` path.
@@ -170,15 +216,34 @@ impl std::error::Error for InjectedFault {}
 /// panics from genuine bugs when inspecting a caught payload.
 pub const PANIC_PREFIX: &str = "pmv-faultinject: injected panic";
 
+/// Message prefix of a [`FaultKind::CrashPoint`] unwind — a *simulated
+/// process kill*, distinct from [`PANIC_PREFIX`] so the serving path's
+/// panic containment can let it through while a crash harness catches
+/// it at the top.
+pub const CRASH_PREFIX: &str = "pmv-faultinject: injected crash";
+
+/// The injected I/O failure surfaced by disk sites, convertible into a
+/// real `std::io::Error` by the [`Dio`] layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiskFault {
+    /// Whole-operation failure: nothing was written.
+    Io,
+    /// Partial write: a prefix of the buffer reached the file, then the
+    /// operation failed.
+    Torn,
+}
+
 /// Counts of faults actually delivered, by kind.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct FaultCounts {
-    /// Errors returned.
+    /// Errors returned (including injected I/O and torn-write errors).
     pub errors: u64,
     /// Panics raised.
     pub panics: u64,
     /// Latency injections applied.
     pub latencies: u64,
+    /// Crash points hit.
+    pub crashes: u64,
 }
 
 /// A seeded, deterministic fault plan.
@@ -190,6 +255,7 @@ pub struct FaultPlan {
     errors: AtomicU64,
     panics: AtomicU64,
     latencies: AtomicU64,
+    crashes: AtomicU64,
 }
 
 impl FaultPlan {
@@ -202,15 +268,30 @@ impl FaultPlan {
             errors: AtomicU64::new(0),
             panics: AtomicU64::new(0),
             latencies: AtomicU64::new(0),
+            crashes: AtomicU64::new(0),
         }
     }
 
-    /// Add a rule (builder style).
+    /// Add a probabilistic rule (builder style).
     pub fn with_rule(mut self, site: Site, kind: FaultKind, rate: f64) -> Self {
         self.rules.push(FaultRule {
             site,
             kind,
             rate: rate.clamp(0.0, 1.0),
+            nth: None,
+        });
+        self
+    }
+
+    /// Add a one-shot rule firing exactly on invocation `nth` (0-based)
+    /// of `site` — the kill-point placement primitive for the crash
+    /// matrix.
+    pub fn with_rule_at(mut self, site: Site, kind: FaultKind, nth: u64) -> Self {
+        self.rules.push(FaultRule {
+            site,
+            kind,
+            rate: 0.0,
+            nth: Some(nth),
         });
         self
     }
@@ -231,6 +312,7 @@ impl FaultPlan {
             errors: self.errors.load(Ordering::Relaxed),
             panics: self.panics.load(Ordering::Relaxed),
             latencies: self.latencies.load(Ordering::Relaxed),
+            crashes: self.crashes.load(Ordering::Relaxed),
         }
     }
 
@@ -241,12 +323,21 @@ impl FaultPlan {
 
     /// Decide the fault (if any) for the next invocation of `site`.
     /// Consumes one invocation index; at most one rule fires per
-    /// invocation (rules at the same site stack their rates).
+    /// invocation. One-shot (`nth`) rules take precedence on their exact
+    /// invocation; probabilistic rules at the same site stack their
+    /// rates.
     fn decide(&self, site: Site) -> Option<FaultKind> {
         if self.rules.iter().all(|r| r.site != site) {
             return None;
         }
         let n = self.invocations[site.index()].fetch_add(1, Ordering::Relaxed);
+        if let Some(rule) = self
+            .rules
+            .iter()
+            .find(|r| r.site == site && r.nth == Some(n))
+        {
+            return Some(rule.kind);
+        }
         let h = splitmix64(
             self.seed
                 .wrapping_add((site.index() as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
@@ -254,7 +345,11 @@ impl FaultPlan {
         );
         // Uniform in [0, 1).
         let mut x = (h >> 11) as f64 / (1u64 << 53) as f64;
-        for rule in self.rules.iter().filter(|r| r.site == site) {
+        for rule in self
+            .rules
+            .iter()
+            .filter(|r| r.site == site && r.nth.is_none())
+        {
             if x < rule.rate {
                 return Some(rule.kind);
             }
@@ -266,13 +361,15 @@ impl FaultPlan {
     /// Parse a plan spec, the `--fault-plan` argument format:
     ///
     /// ```text
-    /// seed=42;exec-row:latency=2ms@0.01;maint-join:error@0.2;exec-start:panic@0.1
+    /// seed=42;exec-row:latency=2ms@0.01;maint-join:error@0.2;wal.fsync:crash#3
     /// ```
     ///
     /// Semicolon-separated items; `seed=N` sets the seed (default 0);
-    /// every other item is `<site>:<kind>[=<duration>]@<rate>` with kind
-    /// one of `error`, `panic`, `latency` (latency takes `=<N>ms` or
-    /// `=<N>us`).
+    /// every other item is `<site>:<kind>[=<duration>]` followed by
+    /// either `@<rate>` (probabilistic) or `#<n>` (one-shot: fire
+    /// exactly on the 0-based `n`th invocation of the site). Kinds:
+    /// `error`, `panic`, `latency=<N>ms|us`, and the disk-layer
+    /// `io`, `torn`, `crash`.
     pub fn parse(spec: &str) -> Result<FaultPlan, String> {
         let mut seed = 0u64;
         let mut rules = Vec::new();
@@ -290,27 +387,62 @@ impl FaultPlan {
                     ALL_SITES.map(Site::as_str).join(", ")
                 )
             })?;
-            let (kind_s, rate_s) = rest
-                .split_once('@')
-                .ok_or_else(|| format!("bad rule '{item}' (missing @<rate>)"))?;
+            let (kind_s, trigger) = if let Some((k, n)) = rest.split_once('#') {
+                (k, Trigger::Nth(n))
+            } else if let Some((k, r)) = rest.split_once('@') {
+                (k, Trigger::Rate(r))
+            } else {
+                return Err(format!("bad rule '{item}' (missing @<rate> or #<n>)"));
+            };
             let kind = match kind_s {
                 "error" => FaultKind::Error,
                 "panic" => FaultKind::Panic,
+                "io" => FaultKind::Io,
+                "torn" => FaultKind::TornWrite,
+                "crash" => FaultKind::CrashPoint,
                 other => match other.strip_prefix("latency=") {
                     Some(d) => FaultKind::Latency(parse_duration(d)?),
                     None => return Err(format!("unknown fault kind '{kind_s}'")),
                 },
             };
-            let rate: f64 = rate_s.parse().map_err(|_| format!("bad rate '{rate_s}'"))?;
-            if !(0.0..=1.0).contains(&rate) {
-                return Err(format!("rate {rate} outside [0, 1]"));
-            }
-            rules.push(FaultRule { site, kind, rate });
+            let rule = match trigger {
+                Trigger::Rate(rate_s) => {
+                    let rate: f64 = rate_s.parse().map_err(|_| format!("bad rate '{rate_s}'"))?;
+                    if !(0.0..=1.0).contains(&rate) {
+                        return Err(format!("rate {rate} outside [0, 1]"));
+                    }
+                    FaultRule {
+                        site,
+                        kind,
+                        rate,
+                        nth: None,
+                    }
+                }
+                Trigger::Nth(n_s) => {
+                    let n: u64 = n_s
+                        .parse()
+                        .map_err(|_| format!("bad invocation index '{n_s}'"))?;
+                    FaultRule {
+                        site,
+                        kind,
+                        rate: 0.0,
+                        nth: Some(n),
+                    }
+                }
+            };
+            rules.push(rule);
         }
         let mut plan = FaultPlan::new(seed);
         plan.rules = rules;
         Ok(plan)
     }
+}
+
+/// How a parsed rule triggers: probabilistically or on one exact
+/// invocation.
+enum Trigger<'a> {
+    Rate(&'a str),
+    Nth(&'a str),
 }
 
 fn parse_duration(s: &str) -> Result<Duration, String> {
@@ -404,6 +536,9 @@ impl FiredFault {
             FaultKind::Error => "error".to_string(),
             FaultKind::Panic => "panic".to_string(),
             FaultKind::Latency(d) => format!("latency:{}us", d.as_micros()),
+            FaultKind::Io => "io".to_string(),
+            FaultKind::TornWrite => "torn".to_string(),
+            FaultKind::CrashPoint => "crash".to_string(),
         }
     }
 }
@@ -465,6 +600,20 @@ fn record_fired(site: Site, kind: FaultKind) {
 /// return an [`InjectedFault`] error. Free (one relaxed load) when no
 /// plan is installed or the thread is [`suppress`]ed.
 pub fn fire(site: Site) -> Result<(), InjectedFault> {
+    match fire_disk(site) {
+        Ok(()) => Ok(()),
+        Err(_) => Err(InjectedFault { site }),
+    }
+}
+
+/// [`fire`] for the disk layer: distinguishes whole-operation I/O
+/// failures from torn (prefix-persisted) writes so `Dio` can model
+/// both. `Error`/`Io` rules surface as [`DiskFault::Io`], `TornWrite`
+/// as [`DiskFault::Torn`]; `CrashPoint` panics with [`CRASH_PREFIX`]
+/// (the simulated kill), `Panic` with [`PANIC_PREFIX`]. Free (one
+/// relaxed load) when no plan is installed or the thread is
+/// [`suppress`]ed.
+pub fn fire_disk(site: Site) -> Result<(), DiskFault> {
     if !ACTIVE.load(Ordering::Relaxed) {
         return Ok(());
     }
@@ -481,15 +630,25 @@ pub fn fire(site: Site) -> Result<(), InjectedFault> {
             std::thread::sleep(d);
             Ok(())
         }
-        Some(kind @ FaultKind::Error) => {
+        Some(kind @ (FaultKind::Error | FaultKind::Io)) => {
             plan.errors.fetch_add(1, Ordering::Relaxed);
             record_fired(site, kind);
-            Err(InjectedFault { site })
+            Err(DiskFault::Io)
+        }
+        Some(kind @ FaultKind::TornWrite) => {
+            plan.errors.fetch_add(1, Ordering::Relaxed);
+            record_fired(site, kind);
+            Err(DiskFault::Torn)
         }
         Some(kind @ FaultKind::Panic) => {
             plan.panics.fetch_add(1, Ordering::Relaxed);
             record_fired(site, kind);
             panic!("{PANIC_PREFIX} at {site}");
+        }
+        Some(kind @ FaultKind::CrashPoint) => {
+            plan.crashes.fetch_add(1, Ordering::Relaxed);
+            record_fired(site, kind);
+            panic!("{CRASH_PREFIX} at {site}");
         }
     }
 }
@@ -501,14 +660,26 @@ pub fn fire_soft(site: Site) {
     let _ = fire(site);
 }
 
-/// Whether a caught panic payload is one of ours (vs a genuine bug).
+/// Whether a caught panic payload is one of ours (vs a genuine bug) —
+/// covers both ordinary injected panics and simulated crashes.
 pub fn is_injected_panic(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload_has_prefix(payload, PANIC_PREFIX) || payload_has_prefix(payload, CRASH_PREFIX)
+}
+
+/// Whether a caught panic payload is a simulated process kill
+/// ([`FaultKind::CrashPoint`]); a crash harness catches these at the
+/// top, drops in-memory state, and reopens from disk.
+pub fn is_crash_panic(payload: &(dyn std::any::Any + Send)) -> bool {
+    payload_has_prefix(payload, CRASH_PREFIX)
+}
+
+fn payload_has_prefix(payload: &(dyn std::any::Any + Send), prefix: &str) -> bool {
     payload
         .downcast_ref::<String>()
-        .is_some_and(|s| s.starts_with(PANIC_PREFIX))
+        .is_some_and(|s| s.starts_with(prefix))
         || payload
             .downcast_ref::<&str>()
-            .is_some_and(|s| s.starts_with(PANIC_PREFIX))
+            .is_some_and(|s| s.starts_with(prefix))
 }
 
 #[cfg(test)]
@@ -712,5 +883,73 @@ mod tests {
         let c = plan.counts();
         assert_eq!(c.errors + c.latencies, 200);
         assert!(c.errors > 50 && c.latencies > 50);
+    }
+
+    #[test]
+    fn one_shot_rule_fires_exactly_once_at_nth() {
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let plan = Arc::new(FaultPlan::new(0).with_rule_at(Site::WalFsync, FaultKind::Io, 3));
+        let _g = install(Arc::clone(&plan));
+        let fired: Vec<usize> = (0..10)
+            .filter(|_| fire_disk(Site::WalFsync).is_err())
+            .collect();
+        assert_eq!(plan.counts().errors, 1);
+        assert_eq!(fired.len(), 1);
+        // Invocations 0..=2 pass, 3 fails, 4.. pass again.
+        assert_eq!(plan.invocations(Site::WalFsync), 10);
+    }
+
+    #[test]
+    fn disk_kinds_distinguish_io_from_torn() {
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let plan = Arc::new(
+            FaultPlan::new(0)
+                .with_rule_at(Site::WalAppend, FaultKind::TornWrite, 0)
+                .with_rule_at(Site::CkptWrite, FaultKind::Io, 0),
+        );
+        let _g = install(plan);
+        assert_eq!(fire_disk(Site::WalAppend), Err(DiskFault::Torn));
+        assert_eq!(fire_disk(Site::CkptWrite), Err(DiskFault::Io));
+        assert_eq!(fire_disk(Site::WalAppend), Ok(()));
+    }
+
+    #[test]
+    fn crash_point_panics_with_crash_prefix() {
+        let _l = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let plan =
+            Arc::new(FaultPlan::new(0).with_rule_at(Site::CkptRename, FaultKind::CrashPoint, 0));
+        let _g = install(Arc::clone(&plan));
+        let caught = std::panic::catch_unwind(|| {
+            let _ = fire_disk(Site::CkptRename);
+        })
+        .expect_err("crash point must unwind");
+        assert!(is_crash_panic(caught.as_ref()));
+        assert!(is_injected_panic(caught.as_ref()), "crash is also injected");
+        assert_eq!(plan.counts().crashes, 1);
+        // An ordinary injected panic is not a crash.
+        let plan2 = Arc::new(FaultPlan::new(0).with_rule(Site::ShardFill, FaultKind::Panic, 1.0));
+        let _g2 = install(plan2);
+        let caught =
+            std::panic::catch_unwind(|| fire_soft(Site::ShardFill)).expect_err("must panic");
+        assert!(!is_crash_panic(caught.as_ref()));
+    }
+
+    #[test]
+    fn parse_supports_disk_sites_and_one_shot_triggers() {
+        let plan = FaultPlan::parse(
+            "seed=9; wal.append:torn#2; wal.fsync:crash#0; ckpt.write:io@0.5; ckpt.rename:crash#1",
+        )
+        .unwrap();
+        assert_eq!(plan.seed(), 9);
+        assert_eq!(plan.rules().len(), 4);
+        assert_eq!(plan.rules()[0].site, Site::WalAppend);
+        assert_eq!(plan.rules()[0].kind, FaultKind::TornWrite);
+        assert_eq!(plan.rules()[0].nth, Some(2));
+        assert_eq!(plan.rules()[1].site, Site::WalFsync);
+        assert_eq!(plan.rules()[1].kind, FaultKind::CrashPoint);
+        assert_eq!(plan.rules()[2].kind, FaultKind::Io);
+        assert_eq!(plan.rules()[2].nth, None);
+        assert!(FaultPlan::parse("wal.fsync:crash#x").is_err());
+        assert!(FaultPlan::parse("wal.fsync:crash").is_err());
     }
 }

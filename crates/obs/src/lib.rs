@@ -56,6 +56,10 @@ macro_rules! for_each_phase {
             [keep] revalidate,
             [keep] snapshot_swap,
             [keep] epoch_pin,
+            [keep] wal_append,
+            [keep] wal_fsync,
+            [keep] ckpt_write,
+            [keep] recovery_replay,
             [transient] degraded,
         }
     };
@@ -245,11 +249,13 @@ mod tests {
         assert!(names.contains(&"ttfr"));
         assert!(names.contains(&"full"));
         assert!(names.contains(&"degraded"));
+        assert!(names.contains(&"wal_append"));
+        assert!(names.contains(&"recovery_replay"));
         let n = names.len();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), n);
-        assert_eq!(n, 11);
+        assert_eq!(n, 15);
     }
 
     #[test]

@@ -114,6 +114,13 @@ impl DbSnapshot {
         self.relations.keys().cloned().collect()
     }
 
+    /// Definitions of every index captured by the snapshot. Checkpoint
+    /// serialization records these (indexes themselves are derived
+    /// state, rebuilt on recovery).
+    pub fn index_defs(&self) -> Vec<IndexDef> {
+        self.indexes.iter().map(|(d, _)| d.clone()).collect()
+    }
+
     /// Shared handle to the relation map (incremental publish reuses it).
     pub(crate) fn relations_arc(&self) -> &Arc<BTreeMap<String, Arc<HeapRelation>>> {
         &self.relations

@@ -292,6 +292,56 @@ impl Database {
         Ok(delta)
     }
 
+    /// Re-apply a logged delta at its original `RowId` — the WAL replay
+    /// primitive. Unlike [`Database::insert`] this never allocates a
+    /// fresh slot: an `Insert` lands exactly at the logged row
+    /// ([`HeapRelation::insert_at`]), so later logged deletes/updates
+    /// that name the row still resolve. Indexes and version counters
+    /// are maintained like ordinary DML.
+    pub fn apply_delta_exact(&mut self, relation: &str, delta: &Delta) -> Result<()> {
+        let rel = self.catalog.relation(relation)?;
+        match delta {
+            Delta::Insert { row, tuple } => {
+                with_relation_mut(&rel, |r| r.insert_at(*row, tuple.clone()))?;
+            }
+            Delta::Delete { row, .. } => {
+                with_relation_mut(&rel, |r| r.delete(*row))?;
+            }
+            Delta::Update { row, new, .. } => {
+                with_relation_mut(&rel, |r| r.update(*row, new.clone()))?;
+            }
+        }
+        self.maintain_indexes(relation, delta);
+        self.version += 1;
+        self.mark_relation_dirty(relation);
+        Ok(())
+    }
+
+    /// Exact-slot inverse of one applied delta — the rollback primitive
+    /// for a commit whose WAL record could not be made durable. The
+    /// already-applied deltas are undone in reverse order, restoring
+    /// every row to its *original* slot (a plain abort re-inserts at a
+    /// fresh slot, which would desynchronize the heap layout from the
+    /// log).
+    pub fn undo_delta_exact(&mut self, relation: &str, delta: &Delta) -> Result<()> {
+        let inverse = match delta {
+            Delta::Insert { row, tuple } => Delta::Delete {
+                row: *row,
+                tuple: tuple.clone(),
+            },
+            Delta::Delete { row, tuple } => Delta::Insert {
+                row: *row,
+                tuple: tuple.clone(),
+            },
+            Delta::Update { row, old, new } => Delta::Update {
+                row: *row,
+                old: new.clone(),
+                new: old.clone(),
+            },
+        };
+        self.apply_delta_exact(relation, &inverse)
+    }
+
     /// Tuple at `row`, cloned out.
     pub fn get(&self, relation: &str, row: RowId) -> Result<Tuple> {
         let rel = self.catalog.relation(relation)?;
@@ -471,6 +521,76 @@ mod tests {
         assert_eq!(full.epoch(), f.epoch());
         assert_eq!(full.len("r").unwrap(), f.len("r").unwrap());
         assert_eq!(full.len("s").unwrap(), f.len("s").unwrap());
+    }
+
+    #[test]
+    fn apply_delta_exact_replays_slot_layout_and_indexes() {
+        // Record a little history on one database...
+        let mut db = db_with_r();
+        db.create_index(IndexDef::btree("r", vec![0])).unwrap();
+        let mut log = Vec::new();
+        log.push(db.insert("r", tuple![1i64, 10i64]).unwrap());
+        log.push(db.insert("r", tuple![2i64, 20i64]).unwrap());
+        let Delta::Insert { row: r0, .. } = log[0].clone() else {
+            panic!()
+        };
+        log.push(db.delete("r", r0).unwrap());
+        log.push(db.insert("r", tuple![3i64, 30i64]).unwrap()); // reuses slot 0
+        let Delta::Insert { row: r1, .. } = log[1].clone() else {
+            panic!()
+        };
+        log.push(db.update("r", r1, tuple![4i64, 20i64]).unwrap());
+
+        // ...and replay it into a fresh database with the same schema.
+        let mut replica = db_with_r();
+        replica.create_index(IndexDef::btree("r", vec![0])).unwrap();
+        for d in &log {
+            replica.apply_delta_exact("r", d).unwrap();
+        }
+        assert_eq!(replica.len("r").unwrap(), db.len("r").unwrap());
+        for (row, t) in [(RowId(0), tuple![3i64, 30i64]), (r1, tuple![4i64, 20i64])] {
+            assert_eq!(replica.get("r", row).unwrap(), t);
+        }
+        let idx = replica.index_on("r", &[0]).unwrap();
+        assert_eq!(idx.get(&pmv_index::IndexKey::single(Value::Int(4))), &[r1]);
+        assert!(idx
+            .get(&pmv_index::IndexKey::single(Value::Int(1)))
+            .is_empty());
+    }
+
+    #[test]
+    fn undo_delta_exact_restores_original_slots() {
+        let mut db = db_with_r();
+        db.create_index(IndexDef::btree("r", vec![0])).unwrap();
+        db.insert("r", tuple![1i64, 10i64]).unwrap();
+        let before: Vec<_> = db
+            .with_relation("r", |r| {
+                r.iter().map(|(id, t)| (id, t.clone())).collect::<Vec<_>>()
+            })
+            .unwrap();
+        // A "failed commit": three deltas applied, then undone in reverse.
+        let applied = [
+            db.insert("r", tuple![2i64, 20i64]).unwrap(),
+            db.delete("r", RowId(0)).unwrap(),
+            db.insert("r", tuple![3i64, 30i64]).unwrap(),
+        ];
+        for d in applied.iter().rev() {
+            db.undo_delta_exact("r", d).unwrap();
+        }
+        let after: Vec<_> = db
+            .with_relation("r", |r| {
+                r.iter().map(|(id, t)| (id, t.clone())).collect::<Vec<_>>()
+            })
+            .unwrap();
+        assert_eq!(before, after, "rollback must restore exact slot layout");
+        let idx = db.index_on("r", &[0]).unwrap();
+        assert!(idx
+            .get(&pmv_index::IndexKey::single(Value::Int(3)))
+            .is_empty());
+        assert_eq!(
+            idx.get(&pmv_index::IndexKey::single(Value::Int(1))),
+            &[RowId(0)]
+        );
     }
 
     #[test]

@@ -24,8 +24,9 @@ fn err(msg: impl Into<String>) -> QueryError {
 /// Encode a tuple [`Value`] as its externally-tagged JSON form:
 /// `"n"` for NULL, `{"i": …}` / `{"d": …}` / `{"s": …}` otherwise.
 /// Non-finite doubles, which JSON cannot carry as numbers, are tagged
-/// strings under `"d"`.
-fn value_to_json(v: &Value) -> Json {
+/// strings under `"d"`. Public because the checkpoint format in
+/// `pmv-wal` reuses the same value encoding.
+pub fn value_to_json(v: &Value) -> Json {
     let tagged = |tag: &str, inner: Json| {
         let mut m = JsonMap::new();
         m.insert(tag.to_string(), inner);
@@ -42,7 +43,8 @@ fn value_to_json(v: &Value) -> Json {
     }
 }
 
-fn value_from_json(j: &Json) -> Result<Value> {
+/// Decode a [`value_to_json`] encoding back into a [`Value`].
+pub fn value_from_json(j: &Json) -> Result<Value> {
     if j.as_str() == Some("n") {
         return Ok(Value::Null);
     }

@@ -61,7 +61,7 @@ impl Delta {
 }
 
 /// Ordered changes applied to a single relation.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct DeltaBatch {
     relation: String,
     deltas: Vec<Delta>,

@@ -30,6 +30,14 @@ pub enum StorageError {
     },
     /// A relation with this name already exists.
     DuplicateRelation(String),
+    /// `insert_at` targeted a slot that already holds a live tuple —
+    /// WAL replay diverged from the layout the log was written against.
+    SlotOccupied {
+        /// Relation targeted.
+        relation: String,
+        /// Occupied slot number.
+        slot: u32,
+    },
 }
 
 impl fmt::Display for StorageError {
@@ -47,6 +55,9 @@ impl fmt::Display for StorageError {
             }
             StorageError::DuplicateRelation(name) => {
                 write!(f, "relation '{name}' already exists")
+            }
+            StorageError::SlotOccupied { relation, slot } => {
+                write!(f, "slot {slot} already occupied in relation '{relation}'")
             }
         }
     }

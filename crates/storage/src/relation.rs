@@ -89,6 +89,42 @@ impl HeapRelation {
         Ok(id)
     }
 
+    /// Insert a tuple into the *specific* slot `id`, extending the slot
+    /// array (and free list) as needed. Errors if the slot is already
+    /// occupied.
+    ///
+    /// This is the WAL-replay primitive: logged deltas refer to rows by
+    /// id (deletes and updates name their victim's `RowId`), so recovery
+    /// must reproduce the exact slot layout the log was written against,
+    /// not merely an equal multiset of tuples.
+    pub fn insert_at(&mut self, id: RowId, tuple: Tuple) -> Result<(), StorageError> {
+        self.schema.check(tuple.values())?;
+        let idx = id.index();
+        if idx >= self.slots.len() {
+            // Holes opened by the extension become free slots, matching
+            // what a sequence of inserts+deletes would have left behind.
+            for gap in self.slots.len()..idx {
+                self.free.push(gap as u32);
+            }
+            self.slots.resize(idx + 1, None);
+        } else if self.slots[idx].is_some() {
+            return Err(StorageError::SlotOccupied {
+                relation: self.schema.name().to_string(),
+                slot: id.0,
+            });
+        } else {
+            // Reusing a hole: drop it from the free list so a later
+            // plain insert cannot land on the same slot.
+            if let Some(pos) = self.free.iter().rposition(|&s| s == id.0) {
+                self.free.swap_remove(pos);
+            }
+        }
+        self.slots[idx] = Some(tuple);
+        self.live += 1;
+        self.version += 1;
+        Ok(())
+    }
+
     /// Delete the tuple at `id`, returning it.
     pub fn delete(&mut self, id: RowId) -> Result<Tuple, StorageError> {
         let slot = self
@@ -265,6 +301,40 @@ mod tests {
         r.delete(id).unwrap();
         let v3 = r.version();
         assert!(v0 < v1 && v1 < v2 && v2 < v3);
+    }
+
+    #[test]
+    fn insert_at_reproduces_slot_layout() {
+        let mut r = rel();
+        // Replay-style population: slot 2 first, then slot 0.
+        r.insert_at(RowId(2), tuple![2i64, "c"]).unwrap();
+        r.insert_at(RowId(0), tuple![0i64, "a"]).unwrap();
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(RowId(2)), Some(&tuple![2i64, "c"]));
+        // Slot 1 is a hole: a plain insert fills it, not a fresh slot.
+        let id = r.insert(tuple![1i64, "b"]).unwrap();
+        assert_eq!(id, RowId(1));
+        // Occupied slot is rejected; schema still validated.
+        assert!(matches!(
+            r.insert_at(RowId(0), tuple![9i64, "x"]),
+            Err(StorageError::SlotOccupied { .. })
+        ));
+        assert!(r.insert_at(RowId(7), tuple!["bad", "y"]).is_err());
+    }
+
+    #[test]
+    fn insert_at_into_freed_slot_unlinks_free_list() {
+        let mut r = rel();
+        let a = r.insert(tuple![1i64, "a"]).unwrap();
+        let _b = r.insert(tuple![2i64, "b"]).unwrap();
+        r.delete(a).unwrap();
+        r.insert_at(a, tuple![3i64, "c"]).unwrap();
+        // The freed slot was consumed by insert_at; a new insert must
+        // open a fresh slot rather than clobber it.
+        let c = r.insert(tuple![4i64, "d"]).unwrap();
+        assert_ne!(c, a);
+        assert_eq!(r.get(a), Some(&tuple![3i64, "c"]));
+        assert_eq!(r.len(), 3);
     }
 
     #[test]
