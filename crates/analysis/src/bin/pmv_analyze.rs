@@ -1,0 +1,267 @@
+//! `pmv-analyze` — whole-program verification of the PMV lock/pin/
+//! durability contracts over a source tree.
+//!
+//! ```text
+//! pmv-analyze [--json] [--sarif FILE] [--deny-warnings]
+//!             [--baseline FILE] [--write-baseline FILE] [paths…]
+//! ```
+//!
+//! Runs the file-local lint rules plus the interprocedural passes
+//! (call-graph reachability of locks, executor entry points, raw
+//! filesystem writes, and the durable-before-visible publish check).
+//! With no paths, analyzes `crates/` under the current directory.
+//!
+//! `--json` prints a SARIF 2.1.0 document to stdout; `--sarif FILE`
+//! writes the same document to a file (CI uploads it as an artifact).
+//!
+//! `--write-baseline FILE` records current finding counts per
+//! (rule, file) and exits 0; `--baseline FILE` then fails only when a
+//! count *exceeds* its baselined value — new debt fails, known debt is
+//! tolerated while it is paid down.
+//!
+//! Exit status: 0 clean, 1 findings fail the run, 2 usage or I/O
+//! errors, 3 when a path does not exist or zero `.rs` files matched.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pmv_analysis::lint::{Level, RULES};
+use pmv_analysis::rules_ipa::{analyze_tree, AnalyzeReport, IPA_RULES};
+use pmv_analysis::sarif::{to_sarif, SarifResult, SarifRule};
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut deny_warnings = false;
+    let mut sarif_out: Option<PathBuf> = None;
+    let mut baseline: Option<PathBuf> = None;
+    let mut write_baseline: Option<PathBuf> = None;
+    let mut paths: Vec<PathBuf> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--deny-warnings" => deny_warnings = true,
+            "--sarif" => match args.next() {
+                Some(f) => sarif_out = Some(PathBuf::from(f)),
+                None => return usage_err("--sarif requires a file argument"),
+            },
+            "--baseline" => match args.next() {
+                Some(f) => baseline = Some(PathBuf::from(f)),
+                None => return usage_err("--baseline requires a file argument"),
+            },
+            "--write-baseline" => match args.next() {
+                Some(f) => write_baseline = Some(PathBuf::from(f)),
+                None => return usage_err("--write-baseline requires a file argument"),
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: pmv-analyze [--json] [--sarif FILE] [--deny-warnings]\n\
+                     \x20                  [--baseline FILE] [--write-baseline FILE] [paths...]"
+                );
+                println!("whole-program verification of the PMV lock/pin/durability contracts");
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("pmv-analyze: unknown flag `{other}`");
+                return ExitCode::from(2);
+            }
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    if paths.is_empty() {
+        paths.push(PathBuf::from("crates"));
+    }
+    for path in &paths {
+        if !path.exists() {
+            eprintln!("pmv-analyze: path does not exist: {}", path.display());
+            return ExitCode::from(3);
+        }
+    }
+
+    let report = match analyze_tree(&paths) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pmv-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if report.files_scanned == 0 {
+        eprintln!(
+            "pmv-analyze: no .rs files found under {}",
+            paths
+                .iter()
+                .map(|p| p.display().to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return ExitCode::from(3);
+    }
+
+    if let Some(path) = &write_baseline {
+        let text = baseline_text(&report);
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("pmv-analyze: write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        println!(
+            "pmv-analyze: baseline written to {} ({} finding(s))",
+            path.display(),
+            report.findings.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let sarif = render_sarif(&report);
+    if let Some(path) = &sarif_out {
+        if let Err(e) = std::fs::write(path, &sarif) {
+            eprintln!("pmv-analyze: write sarif {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if json {
+        println!("{sarif}");
+    } else {
+        print_human(&report, deny_warnings);
+    }
+
+    let failed = match &baseline {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let over = exceeds_baseline(&report, &text);
+                for line in &over {
+                    eprintln!("pmv-analyze: over baseline: {line}");
+                }
+                !over.is_empty()
+            }
+            Err(e) => {
+                eprintln!("pmv-analyze: read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        },
+        None => report.failed(deny_warnings),
+    };
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_err(msg: &str) -> ExitCode {
+    eprintln!("pmv-analyze: {msg}");
+    ExitCode::from(2)
+}
+
+fn print_human(report: &AnalyzeReport, deny_warnings: bool) {
+    for f in &report.findings {
+        println!("{f}");
+    }
+    for a in &report.allows_used {
+        println!(
+            "note: pmv::allow({}) in effect at {}:{}",
+            a.rule,
+            a.file.display(),
+            a.line
+        );
+    }
+    let errors = report
+        .findings
+        .iter()
+        .filter(|f| f.level == Level::Error || deny_warnings)
+        .count();
+    let warnings = report.findings.len() - errors;
+    println!(
+        "pmv-analyze: {} file(s) scanned, {} fn(s) indexed, {} error(s), {} warning(s), \
+         {} allow entrie(s)",
+        report.files_scanned,
+        report.fns_indexed,
+        errors,
+        warnings,
+        report.allows_used.len()
+    );
+}
+
+fn render_sarif(report: &AnalyzeReport) -> String {
+    let mut rules: Vec<SarifRule> = Vec::new();
+    for (id, _) in RULES.iter().chain(IPA_RULES.iter()) {
+        if rules.iter().any(|r| r.id == *id) {
+            continue;
+        }
+        rules.push(SarifRule {
+            id: (*id).to_string(),
+            short: rule_short(id).to_string(),
+        });
+    }
+    let results: Vec<SarifResult> = report
+        .findings
+        .iter()
+        .map(|f| SarifResult {
+            rule_id: f.rule.to_string(),
+            level: match f.level {
+                Level::Error => "error",
+                Level::Warning => "warning",
+            },
+            message: f.message.clone(),
+            file: Some(f.file.display().to_string()),
+            line: Some(f.line),
+        })
+        .collect();
+    to_sarif("pmv-analyze", &rules, &results)
+}
+
+fn rule_short(id: &str) -> &'static str {
+    match id {
+        "write_guard_across_exec" => "no shard write guard held across an executor entry point",
+        "lock_in_catch_unwind" => "no lock acquisition inside a catch_unwind closure",
+        "lock_order" => "DB master lock before shard locks, never the reverse",
+        "relaxed_outside_stats" => "Relaxed atomics only in designated statistics modules",
+        "lock_in_pin_region" => "no blocking lock while an epoch pin is live",
+        "raw_fs_write" => "no raw std::fs writes in durable crates outside wal::dio",
+        "pin_reaches_blocking_lock" => "no blocking lock transitively reachable from a pin region",
+        "dio_funnel_reach" => "durable crates reach the filesystem only through wal::dio",
+        "durable_before_visible" => {
+            "WAL append+fsync dominates snapshot publish; error arms roll back"
+        }
+        _ => "PMV protocol rule",
+    }
+}
+
+/// Baseline format: sorted `rule\tfile\tcount` lines.
+fn baseline_text(report: &AnalyzeReport) -> String {
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for f in &report.findings {
+        *counts
+            .entry((f.rule.to_string(), f.file.display().to_string()))
+            .or_insert(0) += 1;
+    }
+    let mut out = String::new();
+    for ((rule, file), count) in counts {
+        out.push_str(&format!("{rule}\t{file}\t{count}\n"));
+    }
+    out
+}
+
+/// `(rule, file)` buckets whose current count exceeds the baselined one.
+fn exceeds_baseline(report: &AnalyzeReport, baseline: &str) -> Vec<String> {
+    let mut allowed: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for line in baseline.lines() {
+        let mut parts = line.split('\t');
+        if let (Some(rule), Some(file), Some(count)) = (parts.next(), parts.next(), parts.next()) {
+            if let Ok(count) = count.trim().parse::<usize>() {
+                allowed.insert((rule.to_string(), file.to_string()), count);
+            }
+        }
+    }
+    let mut counts: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for f in &report.findings {
+        *counts
+            .entry((f.rule.to_string(), f.file.display().to_string()))
+            .or_insert(0) += 1;
+    }
+    counts
+        .into_iter()
+        .filter(|(key, count)| *count > allowed.get(key).copied().unwrap_or(0))
+        .map(|((rule, file), count)| format!("{rule}\t{file}\t{count}"))
+        .collect()
+}

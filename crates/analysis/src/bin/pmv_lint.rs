@@ -8,7 +8,9 @@
 //! With no paths, lints `crates/` under the current directory. Exit
 //! status is 0 when clean, 1 when any finding fails the run (errors
 //! always; warnings only under `--deny-warnings`, which is how CI
-//! invokes it), 2 on usage or I/O errors.
+//! invokes it), 2 on usage or I/O errors, 3 when a given path does not
+//! exist or the scan matched zero `.rs` files — a misspelled path must
+//! not read as "clean".
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -41,6 +43,10 @@ fn main() -> ExitCode {
 
     let mut report = LintReport::default();
     for path in &paths {
+        if !path.exists() {
+            eprintln!("pmv-lint: path does not exist: {}", path.display());
+            return ExitCode::from(3);
+        }
         match lint_tree(path) {
             Ok(r) => {
                 report.findings.extend(r.findings);
@@ -52,6 +58,18 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         }
+    }
+
+    if report.files_scanned == 0 {
+        eprintln!(
+            "pmv-lint: no .rs files found under {}",
+            paths
+                .iter()
+                .map(|p| p.display().to_string())
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        return ExitCode::from(3);
     }
 
     if json {

@@ -20,13 +20,27 @@
 //!    order, and no `Relaxed` atomics outside designated statistics
 //!    modules.
 //!
-//! Run the lint pass with:
+//! 3. **Interprocedural protocol analyzer** ([`rules_ipa`], driven by
+//!    the `pmv-analyze` binary). Builds a workspace call graph
+//!    ([`graph`]) and per-function fact summaries ([`summaries`]), then
+//!    verifies the lock/pin/durability contracts *across* function
+//!    boundaries: every file-local rule re-checked one-or-more calls
+//!    deep, plus `pin_reaches_blocking_lock`, `dio_funnel_reach` and
+//!    `durable_before_visible` (DESIGN.md §17). Reports render as text
+//!    or SARIF 2.1.0 ([`sarif`]).
+//!
+//! Run the passes with:
 //!
 //! ```text
-//! cargo run -p pmv-analysis --bin pmv-lint -- [--json] [--deny-warnings] [paths…]
+//! cargo run -p pmv-analysis --bin pmv-lint    -- [--json] [--deny-warnings] [paths…]
+//! cargo run -p pmv-analysis --bin pmv-analyze -- [--json] [--sarif FILE] [--deny-warnings] [paths…]
 //! ```
 
+pub mod graph;
 pub mod lint;
+pub mod rules_ipa;
+pub mod sarif;
+pub mod summaries;
 
 pub use pmv_core::verify::{
     estimate_tuple_bytes, verify_def, verify_parts, DiagCode, Diagnostic, FilterSpec, Severity,

@@ -143,7 +143,7 @@ pub fn lint_tree(root: &Path) -> io::Result<LintReport> {
     Ok(report)
 }
 
-fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+pub(crate) fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
         let path = entry.path();
@@ -194,21 +194,32 @@ pub fn lint_source(file: &Path, source: &str, report: &mut LintReport) {
     }
 }
 
-type RawFinding = (&'static str, Level, usize, String);
+pub(crate) type RawFinding = (&'static str, Level, usize, String);
 
 /// Whether a `pmv::allow(rule)` escape covers a finding on `line`
-/// (1-based): same line or the directly preceding line. Returns the
-/// escape's line.
-fn allow_covers(lines: &[&str], rule: &str, line: usize) -> Option<usize> {
+/// (1-based): same line, or anywhere in the contiguous `//` comment
+/// block directly above it (so a multi-line justification can carry the
+/// marker on its first line). Returns the escape's line.
+pub(crate) fn allow_covers(lines: &[&str], rule: &str, line: usize) -> Option<usize> {
     let needle = format!("pmv::allow({rule})");
-    for candidate in [line, line.saturating_sub(1)] {
-        if candidate >= 1 {
-            if let Some(text) = lines.get(candidate - 1) {
-                if text.contains(&needle) {
-                    return Some(candidate);
-                }
-            }
+    if let Some(text) = lines.get(line.saturating_sub(1)) {
+        if text.contains(&needle) {
+            return Some(line);
         }
+    }
+    let mut candidate = line.saturating_sub(1);
+    while candidate >= 1 {
+        let Some(text) = lines.get(candidate - 1) else {
+            break;
+        };
+        if text.contains(&needle) {
+            return Some(candidate);
+        }
+        // Keep walking only while still inside a comment block.
+        if !text.trim_start().starts_with("//") {
+            break;
+        }
+        candidate -= 1;
     }
     None
 }
@@ -320,12 +331,24 @@ pub fn mask_comments_and_strings(src: &str) -> String {
             continue;
         }
         // Char literal vs lifetime: 'x' or '\n' is a literal; 'a (no
-        // closing quote within the escape window) is a lifetime.
+        // closing quote within the escape window) is a lifetime or loop
+        // label. The literal's payload may be '"', '{' or '}', so it
+        // must be masked or downstream brace/string lexing derails.
         if b == b'\'' {
-            if i + 2 < bytes.len() && bytes[i + 1] == b'\\' {
-                // Escaped char literal: consume to closing quote.
+            if i + 1 < bytes.len() && bytes[i + 1] == b'\\' {
+                // Escaped char literal: '\n', '\'', '\\', '\x7f',
+                // '\u{2764}'. The byte AFTER the backslash is consumed
+                // as part of the escape pair — without that, '\'' and
+                // '\\' mis-lex (the escaped quote/backslash is taken as
+                // the closer or an opener) and a stray ' swallows the
+                // code that follows.
                 out.push(b);
-                i += 1;
+                push_masked(&mut out, bytes[i + 1]);
+                i += 2;
+                if i < bytes.len() {
+                    push_masked(&mut out, bytes[i]);
+                    i += 1;
+                }
                 while i < bytes.len() && bytes[i] != b'\'' {
                     push_masked(&mut out, bytes[i]);
                     i += 1;
@@ -336,15 +359,18 @@ pub fn mask_comments_and_strings(src: &str) -> String {
                 }
                 continue;
             }
-            if i + 2 < bytes.len() && bytes[i + 2] == b'\'' {
-                // Simple char literal 'x'.
+            if i + 2 < bytes.len() && bytes[i + 1] != b'\'' && bytes[i + 2] == b'\'' {
+                // Simple char literal 'x' (the payload may be any byte,
+                // including '"' / '{' / '}'). A lifetime such as 'a in
+                // `Foo<'a>` never has a quote two bytes ahead, so this
+                // window test disambiguates the two.
                 out.push(b);
                 push_masked(&mut out, bytes[i + 1]);
                 out.push(b'\'');
                 i += 3;
                 continue;
             }
-            // Lifetime: fall through as-is.
+            // Lifetime / loop label: fall through as-is.
         }
         out.push(b);
         i += 1;
@@ -352,12 +378,12 @@ pub fn mask_comments_and_strings(src: &str) -> String {
     String::from_utf8_lossy(&out).into_owned()
 }
 
-fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
+pub(crate) fn prev_is_ident(bytes: &[u8], i: usize) -> bool {
     i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_')
 }
 
 /// For each byte offset, the 1-based line number.
-fn line_index(text: &str) -> Vec<usize> {
+pub(crate) fn line_index(text: &str) -> Vec<usize> {
     let mut line = 1;
     text.bytes()
         .map(|b| {
@@ -370,7 +396,7 @@ fn line_index(text: &str) -> Vec<usize> {
         .collect()
 }
 
-fn find_all(haystack: &str, needle: &str) -> Vec<usize> {
+pub(crate) fn find_all(haystack: &str, needle: &str) -> Vec<usize> {
     let mut out = Vec::new();
     let mut start = 0;
     while let Some(pos) = haystack[start..].find(needle) {
@@ -382,7 +408,7 @@ fn find_all(haystack: &str, needle: &str) -> Vec<usize> {
 
 /// The statement containing byte `pos`: backwards to the previous `;`,
 /// `{` or `}`, forwards to the next `;` or `{`.
-fn statement_around(masked: &str, pos: usize) -> (usize, &str) {
+pub(crate) fn statement_around(masked: &str, pos: usize) -> (usize, &str) {
     let bytes = masked.as_bytes();
     let mut start = pos;
     while start > 0 && !matches!(bytes[start - 1], b';' | b'{' | b'}') {
@@ -396,7 +422,7 @@ fn statement_around(masked: &str, pos: usize) -> (usize, &str) {
 }
 
 /// Extract the bound variable of a `let [mut] name = …` statement.
-fn let_binding_name(stmt: &str) -> Option<&str> {
+pub(crate) fn let_binding_name(stmt: &str) -> Option<&str> {
     let after_let = stmt.find("let ").map(|p| &stmt[p + 4..])?;
     let after_mut = after_let.strip_prefix("mut ").unwrap_or(after_let);
     let end = after_mut
@@ -412,7 +438,7 @@ fn let_binding_name(stmt: &str) -> Option<&str> {
 
 /// Byte offset where the scope opened at `from` ends: brace depth from
 /// `from` drops below zero, or `drop(var)` releases the guard early.
-fn guard_scope_end(masked: &str, from: usize, var: Option<&str>) -> usize {
+pub(crate) fn guard_scope_end(masked: &str, from: usize, var: Option<&str>) -> usize {
     let bytes = masked.as_bytes();
     let drop_pat = var.map(|v| format!("drop({v})"));
     let mut depth: i64 = 0;
@@ -439,9 +465,10 @@ fn guard_scope_end(masked: &str, from: usize, var: Option<&str>) -> usize {
 }
 
 /// Executor entry points a shard guard must not be held across.
-const EXEC_CALLS: [&str; 5] = [
+pub(crate) const EXEC_CALLS: [&str; 6] = [
     "execute(",
     "execute_bounded(",
+    "execute_bounded_arc(",
     "execute_scan(",
     "join_from(",
     "run_plain(",
@@ -449,7 +476,7 @@ const EXEC_CALLS: [&str; 5] = [
 
 /// Shard write-guard bindings: a `let` statement that both mentions
 /// `shard` and acquires `.write()`.
-fn shard_guard_bindings<'a>(
+pub(crate) fn shard_guard_bindings<'a>(
     masked: &'a str,
     acquire: &str,
 ) -> impl Iterator<Item = (usize, usize, Option<&'a str>)> + 'a {
@@ -579,7 +606,7 @@ fn rule_lock_order(masked: &str, line_of: &[usize], out: &mut Vec<RawFinding>) {
 /// `.try_write()` / `.try_read()` deliberately do not match (`_` before
 /// `write`): best-effort, non-blocking write-backs are the sanctioned
 /// pattern on the pinned path.
-const BLOCKING_ACQUIRES: [&str; 3] = [".read()", ".write()", ".lock()"];
+pub(crate) const BLOCKING_ACQUIRES: [&str; 3] = [".read()", ".write()", ".lock()"];
 
 fn rule_lock_in_pin_region(masked: &str, line_of: &[usize], out: &mut Vec<RawFinding>) {
     // Region form 1: the scope of a `let pin = ….pin()` binding. The
@@ -646,7 +673,7 @@ fn flag_blocking(
 /// (`fs::read`, `File::open`, `read_dir`, `metadata`) are deliberately
 /// absent — the contract covers *writes*, which must be observable by
 /// fault injection.
-const FS_WRITE_APIS: [&str; 9] = [
+pub(crate) const FS_WRITE_APIS: [&str; 9] = [
     "File::create(",
     "OpenOptions::new(",
     "File::options(",
@@ -661,7 +688,7 @@ const FS_WRITE_APIS: [&str; 9] = [
 /// Crates whose production sources must route durable writes through
 /// `pmv_wal::dio`: the commit path (`core`), the heap/index substrate
 /// (`storage`), and the durability engine itself (`wal`).
-const DURABLE_CRATES: [&str; 3] = ["core", "storage", "wal"];
+pub(crate) const DURABLE_CRATES: [&str; 3] = ["core", "storage", "wal"];
 
 fn rule_raw_fs_write(file: &Path, masked: &str, line_of: &[usize], out: &mut Vec<RawFinding>) {
     let comps: Vec<String> = file

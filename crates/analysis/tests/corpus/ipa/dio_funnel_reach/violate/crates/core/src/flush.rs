@@ -1,0 +1,8 @@
+// IPA corpus: a durable-crate function reaches a raw filesystem write
+// through a helper in a *non-durable* crate. The file-local rule only
+// sees direct writes inside durable crates; the funnel contract is a
+// reachability property.
+
+fn fx_flush(path: &Path, bytes: &[u8]) -> Result<(), Error> {
+    fx_spill(path, bytes)
+}

@@ -1,0 +1,19 @@
+// IPA corpus: the closure passed to `catch_unwind` calls a helper that
+// acquires a shard lock. Textually the closure is lock-free, so only
+// the interprocedural pass can flag it.
+
+struct Fx;
+
+impl Fx {
+    fn fill(&self) {
+        let fill = catch_unwind(AssertUnwindSafe(|| {
+            fx_touch_store(self);
+        }));
+        drop(fill);
+    }
+}
+
+fn fx_touch_store(fx: &Fx) {
+    let mut store = fx.shard_slot.write();
+    store.clear();
+}

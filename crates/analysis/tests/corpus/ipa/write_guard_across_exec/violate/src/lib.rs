@@ -1,0 +1,18 @@
+// IPA corpus: a shard write guard held across a *helper* that reaches
+// an executor entry point. The file-local lint cannot see this — the
+// guard scope contains no `execute(` textually — only the call graph
+// does.
+
+struct Fx;
+
+impl Fx {
+    fn fill_under_guard(&self, db: &Db, q: &Query) {
+        let mut store = self.shards[0].write();
+        let rows = fx_run_query(db, q);
+        store.extend(rows);
+    }
+}
+
+fn fx_run_query(db: &Db, q: &Query) -> Vec<Row> {
+    execute(db, q).unwrap()
+}

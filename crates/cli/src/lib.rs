@@ -125,6 +125,49 @@ fn usage(msg: impl Into<String>) -> CliError {
     CliError::Usage(msg.into())
 }
 
+/// Render a template-verifier report as the same SARIF 2.1.0 document
+/// shape `pmv-analyze` emits. Verifier diagnostics have no source
+/// location — they describe a view definition — so results carry no
+/// `locations` array; the dimension/relation context folds into the
+/// message text.
+fn verifier_sarif(report: &pmv_core::VerifyReport) -> String {
+    use pmv_analysis::sarif::{to_sarif, SarifResult, SarifRule};
+    use pmv_core::verify::{DiagCode, Severity};
+
+    let rules: Vec<SarifRule> = DiagCode::ALL
+        .iter()
+        .map(|c| SarifRule {
+            id: c.code().to_string(),
+            short: format!("{} (paper §{})", c.name(), c.paper_section()),
+        })
+        .collect();
+    let results: Vec<SarifResult> = report
+        .diagnostics
+        .iter()
+        .map(|d| {
+            let mut message = d.message.clone();
+            if let Some(dim) = d.dimension {
+                let _ = write!(message, " [dimension {dim}]");
+            }
+            if let Some(rel) = d.relation {
+                let _ = write!(message, " [relation {rel}]");
+            }
+            SarifResult {
+                rule_id: d.code.code().to_string(),
+                level: match d.severity {
+                    Severity::Deny => "error",
+                    Severity::Warn => "warning",
+                    Severity::Allow => "note",
+                },
+                message,
+                file: None,
+                line: None,
+            }
+        })
+        .collect();
+    to_sarif("pmv-verify", &rules, &results)
+}
+
 /// Parse a policy option value (`pmv … policy=…` and checkpointed view
 /// specs share this spelling).
 fn parse_policy(v: &str) -> Result<PolicyKind, CliError> {
@@ -496,12 +539,15 @@ impl Session {
 
     /// Run the static verifier over a template with the same default
     /// discretizer choice `pmv` would make, without registering
-    /// anything. `json` switches to the machine-readable rendering.
+    /// anything. `json` switches to the machine-readable rendering;
+    /// `sarif` emits the same SARIF 2.1.0 document shape the
+    /// `pmv-analyze` binary produces, so PMV001–PMV006 feed the same
+    /// code-scanning surfaces as the source rules.
     fn cmd_analyze(&mut self, rest: &str) -> Result<String, CliError> {
         let mut parts = rest.split_whitespace();
-        let name = parts
-            .next()
-            .ok_or_else(|| usage("usage: analyze <template> [f=N] [l=N] [budget=BYTES] [json]"))?;
+        let name = parts.next().ok_or_else(|| {
+            usage("usage: analyze <template> [f=N] [l=N] [budget=BYTES] [json|sarif]")
+        })?;
         let template = self
             .templates
             .get(name)
@@ -510,9 +556,14 @@ impl Session {
         let mut config = PmvConfig::default();
         let mut opts = VerifyOptions::default();
         let mut json = false;
+        let mut sarif = false;
         for opt in parts {
             if opt == "json" {
                 json = true;
+                continue;
+            }
+            if opt == "sarif" {
+                sarif = true;
                 continue;
             }
             let (k, v) = opt
@@ -534,6 +585,9 @@ impl Session {
             })
             .collect();
         let report = pmv_core::verify_parts(&template, &discretizers, &config, &opts);
+        if sarif {
+            return Ok(verifier_sarif(&report));
+        }
         if json {
             return Ok(report.to_json());
         }
@@ -1080,7 +1134,7 @@ commands:
   tables                            list relations
   template <name> <SQL>             define a template (slots: col = ? | col BETWEEN ?)
   pmv <template> [f=N] [l=N] [policy=clock|2q|2qfull|lru|lru2]
-  analyze <template> [f=N] [l=N] [budget=BYTES] [json]   static verifier (PMV001-PMV006)
+  analyze <template> [f=N] [l=N] [budget=BYTES] [json|sarif]   static verifier (PMV001-PMV006)
   query <template> [v,..] [lo..hi,..]   run through the PMV
   plain <template> <bindings>       run without the PMV
   explain <template> <bindings>     show the plan
@@ -1205,6 +1259,22 @@ mod tests {
         assert!(out.contains("\"code\":\"PMV004\""), "{out}");
         // Unknown template is a usage error.
         assert!(matches!(s.execute("analyze nope"), Err(CliError::Usage(_))));
+    }
+
+    #[test]
+    fn analyze_sarif_mode() {
+        let mut s = loaded_session();
+        let out = s.execute("analyze t1 budget=1 sarif").unwrap();
+        assert!(out.contains("\"version\":\"2.1.0\""), "{out}");
+        assert!(out.contains("\"name\":\"pmv-verify\""), "{out}");
+        assert!(out.contains("\"ruleId\":\"PMV004\""), "{out}");
+        assert!(out.contains("\"level\":\"error\""), "{out}");
+        // Verifier results describe a definition, not a file: no
+        // locations array may appear.
+        assert!(!out.contains("physicalLocation"), "{out}");
+        // Clean verdict still renders a document, with zero results.
+        let out = s.execute("analyze t1 sarif").unwrap();
+        assert!(out.contains("\"results\":[]"), "{out}");
     }
 
     #[test]

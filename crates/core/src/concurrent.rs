@@ -788,6 +788,10 @@ impl SharedPmv {
             deadline: inner.config.o3_deadline.map(|d| Instant::now() + d),
             max_tuples: inner.config.o3_max_tuples,
         };
+        // pmv::allow(pin_reaches_blocking_lock): the executor reaches the
+        // fault-injection registry lock (fire → fire_disk), which is taken
+        // only while a test campaign is armed; unarmed it is one relaxed
+        // load, so production serving never blocks here.
         let exec_result = catch_unwind(AssertUnwindSafe(|| execute_bounded_arc(view, q, budget)));
         let (results, exec_stats) = match exec_result {
             Ok(Ok(ok)) => {
@@ -928,6 +932,9 @@ impl SharedPmv {
                 if pin_epoch < inner.maint_epoch.load(Ordering::Acquire) {
                     return;
                 }
+                // pmv::allow(pin_reaches_blocking_lock): fire_soft takes the
+                // fault-injection registry lock only while a test campaign
+                // is armed; unarmed it is one relaxed load.
                 pmv_faultinject::fire_soft(Site::ShardFill);
                 let mut admit_cache: HashMap<&BcpKey, Residency> = HashMap::new();
                 for (bcp, t, cap) in group {
@@ -960,6 +967,10 @@ impl SharedPmv {
             // Touches change only policy state, not what the view
             // serves; republish only when the entry set did change.
             if poisoned || admitted > 0 || evicted > 0 {
+                // pmv::allow(pin_reaches_blocking_lock): LeftRight::publish
+                // takes the writer-side mutex, which only fills contend on —
+                // never the wait-free reader path. A cold-shard fill is
+                // already the slow path (DESIGN.md §14).
                 inner.publish_shard(si, &store);
             }
             drop(store);

@@ -445,6 +445,9 @@ impl EpochDb {
         let mut guard = self.db.write();
         let out = f(&mut guard);
         let snap = Arc::new(guard.publish_snapshot());
+        // pmv::allow(durable_before_visible): setup path — DDL and bulk
+        // loads are checkpoint-durable, not WAL-logged (§16), and the
+        // debug assertion above proves no reader is being served yet.
         self.published.publish(Arc::clone(&snap));
         if let Some(dur) = &self.durability {
             // Setup-path changes (DDL, bulk loads) are not WAL-logged —
