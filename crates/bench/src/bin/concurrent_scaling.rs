@@ -58,8 +58,24 @@
 //! combine round, durable-before-visible) — plus recovery time at
 //! several WAL lengths. The serving-path sweep above is unaffected:
 //! without `--data-dir` the durability hook is `None` and costs nothing.
+//!
+//! # Group-commit pipeline cell
+//!
+//! After the read-only sweep a separate **mixed commit+query** cell
+//! runs 8 threads that alternate a single-row insert (through
+//! [`EpochDb::commit`], so group commit batches them) with a probe of
+//! the same PMV. This is the cell where the commit pipeline actually
+//! contends — master write lock, shard maintenance locks, snapshot
+//! publish — and it feeds two JSON sections: `group_commit` (batch
+//! sizes, coalesced requests, maintenance passes saved, snapshot reuse,
+//! pin-cache hit rate) and `profile`, a ranked [`ProfileReport`] of
+//! contention sites / template costs / pipeline stages in exactly the
+//! schema `pmv-profile` consumes. `--flight-spool [dir]` additionally
+//! attaches a zero-threshold flight recorder over a `DiskSpool` so CI
+//! gets real dump files to round-trip through `pmv-profile`.
 
 use std::fmt::Write as _;
+use std::path::Path;
 use std::time::Instant;
 
 use pmv_bench::tpcr_harness::{arg_flag, arg_value};
@@ -67,8 +83,11 @@ use pmv_bench::ExperimentReport;
 use pmv_cache::PolicyKind;
 use pmv_core::{EpochDb, ObsRegistry, PartialViewDef, Phase, PmvConfig, SharedPmv};
 use pmv_index::IndexDef;
+use pmv_obs::profile::split_phases;
+use pmv_obs::{FlightRecorder, HistSnapshot, ProfileReport, TemplateAccount, TemplateCost};
 use pmv_query::{Condition, Database, QueryTemplate, TemplateBuilder, Transaction};
 use pmv_storage::{tuple, Column, ColumnType, Schema, Value};
+use pmv_wal::DiskSpool;
 use std::sync::Arc;
 
 /// One measured (threads × shards) cell.
@@ -284,6 +303,60 @@ fn main() {
     );
     obs_report.print();
 
+    // Mixed commit+query cell: the only part of the run where the
+    // commit pipeline contends, and the source of the `group_commit`
+    // and `profile` JSON sections.
+    let flight_dir = arg_flag("--flight-spool").then(|| {
+        arg_value("--flight-spool")
+            .filter(|v| !v.starts_with("--"))
+            .unwrap_or_else(|| "pmv_flight_spool".to_string())
+    });
+    let pipe = measure_pipeline(quick, epoch_mode, flight_dir.as_deref().map(Path::new));
+    eprintln!(
+        "group commit ({} threads, {} commits): {} batch(es), mean batch {:.2}, \
+         {} coalesced, {} maint pass(es) saved, queue depth p99 {}, \
+         snap reuse {:.2}, pin-cache hit rate {:.2}, flight dumps {}",
+        pipe.threads,
+        pipe.commits,
+        pipe.commit_batches,
+        pipe.mean_batch_size,
+        pipe.commit_reqs_coalesced,
+        pipe.maint_passes_saved,
+        pipe.queue_depth_p99,
+        pipe.snap_reuse_ratio,
+        pipe.pin_cache_hit_rate,
+        pipe.flight_dumps,
+    );
+    eprintln!("top contention site: {}", pipe.top_site);
+    if let Some(dir) = &flight_dir {
+        eprintln!("flight spool: {dir} ({} dump(s))", pipe.flight_dumps);
+    }
+    let mut pipe_report = ExperimentReport::new(
+        "concurrent_scaling_group_commit",
+        "mixed commit+query cell: batching efficacy and snapshot-path reuse",
+        "threads",
+    );
+    pipe_report.push(
+        pipe.threads.to_string(),
+        vec![
+            ("commits".to_string(), pipe.commits as f64),
+            ("commit_batches".to_string(), pipe.commit_batches as f64),
+            ("mean_batch_size".to_string(), pipe.mean_batch_size),
+            (
+                "commit_reqs_coalesced".to_string(),
+                pipe.commit_reqs_coalesced as f64,
+            ),
+            (
+                "maint_passes_saved".to_string(),
+                pipe.maint_passes_saved as f64,
+            ),
+            ("queue_depth_p99".to_string(), pipe.queue_depth_p99 as f64),
+            ("snap_reuse_ratio".to_string(), pipe.snap_reuse_ratio),
+            ("pin_cache_hit_rate".to_string(), pipe.pin_cache_hit_rate),
+        ],
+    );
+    pipe_report.print();
+
     let durability = arg_flag("--durability").then(|| {
         let d = measure_durability(quick);
         eprintln!(
@@ -325,6 +398,7 @@ fn main() {
             ov_shards,
             qps_off,
             qps_on,
+            &pipe,
             durability.as_ref(),
         );
         std::fs::write(&path, &json).unwrap_or_else(|e| {
@@ -368,6 +442,10 @@ fn run_cell(
     let config = PmvConfig::new(8, (bcps as usize) * 2, PolicyKind::Clock);
     let shared = SharedPmv::with_shards(def, config, shards);
     shared.set_obs_enabled(obs_enabled);
+    // Gate the commit-pipeline registry too, so the "obs disabled" leg
+    // of the overhead comparison really is a single relaxed load per
+    // record site across both registries.
+    edb.obs().set_enabled(obs_enabled);
     // Warm every bcp: the first run fills it, the second serves
     // partials, so the measured phase is all O2 hits.
     for f in 0..bcps {
@@ -402,6 +480,185 @@ fn run_cell(
     let secs = start.elapsed().as_secs_f64();
     let qps = (threads * per_thread) as f64 / secs;
     (shared, qps)
+}
+
+/// Everything the mixed commit+query cell measures: group-commit
+/// batching efficacy, snapshot-path reuse, and the ranked profile.
+struct PipelineResult {
+    threads: usize,
+    commits: usize,
+    commit_batches: u64,
+    commit_reqs_coalesced: u64,
+    maint_passes_saved: u64,
+    /// Mean commits per combine round (batch-size histogram mean).
+    mean_batch_size: f64,
+    /// p99 of the commit-queue depth observed by the combiner.
+    queue_depth_p99: u64,
+    snap_publishes: u64,
+    snap_reuse_ratio: f64,
+    pin_cache_hit_rate: f64,
+    /// Flight dumps written when `--flight-spool` is active.
+    flight_dumps: u64,
+    /// `ProfileReport::to_json()` — embedded verbatim as the bench
+    /// JSON's `profile` member, the schema `pmv-profile` consumes.
+    profile_json: String,
+    /// `"site (p99 wait N µs)"` for the console one-liner.
+    top_site: String,
+}
+
+/// Run the mixed commit+query cell: 8 threads alternating a single-row
+/// insert through [`EpochDb::commit`] with a probe of the same PMV.
+/// Commits force shard maintenance (the inserted row matches a warmed
+/// bcp), so the master write lock, shard maintenance locks, and
+/// snapshot publish all see real contention.
+fn measure_pipeline(quick: bool, epoch_mode: bool, flight_spool: Option<&Path>) -> PipelineResult {
+    let threads = 8usize;
+    let per_thread = if quick { 100usize } else { 500 };
+    let bcps = 16i64;
+
+    let mut db = Database::new();
+    db.create_relation(Schema::new(
+        "p",
+        vec![
+            Column::new("a", ColumnType::Int),
+            Column::new("f", ColumnType::Int),
+        ],
+    ))
+    .unwrap();
+    for i in 0..(bcps * 8) {
+        db.insert("p", tuple![i, i % bcps]).unwrap();
+    }
+    db.create_index(IndexDef::btree("p", vec![1])).unwrap();
+    let template = TemplateBuilder::new("by_f_mixed")
+        .relation(db.schema("p").unwrap())
+        .select("p", "a")
+        .unwrap()
+        .cond_eq("p", "f")
+        .unwrap()
+        .build()
+        .unwrap();
+    let edb = EpochDb::new(db);
+
+    let def = PartialViewDef::all_equality("pipe_pmv", template.clone()).unwrap();
+    let config = PmvConfig::new(8, (bcps as usize) * 2, PolicyKind::Clock);
+    let shared = SharedPmv::with_shards(def, config, 16);
+    let account = Arc::new(TemplateAccount::new());
+    shared.attach_account(Arc::clone(&account));
+    let flight = flight_spool.map(|dir| {
+        let _ = std::fs::remove_dir_all(dir);
+        let spool = DiskSpool::open(dir, 256 * 1024).unwrap_or_else(|e| {
+            eprintln!("cannot open flight spool {}: {e}", dir.display());
+            std::process::exit(1);
+        });
+        let fr = Arc::new(FlightRecorder::new(Box::new(spool), 4));
+        // Zero threshold: the first queries trip the recorder until its
+        // dump budget is spent, giving CI real dump files to round-trip
+        // through pmv-profile. Bounded, so it barely perturbs the cell.
+        fr.set_latency_threshold(Some(std::time::Duration::ZERO));
+        shared.attach_flight(Arc::clone(&fr));
+        fr
+    });
+
+    // Warm every bcp, then zero everything the report reads so the
+    // measured phase starts clean.
+    for f in 0..bcps {
+        let q = template
+            .bind(vec![Condition::Equality(vec![Value::Int(f)])])
+            .unwrap();
+        serve(&edb, &shared, &q, epoch_mode);
+        serve(&edb, &shared, &q, epoch_mode);
+    }
+    shared.reset_stats();
+    shared.obs().reset();
+    edb.obs().reset();
+    edb.reset_pipeline_obs();
+
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let shared = shared.clone();
+            let template = template.clone();
+            let edb = &edb;
+            scope.spawn(move || {
+                let mut f = t as i64 % bcps;
+                for i in 0..per_thread {
+                    let v = (t * per_thread + i) as i64;
+                    let fv = f;
+                    edb.commit(&[&shared], move |db| {
+                        let mut txn = Transaction::begin(db);
+                        txn.insert("p", tuple![v, fv])?;
+                        Ok(((), txn.commit()))
+                    })
+                    .unwrap();
+                    let q = template
+                        .bind(vec![Condition::Equality(vec![Value::Int(f)])])
+                        .unwrap();
+                    serve(edb, &shared, &q, epoch_mode);
+                    f = (f + threads as i64) % bcps;
+                }
+            });
+        }
+    });
+
+    let ps = edb.pipeline_stats();
+    let batch = edb.batch_size_hist();
+    let queue = edb.queue_depth_hist();
+    // Batch/queue histograms record raw counts on the nanosecond scale.
+    let mean_batch_size = if batch.count() == 0 {
+        0.0
+    } else {
+        batch.sum_ns() as f64 / batch.count() as f64
+    };
+    let queue_depth_p99 = queue.quantile(0.99).as_nanos() as u64;
+    let ss = edb.snap_stats();
+
+    // Profile: merge the serving-path registry with the commit-pipeline
+    // registry, then rank sites/templates/stages exactly like the live
+    // `profile` CLI command does.
+    account.set_bytes_resident(shared.byte_size() as u64);
+    let mut merged: Vec<(&'static str, HistSnapshot)> = Vec::new();
+    for reg in [shared.obs(), edb.obs().as_ref()] {
+        for (name, snap) in reg.snapshots() {
+            match merged.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, m)) => m.merge(&snap),
+                None => merged.push((name, snap)),
+            }
+        }
+    }
+    let (contention, pipeline) = split_phases(&merged);
+    let mut report = ProfileReport {
+        source: "concurrent_scaling mixed commit+query cell".to_string(),
+        contention,
+        templates: vec![TemplateCost::from_account(
+            "by_f_mixed",
+            &account.snapshot(),
+        )],
+        pipeline,
+        notes: vec![format!(
+            "{threads} threads x {per_thread} commit+query pairs, 16 shards"
+        )],
+    };
+    report.rank();
+    let top_site = report
+        .contention
+        .first()
+        .map(|s| format!("{} (p99 wait {} µs)", s.site, s.wait_p99_us))
+        .unwrap_or_else(|| "none".to_string());
+
+    PipelineResult {
+        threads,
+        commits: threads * per_thread,
+        commit_batches: ps.commit_batches,
+        commit_reqs_coalesced: ps.commit_reqs_coalesced,
+        maint_passes_saved: ps.maint_passes_saved,
+        mean_batch_size,
+        queue_depth_p99,
+        snap_publishes: ss.publishes,
+        snap_reuse_ratio: ss.reuse_ratio(),
+        pin_cache_hit_rate: edb.pin_cache_hit_rate(),
+        flight_dumps: flight.map(|fr| fr.dumps_written()).unwrap_or(0),
+        profile_json: report.to_json(),
+        top_site,
+    }
 }
 
 /// Commit-throughput and recovery-time numbers for the `--durability`
@@ -518,6 +775,7 @@ fn cells_to_json(
     ov_shards: usize,
     qps_off: f64,
     qps_on: f64,
+    pipe: &PipelineResult,
     durability: Option<&DurabilityResult>,
 ) -> String {
     let mut out = String::with_capacity(4096);
@@ -555,6 +813,27 @@ fn cells_to_json(
         "\n  ],\n  \"obs_overhead\": {{\"threads\": {ov_threads}, \"shards\": {ov_shards}, \
          \"qps_obs_disabled\": {qps_off:.0}, \"qps_obs_enabled\": {qps_on:.0}, \
          \"obs_overhead_pct\": {overhead_pct:.2}}}"
+    );
+    let aggregate_qps: f64 = cells.iter().map(|c| c.qps).sum();
+    let _ = write!(
+        out,
+        ",\n  \"aggregate_qps\": {aggregate_qps:.0},\n  \"group_commit\": {{\"threads\": {}, \
+         \"commits\": {}, \"commit_batches\": {}, \"commit_reqs_coalesced\": {}, \
+         \"maint_passes_saved\": {}, \"mean_batch_size\": {:.3}, \"queue_depth_p99\": {}, \
+         \"snap_publishes\": {}, \"snap_reuse_ratio\": {:.4}, \"pin_cache_hit_rate\": {:.4}, \
+         \"flight_dumps\": {}}},\n  \"profile\": {}",
+        pipe.threads,
+        pipe.commits,
+        pipe.commit_batches,
+        pipe.commit_reqs_coalesced,
+        pipe.maint_passes_saved,
+        pipe.mean_batch_size,
+        pipe.queue_depth_p99,
+        pipe.snap_publishes,
+        pipe.snap_reuse_ratio,
+        pipe.pin_cache_hit_rate,
+        pipe.flight_dumps,
+        pipe.profile_json,
     );
     if let Some(d) = durability {
         let _ = write!(

@@ -10,6 +10,7 @@
 //! explain <template> <binding> …         show the plan
 //! stats [<template>]                     PMV statistics
 //! metrics [--format prometheus|json]     per-phase latency + counter export
+//! profile [--json]                       contention / template-cost / stage profile
 //! trace [--tail N]                       query lifecycle traces
 //! advisor                                recommend PMVs from the trace
 //! checkpoint                             write a durable snapshot (needs --data-dir)
@@ -19,6 +20,8 @@
 //! Bindings: one per `?` slot, in order. Equality slots take
 //! `[v1,v2,…]`; interval slots take `[lo..hi,lo2..hi2,…]` (half-open).
 //! Integer and 'string' values are supported.
+
+pub mod profile;
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
@@ -234,6 +237,12 @@ pub struct Session {
     pipeline: PmvPipeline,
     advisor: PmvAdvisor,
     mode: SnapshotMode,
+    /// Per-template workload accounting, shared by every epoch-mode
+    /// view (locked-mode `Pmv` has no accounting hooks).
+    accounts: Arc<pmv_obs::AccountTable>,
+    /// Anomaly flight recorder, present on durable sessions (dumps
+    /// spool under `<data-dir>/flight/`).
+    flight: Option<Arc<pmv_obs::FlightRecorder>>,
 }
 
 impl Default for Session {
@@ -262,6 +271,8 @@ impl Session {
             pipeline: PmvPipeline::new(),
             advisor: PmvAdvisor::new(),
             mode,
+            accounts: Arc::new(pmv_obs::AccountTable::new()),
+            flight: None,
         }
     }
 
@@ -278,6 +289,21 @@ impl Session {
         let mut s = Self::with_mode(mode);
         s.db = rec.db;
         s.durability = Some(Arc::new(rec.durability));
+        // Durable sessions get a flight recorder spooling under
+        // `<data-dir>/flight/` (bounded; oldest dumps evicted first).
+        // Diagnostics only: if the spool cannot open, the session still
+        // serves. `PMV_FLIGHT_LATENCY_MS` arms the latency trigger;
+        // breaker/quarantine/degradation triggers are always armed.
+        if let Ok(spool) = pmv_wal::DiskSpool::open(&data_dir.join("flight"), 256 * 1024) {
+            let fr = Arc::new(pmv_obs::FlightRecorder::new(Box::new(spool), 16));
+            if let Some(ms) = std::env::var("PMV_FLIGHT_LATENCY_MS")
+                .ok()
+                .and_then(|v| v.parse::<u64>().ok())
+            {
+                fr.set_latency_threshold(Some(std::time::Duration::from_millis(ms)));
+            }
+            s.flight = Some(fr);
+        }
         for spec in &rec.meta.views {
             s.reattach_view(spec)?;
         }
@@ -344,12 +370,23 @@ impl Session {
             } else {
                 SharedPmv::new(def, config)
             };
+            self.instrument_shared(&spec.name, &v);
             self.shared.insert(spec.name.clone(), v);
         } else {
             self.pmvs.insert(spec.name.clone(), Pmv::new(def, config));
         }
         self.view_specs.insert(spec.name.clone(), spec.clone());
         Ok(())
+    }
+
+    /// Hook one epoch-mode view into the session's profiling layer:
+    /// its per-template account (keyed by template name) and, on
+    /// durable sessions, the shared flight recorder.
+    fn instrument_shared(&self, name: &str, v: &SharedPmv) {
+        v.attach_account(self.accounts.register(&Arc::from(name)));
+        if let Some(fr) = &self.flight {
+            v.attach_flight(Arc::clone(fr));
+        }
     }
 
     /// Direct access for embedding (tests, examples).
@@ -385,6 +422,7 @@ impl Session {
             "stats" => self.cmd_stats(rest),
             "health" => self.cmd_health(),
             "metrics" => self.cmd_metrics(rest),
+            "profile" => self.cmd_profile(rest),
             "trace" => self.cmd_trace(rest),
             "revalidate" => self.cmd_revalidate(rest),
             "checkpoint" => self.cmd_checkpoint(),
@@ -529,6 +567,7 @@ impl Session {
         if self.mode == SnapshotMode::Epoch {
             let v = SharedPmv::new(def, config);
             spec.shards = v.shard_count();
+            self.instrument_shared(name, &v);
             self.shared.insert(name.to_string(), v);
         } else {
             self.pmvs.insert(name.to_string(), Pmv::new(def, config));
@@ -771,13 +810,21 @@ impl Session {
         views.extend(names.into_iter().map(|name| {
             let v = &self.shared[name];
             let s = v.stats();
+            // Fold the per-template account into the counter export
+            // (its bytes-resident gauge is refreshed here — sizing the
+            // store is export-time work, not serving-path work).
+            let mut counters = s.as_pairs();
+            if let Some(acct) = self.accounts.get(name) {
+                acct.set_bytes_resident(v.byte_size() as u64);
+                counters.extend(acct.snapshot().as_pairs());
+            }
             pmv_obs::ViewMetrics {
                 name: v.def().name().to_string(),
                 health: v.health().as_str().to_string(),
                 error_rate: v.breaker().error_rate(),
                 trips: v.breaker().trip_count(),
                 last_verified_age_ms: v.staleness().as_millis() as u64,
-                counters: s.as_pairs(),
+                counters,
                 gauges: vec![
                     ("hit_probability", s.hit_probability()),
                     ("serving_probability", s.serving_probability()),
@@ -787,6 +834,30 @@ impl Session {
                 phases: v.obs().snapshots(),
             }
         }));
+        // The durable path exports as a `__db` pseudo-view: WAL /
+        // checkpoint / recovery phase timings from the durability
+        // engine's registry plus snapshot-publish efficacy gauges.
+        let ss = self.db.snap_stats();
+        if self.durability.is_some() || ss.publishes > 0 {
+            views.push(pmv_obs::ViewMetrics {
+                name: "__db".to_string(),
+                health: "healthy".to_string(),
+                error_rate: 0.0,
+                trips: 0,
+                last_verified_age_ms: 0,
+                counters: vec![
+                    ("snap_publishes", ss.publishes),
+                    ("snap_entries_reused", ss.reused),
+                    ("snap_entries_recaptured", ss.recaptured),
+                ],
+                gauges: vec![("snap_reuse_ratio", ss.reuse_ratio())],
+                phases: self
+                    .durability
+                    .as_ref()
+                    .map(|d| d.obs().snapshots())
+                    .unwrap_or_default(),
+            });
+        }
         views
     }
 
@@ -848,6 +919,91 @@ impl Session {
                 Ok(out)
             }
         }
+    }
+
+    /// `profile [--json]` — a live profile report for this session:
+    /// contention sites ranked by total lock wait, templates by
+    /// serving+maintenance cost, pipeline stages by share of recorded
+    /// time. The offline twin (`pmv-profile`) reads the same report
+    /// shape back from flight dumps and bench JSON.
+    fn cmd_profile(&mut self, rest: &str) -> Result<String, CliError> {
+        let mut json = false;
+        for opt in rest.split_whitespace() {
+            match opt {
+                "--json" | "json" => json = true,
+                other => return Err(usage(format!("usage: profile [--json] (got '{other}')"))),
+            }
+        }
+        let report = self.live_profile();
+        Ok(if json {
+            report.to_json()
+        } else {
+            report.render_human()
+        })
+    }
+
+    /// Assemble the live [`pmv_obs::ProfileReport`]: merge every
+    /// registry's phase histograms (per-view serving registries plus
+    /// the durability engine's WAL registry), split them into
+    /// contention vs pipeline, and rank the account table.
+    fn live_profile(&self) -> pmv_obs::ProfileReport {
+        let mut merged: Vec<(&'static str, pmv_obs::HistSnapshot)> = Vec::new();
+        let mut registries: Vec<Vec<(&'static str, pmv_obs::HistSnapshot)>> = Vec::new();
+        registries.extend(self.pmvs.values().map(|p| p.obs().snapshots()));
+        registries.extend(self.shared.values().map(|v| v.obs().snapshots()));
+        if let Some(dur) = &self.durability {
+            registries.push(dur.obs().snapshots());
+        }
+        for phases in registries {
+            for (name, snap) in phases {
+                match merged.iter_mut().find(|(n, _)| *n == name) {
+                    Some((_, acc)) => acc.merge(&snap),
+                    None => merged.push((name, snap)),
+                }
+            }
+        }
+        let (contention, pipeline) = pmv_obs::profile::split_phases(&merged);
+
+        for (name, v) in &self.shared {
+            if let Some(acct) = self.accounts.get(name) {
+                acct.set_bytes_resident(v.byte_size() as u64);
+            }
+        }
+        let templates = self
+            .accounts
+            .snapshot_all()
+            .iter()
+            .filter(|(_, s)| s.queries > 0 || s.maint_join_ns > 0)
+            .map(|(name, s)| pmv_obs::TemplateCost::from_account(name, s))
+            .collect();
+
+        let mut notes = Vec::new();
+        if let Some(fr) = &self.flight {
+            notes.push(format!(
+                "{} flight dump(s) written this session",
+                fr.dumps_written()
+            ));
+        }
+        let ss = self.db.snap_stats();
+        if ss.publishes > 0 {
+            notes.push(format!(
+                "snapshot publishes: {} ({} entry reuse(s), {} recapture(s), reuse ratio {:.2})",
+                ss.publishes,
+                ss.reused,
+                ss.recaptured,
+                ss.reuse_ratio()
+            ));
+        }
+
+        let mut report = pmv_obs::ProfileReport {
+            source: "live session".to_string(),
+            contention,
+            templates,
+            pipeline,
+            notes,
+        };
+        report.rank();
+        report
     }
 
     /// `trace [--tail N]` — the last N lifecycle traces per PMV
@@ -1141,6 +1297,7 @@ commands:
   stats [<template>]                PMV statistics
   health                            per-PMV circuit-breaker state
   metrics [--format prometheus|json]   per-phase latency + counter export
+  profile [--json]                  contention / template-cost / stage profile
   trace [--tail N]                  last N query lifecycle traces per PMV
   revalidate [<template>]           re-derive cached tuples, lift quarantine
   checkpoint                        write a snapshot checkpoint (needs --data-dir)
@@ -1233,6 +1390,67 @@ mod tests {
         assert!(reval.contains("t1: 0 stale tuple(s) removed"), "{reval}");
         let trace = s.execute("trace").unwrap();
         assert!(trace.contains("query 'pmv_t1'"), "{trace}");
+    }
+
+    #[test]
+    fn profile_command_reports_live_session() {
+        let mut s = Session::with_mode(SnapshotMode::Epoch);
+        s.execute("load tpcr 0.001").unwrap();
+        s.execute(
+            "template t1 SELECT * FROM orders, lineitem \
+             WHERE orders.orderkey = lineitem.orderkey \
+             AND orders.orderdate = ? AND lineitem.suppkey = ?",
+        )
+        .unwrap();
+        s.execute("pmv t1 f=3 l=1000").unwrap();
+        for _ in 0..3 {
+            s.execute("query t1 [100] [1]").unwrap();
+        }
+        let out = s.execute("profile").unwrap();
+        assert!(out.contains("pmv-profile report — live session"), "{out}");
+        // The account table saw every query through the epoch path.
+        assert!(out.contains("t1"), "{out}");
+        assert!(out.contains("pipeline stage breakdown"), "{out}");
+        assert!(out.contains("snapshot publishes: 3"), "{out}");
+        let json = s.execute("profile --json").unwrap();
+        assert!(json.starts_with("{\"source\":\"live session\""), "{json}");
+        assert!(json.contains("\"template\":\"t1\""), "{json}");
+        assert!(json.contains("\"queries\":3"), "{json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(matches!(
+            s.execute("profile bogus"),
+            Err(CliError::Usage(_))
+        ));
+    }
+
+    #[test]
+    fn metrics_export_carries_accounts_and_db_pseudo_view() {
+        let mut s = Session::with_mode(SnapshotMode::Epoch);
+        s.execute("load tpcr 0.001").unwrap();
+        s.execute(
+            "template t1 SELECT * FROM orders, lineitem \
+             WHERE orders.orderkey = lineitem.orderkey \
+             AND orders.orderdate = ? AND lineitem.suppkey = ?",
+        )
+        .unwrap();
+        s.execute("pmv t1").unwrap();
+        s.execute("query t1 [100] [1]").unwrap();
+        let prom = s.execute("metrics --format prometheus").unwrap();
+        assert!(
+            prom.contains("pmv_acct_queries_total{view=\"pmv_t1\"} 1"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("pmv_snap_publishes_total{view=\"__db\"}"),
+            "{prom}"
+        );
+        assert!(
+            prom.contains("pmv_snap_reuse_ratio{view=\"__db\"}"),
+            "{prom}"
+        );
+        let json = s.execute("metrics --format json").unwrap();
+        assert!(json.contains("\"acct_o2_hit\""), "{json}");
+        assert!(json.contains("\"name\":\"__db\""), "{json}");
     }
 
     #[test]
@@ -1395,6 +1613,19 @@ mod tests {
         let (mut s2, _) = Session::with_data_dir(SnapshotMode::Epoch, &dir).unwrap();
         assert_eq!(before, s2.execute("stats").unwrap(), "shard count drifted");
         assert!(s.execute("query t1 [100] [1]").is_ok());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn durable_session_opens_flight_spool() {
+        let dir = scratch_dir("flight_spool");
+        let (mut s, _) = Session::with_data_dir(SnapshotMode::Epoch, &dir).unwrap();
+        assert!(dir.join("flight").is_dir(), "spool dir created at open");
+        let out = s.execute("profile").unwrap();
+        assert!(
+            out.contains("0 flight dump(s) written this session"),
+            "{out}"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

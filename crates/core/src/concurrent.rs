@@ -89,13 +89,17 @@ use std::collections::hash_map::DefaultHasher;
 use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use parking_lot::RwLock;
 use pmv_faultinject::{CaptureGuard, Site};
-use pmv_obs::{EventKind, ObsRegistry, Phase, TraceKind, TraceScope};
+use pmv_obs::{
+    EventKind, FlightRecorder, O2Outcome, ObsRegistry, Phase, TemplateAccount, TraceKind,
+    TraceScope, TriggerReason,
+};
 use pmv_query::{
     exec::join_from, execute_bounded_arc, DataView, Database, ExecBudget, QueryInstance,
 };
@@ -196,6 +200,24 @@ fn group_by_shard<T>(pairs: impl Iterator<Item = (usize, T)>) -> Vec<(usize, Vec
     groups
 }
 
+/// Trace-ring tail length captured in a flight-recorder dump: enough
+/// recent query lifecycles to reconstruct the anomaly's neighbourhood
+/// without spooling the whole ring.
+const FLIGHT_TRACE_TAIL: usize = 16;
+
+/// Classify one query's O2 engagement for per-template accounting:
+/// `Hit` — a condition part found its bcp entry *and* cached tuples were
+/// served; `Partial` — an entry was found but nothing could be served
+/// (select mismatch, epoch gate, or quarantine mid-probe); `Miss` — no
+/// probed bcp was cached at all.
+fn o2_outcome(bcp_hit: bool, served: bool) -> O2Outcome {
+    match (bcp_hit, served) {
+        (true, true) => O2Outcome::Hit,
+        (true, false) => O2Outcome::Partial,
+        (false, _) => O2Outcome::Miss,
+    }
+}
+
 struct Inner {
     def: PartialViewDef,
     config: PmvConfig,
@@ -223,6 +245,18 @@ struct Inner {
     /// View name as a shared `Arc<str>`: trace spans clone this instead
     /// of copying the name string on every query.
     trace_name: Arc<str>,
+    /// Per-template workload account, attached by the embedding layer
+    /// (CLI/bench); the serving path records into it only while `obs` is
+    /// enabled, so the disabled cost stays one relaxed load.
+    account: OnceLock<Arc<TemplateAccount>>,
+    /// Anomaly-triggered flight recorder. A dump locks the trace ring
+    /// and performs sink IO, so triggers fire only from locked-mode
+    /// [`SharedPmv::run`] and from `EpochDb::query` *after* the pin is
+    /// released — never inside a pin region.
+    flight: OnceLock<Arc<FlightRecorder>>,
+    /// Breaker trip count already seen by [`SharedPmv::flight_check`],
+    /// so each trip produces one `breaker_trip` dump, not one per query.
+    flight_trips_seen: AtomicU64,
 }
 
 impl Inner {
@@ -299,6 +333,9 @@ impl SharedPmv {
                 last_verified_ms: AtomicU64::new(0),
                 obs: ObsRegistry::new(),
                 trace_name,
+                account: OnceLock::new(),
+                flight: OnceLock::new(),
+                flight_trips_seen: AtomicU64::new(0),
             }),
         }
     }
@@ -327,6 +364,20 @@ impl SharedPmv {
     /// Run one query through O1/O2/O3, locking only the shards its
     /// condition parts and result tuples hash to.
     pub fn run(&self, db: &Database, q: &QueryInstance) -> Result<QueryOutcome> {
+        // Locked mode holds no pin and no shard guard here, so the
+        // anomaly check (which may lock the trace ring and write a spool
+        // dump) is safe on every exit path, degraded ones included.
+        let t_flight = self.flight_attached().then(Instant::now);
+        let out = self.run_locked(db, q);
+        if let (Some(t0), Ok(outcome)) = (&t_flight, &out) {
+            self.flight_check(outcome, t0.elapsed());
+        }
+        out
+    }
+
+    /// [`SharedPmv::run`] body (everything but the flight-recorder
+    /// anomaly check).
+    fn run_locked(&self, db: &Database, q: &QueryInstance) -> Result<QueryOutcome> {
         let inner = &*self.inner;
         let mut local = PmvStats::default();
         let t_start = Instant::now();
@@ -334,10 +385,11 @@ impl SharedPmv {
         // path, including errors) plus a thread-local fault-capture
         // scope so injected faults — latency above all, which is
         // otherwise invisible — surface as trace events.
+        let track = inner.obs.enabled();
         let mut trace = inner
             .obs
             .begin_trace_shared(TraceKind::Query, &inner.trace_name);
-        let mut fault_cap = inner.obs.enabled().then(pmv_faultinject::capture);
+        let mut fault_cap = track.then(pmv_faultinject::capture);
 
         // ---- Operation O1 ----
         let t_o1 = Instant::now();
@@ -382,6 +434,11 @@ impl SharedPmv {
                 let si = *si;
                 let t_shard = Instant::now();
                 let mut store = inner.shards[si].write();
+                if track {
+                    // The gap between requesting and holding the guard is
+                    // pure contention — the profiler's per-site wait cost.
+                    inner.obs.record(Phase::lock_shard_probe, t_shard.elapsed());
+                }
                 if store.is_quarantined() {
                     continue;
                 }
@@ -556,6 +613,9 @@ impl SharedPmv {
             }
             let t_fill = Instant::now();
             let mut store = inner.shards[si].write();
+            if track {
+                inner.obs.record(Phase::lock_shard_fill, t_fill.elapsed());
+            }
             if store.is_quarantined() {
                 continue;
             }
@@ -619,6 +679,16 @@ impl SharedPmv {
         }
         inner.stats.add(&local);
         inner.obs.record(Phase::full, t_start.elapsed());
+        if track {
+            if let Some(acct) = inner.account.get() {
+                acct.record_query(
+                    o2_outcome(bcp_hit, !partial_expanded.is_empty()),
+                    ttfr,
+                    t_start.elapsed(),
+                    exec_stats.tuples_examined as u64,
+                );
+            }
+        }
         flush_faults(&mut trace, fault_cap.take());
 
         let template = inner.def.template();
@@ -691,10 +761,11 @@ impl SharedPmv {
         let pin_epoch = view.view_epoch();
         let mut local = PmvStats::default();
         let t_start = Instant::now();
+        let track = inner.obs.enabled();
         let mut trace = inner
             .obs
             .begin_trace_shared(TraceKind::Query, &inner.trace_name);
-        let mut fault_cap = inner.obs.enabled().then(pmv_faultinject::capture);
+        let mut fault_cap = track.then(pmv_faultinject::capture);
 
         // ---- Operation O1 ----
         let t_o1 = Instant::now();
@@ -1001,6 +1072,16 @@ impl SharedPmv {
         }
         inner.stats.add(&local);
         inner.obs.record(Phase::full, t_start.elapsed());
+        if track {
+            if let Some(acct) = inner.account.get() {
+                acct.record_query(
+                    o2_outcome(bcp_hit, !partial_expanded.is_empty()),
+                    ttfr,
+                    t_start.elapsed(),
+                    exec_stats.tuples_examined as u64,
+                );
+            }
+        }
         flush_faults(&mut trace, fault_cap.take());
 
         let template = inner.def.template();
@@ -1069,6 +1150,19 @@ impl SharedPmv {
             local.partial_tuples_served = partial_expanded.len() as u64;
         }
         inner.stats.add(local);
+        // Degraded queries still count toward the template's workload;
+        // `o1 + o2` stands in for TTFR (recorded from the same phases)
+        // and O3 scanned nothing it could report.
+        if inner.obs.enabled() {
+            if let Some(acct) = inner.account.get() {
+                acct.record_query(
+                    o2_outcome(bcp_hit, !partial_expanded.is_empty()),
+                    o1 + o2,
+                    t_start.elapsed(),
+                    0,
+                );
+            }
+        }
         let template = inner.def.template();
         let partial = partial_expanded
             .iter()
@@ -1239,7 +1333,9 @@ impl SharedPmv {
         affected_shards.sort_unstable();
         affected_shards.dedup();
         for si in affected_shards {
+            let t_lock = Instant::now();
             let mut store = inner.shards[si].write();
+            inner.obs.record(Phase::lock_shard_maint, t_lock.elapsed());
             if store.is_quarantined() {
                 continue; // already drained: nothing cached to evict
             }
@@ -1270,6 +1366,11 @@ impl SharedPmv {
         inner.mark_verified();
         inner.stats.add(&local);
         inner.obs.record(Phase::maint_join, t_start.elapsed());
+        if inner.obs.enabled() {
+            if let Some(acct) = inner.account.get() {
+                acct.record_maintenance(t_start.elapsed(), out.join_rows as u64);
+            }
+        }
         trace.event(EventKind::MaintBatch {
             relation: batch.relation().to_string(),
             joined: out.deletes_joined + out.updates_joined,
@@ -1333,7 +1434,9 @@ impl SharedPmv {
             // holds the DB guard for the sweep), so the truth multisets
             // are still current; removal-only keeps this sound either
             // way.
+            let t_lock = Instant::now();
             let mut store = shard.write();
+            inner.obs.record(Phase::lock_shard_maint, t_lock.elapsed());
             for (bcp, mut budget) in truths {
                 removed += remove_stale(&mut store, &bcp, &mut budget);
             }
@@ -1361,6 +1464,87 @@ impl SharedPmv {
     /// Per-phase latency histograms and the lifecycle trace ring.
     pub fn obs(&self) -> &ObsRegistry {
         &self.inner.obs
+    }
+
+    /// Attach a per-template workload account (first attach wins; later
+    /// calls are ignored). The serving path records into it only while
+    /// observability is enabled, so the disabled fast path stays one
+    /// relaxed load.
+    pub fn attach_account(&self, acct: Arc<TemplateAccount>) {
+        let _ = self.inner.account.set(acct);
+    }
+
+    /// The attached workload account, if any.
+    pub fn account(&self) -> Option<&Arc<TemplateAccount>> {
+        self.inner.account.get()
+    }
+
+    /// Attach an anomaly-triggered flight recorder (first attach wins).
+    /// Dumps fire from locked-mode [`SharedPmv::run`] and from
+    /// `EpochDb::query` after the pin drops — never inside a pin region,
+    /// because a dump locks the trace ring and performs sink IO.
+    pub fn attach_flight(&self, recorder: Arc<FlightRecorder>) {
+        let _ = self.inner.flight.set(recorder);
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight(&self) -> Option<&Arc<FlightRecorder>> {
+        self.inner.flight.get()
+    }
+
+    /// Whether a flight recorder is attached (one atomic load — the
+    /// entire per-query cost when none is).
+    pub fn flight_attached(&self) -> bool {
+        self.inner.flight.get().is_some()
+    }
+
+    /// Inspect one finished query for anomalies and dump the flight
+    /// recorder if one fired: a breaker trip since the last check
+    /// (`breaker_trip`, or `quarantine` when the trip landed there), a
+    /// degraded outcome, or end-to-end latency over the armed threshold.
+    ///
+    /// Must not be called while an epoch snapshot is pinned or a shard
+    /// guard is held — the dump locks the trace ring and writes to the
+    /// spool sink.
+    pub fn flight_check(&self, outcome: &QueryOutcome, total: Duration) -> Option<PathBuf> {
+        let inner = &*self.inner;
+        let fr = inner.flight.get()?;
+        let trips = inner.breaker.trip_count();
+        // `swap` claims the trip for this thread: racing queries see the
+        // updated count and dump nothing (trip counts are monotonic).
+        let tripped = trips > inner.flight_trips_seen.swap(trips, Ordering::AcqRel);
+        let reason = if tripped && inner.breaker.state() == ViewHealth::Quarantined {
+            TriggerReason::Quarantine
+        } else if tripped {
+            TriggerReason::BreakerTrip
+        } else if outcome.degraded.is_some() {
+            TriggerReason::Degraded
+        } else if fr.armed() && total.as_nanos() as u64 >= fr.latency_threshold_ns() {
+            TriggerReason::LatencyThreshold
+        } else {
+            return None;
+        };
+        self.flight_dump(reason, total)
+    }
+
+    /// Unconditionally dump the flight recorder (if attached and within
+    /// its dump budget): the trace-ring tail plus a full counter and
+    /// phase-histogram snapshot, spooled through the recorder's sink.
+    pub fn flight_dump(&self, reason: TriggerReason, total: Duration) -> Option<PathBuf> {
+        let inner = &*self.inner;
+        let fr = inner.flight.get()?;
+        let traces = inner.obs.trace().tail(FLIGHT_TRACE_TAIL);
+        let metrics = pmv_obs::spool::metrics_json_from(
+            &inner.stats.snapshot().as_pairs(),
+            &inner.obs.snapshots(),
+        );
+        fr.trigger(
+            reason,
+            &inner.trace_name,
+            total.as_micros() as u64,
+            &traces,
+            &metrics,
+        )
     }
 
     /// True when `self` and `other` are handles to the same underlying

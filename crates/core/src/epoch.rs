@@ -69,7 +69,7 @@ use std::time::Instant;
 use std::path::{Path, PathBuf};
 
 use parking_lot::{Mutex, RwLock, RwLockReadGuard};
-use pmv_obs::{ObsRegistry, Phase};
+use pmv_obs::{HistSnapshot, LatencyHistogram, ObsRegistry, Phase};
 use pmv_query::{Database, DbSnapshot, QueryInstance};
 use pmv_storage::DeltaBatch;
 use pmv_sync::LeftRight;
@@ -77,7 +77,10 @@ use pmv_wal::{CheckpointMeta, Durability, ViewSpec};
 
 use crate::concurrent::SharedPmv;
 use crate::pipeline::QueryOutcome;
+use crate::stats::{AtomicPmvStats, PmvStats};
 use crate::{CoreError, Result};
+
+use std::sync::atomic::Ordering::Relaxed;
 
 /// Type-erased result a commit closure hands back through its slot.
 type ErasedResult = Result<Box<dyn Any + Send>>;
@@ -128,6 +131,12 @@ struct PinEntry {
     db: u64,
     version: usize,
     snap: Arc<DbSnapshot>,
+    /// Cache hits accumulated thread-locally since the last publish to
+    /// the shared counters. Flushed on the next miss (the rare path),
+    /// so a steady-state hit still writes no shared cache line; hits in
+    /// the tail after the final miss go unreported — acceptable for a
+    /// rate statistic.
+    hits: u64,
 }
 
 thread_local! {
@@ -165,6 +174,27 @@ pub struct EpochDb {
     /// the image and its "replay after me" LSN agree exactly; updated
     /// by the combiner (and `with_write`) after each publish.
     durable: Mutex<Option<(Arc<DbSnapshot>, u64)>>,
+    /// Commit-pipeline observability: master-lock wait, combine drain,
+    /// snapshot publish — and, in durable mode, the WAL/checkpoint/
+    /// recovery phases too (the registry is shared with [`Durability`],
+    /// so `wal_append`/`wal_fsync`/`ckpt_write`/`recovery_replay`
+    /// surface through [`EpochDb::obs`] instead of staying orphaned in
+    /// the engine).
+    obs: Arc<ObsRegistry>,
+    /// Group-commit efficacy counters (`commit_batches`,
+    /// `commit_reqs_coalesced`, `maint_passes_saved`) — bumped once per
+    /// combine round, off the serving path.
+    pipeline: AtomicPmvStats,
+    /// Requests drained per combine round (recorded as raw counts, not
+    /// nanoseconds).
+    batch_sizes: LatencyHistogram,
+    /// Queue depth observed by each enqueuer right after pushing.
+    queue_depths: LatencyHistogram,
+    /// TLS pin-cache efficacy. Relaxed orderings throughout:
+    /// "statistics, not synchronization" — flushed hit counts and miss
+    /// tallies carry no happens-before obligation.
+    pin_hits: AtomicU64,
+    pin_misses: AtomicU64,
 }
 
 impl EpochDb {
@@ -183,6 +213,12 @@ impl EpochDb {
             served: AtomicBool::new(false),
             durability: None,
             durable: Mutex::new(None),
+            obs: Arc::new(ObsRegistry::new()),
+            pipeline: AtomicPmvStats::new(),
+            batch_sizes: LatencyHistogram::new(),
+            queue_depths: LatencyHistogram::new(),
+            pin_hits: AtomicU64::new(0),
+            pin_misses: AtomicU64::new(0),
         }
     }
 
@@ -193,6 +229,11 @@ impl EpochDb {
     pub fn with_durability(mut db: Database, durability: Arc<Durability>) -> Self {
         let snap = Arc::new(db.publish_snapshot());
         let lsn = durability.durable_lsn();
+        // Adopt the engine's registry: the WAL/checkpoint/recovery
+        // phases it records and the commit-pipeline phases recorded
+        // here land in one place (satisfying the "metrics reports the
+        // durable path" contract).
+        let obs = Arc::clone(durability.obs());
         EpochDb {
             id: NEXT_DB_ID.fetch_add(1, SeqCst),
             db: RwLock::new(db),
@@ -203,6 +244,12 @@ impl EpochDb {
             served: AtomicBool::new(false),
             durability: Some(durability),
             durable: Mutex::new(Some((snap, lsn))),
+            obs,
+            pipeline: AtomicPmvStats::new(),
+            batch_sizes: LatencyHistogram::new(),
+            queue_depths: LatencyHistogram::new(),
+            pin_hits: AtomicU64::new(0),
+            pin_misses: AtomicU64::new(0),
         }
     }
 
@@ -242,6 +289,8 @@ impl EpochDb {
     /// thread queries again (or exits); on a read-mostly serving tier
     /// that is exactly the pin lifetime readers already have.
     pub fn with_pin<R>(&self, f: impl FnOnce(&DbSnapshot) -> R) -> R {
+        // One relaxed load; when off, the pin path is exactly as before.
+        let track = self.obs.enabled();
         PIN_CACHE.with(|tls| {
             let mut cache = tls.take();
             // Hint is read BEFORE the load below: if a publish lands in
@@ -255,14 +304,28 @@ impl EpochDb {
                     if cache[i].version != hint {
                         cache[i].snap = self.published.load();
                         cache[i].version = hint;
+                        if track {
+                            // The miss is the rare path: publish the
+                            // hits banked since the last one, so hits
+                            // never write a shared cache line.
+                            self.pin_misses.fetch_add(1, Relaxed);
+                            self.pin_hits.fetch_add(cache[i].hits, Relaxed);
+                            cache[i].hits = 0;
+                        }
+                    } else if track {
+                        cache[i].hits += 1;
                     }
                     i
                 }
                 None => {
+                    if track {
+                        self.pin_misses.fetch_add(1, Relaxed);
+                    }
                     cache.push(PinEntry {
                         db: self.id,
                         version: hint,
                         snap: self.published.load(),
+                        hits: 0,
                     });
                     cache.len() - 1
                 }
@@ -299,14 +362,22 @@ impl EpochDb {
         f: impl FnOnce(&mut Database) -> Result<(T, Vec<DeltaBatch>)> + Send + 'static,
     ) -> Result<T> {
         let slot = Arc::new(CommitSlot::default());
-        self.queue.lock().push(CommitReq {
-            apply: Box::new(move |db| {
-                let (out, batches) = f(db)?;
-                Ok((Box::new(out) as Box<dyn Any + Send>, batches))
-            }),
-            views: views.iter().map(|&v| v.clone()).collect(),
-            slot: Arc::clone(&slot),
-        });
+        let track = self.obs.enabled();
+        let depth = {
+            let mut queue = self.queue.lock();
+            queue.push(CommitReq {
+                apply: Box::new(move |db| {
+                    let (out, batches) = f(db)?;
+                    Ok((Box::new(out) as Box<dyn Any + Send>, batches))
+                }),
+                views: views.iter().map(|&v| v.clone()).collect(),
+                slot: Arc::clone(&slot),
+            });
+            queue.len()
+        };
+        if track {
+            self.queue_depths.record_ns(depth as u64);
+        }
         loop {
             // A combiner may have drained our request while we raced
             // for the lock; slots are filled before the lock releases,
@@ -315,7 +386,11 @@ impl EpochDb {
             if slot.done.load(Acquire) {
                 return slot.take();
             }
+            let t_wait = track.then(Instant::now);
             let mut guard = self.db.write();
+            if let Some(t0) = t_wait {
+                self.obs.record(Phase::lock_master_commit, t0.elapsed());
+            }
             if slot.done.load(Acquire) {
                 drop(guard);
                 return slot.take();
@@ -340,16 +415,27 @@ impl EpochDb {
         if reqs.is_empty() {
             return;
         }
-        self.commits.fetch_add(reqs.len() as u64, SeqCst);
+        let track = self.obs.enabled();
+        let t_drain = track.then(Instant::now);
+        let batch = reqs.len() as u64;
+        self.commits.fetch_add(batch, SeqCst);
         self.combines.fetch_add(1, SeqCst);
+        if track {
+            self.batch_sizes.record_ns(batch);
+        }
         let mut applied: Vec<(Arc<CommitSlot>, Box<dyn Any + Send>)> =
             Vec::with_capacity(reqs.len());
         let mut batches: Vec<DeltaBatch> = Vec::new();
         let mut views: Vec<SharedPmv> = Vec::new();
+        // View registrations across applied requests, before batch
+        // dedup — `view_slots - views.len()` is the maintenance passes
+        // the coalescing saved.
+        let mut view_slots = 0u64;
         for req in reqs {
             match (req.apply)(db) {
                 Ok((out, mut b)) => {
                     batches.append(&mut b);
+                    view_slots += req.views.len() as u64;
                     for v in req.views {
                         if !views.iter().any(|w| w.same_view(&v)) {
                             views.push(v);
@@ -363,6 +449,12 @@ impl EpochDb {
                 Err(e) => req.slot.fill(Err(e)),
             }
         }
+        self.pipeline.add(&PmvStats {
+            commit_batches: 1,
+            commit_reqs_coalesced: batch - 1,
+            maint_passes_saved: view_slots - views.len() as u64,
+            ..Default::default()
+        });
         // Durable-before-visible: one WAL record for the whole round,
         // fsynced before any maintenance or publish. On failure the
         // round's deltas are rolled back (exact inverses, in reverse
@@ -384,6 +476,9 @@ impl EpochDb {
                             "WAL append failed; round rolled back, not published: {e}"
                         ))));
                     }
+                    if let Some(t0) = t_drain {
+                        self.obs.record(Phase::commit_drain, t0.elapsed());
+                    }
                     return;
                 }
             }
@@ -397,8 +492,12 @@ impl EpochDb {
         }
         match failure {
             None => {
+                let t_pub = track.then(Instant::now);
                 let snap = Arc::new(db.publish_snapshot());
                 self.published.publish(Arc::clone(&snap));
+                if let Some(t0) = t_pub {
+                    self.obs.record(Phase::snapshot_publish, t0.elapsed());
+                }
                 if let Some(dur) = &self.durability {
                     // Safe to read here: all appends happen under the
                     // write lock this combiner holds, so durable_lsn is
@@ -420,12 +519,77 @@ impl EpochDb {
                 }
             }
         }
+        if let Some(t0) = t_drain {
+            self.obs.record(Phase::commit_drain, t0.elapsed());
+        }
     }
 
     /// Transactions committed and combine rounds run so far. The ratio
     /// `commits / combines` is the achieved group-commit batch size.
     pub fn commit_counts(&self) -> (u64, u64) {
         (self.commits.load(SeqCst), self.combines.load(SeqCst))
+    }
+
+    /// This database's observability registry: commit-pipeline phases
+    /// (`lock_master_commit`, `commit_drain`, `snapshot_publish`), and
+    /// in durable mode the WAL/checkpoint/recovery phases the
+    /// [`Durability`] engine records into the same registry.
+    pub fn obs(&self) -> &Arc<ObsRegistry> {
+        &self.obs
+    }
+
+    /// Group-commit efficacy counters (`commit_batches`,
+    /// `commit_reqs_coalesced`, `maint_passes_saved`; other fields
+    /// zero).
+    pub fn pipeline_stats(&self) -> PmvStats {
+        self.pipeline.snapshot()
+    }
+
+    /// Requests-per-combine-round distribution (raw counts recorded on
+    /// the nanosecond scale: `count()` is rounds, `mean()`'s nanosecond
+    /// reading is the mean batch size).
+    pub fn batch_size_hist(&self) -> HistSnapshot {
+        self.batch_sizes.snapshot()
+    }
+
+    /// Queue depth seen by each enqueuer right after pushing (raw
+    /// counts, same convention as [`EpochDb::batch_size_hist`]).
+    pub fn queue_depth_hist(&self) -> HistSnapshot {
+        self.queue_depths.snapshot()
+    }
+
+    /// TLS pin-cache `(hits, misses)` published so far. Hits are banked
+    /// thread-locally and flushed on each miss, so the hit count trails
+    /// reality by at most one thread's current streak.
+    pub fn pin_cache_counts(&self) -> (u64, u64) {
+        (self.pin_hits.load(Relaxed), self.pin_misses.load(Relaxed))
+    }
+
+    /// Incremental snapshot-publish accounting from the underlying
+    /// database: publishes, relation entries re-captured (dirty) versus
+    /// reused (pointer-shared) — the SnapCache reuse ratio.
+    pub fn snap_stats(&self) -> pmv_query::SnapStats {
+        self.db.read().snap_stats()
+    }
+
+    /// Pin-cache hit rate in `[0, 1]` (0 before any pin is published).
+    pub fn pin_cache_hit_rate(&self) -> f64 {
+        let (hits, misses) = self.pin_cache_counts();
+        match hits + misses {
+            0 => 0.0,
+            n => hits as f64 / n as f64,
+        }
+    }
+
+    /// Zero the pipeline series (bench warm-up resets): pipeline
+    /// counters, batch/queue histograms, and pin-cache tallies.
+    /// `commits`/`combines` and the durable mark are untouched.
+    pub fn reset_pipeline_obs(&self) {
+        self.pipeline.reset();
+        self.batch_sizes.reset();
+        self.queue_depths.reset();
+        self.pin_hits.store(0, Relaxed);
+        self.pin_misses.store(0, Relaxed);
     }
 
     /// Exclusive setup access (schema, bulk loads, index builds) with a
@@ -507,7 +671,11 @@ impl EpochDb {
         if !self.served.load(Acquire) {
             self.served.store(true, Release);
         }
-        if pmv.obs().enabled() {
+        // One atomic load when no flight recorder is attached; otherwise
+        // time the whole call so the anomaly check below sees end-to-end
+        // latency including the pin revalidation.
+        let t_flight = pmv.flight_attached().then(Instant::now);
+        let out = if pmv.obs().enabled() {
             let t0 = Instant::now();
             self.with_pin(|snap| {
                 pmv.obs().record(Phase::epoch_pin, t0.elapsed());
@@ -515,7 +683,14 @@ impl EpochDb {
             })
         } else {
             self.with_pin(|snap| pmv.run_pinned(snap, q))
+        };
+        // Anomaly check OUTSIDE the pin region: a flight dump locks the
+        // trace ring and writes to the spool sink, neither of which may
+        // happen while a snapshot is pinned (`lock_in_pin_region`).
+        if let (Some(t0), Ok(outcome)) = (&t_flight, &out) {
+            pmv.flight_check(outcome, t0.elapsed());
         }
+        out
     }
 
     /// Epoch (database version) of the currently published snapshot.

@@ -68,6 +68,17 @@ macro_rules! for_each_stat_field {
             [transient] maint_fallbacks,
             /// Revalidation sweeps completed (each lifts quarantine).
             [keep] revalidations,
+            /// Group-commit batches drained by a combiner (one per
+            /// master-lock acquisition that found work).
+            [keep] commit_batches,
+            /// Commit requests that rode a batch another thread drained
+            /// (batch size minus the winner, summed) — the flat-combining
+            /// win over one-lock-per-commit.
+            [keep] commit_reqs_coalesced,
+            /// Maintenance passes avoided because a batch deduplicated
+            /// registrations of the same view (slots − distinct views,
+            /// summed per batch).
+            [keep] maint_passes_saved,
         }
     };
 }
@@ -236,7 +247,7 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), n);
-        assert_eq!(n, 20);
+        assert_eq!(n, 23);
     }
 
     #[test]

@@ -85,10 +85,14 @@ pub enum Site {
     CkptWrite,
     /// The checkpoint's atomic rename (`Dio::rename`).
     CkptRename,
+    /// Flight-recorder spool dump write (`DiskSpool` in `pmv-wal`).
+    /// Disk site: a failed dump is dropped, never surfaced to the
+    /// serving path.
+    SpoolWrite,
 }
 
 /// All sites, for iteration and per-site counters.
-pub const ALL_SITES: [Site; 13] = [
+pub const ALL_SITES: [Site; 14] = [
     Site::StorageRead,
     Site::IndexProbe,
     Site::ExecStart,
@@ -102,6 +106,7 @@ pub const ALL_SITES: [Site; 13] = [
     Site::WalTruncate,
     Site::CkptWrite,
     Site::CkptRename,
+    Site::SpoolWrite,
 ];
 
 impl Site {
@@ -120,6 +125,7 @@ impl Site {
             Site::WalTruncate => 10,
             Site::CkptWrite => 11,
             Site::CkptRename => 12,
+            Site::SpoolWrite => 13,
         }
     }
 
@@ -141,6 +147,7 @@ impl Site {
             Site::WalTruncate => "wal.truncate",
             Site::CkptWrite => "ckpt.write",
             Site::CkptRename => "ckpt.rename",
+            Site::SpoolWrite => "spool.write",
         }
     }
 

@@ -1,0 +1,388 @@
+//! Per-template workload accounting — the advisor's future input.
+//!
+//! The paper's view-selection problem (and the multi-query-optimization
+//! line of work it builds on) needs *observed* per-template statistics:
+//! how often each template is asked, how often the cache answers (O2
+//! hit / partial / miss), how fast first results arrive, what O3 scans,
+//! and what maintenance costs to keep the template's view fresh.
+//! [`AccountTable`] is that table: one [`TemplateAccount`] per template
+//! id, registered once (cold path, behind an `RwLock<HashMap>`) and
+//! thereafter recorded into lock-free.
+//!
+//! Every atomic here is statistics, not synchronization — relaxed
+//! `fetch_add`s exactly like `pmv_core::stats::AtomicPmvStats`: no
+//! reader derives a happens-before edge from them, a snapshot taken
+//! while writers are active may mix adjacent updates, and totals are
+//! exact once writers quiesce. [`AccountSnapshot::merge`] is plain
+//! field-wise addition (histograms merge bucket-wise), so per-thread
+//! recording folds to the same result as serial recording — the
+//! property the concurrent-merge proptest pins.
+//!
+//! The recording path is *not* gated here: callers gate on
+//! `ObsRegistry::enabled()` so the disabled serving path stays a single
+//! relaxed atomic load, the same contract as `ObsRegistry::record`.
+
+use crate::hist::{HistSnapshot, LatencyHistogram};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// How O2 answered one query, classified the way the paper counts
+/// cache efficacy: a `Hit` means a probed bcp was resident (the paper's
+/// hit probability numerator), `Partial` means tuples were served
+/// without a resident bcp (probationary / partially filled cache), and
+/// `Miss` means the cache contributed nothing before O3.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum O2Outcome {
+    /// A probed bcp was resident; partials served from the view.
+    Hit,
+    /// Tuples served without a full bcp hit.
+    Partial,
+    /// Nothing served from the cache.
+    Miss,
+}
+
+/// Lock-free accounting cell for one template: counters and latency
+/// histograms bumped on the serving path, a maintenance-cost pair
+/// bumped by the maintenance path, and a bytes-resident gauge refreshed
+/// at export time (sizing a store is too heavy for the hot path).
+#[derive(Debug, Default)]
+pub struct TemplateAccount {
+    queries: AtomicU64,
+    o2_hit: AtomicU64,
+    o2_partial: AtomicU64,
+    o2_miss: AtomicU64,
+    o3_rows_scanned: AtomicU64,
+    maint_join_ns: AtomicU64,
+    maint_join_rows: AtomicU64,
+    bytes_resident: AtomicU64,
+    ttfr: LatencyHistogram,
+    full: LatencyHistogram,
+}
+
+impl TemplateAccount {
+    /// Fresh zeroed account.
+    pub fn new() -> Self {
+        TemplateAccount::default()
+    }
+
+    /// Record one served query: O2 outcome, the TTFR and full-latency
+    /// points, and how many tuples O3 examined. Wait-free (relaxed
+    /// `fetch_add`s only).
+    #[inline]
+    pub fn record_query(&self, outcome: O2Outcome, ttfr: Duration, full: Duration, o3_rows: u64) {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        match outcome {
+            O2Outcome::Hit => &self.o2_hit,
+            O2Outcome::Partial => &self.o2_partial,
+            O2Outcome::Miss => &self.o2_miss,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        self.o3_rows_scanned.fetch_add(o3_rows, Ordering::Relaxed);
+        self.ttfr.record(ttfr);
+        self.full.record(full);
+    }
+
+    /// Record one maintenance join on this template's view: the ΔR ⋈ R
+    /// cost in wall time and rows produced.
+    #[inline]
+    pub fn record_maintenance(&self, join: Duration, join_rows: u64) {
+        self.maint_join_ns.fetch_add(
+            join.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+        self.maint_join_rows.fetch_add(join_rows, Ordering::Relaxed);
+    }
+
+    /// Refresh the bytes-resident gauge (export-time, not per query).
+    pub fn set_bytes_resident(&self, bytes: u64) {
+        self.bytes_resident.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Point-in-time plain copy (may mix adjacent updates while writers
+    /// are active; exact once they quiesce).
+    pub fn snapshot(&self) -> AccountSnapshot {
+        AccountSnapshot {
+            queries: self.queries.load(Ordering::Relaxed),
+            o2_hit: self.o2_hit.load(Ordering::Relaxed),
+            o2_partial: self.o2_partial.load(Ordering::Relaxed),
+            o2_miss: self.o2_miss.load(Ordering::Relaxed),
+            o3_rows_scanned: self.o3_rows_scanned.load(Ordering::Relaxed),
+            maint_join_ns: self.maint_join_ns.load(Ordering::Relaxed),
+            maint_join_rows: self.maint_join_rows.load(Ordering::Relaxed),
+            bytes_resident: self.bytes_resident.load(Ordering::Relaxed),
+            ttfr: self.ttfr.snapshot(),
+            full: self.full.snapshot(),
+        }
+    }
+
+    /// Zero every series (bench warm-up resets).
+    pub fn reset(&self) {
+        self.queries.store(0, Ordering::Relaxed);
+        self.o2_hit.store(0, Ordering::Relaxed);
+        self.o2_partial.store(0, Ordering::Relaxed);
+        self.o2_miss.store(0, Ordering::Relaxed);
+        self.o3_rows_scanned.store(0, Ordering::Relaxed);
+        self.maint_join_ns.store(0, Ordering::Relaxed);
+        self.maint_join_rows.store(0, Ordering::Relaxed);
+        self.bytes_resident.store(0, Ordering::Relaxed);
+        self.ttfr.reset();
+        self.full.reset();
+    }
+}
+
+/// Plain mergeable image of a [`TemplateAccount`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct AccountSnapshot {
+    /// Queries recorded against this template.
+    pub queries: u64,
+    /// Queries whose probed bcp was resident.
+    pub o2_hit: u64,
+    /// Queries served partial tuples without a resident bcp.
+    pub o2_partial: u64,
+    /// Queries the cache contributed nothing to.
+    pub o2_miss: u64,
+    /// Cumulative tuples examined by O3 executions.
+    pub o3_rows_scanned: u64,
+    /// Cumulative ΔR ⋈ R maintenance join wall time, nanoseconds.
+    pub maint_join_ns: u64,
+    /// Cumulative maintenance join output rows.
+    pub maint_join_rows: u64,
+    /// Bytes resident in the template's view store (gauge; `max` on
+    /// merge since per-thread images observe the same store).
+    pub bytes_resident: u64,
+    /// Time-to-first-result distribution.
+    pub ttfr: HistSnapshot,
+    /// Full-result latency distribution.
+    pub full: HistSnapshot,
+}
+
+impl AccountSnapshot {
+    /// Fold another snapshot into this one. Counter addition and
+    /// bucket-wise histogram merge are exactly associative and
+    /// commutative, so N per-thread images fold to the serial oracle.
+    pub fn merge(&mut self, other: &AccountSnapshot) {
+        self.queries += other.queries;
+        self.o2_hit += other.o2_hit;
+        self.o2_partial += other.o2_partial;
+        self.o2_miss += other.o2_miss;
+        self.o3_rows_scanned += other.o3_rows_scanned;
+        self.maint_join_ns = self.maint_join_ns.saturating_add(other.maint_join_ns);
+        self.maint_join_rows += other.maint_join_rows;
+        self.bytes_resident = self.bytes_resident.max(other.bytes_resident);
+        self.ttfr.merge(&other.ttfr);
+        self.full.merge(&other.full);
+    }
+
+    /// O2 hit rate in `[0, 1]` (0 when no queries).
+    pub fn hit_rate(&self) -> f64 {
+        match self.queries {
+            0 => 0.0,
+            n => self.o2_hit as f64 / n as f64,
+        }
+    }
+
+    /// Scalar cost score used to rank templates in the profile report:
+    /// total serving wall time plus maintenance join time, nanoseconds.
+    /// "Where did the machine's time go, per template" — the quantity
+    /// the advisor trades off against benefit.
+    pub fn cost_score_ns(&self) -> u64 {
+        self.full.sum_ns().saturating_add(self.maint_join_ns)
+    }
+
+    /// Hand-rolled JSON object (the serde_json shim has no serializer).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"queries\":{},\"o2_hit\":{},\"o2_partial\":{},\"o2_miss\":{},\
+             \"hit_rate\":{:.4},\"o3_rows_scanned\":{},\"maint_join_us\":{},\
+             \"maint_join_rows\":{},\"bytes_resident\":{},\
+             \"ttfr\":{},\"full\":{}}}",
+            self.queries,
+            self.o2_hit,
+            self.o2_partial,
+            self.o2_miss,
+            self.hit_rate(),
+            self.o3_rows_scanned,
+            self.maint_join_ns / 1_000,
+            self.maint_join_rows,
+            self.bytes_resident,
+            crate::export::phase_json(&self.ttfr),
+            crate::export::phase_json(&self.full),
+        )
+    }
+
+    /// Counter pairs for `ViewMetrics`-style export.
+    pub fn as_pairs(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("acct_queries", self.queries),
+            ("acct_o2_hit", self.o2_hit),
+            ("acct_o2_partial", self.o2_partial),
+            ("acct_o2_miss", self.o2_miss),
+            ("acct_o3_rows_scanned", self.o3_rows_scanned),
+            ("acct_maint_join_us", self.maint_join_ns / 1_000),
+            ("acct_maint_join_rows", self.maint_join_rows),
+        ]
+    }
+}
+
+/// The per-template table: template id → [`TemplateAccount`].
+/// Registration is the cold path (template creation); recording goes
+/// through the returned `Arc` and never touches the map again.
+#[derive(Debug, Default)]
+pub struct AccountTable {
+    map: RwLock<HashMap<Arc<str>, Arc<TemplateAccount>>>,
+}
+
+impl AccountTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        AccountTable::default()
+    }
+
+    /// Account for `template`, creating it on first sight. Idempotent:
+    /// every caller registering the same id gets the same cell, so
+    /// concurrent registration never splits a template's statistics.
+    pub fn register(&self, template: &Arc<str>) -> Arc<TemplateAccount> {
+        if let Some(acct) = self
+            .map
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(template)
+        {
+            return Arc::clone(acct);
+        }
+        let mut map = self.map.write().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            map.entry(Arc::clone(template))
+                .or_insert_with(|| Arc::new(TemplateAccount::new())),
+        )
+    }
+
+    /// Look up without creating.
+    pub fn get(&self, template: &str) -> Option<Arc<TemplateAccount>> {
+        self.map
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(template)
+            .map(Arc::clone)
+    }
+
+    /// Registered template ids, sorted.
+    pub fn templates(&self) -> Vec<Arc<str>> {
+        let mut names: Vec<Arc<str>> = self
+            .map
+            .read()
+            .unwrap_or_else(|e| e.into_inner())
+            .keys()
+            .cloned()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Snapshot every account, sorted by template id.
+    pub fn snapshot_all(&self) -> Vec<(Arc<str>, AccountSnapshot)> {
+        let map = self.map.read().unwrap_or_else(|e| e.into_inner());
+        let mut rows: Vec<(Arc<str>, AccountSnapshot)> = map
+            .iter()
+            .map(|(name, acct)| (Arc::clone(name), acct.snapshot()))
+            .collect();
+        drop(map);
+        rows.sort_by(|a, b| a.0.cmp(&b.0));
+        rows
+    }
+
+    /// The whole table as one JSON object keyed by template id.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for (i, (name, snap)) in self.snapshot_all().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{}",
+                crate::trace::esc(name),
+                snap.to_json()
+            ));
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_idempotent_and_recording_accumulates() {
+        let table = AccountTable::new();
+        let t: Arc<str> = Arc::from("t1");
+        let a = table.register(&t);
+        let b = table.register(&t);
+        assert!(Arc::ptr_eq(&a, &b));
+        a.record_query(
+            O2Outcome::Hit,
+            Duration::from_micros(80),
+            Duration::from_micros(900),
+            42,
+        );
+        b.record_query(
+            O2Outcome::Miss,
+            Duration::from_micros(500),
+            Duration::from_micros(2_000),
+            100,
+        );
+        a.record_maintenance(Duration::from_micros(30), 7);
+        a.set_bytes_resident(4_096);
+        let s = table.get("t1").unwrap().snapshot();
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.o2_hit, 1);
+        assert_eq!(s.o2_miss, 1);
+        assert_eq!(s.o3_rows_scanned, 142);
+        assert_eq!(s.maint_join_rows, 7);
+        assert_eq!(s.bytes_resident, 4_096);
+        assert_eq!(s.ttfr.count(), 2);
+        assert_eq!(s.hit_rate(), 0.5);
+        assert!(table.get("absent").is_none());
+    }
+
+    #[test]
+    fn snapshot_all_is_sorted_and_json_balanced() {
+        let table = AccountTable::new();
+        for name in ["zeta", "alpha", "mid"] {
+            table.register(&Arc::from(name));
+        }
+        let rows = table.snapshot_all();
+        let names: Vec<&str> = rows.iter().map(|(n, _)| &**n).collect();
+        assert_eq!(names, ["alpha", "mid", "zeta"]);
+        let j = table.to_json();
+        assert!(j.contains("\"alpha\":{"), "{j}");
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn merge_of_thread_snapshots_matches_serial() {
+        let a = TemplateAccount::new();
+        let b = TemplateAccount::new();
+        let serial = TemplateAccount::new();
+        for (acct, us) in [(&a, 100u64), (&b, 300)] {
+            acct.record_query(
+                O2Outcome::Partial,
+                Duration::from_micros(us),
+                Duration::from_micros(us * 4),
+                us,
+            );
+            serial.record_query(
+                O2Outcome::Partial,
+                Duration::from_micros(us),
+                Duration::from_micros(us * 4),
+                us,
+            );
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, serial.snapshot());
+    }
+}

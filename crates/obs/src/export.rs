@@ -43,7 +43,12 @@ pub struct ViewMetrics {
 pub fn to_prometheus(views: &[ViewMetrics]) -> String {
     let mut out = String::with_capacity(4096);
 
-    out.push_str("# TYPE pmv_view_health gauge\n");
+    head(
+        &mut out,
+        "pmv_view_health",
+        "gauge",
+        "Breaker health state of each view (1 for the labelled state)",
+    );
     for v in views {
         let _ = writeln!(
             out,
@@ -52,7 +57,12 @@ pub fn to_prometheus(views: &[ViewMetrics]) -> String {
             esc(&v.health)
         );
     }
-    out.push_str("# TYPE pmv_view_error_rate gauge\n");
+    head(
+        &mut out,
+        "pmv_view_error_rate",
+        "gauge",
+        "Windowed circuit-breaker error rate per view, in [0, 1]",
+    );
     for v in views {
         let _ = writeln!(
             out,
@@ -61,7 +71,12 @@ pub fn to_prometheus(views: &[ViewMetrics]) -> String {
             fmt_f64(v.error_rate)
         );
     }
-    out.push_str("# TYPE pmv_view_breaker_trips_total counter\n");
+    head(
+        &mut out,
+        "pmv_view_breaker_trips_total",
+        "counter",
+        "Circuit-breaker trips per view",
+    );
     for v in views {
         let _ = writeln!(
             out,
@@ -70,7 +85,12 @@ pub fn to_prometheus(views: &[ViewMetrics]) -> String {
             v.trips
         );
     }
-    out.push_str("# TYPE pmv_view_last_verified_age_ms gauge\n");
+    head(
+        &mut out,
+        "pmv_view_last_verified_age_ms",
+        "gauge",
+        "Milliseconds since the view was last verified consistent (staleness age)",
+    );
     for v in views {
         let _ = writeln!(
             out,
@@ -80,7 +100,8 @@ pub fn to_prometheus(views: &[ViewMetrics]) -> String {
         );
     }
 
-    // Counters: one TYPE line per metric name, then every view's sample.
+    // Counters: one HELP/TYPE pair per metric name, then every view's
+    // sample.
     let mut counter_names: Vec<&'static str> = Vec::new();
     for v in views {
         for &(name, _) in &v.counters {
@@ -90,6 +111,10 @@ pub fn to_prometheus(views: &[ViewMetrics]) -> String {
         }
     }
     for name in counter_names {
+        let _ = writeln!(
+            out,
+            "# HELP pmv_{name}_total PMV serving-path counter '{name}' (see DESIGN.md)"
+        );
         let _ = writeln!(out, "# TYPE pmv_{name}_total counter");
         for v in views {
             if let Some(&(_, value)) = v.counters.iter().find(|(n, _)| *n == name) {
@@ -107,6 +132,10 @@ pub fn to_prometheus(views: &[ViewMetrics]) -> String {
         }
     }
     for name in gauge_names {
+        let _ = writeln!(
+            out,
+            "# HELP pmv_{name} PMV derived gauge '{name}' (see DESIGN.md)"
+        );
         let _ = writeln!(out, "# TYPE pmv_{name} gauge");
         for v in views {
             if let Some(&(_, value)) = v.gauges.iter().find(|(n, _)| *n == name) {
@@ -121,7 +150,12 @@ pub fn to_prometheus(views: &[ViewMetrics]) -> String {
     }
 
     // Phase latencies as a summary per (view, phase).
-    out.push_str("# TYPE pmv_phase_latency_seconds summary\n");
+    head(
+        &mut out,
+        "pmv_phase_latency_seconds",
+        "summary",
+        "Serving-path phase latency quantiles per view",
+    );
     for v in views {
         let view = esc(&v.name);
         for (phase, snap) in &v.phases {
@@ -144,7 +178,12 @@ pub fn to_prometheus(views: &[ViewMetrics]) -> String {
             );
         }
     }
-    out.push_str("# TYPE pmv_phase_latency_seconds_max gauge\n");
+    head(
+        &mut out,
+        "pmv_phase_latency_seconds_max",
+        "gauge",
+        "Exact maximum phase latency per view",
+    );
     for v in views {
         let view = esc(&v.name);
         for (phase, snap) in &v.phases {
@@ -215,6 +254,14 @@ pub fn phase_json(snap: &HistSnapshot) -> String {
         snap.quantile(0.99).as_micros(),
         snap.max().as_micros()
     )
+}
+
+/// Emit the `# HELP`/`# TYPE` header pair for one metric family. The
+/// exposition format requires HELP before TYPE and both before any
+/// sample of the family.
+fn head(out: &mut String, family: &str, kind: &str, help: &str) {
+    let _ = writeln!(out, "# HELP {family} {help}");
+    let _ = writeln!(out, "# TYPE {family} {kind}");
 }
 
 /// `f64` rendering that is always valid JSON/Prometheus: finite values

@@ -9,6 +9,12 @@
 //! * [`trace`] — a bounded ring-buffer recorder of per-query lifecycle
 //!   events with a drop-publishing [`TraceScope`] span API.
 //! * [`export`] — Prometheus text format and hand-rolled JSON snapshots.
+//! * [`account`] — lock-free per-template workload accounting (the
+//!   advisor's observed-statistics input).
+//! * [`spool`] — anomaly-triggered flight recorder over a pluggable
+//!   [`spool::SpoolSink`] (the disk sink lives in `pmv-wal`).
+//! * [`profile`] — the `pmv-profile` report model: contention ranking,
+//!   template cost ranking, pipeline stage breakdown.
 //!
 //! [`ObsRegistry`] ties them together: one histogram per serving-path
 //! [`Phase`], one trace ring, and one `enabled` switch. The switch is a
@@ -25,12 +31,18 @@
 //! on revalidation, `[keep]` histograms (the paper-facing latency
 //! series) survive.
 
+pub mod account;
 pub mod export;
 pub mod hist;
+pub mod profile;
+pub mod spool;
 pub mod trace;
 
+pub use account::{AccountSnapshot, AccountTable, O2Outcome, TemplateAccount};
 pub use export::{phase_json, to_json, to_prometheus, ViewMetrics};
 pub use hist::{bucket_bounds, bucket_of, HistSnapshot, LatencyHistogram, BUCKETS};
+pub use profile::{ContentionSite, PipelineStage, ProfileReport, TemplateCost};
+pub use spool::{FlightRecorder, MemSink, SpoolSink, TriggerReason};
 pub use trace::{EventKind, QueryTrace, TraceEvent, TraceKind, TraceRecorder, TraceScope};
 
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -60,6 +72,12 @@ macro_rules! for_each_phase {
             [keep] wal_fsync,
             [keep] ckpt_write,
             [keep] recovery_replay,
+            [keep] lock_shard_probe,
+            [keep] lock_shard_fill,
+            [keep] lock_shard_maint,
+            [keep] lock_master_commit,
+            [keep] commit_drain,
+            [keep] snapshot_publish,
             [transient] degraded,
         }
     };
@@ -251,11 +269,13 @@ mod tests {
         assert!(names.contains(&"degraded"));
         assert!(names.contains(&"wal_append"));
         assert!(names.contains(&"recovery_replay"));
+        assert!(names.contains(&"lock_master_commit"));
+        assert!(names.contains(&"snapshot_publish"));
         let n = names.len();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), n);
-        assert_eq!(n, 15);
+        assert_eq!(n, 21);
     }
 
     #[test]

@@ -478,9 +478,15 @@ impl Drop for TraceScope<'_> {
     }
 }
 
-/// Minimal JSON string escaping (same as `VerifyReport::to_json`).
+/// Minimal string escaping shared by the JSON and Prometheus renderers.
+/// `\`, `"`, and newline become two-character escapes — the exact set
+/// the Prometheus text exposition format requires inside label values,
+/// and a subset of legal JSON string escapes, so one function serves
+/// both outputs.
 pub(crate) fn esc(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 #[cfg(test)]

@@ -1,0 +1,134 @@
+//! Property tests for the per-template accounting table: N threads
+//! recording a partitioned workload into one shared [`AccountTable`]
+//! must produce exactly the table a serial oracle produces from the
+//! same records — the merge/addition laws (relaxed counters, bucket-wise
+//! histogram merge) make concurrent accounting lossless once writers
+//! quiesce.
+
+use pmv_obs::account::{AccountTable, O2Outcome, TemplateAccount};
+use proptest::collection::vec as prop_vec;
+use proptest::prelude::*;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One accounting record, small enough to generate by the hundreds.
+#[derive(Clone, Debug)]
+struct Rec {
+    template: u8,
+    outcome: O2Outcome,
+    ttfr_us: u64,
+    full_us: u64,
+    o3_rows: u64,
+    maint_us: u64,
+    maint_rows: u64,
+}
+
+fn rec_strategy() -> impl Strategy<Value = Rec> {
+    (
+        (0u8..4, 0u8..3),
+        (1u64..50_000, 1u64..500_000, 0u64..10_000),
+        (0u64..5_000, 0u64..1_000),
+    )
+        .prop_map(
+            |((template, oc), (ttfr_us, full_us, o3_rows), (maint_us, maint_rows))| Rec {
+                template,
+                outcome: match oc {
+                    0 => O2Outcome::Hit,
+                    1 => O2Outcome::Partial,
+                    _ => O2Outcome::Miss,
+                },
+                ttfr_us,
+                full_us,
+                o3_rows,
+                maint_us,
+                maint_rows,
+            },
+        )
+}
+
+fn apply(acct: &TemplateAccount, r: &Rec) {
+    acct.record_query(
+        r.outcome,
+        Duration::from_micros(r.ttfr_us),
+        Duration::from_micros(r.full_us),
+        r.o3_rows,
+    );
+    if r.maint_us > 0 || r.maint_rows > 0 {
+        acct.record_maintenance(Duration::from_micros(r.maint_us), r.maint_rows);
+    }
+}
+
+fn template_name(id: u8) -> Arc<str> {
+    Arc::from(format!("template_{id}"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Concurrent recording (4 threads, interleaved registration and
+    /// recording, shared template ids) equals the serial oracle.
+    #[test]
+    fn concurrent_table_matches_serial_oracle(
+        recs in prop_vec(rec_strategy(), 1..200),
+    ) {
+        // Serial oracle: one thread, one table, in order.
+        let oracle = AccountTable::new();
+        for r in &recs {
+            apply(&oracle.register(&template_name(r.template)), r);
+        }
+
+        // Concurrent run: round-robin partition across 4 threads. Each
+        // thread re-registers its templates (registration must be
+        // idempotent under contention or statistics would split).
+        let table = Arc::new(AccountTable::new());
+        let mut handles = Vec::new();
+        for t in 0..4usize {
+            let table = Arc::clone(&table);
+            let part: Vec<Rec> = recs
+                .iter()
+                .skip(t)
+                .step_by(4)
+                .cloned()
+                .collect();
+            handles.push(std::thread::spawn(move || {
+                for r in &part {
+                    apply(&table.register(&template_name(r.template)), r);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let got = table.snapshot_all();
+        let want = oracle.snapshot_all();
+        prop_assert_eq!(got.len(), want.len());
+        for ((gn, gs), (wn, ws)) in got.iter().zip(want.iter()) {
+            prop_assert_eq!(gn, wn);
+            prop_assert_eq!(gs, ws, "template {}", gn);
+        }
+    }
+
+    /// Per-thread private accounts merged via `AccountSnapshot::merge`
+    /// equal one shared account fed everything (the fold law the bench
+    /// relies on when aggregating worker-local accounts).
+    #[test]
+    fn merged_thread_snapshots_match_shared_account(
+        recs in prop_vec(rec_strategy(), 1..200),
+    ) {
+        let shared = TemplateAccount::new();
+        for r in &recs {
+            apply(&shared, r);
+        }
+
+        let mut merged = pmv_obs::AccountSnapshot::default();
+        for t in 0..4usize {
+            let local = TemplateAccount::new();
+            for r in recs.iter().skip(t).step_by(4) {
+                apply(&local, r);
+            }
+            merged.merge(&local.snapshot());
+        }
+        prop_assert_eq!(merged, shared.snapshot());
+    }
+}

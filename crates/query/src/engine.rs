@@ -46,6 +46,39 @@ pub struct Database {
     /// The incrementally-maintained snapshot cache (see
     /// [`Database::publish_snapshot`]).
     snap_cache: Option<SnapCache>,
+    /// Cumulative refresh accounting for the incremental publish path
+    /// (plain counters — `publish_snapshot` takes `&mut self`).
+    snap_stats: SnapStats,
+}
+
+/// Accounting for [`Database::publish_snapshot`]: how much of each
+/// publish was served from the previous snapshot's entries versus
+/// re-captured. The reuse ratio is the incremental-publish win the
+/// profiler reports alongside the commit-pipeline phases.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SnapStats {
+    /// `publish_snapshot` calls, including the cold first publish.
+    pub publishes: u64,
+    /// Relation entries re-captured because their mutation counter
+    /// moved since the previous publish (plus every entry of the cold
+    /// first publish).
+    pub recaptured: u64,
+    /// Relation entries reused verbatim (pointer-shared) from the
+    /// previous publish.
+    pub reused: u64,
+}
+
+impl SnapStats {
+    /// Fraction of relation entries reused across all publishes so far
+    /// (`0.0` before anything was published).
+    pub fn reuse_ratio(&self) -> f64 {
+        let total = self.reused + self.recaptured;
+        if total == 0 {
+            0.0
+        } else {
+            self.reused as f64 / total as f64
+        }
+    }
 }
 
 /// State carried between [`Database::publish_snapshot`] calls so each
@@ -132,25 +165,33 @@ impl Database {
     /// commit touching one relation out of hundreds republishes in a
     /// few pointer writes.
     pub fn publish_snapshot(&mut self) -> DbSnapshot {
-        let cache = match self.snap_cache.take() {
-            Some(c) => c,
+        self.snap_stats.publishes += 1;
+        let (cache, cold) = match self.snap_cache.take() {
+            Some(c) => (c, false),
             None => {
                 let full = self.snapshot();
-                SnapCache {
+                self.snap_stats.recaptured += full.relations_arc().len() as u64;
+                let cache = SnapCache {
                     relations: Arc::clone(full.relations_arc()),
                     captured: self.rel_versions.clone(),
                     indexes: Arc::clone(full.indexes_arc()),
                     index_version: self.index_version,
-                }
+                };
+                (cache, true)
             }
         };
         let mut cache = cache;
         for (name, v) in &self.rel_versions {
             if cache.captured.get(name) != Some(v) {
+                self.snap_stats.recaptured += 1;
                 if let Ok(handle) = self.catalog.relation(name) {
                     Arc::make_mut(&mut cache.relations)
                         .insert(name.clone(), relation_snapshot(&handle));
                 }
+            } else if !cold {
+                // The cold publish captured everything above; only warm
+                // publishes get credit for pointer reuse.
+                self.snap_stats.reused += 1;
             }
         }
         cache.captured.clone_from(&self.rel_versions);
@@ -166,6 +207,12 @@ impl Database {
         );
         self.snap_cache = Some(cache);
         snap
+    }
+
+    /// Refresh accounting for the incremental publish path: snapshots
+    /// published, relation entries re-captured, entries reused.
+    pub fn snap_stats(&self) -> SnapStats {
+        self.snap_stats
     }
 
     /// Handle to a relation.

@@ -34,7 +34,7 @@ pub mod txn;
 
 pub use condition::{Condition, Interval};
 pub use dbview::{DataView, DbSnapshot};
-pub use engine::Database;
+pub use engine::{Database, SnapStats};
 pub use exec::{
     execute, execute_bounded, execute_bounded_arc, execute_scan, explain, ExecBudget, ExecStats,
 };

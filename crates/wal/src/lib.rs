@@ -33,8 +33,10 @@ pub mod checkpoint;
 pub mod codec;
 pub mod dio;
 pub mod record;
+pub mod spool;
 
 pub use checkpoint::{CheckpointMeta, ViewSpec};
+pub use spool::DiskSpool;
 
 use std::fs::File;
 use std::path::{Path, PathBuf};
