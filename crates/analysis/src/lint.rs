@@ -464,14 +464,19 @@ pub(crate) fn guard_scope_end(masked: &str, from: usize, var: Option<&str>) -> u
     bytes.len()
 }
 
-/// Executor entry points a shard guard must not be held across.
-pub(crate) const EXEC_CALLS: [&str; 6] = [
+/// Executor entry points a shard guard must not be held across. The
+/// targeted-upquery refill (`upquery_fill`) and the fixed-tuple delta
+/// join (`join_fixed`) are executor work like any other: a keyed
+/// refill still scans base relations under the db read lock.
+pub(crate) const EXEC_CALLS: [&str; 8] = [
     "execute(",
     "execute_bounded(",
     "execute_bounded_arc(",
     "execute_scan(",
     "join_from(",
+    "join_fixed(",
     "run_plain(",
+    "upquery_fill(",
 ];
 
 /// Shard write-guard bindings: a `let` statement that both mentions

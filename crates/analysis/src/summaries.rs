@@ -22,7 +22,8 @@ pub const SHARD_LOCK: u16 = 1 << 1;
 /// a standalone receiver).
 pub const DB_LOCK: u16 = 1 << 2;
 /// Calls an executor entry point (`execute`, `execute_bounded`,
-/// `execute_bounded_arc`, `execute_scan`, `join_from`, `run_plain`).
+/// `execute_bounded_arc`, `execute_scan`, `join_from`, `join_fixed`,
+/// `run_plain`, `upquery_fill`).
 pub const EXEC: u16 = 1 << 3;
 /// Touches a raw `std::fs` write API.
 pub const RAW_FS: u16 = 1 << 4;
@@ -34,13 +35,15 @@ pub const UNDO: u16 = 1 << 6;
 
 /// Executor entry-point *names* (the call patterns in
 /// [`crate::lint::EXEC_CALLS`] minus the trailing paren).
-pub const EXEC_NAMES: [&str; 6] = [
+pub const EXEC_NAMES: [&str; 8] = [
     "execute",
     "execute_bounded",
     "execute_bounded_arc",
     "execute_scan",
     "join_from",
+    "join_fixed",
     "run_plain",
+    "upquery_fill",
 ];
 
 /// Summaries for every function in a [`Workspace`].

@@ -108,3 +108,29 @@ fn revalidate(&self, db: &Database) {
         .iter()
         .any(|f| f.rule == "write_guard_across_exec"));
 }
+
+#[test]
+fn upquery_refill_counts_as_executor_work() {
+    // A targeted upquery is a keyed executor run: refilling a drained
+    // bcp while holding the shard write guard is the same hazard as a
+    // full `execute` under the guard.
+    let report = lint_str(
+        r#"
+fn refill_under_guard(&self, view: &DataView, qi: &QueryInstance) {
+    let mut store = shard.write();
+    let (rows, _) = upquery_fill(view, qi, budget).unwrap();
+    for t in rows {
+        store.push_arc(&bcp, t);
+    }
+}
+"#,
+    );
+    assert!(
+        report
+            .findings
+            .iter()
+            .any(|f| f.rule == "write_guard_across_exec"),
+        "{:?}",
+        report.findings
+    );
+}

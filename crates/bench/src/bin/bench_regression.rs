@@ -37,6 +37,15 @@
 //! different core count the *relative* qps gates are skipped too —
 //! absolute throughput across machines is not a regression signal.
 //!
+//! The `maintenance` section (always emitted by `concurrent_scaling`)
+//! is gated on its **counter ratio**, not wall-clock: the delta-key
+//! index must touch at least `--min-maint-improvement` (default 10×)
+//! fewer rows per delete than the ΔR-join baseline replaying the same
+//! Zipfian delete stream. Rows-touched counts are deterministic for a
+//! given workload, so this gate holds even on noisy shared runners. A
+//! section present in the baseline but missing from the current run
+//! fails the build, like the durability section below.
+//!
 //! When both files carry a `durability` section (`concurrent_scaling
 //! --durability`), its `wal_commits_per_sec` is gated like a cell qps
 //! but at twice the allowed drop — fsync latency on shared CI storage
@@ -62,6 +71,7 @@ fn main() {
     let max_p99_growth = parse_f64("--max-p99-growth", 2.0);
     let p99_floor_us = parse_f64("--p99-floor-us", 100.0);
     let min_speedup_at_8 = parse_f64("--min-speedup-at-8", 3.0);
+    let min_maint_improvement = parse_f64("--min-maint-improvement", 10.0);
 
     let baseline = load(&baseline_path);
     let current = load(&current_path);
@@ -188,6 +198,43 @@ fn main() {
             "bench_regression: current host has {cur_cores:?} core(s) (< 8); \
              skipping --min-speedup-at-8 gate"
         );
+    }
+
+    // Maintenance cell: the delta-key index must keep beating the
+    // ΔR-join baseline on rows touched per delete. The ratio is a
+    // deterministic counter quotient, so it is gated on every host.
+    match (baseline.get("maintenance"), current.get("maintenance")) {
+        (_, Some(c)) => {
+            match c.get("improvement_x").and_then(Value::as_f64) {
+                Some(x) if x >= min_maint_improvement => {
+                    eprintln!(
+                        "maintenance: rows-per-delete improvement {x:.1}x \
+                         (>= {min_maint_improvement:.0}x required)"
+                    );
+                }
+                Some(x) => {
+                    eprintln!(
+                        "FAIL maintenance: rows-per-delete improvement {x:.1}x \
+                         (< {min_maint_improvement:.0}x required)"
+                    );
+                    failures += 1;
+                }
+                None => {
+                    eprintln!("FAIL maintenance: section lacks numeric 'improvement_x'");
+                    failures += 1;
+                }
+            }
+        }
+        (Some(_), None) => {
+            eprintln!(
+                "FAIL maintenance: baseline has a maintenance section but the current \
+                 run does not (rerun concurrent_scaling)"
+            );
+            failures += 1;
+        }
+        (None, None) => {
+            eprintln!("bench_regression: no maintenance section in either run; gate skipped");
+        }
     }
 
     // Durability cell: commit throughput with a WAL fsync per round.

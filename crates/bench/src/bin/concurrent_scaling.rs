@@ -73,6 +73,18 @@
 //! schema `pmv-profile` consumes. `--flight-spool [dir]` additionally
 //! attaches a zero-threshold flight recorder over a `DiskSpool` so CI
 //! gets real dump files to round-trip through `pmv-profile`.
+//!
+//! # Maintenance-heavy cell
+//!
+//! A separate **Zipfian-delete** cell replays one deterministic
+//! delete stream over a two-relation join view twice: once with
+//! `MaintStrategy::DeltaJoin` (every delete pays the ΔR ⋈ S join) and
+//! once with the default `HeavyLight` routing (hot delta keys resolve
+//! through the delta-key index, cold keys coalesce into one join per
+//! distinct tuple per batch). It emits the `maintenance` JSON section —
+//! rows touched per delete under each strategy, the improvement ratio
+//! `bench_regression` gates at ≥ 10×, and the heavy/light/coalesced/
+//! upquery telemetry.
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -81,12 +93,14 @@ use std::time::Instant;
 use pmv_bench::tpcr_harness::{arg_flag, arg_value};
 use pmv_bench::ExperimentReport;
 use pmv_cache::PolicyKind;
-use pmv_core::{EpochDb, ObsRegistry, PartialViewDef, Phase, PmvConfig, SharedPmv};
+use pmv_core::{
+    EpochDb, MaintStrategy, ObsRegistry, PartialViewDef, Phase, PmvConfig, PmvStats, SharedPmv,
+};
 use pmv_index::IndexDef;
 use pmv_obs::profile::split_phases;
 use pmv_obs::{FlightRecorder, HistSnapshot, ProfileReport, TemplateAccount, TemplateCost};
 use pmv_query::{Condition, Database, QueryTemplate, TemplateBuilder, Transaction};
-use pmv_storage::{tuple, Column, ColumnType, Schema, Value};
+use pmv_storage::{tuple, Column, ColumnType, RowId, Schema, Value};
 use pmv_wal::DiskSpool;
 use std::sync::Arc;
 
@@ -172,6 +186,9 @@ fn main() {
         db.insert("r", tuple![i, i % bcps]).unwrap();
     }
     db.create_index(IndexDef::btree("r", vec![1])).unwrap();
+    // `a` is a running counter; declaring it lets the serving path prove
+    // `by_f` emits duplicate-free rows and skip O3 dedup bookkeeping.
+    db.declare_unique_key("r", &["a"]).unwrap();
     let template = TemplateBuilder::new("by_f")
         .relation(db.schema("r").unwrap())
         .select("r", "a")
@@ -357,6 +374,53 @@ fn main() {
     );
     pipe_report.print();
 
+    // Maintenance-heavy cell: the same Zipfian delete stream through
+    // the ΔR-join baseline and the delta-key-index paths.
+    let maint = measure_maintenance(quick, epoch_mode);
+    eprintln!(
+        "maintenance ({} deletes, batch {}, fanout {}): \
+         delta-join {:.1} rows/delete vs heavy-light {:.2} rows/delete \
+         ({:.1}x fewer rows touched); {} heavy / {} light delta(s), \
+         {} coalesced join(s), {} index removal(s), {} upquery(ies) \
+         ({} row(s)), {} complete serve(s)",
+        maint.deletes,
+        maint.batch,
+        maint.fanout,
+        maint.baseline_rows_per_delete,
+        maint.indexed_rows_per_delete,
+        maint.improvement_x,
+        maint.heavy_deltas,
+        maint.light_deltas,
+        maint.coalesced_joins,
+        maint.index_removals,
+        maint.upqueries,
+        maint.upquery_rows,
+        maint.complete_serves,
+    );
+    let mut maint_report = ExperimentReport::new(
+        "concurrent_scaling_maintenance",
+        "Zipfian delete stream: rows touched per delete, delta-join vs delta-key index",
+        "strategy",
+    );
+    maint_report.push(
+        "delta_join".to_string(),
+        vec![
+            ("rows_per_delete".to_string(), maint.baseline_rows_per_delete),
+            (
+                "deletes_per_sec".to_string(),
+                maint.baseline_deletes_per_sec,
+            ),
+        ],
+    );
+    maint_report.push(
+        "heavy_light".to_string(),
+        vec![
+            ("rows_per_delete".to_string(), maint.indexed_rows_per_delete),
+            ("deletes_per_sec".to_string(), maint.indexed_deletes_per_sec),
+        ],
+    );
+    maint_report.print();
+
     let durability = arg_flag("--durability").then(|| {
         let d = measure_durability(quick);
         eprintln!(
@@ -399,6 +463,7 @@ fn main() {
             qps_off,
             qps_on,
             &pipe,
+            &maint,
             durability.as_ref(),
         );
         std::fs::write(&path, &json).unwrap_or_else(|e| {
@@ -529,6 +594,12 @@ fn measure_pipeline(quick: bool, epoch_mode: bool, flight_spool: Option<&Path>) 
         db.insert("p", tuple![i, i % bcps]).unwrap();
     }
     db.create_index(IndexDef::btree("p", vec![1])).unwrap();
+    // `a` stays unique across the measured inserts (each thread writes a
+    // disjoint value range offset past the warm-up rows), so declare it:
+    // the unique-rows proof then covers the commit+query cell too. The
+    // index on column 0 keeps per-insert enforcement an O(log n) probe.
+    db.create_index(IndexDef::btree("p", vec![0])).unwrap();
+    db.declare_unique_key("p", &["a"]).unwrap();
     let template = TemplateBuilder::new("by_f_mixed")
         .relation(db.schema("p").unwrap())
         .select("p", "a")
@@ -581,7 +652,9 @@ fn measure_pipeline(quick: bool, epoch_mode: bool, flight_spool: Option<&Path>) 
             scope.spawn(move || {
                 let mut f = t as i64 % bcps;
                 for i in 0..per_thread {
-                    let v = (t * per_thread + i) as i64;
+                    // Offset past the warm-up rows (0..bcps*8) so every
+                    // inserted `a` is fresh under the declared unique key.
+                    let v = bcps * 8 + (t * per_thread + i) as i64;
                     let fv = f;
                     edb.commit(&[&shared], move |db| {
                         let mut txn = Transaction::begin(db);
@@ -658,6 +731,217 @@ fn measure_pipeline(quick: bool, epoch_mode: bool, flight_spool: Option<&Path>) 
         flight_dumps: flight.map(|fr| fr.dumps_written()).unwrap_or(0),
         profile_json: report.to_json(),
         top_site,
+    }
+}
+
+/// Everything the maintenance-heavy cell measures: per-delete row cost
+/// under the ΔR-join baseline vs the delta-key-index paths, and the
+/// heavy-light routing telemetry.
+struct MaintenanceResult {
+    deletes: usize,
+    batch: usize,
+    fanout: i64,
+    /// Rows touched per delete = (ΔR-join rows + index removals) /
+    /// deletes, under `MaintStrategy::DeltaJoin`.
+    baseline_rows_per_delete: f64,
+    /// Same ratio under `MaintStrategy::HeavyLight` (the default).
+    indexed_rows_per_delete: f64,
+    /// `baseline_rows_per_delete / indexed_rows_per_delete` — the
+    /// number `bench_regression` gates at ≥ 10×.
+    improvement_x: f64,
+    baseline_deletes_per_sec: f64,
+    indexed_deletes_per_sec: f64,
+    heavy_deltas: u64,
+    light_deltas: u64,
+    coalesced_joins: u64,
+    index_removals: u64,
+    join_rows: u64,
+    upqueries: u64,
+    upquery_rows: u64,
+    complete_serves: u64,
+}
+
+/// Deterministic Zipfian(s) sequence of key indices in `0..keys`,
+/// sampled by inverse-CDF over an LCG stream — no external RNG crate,
+/// and identical across the baseline and indexed runs so the two
+/// strategies maintain byte-identical delete workloads.
+fn zipf_sequence(keys: usize, n: usize, s: f64, mut state: u64) -> Vec<usize> {
+    let weights: Vec<f64> = (1..=keys).map(|r| (r as f64).powf(-s)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut cdf = Vec::with_capacity(keys);
+    let mut acc = 0.0;
+    for w in &weights {
+        acc += w / total;
+        cdf.push(acc);
+    }
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            cdf.partition_point(|&c| c < u).min(keys - 1)
+        })
+        .collect()
+}
+
+/// Run the maintenance-heavy cell: a Zipfian-skewed delete stream over
+/// a two-relation join view (R ⋈ S with per-key fanout `fanout`), once
+/// with `MaintStrategy::DeltaJoin` (every affecting delete pays the
+/// ΔR ⋈ S join, `fanout` rows) and once with the default `HeavyLight`
+/// (hot delta keys resolve through the delta-key index in O(resident),
+/// cold keys batch into coalesced joins). Both runs replay the *same*
+/// delete sequence against a freshly built database, so the per-delete
+/// row costs are directly comparable.
+///
+/// Serving load keeps the hot bcps resident: before each delete batch
+/// the hot keys it touches are re-probed (the steady state of a view
+/// under mixed query/update traffic). Cold keys are never queried —
+/// their deletes are skipped by the residency gate under *both*
+/// strategies, so the measured difference is purely join-vs-index on
+/// the affecting deletes.
+fn measure_maintenance(quick: bool, epoch_mode: bool) -> MaintenanceResult {
+    let keys = if quick { 16usize } else { 64 };
+    // Zipf rank ≤ keys/4 is the hot set kept resident by serving load.
+    let hot = keys / 4;
+    let deletes = if quick { 400usize } else { 2_000 };
+    let batch = 8usize;
+    let fanout = 512i64;
+    let gvals = 2i64;
+    let seq = zipf_sequence(keys, deletes, 1.2, 0x9E37_79B9_7F4A_7C15);
+    let mut counts = vec![0usize; keys];
+    for &k in &seq {
+        counts[k] += 1;
+    }
+
+    let run = |strategy: MaintStrategy| -> (PmvStats, f64) {
+        let mut db = Database::new();
+        db.create_relation(Schema::new(
+            "mr",
+            vec![
+                Column::new("a", ColumnType::Int),
+                Column::new("c", ColumnType::Int),
+                Column::new("f", ColumnType::Int),
+            ],
+        ))
+        .unwrap();
+        db.create_relation(Schema::new(
+            "ms",
+            vec![
+                Column::new("d", ColumnType::Int),
+                Column::new("e", ColumnType::Int),
+                Column::new("g", ColumnType::Int),
+            ],
+        ))
+        .unwrap();
+        // Every R row for key k is the identical tuple (k, k, k): its
+        // delta key is the same for all copies, so repeated deletes of a
+        // hot key keep hitting the same index slot, and same-batch
+        // duplicates of a cold key coalesce into one join.
+        let mut supply: Vec<Vec<RowId>> = vec![Vec::new(); keys];
+        for (k, row_count) in counts.iter().enumerate() {
+            let ki = k as i64;
+            for _ in 0..row_count + 2 {
+                let delta = db.insert("mr", tuple![ki, ki, ki]).unwrap();
+                supply[k].push(delta.row());
+            }
+            for j in 0..fanout {
+                db.insert("ms", tuple![ki, j, j % gvals]).unwrap();
+            }
+        }
+        db.create_index(IndexDef::btree("mr", vec![1])).unwrap();
+        db.create_index(IndexDef::btree("mr", vec![2])).unwrap();
+        db.create_index(IndexDef::btree("ms", vec![0])).unwrap();
+        db.create_index(IndexDef::btree("ms", vec![2])).unwrap();
+        let template = TemplateBuilder::new("maint_join")
+            .relation(db.schema("mr").unwrap())
+            .relation(db.schema("ms").unwrap())
+            .join("mr", "c", "ms", "d")
+            .unwrap()
+            .select("mr", "a")
+            .unwrap()
+            .select("ms", "e")
+            .unwrap()
+            .cond_eq("mr", "f")
+            .unwrap()
+            .cond_eq("ms", "g")
+            .unwrap()
+            .build()
+            .unwrap();
+        let edb = EpochDb::new(db);
+
+        let def = PartialViewDef::all_equality("maint_pmv", template.clone()).unwrap();
+        let mut config = PmvConfig::new(8, 4096, PolicyKind::Clock);
+        config.maint_strategy = strategy;
+        // Two sketch sightings promote a delta key to the indexed path:
+        // the cell measures steady-state routing, not sketch warm-up.
+        config.heavy_threshold = 2;
+        let shared = SharedPmv::with_shards(def, config, 16);
+        let probe = |shared: &SharedPmv, k: usize| {
+            for g in 0..gvals {
+                let q = template
+                    .bind(vec![
+                        Condition::Equality(vec![Value::Int(k as i64)]),
+                        Condition::Equality(vec![Value::Int(g)]),
+                    ])
+                    .unwrap();
+                serve(&edb, shared, &q, epoch_mode);
+            }
+        };
+        // Warm the hot keys' bcps so the view starts resident.
+        for k in 0..hot {
+            probe(&shared, k);
+            probe(&shared, k);
+        }
+        shared.reset_stats();
+        shared.obs().reset();
+
+        let start = Instant::now();
+        for chunk in seq.chunks(batch) {
+            // Serving load: re-probe the hot keys this batch touches,
+            // refilling whatever the previous batch drained.
+            let mut seen = [false; 64];
+            for &k in chunk {
+                if k < hot && !std::mem::replace(&mut seen[k], true) {
+                    probe(&shared, k);
+                }
+            }
+            let rows: Vec<RowId> = chunk.iter().map(|&k| supply[k].pop().unwrap()).collect();
+            edb.commit(&[&shared], move |db| {
+                let mut txn = Transaction::begin(db);
+                for &row in &rows {
+                    txn.delete("mr", row)?;
+                }
+                Ok(((), txn.commit()))
+            })
+            .unwrap();
+        }
+        let dps = deletes as f64 / start.elapsed().as_secs_f64();
+        (shared.stats(), dps)
+    };
+
+    let (base, baseline_deletes_per_sec) = run(MaintStrategy::DeltaJoin);
+    let (hl, indexed_deletes_per_sec) = run(MaintStrategy::HeavyLight);
+    let touched = |s: &PmvStats| (s.maint_join_rows + s.maint_index_removals) as f64;
+    let baseline_rows_per_delete = touched(&base) / deletes as f64;
+    let indexed_rows_per_delete = touched(&hl) / deletes as f64;
+    MaintenanceResult {
+        deletes,
+        batch,
+        fanout,
+        baseline_rows_per_delete,
+        indexed_rows_per_delete,
+        improvement_x: baseline_rows_per_delete / indexed_rows_per_delete.max(f64::MIN_POSITIVE),
+        baseline_deletes_per_sec,
+        indexed_deletes_per_sec,
+        heavy_deltas: hl.maint_heavy_deltas,
+        light_deltas: hl.maint_light_deltas,
+        coalesced_joins: hl.maint_coalesced_joins,
+        index_removals: hl.maint_index_removals,
+        join_rows: hl.maint_join_rows,
+        upqueries: hl.upqueries,
+        upquery_rows: hl.upquery_rows,
+        complete_serves: hl.complete_serves,
     }
 }
 
@@ -776,6 +1060,7 @@ fn cells_to_json(
     qps_off: f64,
     qps_on: f64,
     pipe: &PipelineResult,
+    maint: &MaintenanceResult,
     durability: Option<&DurabilityResult>,
 ) -> String {
     let mut out = String::with_capacity(4096);
@@ -834,6 +1119,31 @@ fn cells_to_json(
         pipe.pin_cache_hit_rate,
         pipe.flight_dumps,
         pipe.profile_json,
+    );
+    let _ = write!(
+        out,
+        ",\n  \"maintenance\": {{\"deletes\": {}, \"batch\": {}, \"fanout\": {}, \
+         \"baseline_rows_per_delete\": {:.3}, \"indexed_rows_per_delete\": {:.3}, \
+         \"improvement_x\": {:.2}, \"baseline_deletes_per_sec\": {:.0}, \
+         \"indexed_deletes_per_sec\": {:.0}, \"heavy_deltas\": {}, \"light_deltas\": {}, \
+         \"coalesced_joins\": {}, \"index_removals\": {}, \"join_rows\": {}, \
+         \"upqueries\": {}, \"upquery_rows\": {}, \"complete_serves\": {}}}",
+        maint.deletes,
+        maint.batch,
+        maint.fanout,
+        maint.baseline_rows_per_delete,
+        maint.indexed_rows_per_delete,
+        maint.improvement_x,
+        maint.baseline_deletes_per_sec,
+        maint.indexed_deletes_per_sec,
+        maint.heavy_deltas,
+        maint.light_deltas,
+        maint.coalesced_joins,
+        maint.index_removals,
+        maint.join_rows,
+        maint.upqueries,
+        maint.upquery_rows,
+        maint.complete_serves,
     );
     if let Some(d) = durability {
         let _ = write!(

@@ -508,9 +508,9 @@ impl Session {
 
     fn cmd_pmv(&mut self, rest: &str) -> Result<String, CliError> {
         let mut parts = rest.split_whitespace();
-        let name = parts
-            .next()
-            .ok_or_else(|| usage("usage: pmv <template> [f=N] [l=N] [policy=...]"))?;
+        let name = parts.next().ok_or_else(|| {
+            usage("usage: pmv <template> [f=N] [l=N] [policy=...] [maint=delta-join|indexed|heavy-light] [heavy=N]")
+        })?;
         let template = self
             .templates
             .get(name)
@@ -525,6 +525,12 @@ impl Session {
                 "f" => config.f = v.parse().map_err(|_| usage("bad f"))?,
                 "l" => config.l = v.parse().map_err(|_| usage("bad l"))?,
                 "policy" => config.policy = parse_policy(v)?,
+                "maint" => {
+                    config.maint_strategy = pmv_core::MaintStrategy::parse(v).ok_or_else(|| {
+                        usage("bad maint (want delta-join, indexed, or heavy-light)")
+                    })?;
+                }
+                "heavy" => config.heavy_threshold = v.parse().map_err(|_| usage("bad heavy"))?,
                 other => return Err(usage(format!("unknown option '{other}'"))),
             }
         }
@@ -544,11 +550,12 @@ impl Session {
             .collect();
         let def = PartialViewDef::new(format!("pmv_{name}"), template, discretizers)?;
         let summary = format!(
-            "PMV for '{}': F={}, L={}, policy={}{}",
+            "PMV for '{}': F={}, L={}, policy={}, maint={}{}",
             name,
             config.f,
             config.l,
             config.policy.name(),
+            config.maint_strategy.as_str(),
             if self.mode == SnapshotMode::Epoch {
                 " (epoch serving)"
             } else {
@@ -1137,6 +1144,7 @@ impl Session {
                 pmv.store().byte_size(),
                 pmv.store().policy_name(),
             );
+            out.push_str(&maintenance_line(pmv.config(), s));
         }
         for (name, v) in &self.shared {
             if !rest.is_empty() && rest != name {
@@ -1156,6 +1164,7 @@ impl Session {
                 v.config().policy.name(),
                 v.shard_count(),
             );
+            out.push_str(&maintenance_line(v.config(), &s));
         }
         if out.is_empty() {
             out.push_str("(no PMVs yet)\n");
@@ -1186,6 +1195,24 @@ impl Session {
         }
         Ok(out)
     }
+}
+
+/// One indented line of maintenance/upquery telemetry for `stats`:
+/// which [`pmv_core::MaintStrategy`] the view runs and what the
+/// delta-key-index / heavy-light / upquery paths have done so far.
+fn maintenance_line(config: &PmvConfig, s: &pmv_core::PmvStats) -> String {
+    format!(
+        "  maint {}: {} index removals, {} heavy / {} light deltas \
+         ({} joins coalesced, {} join rows), {} upqueries ({} rows refilled)\n",
+        config.maint_strategy.as_str(),
+        s.maint_index_removals,
+        s.maint_heavy_deltas,
+        s.maint_light_deltas,
+        s.maint_coalesced_joins,
+        s.maint_join_rows,
+        s.upqueries,
+        s.upquery_rows,
+    )
 }
 
 enum Mode {

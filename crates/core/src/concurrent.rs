@@ -94,31 +94,34 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use pmv_faultinject::{CaptureGuard, Site};
 use pmv_obs::{
-    EventKind, FlightRecorder, O2Outcome, ObsRegistry, Phase, TemplateAccount, TraceKind,
-    TraceScope, TriggerReason,
+    EventKind, FlightRecorder, O2Outcome, ObsRegistry, Phase, SpaceSaving, TemplateAccount,
+    TraceKind, TraceScope, TriggerReason, DEFAULT_SKETCH_CAPACITY,
 };
 use pmv_query::{
-    exec::join_from, execute_bounded_arc, DataView, Database, ExecBudget, QueryInstance,
+    exec::{join_fixed, join_from},
+    execute_bounded_arc, upquery_fill, DataView, Database, ExecBudget, ExecStats, QueryInstance,
+    QueryTemplate,
 };
 use pmv_storage::{Delta, DeltaBatch, Tuple};
 use pmv_sync::LeftRight;
 
 use crate::bcp::BcpKey;
 use crate::ds::Ds;
+use crate::fasthash::FxHashMap;
 use crate::health::{
     CircuitBreaker, Degradation, DegradeReason, ShardReport, ValidationReport, ViewHealth,
 };
-use crate::maintenance::{relevant_columns, MaintenanceOutcome};
+use crate::maintenance::{cross_delta_combos, relevant_columns, MaintenanceOutcome};
 use crate::o1::decompose;
 use crate::pipeline::{
     bcp_truths, degrade_reason, flush_faults, probe_parts, remove_stale, QueryOutcome, QueryTimings,
 };
 use crate::stats::{AtomicPmvStats, PmvStats};
 use crate::store::{PmvStore, Residency};
-use crate::view::{PartialViewDef, PmvConfig};
+use crate::view::{MaintStrategy, PartialViewDef, PmvConfig};
 use crate::Result;
 
 /// Pooled per-thread buffers for the [`SharedPmv::run_pinned`] hot
@@ -130,9 +133,12 @@ use crate::Result;
 #[derive(Default)]
 struct QueryScratch {
     ds: Ds,
-    proven: HashMap<(BcpKey, Arc<Tuple>), usize>,
+    /// Occurrences proven per tuple. Keyed by the tuple alone: the `Ls'`
+    /// layout embeds every condition column, so equal tuples always
+    /// belong to the same bcp and the key needs no `BcpKey` component —
+    /// which keeps the hot dedup loop free of per-row key allocation.
+    proven: FxHashMap<Arc<Tuple>, usize>,
     touches: Vec<(usize, BcpKey, bool)>,
-    candidates: Vec<(usize, BcpKey, Arc<Tuple>)>,
     write_back: Vec<usize>,
 }
 
@@ -144,7 +150,6 @@ impl QueryScratch {
         self.ds.clear();
         self.proven.clear();
         self.touches.clear();
-        self.candidates.clear();
         self.write_back.clear();
     }
 }
@@ -162,6 +167,11 @@ thread_local! {
 /// are `Arc`-shared with the store — capture copies pointers, not data.
 pub(crate) struct ShardView {
     entries: HashMap<BcpKey, Vec<(Arc<Tuple>, u64)>>,
+    /// Bcps whose entries held their full truth at capture time (valid
+    /// completeness claims). A pinned reader may serve one of these as
+    /// the bcp's *entire* answer — skipping O3 for that slice — under the
+    /// epoch gates checked in `run_pinned_scratch`.
+    complete: HashSet<BcpKey>,
     quarantined: bool,
 }
 
@@ -169,6 +179,7 @@ impl ShardView {
     fn empty() -> ShardView {
         ShardView {
             entries: HashMap::new(),
+            complete: HashSet::new(),
             quarantined: false,
         }
     }
@@ -179,6 +190,7 @@ impl ShardView {
                 .iter()
                 .map(|(k, ts)| (k.clone(), ts.to_vec()))
                 .collect(),
+            complete: store.complete_bcps().into_iter().collect(),
             quarantined: store.is_quarantined(),
         }
     }
@@ -257,6 +269,12 @@ struct Inner {
     /// Breaker trip count already seen by [`SharedPmv::flight_check`],
     /// so each trip produces one `breaker_trip` dump, not one per query.
     flight_trips_seen: AtomicU64,
+    /// Fallback heavy-hitter sketch over delta keys for the heavy-light
+    /// maintenance split, used when no [`TemplateAccount`] is attached
+    /// (the account's sketch is preferred so `pmv-profile` sees the same
+    /// hot keys maintenance acts on). Only the maintenance path locks
+    /// it — never the serving path, pinned or locked.
+    delta_sketch: Mutex<SpaceSaving>,
 }
 
 impl Inner {
@@ -310,7 +328,7 @@ impl SharedPmv {
             .map(|_| {
                 let mut store = PmvStore::with_capacity(&config, per_shard);
                 if config.maint_filter {
-                    store.enable_filter(crate::maint_filter::MaintFilter::new(def.template()));
+                    store.enable_index(crate::delta_index::DeltaKeyIndex::new(def.template()));
                 }
                 RwLock::new(store)
             })
@@ -336,6 +354,7 @@ impl SharedPmv {
                 account: OnceLock::new(),
                 flight: OnceLock::new(),
                 flight_trips_seen: AtomicU64::new(0),
+                delta_sketch: Mutex::new(SpaceSaving::new(DEFAULT_SKETCH_CAPACITY)),
             }),
         }
     }
@@ -577,69 +596,177 @@ impl SharedPmv {
 
         // ---- Operation O3: dedup + fill/update ----
         let t_o3 = Instant::now();
-        // How many occurrences of each (bcp, tuple) this query proved to
-        // exist: served partials plus remaining execution results. The
-        // fill below never pushes a tuple's cached count past this bound,
-        // which keeps every entry a sub-multiset of its bcp's true answer
-        // even when several queries fill the same entry concurrently.
-        let mut proven: HashMap<(BcpKey, Arc<Tuple>), usize> = HashMap::new();
-        for t in &partial_expanded {
-            *proven
-                .entry((inner.def.bcp_of_tuple(t), Arc::clone(t)))
-                .or_insert(0) += 1;
+        // Single-part queries dominate steady-state serving; for them
+        // every result row lies in the one probed bcp, so the per-row
+        // `bcp_of_tuple` reconstruction is skipped.
+        let single_bcp = (parts.len() == 1).then(|| parts[0].bcp.clone());
+        // When the template provably emits unique rows, each remaining
+        // result occurs exactly once: the proven map degenerates to
+        // "cap 1" and is skipped entirely.
+        let unique_fast = single_bcp.is_some() && inner.def.template().emits_unique_rows(db);
+        // `proven` counts how many occurrences of each tuple this query
+        // proved to exist: served partials plus remaining execution
+        // results. Keyed by the tuple alone — the `Ls'` layout embeds
+        // every condition column, so equal tuples share a bcp. The fill
+        // below never pushes a tuple's cached count past this bound,
+        // which keeps every entry a sub-multiset of its bcp's true
+        // answer even when several queries fill the same entry
+        // concurrently. Only fills read it, so a non-serving query skips
+        // the bookkeeping altogether.
+        let mut proven: FxHashMap<Arc<Tuple>, usize> = FxHashMap::default();
+        if serving && !unique_fast {
+            for t in &partial_expanded {
+                *proven.entry(Arc::clone(t)).or_insert(0) += 1;
+            }
         }
         let mut remaining_expanded: Vec<Arc<Tuple>> = Vec::new();
-        let mut candidates: Vec<(usize, BcpKey, Arc<Tuple>)> = Vec::new();
         for t in results {
-            if ds.remove_one(&t) {
+            // Skip the multiset probe entirely once DS has drained (and
+            // for cold queries, where it was never populated): the
+            // remaining results are provably not duplicates.
+            if !ds.is_empty() && ds.remove_one(&t) {
                 continue; // the user already has this occurrence
             }
-            let bcp = inner.def.bcp_of_tuple(&t);
-            *proven.entry((bcp.clone(), Arc::clone(&t))).or_insert(0) += 1;
-            candidates.push((self.shard_of(&bcp), bcp, Arc::clone(&t)));
+            if serving && !unique_fast {
+                *proven.entry(Arc::clone(&t)).or_insert(0) += 1;
+            }
             remaining_expanded.push(t);
+        }
+        // Bcps this query observed in full: a basic condition part covers
+        // its whole bcp, so for such a bcp the proven multiset IS the
+        // bcp's truth at `fill_epoch`. If the entry ends up holding
+        // exactly that many tuples after the fill, it can claim
+        // completeness and later epoch-mode probes may serve it without
+        // executing (the targeted-upquery fast path).
+        let mut completable: HashMap<BcpKey, usize> = HashMap::new();
+        if serving && inner.config.upquery {
+            if unique_fast {
+                // Unique rows: each truth tuple was counted exactly
+                // once, as a served partial or as a remaining result.
+                if parts[0].is_basic {
+                    let total = partial_expanded.len() + remaining_expanded.len();
+                    if total > 0 {
+                        completable.insert(parts[0].bcp.clone(), total);
+                    }
+                }
+            } else {
+                for part in &parts {
+                    if part.is_basic {
+                        completable.entry(part.bcp.clone()).or_insert(0);
+                    }
+                }
+                if !completable.is_empty() {
+                    if let Some(bcp) = &single_bcp {
+                        if let Some(total) = completable.get_mut(bcp) {
+                            *total = proven.values().sum();
+                        }
+                    } else {
+                        for (t, n) in &proven {
+                            if let Some(total) = completable.get_mut(&inner.def.bcp_of_tuple(t)) {
+                                *total += *n;
+                            }
+                        }
+                    }
+                }
+                completable.retain(|_, total| *total > 0);
+            }
         }
         // Cache fills are stamped with the database version the tuples
         // were derived at, so epoch-pinned readers can gate on it.
+        // Fills are grouped per bcp so each group pays one admit and one
+        // length check; tuples carry their proven occurrence cap.
         let fill_epoch = db.version();
-        let fill_by_shard = group_by_shard(candidates.into_iter().map(|(si, bcp, t)| {
-            let cap = proven[&(bcp.clone(), Arc::clone(&t))];
-            (si, (bcp, t, cap))
-        }));
+        let mut fill_groups: Vec<(BcpKey, Vec<(Arc<Tuple>, usize)>)> = Vec::new();
+        if serving {
+            if unique_fast {
+                if let (Some(bcp), false) = (&single_bcp, remaining_expanded.is_empty()) {
+                    fill_groups.push((
+                        bcp.clone(),
+                        remaining_expanded
+                            .iter()
+                            .map(|t| (Arc::clone(t), 1))
+                            .collect(),
+                    ));
+                }
+            } else if let Some(bcp) = &single_bcp {
+                if !proven.is_empty() {
+                    fill_groups.push((bcp.clone(), proven.into_iter().collect()));
+                }
+            } else {
+                let mut by_bcp: FxHashMap<BcpKey, Vec<(Arc<Tuple>, usize)>> = FxHashMap::default();
+                for (t, cap) in proven {
+                    by_bcp
+                        .entry(inner.def.bcp_of_tuple(&t))
+                        .or_default()
+                        .push((t, cap));
+                }
+                fill_groups.extend(by_bcp);
+            }
+        }
+        let fill_by_shard = group_by_shard(
+            fill_groups
+                .into_iter()
+                .map(|(bcp, tuples)| (self.shard_of(&bcp), (bcp, tuples))),
+        );
+        // Fill time (lock wait + shard mutation + publish) is kept out
+        // of `o3_dedup` so that phase measures the dedup/provenance
+        // bookkeeping alone; the lock wait itself still lands under
+        // `lock_shard_fill` as the contention signal.
+        let mut fill_total = Duration::ZERO;
         for (si, group) in &fill_by_shard {
             let si = *si;
-            if !serving {
-                continue;
-            }
             let t_fill = Instant::now();
             let mut store = inner.shards[si].write();
             if track {
                 inner.obs.record(Phase::lock_shard_fill, t_fill.elapsed());
             }
             if store.is_quarantined() {
+                fill_total += t_fill.elapsed();
                 continue;
             }
             let admitted_before = local.tuples_admitted;
             let evicted_before = store.evictions();
             let fill = catch_unwind(AssertUnwindSafe(|| {
                 pmv_faultinject::fire_soft(Site::ShardFill);
-                let mut admit_cache: HashMap<&BcpKey, Residency> = HashMap::new();
-                for (bcp, t, cap) in group {
-                    let residency = *admit_cache.entry(bcp).or_insert_with(|| {
-                        let r = store.admit(bcp);
-                        if r == Residency::Probation {
-                            local.probations += 1;
-                        }
-                        r
-                    });
+                let cap_f = inner.config.f;
+                for (bcp, tuples) in group {
+                    let residency = store.admit(bcp);
+                    if residency == Residency::Probation {
+                        local.probations += 1;
+                    }
                     if residency != Residency::Resident {
                         continue;
                     }
-                    let have = store
-                        .lookup(bcp)
-                        .map_or(0, |ts| ts.iter().filter(|(x, _)| x == t).count());
-                    if have < *cap && store.push_arc(bcp, Arc::clone(t), fill_epoch) {
-                        local.tuples_admitted += 1;
+                    // One length check gates the whole group: an entry
+                    // already at its cap F admits nothing, so the
+                    // per-tuple duplicate scans below are skipped
+                    // entirely in the steady state.
+                    let mut len = store.lookup(bcp).map_or(0, <[_]>::len);
+                    for (t, cap) in tuples {
+                        if len >= cap_f {
+                            break;
+                        }
+                        let have = store
+                            .lookup(bcp)
+                            .map_or(0, |ts| ts.iter().filter(|(x, _)| x == t).count());
+                        if have < *cap && store.push_arc(bcp, Arc::clone(t), fill_epoch) {
+                            local.tuples_admitted += 1;
+                            len += 1;
+                        }
+                    }
+                }
+                // Completeness claims: a basic-part bcp on this shard
+                // whose entry now holds exactly the proven truth — and
+                // with no eviction having raced the fill — is marked so
+                // epoch-mode probes can serve it as the full slice.
+                if store.evictions() == evicted_before {
+                    let at = store.inserts_seen();
+                    for (bcp, total) in &completable {
+                        if self.shard_of(bcp) == si
+                            && store.lookup(bcp).map_or(0, <[_]>::len) == *total
+                        {
+                            store.mark_complete(bcp, at);
+                        }
                     }
                 }
             }));
@@ -652,11 +779,13 @@ impl SharedPmv {
             inner.publish_shard(si, &store);
             let evicted = store.evictions().saturating_sub(evicted_before);
             drop(store);
+            let fill_elapsed = t_fill.elapsed();
+            fill_total += fill_elapsed;
             trace.event(EventKind::Fill {
                 shard: si,
                 admitted: local.tuples_admitted - admitted_before,
                 evicted,
-                us: t_fill.elapsed().as_micros() as u64,
+                us: fill_elapsed.as_micros() as u64,
             });
             if poisoned {
                 trace.event(EventKind::Quarantine { shard: si });
@@ -664,7 +793,7 @@ impl SharedPmv {
         }
         let ds_leftover = ds.len();
         debug_assert_eq!(ds_leftover, 0, "DS must be empty after O3");
-        let o3_overhead = t_o3.elapsed();
+        let o3_overhead = t_o3.elapsed().saturating_sub(fill_total);
         inner.obs.record(Phase::o3_dedup, o3_overhead);
 
         // ---- Bookkeeping ----
@@ -754,7 +883,6 @@ impl SharedPmv {
             ds,
             proven,
             touches,
-            candidates,
             write_back,
         } = scratch;
         let inner = &*self.inner;
@@ -786,6 +914,13 @@ impl SharedPmv {
         let t_o2 = Instant::now();
         let mut partial_expanded: Vec<Arc<Tuple>> = Vec::new();
         let mut bcp_hit = false;
+        let upquery_on = serving && inner.config.upquery;
+        // Slices served straight from a completeness claim. They do NOT
+        // enter DS: if every probed slice is complete, nothing executes
+        // and nothing re-produces them; if a targeted upquery later
+        // falls back to the full O3, they are re-seeded into DS first.
+        let mut complete_served: Vec<Arc<Tuple>> = Vec::new();
+        let mut complete_ok: HashSet<BcpKey> = HashSet::new();
         // Policy touches observed during the probe land in the pooled
         // `touches` buffer, deferred to the best-effort write-back below
         // — the probe itself never takes the shard lock.
@@ -809,6 +944,15 @@ impl SharedPmv {
                 if sv.quarantined {
                     continue;
                 }
+                // Completeness gate, checked AFTER loading the view: a
+                // reader pinned after a maintenance pass also observes
+                // that pass's republished views (maintain stores the
+                // fence before touching any shard, and the commit
+                // publishes the new epoch only after maintain returns),
+                // so a claim seen together with `pin_epoch >=
+                // maint_epoch` reflects every change up to the pin.
+                let maint_ok =
+                    upquery_on && pin_epoch >= inner.maint_epoch.load(Ordering::Acquire);
                 for part in group {
                     let Some(entries) = sv.entries.get(&part.bcp) else {
                         touches.push((si, part.bcp.clone(), false));
@@ -816,6 +960,26 @@ impl SharedPmv {
                     };
                     bcp_hit = true;
                     let mut served = false;
+                    // A complete slice (claim valid, no tuple filled
+                    // after the pin) IS the bcp's entire answer at the
+                    // pin: serve its matching tuples and exempt the bcp
+                    // from O3 entirely.
+                    if maint_ok
+                        && sv.complete.contains(&part.bcp)
+                        && entries.iter().all(|(_, fe)| *fe <= pin_epoch)
+                    {
+                        for (t, _) in entries {
+                            if part.is_basic || q.matches_select(t) {
+                                partial_expanded.push(Arc::clone(t));
+                                complete_served.push(Arc::clone(t));
+                                served = true;
+                            }
+                        }
+                        complete_ok.insert(part.bcp.clone());
+                        local.complete_serves += 1;
+                        touches.push((si, part.bcp.clone(), served));
+                        continue;
+                    }
                     for (t, fill_epoch) in entries {
                         // Epoch gate: never serve a tuple filled after
                         // this query's pin — it may reflect database
@@ -853,109 +1017,357 @@ impl SharedPmv {
             },
         );
 
-        // ---- Operation O3: full execution against the pinned view ----
-        let t_exec = Instant::now();
-        let budget = ExecBudget {
-            deadline: inner.config.o3_deadline.map(|d| Instant::now() + d),
-            max_tuples: inner.config.o3_max_tuples,
-        };
-        // pmv::allow(pin_reaches_blocking_lock): the executor reaches the
-        // fault-injection registry lock (fire → fire_disk), which is taken
-        // only while a test campaign is armed; unarmed it is one relaxed
-        // load, so production serving never blocks here.
-        let exec_result = catch_unwind(AssertUnwindSafe(|| execute_bounded_arc(view, q, budget)));
-        let (results, exec_stats) = match exec_result {
-            Ok(Ok(ok)) => {
-                inner.breaker.record_ok();
-                ok
-            }
-            Ok(Err(e)) if e.is_budget() || e.is_transient() => {
-                inner.breaker.record_error();
-                if e.is_budget() {
-                    local.budget_exceeded = 1;
-                } else {
-                    local.exec_errors = 1;
+        // ---- Complete-serve fast path ----
+        // Every probed slice was served from a completeness claim: the
+        // partials already ARE the full answer. No execution, no dedup —
+        // only the deferred best-effort policy touches.
+        if upquery_on && !parts.is_empty() && parts.iter().all(|p| complete_ok.contains(&p.bcp)) {
+            debug_assert_eq!(ds.len(), 0, "complete slices never enter DS");
+            let touch_by_shard = group_by_shard(
+                touches
+                    .drain(..)
+                    .map(|(si, bcp, served)| (si, (bcp, served))),
+            );
+            for (si, group) in &touch_by_shard {
+                // Touches change only policy state, never the entry set,
+                // so no republish is needed.
+                let Some(mut store) = inner.shards[*si].try_write() else {
+                    continue;
+                };
+                if store.is_quarantined() {
+                    continue;
                 }
-                let reason = degrade_reason(&e);
-                return Ok(self.degraded_outcome(
-                    &mut local,
-                    parts.len(),
-                    partial_expanded,
-                    bcp_hit,
+                for (bcp, served) in group {
+                    store.touch(bcp, *served);
+                }
+            }
+            local.queries = 1;
+            local.condition_parts = parts.len() as u64;
+            local.bcp_hit_queries = 1;
+            if !partial_expanded.is_empty() {
+                local.serving_queries = 1;
+                local.partial_tuples_served = partial_expanded.len() as u64;
+            }
+            inner.stats.add(&local);
+            inner.obs.record(Phase::full, t_start.elapsed());
+            if track {
+                if let Some(acct) = inner.account.get() {
+                    acct.record_query(O2Outcome::Hit, ttfr, t_start.elapsed(), 0);
+                }
+            }
+            flush_faults(&mut trace, fault_cap.take());
+            let template = inner.def.template();
+            let partial = partial_expanded
+                .iter()
+                .map(|t| template.user_tuple(t))
+                .collect();
+            return Ok(QueryOutcome {
+                partial,
+                remaining: Vec::new(),
+                partial_expanded,
+                remaining_expanded: Vec::new(),
+                bcp_hit,
+                parts: parts.len(),
+                timings: QueryTimings {
                     o1,
                     o2,
-                    t_exec.elapsed(),
-                    reason,
-                    &mut trace,
-                    fault_cap.take(),
-                    t_start,
-                ));
+                    exec: Duration::ZERO,
+                    o3_overhead: Duration::ZERO,
+                },
+                exec_stats: Default::default(),
+                ds_leftover: 0,
+                degraded: None,
+            });
+        }
+
+        // ---- Targeted upqueries ----
+        // Some slices are complete but others are open: refill each open
+        // bcp with a bounded keyed upquery against the pinned view
+        // instead of running the full O3 execution. Any failure (budget,
+        // fault, panic) falls back to the classic path below, with the
+        // complete-served partials re-seeded into DS so its dedup drains
+        // them.
+        let mut upq: Option<(Vec<(BcpKey, bool, Vec<Arc<Tuple>>)>, ExecStats, Duration)> = None;
+        if upquery_on && !complete_ok.is_empty() {
+            let t_upq = Instant::now();
+            let mut slices: Vec<(BcpKey, bool, Vec<Arc<Tuple>>)> = Vec::new();
+            let mut total = ExecStats::default();
+            let mut done: HashSet<BcpKey> = complete_ok.clone();
+            let mut ok = true;
+            for part in &parts {
+                if !done.insert(part.bcp.clone()) {
+                    continue;
+                }
+                let qi = match inner.def.bcp_query(&part.bcp) {
+                    Ok(qi) => qi,
+                    Err(_) => {
+                        ok = false;
+                        break;
+                    }
+                };
+                let budget = ExecBudget {
+                    deadline: inner.config.o3_deadline.map(|d| Instant::now() + d),
+                    max_tuples: inner.config.o3_max_tuples,
+                };
+                let t_fill = Instant::now();
+                // pmv::allow(pin_reaches_blocking_lock): the refill reaches the
+                // fault-injection registry lock (fire → fire_disk), which is
+                // taken only while a test campaign is armed; unarmed it is one
+                // relaxed load, so production serving never blocks here.
+                match catch_unwind(AssertUnwindSafe(|| upquery_fill(view, &qi, budget))) {
+                    Ok(Ok((rows, st))) => {
+                        inner.obs.record(Phase::upquery, t_fill.elapsed());
+                        total.index_probes += st.index_probes;
+                        total.range_scans += st.range_scans;
+                        total.fallback_scans += st.fallback_scans;
+                        total.tuples_examined += st.tuples_examined;
+                        total.results += st.results;
+                        local.upqueries += 1;
+                        local.upquery_rows += rows.len() as u64;
+                        slices.push((part.bcp.clone(), part.is_basic, rows));
+                    }
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
             }
-            Ok(Err(e)) => {
-                inner.breaker.record_error();
-                local.exec_errors = 1;
-                inner.stats.add(&local);
-                inner.obs.record(Phase::o3_exec, t_exec.elapsed());
-                flush_faults(&mut trace, fault_cap.take());
-                return Err(e.into());
+            if ok {
+                inner.breaker.record_ok();
+                upq = Some((slices, total, t_upq.elapsed()));
+            } else {
+                local.upquery_fallbacks += 1;
+                for t in &complete_served {
+                    ds.insert_arc(Arc::clone(t));
+                }
             }
-            Err(_panic) => {
-                inner.breaker.record_error();
-                local.exec_panics = 1;
-                return Ok(self.degraded_outcome(
-                    &mut local,
-                    parts.len(),
-                    partial_expanded,
-                    bcp_hit,
-                    o1,
-                    o2,
-                    t_exec.elapsed(),
-                    DegradeReason::ExecPanic,
-                    &mut trace,
-                    fault_cap.take(),
-                    t_start,
-                ));
+        }
+
+        // ---- Operation O3: full execution against the pinned view ----
+        // (skipped when the upqueries above refilled every open slice)
+        let did_upquery = upq.is_some();
+        let mut upq_slices: Option<Vec<(BcpKey, bool, Vec<Arc<Tuple>>)>> = None;
+        let (results, exec_stats, exec) = match upq {
+            Some((slices, total, elapsed)) => {
+                upq_slices = Some(slices);
+                (Vec::new(), total, elapsed)
+            }
+            None => {
+                let t_exec = Instant::now();
+                let budget = ExecBudget {
+                    deadline: inner.config.o3_deadline.map(|d| Instant::now() + d),
+                    max_tuples: inner.config.o3_max_tuples,
+                };
+                // The executor reaches the fault-injection registry lock
+                // (fire → fire_disk), which is taken only while a test
+                // campaign is armed; unarmed it is one relaxed load, so
+                // production serving never blocks here.
+                let exec_result = // pmv::allow(pin_reaches_blocking_lock): see above
+                    catch_unwind(AssertUnwindSafe(|| execute_bounded_arc(view, q, budget)));
+                let (results, exec_stats) = match exec_result {
+                    Ok(Ok(ok)) => {
+                        inner.breaker.record_ok();
+                        ok
+                    }
+                    Ok(Err(e)) if e.is_budget() || e.is_transient() => {
+                        inner.breaker.record_error();
+                        if e.is_budget() {
+                            local.budget_exceeded = 1;
+                        } else {
+                            local.exec_errors = 1;
+                        }
+                        let reason = degrade_reason(&e);
+                        return Ok(self.degraded_outcome(
+                            &mut local,
+                            parts.len(),
+                            partial_expanded,
+                            bcp_hit,
+                            o1,
+                            o2,
+                            t_exec.elapsed(),
+                            reason,
+                            &mut trace,
+                            fault_cap.take(),
+                            t_start,
+                        ));
+                    }
+                    Ok(Err(e)) => {
+                        inner.breaker.record_error();
+                        local.exec_errors = 1;
+                        inner.stats.add(&local);
+                        inner.obs.record(Phase::o3_exec, t_exec.elapsed());
+                        flush_faults(&mut trace, fault_cap.take());
+                        return Err(e.into());
+                    }
+                    Err(_panic) => {
+                        inner.breaker.record_error();
+                        local.exec_panics = 1;
+                        return Ok(self.degraded_outcome(
+                            &mut local,
+                            parts.len(),
+                            partial_expanded,
+                            bcp_hit,
+                            o1,
+                            o2,
+                            t_exec.elapsed(),
+                            DegradeReason::ExecPanic,
+                            &mut trace,
+                            fault_cap.take(),
+                            t_start,
+                        ));
+                    }
+                };
+                let exec = t_exec.elapsed();
+                inner.obs.record(Phase::o3_exec, exec);
+                trace.event(EventKind::Exec {
+                    rows: results.len(),
+                    tuples_examined: exec_stats.tuples_examined,
+                    index_probes: exec_stats.index_probes,
+                    us: exec.as_micros() as u64,
+                });
+                (results, exec_stats, exec)
             }
         };
-        let exec = t_exec.elapsed();
-        inner.obs.record(Phase::o3_exec, exec);
-        trace.event(EventKind::Exec {
-            rows: results.len(),
-            tuples_examined: exec_stats.tuples_examined,
-            index_probes: exec_stats.index_probes,
-            us: exec.as_micros() as u64,
-        });
 
         // ---- Operation O3: dedup + best-effort write-back ----
         let t_o3 = Instant::now();
-        for t in &partial_expanded {
-            *proven
-                .entry((inner.def.bcp_of_tuple(t), Arc::clone(t)))
-                .or_insert(0) += 1;
-        }
-        let mut remaining_expanded: Vec<Arc<Tuple>> = Vec::new();
-        for t in results {
-            if ds.remove_one(&t) {
-                continue; // the user already has this occurrence
-            }
-            let bcp = inner.def.bcp_of_tuple(&t);
-            *proven.entry((bcp.clone(), Arc::clone(&t))).or_insert(0) += 1;
-            candidates.push((self.shard_of(&bcp), bcp, Arc::clone(&t)));
-            remaining_expanded.push(t);
-        }
         // Fill gate: results derived at `pin_epoch` may be written back
         // only if no maintenance completed after the pin — otherwise the
         // fill could resurrect a tuple a later Δ already evicted.
-        // Acquire pairs with the Release in `maintain`.
+        // Acquire pairs with the Release in `maintain`. Known up front,
+        // so a stale pin also skips all fill bookkeeping below.
         let fills_allowed = serving && pin_epoch >= inner.maint_epoch.load(Ordering::Acquire);
-        let fill_by_shard = if fills_allowed {
-            group_by_shard(candidates.drain(..).map(|(si, bcp, t)| {
-                let cap = proven[&(bcp.clone(), Arc::clone(&t))];
-                (si, (bcp, t, cap))
-            }))
-        } else {
-            Vec::new()
-        };
+        // Single-part queries dominate steady-state serving; for them
+        // every result row lies in the one probed bcp, so the per-row
+        // `bcp_of_tuple` reconstruction is skipped.
+        let single_bcp = (parts.len() == 1).then(|| parts[0].bcp.clone());
+        // When the template provably emits unique rows, each remaining
+        // result occurs exactly once: the proven map degenerates to
+        // "cap 1" and is skipped entirely. (A single-part query never
+        // takes the upquery path — an all-complete probe returned
+        // above — so this composes with `single_bcp`.)
+        let unique_fast =
+            !did_upquery && single_bcp.is_some() && inner.def.template().emits_unique_rows(view);
+        // `proven` counts how many occurrences of each tuple this query
+        // proved to exist: served partials plus remaining results. The
+        // fill below never pushes a tuple's cached count past this
+        // bound, which keeps every entry a sub-multiset of its bcp's
+        // true answer even when several queries fill the same entry
+        // concurrently. Only fills read it, so a gated-off fill skips
+        // the bookkeeping altogether.
+        if fills_allowed && !unique_fast {
+            for t in &partial_expanded {
+                *proven.entry(Arc::clone(t)).or_insert(0) += 1;
+            }
+        }
+        let mut remaining_expanded: Vec<Arc<Tuple>> = Vec::new();
+        // Bcps whose full truth this query observed, with the truth's
+        // multiset size: if the entry ends up holding exactly that many
+        // tuples after the fill, it can claim completeness.
+        let mut completable: HashMap<BcpKey, usize> = HashMap::new();
+        if let Some(slices) = upq_slices.take() {
+            // Each upquery slice is its bcp's FULL truth at the pin.
+            // Rows outside the query's select still count toward the
+            // entry (and completeness), but not toward the user's
+            // answer.
+            for (bcp, is_basic, rows) in slices {
+                let total = rows.len();
+                for t in rows {
+                    if !ds.is_empty() && ds.remove_one(&t) {
+                        continue; // already served from the cache
+                    }
+                    if fills_allowed {
+                        *proven.entry(Arc::clone(&t)).or_insert(0) += 1;
+                    }
+                    if is_basic || q.matches_select(&t) {
+                        remaining_expanded.push(t);
+                    }
+                }
+                if fills_allowed && total > 0 {
+                    completable.insert(bcp, total);
+                }
+            }
+        }
+        for t in results {
+            // Skip the multiset probe once DS has drained (and for cold
+            // queries, where it was never populated).
+            if !ds.is_empty() && ds.remove_one(&t) {
+                continue; // the user already has this occurrence
+            }
+            if fills_allowed && !unique_fast {
+                *proven.entry(Arc::clone(&t)).or_insert(0) += 1;
+            }
+            remaining_expanded.push(t);
+        }
+        if fills_allowed && !did_upquery && upquery_on {
+            // Classic full execution: a basic condition part covers its
+            // whole bcp, so the occurrences proven within it are the
+            // bcp's truth.
+            if unique_fast {
+                // Unique rows: each truth tuple was counted exactly
+                // once, as a served partial or as a remaining result.
+                if parts[0].is_basic {
+                    let total = partial_expanded.len() + remaining_expanded.len();
+                    if total > 0 {
+                        completable.insert(parts[0].bcp.clone(), total);
+                    }
+                }
+            } else {
+                for part in &parts {
+                    if part.is_basic {
+                        completable.entry(part.bcp.clone()).or_insert(0);
+                    }
+                }
+                if !completable.is_empty() {
+                    if let Some(bcp) = &single_bcp {
+                        if let Some(total) = completable.get_mut(bcp) {
+                            *total = proven.values().sum();
+                        }
+                    } else {
+                        for (t, n) in proven.iter() {
+                            if let Some(total) = completable.get_mut(&inner.def.bcp_of_tuple(t)) {
+                                *total += *n;
+                            }
+                        }
+                    }
+                }
+                completable.retain(|_, total| *total > 0);
+            }
+        }
+        // Fills are grouped per bcp so each group pays one admit and one
+        // length check; tuples carry their proven occurrence cap.
+        let mut fill_groups: Vec<(BcpKey, Vec<(Arc<Tuple>, usize)>)> = Vec::new();
+        if fills_allowed {
+            if unique_fast {
+                if let (Some(bcp), false) = (&single_bcp, remaining_expanded.is_empty()) {
+                    fill_groups.push((
+                        bcp.clone(),
+                        remaining_expanded
+                            .iter()
+                            .map(|t| (Arc::clone(t), 1))
+                            .collect(),
+                    ));
+                }
+            } else if let Some(bcp) = &single_bcp {
+                if !proven.is_empty() {
+                    fill_groups.push((bcp.clone(), proven.drain().collect()));
+                }
+            } else {
+                let mut by_bcp: FxHashMap<BcpKey, Vec<(Arc<Tuple>, usize)>> = FxHashMap::default();
+                for (t, cap) in proven.drain() {
+                    by_bcp
+                        .entry(inner.def.bcp_of_tuple(&t))
+                        .or_default()
+                        .push((t, cap));
+                }
+                fill_groups.extend(by_bcp);
+            }
+        }
+        let fill_by_shard = group_by_shard(
+            fill_groups
+                .into_iter()
+                .map(|(bcp, tuples)| (self.shard_of(&bcp), (bcp, tuples))),
+        );
         let touch_by_shard = group_by_shard(
             touches
                 .drain(..)
@@ -969,6 +1381,12 @@ impl SharedPmv {
         );
         write_back.sort_unstable();
         write_back.dedup();
+        // Shard write-back is timed apart from the dedup bookkeeping:
+        // it lands under `lock_shard_fill` (the same phase the locked
+        // path uses for its fill loop) and is subtracted from
+        // `o3_dedup`, so that phase measures dedup/provenance work —
+        // not lock waits and LeftRight publishes.
+        let mut fill_total = Duration::ZERO;
         for &si in write_back.iter() {
             // Best-effort: the serving path never *waits* on a shard
             // lock. Skipped touches lose one policy hit; skipped fills
@@ -982,6 +1400,7 @@ impl SharedPmv {
             let t_fill = Instant::now();
             let admitted_before = local.tuples_admitted;
             let evicted_before = store.evictions();
+            let mut marked = false;
             let fill = catch_unwind(AssertUnwindSafe(|| {
                 if let Some((_, group)) = touch_by_shard.iter().find(|(s, _)| *s == si) {
                     for (bcp, served) in group {
@@ -1007,23 +1426,47 @@ impl SharedPmv {
                 // fault-injection registry lock only while a test campaign
                 // is armed; unarmed it is one relaxed load.
                 pmv_faultinject::fire_soft(Site::ShardFill);
-                let mut admit_cache: HashMap<&BcpKey, Residency> = HashMap::new();
-                for (bcp, t, cap) in group {
-                    let residency = *admit_cache.entry(bcp).or_insert_with(|| {
-                        let r = store.admit(bcp);
-                        if r == Residency::Probation {
-                            local.probations += 1;
-                        }
-                        r
-                    });
+                let cap_f = inner.config.f;
+                for (bcp, tuples) in group {
+                    let residency = store.admit(bcp);
+                    if residency == Residency::Probation {
+                        local.probations += 1;
+                    }
                     if residency != Residency::Resident {
                         continue;
                     }
-                    let have = store
-                        .lookup(bcp)
-                        .map_or(0, |ts| ts.iter().filter(|(x, _)| x == t).count());
-                    if have < *cap && store.push_arc(bcp, Arc::clone(t), pin_epoch) {
-                        local.tuples_admitted += 1;
+                    // One length check gates the whole group: an entry
+                    // already at its cap F admits nothing, so the
+                    // per-tuple duplicate scans below are skipped
+                    // entirely in the steady state.
+                    let mut len = store.lookup(bcp).map_or(0, <[_]>::len);
+                    for (t, cap) in tuples {
+                        if len >= cap_f {
+                            break;
+                        }
+                        let have = store
+                            .lookup(bcp)
+                            .map_or(0, |ts| ts.iter().filter(|(x, _)| x == t).count());
+                        if have < *cap && store.push_arc(bcp, Arc::clone(t), pin_epoch) {
+                            local.tuples_admitted += 1;
+                            len += 1;
+                        }
+                    }
+                }
+                // Completeness claims: observed-in-full bcps on this
+                // shard whose entry now holds exactly the proven truth —
+                // with no eviction racing the fill, and the maint-epoch
+                // gate above re-checked under this write lock, so the
+                // pin reflects every change the claim must cover.
+                if store.evictions() == evicted_before {
+                    let at = store.inserts_seen();
+                    for (bcp, total) in &completable {
+                        if self.shard_of(bcp) == si
+                            && store.lookup(bcp).map_or(0, <[_]>::len) == *total
+                            && store.mark_complete(bcp, at)
+                        {
+                            marked = true;
+                        }
                     }
                 }
             }));
@@ -1036,8 +1479,9 @@ impl SharedPmv {
             let admitted = local.tuples_admitted - admitted_before;
             let evicted = store.evictions().saturating_sub(evicted_before);
             // Touches change only policy state, not what the view
-            // serves; republish only when the entry set did change.
-            if poisoned || admitted > 0 || evicted > 0 {
+            // serves; republish only when the entry set or a
+            // completeness claim did change.
+            if poisoned || admitted > 0 || evicted > 0 || marked {
                 // pmv::allow(pin_reaches_blocking_lock): LeftRight::publish
                 // takes the writer-side mutex, which only fills contend on —
                 // never the wait-free reader path. A cold-shard fill is
@@ -1045,11 +1489,14 @@ impl SharedPmv {
                 inner.publish_shard(si, &store);
             }
             drop(store);
+            let fill_elapsed = t_fill.elapsed();
+            fill_total += fill_elapsed;
+            inner.obs.record(Phase::lock_shard_fill, fill_elapsed);
             trace.event(EventKind::Fill {
                 shard: si,
                 admitted,
                 evicted,
-                us: t_fill.elapsed().as_micros() as u64,
+                us: fill_elapsed.as_micros() as u64,
             });
             if poisoned {
                 trace.event(EventKind::Quarantine { shard: si });
@@ -1057,7 +1504,7 @@ impl SharedPmv {
         }
         let ds_leftover = ds.len();
         debug_assert_eq!(ds_leftover, 0, "DS must be empty after O3");
-        let o3_overhead = t_o3.elapsed();
+        let o3_overhead = t_o3.elapsed().saturating_sub(fill_total);
         inner.obs.record(Phase::o3_dedup, o3_overhead);
 
         // ---- Bookkeeping ----
@@ -1221,6 +1668,7 @@ impl SharedPmv {
             .begin_trace_shared(TraceKind::Maintenance, &inner.trace_name);
         let mut fault_cap = inner.obs.enabled().then(pmv_faultinject::capture);
         let relevant = relevant_columns(&template, rel_idx);
+        let strategy = inner.config.effective_strategy();
 
         // Epoch fence for pinned fills — stored BEFORE this maintenance
         // touches any shard lock. A query pinned before this Δ may hold
@@ -1233,13 +1681,23 @@ impl SharedPmv {
         // the Acquire in `run_pinned`.
         inner.maint_epoch.store(db.version(), Ordering::Release);
 
-        // Phase 1: compute the ΔR ⋈ R_j rows and the shards they hash to.
-        let mut removals: Vec<(usize, BcpKey, Tuple)> = Vec::new();
+        // Phase 1: route each delta. Heavy/indexed keys resolve their
+        // affected view tuples straight from the per-shard delta-key
+        // indexes (read locks only, O(fanout) per shard); cold keys
+        // coalesce into one ΔR join per distinct tuple; `DeltaJoin` keeps
+        // the classic per-delta join. The removal's provenance flag
+        // distinguishes index hits for the `index_removals` counters.
+        let mut removals: Vec<(usize, BcpKey, Tuple, bool)> = Vec::new();
+        let mut light_order: Vec<&Tuple> = Vec::new();
+        let mut light_counts: FxHashMap<&Tuple, usize> = FxHashMap::default();
+        let mut any_insert = false;
+        let mut t_index = Duration::ZERO;
         for delta in batch.deltas() {
             let tuple = match delta {
                 Delta::Insert { .. } => {
                     out.inserts_ignored += 1;
                     local.maint_inserts_ignored += 1;
+                    any_insert = true;
                     continue;
                 }
                 Delta::Delete { tuple, .. } => {
@@ -1252,6 +1710,10 @@ impl SharedPmv {
                     if changed.iter().any(|c| relevant.contains(c)) {
                         out.updates_joined += 1;
                         local.maint_updates_joined += 1;
+                        // delete(old) + insert(new): the new image may
+                        // grow some bcp's truth, so completeness claims
+                        // must lapse like for any insert.
+                        any_insert = true;
                         old
                     } else {
                         out.updates_ignored += 1;
@@ -1260,7 +1722,80 @@ impl SharedPmv {
                     }
                 }
             };
-            // Section 3.4 / [25]: if no shard's filter index can match the
+            let mut indexed = match strategy {
+                MaintStrategy::DeltaJoin => false,
+                MaintStrategy::Indexed => true,
+                MaintStrategy::HeavyLight => {
+                    // Every shard shares the template, so shard 0's index
+                    // yields the delta-key hash for the whole view. The
+                    // account's sketch is preferred so the profiler
+                    // reports the same hot keys maintenance acts on; a
+                    // sketch overestimate only routes extra deltas to
+                    // the (equally sound) indexed path.
+                    match inner.shards[0].read().delta_key_hash(rel_idx, tuple) {
+                        None => {
+                            // Unindexable relation (or index disabled):
+                            // coalesce into the light joins below.
+                            let n = light_counts.entry(tuple).or_insert(0);
+                            if *n == 0 {
+                                light_order.push(tuple);
+                            }
+                            *n += 1;
+                            out.light_deltas += 1;
+                            local.maint_light_deltas += 1;
+                            continue;
+                        }
+                        Some(h) => {
+                            let count = match inner.account.get() {
+                                Some(acct) => acct.note_delta_key(h),
+                                None => inner.delta_sketch.lock().note(h),
+                            };
+                            if count >= inner.config.heavy_threshold {
+                                true
+                            } else {
+                                let n = light_counts.entry(tuple).or_insert(0);
+                                if *n == 0 {
+                                    light_order.push(tuple);
+                                }
+                                *n += 1;
+                                out.light_deltas += 1;
+                                local.maint_light_deltas += 1;
+                                continue;
+                            }
+                        }
+                    }
+                }
+            };
+            if indexed {
+                let t0 = Instant::now();
+                let before = removals.len();
+                for (si, s) in inner.shards.iter().enumerate() {
+                    match s.read().supported(rel_idx, tuple) {
+                        Some(sup) => {
+                            for (bcp, t) in sup {
+                                removals.push((si, bcp, (*t).clone(), true));
+                            }
+                        }
+                        None => {
+                            // No usable index for this relation: undo and
+                            // fall back to the classic per-delta join.
+                            removals.truncate(before);
+                            indexed = false;
+                            break;
+                        }
+                    }
+                }
+                t_index += t0.elapsed();
+                if indexed {
+                    out.heavy_deltas += 1;
+                    local.maint_heavy_deltas += 1;
+                    if removals.len() == before {
+                        out.joins_avoided += 1;
+                    }
+                    continue;
+                }
+            }
+            // Section 3.4 / [25]: if no shard's index can match the
             // deleted tuple, nothing cached is affected and the join is
             // skipped entirely.
             let affected = inner
@@ -1271,65 +1806,69 @@ impl SharedPmv {
                 out.joins_avoided += 1;
                 continue;
             }
-            // Transient failures (and panics) in the ΔR join are retried
-            // with exponential backoff. If the join keeps failing, fall
-            // back to draining every shard the tuple may affect —
-            // removal-only, so the view under-serves until revalidated
-            // but never serves a tuple the delete should have evicted.
-            let mut rows = None;
-            let mut attempt: u32 = 0;
-            loop {
-                match catch_unwind(AssertUnwindSafe(|| {
-                    join_from(db, &template, rel_idx, tuple)
-                })) {
-                    Ok(Ok(r)) => {
-                        rows = Some(r);
-                        break;
-                    }
-                    Ok(Err(e)) if e.is_transient() => {}
-                    Ok(Err(e)) => {
-                        inner.stats.add(&local);
-                        inner.obs.record(Phase::maint_join, t_start.elapsed());
-                        flush_faults(&mut trace, fault_cap.take());
-                        return Err(e.into());
-                    }
-                    Err(_panic) => {}
-                }
-                if attempt >= inner.config.maint_retries {
-                    break;
-                }
-                attempt += 1;
-                out.retries += 1;
-                local.maint_retries += 1;
-                std::thread::sleep(inner.config.maint_backoff * (1u32 << (attempt - 1).min(10)));
-            }
-            match rows {
-                Some(rows) => {
+            match self.join_with_retry(db, &template, rel_idx, tuple, &mut out, &mut local) {
+                Ok(Some(rows)) => {
                     out.join_rows += rows.len();
+                    local.maint_join_rows += rows.len() as u64;
                     for row in rows {
                         let bcp = inner.def.bcp_of_tuple(&row);
-                        removals.push((self.shard_of(&bcp), bcp, row));
+                        removals.push((self.shard_of(&bcp), bcp, row, false));
                     }
                 }
-                None => {
-                    out.fallback_invalidations += 1;
-                    local.maint_fallbacks += 1;
-                    inner.breaker.record_error();
-                    for (si, s) in inner.shards.iter().enumerate() {
-                        let mut store = s.write();
-                        if !store.is_quarantined() && store.would_affect(rel_idx, tuple) {
-                            store.quarantine();
-                            local.quarantine_events += 1;
-                            inner.publish_shard(si, &store);
+                Ok(None) => self.drain_affected(rel_idx, tuple, &mut out, &mut local),
+                Err(e) => {
+                    inner.stats.add(&local);
+                    inner.obs.record(Phase::maint_join, t_start.elapsed());
+                    flush_faults(&mut trace, fault_cap.take());
+                    return Err(e);
+                }
+            }
+        }
+        if t_index > Duration::ZERO {
+            inner.obs.record(Phase::maint_index, t_index);
+        }
+
+        // Light path: one coalesced ΔR join per distinct cold tuple.
+        // Every join runs against the same post-delta base state, so a
+        // tuple deleted `n` times yields `n` identical row sets — the
+        // rows are pushed once per occurrence instead of re-joining.
+        for tuple in light_order {
+            let occurrences = light_counts[tuple];
+            let affected = inner
+                .shards
+                .iter()
+                .any(|s| s.read().would_affect(rel_idx, tuple));
+            if !affected {
+                out.joins_avoided += 1;
+                continue;
+            }
+            match self.join_with_retry(db, &template, rel_idx, tuple, &mut out, &mut local) {
+                Ok(Some(rows)) => {
+                    out.coalesced_joins += 1;
+                    local.maint_coalesced_joins += 1;
+                    out.join_rows += rows.len() * occurrences;
+                    local.maint_join_rows += (rows.len() * occurrences) as u64;
+                    for row in rows {
+                        let bcp = inner.def.bcp_of_tuple(&row);
+                        let si = self.shard_of(&bcp);
+                        for _ in 0..occurrences {
+                            removals.push((si, bcp.clone(), row.clone(), false));
                         }
                     }
+                }
+                Ok(None) => self.drain_affected(rel_idx, tuple, &mut out, &mut local),
+                Err(e) => {
+                    inner.stats.add(&local);
+                    inner.obs.record(Phase::maint_join, t_start.elapsed());
+                    flush_faults(&mut trace, fault_cap.take());
+                    return Err(e);
                 }
             }
         }
 
         // Phase 2: X-lock only the affected shards, in ascending index
-        // order, and evict the joined view tuples.
-        let mut affected_shards: Vec<usize> = removals.iter().map(|(s, _, _)| *s).collect();
+        // order, and evict the joined/indexed view tuples.
+        let mut affected_shards: Vec<usize> = removals.iter().map(|(s, _, _, _)| *s).collect();
         affected_shards.sort_unstable();
         affected_shards.dedup();
         for si in affected_shards {
@@ -1341,10 +1880,14 @@ impl SharedPmv {
             }
             let evict = catch_unwind(AssertUnwindSafe(|| {
                 pmv_faultinject::fire_soft(Site::ShardMaint);
-                for (s, bcp, row) in &removals {
+                for (s, bcp, row, via_index) in &removals {
                     if *s == si && store.remove_tuple(bcp, row) {
                         out.view_tuples_removed += 1;
                         local.maint_tuples_removed += 1;
+                        if *via_index {
+                            out.index_removals += 1;
+                            local.maint_index_removals += 1;
+                        }
                     }
                 }
             }));
@@ -1361,6 +1904,21 @@ impl SharedPmv {
             drop(store);
             if poisoned {
                 trace.event(EventKind::Quarantine { shard: si });
+            }
+        }
+
+        // Insert watermark: bump every shard so stale completeness
+        // claims lapse (the bcp's truth may have grown). Republish only
+        // shards that actually held claims — insert-heavy batches on a
+        // claim-free view stay O(shards) watermark bumps.
+        if any_insert {
+            for (si, s) in inner.shards.iter().enumerate() {
+                let mut store = s.write();
+                let had_claims = store.any_complete();
+                store.note_insert();
+                if had_claims {
+                    inner.publish_shard(si, &store);
+                }
             }
         }
         inner.mark_verified();
@@ -1383,17 +1941,117 @@ impl SharedPmv {
         Ok(out)
     }
 
+    /// One ΔR join with the transient-retry/backoff loop. `Ok(None)`
+    /// means retries were exhausted (the caller drains the affected
+    /// shards); permanent errors propagate.
+    fn join_with_retry(
+        &self,
+        db: &Database,
+        template: &QueryTemplate,
+        rel_idx: usize,
+        tuple: &Tuple,
+        out: &mut MaintenanceOutcome,
+        local: &mut PmvStats,
+    ) -> Result<Option<Vec<Tuple>>> {
+        let inner = &*self.inner;
+        let mut attempt: u32 = 0;
+        loop {
+            match catch_unwind(AssertUnwindSafe(|| join_from(db, template, rel_idx, tuple))) {
+                Ok(Ok(r)) => return Ok(Some(r)),
+                Ok(Err(e)) if e.is_transient() => {}
+                Ok(Err(e)) => return Err(e.into()),
+                Err(_panic) => {}
+            }
+            if attempt >= inner.config.maint_retries {
+                return Ok(None);
+            }
+            attempt += 1;
+            out.retries += 1;
+            local.maint_retries += 1;
+            std::thread::sleep(inner.config.maint_backoff * (1u32 << (attempt - 1).min(10)));
+        }
+    }
+
+    /// Retry-exhausted fallback: drain (quarantine) every shard the
+    /// tuple may affect — removal-only, so the view under-serves until
+    /// revalidated but never serves a tuple the delete should have
+    /// evicted.
+    fn drain_affected(
+        &self,
+        rel_idx: usize,
+        tuple: &Tuple,
+        out: &mut MaintenanceOutcome,
+        local: &mut PmvStats,
+    ) {
+        let inner = &*self.inner;
+        out.fallback_invalidations += 1;
+        local.maint_fallbacks += 1;
+        inner.breaker.record_error();
+        for (si, s) in inner.shards.iter().enumerate() {
+            let mut store = s.write();
+            if !store.is_quarantined() && store.would_affect(rel_idx, tuple) {
+                store.quarantine();
+                local.quarantine_events += 1;
+                inner.publish_shard(si, &store);
+            }
+        }
+    }
+
     /// Apply several batches (e.g. a whole transaction's) in order, under
-    /// the same visibility contract as [`Self::maintain`].
+    /// the same visibility contract as [`Self::maintain`], then run the
+    /// cross-relation union pass: a transaction deleting matching tuples
+    /// from several base relations leaves derivations that no
+    /// single-relation ΔR join rederives (each join sees the *other*
+    /// relation's tuple already gone). Every multi-bound combination of
+    /// the batches' before-images is joined with [`join_fixed`] and its
+    /// rows removed too.
     pub fn maintain_all(
         &self,
         db: &Database,
         batches: &[DeltaBatch],
     ) -> Result<MaintenanceOutcome> {
+        let inner = &*self.inner;
         let mut total = MaintenanceOutcome::default();
         for b in batches {
             let o = self.maintain(db, b)?;
             total.absorb(&o);
+        }
+        let template = inner.def.template().clone();
+        let combos = cross_delta_combos(&template, batches);
+        if !combos.is_empty() {
+            let t0 = Instant::now();
+            let mut local = PmvStats::default();
+            // No shard lock is held during the joins (lint rule: never
+            // an executor call under a shard guard).
+            let mut removals: Vec<(usize, BcpKey, Tuple)> = Vec::new();
+            for combo in &combos {
+                let rows = join_fixed(db, &template, combo)?;
+                total.join_rows += rows.len();
+                local.maint_join_rows += rows.len() as u64;
+                for row in rows {
+                    let bcp = inner.def.bcp_of_tuple(&row);
+                    removals.push((self.shard_of(&bcp), bcp, row));
+                }
+            }
+            let mut shards_touched: Vec<usize> = removals.iter().map(|(s, _, _)| *s).collect();
+            shards_touched.sort_unstable();
+            shards_touched.dedup();
+            for si in shards_touched {
+                let mut store = inner.shards[si].write();
+                if store.is_quarantined() {
+                    continue;
+                }
+                for (s, bcp, row) in &removals {
+                    if *s == si && store.remove_tuple(bcp, row) {
+                        total.view_tuples_removed += 1;
+                        local.maint_tuples_removed += 1;
+                    }
+                }
+                inner.publish_shard(si, &store);
+            }
+            inner.stats.add(&local);
+            inner.obs.record(Phase::maint_join, t0.elapsed());
+            inner.mark_verified();
         }
         // Per-batch relevance is reported on the individual outcomes;
         // the transaction-level total keeps the historical `false`.

@@ -1,0 +1,317 @@
+//! Delta-key index: the partial-state maintenance operator.
+//!
+//! The maintenance filter (Section 3.4, [`crate::maint_filter`]) only
+//! *counts* cached projections — it can skip a ΔR join, but when the
+//! projection is present it still has to run the full `ΔR_i ⋈ R_j`
+//! recompute to find which view tuples die. This index closes that gap:
+//! for each base relation `R_i` it maps the projection of `R_i`'s
+//! `Ls'` columns directly to the resident view tuples carrying those
+//! values, so a delete removes exactly the supported tuples in
+//! O(|Δ| · fanout) with **no base-relation join at all**.
+//!
+//! Soundness argument (same as the filter's): every view tuple `v`
+//! derived from a base tuple `t ∈ R_i` *contains* `t`'s `Ls'`-relevant
+//! columns, so all derivations of `v` from `R_i` project to
+//! `view_key(v)` and a delete of `t` can only affect tuples filed under
+//! `base_key(t)`. The index may *over*-remove: if two distinct base
+//! tuples share a projection (multiplicity `m_i > 1`), removing one
+//! still removes every supported view tuple. Removal-only
+//! over-approximation is sound for a partial view — the cache never
+//! lies, it merely under-serves — and the lost slice is repaired by the
+//! next fill or a targeted upquery. Because the indexed path consults
+//! only the *view* side, never current base state, it is naturally
+//! correct for transactions deleting matching tuples from several base
+//! relations (the cross-relation case that trips sequential ΔR joins).
+//!
+//! The index also subsumes the filter's skip test: an absent projection
+//! means no cached tuple can be affected, so the join (and now even the
+//! indexed walk) is skipped.
+
+use std::sync::Arc;
+
+use crate::bcp::BcpKey;
+use crate::fasthash::{FxBuildHasher, FxHashMap};
+use crate::maint_filter::RelSpec;
+use pmv_query::QueryTemplate;
+use pmv_storage::{Tuple, Value};
+
+/// One supported view tuple: the bcp it is filed under and the shared
+/// tuple itself.
+pub type Supported = (BcpKey, Arc<Tuple>);
+
+/// Per-view index from base-relation projection keys to the resident
+/// view tuples they support, one map per base relation.
+pub struct DeltaKeyIndex {
+    specs: Vec<RelSpec>,
+    /// `maps[i]`: projection of cached view tuples onto relation i's
+    /// `Ls'` columns → every cached (bcp, tuple) with that projection.
+    maps: Vec<FxHashMap<Box<[Value]>, Vec<Supported>>>,
+    /// ΔR joins skipped because the projection was absent.
+    joins_avoided: u64,
+}
+
+impl DeltaKeyIndex {
+    /// Build the (empty) index for a template.
+    pub fn new(template: &QueryTemplate) -> Self {
+        let specs = RelSpec::for_template(template);
+        let n = specs.len();
+        DeltaKeyIndex {
+            specs,
+            maps: (0..n).map(|_| FxHashMap::default()).collect(),
+            joins_avoided: 0,
+        }
+    }
+
+    /// Register a cached view tuple under its bcp.
+    pub fn add(&mut self, bcp: &BcpKey, tuple: &Arc<Tuple>) {
+        for rel in 0..self.specs.len() {
+            let key = self.specs[rel].view_key(tuple);
+            self.maps[rel]
+                .entry(key)
+                .or_default()
+                .push((bcp.clone(), Arc::clone(tuple)));
+        }
+    }
+
+    /// Unregister one occurrence of a cached view tuple.
+    pub fn remove(&mut self, view_tuple: &Tuple) {
+        for rel in 0..self.specs.len() {
+            let key = self.specs[rel].view_key(view_tuple);
+            match self.maps[rel].get_mut(&key) {
+                Some(entries) => {
+                    if let Some(pos) = entries.iter().position(|(_, t)| **t == *view_tuple) {
+                        entries.swap_remove(pos);
+                        if entries.is_empty() {
+                            self.maps[rel].remove(&key);
+                        }
+                    } else {
+                        debug_assert!(false, "index missing tuple for relation {rel}");
+                    }
+                }
+                None => debug_assert!(false, "index underflow for relation {rel}"),
+            }
+        }
+    }
+
+    /// Could deleting `base_tuple` from relation `rel` affect any cached
+    /// tuple? `false` means all maintenance work for this delta can be
+    /// skipped (sound: never a false negative). Relations contributing
+    /// no `Ls'` attribute always answer `true` (no information).
+    pub fn may_affect(&mut self, rel: usize, base_tuple: &Tuple) -> bool {
+        let hit = self.check(rel, base_tuple);
+        if !hit {
+            self.joins_avoided += 1;
+        }
+        hit
+    }
+
+    /// Read-only form of [`Self::may_affect`] (no skip counting).
+    pub fn check(&self, rel: usize, base_tuple: &Tuple) -> bool {
+        if self.specs[rel].view_positions.is_empty() {
+            return true;
+        }
+        let key = self.specs[rel].base_key(base_tuple);
+        self.maps[rel].contains_key(&key)
+    }
+
+    /// The cached view tuples supported by `base_tuple` in relation
+    /// `rel` — exactly the tuples a delete of `base_tuple` must remove.
+    /// Cloned out so the caller can mutate the store (which mutates this
+    /// index) while iterating. Empty when the relation has no `Ls'`
+    /// columns (the caller must fall back to the join — the index has
+    /// nothing to key on).
+    pub fn supported(&self, rel: usize, base_tuple: &Tuple) -> Vec<Supported> {
+        if self.specs[rel].view_positions.is_empty() {
+            return Vec::new();
+        }
+        let key = self.specs[rel].base_key(base_tuple);
+        self.maps[rel].get(&key).cloned().unwrap_or_default()
+    }
+
+    /// Whether relation `rel` projects at least one `Ls'` column — the
+    /// precondition for the indexed removal path.
+    pub fn indexable(&self, rel: usize) -> bool {
+        !self.specs[rel].view_positions.is_empty()
+    }
+
+    /// Stable hash of `base_tuple`'s projection key for relation `rel`
+    /// — the heavy-hitter sketch's input. The (rel, key) pair is folded
+    /// together so equal values in different relations stay distinct.
+    pub fn base_key_hash(&self, rel: usize, base_tuple: &Tuple) -> u64 {
+        use std::hash::{BuildHasher, Hash, Hasher};
+        let mut h = FxBuildHasher::default().build_hasher();
+        rel.hash(&mut h);
+        for &c in &self.specs[rel].base_columns {
+            base_tuple.get(c).hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// The `(Ls' positions, base columns)` projection spec for one
+    /// relation — audited by the static verifier exactly like the
+    /// maintenance filter's (`PMV005 UnsoundMaintFilter`).
+    pub fn rel_spec(&self, rel: usize) -> (&[usize], &[usize]) {
+        let spec = &self.specs[rel];
+        (&spec.view_positions, &spec.base_columns)
+    }
+
+    /// Number of ΔR joins the index has skipped.
+    pub fn joins_avoided(&self) -> u64 {
+        self.joins_avoided
+    }
+
+    /// Drop every tracked projection (store drained, e.g. quarantine).
+    /// The skip counter survives — cumulative history.
+    pub fn clear(&mut self) {
+        for m in &mut self.maps {
+            m.clear();
+        }
+    }
+
+    /// Total distinct projections tracked (diagnostic).
+    pub fn key_count(&self) -> usize {
+        self.maps.iter().map(FxHashMap::len).sum()
+    }
+
+    /// Compare against the full cached-tuple multiset, returning a
+    /// violation message per drifted relation. Never panics.
+    pub fn check_against(&self, cached: &[Tuple]) -> Vec<String> {
+        use std::collections::HashMap;
+        let mut violations = Vec::new();
+        for rel in 0..self.specs.len() {
+            let mut expect: HashMap<Box<[Value]>, usize> = HashMap::new();
+            for t in cached {
+                *expect.entry(self.specs[rel].view_key(t)).or_insert(0) += 1;
+            }
+            let got: HashMap<Box<[Value]>, usize> = self.maps[rel]
+                .iter()
+                .map(|(k, v)| (k.clone(), v.len()))
+                .collect();
+            if expect != got {
+                violations.push(format!("delta-key index drifted for relation {rel}"));
+            }
+        }
+        violations
+    }
+
+    /// Validate against the full cached-tuple multiset (test helper).
+    pub fn validate(&self, cached: &[Tuple]) {
+        let violations = self.check_against(cached);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bcp::BcpDim;
+    use pmv_query::TemplateBuilder;
+    use pmv_storage::{tuple, Column, ColumnType, Schema};
+
+    fn template() -> std::sync::Arc<QueryTemplate> {
+        TemplateBuilder::new("t")
+            .relation(Schema::new(
+                "r",
+                vec![
+                    Column::new("a", ColumnType::Int),
+                    Column::new("c", ColumnType::Int),
+                    Column::new("f", ColumnType::Int),
+                ],
+            ))
+            .relation(Schema::new(
+                "s",
+                vec![
+                    Column::new("d", ColumnType::Int),
+                    Column::new("e", ColumnType::Int),
+                    Column::new("g", ColumnType::Int),
+                ],
+            ))
+            .join("r", "c", "s", "d")
+            .unwrap()
+            .select("r", "a")
+            .unwrap()
+            .select("s", "e")
+            .unwrap()
+            .cond_eq("r", "f")
+            .unwrap()
+            .cond_eq("s", "g")
+            .unwrap()
+            .build()
+            .unwrap()
+    }
+
+    fn bcp(f: i64, g: i64) -> BcpKey {
+        BcpKey::new(vec![BcpDim::Eq(Value::Int(f)), BcpDim::Eq(Value::Int(g))])
+    }
+
+    // Ls' layout for this template: (r.a, s.e, r.f, s.g).
+
+    #[test]
+    fn supported_returns_exactly_the_affected_tuples() {
+        let t = template();
+        let mut idx = DeltaKeyIndex::new(&t);
+        let v1 = Arc::new(tuple![1i64, 2i64, 1i64, 7i64]);
+        let v2 = Arc::new(tuple![1i64, 3i64, 1i64, 7i64]);
+        let v3 = Arc::new(tuple![9i64, 2i64, 5i64, 7i64]);
+        idx.add(&bcp(1, 7), &v1);
+        idx.add(&bcp(1, 7), &v2);
+        idx.add(&bcp(5, 7), &v3);
+        // Deleting r-tuple (a=1, c=4, f=1): projection (1, 1) supports
+        // v1 and v2, not v3.
+        let hit = idx.supported(0, &tuple![1i64, 4i64, 1i64]);
+        assert_eq!(hit.len(), 2);
+        assert!(hit.iter().all(|(b, _)| *b == bcp(1, 7)));
+        // s-side delete (d=4, e=2, g=7): projection (2, 7) supports v1
+        // and v3.
+        let hit = idx.supported(1, &tuple![4i64, 2i64, 7i64]);
+        assert_eq!(hit.len(), 2);
+        // Unrelated delete: nothing, and may_affect counts the skip.
+        assert!(idx.supported(0, &tuple![8i64, 0i64, 8i64]).is_empty());
+        assert!(!idx.may_affect(0, &tuple![8i64, 0i64, 8i64]));
+        assert_eq!(idx.joins_avoided(), 1);
+    }
+
+    #[test]
+    fn remove_drops_one_occurrence() {
+        let t = template();
+        let mut idx = DeltaKeyIndex::new(&t);
+        let v = Arc::new(tuple![1i64, 2i64, 1i64, 7i64]);
+        idx.add(&bcp(1, 7), &v);
+        idx.add(&bcp(1, 7), &v);
+        idx.remove(&v);
+        assert_eq!(idx.supported(0, &tuple![1i64, 0i64, 1i64]).len(), 1);
+        idx.remove(&v);
+        assert!(idx.supported(0, &tuple![1i64, 0i64, 1i64]).is_empty());
+        assert_eq!(idx.key_count(), 0);
+    }
+
+    #[test]
+    fn validate_matches_multiset_and_clear_empties() {
+        let t = template();
+        let mut idx = DeltaKeyIndex::new(&t);
+        let tuples = [
+            tuple![1i64, 2i64, 1i64, 7i64],
+            tuple![1i64, 2i64, 1i64, 7i64],
+            tuple![7i64, 8i64, 3i64, 9i64],
+        ];
+        for tu in &tuples {
+            idx.add(&bcp(0, 0), &Arc::new(tu.clone()));
+        }
+        idx.validate(&tuples);
+        idx.remove(&tuples[0]);
+        idx.validate(&tuples[1..]);
+        idx.clear();
+        idx.validate(&[]);
+    }
+
+    #[test]
+    fn base_key_hash_distinguishes_relations_and_keys() {
+        let t = template();
+        let idx = DeltaKeyIndex::new(&t);
+        let r_tuple = tuple![1i64, 4i64, 1i64];
+        let h1 = idx.base_key_hash(0, &r_tuple);
+        assert_eq!(h1, idx.base_key_hash(0, &tuple![1i64, 99i64, 1i64]));
+        assert_ne!(h1, idx.base_key_hash(0, &tuple![2i64, 4i64, 1i64]));
+        assert_ne!(h1, idx.base_key_hash(1, &r_tuple));
+    }
+}

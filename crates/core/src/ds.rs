@@ -7,9 +7,9 @@
 //! tuples. In the case that t∈DS, if t is not removed from DS and later
 //! another tuple t' = t comes, the user can miss some result tuples."
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
+use crate::fasthash::FxHashMap;
 use pmv_storage::Tuple;
 
 /// Multiset of `Ls'`-layout result tuples.
@@ -17,10 +17,12 @@ use pmv_storage::Tuple;
 /// Keys are `Arc<Tuple>` shared with the PMV store and the query
 /// outcome, so building DS from served partials copies pointers, not
 /// tuples. Lookups still take `&Tuple` (via `Borrow`), so the executor
-/// can probe with borrowed tuples.
+/// can probe with borrowed tuples. The table hashes with
+/// [`crate::fasthash::FxHasher`]: every O3 result tuple probes DS, and
+/// the profiled `o3_dedup` cost was mostly SipHash, not dedup logic.
 #[derive(Default)]
 pub struct Ds {
-    counts: HashMap<Arc<Tuple>, usize>,
+    counts: FxHashMap<Arc<Tuple>, usize>,
     len: usize,
     peak: usize,
 }

@@ -24,6 +24,9 @@
 //! * [`ds`] — the O2/O3 dedup multiset (3.3)
 //! * [`pipeline`] — Operations O1/O2/O3 with S-locking (3.3, 3.6)
 //! * [`maintenance`] — deferred maintenance under X locks (3.4)
+//! * [`delta_index`] — delta-key index: O(|Δ| · fanout) partial-state
+//!   maintenance with no base-relation join (3.4, DESIGN.md §19)
+//! * [`fasthash`] — multiply-fold hasher for the hot dedup/index maps
 //! * [`mv`] — traditional-MV and small-MV baselines (2.2, 2.3)
 //! * [`ext`] — DISTINCT / aggregate / EXISTS / popularity-ranking
 //!   extensions (3.6 and the conclusion)
@@ -41,9 +44,11 @@
 pub mod advisor;
 pub mod bcp;
 pub mod concurrent;
+pub mod delta_index;
 pub mod ds;
 pub mod epoch;
 pub mod ext;
+pub mod fasthash;
 pub mod health;
 pub mod maint_filter;
 pub mod maintenance;
@@ -59,8 +64,10 @@ pub mod view;
 pub use advisor::{AdvisorConfig, PmvAdvisor, Recommendation};
 pub use bcp::{BcpDim, BcpKey, Discretizer};
 pub use concurrent::SharedPmv;
+pub use delta_index::DeltaKeyIndex;
 pub use ds::Ds;
 pub use epoch::EpochDb;
+pub use fasthash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use health::{
     BreakerConfig, CircuitBreaker, Degradation, DegradeReason, ShardReport, ValidationReport,
     ViewHealth,
@@ -82,7 +89,7 @@ pub use verify::{
     verify_def, verify_parts, DiagCode, Diagnostic, FilterSpec, Severity, VerifyOptions,
     VerifyPolicy, VerifyReport,
 };
-pub use view::{PartialViewDef, PmvConfig};
+pub use view::{MaintStrategy, PartialViewDef, PmvConfig};
 
 /// Errors from the PMV layer.
 #[derive(Debug)]

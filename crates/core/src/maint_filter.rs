@@ -24,28 +24,20 @@ use pmv_storage::{Tuple, Value};
 
 /// Per-relation projection spec: which `Ls'` positions hold relation
 /// `i`'s attributes, and which base-relation columns they correspond to.
+/// Shared with [`crate::delta_index::DeltaKeyIndex`] — the delta-key
+/// index keys on exactly the same projection, just mapping to the
+/// supported tuples instead of a count.
 #[derive(Clone, Debug)]
-struct RelSpec {
+pub(crate) struct RelSpec {
     /// Positions in the `Ls'` result layout.
-    view_positions: Vec<usize>,
+    pub(crate) view_positions: Vec<usize>,
     /// Matching column indices in the base relation.
-    base_columns: Vec<usize>,
+    pub(crate) base_columns: Vec<usize>,
 }
 
-/// Multiset filter index over cached view tuples, one map per base
-/// relation.
-pub struct MaintFilter {
-    specs: Vec<RelSpec>,
-    /// `counts[i]`: projection of cached view tuples onto relation i's
-    /// attributes → number of cached tuples with that projection.
-    counts: Vec<HashMap<Box<[Value]>, usize>>,
-    /// Joins skipped thanks to the filter (for reporting).
-    joins_avoided: u64,
-}
-
-impl MaintFilter {
-    /// Build the (empty) filter for a template.
-    pub fn new(template: &QueryTemplate) -> Self {
+impl RelSpec {
+    /// One spec per base relation of `template`, in relation order.
+    pub(crate) fn for_template(template: &QueryTemplate) -> Vec<RelSpec> {
         let n = template.relations().len();
         let mut specs = Vec::with_capacity(n);
         for rel in 0..n {
@@ -62,6 +54,43 @@ impl MaintFilter {
                 base_columns,
             });
         }
+        specs
+    }
+
+    /// Project a cached view tuple (`Ls'` layout) onto this relation's
+    /// attributes.
+    pub(crate) fn view_key(&self, view_tuple: &Tuple) -> Box<[Value]> {
+        self.view_positions
+            .iter()
+            .map(|&p| view_tuple.get(p).clone())
+            .collect()
+    }
+
+    /// Project a base-relation tuple onto the same attributes.
+    pub(crate) fn base_key(&self, base_tuple: &Tuple) -> Box<[Value]> {
+        self.base_columns
+            .iter()
+            .map(|&c| base_tuple.get(c).clone())
+            .collect()
+    }
+}
+
+/// Multiset filter index over cached view tuples, one map per base
+/// relation.
+pub struct MaintFilter {
+    specs: Vec<RelSpec>,
+    /// `counts[i]`: projection of cached view tuples onto relation i's
+    /// attributes → number of cached tuples with that projection.
+    counts: Vec<HashMap<Box<[Value]>, usize>>,
+    /// Joins skipped thanks to the filter (for reporting).
+    joins_avoided: u64,
+}
+
+impl MaintFilter {
+    /// Build the (empty) filter for a template.
+    pub fn new(template: &QueryTemplate) -> Self {
+        let specs = RelSpec::for_template(template);
+        let n = specs.len();
         MaintFilter {
             specs,
             counts: vec![HashMap::new(); n],
@@ -70,19 +99,11 @@ impl MaintFilter {
     }
 
     fn view_key(&self, rel: usize, view_tuple: &Tuple) -> Box<[Value]> {
-        self.specs[rel]
-            .view_positions
-            .iter()
-            .map(|&p| view_tuple.get(p).clone())
-            .collect()
+        self.specs[rel].view_key(view_tuple)
     }
 
     fn base_key(&self, rel: usize, base_tuple: &Tuple) -> Box<[Value]> {
-        self.specs[rel]
-            .base_columns
-            .iter()
-            .map(|&c| base_tuple.get(c).clone())
-            .collect()
+        self.specs[rel].base_key(base_tuple)
     }
 
     /// Register a cached view tuple.

@@ -16,13 +16,14 @@
 //! serializability argument. The end-of-O3 invariant "DS must be empty"
 //! is checked and surfaced in the outcome.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use pmv_obs::{EventKind, ObsRegistry, Phase, TraceKind};
+use pmv_obs::{EventKind, ObsRegistry, Phase, SpaceSaving, TraceKind, DEFAULT_SKETCH_CAPACITY};
 use pmv_query::{
-    execute, execute_bounded_arc, Database, ExecBudget, ExecStats, LockManager, QueryInstance,
+    execute, execute_bounded_arc, upquery_fill, Database, ExecBudget, ExecStats, LockManager,
+    QueryInstance,
 };
 use pmv_storage::Tuple;
 
@@ -47,6 +48,9 @@ pub struct Pmv {
     pub(crate) last_verified: Instant,
     /// Per-phase latency histograms + lifecycle trace ring.
     pub(crate) obs: ObsRegistry,
+    /// Space-saving sketch over delta-key hashes — the heavy/light
+    /// router for [`crate::view::MaintStrategy::HeavyLight`].
+    pub(crate) delta_sketch: SpaceSaving,
 }
 
 impl Pmv {
@@ -54,7 +58,7 @@ impl Pmv {
     pub fn new(def: PartialViewDef, config: PmvConfig) -> Self {
         let mut store = PmvStore::new(&config);
         if config.maint_filter {
-            store.enable_filter(crate::maint_filter::MaintFilter::new(def.template()));
+            store.enable_index(crate::delta_index::DeltaKeyIndex::new(def.template()));
         }
         let breaker = CircuitBreaker::new(config.breaker);
         Pmv {
@@ -65,6 +69,7 @@ impl Pmv {
             breaker,
             last_verified: Instant::now(),
             obs: ObsRegistry::new(),
+            delta_sketch: SpaceSaving::new(DEFAULT_SKETCH_CAPACITY),
         }
     }
 
@@ -123,11 +128,13 @@ impl Pmv {
     }
 
     /// Repair utility: re-execute each resident bcp's query and drop any
-    /// cached tuple not in the current answer. Useful after maintenance
-    /// sequences the deferred scheme cannot cover (e.g. one transaction
-    /// deleting matching tuples from two base relations); also the oracle
-    /// the property tests use. Lifts any quarantine and resets the
-    /// circuit breaker — the cache is known-consistent afterwards.
+    /// cached tuple not in the current answer. Useful after direct base
+    /// mutations that bypassed maintenance, or to recover a quarantined
+    /// view; also the oracle the property tests use. (Cross-relation
+    /// same-transaction deletes no longer need it —
+    /// [`PmvPipeline::maintain_all`] runs the union pass.) Lifts any
+    /// quarantine and resets the circuit breaker — the cache is
+    /// known-consistent afterwards.
     pub fn revalidate(&mut self, db: &Database) -> Result<usize> {
         let t_start = Instant::now();
         let mut trace = self.obs.begin_trace(TraceKind::Revalidate, self.def.name());
@@ -333,21 +340,60 @@ impl PmvPipeline {
             serving,
             state: pmv.breaker.state().as_str(),
         });
+        // Targeted-upquery classification: a part whose containing bcp
+        // holds a *complete* answer (stamped at the current insert
+        // watermark) needs no execution at all; the remaining "open"
+        // parts are refilled per-bcp or answered by the full O3 run.
+        let mut open_parts: Vec<&ConditionPart> = Vec::new();
+        let mut complete_parts: Vec<&ConditionPart> = Vec::new();
+        // Tuples served from complete entries stay out of DS — nothing
+        // will re-produce them — unless we fall back to the full O3 run
+        // (which re-produces everything and needs them for dedup).
+        let mut complete_served: Vec<Arc<Tuple>> = Vec::new();
         if serving {
-            let part_refs: Vec<&ConditionPart> = parts.iter().collect();
+            for part in &parts {
+                if pmv.config.upquery && pmv.store.entry_complete(&part.bcp) {
+                    complete_parts.push(part);
+                } else {
+                    open_parts.push(part);
+                }
+            }
+            for part in &complete_parts {
+                if counters.contains_key(&part.bcp) {
+                    continue;
+                }
+                let Some(entries) = pmv.store.lookup(&part.bcp) else {
+                    continue;
+                };
+                let mut served = false;
+                for (t, _) in entries {
+                    if part.is_basic || q.matches_select(t) {
+                        partial_expanded.push(Arc::clone(t));
+                        complete_served.push(Arc::clone(t));
+                        served = true;
+                    }
+                }
+                bcp_hit = true;
+                let cached_count = entries.len();
+                counters.insert(part.bcp.clone(), cached_count);
+                pmv.store.touch(&part.bcp, served);
+                pmv.stats.complete_serves += 1;
+            }
             // The locked pipeline holds the S lock through O3, so every
             // cached tuple is consistent regardless of fill epoch: pin
             // at u64::MAX (serve everything).
             probe_parts(
                 &mut pmv.store,
                 q,
-                &part_refs,
+                &open_parts,
                 u64::MAX,
                 &mut counters,
                 &mut ds,
                 &mut partial_expanded,
                 &mut bcp_hit,
             );
+        } else {
+            open_parts = parts.iter().collect();
         }
         let o2 = t_o2.elapsed();
         pmv.obs.record(Phase::o2_probe, o2);
@@ -364,6 +410,203 @@ impl PmvPipeline {
                 us: ttfr.as_micros() as u64,
             },
         );
+
+        // ---- Complete-serve fast path: every probed bcp holds a
+        // complete, current answer — the partials ARE the full answer
+        // and no execution runs at all. ----
+        if serving && pmv.config.upquery && !parts.is_empty() && open_parts.is_empty() {
+            pmv.obs.record(Phase::full, t_start.elapsed());
+            flush_faults(&mut trace, fault_cap.take());
+            pmv.stats.queries += 1;
+            pmv.stats.condition_parts += parts.len() as u64;
+            pmv.stats.bcp_hit_queries += 1;
+            if !partial_expanded.is_empty() {
+                pmv.stats.serving_queries += 1;
+                pmv.stats.partial_tuples_served += partial_expanded.len() as u64;
+            }
+            let template = pmv.def.template();
+            let partial = partial_expanded
+                .iter()
+                .map(|t| template.user_tuple(t))
+                .collect();
+            return Ok(QueryOutcome {
+                partial,
+                remaining: Vec::new(),
+                partial_expanded,
+                remaining_expanded: Vec::new(),
+                bcp_hit,
+                parts: parts.len(),
+                timings: QueryTimings {
+                    o1,
+                    o2,
+                    exec: Duration::ZERO,
+                    o3_overhead: Duration::ZERO,
+                },
+                exec_stats: ExecStats::default(),
+                ds_leftover: 0,
+                degraded: None,
+            });
+        }
+
+        // ---- Targeted upqueries: when part of the probe hit complete
+        // entries, refill only the open bcps with bounded keyed queries
+        // instead of running the full executor. Budget or transient
+        // failures fall back to the full O3 run below. ----
+        if serving && pmv.config.upquery && !complete_parts.is_empty() {
+            let t_exec = Instant::now();
+            let fill_epoch = db.version();
+            let deadline = pmv.config.o3_deadline.map(|d| Instant::now() + d);
+            let evictions_before = pmv.store.evictions();
+            let mut remaining_expanded: Vec<Arc<Tuple>> = Vec::new();
+            let mut exec_total = ExecStats::default();
+            let mut admit_cache: HashMap<BcpKey, Residency> = HashMap::new();
+            let mut done: HashSet<BcpKey> = HashSet::new();
+            let mut upq_ok = true;
+            'upq: for part in &open_parts {
+                if !done.insert(part.bcp.clone()) {
+                    continue;
+                }
+                let qi = pmv.def.bcp_query(&part.bcp)?;
+                let budget = ExecBudget {
+                    deadline,
+                    max_tuples: pmv.config.o3_max_tuples,
+                };
+                let t_u = Instant::now();
+                let attempt = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    upquery_fill(db, &qi, budget)
+                }));
+                let (rows, es) = match attempt {
+                    Ok(Ok(r)) => r,
+                    _ => {
+                        upq_ok = false;
+                        pmv.stats.upquery_fallbacks += 1;
+                        break 'upq;
+                    }
+                };
+                pmv.obs.record(Phase::upquery, t_u.elapsed());
+                pmv.stats.upqueries += 1;
+                pmv.stats.upquery_rows += rows.len() as u64;
+                exec_total.index_probes += es.index_probes;
+                exec_total.range_scans += es.range_scans;
+                exec_total.fallback_scans += es.fallback_scans;
+                exec_total.tuples_examined += es.tuples_examined;
+                exec_total.results += es.results;
+                // Multiset of occurrences already cached under this bcp:
+                // the refill re-produces them and must not re-push (the
+                // entry would overstate multiplicity).
+                let mut cached = Ds::new();
+                if let Some(entries) = pmv.store.lookup(&part.bcp) {
+                    for (t, _) in entries {
+                        cached.insert_arc(Arc::clone(t));
+                    }
+                }
+                let mut all_cached = true;
+                for t in rows {
+                    if cached.remove_one(&t) {
+                        // Already in the entry; if it was served in O2
+                        // it is in DS too — drain that occurrence.
+                        ds.remove_one(&t);
+                        continue;
+                    }
+                    let in_answer = part.is_basic || q.matches_select(&t);
+                    let cj = counters.entry(part.bcp.clone()).or_insert(0);
+                    let mut cached_now = false;
+                    if *cj < pmv.config.f {
+                        let residency = match admit_cache.get(&part.bcp) {
+                            Some(r) => *r,
+                            None => {
+                                let r = pmv.store.admit(&part.bcp);
+                                if r == Residency::Probation {
+                                    pmv.stats.probations += 1;
+                                }
+                                admit_cache.insert(part.bcp.clone(), r);
+                                r
+                            }
+                        };
+                        if residency == Residency::Resident
+                            && pmv.store.push_arc(&part.bcp, Arc::clone(&t), fill_epoch)
+                        {
+                            *cj += 1;
+                            pmv.stats.tuples_admitted += 1;
+                            cached_now = true;
+                        }
+                    }
+                    if !cached_now {
+                        all_cached = false;
+                    }
+                    if in_answer {
+                        remaining_expanded.push(t);
+                    }
+                }
+                // `cached` drained ⇔ every previously-cached occurrence
+                // was re-derived (the soundness invariant); with every
+                // new row also cached and no eviction racing the fill,
+                // the entry now holds the bcp's entire answer.
+                if all_cached
+                    && cached.is_empty()
+                    && pmv.store.evictions() == evictions_before
+                {
+                    let at = pmv.store.inserts_seen();
+                    pmv.store.mark_complete(&part.bcp, at);
+                }
+            }
+            if upq_ok {
+                pmv.breaker.record_ok();
+                let exec = t_exec.elapsed();
+                pmv.obs.record(Phase::o3_exec, exec);
+                trace.event(EventKind::Exec {
+                    rows: remaining_expanded.len(),
+                    tuples_examined: exec_total.tuples_examined,
+                    index_probes: exec_total.index_probes,
+                    us: exec.as_micros() as u64,
+                });
+                let ds_leftover = ds.len();
+                debug_assert_eq!(ds_leftover, 0, "DS must be empty after upquery refill");
+                pmv.obs.record(Phase::full, t_start.elapsed());
+                flush_faults(&mut trace, fault_cap.take());
+                pmv.stats.queries += 1;
+                pmv.stats.condition_parts += parts.len() as u64;
+                if bcp_hit {
+                    pmv.stats.bcp_hit_queries += 1;
+                }
+                if !partial_expanded.is_empty() {
+                    pmv.stats.serving_queries += 1;
+                    pmv.stats.partial_tuples_served += partial_expanded.len() as u64;
+                }
+                let template = pmv.def.template();
+                let partial = partial_expanded
+                    .iter()
+                    .map(|t| template.user_tuple(t))
+                    .collect();
+                let remaining = remaining_expanded
+                    .iter()
+                    .map(|t| template.user_tuple(t))
+                    .collect();
+                return Ok(QueryOutcome {
+                    partial,
+                    remaining,
+                    partial_expanded,
+                    remaining_expanded,
+                    bcp_hit,
+                    parts: parts.len(),
+                    timings: QueryTimings {
+                        o1,
+                        o2,
+                        exec,
+                        o3_overhead: Duration::ZERO,
+                    },
+                    exec_stats: exec_total,
+                    ds_leftover,
+                    degraded: None,
+                });
+            }
+            // Fallback: the full O3 run below re-produces everything,
+            // including the complete entries' servings — seed DS so they
+            // dedup like any other served partial.
+            for t in complete_served.drain(..) {
+                ds.insert_arc(t);
+            }
+        }
 
         // ---- Operation O3: full execution under the config's budget ----
         let t_exec = Instant::now();
@@ -461,12 +704,28 @@ impl PmvPipeline {
         let fill_epoch = db.version();
         let mut remaining_expanded: Vec<Arc<Tuple>> = Vec::new();
         let mut admit_cache: HashMap<BcpKey, Residency> = HashMap::new();
+        // Basic parts' bcps where this run observes the *entire* answer:
+        // if every produced row lands (or already lives) in the entry,
+        // stamp it complete so later probes skip execution entirely.
+        let evictions_before = pmv.store.evictions();
+        let mut completable: HashMap<BcpKey, bool> = if serving && pmv.config.upquery {
+            parts
+                .iter()
+                .filter(|p| p.is_basic)
+                .map(|p| (p.bcp.clone(), true))
+                .collect()
+        } else {
+            HashMap::new()
+        };
         for t in results {
-            if ds.remove_one(&t) {
+            // `is_empty` is a field read: cold queries (nothing served)
+            // skip the hash probe entirely.
+            if !ds.is_empty() && ds.remove_one(&t) {
                 continue; // the user already has this occurrence
             }
             let bcp = pmv.def.bcp_of_tuple(&t);
             let cj = counters.entry(bcp.clone()).or_insert(0);
+            let mut cached_now = false;
             if serving && *cj < pmv.config.f {
                 let residency = match admit_cache.get(&bcp) {
                     Some(r) => *r,
@@ -484,9 +743,23 @@ impl PmvPipeline {
                 {
                     *cj += 1;
                     pmv.stats.tuples_admitted += 1;
+                    cached_now = true;
+                }
+            }
+            if !cached_now {
+                if let Some(flag) = completable.get_mut(&bcp) {
+                    *flag = false;
                 }
             }
             remaining_expanded.push(t);
+        }
+        if pmv.store.evictions() == evictions_before {
+            let at = pmv.store.inserts_seen();
+            for (bcp, ok) in &completable {
+                if *ok {
+                    pmv.store.mark_complete(bcp, at);
+                }
+            }
         }
         let ds_leftover = ds.len();
         debug_assert_eq!(ds_leftover, 0, "DS must be empty after O3");

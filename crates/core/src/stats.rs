@@ -50,6 +50,30 @@ macro_rules! for_each_stat_field {
             [keep] maint_updates_joined,
             /// View tuples evicted by maintenance.
             [keep] maint_tuples_removed,
+            /// View tuples removed via the delta-key index (no base
+            /// join ran for them).
+            [keep] maint_index_removals,
+            /// Deltas routed down the heavy (indexed) path by the
+            /// space-saving partitioner.
+            [keep] maint_heavy_deltas,
+            /// Deltas routed down the light (coalesced-join) path.
+            [keep] maint_light_deltas,
+            /// ΔR joins avoided by coalescing duplicate light deltas
+            /// into one join per distinct (relation, tuple).
+            [keep] maint_coalesced_joins,
+            /// Rows produced by maintenance ΔR ⋈ R joins (the O(data)
+            /// cost the delta-key index eliminates for heavy keys).
+            [keep] maint_join_rows,
+            /// Targeted per-bcp refills issued instead of full O3 runs.
+            [keep] upqueries,
+            /// Tuples admitted into the cache by upquery refills.
+            [keep] upquery_rows,
+            /// Upqueries that fell back to a full O3 execution
+            /// (budget exhausted or transient failure).
+            [transient] upquery_fallbacks,
+            /// Queries fully answered from complete cached bcps — O3
+            /// (and its dedup) skipped entirely.
+            [keep] complete_serves,
             /// Queries that returned a `Degraded` outcome (partials only).
             [transient] degraded_queries,
             /// O3 executions that panicked and were caught.
@@ -247,7 +271,10 @@ mod tests {
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), n);
-        assert_eq!(n, 23);
+        assert_eq!(n, 32);
+        assert!(pairs.contains(&("maint_index_removals", 0)));
+        assert!(pairs.contains(&("upqueries", 0)));
+        assert!(pairs.contains(&("complete_serves", 0)));
     }
 
     #[test]

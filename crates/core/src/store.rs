@@ -7,14 +7,14 @@
 //! exact-match, so hashing is the right index shape; `pmv-bench` ablates
 //! this against a B-tree).
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
 use pmv_cache::{AdmitOutcome, PolicyKind, ReplacementPolicy};
 use pmv_storage::{HeapSize, Tuple};
 
 use crate::bcp::BcpKey;
-use crate::maint_filter::MaintFilter;
+use crate::delta_index::{DeltaKeyIndex, Supported};
+use crate::fasthash::FxHashMap;
 use crate::view::PmvConfig;
 
 /// Residency decision for a bcp in Operation O3.
@@ -38,11 +38,19 @@ struct Entry {
     /// Times this bcp produced partial results (popularity ranking
     /// extension).
     hits: u64,
+    /// `Some(w)` when this entry held the bcp's *entire* truth at
+    /// insert-watermark `w` (a fill or upquery cached every matching
+    /// tuple). The entry is still complete only while `w` equals the
+    /// store's current [`PmvStore::inserts_seen`] — any later relevant
+    /// insert may have added tuples the cache is missing. Maintenance
+    /// removals clear it (conservative: a removal may drop a tuple the
+    /// base still derives via another support).
+    complete: Option<u64>,
 }
 
 /// Bounded store of hot query results, keyed by basic condition part.
 pub struct PmvStore {
-    entries: HashMap<BcpKey, Entry>,
+    entries: FxHashMap<BcpKey, Entry>,
     policy: Box<dyn ReplacementPolicy<BcpKey> + Send + Sync>,
     /// Which policy `policy` was built from, kept so a quarantine drain
     /// can rebuild a fresh instance of the same kind.
@@ -50,7 +58,11 @@ pub struct PmvStore {
     f: usize,
     bytes: usize,
     evictions: u64,
-    filter: Option<MaintFilter>,
+    index: Option<DeltaKeyIndex>,
+    /// Relevant base-relation inserts observed (monotone watermark).
+    /// Completeness stamps compare against this; bumping it lazily
+    /// invalidates every complete entry without scanning them.
+    inserts_seen: u64,
     /// Drained after a panic mid-mutation (or a maintenance fallback):
     /// serves nothing and caches nothing until quarantine is lifted by
     /// revalidation.
@@ -70,47 +82,138 @@ impl PmvStore {
     pub fn with_capacity(config: &PmvConfig, l: usize) -> Self {
         let l = l.max(1);
         PmvStore {
-            entries: HashMap::with_capacity(l),
+            entries: FxHashMap::default(),
             policy: config.policy.build(l),
             policy_kind: config.policy,
             f: config.f,
             bytes: 0,
             evictions: 0,
-            filter: None,
+            index: None,
+            inserts_seen: 0,
             quarantined: false,
         }
     }
 
-    /// Attach the Section 3.4 maintenance filter (must be done while the
-    /// store is empty).
-    pub fn enable_filter(&mut self, filter: MaintFilter) {
-        debug_assert!(self.entries.is_empty(), "enable the filter before use");
-        self.filter = Some(filter);
+    /// Attach the delta-key maintenance index (must be done while the
+    /// store is empty). Subsumes the Section 3.4 maintenance filter: it
+    /// answers the same may-affect question *and* yields the supported
+    /// view tuples directly.
+    pub fn enable_index(&mut self, index: DeltaKeyIndex) {
+        debug_assert!(self.entries.is_empty(), "enable the index before use");
+        self.index = Some(index);
+    }
+
+    /// Whether a delta-key index is attached.
+    pub fn index_enabled(&self) -> bool {
+        self.index.is_some()
     }
 
     /// Could deleting `base_tuple` from template relation `rel` affect
-    /// any cached tuple? Always `true` when the filter is disabled.
+    /// any cached tuple? Always `true` when the index is disabled.
     pub fn may_affect(&mut self, rel: usize, base_tuple: &Tuple) -> bool {
-        match &mut self.filter {
-            Some(f) => f.may_affect(rel, base_tuple),
+        match &mut self.index {
+            Some(ix) => ix.may_affect(rel, base_tuple),
             None => true,
         }
     }
 
     /// Read-only variant of [`Self::may_affect`]: same sound answer, no
     /// `joins_avoided` bookkeeping. Lets the sharded maintenance path peek
-    /// at every shard's filter under read locks before deciding whether
+    /// at every shard's index under read locks before deciding whether
     /// the ΔR join is needed at all.
     pub fn would_affect(&self, rel: usize, base_tuple: &Tuple) -> bool {
-        match &self.filter {
-            Some(f) => f.check(rel, base_tuple),
+        match &self.index {
+            Some(ix) => ix.check(rel, base_tuple),
             None => true,
         }
     }
 
-    /// ΔR joins skipped by the maintenance filter so far.
+    /// The cached view tuples a delete of `base_tuple` from relation
+    /// `rel` must remove, straight from the delta-key index — the
+    /// O(fanout) maintenance path. `None` when no index is attached or
+    /// the relation projects no `Ls'` column (caller must run the ΔR
+    /// join instead).
+    pub fn supported(&self, rel: usize, base_tuple: &Tuple) -> Option<Vec<Supported>> {
+        let ix = self.index.as_ref()?;
+        if !ix.indexable(rel) {
+            return None;
+        }
+        Some(ix.supported(rel, base_tuple))
+    }
+
+    /// Stable hash of `base_tuple`'s delta key for relation `rel` (the
+    /// heavy-hitter sketch input), when an index is attached.
+    pub fn delta_key_hash(&self, rel: usize, base_tuple: &Tuple) -> Option<u64> {
+        self.index.as_ref().map(|ix| ix.base_key_hash(rel, base_tuple))
+    }
+
+    /// ΔR joins skipped by the delta-key index so far.
     pub fn joins_avoided(&self) -> u64 {
-        self.filter.as_ref().map_or(0, MaintFilter::joins_avoided)
+        self.index.as_ref().map_or(0, DeltaKeyIndex::joins_avoided)
+    }
+
+    /// Record one relevant base-relation insert. Bumping the watermark
+    /// lazily invalidates every complete-entry stamp; no entry scan.
+    pub fn note_insert(&mut self) {
+        self.inserts_seen += 1;
+    }
+
+    /// Current insert watermark. A completeness claim established at
+    /// watermark `w` holds only while `w == inserts_seen()`.
+    pub fn inserts_seen(&self) -> u64 {
+        self.inserts_seen
+    }
+
+    /// Mark `bcp`'s entry as holding the bcp's entire truth, observed at
+    /// insert watermark `inserts_at`. No-op (and `false`) when the entry
+    /// is absent or the watermark already moved — the caller's fill raced
+    /// a relevant insert and completeness cannot be claimed.
+    pub fn mark_complete(&mut self, bcp: &BcpKey, inserts_at: u64) -> bool {
+        if self.quarantined || inserts_at != self.inserts_seen {
+            return false;
+        }
+        match self.entries.get_mut(bcp) {
+            Some(e) => {
+                e.complete = Some(inserts_at);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Whether `bcp`'s entry currently holds the bcp's entire truth:
+    /// marked complete and no relevant insert has landed since.
+    pub fn entry_complete(&self, bcp: &BcpKey) -> bool {
+        !self.quarantined
+            && self
+                .entries
+                .get(bcp)
+                .is_some_and(|e| e.complete == Some(self.inserts_seen))
+    }
+
+    /// All bcps whose entries currently hold their full truth (valid
+    /// completeness claims at the current insert watermark). Used to
+    /// carry claims into the published epoch-mode shard views.
+    pub fn complete_bcps(&self) -> Vec<BcpKey> {
+        if self.quarantined {
+            return Vec::new();
+        }
+        self.entries
+            .iter()
+            .filter(|(_, e)| e.complete == Some(self.inserts_seen))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    /// Whether any entry currently carries a valid completeness claim.
+    /// Cheap pre-check: an insert batch only needs to republish a shard's
+    /// read view when there are claims to invalidate.
+    pub fn any_complete(&self) -> bool {
+        !self.quarantined
+            && self
+                .entries
+                .values()
+                .any(|e| e.complete == Some(self.inserts_seen))
     }
 
     /// Max tuples per bcp (`F`).
@@ -141,15 +244,15 @@ impl PmvStore {
 
     /// Drain the store after its contents became untrustworthy (a panic
     /// mid-mutation, or maintenance that could not repair it): every
-    /// entry is dropped, the policy and filter are rebuilt empty, and the
+    /// entry is dropped, the policy and index are rebuilt empty, and the
     /// store stops serving and caching until [`Self::lift_quarantine`].
     /// Removal-only, so it can never cause a stale tuple to be served.
     pub fn quarantine(&mut self) {
         self.entries.clear();
         self.bytes = 0;
         self.policy = self.policy_kind.build(self.policy.capacity());
-        if let Some(f) = &mut self.filter {
-            f.clear();
+        if let Some(ix) = &mut self.index {
+            ix.clear();
         }
         self.quarantined = true;
     }
@@ -196,9 +299,9 @@ impl PmvStore {
                                 .map(|(t, _)| Self::tuple_bytes(t))
                                 .sum::<usize>();
                         self.evictions += 1;
-                        if let Some(f) = &mut self.filter {
+                        if let Some(ix) = &mut self.index {
                             for (t, _) in &e.tuples {
-                                f.remove(t);
+                                ix.remove(t);
                             }
                         }
                     }
@@ -228,6 +331,7 @@ impl PmvStore {
         let entry = self.entries.entry(bcp.clone()).or_insert_with(|| Entry {
             tuples: Vec::with_capacity(self.f.min(8)),
             hits: 0,
+            complete: None,
         });
         if entry.tuples.len() >= self.f {
             return false;
@@ -238,8 +342,8 @@ impl PmvStore {
             } else {
                 0
             };
-        if let Some(f) = &mut self.filter {
-            f.add(&tuple);
+        if let Some(ix) = &mut self.index {
+            ix.add(bcp, &tuple);
         }
         entry.tuples.push((tuple, epoch));
         true
@@ -255,9 +359,13 @@ impl PmvStore {
             return false;
         };
         entry.tuples.swap_remove(pos);
+        // A removal may be conservative (the base may still derive this
+        // tuple another way), so the entry can no longer claim to hold
+        // the bcp's entire truth.
+        entry.complete = None;
         self.bytes -= Self::tuple_bytes(tuple);
-        if let Some(f) = &mut self.filter {
-            f.remove(tuple);
+        if let Some(ix) = &mut self.index {
+            ix.remove(tuple);
         }
         if entry.tuples.is_empty() {
             self.entries.remove(bcp);
@@ -356,13 +464,23 @@ impl PmvStore {
                 self.bytes
             ));
         }
-        if let Some(f) = &self.filter {
+        if let Some(ix) = &self.index {
             let cached: Vec<Tuple> = self
                 .entries
                 .values()
                 .flat_map(|e| e.tuples.iter().map(|(t, _)| (**t).clone()))
                 .collect();
-            violations.extend(f.check_against(&cached));
+            violations.extend(ix.check_against(&cached));
+        }
+        for (k, e) in &self.entries {
+            if let Some(w) = e.complete {
+                if w > self.inserts_seen {
+                    violations.push(format!(
+                        "completeness stamp from the future for {k:?}: {w} > {}",
+                        self.inserts_seen
+                    ));
+                }
+            }
         }
         violations
     }
@@ -469,6 +587,70 @@ mod tests {
         s.touch(&bcp(1), true);
         s.touch(&bcp(1), false);
         assert_eq!(s.hit_count(&bcp(1)), 2);
+    }
+
+    #[test]
+    fn completeness_tracks_inserts_and_removals() {
+        let mut s = PmvStore::new(&cfg(4, 10, PolicyKind::Clock));
+        s.admit(&bcp(1));
+        s.push_tuple(&bcp(1), tuple![1i64]);
+        s.push_tuple(&bcp(1), tuple![2i64]);
+        assert!(!s.entry_complete(&bcp(1)));
+        let w = s.inserts_seen();
+        assert!(s.mark_complete(&bcp(1), w));
+        assert!(s.entry_complete(&bcp(1)));
+        // A relevant insert invalidates every completeness claim.
+        s.note_insert();
+        assert!(!s.entry_complete(&bcp(1)));
+        // Re-marking with the stale watermark must be refused.
+        assert!(!s.mark_complete(&bcp(1), w));
+        assert!(s.mark_complete(&bcp(1), s.inserts_seen()));
+        assert!(s.entry_complete(&bcp(1)));
+        // A maintenance removal clears the claim (conservative).
+        assert!(s.remove_tuple(&bcp(1), &tuple![1i64]));
+        assert!(!s.entry_complete(&bcp(1)));
+        // Absent entries can never be marked.
+        assert!(!s.mark_complete(&bcp(9), s.inserts_seen()));
+        s.validate();
+    }
+
+    #[test]
+    fn supported_lookup_via_index() {
+        use crate::delta_index::DeltaKeyIndex;
+        use pmv_query::TemplateBuilder;
+        use pmv_storage::{Column, ColumnType, Schema};
+        // Single relation r(a, f), select a, cond_eq f — Ls' = (a, f).
+        let t = TemplateBuilder::new("t")
+            .relation(Schema::new(
+                "r",
+                vec![
+                    Column::new("a", ColumnType::Int),
+                    Column::new("f", ColumnType::Int),
+                ],
+            ))
+            .select("r", "a")
+            .unwrap()
+            .cond_eq("r", "f")
+            .unwrap()
+            .build()
+            .unwrap();
+        let mut s = PmvStore::new(&cfg(4, 10, PolicyKind::Clock));
+        s.enable_index(DeltaKeyIndex::new(&t));
+        assert!(s.index_enabled());
+        s.admit(&bcp(1));
+        s.push_tuple(&bcp(1), tuple![7i64, 1i64]);
+        // Deleting base tuple (a=7, f=1) supports the cached view tuple.
+        let hit = s.supported(0, &tuple![7i64, 1i64]).unwrap();
+        assert_eq!(hit.len(), 1);
+        assert_eq!(*hit[0].1, tuple![7i64, 1i64]);
+        assert!(s.supported(0, &tuple![8i64, 1i64]).unwrap().is_empty());
+        assert!(s.delta_key_hash(0, &tuple![7i64, 1i64]).is_some());
+        // Removing the supported tuple empties the index too.
+        for (b, tu) in hit {
+            assert!(s.remove_tuple(&b, &tu));
+        }
+        assert!(s.supported(0, &tuple![7i64, 1i64]).unwrap().is_empty());
+        s.validate();
     }
 
     #[test]

@@ -23,6 +23,44 @@ use crate::bcp::{BcpDim, BcpKey, Discretizer};
 use crate::health::BreakerConfig;
 use crate::{CoreError, Result};
 
+/// How deletes/updates are propagated into the view (DESIGN.md §19).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MaintStrategy {
+    /// Classic Section 3.4 deferred maintenance: every delete/update
+    /// runs the full `ΔR_i ⋈ R_j` recompute. O(data); kept as the
+    /// equivalence oracle and bench baseline.
+    DeltaJoin,
+    /// Every delta takes the delta-key-index path: remove exactly the
+    /// supported view tuples, no base-relation join. O(|Δ| · fanout).
+    Indexed,
+    /// Heavy-light partitioning: hot delta keys (space-saving sketch
+    /// count ≥ `heavy_threshold`) take the indexed path; cold keys
+    /// batch into one coalesced join per maintenance drain. Bounds
+    /// worst-case maintenance under Zipfian delete churn.
+    HeavyLight,
+}
+
+impl MaintStrategy {
+    /// Stable name for CLI flags and JSON reports.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MaintStrategy::DeltaJoin => "delta-join",
+            MaintStrategy::Indexed => "indexed",
+            MaintStrategy::HeavyLight => "heavy-light",
+        }
+    }
+
+    /// Parse a name as printed by [`MaintStrategy::as_str`].
+    pub fn parse(s: &str) -> Option<MaintStrategy> {
+        match s {
+            "delta-join" => Some(MaintStrategy::DeltaJoin),
+            "indexed" => Some(MaintStrategy::Indexed),
+            "heavy-light" => Some(MaintStrategy::HeavyLight),
+            _ => None,
+        }
+    }
+}
+
 /// Tuning knobs for a PMV.
 #[derive(Clone, Debug)]
 pub struct PmvConfig {
@@ -33,10 +71,22 @@ pub struct PmvConfig {
     pub l: usize,
     /// How resident bcps are managed (CLOCK by default, per the paper).
     pub policy: PolicyKind,
-    /// Keep the Section 3.4 maintenance filter indices on V_PM
-    /// attributes, letting deletes of unrelated tuples skip the ΔR join
-    /// (the \[25\] optimization). On by default.
+    /// Keep the Section 3.4 maintenance indices on V_PM attributes
+    /// (now the delta-key index), letting deletes of unrelated tuples
+    /// skip the ΔR join (the \[25\] optimization) and powering the
+    /// indexed maintenance paths. On by default.
     pub maint_filter: bool,
+    /// How deletes/updates propagate into the view. [`MaintStrategy`]
+    /// paths other than `DeltaJoin` require `maint_filter` (they read
+    /// the delta-key index) and silently degrade to the join without it.
+    pub maint_strategy: MaintStrategy,
+    /// Sketch count at which a delta key is considered heavy under
+    /// [`MaintStrategy::HeavyLight`].
+    pub heavy_threshold: u64,
+    /// Repair probe misses and drained shards with targeted per-bcp
+    /// upqueries (bounded keyed refills) instead of relying solely on
+    /// the full O3 run. On by default.
+    pub upquery: bool,
     /// Wall-clock budget for one O3 execution; when exceeded, the query
     /// returns the O2 partials flagged `Degraded` instead of blocking.
     /// `None` (the default) runs O3 to completion.
@@ -62,6 +112,12 @@ impl Default for PmvConfig {
             l: 10_000,
             policy: PolicyKind::Clock,
             maint_filter: true,
+            maint_strategy: MaintStrategy::HeavyLight,
+            // High enough that sparse delete streams stay on the exact
+            // join path; a genuinely hot key crosses it within one
+            // Zipfian burst.
+            heavy_threshold: 8,
+            upquery: true,
             o3_deadline: None,
             o3_max_tuples: None,
             maint_retries: 3,
@@ -99,6 +155,28 @@ impl PmvConfig {
     pub fn with_breaker(mut self, breaker: BreakerConfig) -> Self {
         self.breaker = breaker;
         self
+    }
+
+    /// Select the maintenance strategy.
+    pub fn with_maint_strategy(mut self, strategy: MaintStrategy) -> Self {
+        self.maint_strategy = strategy;
+        self
+    }
+
+    /// Override the heavy-key sketch threshold.
+    pub fn with_heavy_threshold(mut self, threshold: u64) -> Self {
+        self.heavy_threshold = threshold.max(1);
+        self
+    }
+
+    /// The strategy actually in effect: index-driven paths need the
+    /// index, so without `maint_filter` everything is the plain join.
+    pub fn effective_strategy(&self) -> MaintStrategy {
+        if self.maint_filter {
+            self.maint_strategy
+        } else {
+            MaintStrategy::DeltaJoin
+        }
     }
 }
 

@@ -356,6 +356,137 @@ fn group_commit_queue_handoff() {
     });
 }
 
+/// Targeted upqueries racing maintenance eviction on a drained shard
+/// (ISSUE 10). Readers issue two-part queries whose complete part
+/// short-circuits and whose drained part triggers a bounded keyed
+/// upquery refill, while a committer keeps deleting rows out of the
+/// queried bcps — each delete drains the supported view tuples and
+/// bumps `maint_epoch`, so any refill derived at an older pin must be
+/// discarded by the fill gate. Under every explored schedule: no query
+/// serves a stale tuple (`ds_leftover == 0`), nothing stale survives in
+/// the shards, and the store invariants hold.
+#[test]
+fn upquery_vs_eviction_on_drained_shard() {
+    loom::model(|| {
+        let mut db = Database::new();
+        db.create_relation(Schema::new(
+            "r",
+            vec![
+                Column::new("a", ColumnType::Int),
+                Column::new("f", ColumnType::Int),
+            ],
+        ))
+        .unwrap();
+        for i in 0..60i64 {
+            db.insert("r", tuple![i, i % 6]).unwrap();
+        }
+        db.create_index(IndexDef::btree("r", vec![1])).unwrap();
+        let t = TemplateBuilder::new("t")
+            .relation(db.schema("r").unwrap())
+            .select("r", "a")
+            .unwrap()
+            .cond_eq("r", "f")
+            .unwrap()
+            .build()
+            .unwrap();
+        let def = PartialViewDef::all_equality("upq_model", t.clone()).unwrap();
+        // F = 16 > 10 rows per bcp, so a first full execution caches the
+        // whole slice and marks the bcp complete — the precondition for
+        // the targeted-upquery path on later mixed probes.
+        let shared = SharedPmv::with_shards(def, PmvConfig::new(16, 8, PolicyKind::Clock), 4);
+        let edb = std::sync::Arc::new(EpochDb::new(db));
+
+        // Warm every bcp to completeness, then drain bcp f=3 with a
+        // committed delete: the next [3, x] probe finds x complete and 3
+        // open, which is exactly the upquery shape.
+        for f in 0..6i64 {
+            let q = t
+                .bind(vec![Condition::Equality(vec![Value::Int(f)])])
+                .unwrap();
+            edb.query(&shared, &q).unwrap();
+        }
+        edb.commit(&[&shared], |db| {
+            let row = {
+                let handle = db.relation("r").unwrap();
+                let rel = handle.read();
+                let row = rel
+                    .iter()
+                    .find(|(_, tu)| tu.get(1) == &Value::Int(3))
+                    .map(|(r, _)| r);
+                row
+            };
+            let mut txn = Transaction::begin(db);
+            if let Some(row) = row {
+                txn.delete("r", row).unwrap();
+            }
+            Ok(((), txn.commit()))
+        })
+        .unwrap();
+
+        let mut handles = Vec::new();
+        for tid in 0..2i64 {
+            let shared = shared.clone();
+            let edb = std::sync::Arc::clone(&edb);
+            let t = t.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..4i64 {
+                    thread::yield_now();
+                    // Two parts: the drained bcp (f=3) plus a distinct
+                    // second value, some warmed-complete and one (f=4)
+                    // being drained by the committer.
+                    let second = [0i64, 1, 4, 5][((tid * 2 + i) % 4) as usize];
+                    let q = t
+                        .bind(vec![Condition::Equality(vec![
+                            Value::Int(3),
+                            Value::Int(second),
+                        ])])
+                        .unwrap();
+                    let out = edb.query(&shared, &q).unwrap();
+                    assert_eq!(out.ds_leftover, 0, "upquery served a stale tuple");
+                }
+            }));
+        }
+        {
+            let shared = shared.clone();
+            let edb = std::sync::Arc::clone(&edb);
+            handles.push(thread::spawn(move || {
+                for i in 0..3i64 {
+                    thread::yield_now();
+                    edb.commit(&[&shared], move |db| {
+                        // Keep draining the bcps the readers refill.
+                        let f = if i % 2 == 0 { 3 } else { 4 };
+                        let row = {
+                            let handle = db.relation("r").unwrap();
+                            let rel = handle.read();
+                            let row = rel
+                                .iter()
+                                .find(|(_, tu)| tu.get(1) == &Value::Int(f))
+                                .map(|(r, _)| r);
+                            row
+                        };
+                        let mut txn = Transaction::begin(db);
+                        if let Some(row) = row {
+                            txn.delete("r", row).unwrap();
+                        }
+                        Ok(((), txn.commit()))
+                    })
+                    .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        // The epoch fill gate must have kept every refill coherent: a
+        // ground-truth sweep finds nothing stale in any shard.
+        let guard = edb.read();
+        let removed = shared.revalidate(&guard).unwrap();
+        assert_eq!(removed, 0, "upquery refill resurrected an evicted tuple");
+        shared.debug_validate();
+    });
+}
+
 /// The two-phase revalidate drain modelled directly: phase 1 snapshots
 /// keys under a read guard and computes ground truth with no lock held;
 /// phase 2 removes stale entries under the write guard. A concurrent

@@ -68,6 +68,10 @@ pub enum Site {
     ExecRow,
     /// The `ΔR ⋈ R_j` maintenance join (`join_from`).
     MaintJoin,
+    /// A targeted per-bcp upquery refill (`upquery_fill`) — the bounded
+    /// keyed O3 re-execution that repairs one bcp's slice after a miss
+    /// or a drained shard.
+    Upquery,
     /// Inside a shard's O2 probe critical section. Soft site.
     ShardProbe,
     /// Inside a shard's O3 fill critical section. Soft site.
@@ -92,12 +96,13 @@ pub enum Site {
 }
 
 /// All sites, for iteration and per-site counters.
-pub const ALL_SITES: [Site; 14] = [
+pub const ALL_SITES: [Site; 15] = [
     Site::StorageRead,
     Site::IndexProbe,
     Site::ExecStart,
     Site::ExecRow,
     Site::MaintJoin,
+    Site::Upquery,
     Site::ShardProbe,
     Site::ShardFill,
     Site::ShardMaint,
@@ -117,15 +122,16 @@ impl Site {
             Site::ExecStart => 2,
             Site::ExecRow => 3,
             Site::MaintJoin => 4,
-            Site::ShardProbe => 5,
-            Site::ShardFill => 6,
-            Site::ShardMaint => 7,
-            Site::WalAppend => 8,
-            Site::WalFsync => 9,
-            Site::WalTruncate => 10,
-            Site::CkptWrite => 11,
-            Site::CkptRename => 12,
-            Site::SpoolWrite => 13,
+            Site::Upquery => 5,
+            Site::ShardProbe => 6,
+            Site::ShardFill => 7,
+            Site::ShardMaint => 8,
+            Site::WalAppend => 9,
+            Site::WalFsync => 10,
+            Site::WalTruncate => 11,
+            Site::CkptWrite => 12,
+            Site::CkptRename => 13,
+            Site::SpoolWrite => 14,
         }
     }
 
@@ -139,6 +145,7 @@ impl Site {
             Site::ExecStart => "exec-start",
             Site::ExecRow => "exec-row",
             Site::MaintJoin => "maint-join",
+            Site::Upquery => "upquery",
             Site::ShardProbe => "shard-probe",
             Site::ShardFill => "shard-fill",
             Site::ShardMaint => "shard-maint",
@@ -958,5 +965,7 @@ mod tests {
         assert_eq!(plan.rules()[2].nth, None);
         assert!(FaultPlan::parse("wal.fsync:crash#x").is_err());
         assert!(FaultPlan::parse("wal.fsync:crash").is_err());
+        let up = FaultPlan::parse("upquery:error@0.5").unwrap();
+        assert_eq!(up.rules()[0].site, Site::Upquery);
     }
 }

@@ -23,9 +23,10 @@
 //! relaxed atomic load, the same contract as `ObsRegistry::record`.
 
 use crate::hist::{HistSnapshot, LatencyHistogram};
+use crate::sketch::SpaceSaving;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
 /// How O2 answered one query, classified the way the paper counts
@@ -59,6 +60,12 @@ pub struct TemplateAccount {
     bytes_resident: AtomicU64,
     ttfr: LatencyHistogram,
     full: LatencyHistogram,
+    /// Heavy-hitter sketch over maintenance delta keys — the
+    /// heavy/light partitioner's frequency source. Mutex, not atomics:
+    /// it is fed only from the maintenance path (already serialized
+    /// under the view's exclusive maintenance lock), so the lock is
+    /// uncontended in practice.
+    delta_keys: Mutex<SpaceSaving>,
 }
 
 impl TemplateAccount {
@@ -100,6 +107,33 @@ impl TemplateAccount {
         self.bytes_resident.store(bytes, Ordering::Relaxed);
     }
 
+    /// Feed one maintenance delta key (pre-hashed) into the
+    /// heavy-hitter sketch, returning its estimated frequency after the
+    /// update. The heavy/light partitioner compares the return value
+    /// against its threshold to route the delta.
+    pub fn note_delta_key(&self, key: u64) -> u64 {
+        self.delta_keys
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .note(key)
+    }
+
+    /// Estimated frequency of a delta key without recording it.
+    pub fn delta_key_estimate(&self, key: u64) -> u64 {
+        self.delta_keys
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .estimate(key)
+    }
+
+    /// Delta keys at or above `threshold`, heaviest first.
+    pub fn heavy_delta_keys(&self, threshold: u64) -> Vec<(u64, u64)> {
+        self.delta_keys
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .heavy(threshold)
+    }
+
     /// Point-in-time plain copy (may mix adjacent updates while writers
     /// are active; exact once they quiesce).
     pub fn snapshot(&self) -> AccountSnapshot {
@@ -129,6 +163,10 @@ impl TemplateAccount {
         self.bytes_resident.store(0, Ordering::Relaxed);
         self.ttfr.reset();
         self.full.reset();
+        self.delta_keys
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clear();
     }
 }
 
@@ -360,6 +398,19 @@ mod tests {
         let j = table.to_json();
         assert!(j.contains("\"alpha\":{"), "{j}");
         assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn delta_key_sketch_feeds_and_resets() {
+        let acct = TemplateAccount::new();
+        assert_eq!(acct.note_delta_key(42), 1);
+        assert_eq!(acct.note_delta_key(42), 2);
+        assert_eq!(acct.note_delta_key(7), 1);
+        assert_eq!(acct.delta_key_estimate(42), 2);
+        let heavy = acct.heavy_delta_keys(2);
+        assert_eq!(heavy, vec![(42, 2)]);
+        acct.reset();
+        assert_eq!(acct.delta_key_estimate(42), 0);
     }
 
     #[test]

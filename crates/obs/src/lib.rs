@@ -35,6 +35,7 @@ pub mod account;
 pub mod export;
 pub mod hist;
 pub mod profile;
+pub mod sketch;
 pub mod spool;
 pub mod trace;
 
@@ -42,6 +43,7 @@ pub use account::{AccountSnapshot, AccountTable, O2Outcome, TemplateAccount};
 pub use export::{phase_json, to_json, to_prometheus, ViewMetrics};
 pub use hist::{bucket_bounds, bucket_of, HistSnapshot, LatencyHistogram, BUCKETS};
 pub use profile::{ContentionSite, PipelineStage, ProfileReport, TemplateCost};
+pub use sketch::{SpaceSaving, DEFAULT_SKETCH_CAPACITY};
 pub use spool::{FlightRecorder, MemSink, SpoolSink, TriggerReason};
 pub use trace::{EventKind, QueryTrace, TraceEvent, TraceKind, TraceRecorder, TraceScope};
 
@@ -65,6 +67,8 @@ macro_rules! for_each_phase {
             [keep] o3_exec,
             [keep] o3_dedup,
             [keep] maint_join,
+            [keep] maint_index,
+            [keep] upquery,
             [keep] revalidate,
             [keep] snapshot_swap,
             [keep] epoch_pin,
@@ -271,11 +275,13 @@ mod tests {
         assert!(names.contains(&"recovery_replay"));
         assert!(names.contains(&"lock_master_commit"));
         assert!(names.contains(&"snapshot_publish"));
+        assert!(names.contains(&"maint_index"));
+        assert!(names.contains(&"upquery"));
         let n = names.len();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), n);
-        assert_eq!(n, 21);
+        assert_eq!(n, 23);
     }
 
     #[test]

@@ -16,7 +16,7 @@ use pmv_storage::{
 
 use crate::dbview::DbSnapshot;
 use crate::table_stats::TableStats;
-use crate::Result;
+use crate::{QueryError, Result};
 
 /// Shared handle to a relation (re-export of the catalog handle type).
 pub type RelationHandle = pmv_storage::catalog::RelationHandle;
@@ -43,6 +43,15 @@ pub struct Database {
     /// Bumped whenever the index set or any index's contents change
     /// (create_index, or DML on an indexed relation).
     index_version: u64,
+    /// Declared unique keys per relation (sets of column indices).
+    /// Declaration validates the relation's current contents and every
+    /// later [`Database::insert`] / [`Database::update`] re-checks, so a
+    /// declared key is a *proof* the serving path may rely on (see
+    /// [`crate::QueryTemplate::emits_unique_rows`]). Bulk
+    /// [`Database::load`] and the exact-slot replay/rollback primitives
+    /// trust their provenance (pre-validated workloads, the WAL) and
+    /// skip the check. Behind an `Arc` so snapshots share it by pointer.
+    unique_keys: Arc<std::collections::BTreeMap<String, Vec<Vec<usize>>>>,
     /// The incrementally-maintained snapshot cache (see
     /// [`Database::publish_snapshot`]).
     snap_cache: Option<SnapCache>,
@@ -147,6 +156,7 @@ impl Database {
         DbSnapshot::new(
             Arc::new(relations),
             Arc::new(self.indexes.clone()),
+            Arc::clone(&self.unique_keys),
             self.stats.clone(),
             self.version,
         )
@@ -202,6 +212,7 @@ impl Database {
         let snap = DbSnapshot::new(
             Arc::clone(&cache.relations),
             Arc::clone(&cache.indexes),
+            Arc::clone(&self.unique_keys),
             self.stats.clone(),
             self.version,
         );
@@ -257,6 +268,79 @@ impl Database {
             .map(|(_, i)| Arc::clone(i))
     }
 
+    /// Declare that `columns` of `relation` form a unique key.
+    ///
+    /// The declaration is a checked invariant, not an annotation: the
+    /// relation's current contents are validated here (the call fails
+    /// with [`QueryError::Unique`] if duplicates already exist), and
+    /// every later [`Database::insert`] / [`Database::update`] rejects
+    /// writes that would violate the key. Declare an index on the same
+    /// columns first to make the per-write check an index probe instead
+    /// of a scan. Templates whose expanded layout covers a declared key
+    /// of every joined relation provably emit duplicate-free results
+    /// ([`crate::QueryTemplate::emits_unique_rows`]).
+    pub fn declare_unique_key(&mut self, relation: &str, columns: &[&str]) -> Result<()> {
+        let schema = self.schema(relation)?;
+        let mut key = Vec::with_capacity(columns.len());
+        for c in columns {
+            key.push(schema.column_index(c)?);
+        }
+        if key.is_empty() {
+            return Err(QueryError::Template(
+                "a unique key needs at least one column".into(),
+            ));
+        }
+        let clean = self.with_relation(relation, |r| {
+            let mut seen = std::collections::HashSet::new();
+            r.iter().all(|(_, t)| seen.insert(t.project(&key)))
+        })?;
+        if !clean {
+            return Err(QueryError::Unique(format!(
+                "relation '{relation}' already holds duplicates on columns {key:?}"
+            )));
+        }
+        Arc::make_mut(&mut self.unique_keys)
+            .entry(relation.to_string())
+            .or_default()
+            .push(key);
+        self.version += 1;
+        Ok(())
+    }
+
+    /// Declared unique keys of `relation`, as column-index sets.
+    pub fn unique_keys(&self, relation: &str) -> &[Vec<usize>] {
+        self.unique_keys.get(relation).map_or(&[], Vec::as_slice)
+    }
+
+    /// Reject `tuple` when it would duplicate a live row on a declared
+    /// unique key. `skip` names the row an update is replacing, which
+    /// never conflicts with itself. Uses an exact-column index when one
+    /// exists; falls back to a relation scan.
+    fn check_unique(&self, relation: &str, tuple: &Tuple, skip: Option<RowId>) -> Result<()> {
+        let Some(keys) = self.unique_keys.get(relation) else {
+            return Ok(());
+        };
+        for key in keys {
+            let conflict = match self.index_on(relation, key) {
+                Some(idx) => {
+                    let parts: Vec<_> = key.iter().map(|&c| tuple.get(c).clone()).collect();
+                    idx.probe(&parts).iter().any(|&row| Some(row) != skip)
+                }
+                None => self.with_relation(relation, |r| {
+                    r.iter().any(|(row, t)| {
+                        Some(row) != skip && key.iter().all(|&c| t.get(c) == tuple.get(c))
+                    })
+                })?,
+            };
+            if conflict {
+                return Err(QueryError::Unique(format!(
+                    "a row with the same columns {key:?} already exists in '{relation}'"
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Index definitions registered for `relation`.
     pub fn index_defs(&self, relation: &str) -> Vec<&IndexDef> {
         self.indexes
@@ -277,8 +361,11 @@ impl Database {
         }
     }
 
-    /// Insert a tuple; maintains indexes; returns the delta.
+    /// Insert a tuple; maintains indexes; returns the delta. Fails with
+    /// [`QueryError::Unique`] when the tuple collides with a live row on
+    /// a declared unique key.
     pub fn insert(&mut self, relation: &str, tuple: Tuple) -> Result<Delta> {
+        self.check_unique(relation, &tuple, None)?;
         let rel = self.catalog.relation(relation)?;
         let row = with_relation_mut(&rel, |r| r.insert(tuple.clone()))?;
         let delta = Delta::Insert { row, tuple };
@@ -329,7 +416,10 @@ impl Database {
     }
 
     /// Replace the tuple at `row`; maintains indexes; returns the delta.
+    /// Fails with [`QueryError::Unique`] when the new values collide
+    /// with a different live row on a declared unique key.
     pub fn update(&mut self, relation: &str, row: RowId, new: Tuple) -> Result<Delta> {
+        self.check_unique(relation, &new, Some(row))?;
         let rel = self.catalog.relation(relation)?;
         let old = with_relation_mut(&rel, |r| r.update(row, new.clone()))?;
         let delta = Delta::Update { row, old, new };
@@ -453,6 +543,72 @@ mod tests {
         ))
         .unwrap();
         db
+    }
+
+    #[test]
+    fn declare_unique_key_validates_existing_rows() {
+        let mut db = db_with_r();
+        db.load("r", vec![tuple![1i64, 10i64], tuple![1i64, 20i64]])
+            .unwrap();
+        // Column `a` already holds duplicates: the declaration must fail.
+        assert!(matches!(
+            db.declare_unique_key("r", &["a"]),
+            Err(QueryError::Unique(_))
+        ));
+        // The pair (a, b) is duplicate-free, so that declaration lands.
+        db.declare_unique_key("r", &["a", "b"]).unwrap();
+        assert_eq!(db.unique_keys("r"), &[vec![0, 1]]);
+    }
+
+    #[test]
+    fn unique_key_rejects_duplicate_insert_and_update() {
+        let mut db = db_with_r();
+        db.insert("r", tuple![1i64, 10i64]).unwrap();
+        db.insert("r", tuple![2i64, 20i64]).unwrap();
+        db.declare_unique_key("r", &["a"]).unwrap();
+        assert!(matches!(
+            db.insert("r", tuple![1i64, 99i64]),
+            Err(QueryError::Unique(_))
+        ));
+        // A fresh key is fine; re-writing a row's own key must not
+        // trip over itself (`skip` excludes the updated row).
+        db.insert("r", tuple![3i64, 30i64]).unwrap();
+        let Delta::Insert { row, .. } = db.insert("r", tuple![4i64, 40i64]).unwrap() else {
+            panic!()
+        };
+        db.update("r", row, tuple![4i64, 41i64]).unwrap();
+        // Moving onto another row's key is rejected.
+        assert!(matches!(
+            db.update("r", row, tuple![3i64, 42i64]),
+            Err(QueryError::Unique(_))
+        ));
+    }
+
+    #[test]
+    fn unique_key_enforced_through_index_probe() {
+        let mut db = db_with_r();
+        db.create_index(IndexDef::btree("r", vec![0])).unwrap();
+        db.insert("r", tuple![7i64, 70i64]).unwrap();
+        db.declare_unique_key("r", &["a"]).unwrap();
+        // With an exact-column index present enforcement goes through
+        // the probe path; behaviour must match the scan path.
+        assert!(matches!(
+            db.insert("r", tuple![7i64, 71i64]),
+            Err(QueryError::Unique(_))
+        ));
+        db.insert("r", tuple![8i64, 80i64]).unwrap();
+    }
+
+    #[test]
+    fn unique_keys_flow_into_snapshots() {
+        let mut db = db_with_r();
+        db.insert("r", tuple![1i64, 10i64]).unwrap();
+        db.declare_unique_key("r", &["a"]).unwrap();
+        let snap = db.snapshot();
+        use crate::dbview::DataView;
+        assert_eq!(snap.unique_keys_view("r"), &[vec![0]]);
+        assert_eq!(DataView::unique_keys_view(&db, "r"), &[vec![0]]);
+        assert!(snap.unique_keys_view("nope").is_empty());
     }
 
     #[test]

@@ -340,6 +340,26 @@ pub fn execute_bounded_arc<V: DataView>(
     execute_with_conditions(view, t, q.conds(), true, budget)
 }
 
+/// Targeted upquery: recompute exactly one bcp's result slice with a
+/// bounded, keyed execution — the partial-state repair primitive. `q`
+/// must be the single-bcp instance built by
+/// `PartialViewDef::bcp_query`, so the drive-side index probe keys the
+/// scan to the bcp's condition values and the cost is the slice's
+/// fanout, not the relation. Semantically identical to
+/// [`execute_bounded_arc`] plus its own fault-injection site
+/// ([`Site::Upquery`]): refills must be breakable independently of full
+/// O3 runs.
+pub fn upquery_fill<V: DataView>(
+    view: &V,
+    q: &QueryInstance,
+    budget: ExecBudget,
+) -> Result<(Vec<Arc<Tuple>>, ExecStats)> {
+    if let Err(f) = pmv_faultinject::fire(Site::Upquery) {
+        return Err(QueryError::Fault(f.site.as_str().to_string()));
+    }
+    execute_bounded_arc(view, q, budget)
+}
+
 /// Core of [`execute`], also reused by [`join_from`] with selection
 /// conditions disabled.
 fn execute_with_conditions<V: DataView>(
@@ -812,6 +832,110 @@ pub fn join_from<V: DataView>(
         return Err(err);
     }
     Ok(unarc(ctx.out))
+}
+
+/// [`join_from`] with *several* relations pre-bound to (already-deleted)
+/// tuples: the cross-delta maintenance pass. A transaction deleting
+/// matching tuples from two base relations leaves derivations that no
+/// single-relation `ΔR_i ⋈ R_j` can see (each join reads the others'
+/// deletions already applied); binding every deleted tuple explicitly
+/// and scanning only the remaining relations from the current view
+/// recovers exactly those combinations. Returns `Ls'`-layout rows under
+/// `Cjoin` (no selection conditions), like `join_from`.
+pub fn join_fixed<V: DataView>(
+    view: &V,
+    t: &QueryTemplate,
+    fixed: &[(usize, &Tuple)],
+) -> Result<Vec<Tuple>> {
+    let n = t.relations().len();
+    if let Err(f) = pmv_faultinject::fire(Site::MaintJoin) {
+        return Err(QueryError::Fault(f.site.as_str().to_string()));
+    }
+    let mut bindings: Vec<Option<&Tuple>> = vec![None; n];
+    for &(rel, tuple) in fixed {
+        debug_assert!(bindings[rel].is_none(), "relation {rel} bound twice");
+        bindings[rel] = Some(tuple);
+    }
+    // Fixed predicates on bound relations must hold, or no view row can
+    // contain this combination.
+    for fp in t.fixed_preds() {
+        if let Some(b) = bindings[fp.attr.relation] {
+            if b.get(fp.attr.column) != &fp.value {
+                return Ok(Vec::new());
+            }
+        }
+    }
+    // Join conditions with both sides bound prune the combination
+    // before any scan.
+    for j in t.joins() {
+        if let (Some(l), Some(r)) = (bindings[j.left.relation], bindings[j.right.relation]) {
+            if l.get(j.left.column) != r.get(j.right.column) {
+                return Ok(Vec::new());
+            }
+        }
+    }
+    let unbound: Vec<usize> = (0..n).filter(|&i| bindings[i].is_none()).collect();
+    let rels: Vec<Arc<HeapRelation>> = unbound
+        .iter()
+        .map(|&i| view.relation_version(&t.relations()[i]))
+        .collect::<Result<_>>()?;
+    let mut out = Vec::new();
+    fixed_rec(t, &unbound, &rels, 0, &mut bindings, &mut out);
+    Ok(out)
+}
+
+fn fixed_rec<'a>(
+    t: &QueryTemplate,
+    unbound: &[usize],
+    rels: &'a [Arc<HeapRelation>],
+    depth: usize,
+    bindings: &mut Vec<Option<&'a Tuple>>,
+    out: &mut Vec<Tuple>,
+) {
+    if depth == unbound.len() {
+        // All bound: Cjoin ∧ fixed preds (no Cselect — maintenance sees
+        // every cached bcp).
+        for j in t.joins() {
+            let l = bindings[j.left.relation].unwrap().get(j.left.column);
+            let r = bindings[j.right.relation].unwrap().get(j.right.column);
+            if l != r {
+                return;
+            }
+        }
+        for fp in t.fixed_preds() {
+            if bindings[fp.attr.relation].unwrap().get(fp.attr.column) != &fp.value {
+                return;
+            }
+        }
+        let values: Vec<Value> = t
+            .expanded_list()
+            .iter()
+            .map(|a| bindings[a.relation].unwrap().get(a.column).clone())
+            .collect();
+        out.push(Tuple::new(values));
+        return;
+    }
+    let rel = unbound[depth];
+    'rows: for (_, tuple) in rels[depth].iter() {
+        // Prune: join conditions fully bound once `rel` is set.
+        for j in t.joins() {
+            let (this, other) = if j.left.relation == rel {
+                (j.left, j.right)
+            } else if j.right.relation == rel {
+                (j.right, j.left)
+            } else {
+                continue;
+            };
+            if let Some(b) = bindings[other.relation] {
+                if tuple.get(this.column) != b.get(other.column) {
+                    continue 'rows;
+                }
+            }
+        }
+        bindings[rel] = Some(tuple);
+        fixed_rec(t, unbound, rels, depth + 1, bindings, out);
+    }
+    bindings[rel] = None;
 }
 
 #[cfg(test)]

@@ -36,7 +36,8 @@ pub use condition::{Condition, Interval};
 pub use dbview::{DataView, DbSnapshot};
 pub use engine::{Database, SnapStats};
 pub use exec::{
-    execute, execute_bounded, execute_bounded_arc, execute_scan, explain, ExecBudget, ExecStats,
+    execute, execute_bounded, execute_bounded_arc, execute_scan, explain, join_fixed,
+    upquery_fill, ExecBudget, ExecStats,
 };
 pub use lock::{LockManager, LockMode};
 pub use parser::parse_template;
@@ -77,6 +78,10 @@ pub enum QueryError {
     /// An injected fault fired mid-execution (see `pmv-faultinject`).
     /// Transient by construction: a retry draws a fresh decision.
     Fault(String),
+    /// A write would duplicate an existing row on a declared unique key
+    /// (see [`engine::Database::declare_unique_key`]). The write was
+    /// rejected before touching the relation.
+    Unique(String),
 }
 
 impl QueryError {
@@ -99,6 +104,7 @@ impl std::fmt::Display for QueryError {
             QueryError::Template(msg) => write!(f, "template error: {msg}"),
             QueryError::Budget(b) => write!(f, "execution budget: {b}"),
             QueryError::Fault(site) => write!(f, "injected fault at {site}"),
+            QueryError::Unique(msg) => write!(f, "unique key violation: {msg}"),
         }
     }
 }

@@ -17,6 +17,7 @@ use std::sync::Arc;
 use pmv_storage::{Schema, Tuple, Value};
 
 use crate::condition::Condition;
+use crate::dbview::DataView;
 use crate::{QueryError, Result};
 
 /// Reference to one attribute of one template relation.
@@ -141,6 +142,29 @@ impl QueryTemplate {
     /// Project an `Ls'`-layout result tuple onto the user-visible `Ls`.
     pub fn user_tuple(&self, expanded: &Tuple) -> Tuple {
         expanded.project(&self.select_positions)
+    }
+
+    /// Proof that every instance of this template emits a duplicate-free
+    /// result multiset against `view`: the expanded layout `Ls'` embeds
+    /// a declared unique key of every joined relation. Each combination
+    /// of base rows joins at most once, and two distinct combinations
+    /// differ in some relation's row — whose declared key values differ
+    /// and are all present in `Ls'` — so they project to distinct result
+    /// tuples. The serving path uses this to skip its per-row
+    /// proven-occurrence bookkeeping (DESIGN.md §19).
+    ///
+    /// The proof holds because declared keys are *enforced*: declaration
+    /// validates the relation's contents and every insert/update
+    /// re-checks ([`crate::engine::Database::declare_unique_key`]).
+    pub fn emits_unique_rows<V: DataView + ?Sized>(&self, view: &V) -> bool {
+        self.relations.iter().enumerate().all(|(r, name)| {
+            view.unique_keys_view(name).iter().any(|key| {
+                !key.is_empty()
+                    && key
+                        .iter()
+                        .all(|&column| self.expanded.contains(&AttrRef { relation: r, column }))
+            })
+        })
     }
 
     /// Bind disjuncts, producing a validated instance.
@@ -442,6 +466,26 @@ mod tests {
             .unwrap()
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn emits_unique_rows_requires_embedded_keys_for_every_relation() {
+        use crate::engine::Database;
+        let t = eqt();
+        let mut db = Database::new();
+        db.create_relation(r_schema()).unwrap();
+        db.create_relation(s_schema()).unwrap();
+        // No declared keys anywhere: no proof.
+        assert!(!t.emits_unique_rows(&db));
+        // A key outside Ls' (r.c is not selected or conditioned) does
+        // not help, even combined with an embedded key on s.
+        db.declare_unique_key("r", &["c"]).unwrap();
+        db.declare_unique_key("s", &["e", "g"]).unwrap();
+        assert!(!t.emits_unique_rows(&db));
+        // Once every joined relation has a declared key fully embedded
+        // in Ls' = (r.a, s.e, r.f, s.g), the proof goes through.
+        db.declare_unique_key("r", &["a", "f"]).unwrap();
+        assert!(t.emits_unique_rows(&db));
     }
 
     #[test]

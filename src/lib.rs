@@ -77,9 +77,9 @@ pub use pmv_workload as workload;
 pub mod prelude {
     pub use pmv_cache::{ClockPolicy, PolicyKind, ReplacementPolicy, TwoQPolicy};
     pub use pmv_core::{
-        verify_def, verify_parts, BcpKey, DiagCode, Discretizer, MaintenanceOutcome,
-        PartialViewDef, Pmv, PmvConfig, PmvManager, PmvPipeline, PmvStats, QueryOutcome, Severity,
-        SharedPmv, VerifyOptions, VerifyPolicy, VerifyReport,
+        verify_def, verify_parts, BcpKey, DiagCode, Discretizer, MaintStrategy,
+        MaintenanceOutcome, PartialViewDef, Pmv, PmvConfig, PmvManager, PmvPipeline, PmvStats,
+        QueryOutcome, Severity, SharedPmv, VerifyOptions, VerifyPolicy, VerifyReport,
     };
     pub use pmv_query::{
         Condition, Database, Interval, QueryInstance, QueryTemplate, TemplateBuilder,
